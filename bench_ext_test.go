@@ -1,0 +1,228 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/calib"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/fusion"
+	"repro/internal/mapper"
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/roofline"
+	"repro/internal/sensitivity"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Benchmarks for the extension modules beyond the paper's figures: the
+// cross-layer network model, the fusion optimizer, sensitivity analysis,
+// the joint spatial+temporal search, and the analysis utilities.
+
+func benchNet() *network.Network {
+	return &network.Network{
+		Name: "bench",
+		Layers: []workload.Layer{
+			workload.NewPointwise("pw1", 1, 64, 32, 14, 14),
+			workload.NewConv2D("c2", 1, 64, 64, 14, 14, 3, 3),
+			workload.NewDense("fc", 1, 128, 64*7*7),
+		},
+	}
+}
+
+// BenchmarkNetworkEvaluate prices a 3-layer network end to end with GB
+// planning; metrics: total latency and utilization.
+func BenchmarkNetworkEvaluate(b *testing.B) {
+	hw := arch.CaseStudy()
+	var r *network.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = network.Evaluate(benchNet(), hw, arch.CaseStudySpatial(),
+			&network.Options{MaxCandidates: 800, PlanGB: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.TotalCC, "total-cc")
+	b.ReportMetric(100*r.Utilization, "util-%")
+}
+
+// BenchmarkMultiCoreScaling evaluates the 4-core data-parallel speedup.
+func BenchmarkMultiCoreScaling(b *testing.B) {
+	hw := arch.CaseStudy()
+	var r *network.MultiCoreResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = network.EvaluateMultiCore(benchNet(), hw, arch.CaseStudySpatial(),
+			&network.MultiCoreOptions{Cores: 4, Options: network.Options{MaxCandidates: 600}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Speedup, "speedup-x")
+}
+
+// BenchmarkFusionOptimize runs the fusion planner on a spill-heavy network.
+func BenchmarkFusionOptimize(b *testing.B) {
+	hw := arch.CaseStudy()
+	hw.MemoryByName("GB").CapacityBits = 100 * 1024 * 8
+	net := &network.Network{
+		Name: "spilly",
+		Layers: []workload.Layer{
+			workload.NewPointwise("pw1", 1, 64, 16, 28, 28),
+			workload.NewPointwise("pw2", 1, 64, 64, 28, 28),
+			workload.NewPointwise("pw3", 1, 32, 64, 28, 28),
+		},
+	}
+	var r *fusion.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = fusion.Optimize(net, hw, arch.CaseStudySpatial(), &fusion.Options{MaxCandidates: 600})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.SavedCC, "saved-cc")
+}
+
+// BenchmarkSensitivityTornado sweeps every knob of the case-study arch.
+func BenchmarkSensitivityTornado(b *testing.B) {
+	l := workload.NewMatMul("t", 128, 128, 8)
+	hw := arch.CaseStudy()
+	var top sensitivity.Effect
+	for i := 0; i < b.N; i++ {
+		effects, err := sensitivity.Analyze(&l, hw, arch.CaseStudySpatial(),
+			&sensitivity.Options{MaxCandidates: 500, SkipCapacity: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		top = effects[0]
+	}
+	b.ReportMetric(top.Swing, "top-swing-cc")
+}
+
+// BenchmarkSpatialSearch measures the joint spatial+temporal search.
+func BenchmarkSpatialSearch(b *testing.B) {
+	l := workload.NewMatMul("s", 48, 48, 48)
+	hw := arch.CaseStudy()
+	for i := 0; i < b.N; i++ {
+		_, _, _, err := mapper.BestWithSpatial(&l, hw, &mapper.SpatialOptions{
+			MaxSpatials: 6,
+			Temporal:    mapper.Options{BWAware: true, MaxCandidates: 400},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSimArbitration contrasts the simulator's EDF scheduler
+// against plain FIFO on a contended problem.
+func BenchmarkAblationSimArbitration(b *testing.B) {
+	p := caseStudyProblem(b)
+	var edf, fifo int64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.Simulate(p, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.Simulate(p, &sim.Options{FIFOArbitration: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		edf, fifo = r1.Cycles, r2.Cycles
+	}
+	b.ReportMetric(float64(edf), "edf-cc")
+	b.ReportMetric(float64(fifo), "fifo-cc")
+}
+
+// BenchmarkAnalysisUtilities measures the cheap per-problem analyses.
+func BenchmarkAnalysisUtilities(b *testing.B) {
+	p := caseStudyProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := roofline.Analyze(p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := noc.Analyze(p, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Evaluate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBWSweep runs the bandwidth crossover study (one point set).
+func BenchmarkBWSweep(b *testing.B) {
+	var cross int64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.BWSweep([]int64{128, 512, 2048}, 150)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cross = experiments.CrossoverBW(points, "64x64")
+	}
+	b.ReportMetric(float64(cross), "64x64-crossover-bw")
+}
+
+// BenchmarkAnnealSearch measures the simulated-annealing mapper on a
+// prime-rich layer where exhaustive enumeration explodes.
+func BenchmarkAnnealSearch(b *testing.B) {
+	l := workload.NewMatMul("a", 196, 196, 196)
+	hw := arch.CaseStudy()
+	var cc float64
+	for i := 0; i < b.N; i++ {
+		cand, err := mapper.Anneal(&l, hw, &mapper.AnnealOptions{
+			Spatial: arch.CaseStudySpatial(), BWAware: true,
+			Iterations: 1500, Restarts: 2, Seed: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cc = cand.Result.CCTotal
+	}
+	b.ReportMetric(cc, "best-cc")
+}
+
+// BenchmarkCalibration fits the energy table to synthetic measurements.
+func BenchmarkCalibration(b *testing.B) {
+	hw := arch.CaseStudy()
+	shapes := [][3]int64{{16, 32, 32}, {64, 16, 64}, {32, 64, 16}, {64, 64, 64}, {128, 32, 16}}
+	precs := []workload.Precision{
+		{W: 8, I: 8, O: 24}, {W: 4, I: 4, O: 16}, {W: 16, I: 8, O: 32},
+		{W: 8, I: 8, O: 8}, {W: 16, I: 16, O: 32},
+	}
+	var samples []calib.Sample
+	truth := energy.Default7nm()
+	for i, s := range shapes {
+		l := workload.NewMatMul("c", s[0], s[1], s[2])
+		l.Precision = precs[i]
+		best, _, err := mapper.Best(&l, hw, &mapper.Options{
+			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 300,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		layer := l
+		p := &core.Problem{Layer: &layer, Arch: hw, Mapping: best.Mapping}
+		eb, err := energy.Evaluate(p, truth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = append(samples, calib.Sample{Problem: p, EnergyPJ: eb.TotalPJ})
+	}
+	b.ResetTimer()
+	var fit float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := calib.Fit(samples, truth.WritePenalty)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fit = tbl.MACpJ
+	}
+	b.ReportMetric(fit, "fitted-MACpJ")
+}

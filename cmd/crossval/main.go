@@ -1,0 +1,68 @@
+// Command crossval runs the randomized model-vs-simulator cross-validation:
+// it draws random (layer, architecture, mapping) problems — random port
+// widths, buffering, sharing and hierarchy depth — and reports the accuracy
+// distribution. This is the statistical generalization of the fixed Fig. 5
+// validation suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/crossval"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		samples = flag.Int("samples", 50, "mappable samples to collect")
+		seed    = flag.Int64("seed", 20220318, "generator seed")
+		budget  = flag.Int("budget", 1000, "mapping search budget per sample")
+		verbose = flag.Bool("v", false, "print every sample")
+	)
+	flag.Parse()
+
+	simulate := func(p *core.Problem) (int64, error) {
+		r, err := sim.Simulate(p, nil)
+		if err != nil {
+			return 0, err
+		}
+		return r.Cycles, nil
+	}
+
+	g := crossval.NewGenerator(*seed)
+	var acc []float64
+	draws := 0
+	tb := report.NewTable("samples", "arch", "layer", "model cc", "sim cc", "accuracy %")
+	for len(acc) < *samples && draws < *samples*10 {
+		draws++
+		s, err := g.Next(*budget, simulate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crossval:", err)
+			os.Exit(1)
+		}
+		if s == nil {
+			continue
+		}
+		acc = append(acc, s.Accuracy)
+		if *verbose {
+			tb.Add(s.Problem.Arch.Name, s.Problem.Layer.Name, s.ModelCC, s.SimCC, 100*s.Accuracy)
+		}
+	}
+	if *verbose {
+		tb.Write(os.Stdout)
+	}
+
+	sort.Float64s(acc)
+	var sum float64
+	for _, a := range acc {
+		sum += a
+	}
+	pct := func(q float64) float64 { return 100 * acc[int(q*float64(len(acc)-1))] }
+	fmt.Printf("%d samples (%d draws): mean %.1f%%, min %.1f%%, p10 %.1f%%, median %.1f%%, p90 %.1f%%\n",
+		len(acc), draws, 100*sum/float64(len(acc)), 100*acc[0], pct(0.1), pct(0.5), pct(0.9))
+}

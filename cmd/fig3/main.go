@@ -1,0 +1,87 @@
+// Command fig3 regenerates paper Fig. 3: six memory-compute timeline cases
+// showing the stall(+)/slack(-) of a single data transfer link, for
+// double-buffered (or relevant-top-loop) memories with fully overlappable
+// update windows, and single-buffered memories with an irrelevant loop on
+// top that inserts a Mem Update Keep-Out Zone.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// run evaluates a 2-level machine with the given register port width,
+// buffering and W boundary, and returns the W fill endpoint at the
+// register level.
+func run(regBW int64, regDB bool, wBound []int) *core.Endpoint {
+	l := workload.NewMatMul("fig3", 2, 4, 8)
+	a := &arch.Arch{
+		Name: "fig3",
+		MACs: 4,
+		Memories: []*arch.Memory{
+			{Name: "Reg", CapacityBits: 1 << 20, DoubleBuffered: regDB,
+				Serves: []loops.Operand{loops.W, loops.I, loops.O},
+				Ports:  []arch.Port{{Name: "rw", Dir: arch.ReadWrite, BWBits: regBW}}},
+			{Name: "GB", CapacityBits: 1 << 30,
+				Serves: []loops.Operand{loops.W, loops.I, loops.O},
+				Ports: []arch.Port{
+					{Name: "rd", Dir: arch.Read, BWBits: 1 << 20},
+					{Name: "wr", Dir: arch.Write, BWBits: 1 << 20},
+				}},
+		},
+	}
+	for _, op := range loops.AllOperands {
+		a.Chain[op] = []string{"Reg", "GB"}
+	}
+	if err := a.Normalize(); err != nil {
+		panic(err)
+	}
+	m := &mapping.Mapping{
+		Spatial:  loops.Nest{{Dim: loops.K, Size: 4}},
+		Temporal: loops.Nest{{Dim: loops.C, Size: 8}, {Dim: loops.B, Size: 2}},
+	}
+	m.Bound[loops.W] = wBound
+	m.Bound[loops.I] = []int{1, 2}
+	m.Bound[loops.O] = []int{1, 2}
+	r, err := core.Evaluate(&core.Problem{Layer: &l, Arch: a, Mapping: m})
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range r.Endpoints {
+		if e.Operand == loops.W && e.Kind == core.Fill && e.MemName == "Reg" {
+			return e
+		}
+	}
+	panic("no W endpoint")
+}
+
+func main() {
+	fmt.Println("Fig. 3 — six timeline cases of computation (C) and memory update")
+	fmt.Println("legend: # transfer in window, = idle window, . keep-out, ! overrun")
+	fmt.Println()
+
+	// (a)-(c): double-buffered — the full period is an allowed window.
+	rTop := []int{1, 2} // W's reg level = [C 8]: X_REQ = Mem_CC = 8
+	fmt.Println("(a) DB, X_REAL = X_REQ (no stall, no slack):")
+	fmt.Println(trace.Timeline(run(32, true, rTop), 3, 72))
+	fmt.Println("(b) DB, X_REAL < X_REQ (slack, SS_u < 0):")
+	fmt.Println(trace.Timeline(run(64, true, rTop), 3, 72))
+	fmt.Println("(c) DB, X_REAL > X_REQ (stall, SS_u > 0):")
+	fmt.Println(trace.Timeline(run(16, true, rTop), 3, 72))
+
+	// (d)-(f): single-buffered with the ir loop B on top of the reg level
+	// ([C 8 | B 2]): keep-out zone, X_REQ = Mem_CC / 2.
+	irTop := []int{2, 2}
+	fmt.Println("(d) non-DB ir-top, X_REAL = X_REQ:")
+	fmt.Println(trace.Timeline(run(32, false, irTop), 2, 72))
+	fmt.Println("(e) non-DB ir-top, X_REAL < X_REQ (slack):")
+	fmt.Println(trace.Timeline(run(64, false, irTop), 2, 72))
+	fmt.Println("(f) non-DB ir-top, X_REAL > X_REQ (stall):")
+	fmt.Println(trace.Timeline(run(16, false, irTop), 2, 72))
+}

@@ -1,0 +1,278 @@
+// Command latmodel evaluates the uniform latency model on one layer: it
+// picks (or searches) a mapping on a preset accelerator and prints the full
+// latency breakdown, per-port bandwidth analysis and energy estimate.
+//
+// Usage:
+//
+//	latmodel [-arch inhouse|casestudy] [-b N -k N -c N] [-conv "B,K,C,OY,OX,FY,FX"]
+//	         [-config problem.json] [-dump preset.json] [-budget N] [-unaware] [-sim] [-csv]
+//
+// With -config, the layer, architecture and (optionally) a fixed mapping
+// are read from a JSON problem file (see internal/config); -dump writes the
+// selected preset architecture as JSON to use as a starting point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/energy"
+	"repro/internal/loops"
+	"repro/internal/mapper"
+	"repro/internal/mapping"
+	"repro/internal/report"
+	"repro/internal/roofline"
+	"repro/internal/sensitivity"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		archName = flag.String("arch", "casestudy", "accelerator preset: inhouse or casestudy")
+		b        = flag.Int64("b", 128, "matmul rows (batch) B")
+		k        = flag.Int64("k", 128, "matmul columns (output channels) K")
+		c        = flag.Int64("c", 128, "matmul reduction depth C")
+		conv     = flag.String("conv", "", "Conv2D dims 'B,K,C,OY,OX,FY,FX' (lowered via Im2Col)")
+		cfgPath  = flag.String("config", "", "JSON problem file (layer+arch+optional mapping)")
+		dumpPath = flag.String("dump", "", "write the selected preset arch as JSON and exit")
+		budget   = flag.Int("budget", 20000, "mapping search budget (loop nests)")
+		anneal   = flag.Bool("anneal", false, "use simulated annealing instead of bounded enumeration")
+		unaware  = flag.Bool("unaware", false, "use the bandwidth-unaware baseline model")
+		runSim   = flag.Bool("sim", false, "also run the cycle-level reference simulator")
+		tornado  = flag.Bool("tornado", false, "parameter sensitivity analysis (halve/double every knob)")
+		csv      = flag.Bool("csv", false, "print the port table as CSV")
+		jsonOut  = flag.String("json", "", "write the evaluation summary as JSON to this file")
+		spatial  = flag.String("spatial", "", "override spatial unrolling, e.g. \"K 16 | B 8 | C 2\"")
+	)
+	flag.Parse()
+
+	var hw *arch.Arch
+	var sp loops.Nest
+	switch *archName {
+	case "inhouse":
+		hw, sp = arch.InHouse(), arch.InHouseSpatial()
+	case "casestudy":
+		hw, sp = arch.CaseStudy(), arch.CaseStudySpatial()
+	default:
+		fatal("unknown arch %q", *archName)
+	}
+
+	if *dumpPath != "" {
+		data, err := config.Marshal(config.FromArch(hw))
+		if err != nil {
+			fatal("dump: %v", err)
+		}
+		if err := os.WriteFile(*dumpPath, data, 0o644); err != nil {
+			fatal("dump: %v", err)
+		}
+		fmt.Printf("wrote %s (%s)\n", *dumpPath, hw.Name)
+		return
+	}
+
+	var fixed *mapping.Mapping
+	var layer workload.Layer
+	if *cfgPath != "" {
+		data, err := os.ReadFile(*cfgPath)
+		if err != nil {
+			fatal("config: %v", err)
+		}
+		prob, err := config.UnmarshalProblem(data)
+		if err != nil {
+			fatal("config: %v", err)
+		}
+		layer, err = prob.Layer.ToLayer()
+		if err != nil {
+			fatal("config layer: %v", err)
+		}
+		hw, err = prob.Arch.ToArch()
+		if err != nil {
+			fatal("config arch: %v", err)
+		}
+		if prob.Mapping != nil {
+			fixed, err = prob.Mapping.ToMapping()
+			if err != nil {
+				fatal("config mapping: %v", err)
+			}
+			sp = fixed.Spatial
+		} else {
+			sp = guessSpatial(hw)
+		}
+	} else if *conv != "" {
+		dims, err := parseDims(*conv)
+		if err != nil {
+			fatal("bad -conv: %v", err)
+		}
+		cl := workload.NewConv2D("conv", dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6])
+		layer = workload.Im2Col(cl)
+		fmt.Printf("lowered: %s\n", layer.String())
+	} else {
+		layer = workload.NewMatMul(fmt.Sprintf("(%d,%d,%d)", *b, *k, *c), *b, *k, *c)
+	}
+	if err := layer.Validate(); err != nil {
+		fatal("invalid layer: %v", err)
+	}
+	if *spatial != "" {
+		n, err := loops.ParseNest(*spatial)
+		if err != nil {
+			fatal("bad -spatial: %v", err)
+		}
+		sp = n
+	}
+
+	var best *mapper.Candidate
+	if fixed != nil {
+		if err := fixed.Validate(&layer, hw); err != nil {
+			fatal("fixed mapping invalid: %v", err)
+		}
+		r, err := evalFixed(&layer, hw, fixed, *unaware)
+		if err != nil {
+			fatal("evaluate: %v", err)
+		}
+		best = &mapper.Candidate{Mapping: fixed, Result: r}
+		fmt.Printf("arch: %s (%d MACs)\nlayer: %s\nmapping: fixed from config\n\n",
+			hw.Name, hw.MACs, layer.String())
+	} else if *anneal {
+		var err error
+		best, err = mapper.Anneal(&layer, hw, &mapper.AnnealOptions{
+			Spatial: sp, BWAware: !*unaware, Iterations: *budget / 4,
+		})
+		if err != nil {
+			fatal("annealing: %v", err)
+		}
+		fmt.Printf("arch: %s (%d MACs)\nlayer: %s\nsearch: simulated annealing (%d iterations x 3 restarts)\n\n",
+			hw.Name, hw.MACs, layer.String(), *budget/4)
+	} else {
+		var stats *mapper.Stats
+		var err error
+		best, stats, err = mapper.Best(&layer, hw, &mapper.Options{
+			Spatial: sp, BWAware: !*unaware, MaxCandidates: *budget,
+		})
+		if err != nil {
+			fatal("mapping search: %v", err)
+		}
+		fmt.Printf("arch: %s (%d MACs)\nlayer: %s\nsearch: %d nests, %d valid\n\n",
+			hw.Name, hw.MACs, layer.String(), stats.NestsGenerated, stats.Valid)
+	}
+	fmt.Println(best.Mapping)
+	fmt.Print(dataflow.Classify(best.Mapping).Describe())
+	fmt.Println()
+	fmt.Println(best.Result.Report())
+
+	tb := report.NewTable("per-port analysis", "port", "ReqBW rd", "ReqBW wr", "RealBW", "MUW", "SS")
+	for _, ps := range best.Result.Ports {
+		tb.Add(ps.MemName+"."+ps.PortName, ps.ReqBWReadBits, ps.ReqBWWriteBits,
+			ps.RealBWBits, ps.MUWComb, ps.SSComb)
+	}
+	if *csv {
+		fmt.Print(tb.CSV())
+	} else {
+		tb.Write(os.Stdout)
+	}
+
+	p := &core.Problem{Layer: &layer, Arch: hw, Mapping: best.Mapping}
+	if rf, err := roofline.Analyze(p); err == nil {
+		fmt.Println()
+		fmt.Print(rf.Report())
+	}
+	if e, err := energy.Evaluate(p, nil); err == nil {
+		fmt.Printf("\nenergy: %.1f nJ (MAC %.1f, array %.1f", e.TotalPJ/1e3, e.MACPJ/1e3, e.ArrayPJ/1e3)
+		for _, n := range e.MemNames() {
+			fmt.Printf(", %s %.1f", n, e.MemPJ[n]/1e3)
+		}
+		fmt.Println(")")
+	}
+
+	if *jsonOut != "" {
+		prob := &core.Problem{Layer: &layer, Arch: hw, Mapping: best.Mapping}
+		data, err := config.Marshal(config.FromResult(prob, best.Result))
+		if err != nil {
+			fatal("json: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fatal("json: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonOut)
+	}
+
+	if *tornado {
+		effects, err := sensitivity.Analyze(&layer, hw, best.Mapping.Spatial, nil)
+		if err != nil {
+			fatal("sensitivity: %v", err)
+		}
+		fmt.Println("\nparameter sensitivity (mapping re-optimized per point):")
+		fmt.Print(sensitivity.Report(effects))
+	}
+
+	if *runSim {
+		sr, err := sim.Simulate(p, nil)
+		if err != nil {
+			fatal("simulator: %v", err)
+		}
+		acc := 1 - abs(best.Result.CCTotal-float64(sr.Cycles))/float64(sr.Cycles)
+		fmt.Printf("\nsimulator: %d cycles (stall %d, preload %d, tail %d) -> model accuracy %.1f%%\n",
+			sr.Cycles, sr.ComputeStall, sr.PreloadCycles, sr.DrainTail, 100*acc)
+	}
+}
+
+// evalFixed evaluates one fixed mapping with the chosen model.
+func evalFixed(l *workload.Layer, hw *arch.Arch, m *mapping.Mapping, unaware bool) (*core.Result, error) {
+	p := &core.Problem{Layer: l, Arch: hw, Mapping: m}
+	if unaware {
+		return core.EvaluateBWUnaware(p)
+	}
+	return core.Evaluate(p)
+}
+
+// guessSpatial picks a default spatial unrolling for a config-file arch: a
+// K|B|C unrolling shaped like the presets', sized to the MAC count.
+func guessSpatial(hw *arch.Arch) loops.Nest {
+	k := int64(16)
+	for k*k/2 < hw.MACs {
+		k *= 2
+	}
+	b := hw.MACs / (k * 2)
+	if b < 1 {
+		b = 1
+		k = hw.MACs / 2
+		if k < 1 {
+			return loops.Nest{{Dim: loops.K, Size: hw.MACs}}
+		}
+	}
+	return loops.Nest{{Dim: loops.K, Size: k}, {Dim: loops.B, Size: b}, {Dim: loops.C, Size: 2}}
+}
+
+func parseDims(s string) ([]int64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 7 {
+		return nil, fmt.Errorf("want 7 comma-separated dims, got %d", len(parts))
+	}
+	out := make([]int64, 7)
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "latmodel: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,146 @@
+// Command netmodel evaluates a whole DNN on one accelerator with the
+// cross-layer extension of the uniform latency model: per-layer mapping
+// optimization, weight-prefetch overlap between consecutive layers, and
+// off-chip spill accounting for intermediate tensors.
+//
+// Usage:
+//
+//	netmodel [-arch inhouse|casestudy] [-net handtracking] [-budget N]
+//	         [-noprefetch] [-objective latency|energy|edp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/loops"
+	"repro/internal/mapper"
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		archName = flag.String("arch", "inhouse", "accelerator preset: inhouse or casestudy")
+		netName  = flag.String("net", "handtracking", "network preset: handtracking|resnet18|vgg16|mobilenetv2")
+		netFile  = flag.String("netconfig", "", "JSON network file (overrides -net)")
+		cores    = flag.Int("cores", 1, "number of accelerator cores")
+		pipeline = flag.Bool("pipeline", false, "pipeline layers across cores instead of data parallelism")
+		shareBW  = flag.Bool("sharebw", false, "cores share one GB interface (data-parallel mode)")
+		budget   = flag.Int("budget", 6000, "per-layer mapping search budget")
+		noPre    = flag.Bool("noprefetch", false, "disable cross-layer weight prefetch")
+		planGB   = flag.Bool("plangb", false, "run the global-buffer allocation planner")
+		scaling  = flag.Bool("scaling", false, "print the 1..cores strong-scaling curve")
+		objName  = flag.String("objective", "latency", "per-layer mapping objective: latency|energy|edp")
+	)
+	flag.Parse()
+
+	var hw *arch.Arch
+	var sp loops.Nest
+	switch *archName {
+	case "inhouse":
+		hw, sp = arch.InHouse(), arch.InHouseSpatial()
+	case "casestudy":
+		hw, sp = arch.CaseStudy(), arch.CaseStudySpatial()
+	default:
+		fatal("unknown arch %q", *archName)
+	}
+
+	var net *network.Network
+	if *netFile != "" {
+		data, err := os.ReadFile(*netFile)
+		if err != nil {
+			fatal("netconfig: %v", err)
+		}
+		net, err = config.UnmarshalNetwork(data)
+		if err != nil {
+			fatal("netconfig: %v", err)
+		}
+	}
+	switch {
+	case net != nil:
+		// loaded from file
+	default:
+		switch *netName {
+		case "handtracking":
+			net = network.HandTracking()
+		case "resnet18":
+			net = &network.Network{Name: "resnet18", Layers: workload.ResNet18Suite()}
+		case "vgg16":
+			net = &network.Network{Name: "vgg16", Layers: workload.VGG16Suite()}
+		case "mobilenetv2":
+			net = &network.Network{Name: "mobilenetv2", Layers: workload.MobileNetV2Suite()}
+		default:
+			fatal("unknown network %q", *netName)
+		}
+	}
+
+	var obj mapper.Objective
+	switch *objName {
+	case "latency":
+		obj = mapper.MinLatency
+	case "energy":
+		obj = mapper.MinEnergy
+	case "edp":
+		obj = mapper.MinEDP
+	default:
+		fatal("unknown objective %q", *objName)
+	}
+
+	fmt.Printf("network %s (%d layers, %.1f GMAC) on %s\n\n",
+		net.Name, len(net.Layers), float64(net.TotalMACs())/1e9, hw.Name)
+	opts := network.Options{
+		MaxCandidates: *budget,
+		Objective:     obj,
+		NoPrefetch:    *noPre,
+		PlanGB:        *planGB,
+	}
+	if *scaling {
+		curve, err := network.ScalingCurve(net, hw, sp, *cores, &network.MultiCoreOptions{
+			Pipeline: *pipeline, ShareGBBandwidth: *shareBW, Options: opts,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println("cores  latency cc   speedup  efficiency")
+		for _, r := range curve {
+			fmt.Printf("%5d  %10.0f  %7.2fx  %9.0f%%\n", r.Cores, r.LatencyCC, r.Speedup, 100*r.Efficiency)
+		}
+		return
+	}
+	if *cores > 1 {
+		mc, err := network.EvaluateMultiCore(net, hw, sp, &network.MultiCoreOptions{
+			Cores: *cores, Pipeline: *pipeline, ShareGBBandwidth: *shareBW, Options: opts,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		mode := "data-parallel"
+		if *pipeline {
+			mode = "pipeline"
+		}
+		fmt.Printf("%d cores (%s): %.0f cc vs %.0f single-core -> speedup %.2fx, efficiency %.0f%%\n",
+			mc.Cores, mode, mc.LatencyCC, mc.SingleCoreCC, mc.Speedup, 100*mc.Efficiency)
+		for i, s := range mc.PerCore {
+			fmt.Printf("  core %d stage makespan: %.0f cc\n", i, s)
+		}
+		return
+	}
+	r, err := network.Evaluate(net, hw, sp, &opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Print(r.Report())
+	if r.GBPlan != nil {
+		fmt.Println()
+		fmt.Print(r.GBPlan.Report())
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "netmodel: "+format+"\n", args...)
+	os.Exit(1)
+}

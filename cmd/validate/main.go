@@ -1,0 +1,50 @@
+// Command validate reproduces paper Fig. 5(c): it runs every layer of the
+// hand-tracking workload suite through the analytical latency model and the
+// cycle-level reference simulator on the in-house accelerator, and reports
+// the per-layer and average estimation accuracy (the paper reports 94.3%
+// against RTL simulation of the taped-out chip).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		layers = flag.Int("layers", 0, "limit to the first N layers (0 = all)")
+		budget = flag.Int("budget", 20000, "mapping search budget per layer")
+		csv    = flag.Bool("csv", false, "CSV output")
+	)
+	flag.Parse()
+
+	rows, avg, err := experiments.Validation(&experiments.ValidationOptions{
+		Layers: *layers, MaxCandidates: *budget,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+
+	tb := report.NewTable("Fig. 5(c) — model vs cycle-level simulation (hand-tracking workload)",
+		"layer", "model cc", "sim cc", "accuracy %", "util %", "stall-bound")
+	var accs []float64
+	var names []string
+	for _, r := range rows {
+		tb.Add(r.Layer, r.ModelCC, r.SimCC, 100*r.Accuracy, 100*r.Util, r.Stalled)
+		accs = append(accs, 100*r.Accuracy)
+		names = append(names, r.Layer)
+	}
+	if *csv {
+		fmt.Print(tb.CSV())
+	} else {
+		tb.Write(os.Stdout)
+		fmt.Println()
+		report.Bar(os.Stdout, "per-layer accuracy [%]", names, accs, 50)
+	}
+	fmt.Printf("\naverage latency model accuracy: %.1f%% (paper: 94.3%%)\n", 100*avg)
+}

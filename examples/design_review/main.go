@@ -1,0 +1,91 @@
+// Design review: the full toolkit walkthrough a designer would run on an
+// accelerator candidate before committing silicon — one layer analyzed in
+// depth (latency breakdown, dataflow class, roofline, stall timelines,
+// parameter tornado), then the whole network with global-buffer planning
+// and multi-core scaling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/mapper"
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/roofline"
+	"repro/internal/sensitivity"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	hw := arch.CaseStudy()
+	sp := arch.CaseStudySpatial()
+
+	// --- 1. The marquee layer, in depth. ---
+	layer := workload.Im2Col(workload.NewPointwise("pw", 1, 128, 64, 28, 28))
+	fmt.Printf("=== layer %s on %s ===\n\n", layer.String(), hw.Name)
+
+	best, stats, err := mapper.Best(&layer, hw, &mapper.Options{
+		Spatial: sp, BWAware: true, MaxCandidates: 8000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best of %d valid mappings:\n%s\n", stats.Valid, best.Mapping)
+	fmt.Print(dataflow.Classify(best.Mapping).Describe())
+	fmt.Println()
+	fmt.Println(best.Result.Report())
+
+	p := &core.Problem{Layer: &layer, Arch: hw, Mapping: best.Mapping}
+	rf, err := roofline.Analyze(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rf.Report())
+	if !rf.ConsistentWith(best.Result) {
+		log.Fatal("detailed model violates the roofline bound")
+	}
+
+	if nr, err := noc.Analyze(p, nil); err == nil {
+		fmt.Printf("\nNoC: %.1f nJ total", nr.TotalPJ/1e3)
+		for _, ot := range nr.Operands {
+			fmt.Printf("  %s fanout %dx", ot.Operand, ot.Fanout)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nstall timelines of the worst ports:")
+	fmt.Print(trace.ResultOverview(best.Result, 2))
+
+	// --- 2. Where would one more wire help? ---
+	fmt.Println("\n=== parameter tornado (halve/double each knob) ===")
+	effects, err := sensitivity.Analyze(&layer, hw, sp, &sensitivity.Options{MaxCandidates: 1500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sensitivity.Report(effects[:4]))
+
+	// --- 3. The whole network with GB planning and scaling. ---
+	fmt.Println("\n=== hand-tracking network, GB plan, 1 vs 4 cores ===")
+	net := network.HandTracking()
+	res, err := network.Evaluate(net, arch.InHouse(), arch.InHouseSpatial(), &network.Options{
+		MaxCandidates: 1500, PlanGB: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single core: %.2f Mcc at %.1f%% utilization; GB peak %d KiB, spills %d\n",
+		res.TotalCC/1e6, 100*res.Utilization, res.GBPlan.PeakBits/8192, len(res.GBPlan.Spilled()))
+
+	mc, err := network.EvaluateMultiCore(net, arch.InHouse(), arch.InHouseSpatial(),
+		&network.MultiCoreOptions{Cores: 4, Options: network.Options{MaxCandidates: 1500}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4 cores (data-parallel): %.2f Mcc -> %.2fx speedup (%.0f%% efficiency)\n",
+		mc.LatencyCC/1e6, mc.Speedup, 100*mc.Efficiency)
+}

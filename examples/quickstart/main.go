@@ -1,0 +1,42 @@
+// Quickstart: define a layer, pick a preset accelerator, search a mapping
+// and print the modeled latency breakdown — the minimal end-to-end use of
+// the uniform latency model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A fully connected layer: 64 batch rows, 512 outputs, 1024 inputs.
+	layer := workload.NewDense("fc", 64, 512, 1024)
+
+	// The scaled-down case-study accelerator: 256 MACs, W/I local buffers,
+	// a 1MB global buffer with 128 bit/cycle ports.
+	hw := arch.CaseStudy()
+
+	// Dense layers run as matrix multiplies after Im2Col (a no-op here,
+	// but required for convolutions).
+	mm := workload.Im2Col(layer)
+
+	// Search the temporal-mapping space for the lowest-latency valid
+	// mapping under the canonical spatial unrolling K16|B8|C2.
+	best, stats, err := mapper.Best(&mm, hw, &mapper.Options{
+		Spatial: arch.CaseStudySpatial(),
+		BWAware: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("layer: %s\n", mm.String())
+	fmt.Printf("explored %d loop nests (%d valid)\n\n", stats.NestsGenerated, stats.Valid)
+	fmt.Println("best mapping:")
+	fmt.Println(best.Mapping)
+	fmt.Println(best.Result.Report())
+}

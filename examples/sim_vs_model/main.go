@@ -1,0 +1,82 @@
+// Sim vs model: run the analytical latency model and the cycle-level
+// reference simulator on the same problem and compare their stall
+// diagnoses — the per-layer validation experiment of paper Fig. 5(c) on a
+// single configurable point, with per-port detail from both sides.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		b    = flag.Int64("b", 256, "matmul B")
+		k    = flag.Int64("k", 256, "matmul K")
+		c    = flag.Int64("c", 64, "matmul C")
+		gbBW = flag.Int64("gbbw", 128, "GB port bandwidth [bit/cycle]")
+	)
+	flag.Parse()
+
+	layer := workload.NewMatMul("mm", *b, *k, *c)
+	hw := arch.CaseStudy()
+	for i := range hw.MemoryByName("GB").Ports {
+		hw.MemoryByName("GB").Ports[i].BWBits = *gbBW
+	}
+
+	best, _, err := mapper.Best(&layer, hw, &mapper.Options{
+		Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 10000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := &core.Problem{Layer: &layer, Arch: hw, Mapping: best.Mapping}
+
+	fmt.Println(best.Mapping)
+	fmt.Println("analytical model:")
+	fmt.Println(best.Result.Report())
+
+	sr, err := sim.Simulate(p, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulator: %d cycles = preload %d + compute %d (incl. stall %d) + tail %d; %d transfer jobs\n",
+		sr.Cycles, sr.PreloadCycles,
+		sr.Cycles-sr.PreloadCycles-sr.DrainTail, sr.ComputeStall, sr.DrainTail, sr.Jobs)
+
+	acc := 1 - abs(best.Result.CCTotal-float64(sr.Cycles))/float64(sr.Cycles)
+	fmt.Printf("\nmodel vs sim: %.0f vs %d cycles -> %.2f%% accuracy\n\n",
+		best.Result.CCTotal, sr.Cycles, 100*acc)
+
+	// Side-by-side port view: the model's combined stall vs the
+	// simulator's measured port occupancy.
+	fmt.Println("port                model SS_comb   sim busy cycles   sim occupancy")
+	var names []string
+	for n := range sr.PortBusy {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	modelSS := map[string]float64{}
+	for _, ps := range best.Result.Ports {
+		modelSS[ps.MemName+"."+ps.PortName] = ps.SSComb
+	}
+	for _, n := range names {
+		fmt.Printf("%-18s %14.0f %16d %14.1f%%\n",
+			n, modelSS[n], sr.PortBusy[n], 100*float64(sr.PortBusy[n])/float64(sr.Cycles))
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,180 @@
+// Package alloc plans the global buffer's contents across a whole-network
+// execution: every tensor (per-layer weights, inter-layer activations) gets
+// a liveness interval over the layer schedule and an offset in the buffer.
+// The planner performs first-fit address assignment on live ranges (the
+// classic register/buffer allocation formulation) and reports peak usage,
+// per-step occupancy and the tensors that must spill off chip — the precise
+// counterpart of the coarse boundary heuristic in package network.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tensor is one allocatable object.
+type Tensor struct {
+	Name string
+	Bits int64
+	// FirstUse / LastUse are layer indices (inclusive) delimiting the
+	// liveness interval. Weights of layer i live [i, i] (or [i-1, i] with
+	// prefetch); the activation produced by layer i lives [i, i+1].
+	FirstUse, LastUse int
+}
+
+// Placement is the planner's verdict for one tensor.
+type Placement struct {
+	Tensor Tensor
+	Offset int64 // byte offset × 8 (bit-addressed to match CapacityBits)
+	Spill  bool  // true when the tensor did not fit on chip
+}
+
+// Plan is a completed allocation.
+type Plan struct {
+	CapacityBits int64
+	Placements   []Placement
+	// PeakBits is the maximum simultaneously-live on-chip footprint.
+	PeakBits int64
+	// SpillBits totals the off-chip tensors.
+	SpillBits int64
+	// Steps is the number of schedule steps covered.
+	Steps int
+}
+
+// Build allocates the tensors into a buffer of capacityBits. Tensors are
+// placed largest-first (first-fit decreasing); a tensor that cannot be
+// placed without overlapping a live neighbour spills.
+func Build(tensors []Tensor, capacityBits int64) (*Plan, error) {
+	if capacityBits <= 0 {
+		return nil, fmt.Errorf("alloc: non-positive capacity %d", capacityBits)
+	}
+	steps := 0
+	for _, t := range tensors {
+		if t.Bits <= 0 {
+			return nil, fmt.Errorf("alloc: tensor %q has non-positive size", t.Name)
+		}
+		if t.FirstUse < 0 || t.LastUse < t.FirstUse {
+			return nil, fmt.Errorf("alloc: tensor %q has invalid liveness [%d,%d]", t.Name, t.FirstUse, t.LastUse)
+		}
+		if t.LastUse+1 > steps {
+			steps = t.LastUse + 1
+		}
+	}
+
+	order := make([]int, len(tensors))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := tensors[order[a]], tensors[order[b]]
+		if ta.Bits != tb.Bits {
+			return ta.Bits > tb.Bits
+		}
+		return ta.Name < tb.Name
+	})
+
+	plan := &Plan{CapacityBits: capacityBits, Steps: steps,
+		Placements: make([]Placement, len(tensors))}
+	type placed struct {
+		off, end int64
+		first    int
+		last     int
+	}
+	var live []placed
+
+	overlaps := func(t Tensor, p placed) bool {
+		return t.FirstUse <= p.last && p.first <= t.LastUse
+	}
+
+	for _, idx := range order {
+		t := tensors[idx]
+		// Collect occupied intervals that overlap in time, sorted by
+		// offset, and first-fit into the gaps.
+		var busy []placed
+		for _, p := range live {
+			if overlaps(t, p) {
+				busy = append(busy, p)
+			}
+		}
+		sort.Slice(busy, func(a, b int) bool { return busy[a].off < busy[b].off })
+		off := int64(0)
+		fits := false
+		for _, p := range busy {
+			if off+t.Bits <= p.off {
+				fits = true
+				break
+			}
+			if p.end > off {
+				off = p.end
+			}
+		}
+		if !fits && off+t.Bits <= capacityBits {
+			fits = true
+		}
+		pl := Placement{Tensor: t}
+		if fits {
+			pl.Offset = off
+			live = append(live, placed{off: off, end: off + t.Bits, first: t.FirstUse, last: t.LastUse})
+		} else {
+			pl.Spill = true
+			plan.SpillBits += t.Bits
+		}
+		plan.Placements[idx] = pl
+	}
+
+	// Peak on-chip usage per step.
+	for s := 0; s < steps; s++ {
+		var sum int64
+		for i, pl := range plan.Placements {
+			t := tensors[i]
+			if !pl.Spill && t.FirstUse <= s && s <= t.LastUse {
+				sum += t.Bits
+			}
+		}
+		if sum > plan.PeakBits {
+			plan.PeakBits = sum
+		}
+	}
+	return plan, nil
+}
+
+// OccupancyAt returns the live on-chip bits at schedule step s.
+func (p *Plan) OccupancyAt(s int) int64 {
+	var sum int64
+	for _, pl := range p.Placements {
+		if !pl.Spill && pl.Tensor.FirstUse <= s && s <= pl.Tensor.LastUse {
+			sum += pl.Tensor.Bits
+		}
+	}
+	return sum
+}
+
+// Spilled returns the names of off-chip tensors, sorted.
+func (p *Plan) Spilled() []string {
+	var out []string
+	for _, pl := range p.Placements {
+		if pl.Spill {
+			out = append(out, pl.Tensor.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Report renders the plan.
+func (p *Plan) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "GB plan: capacity %d KiB, peak %d KiB (%.0f%%), spill %d KiB\n",
+		p.CapacityBits/8192, p.PeakBits/8192,
+		100*float64(p.PeakBits)/float64(p.CapacityBits), p.SpillBits/8192)
+	for _, pl := range p.Placements {
+		loc := fmt.Sprintf("@%d", pl.Offset/8)
+		if pl.Spill {
+			loc = "SPILL"
+		}
+		fmt.Fprintf(&b, "  %-20s %8d KiB  live [%d,%d]  %s\n",
+			pl.Tensor.Name, pl.Tensor.Bits/8192, pl.Tensor.FirstUse, pl.Tensor.LastUse, loc)
+	}
+	return b.String()
+}

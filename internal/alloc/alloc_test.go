@@ -1,0 +1,176 @@
+package alloc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildBasic(t *testing.T) {
+	tensors := []Tensor{
+		{Name: "w0", Bits: 400, FirstUse: 0, LastUse: 0},
+		{Name: "a0", Bits: 300, FirstUse: 0, LastUse: 1},
+		{Name: "w1", Bits: 200, FirstUse: 1, LastUse: 1},
+		{Name: "a1", Bits: 300, FirstUse: 1, LastUse: 2},
+		{Name: "w2", Bits: 200, FirstUse: 2, LastUse: 2},
+	}
+	p, err := Build(tensors, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Spilled()) != 0 {
+		t.Fatalf("unexpected spills: %v", p.Spilled())
+	}
+	// Peak at step 1: a0 + w1 + a1 = 800.
+	if p.PeakBits != 800 {
+		t.Errorf("peak = %d, want 800", p.PeakBits)
+	}
+	if got := p.OccupancyAt(0); got != 700 {
+		t.Errorf("occupancy(0) = %d, want 700", got)
+	}
+	if got := p.OccupancyAt(2); got != 500 {
+		t.Errorf("occupancy(2) = %d, want 500", got)
+	}
+	// No two time-overlapping placements share address space.
+	for i, a := range p.Placements {
+		for j, b := range p.Placements {
+			if i >= j || a.Spill || b.Spill {
+				continue
+			}
+			ta, tb := a.Tensor, b.Tensor
+			timeOverlap := ta.FirstUse <= tb.LastUse && tb.FirstUse <= ta.LastUse
+			addrOverlap := a.Offset < b.Offset+tb.Bits && b.Offset < a.Offset+ta.Bits
+			if timeOverlap && addrOverlap {
+				t.Errorf("%s and %s overlap in time and space", ta.Name, tb.Name)
+			}
+		}
+	}
+}
+
+func TestAddressReuseAcrossTime(t *testing.T) {
+	// Two same-size tensors with disjoint liveness must share an address
+	// when the capacity only fits one.
+	tensors := []Tensor{
+		{Name: "early", Bits: 800, FirstUse: 0, LastUse: 0},
+		{Name: "late", Bits: 800, FirstUse: 1, LastUse: 1},
+	}
+	p, err := Build(tensors, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Spilled()) != 0 {
+		t.Fatalf("spills despite disjoint liveness: %v", p.Spilled())
+	}
+	if p.Placements[0].Offset != p.Placements[1].Offset {
+		t.Error("disjoint tensors did not reuse the address")
+	}
+}
+
+func TestSpill(t *testing.T) {
+	tensors := []Tensor{
+		{Name: "big", Bits: 900, FirstUse: 0, LastUse: 1},
+		{Name: "huge", Bits: 901, FirstUse: 0, LastUse: 1},
+	}
+	p, err := Build(tensors, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Largest-first places huge, spills big.
+	if sp := p.Spilled(); len(sp) != 1 || sp[0] != "big" {
+		t.Errorf("spilled = %v", sp)
+	}
+	if p.SpillBits != 900 {
+		t.Errorf("spill bits = %d", p.SpillBits)
+	}
+}
+
+func TestGapFilling(t *testing.T) {
+	// A small tensor must slot into the gap between two live neighbours.
+	tensors := []Tensor{
+		{Name: "low", Bits: 300, FirstUse: 0, LastUse: 2},
+		{Name: "high", Bits: 300, FirstUse: 0, LastUse: 2},
+		{Name: "gapfit", Bits: 250, FirstUse: 1, LastUse: 1},
+	}
+	p, err := Build(tensors, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Spilled()) != 0 {
+		t.Fatalf("spills: %v", p.Spilled())
+	}
+	if p.PeakBits != 850 {
+		t.Errorf("peak = %d, want 850", p.PeakBits)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := Build([]Tensor{{Name: "x", Bits: 0, FirstUse: 0, LastUse: 0}}, 10); err == nil {
+		t.Error("zero-size tensor accepted")
+	}
+	if _, err := Build([]Tensor{{Name: "x", Bits: 1, FirstUse: 2, LastUse: 1}}, 10); err == nil {
+		t.Error("inverted liveness accepted")
+	}
+}
+
+func TestReport(t *testing.T) {
+	p, err := Build([]Tensor{
+		{Name: "w", Bits: 8192 * 4, FirstUse: 0, LastUse: 0},
+		{Name: "giant", Bits: 8192 * 1000, FirstUse: 0, LastUse: 0},
+	}, 8192*16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Report()
+	for _, want := range []string{"GB plan", "SPILL", "@"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report misses %q:\n%s", want, s)
+		}
+	}
+}
+
+// Property: the planner never places overlapping live tensors at
+// overlapping addresses, and anything placed fits within the capacity.
+func TestPlannerInvariants(t *testing.T) {
+	f := func(sizes [6]uint16, starts [6]uint8, caps uint16) bool {
+		capacity := int64(caps)%4000 + 500
+		var tensors []Tensor
+		for i := range sizes {
+			first := int(starts[i]) % 4
+			tensors = append(tensors, Tensor{
+				Name:     string(rune('a' + i)),
+				Bits:     int64(sizes[i])%1500 + 1,
+				FirstUse: first,
+				LastUse:  first + int(sizes[i])%3,
+			})
+		}
+		p, err := Build(tensors, capacity)
+		if err != nil {
+			return false
+		}
+		for i, a := range p.Placements {
+			if a.Spill {
+				continue
+			}
+			if a.Offset+a.Tensor.Bits > capacity {
+				return false
+			}
+			for j, b := range p.Placements {
+				if i >= j || b.Spill {
+					continue
+				}
+				timeOv := a.Tensor.FirstUse <= b.Tensor.LastUse && b.Tensor.FirstUse <= a.Tensor.LastUse
+				addrOv := a.Offset < b.Offset+b.Tensor.Bits && b.Offset < a.Offset+a.Tensor.Bits
+				if timeOv && addrOv {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+package arch
+
+import (
+	"testing"
+
+	"repro/internal/loops"
+)
+
+func TestPortDirAllows(t *testing.T) {
+	if !Read.Allows(false) || Read.Allows(true) {
+		t.Error("Read port direction wrong")
+	}
+	if !Write.Allows(true) || Write.Allows(false) {
+		t.Error("Write port direction wrong")
+	}
+	if !ReadWrite.Allows(true) || !ReadWrite.Allows(false) {
+		t.Error("ReadWrite port direction wrong")
+	}
+	if Read.String() != "R" || Write.String() != "W" || ReadWrite.String() != "RW" {
+		t.Error("PortDir strings wrong")
+	}
+	if PortDir(9).String() != "PortDir(9)" || PortDir(9).Allows(true) {
+		t.Error("invalid PortDir behaviour wrong")
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	if (Access{loops.W, false}).String() != "W:rd" {
+		t.Error("read access string wrong")
+	}
+	if (Access{loops.O, true}).String() != "O:wr" {
+		t.Error("write access string wrong")
+	}
+}
+
+func testMemory() *Memory {
+	return &Memory{
+		Name:         "GB",
+		CapacityBits: 1024,
+		Serves:       []loops.Operand{loops.W, loops.O},
+		Ports: []Port{
+			{Name: "rd", Dir: Read, BWBits: 128},
+			{Name: "wr", Dir: Write, BWBits: 64},
+		},
+	}
+}
+
+func TestMemoryNormalizeAssignsPorts(t *testing.T) {
+	m := testMemory()
+	if err := m.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	p, idx, err := m.Port(Access{loops.W, false})
+	if err != nil || idx != 0 || p.Name != "rd" {
+		t.Errorf("W read assigned to port %d (%v)", idx, err)
+	}
+	p, idx, err = m.Port(Access{loops.O, true})
+	if err != nil || idx != 1 || p.Name != "wr" {
+		t.Errorf("O write assigned to port %d (%v)", idx, err)
+	}
+}
+
+func TestMemoryNormalizeRespectsExplicit(t *testing.T) {
+	m := testMemory()
+	m.Ports = append(m.Ports, Port{Name: "rd2", Dir: Read, BWBits: 32})
+	m.PortOf = map[Access]int{{loops.O, false}: 2}
+	if err := m.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	_, idx, _ := m.Port(Access{loops.O, false})
+	if idx != 2 {
+		t.Errorf("explicit assignment overridden: port %d", idx)
+	}
+	_, idx, _ = m.Port(Access{loops.W, false})
+	if idx != 0 {
+		t.Errorf("default assignment wrong: port %d", idx)
+	}
+}
+
+func TestMemoryNormalizeNoUsablePort(t *testing.T) {
+	m := &Memory{
+		Name:         "bad",
+		CapacityBits: 8,
+		Serves:       []loops.Operand{loops.W},
+		Ports:        []Port{{Name: "rd", Dir: Read, BWBits: 8}},
+	}
+	if err := m.Normalize(); err == nil {
+		t.Error("memory with no write port normalized")
+	}
+}
+
+func TestMemoryValidate(t *testing.T) {
+	m := testMemory()
+	if err := m.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []func(*Memory){
+		func(m *Memory) { m.Name = "" },
+		func(m *Memory) { m.CapacityBits = 0 },
+		func(m *Memory) { m.Serves = nil },
+		func(m *Memory) { m.Serves = []loops.Operand{loops.W, loops.W} },
+		func(m *Memory) { m.Ports = nil },
+		func(m *Memory) { m.Ports[0].BWBits = 0 },
+		func(m *Memory) { m.PortOf[Access{loops.I, false}] = 0 }, // unserved operand
+		func(m *Memory) { m.PortOf[Access{loops.W, false}] = 5 }, // bad index
+		func(m *Memory) { m.PortOf[Access{loops.W, true}] = 0 },  // write on read port
+	}
+	for i, mutate := range cases {
+		mm := testMemory()
+		if err := mm.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		mutate(mm)
+		if err := mm.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestMapperCapacity(t *testing.T) {
+	m := testMemory()
+	if m.MapperCapacityBits() != 1024 {
+		t.Error("single-buffered capacity halved")
+	}
+	m.DoubleBuffered = true
+	if m.MapperCapacityBits() != 512 {
+		t.Error("double-buffered capacity not halved (Table I)")
+	}
+}
+
+func TestPortErrors(t *testing.T) {
+	m := testMemory()
+	if _, _, err := m.Port(Access{loops.W, false}); err == nil {
+		t.Error("Port before Normalize succeeded")
+	}
+	m.PortOf = map[Access]int{{loops.W, false}: 9}
+	if _, _, err := m.Port(Access{loops.W, false}); err == nil {
+		t.Error("out-of-range port index not caught")
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	for _, a := range []*Arch{InHouse(), CaseStudy(), RowStationary(), TPULike()} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	if got := RowStationarySpatial().Product(); got != RowStationary().MACs {
+		t.Errorf("row-stationary spatial product %d != MACs", got)
+	}
+	if got := TPULikeSpatial().Product(); got != TPULike().MACs {
+		t.Errorf("tpu-like spatial product %d != MACs", got)
+	}
+	// The TPU-like unified buffer is the shared-single-port configuration
+	// the paper says prior models cannot express.
+	ub := TPULike().MemoryByName("UB")
+	if len(ub.Ports) != 1 || ub.Ports[0].Dir != ReadWrite || ub.DoubleBuffered {
+		t.Error("UB is not a single-ported, single-buffered shared memory")
+	}
+	if !ub.ServesOperand(loops.I) || !ub.ServesOperand(loops.O) {
+		t.Error("UB does not serve both I and O")
+	}
+}
+
+func TestInHouseShape(t *testing.T) {
+	a := InHouse()
+	if a.MACs != 1024 {
+		t.Errorf("MACs = %d, want 1024", a.MACs)
+	}
+	if got := InHouseSpatial().Product(); got != 1024 {
+		t.Errorf("spatial product = %d, want 1024", got)
+	}
+	if a.Levels(loops.W) != 3 || a.Levels(loops.I) != 3 || a.Levels(loops.O) != 2 {
+		t.Error("chain lengths wrong")
+	}
+	gb := a.MemoryByName("GB")
+	if gb == nil || !gb.ServesOperand(loops.O) || gb.CapacityBits != 8*1024*1024*8/8*1 {
+		t.Errorf("GB wrong: %+v", gb)
+	}
+	wlb := a.MemoryByName("W-LB")
+	if !wlb.DoubleBuffered {
+		t.Error("W-LB should be double-buffered")
+	}
+	if wlb.MapperCapacityBits() != wlb.CapacityBits/2 {
+		t.Error("W-LB mapper capacity wrong")
+	}
+}
+
+func TestCaseStudyShape(t *testing.T) {
+	a := CaseStudy()
+	if a.MACs != 256 {
+		t.Errorf("MACs = %d, want 256", a.MACs)
+	}
+	if got := CaseStudySpatial().Product(); got != 256 {
+		t.Errorf("spatial product = %d, want 256", got)
+	}
+	gb := a.MemoryByName("GB")
+	for _, p := range gb.Ports {
+		if p.BWBits != 128 {
+			t.Errorf("GB port %s BW = %d, want 128 (paper Section V)", p.Name, p.BWBits)
+		}
+	}
+	// O bypasses the LB level.
+	if a.Levels(loops.O) != 2 || a.Chain[loops.O][1] != "GB" {
+		t.Error("O chain should be O-Reg -> GB")
+	}
+}
+
+func TestArchValidateErrors(t *testing.T) {
+	base := CaseStudy()
+
+	a := base.Clone()
+	a.MACs = 0
+	if err := a.Validate(); err == nil {
+		t.Error("zero MACs validated")
+	}
+
+	a = base.Clone()
+	a.Memories = append(a.Memories, a.Memories[0])
+	if err := a.Validate(); err == nil {
+		t.Error("duplicate memory validated")
+	}
+
+	a = base.Clone()
+	a.Chain[loops.W] = nil
+	if err := a.Validate(); err == nil {
+		t.Error("empty chain validated")
+	}
+
+	a = base.Clone()
+	a.Chain[loops.W] = []string{"nope"}
+	if err := a.Validate(); err == nil {
+		t.Error("unknown chain memory validated")
+	}
+
+	a = base.Clone()
+	a.Chain[loops.W] = []string{"I-LB"} // does not serve W
+	if err := a.Validate(); err == nil {
+		t.Error("chain through non-serving memory validated")
+	}
+
+	a = base.Clone()
+	a.Chain[loops.W] = []string{"W-Reg", "W-LB", "GB", "W-LB"}
+	if err := a.Validate(); err == nil {
+		t.Error("repeated chain memory validated")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := CaseStudy()
+	c := a.Clone()
+	c.MemoryByName("GB").Ports[0].BWBits = 999
+	if a.MemoryByName("GB").Ports[0].BWBits == 999 {
+		t.Error("Clone aliases ports")
+	}
+	c.Chain[loops.W][0] = "X"
+	if a.Chain[loops.W][0] == "X" {
+		t.Error("Clone aliases chains")
+	}
+	c.MemoryByName("W-Reg").PortOf[Access{loops.W, false}] = 0
+	// just ensure no panic and maps are distinct
+	if len(c.MemoryByName("W-Reg").PortOf) != len(a.MemoryByName("W-Reg").PortOf) {
+		t.Log("PortOf maps differ in size (expected if clone added entries)")
+	}
+}
+
+func TestStallCombineString(t *testing.T) {
+	if Concurrent.String() != "max" || Sequential.String() != "sum" {
+		t.Error("StallCombine strings wrong")
+	}
+}
+
+func TestMemoryByNameMissing(t *testing.T) {
+	a := CaseStudy()
+	if a.MemoryByName("missing") != nil {
+		t.Error("MemoryByName(missing) != nil")
+	}
+}
+
+func TestChainMems(t *testing.T) {
+	a := CaseStudy()
+	mems := a.ChainMems(loops.I)
+	if len(mems) != 3 || mems[0].Name != "I-Reg" || mems[2].Name != "GB" {
+		t.Errorf("ChainMems(I) = %v", mems)
+	}
+}

@@ -1,0 +1,179 @@
+package arch
+
+import "repro/internal/loops"
+
+// Byte-size helpers.
+const (
+	kib = 1024 * 8        // bits in one KiB
+	mib = 1024 * 1024 * 8 // bits in one MiB
+)
+
+// InHouse returns the validation accelerator of paper Section IV / Fig. 5(a):
+// a systolic-array design with 1K MAC units arranged as a 16x32 PE array
+// (2 MACs per PE), one 24b output register per PE, an 8b weight and an 8b
+// input register per MAC, a 32KB weight local buffer with a 256b bus, a 64KB
+// input local buffer with a 512b bus, and a 1MB global buffer. Outputs move
+// directly between the output registers and the global buffer.
+//
+// The register files are single-buffered; the local buffers are
+// double-buffered. The global buffer exposes separate read and write ports.
+// Register capacities are expressed as distinct-data footprint (broadcast
+// copies across the array are not distinct data) and hold four spatial
+// tiles of the canonical unrolling K 32 | B 16 | C 2, giving the mapper the
+// small temporal tile that lets one operand stay stationary — the systolic
+// pipeline registers of the real design play this role.
+func InHouse() *Arch {
+	a := &Arch{
+		Name:      "inhouse-16x32x2",
+		MACs:      1024,
+		ArrayRows: 16,
+		ArrayCols: 64, // 32 PE columns x 2 MACs
+		Combine:   Concurrent,
+		Memories: []*Memory{
+			{
+				Name:         "W-Reg",
+				CapacityBits: 4 * 64 * 8, // 4 temporal tiles of K32 x C2 distinct 8b weights
+				Serves:       []loops.Operand{loops.W},
+				Ports:        []Port{{Name: "rw", Dir: ReadWrite, BWBits: 256}},
+			},
+			{
+				Name:         "I-Reg",
+				CapacityBits: 4 * 32 * 8, // 4 temporal tiles of B16 x C2 distinct 8b inputs
+				Serves:       []loops.Operand{loops.I},
+				Ports:        []Port{{Name: "rw", Dir: ReadWrite, BWBits: 512}},
+			},
+			{
+				Name:         "O-Reg",
+				CapacityBits: 4 * 512 * 24, // 4 output contexts per PE (K32 x B16)
+				Serves:       []loops.Operand{loops.O},
+				Ports:        []Port{{Name: "rw", Dir: ReadWrite, BWBits: 512}},
+			},
+			{
+				Name:           "W-LB",
+				CapacityBits:   32 * kib,
+				DoubleBuffered: true,
+				Serves:         []loops.Operand{loops.W},
+				Ports: []Port{
+					{Name: "rd", Dir: Read, BWBits: 256},
+					{Name: "wr", Dir: Write, BWBits: 256},
+				},
+			},
+			{
+				Name:           "I-LB",
+				CapacityBits:   64 * kib,
+				DoubleBuffered: true,
+				Serves:         []loops.Operand{loops.I},
+				Ports: []Port{
+					{Name: "rd", Dir: Read, BWBits: 512},
+					{Name: "wr", Dir: Write, BWBits: 512},
+				},
+			},
+			{
+				Name:         "GB",
+				CapacityBits: 1 * mib,
+				Serves:       []loops.Operand{loops.W, loops.I, loops.O},
+				Ports: []Port{
+					{Name: "rd", Dir: Read, BWBits: 256},
+					{Name: "wr", Dir: Write, BWBits: 256},
+				},
+			},
+		},
+	}
+	a.Chain[loops.W] = []string{"W-Reg", "W-LB", "GB"}
+	a.Chain[loops.I] = []string{"I-Reg", "I-LB", "GB"}
+	a.Chain[loops.O] = []string{"O-Reg", "GB"}
+	mustFinish(a)
+	return a
+}
+
+// InHouseSpatial returns the canonical spatial unrolling of the in-house
+// accelerator: K 32 | B 16 | C 2 (paper Fig. 5(b), post-Im2Col).
+func InHouseSpatial() loops.Nest {
+	return loops.Nest{{Dim: loops.K, Size: 32}, {Dim: loops.B, Size: 16}, {Dim: loops.C, Size: 2}}
+}
+
+// CaseStudy returns the scaled-down accelerator used by case studies 1 and 2
+// (paper Section V): an 8x16 PE array with 2 MACs per PE (256 MACs), a 16KB
+// weight local buffer, an 8KB input local buffer and a 1MB global buffer
+// with 128 bit/cycle read and write bandwidth. As in the in-house design,
+// outputs bypass the local-buffer level.
+func CaseStudy() *Arch {
+	a := &Arch{
+		Name:      "casestudy-8x16x2",
+		MACs:      256,
+		ArrayRows: 8,
+		ArrayCols: 32, // 16 PE columns x 2 MACs
+		Combine:   Concurrent,
+		Memories: []*Memory{
+			{
+				Name:         "W-Reg",
+				CapacityBits: 4 * 32 * 8, // 4 temporal tiles of K16 x C2
+				Serves:       []loops.Operand{loops.W},
+				Ports:        []Port{{Name: "rw", Dir: ReadWrite, BWBits: 256}},
+			},
+			{
+				Name:         "I-Reg",
+				CapacityBits: 4 * 16 * 8, // 4 temporal tiles of B8 x C2
+				Serves:       []loops.Operand{loops.I},
+				Ports:        []Port{{Name: "rw", Dir: ReadWrite, BWBits: 256}},
+			},
+			{
+				Name:         "O-Reg",
+				CapacityBits: 4 * 128 * 24, // 4 output contexts per PE (K16 x B8)
+				Serves:       []loops.Operand{loops.O},
+				Ports:        []Port{{Name: "rw", Dir: ReadWrite, BWBits: 3072}},
+			},
+			{
+				Name:           "W-LB",
+				CapacityBits:   16 * kib,
+				DoubleBuffered: true,
+				Serves:         []loops.Operand{loops.W},
+				Ports: []Port{
+					{Name: "rd", Dir: Read, BWBits: 256},
+					{Name: "wr", Dir: Write, BWBits: 128},
+				},
+			},
+			{
+				Name:           "I-LB",
+				CapacityBits:   8 * kib,
+				DoubleBuffered: true,
+				Serves:         []loops.Operand{loops.I},
+				Ports: []Port{
+					{Name: "rd", Dir: Read, BWBits: 256},
+					{Name: "wr", Dir: Write, BWBits: 128},
+				},
+			},
+			{
+				Name:         "GB",
+				CapacityBits: 1 * mib,
+				Serves:       []loops.Operand{loops.W, loops.I, loops.O},
+				Ports: []Port{
+					{Name: "rd", Dir: Read, BWBits: 128},
+					{Name: "wr", Dir: Write, BWBits: 128},
+				},
+			},
+		},
+	}
+	a.Chain[loops.W] = []string{"W-Reg", "W-LB", "GB"}
+	a.Chain[loops.I] = []string{"I-Reg", "I-LB", "GB"}
+	a.Chain[loops.O] = []string{"O-Reg", "GB"}
+	mustFinish(a)
+	return a
+}
+
+// CaseStudySpatial returns the spatial unrolling fixed for case studies 1
+// and 2: K 16 | B 8 | C 2 (paper Section V).
+func CaseStudySpatial() loops.Nest {
+	return loops.Nest{{Dim: loops.K, Size: 16}, {Dim: loops.B, Size: 8}, {Dim: loops.C, Size: 2}}
+}
+
+// mustFinish normalizes and validates a preset; presets are code we own, so
+// a failure here is a programming error.
+func mustFinish(a *Arch) {
+	if err := a.Normalize(); err != nil {
+		panic("arch: bad preset: " + err.Error())
+	}
+	if err := a.Validate(); err != nil {
+		panic("arch: bad preset: " + err.Error())
+	}
+}

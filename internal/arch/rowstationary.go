@@ -1,0 +1,72 @@
+package arch
+
+import "repro/internal/loops"
+
+// RowStationary returns an Eyeriss-style row-stationary accelerator: a
+// 12x14 PE grid (168 MACs) that runs convolutions DIRECTLY (no Im2Col),
+// spatially unrolling filter rows (FY) across PE rows, output rows (OY)
+// across PE diagonals and output channels (K) across groups. Each PE owns
+// scratchpads for a filter row, an input row segment and partial sums; all
+// PEs share a global buffer.
+//
+// This preset exists to exercise the model's generality (paper Section I:
+// "diverse architectures and dataflows"): a completely different dataflow
+// and a 7-dimensional direct-convolution mapping, including the input
+// operand's sliding-window (partially relevant) dimensions.
+func RowStationary() *Arch {
+	a := &Arch{
+		Name:      "rowstationary-12x14",
+		MACs:      168,
+		ArrayRows: 12,
+		ArrayCols: 14,
+		Combine:   Concurrent,
+		Memories: []*Memory{
+			{
+				// Per-PE weight scratchpad: a few filter rows.
+				Name:         "W-Spad",
+				CapacityBits: 4 * 672 * 8, // 4 tiles of FY3 x K4 x (FX up to 14) x C4
+				Serves:       []loops.Operand{loops.W},
+				Ports:        []Port{{Name: "rw", Dir: ReadWrite, BWBits: 256}},
+			},
+			{
+				// Per-PE input scratchpad: input row segments (sized for
+				// the sliding-window halo of the spatial OY x FY tile).
+				Name:         "I-Spad",
+				CapacityBits: 4 * 2048 * 8,
+				Serves:       []loops.Operand{loops.I},
+				Ports:        []Port{{Name: "rw", Dir: ReadWrite, BWBits: 256}},
+			},
+			{
+				// Per-PE psum scratchpad.
+				Name:         "O-Spad",
+				CapacityBits: 4 * 1024 * 24,
+				Serves:       []loops.Operand{loops.O},
+				Ports:        []Port{{Name: "rw", Dir: ReadWrite, BWBits: 1344}},
+			},
+			{
+				Name:         "GB",
+				CapacityBits: 108 * kib, // Eyeriss-class 108KB GB
+				Serves:       []loops.Operand{loops.W, loops.I, loops.O},
+				Ports: []Port{
+					{Name: "rd", Dir: Read, BWBits: 128},
+					{Name: "wr", Dir: Write, BWBits: 128},
+				},
+			},
+		},
+	}
+	a.Chain[loops.W] = []string{"W-Spad", "GB"}
+	a.Chain[loops.I] = []string{"I-Spad", "GB"}
+	a.Chain[loops.O] = []string{"O-Spad", "GB"}
+	mustFinish(a)
+	return a
+}
+
+// RowStationarySpatial returns the canonical row-stationary unrolling:
+// FY 3 | OY 14 | K 4 (168 MACs).
+func RowStationarySpatial() loops.Nest {
+	return loops.Nest{
+		{Dim: loops.FY, Size: 3},
+		{Dim: loops.OY, Size: 14},
+		{Dim: loops.K, Size: 4},
+	}
+}

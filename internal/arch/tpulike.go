@@ -1,0 +1,79 @@
+package arch
+
+import "repro/internal/loops"
+
+// TPULike returns a TPU-v1-inspired weight-stationary accelerator scaled to
+// edge size: a 32x32 systolic MAC array fed by a large UNIFIED buffer that
+// holds inputs and outputs behind a single wide read/write port (the
+// configuration the paper's Section I calls out as mis-modeled by
+// always-double-buffered, always-multi-ported assumptions), a dedicated
+// weight FIFO path, and 24b accumulators.
+func TPULike() *Arch {
+	a := &Arch{
+		Name:      "tpulike-32x32",
+		MACs:      1024,
+		ArrayRows: 32,
+		ArrayCols: 32,
+		Combine:   Concurrent,
+		Memories: []*Memory{
+			{
+				// Per-MAC weight registers: the stationary operand, double
+				// pumped so the next tile loads behind the current one.
+				Name:           "W-Reg",
+				CapacityBits:   2 * 1024 * 8,
+				DoubleBuffered: true,
+				Serves:         []loops.Operand{loops.W},
+				Ports:          []Port{{Name: "rw", Dir: ReadWrite, BWBits: 512}},
+			},
+			{
+				// Weight FIFO between DDR-side storage and the array.
+				Name:           "W-FIFO",
+				CapacityBits:   64 * kib,
+				DoubleBuffered: true,
+				Serves:         []loops.Operand{loops.W},
+				Ports: []Port{
+					{Name: "rd", Dir: Read, BWBits: 512},
+					{Name: "wr", Dir: Write, BWBits: 256},
+				},
+			},
+			{
+				// Accumulators for the output columns.
+				Name:         "Acc",
+				CapacityBits: 4 * 1024 * 24,
+				Serves:       []loops.Operand{loops.O},
+				Ports:        []Port{{Name: "rw", Dir: ReadWrite, BWBits: 768}},
+			},
+			{
+				// The unified buffer: activations in, results out, ONE
+				// shared read/write port.
+				Name:         "UB",
+				CapacityBits: 256 * kib,
+				Serves:       []loops.Operand{loops.I, loops.O},
+				Ports:        []Port{{Name: "rw", Dir: ReadWrite, BWBits: 256}},
+			},
+			{
+				// Off-chip-facing level (DDR through the weight/unified
+				// paths).
+				Name:         "DDR",
+				CapacityBits: 64 * mib,
+				Serves:       []loops.Operand{loops.W, loops.I, loops.O},
+				Ports: []Port{
+					{Name: "rd", Dir: Read, BWBits: 128},
+					{Name: "wr", Dir: Write, BWBits: 128},
+				},
+			},
+		},
+	}
+	a.Chain[loops.W] = []string{"W-Reg", "W-FIFO", "DDR"}
+	a.Chain[loops.I] = []string{"UB", "DDR"}
+	a.Chain[loops.O] = []string{"Acc", "UB", "DDR"}
+	mustFinish(a)
+	return a
+}
+
+// TPULikeSpatial returns the systolic unrolling K 32 | C 32: weights for 32
+// output channels x 32 input channels stay resident while activations
+// stream through.
+func TPULikeSpatial() loops.Nest {
+	return loops.Nest{{Dim: loops.K, Size: 32}, {Dim: loops.C, Size: 32}}
+}

@@ -1,0 +1,91 @@
+// Package area provides the analytic silicon-area model used by the
+// Case-3 architecture design-space exploration (paper Fig. 8's x axis).
+// It prices MAC units, register files and SRAM macros with 7nm-class
+// constants. As with energy, only RELATIVE areas matter to the Pareto
+// shape; the constants are synthetic but monotone and convex in the right
+// places (register files cost more per bit than SRAM; small SRAMs amortize
+// their periphery worse than large ones).
+package area
+
+import (
+	"math"
+
+	"repro/internal/arch"
+)
+
+// Model holds the area coefficients, all in mm².
+type Model struct {
+	// MACmm2 is the area of one INT8 MAC unit including pipeline state.
+	MACmm2 float64
+	// RegBitmm2 is the per-bit area of register-file storage.
+	RegBitmm2 float64
+	// SRAMBitmm2 is the per-bit area of SRAM storage at large capacity.
+	SRAMBitmm2 float64
+	// SRAMPeriphery is the fixed per-macro overhead.
+	SRAMPeriphery float64
+	// RegThresholdBits: memories at or below this capacity are priced as
+	// register files, above as SRAM macros.
+	RegThresholdBits int64
+	// BWBitmm2 prices port wiring per bit/cycle of bandwidth.
+	BWBitmm2 float64
+}
+
+// Default7nm returns the default coefficient set.
+// A 7nm high-density SRAM bitcell is 0.027 µm² (paper ref. [18]); with
+// periphery a macro lands near 0.06 µm²/bit. Register files cost roughly
+// 6x that, and a MAC unit a few hundred bitcell equivalents.
+func Default7nm() *Model {
+	return &Model{
+		MACmm2:           3.0e-5,
+		RegBitmm2:        3.6e-7,
+		SRAMBitmm2:       6.0e-8,
+		SRAMPeriphery:    1.5e-3,
+		RegThresholdBits: 16 * 1024, // 2KiB
+		BWBitmm2:         4.0e-7,
+	}
+}
+
+// Memory returns the area of one memory module.
+func (m *Model) Memory(mem *arch.Memory) float64 {
+	bits := float64(mem.CapacityBits)
+	var a float64
+	if mem.CapacityBits <= m.RegThresholdBits {
+		a = bits * m.RegBitmm2
+	} else {
+		a = bits*m.SRAMBitmm2 + m.SRAMPeriphery
+	}
+	var bw int64
+	for _, p := range mem.Ports {
+		bw += p.BWBits
+	}
+	a += float64(bw) * m.BWBitmm2
+	if mem.DoubleBuffered {
+		// Double buffering needs the mirror copy's storage; CapacityBits
+		// already includes both halves, but control duplication adds ~5%.
+		a *= 1.05
+	}
+	return a
+}
+
+// Arch returns the total area of an architecture, optionally excluding
+// the named memories (paper Fig. 8 excludes the GB from the comparison).
+func (m *Model) Arch(a *arch.Arch, exclude ...string) float64 {
+	skip := map[string]bool{}
+	for _, n := range exclude {
+		skip[n] = true
+	}
+	total := float64(a.MACs) * m.MACmm2
+	for _, mem := range a.Memories {
+		if skip[mem.Name] {
+			continue
+		}
+		total += m.Memory(mem)
+	}
+	return total
+}
+
+// MACArray returns the MAC-array area alone for an array of n units.
+func (m *Model) MACArray(n int64) float64 { return float64(n) * m.MACmm2 }
+
+// Roundmm2 rounds an area to 4 decimals for stable report output.
+func Roundmm2(a float64) float64 { return math.Round(a*1e4) / 1e4 }

@@ -1,0 +1,70 @@
+package area
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+)
+
+func TestMemoryPricing(t *testing.T) {
+	m := Default7nm()
+	reg := &arch.Memory{Name: "r", CapacityBits: 1024, Serves: []loops.Operand{loops.W},
+		Ports: []arch.Port{{Name: "p", Dir: arch.ReadWrite, BWBits: 64}}}
+	sram := &arch.Memory{Name: "s", CapacityBits: 1 << 20, Serves: []loops.Operand{loops.W},
+		Ports: []arch.Port{{Name: "p", Dir: arch.ReadWrite, BWBits: 64}}}
+	if m.Memory(reg) <= 0 || m.Memory(sram) <= 0 {
+		t.Fatal("non-positive area")
+	}
+	// Per-bit, registers are more expensive than SRAM.
+	regPerBit := m.Memory(reg) / float64(reg.CapacityBits)
+	sramPerBit := m.Memory(sram) / float64(sram.CapacityBits)
+	if regPerBit <= sramPerBit {
+		t.Errorf("reg %v/bit <= sram %v/bit", regPerBit, sramPerBit)
+	}
+	// Capacity monotone.
+	big := *sram
+	big.CapacityBits *= 2
+	if m.Memory(&big) <= m.Memory(sram) {
+		t.Error("area not monotone in capacity")
+	}
+	// Bandwidth costs area.
+	wide := *sram
+	wide.Ports = []arch.Port{{Name: "p", Dir: arch.ReadWrite, BWBits: 4096}}
+	if m.Memory(&wide) <= m.Memory(sram) {
+		t.Error("area not monotone in bandwidth")
+	}
+	// Double buffering adds control overhead.
+	db := *sram
+	db.DoubleBuffered = true
+	if m.Memory(&db) <= m.Memory(sram) {
+		t.Error("double buffering free")
+	}
+}
+
+func TestArchAreaExclusion(t *testing.T) {
+	m := Default7nm()
+	a := arch.CaseStudy()
+	full := m.Arch(a)
+	noGB := m.Arch(a, "GB")
+	if noGB >= full {
+		t.Errorf("exclusion did not reduce area: %v vs %v", noGB, full)
+	}
+	gb := m.Memory(a.MemoryByName("GB"))
+	if diff := full - noGB; diff < gb*0.999 || diff > gb*1.001 {
+		t.Errorf("excluded area %v != GB area %v", diff, gb)
+	}
+}
+
+func TestMACArrayScaling(t *testing.T) {
+	m := Default7nm()
+	if m.MACArray(1024) != 4*m.MACArray(256) {
+		t.Error("MAC array area not linear")
+	}
+}
+
+func TestRoundmm2(t *testing.T) {
+	if Roundmm2(0.123456) != 0.1235 {
+		t.Errorf("Roundmm2 = %v", Roundmm2(0.123456))
+	}
+}

@@ -1,0 +1,152 @@
+// Package calib fits the energy model's unit-cost coefficients to
+// reference measurements — the step a real deployment performs once
+// post-silicon data (or a trusted simulator like Accelergy) is available.
+// The energy model is linear in its four coefficients
+//
+//	E = MACs·a + arrayBits·b + Σ_mem bits(mem)·(c + d·sqrt(cap(mem)/8KiB))
+//
+// (write accesses carry the fixed write penalty), so the fit is ordinary
+// least squares, solved from scratch via the normal equations and Gaussian
+// elimination with partial pivoting — no external numerics.
+package calib
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/loops"
+)
+
+// Sample pairs a problem with a measured total energy.
+type Sample struct {
+	Problem  *core.Problem
+	EnergyPJ float64
+}
+
+// Features extracts the four linear features of the energy model for one
+// problem: (MAC count, array-side bits, total memory bits, capacity-scaled
+// memory bits), with the write penalty folded in.
+func Features(p *core.Problem, writePenalty float64) ([4]float64, error) {
+	var f [4]float64
+	eps, err := core.Endpoints(p)
+	if err != nil {
+		return f, err
+	}
+	macs := float64(p.Layer.TotalMACs())
+	prec := p.Layer.Precision
+	f[0] = macs
+	f[1] = macs * (float64(prec.Bits(loops.W)) + float64(prec.Bits(loops.I)) +
+		float64(prec.Bits(loops.O))*(1+writePenalty))
+	for _, e := range eps {
+		mem := p.Arch.MemoryByName(e.MemName)
+		bits := float64(e.Z) * float64(e.MemData) * float64(prec.Bits(e.Operand))
+		if e.Access.Write {
+			bits *= writePenalty
+		}
+		f[2] += bits
+		f[3] += bits * math.Sqrt(float64(mem.CapacityBits)/(8*1024*8))
+	}
+	return f, nil
+}
+
+// Fit solves for (MACpJ, RegPJPerBit, BasePJPerBit, SlopePJPerBit) by least
+// squares over the samples. The write penalty is taken as given (it is not
+// linearly identifiable jointly with the per-bit costs). Note that the MAC
+// and array-register features are proportional when every sample uses the
+// same operand precisions, so a well-posed calibration set must vary the
+// precisions (e.g. INT4/INT8/INT16 reference runs).
+func Fit(samples []Sample, writePenalty float64) (*energy.Table, error) {
+	if len(samples) < 4 {
+		return nil, fmt.Errorf("calib: need >= 4 samples, got %d", len(samples))
+	}
+	// Normal equations: (XᵀX) w = Xᵀy.
+	var ata [4][4]float64
+	var aty [4]float64
+	for _, s := range samples {
+		f, err := Features(s.Problem, writePenalty)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < 4; i++ {
+			aty[i] += f[i] * s.EnergyPJ
+			for j := 0; j < 4; j++ {
+				ata[i][j] += f[i] * f[j]
+			}
+		}
+	}
+	w, err := solve4(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	return &energy.Table{
+		MACpJ:         w[0],
+		RegPJPerBit:   w[1],
+		BasePJPerBit:  w[2],
+		SlopePJPerBit: w[3],
+		WritePenalty:  writePenalty,
+	}, nil
+}
+
+// solve4 solves a 4x4 linear system by Gaussian elimination with partial
+// pivoting; singularity is judged relative to the matrix magnitude.
+func solve4(a [4][4]float64, b [4]float64) ([4]float64, error) {
+	const n = 4
+	norm := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := math.Abs(a[i][j]); v > norm {
+				norm = v
+			}
+		}
+	}
+	if norm == 0 {
+		return b, fmt.Errorf("calib: zero system")
+	}
+	tol := 1e-10 * norm
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < tol {
+			return b, fmt.Errorf("calib: singular system (features not independent — vary layer shapes AND operand precisions)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			m := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= m * a[col][c]
+			}
+			b[r] -= m * b[col]
+		}
+	}
+	var x [4]float64
+	for r := n - 1; r >= 0; r-- {
+		x[r] = b[r]
+		for c := r + 1; c < n; c++ {
+			x[r] -= a[r][c] * x[c]
+		}
+		x[r] /= a[r][r]
+	}
+	return x, nil
+}
+
+// Residuals returns the per-sample relative errors of a fitted table.
+func Residuals(samples []Sample, tbl *energy.Table) ([]float64, error) {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		b, err := energy.Evaluate(s.Problem, tbl)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = (b.TotalPJ - s.EnergyPJ) / s.EnergyPJ
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// problems builds a diverse sample set (different shapes -> independent
+// feature vectors).
+func problems(t *testing.T) []*core.Problem {
+	t.Helper()
+	hw := arch.CaseStudy()
+	shapes := [][3]int64{
+		{16, 32, 32}, {64, 16, 64}, {32, 64, 16}, {64, 64, 64},
+		{128, 32, 16}, {16, 128, 32}, {32, 16, 128},
+	}
+	// Precisions must vary or the MAC and array features are collinear.
+	precs := []workload.Precision{
+		{W: 8, I: 8, O: 24}, {W: 4, I: 4, O: 16}, {W: 16, I: 8, O: 32},
+		{W: 8, I: 4, O: 24}, {W: 8, I: 8, O: 8}, {W: 4, I: 8, O: 16},
+		{W: 16, I: 16, O: 32},
+	}
+	var out []*core.Problem
+	for i, s := range shapes {
+		l := workload.NewMatMul("c", s[0], s[1], s[2])
+		l.Precision = precs[i%len(precs)]
+		best, _, err := mapper.Best(&l, hw, &mapper.Options{
+			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 400,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		layer := l
+		out = append(out, &core.Problem{Layer: &layer, Arch: hw, Mapping: best.Mapping})
+	}
+	return out
+}
+
+// TestFitRecoversGroundTruth generates energies from a known table and
+// checks the fit recovers its coefficients.
+func TestFitRecoversGroundTruth(t *testing.T) {
+	truth := &energy.Table{
+		MACpJ:         0.2,
+		RegPJPerBit:   0.004,
+		BasePJPerBit:  0.02,
+		SlopePJPerBit: 0.03,
+		WritePenalty:  1.1,
+	}
+	var samples []Sample
+	for _, p := range problems(t) {
+		b, err := energy.Evaluate(p, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, Sample{Problem: p, EnergyPJ: b.TotalPJ})
+	}
+	fit, err := Fit(samples, truth.WritePenalty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want))*1e3 { // 0.1% tolerance
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("MACpJ", fit.MACpJ, truth.MACpJ)
+	check("RegPJPerBit", fit.RegPJPerBit, truth.RegPJPerBit)
+	check("BasePJPerBit", fit.BasePJPerBit, truth.BasePJPerBit)
+	check("SlopePJPerBit", fit.SlopePJPerBit, truth.SlopePJPerBit)
+
+	res, err := Residuals(samples, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if math.Abs(r) > 1e-6 {
+			t.Errorf("sample %d residual %v", i, r)
+		}
+	}
+}
+
+// TestFitNoisyMeasurements: with +-5% multiplicative noise the fit still
+// lands within ~10% of the truth on the dominant coefficients.
+func TestFitNoisyMeasurements(t *testing.T) {
+	truth := energy.Default7nm()
+	noise := []float64{1.04, 0.97, 1.02, 0.95, 1.05, 0.98, 1.01}
+	var samples []Sample
+	for i, p := range problems(t) {
+		b, err := energy.Evaluate(p, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, Sample{Problem: p, EnergyPJ: b.TotalPJ * noise[i%len(noise)]})
+	}
+	fit, err := Fit(samples, truth.WritePenalty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Residuals(samples, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, r := range res {
+		if math.Abs(r) > worst {
+			worst = math.Abs(r)
+		}
+	}
+	if worst > 0.10 {
+		t.Errorf("worst residual %.3f > 10%%", worst)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 1.1); err == nil {
+		t.Error("fit with no samples accepted")
+	}
+	// Degenerate: identical samples -> singular normal equations.
+	hw := arch.CaseStudy()
+	l := workload.NewMatMul("d", 32, 32, 32)
+	best, _, err := mapper.Best(&l, hw, &mapper.Options{
+		Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Problem{Layer: &l, Arch: hw, Mapping: best.Mapping}
+	same := []Sample{{p, 1}, {p, 1}, {p, 1}, {p, 1}}
+	if _, err := Fit(same, 1.1); err == nil {
+		t.Error("singular system not detected")
+	}
+}
+
+func TestFeaturesShape(t *testing.T) {
+	p := problems(t)[0]
+	f, err := Features(p, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range f {
+		if v <= 0 {
+			t.Errorf("feature %d = %v", i, v)
+		}
+	}
+	if f[0] != float64(p.Layer.TotalMACs()) {
+		t.Error("MAC feature wrong")
+	}
+	if f[3] <= f[2] {
+		t.Error("capacity-scaled feature should exceed raw bits (sqrt factor > 1 for KiB-scale memories)")
+	}
+}

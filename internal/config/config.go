@@ -1,0 +1,369 @@
+// Package config serializes the model's inputs — layers, architectures and
+// mappings — to and from JSON, so experiments are reproducible from plain
+// files and the CLI can evaluate user-defined designs without recompiling.
+//
+// The schema mirrors the in-memory types closely but uses names instead of
+// enum values (operands "W"/"I"/"O", dimensions "B".."FX", port directions
+// "R"/"W"/"RW") and byte-oriented capacities where hardware specs usually
+// quote bytes.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+// Layer is the JSON form of workload.Layer.
+type Layer struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // Conv2D | Dense | Depthwise | Pointwise | MatMul
+	// Dims maps dimension names to extents; missing dims default to 1.
+	Dims map[string]int64 `json:"dims"`
+	// Stride/dilation (optional, conv only).
+	StrideX   int64 `json:"strideX,omitempty"`
+	StrideY   int64 `json:"strideY,omitempty"`
+	DilationX int64 `json:"dilationX,omitempty"`
+	DilationY int64 `json:"dilationY,omitempty"`
+	// Precision in bits per operand (optional; default 8/8/24).
+	PrecW int `json:"precW,omitempty"`
+	PrecI int `json:"precI,omitempty"`
+	PrecO int `json:"precO,omitempty"`
+}
+
+var kindNames = map[string]workload.Kind{
+	"conv2d":    workload.Conv2D,
+	"dense":     workload.Dense,
+	"depthwise": workload.Depthwise,
+	"pointwise": workload.Pointwise,
+	"matmul":    workload.MatMul,
+}
+
+// ToLayer converts the JSON form to a validated workload.Layer.
+func (l *Layer) ToLayer() (workload.Layer, error) {
+	kind, ok := kindNames[strings.ToLower(l.Kind)]
+	if !ok {
+		return workload.Layer{}, fmt.Errorf("config: unknown layer kind %q", l.Kind)
+	}
+	out := workload.Layer{Name: l.Name, Kind: kind}
+	for i := range out.Dims {
+		out.Dims[i] = 1
+	}
+	for name, v := range l.Dims {
+		d, err := loops.ParseDim(name)
+		if err != nil {
+			return workload.Layer{}, err
+		}
+		out.Dims[d] = v
+	}
+	out.Strides = loops.Strides{SX: l.StrideX, SY: l.StrideY, DX: l.DilationX, DY: l.DilationY}
+	if out.Strides.SX == 0 {
+		out.Strides.SX = 1
+	}
+	if out.Strides.SY == 0 {
+		out.Strides.SY = 1
+	}
+	if out.Strides.DX == 0 {
+		out.Strides.DX = 1
+	}
+	if out.Strides.DY == 0 {
+		out.Strides.DY = 1
+	}
+	out.Precision = workload.DefaultPrecision
+	if l.PrecW > 0 {
+		out.Precision.W = l.PrecW
+	}
+	if l.PrecI > 0 {
+		out.Precision.I = l.PrecI
+	}
+	if l.PrecO > 0 {
+		out.Precision.O = l.PrecO
+	}
+	if err := out.Validate(); err != nil {
+		return workload.Layer{}, err
+	}
+	return out, nil
+}
+
+// FromLayer converts a workload.Layer into its JSON form.
+func FromLayer(l *workload.Layer) Layer {
+	out := Layer{
+		Name: l.Name,
+		Kind: l.Kind.String(),
+		Dims: map[string]int64{},
+	}
+	for _, d := range loops.AllDims {
+		if l.Dim(d) != 1 {
+			out.Dims[d.String()] = l.Dim(d)
+		}
+	}
+	if l.Strides.SX > 1 {
+		out.StrideX = l.Strides.SX
+	}
+	if l.Strides.SY > 1 {
+		out.StrideY = l.Strides.SY
+	}
+	if l.Strides.DX > 1 {
+		out.DilationX = l.Strides.DX
+	}
+	if l.Strides.DY > 1 {
+		out.DilationY = l.Strides.DY
+	}
+	out.PrecW, out.PrecI, out.PrecO = l.Precision.W, l.Precision.I, l.Precision.O
+	return out
+}
+
+// Port is the JSON form of arch.Port.
+type Port struct {
+	Name   string `json:"name"`
+	Dir    string `json:"dir"` // "R" | "W" | "RW"
+	BWBits int64  `json:"bwBits"`
+}
+
+// Memory is the JSON form of arch.Memory.
+type Memory struct {
+	Name           string   `json:"name"`
+	CapacityBytes  int64    `json:"capacityBytes"`
+	DoubleBuffered bool     `json:"doubleBuffered,omitempty"`
+	Serves         []string `json:"serves"`
+	Ports          []Port   `json:"ports"`
+	// PortOf maps access names ("W:rd", "O:wr") to port names (optional).
+	PortOf map[string]string `json:"portOf,omitempty"`
+}
+
+// Arch is the JSON form of arch.Arch.
+type Arch struct {
+	Name      string              `json:"name"`
+	MACs      int64               `json:"macs"`
+	ArrayRows int                 `json:"arrayRows,omitempty"`
+	ArrayCols int                 `json:"arrayCols,omitempty"`
+	Memories  []Memory            `json:"memories"`
+	Chains    map[string][]string `json:"chains"` // operand name -> memory names
+	// Combine: "max" (concurrent, default) or "sum" (sequential).
+	Combine string `json:"combine,omitempty"`
+}
+
+func parseDir(s string) (arch.PortDir, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "R":
+		return arch.Read, nil
+	case "W":
+		return arch.Write, nil
+	case "RW":
+		return arch.ReadWrite, nil
+	}
+	return 0, fmt.Errorf("config: unknown port direction %q", s)
+}
+
+// ToArch converts the JSON form into a normalized, validated arch.Arch.
+func (a *Arch) ToArch() (*arch.Arch, error) {
+	out := &arch.Arch{
+		Name:      a.Name,
+		MACs:      a.MACs,
+		ArrayRows: a.ArrayRows,
+		ArrayCols: a.ArrayCols,
+	}
+	switch strings.ToLower(a.Combine) {
+	case "", "max", "concurrent":
+		out.Combine = arch.Concurrent
+	case "sum", "sequential":
+		out.Combine = arch.Sequential
+	default:
+		return nil, fmt.Errorf("config: unknown combine mode %q", a.Combine)
+	}
+	for _, m := range a.Memories {
+		mem := &arch.Memory{
+			Name:           m.Name,
+			CapacityBits:   m.CapacityBytes * 8,
+			DoubleBuffered: m.DoubleBuffered,
+		}
+		for _, s := range m.Serves {
+			op, err := loops.ParseOperand(s)
+			if err != nil {
+				return nil, fmt.Errorf("config: memory %q: %w", m.Name, err)
+			}
+			mem.Serves = append(mem.Serves, op)
+		}
+		portIdx := map[string]int{}
+		for _, p := range m.Ports {
+			dir, err := parseDir(p.Dir)
+			if err != nil {
+				return nil, fmt.Errorf("config: memory %q: %w", m.Name, err)
+			}
+			portIdx[p.Name] = len(mem.Ports)
+			mem.Ports = append(mem.Ports, arch.Port{Name: p.Name, Dir: dir, BWBits: p.BWBits})
+		}
+		if len(m.PortOf) > 0 {
+			mem.PortOf = map[arch.Access]int{}
+			for accName, portName := range m.PortOf {
+				acc, err := parseAccess(accName)
+				if err != nil {
+					return nil, fmt.Errorf("config: memory %q: %w", m.Name, err)
+				}
+				idx, ok := portIdx[portName]
+				if !ok {
+					return nil, fmt.Errorf("config: memory %q: access %s names unknown port %q", m.Name, accName, portName)
+				}
+				mem.PortOf[acc] = idx
+			}
+		}
+		out.Memories = append(out.Memories, mem)
+	}
+	for opName, chain := range a.Chains {
+		op, err := loops.ParseOperand(opName)
+		if err != nil {
+			return nil, err
+		}
+		out.Chain[op] = append([]string(nil), chain...)
+	}
+	if err := out.Normalize(); err != nil {
+		return nil, err
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseAccess parses "W:rd" / "O:wr" style access names.
+func parseAccess(s string) (arch.Access, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return arch.Access{}, fmt.Errorf("config: bad access %q (want e.g. \"W:rd\")", s)
+	}
+	op, err := loops.ParseOperand(parts[0])
+	if err != nil {
+		return arch.Access{}, err
+	}
+	switch strings.ToLower(parts[1]) {
+	case "rd", "r", "read":
+		return arch.Access{Operand: op, Write: false}, nil
+	case "wr", "w", "write":
+		return arch.Access{Operand: op, Write: true}, nil
+	}
+	return arch.Access{}, fmt.Errorf("config: bad access direction in %q", s)
+}
+
+// FromArch converts an arch.Arch into its JSON form.
+func FromArch(a *arch.Arch) Arch {
+	out := Arch{
+		Name:      a.Name,
+		MACs:      a.MACs,
+		ArrayRows: a.ArrayRows,
+		ArrayCols: a.ArrayCols,
+		Chains:    map[string][]string{},
+		Combine:   a.Combine.String(),
+	}
+	for _, m := range a.Memories {
+		mem := Memory{
+			Name:           m.Name,
+			CapacityBytes:  m.CapacityBits / 8,
+			DoubleBuffered: m.DoubleBuffered,
+		}
+		for _, op := range m.Serves {
+			mem.Serves = append(mem.Serves, op.String())
+		}
+		for _, p := range m.Ports {
+			mem.Ports = append(mem.Ports, Port{Name: p.Name, Dir: p.Dir.String(), BWBits: p.BWBits})
+		}
+		out.Memories = append(out.Memories, mem)
+	}
+	for _, op := range loops.AllOperands {
+		out.Chains[op.String()] = append([]string(nil), a.Chain[op]...)
+	}
+	return out
+}
+
+// LoopJSON is one loop of a mapping's nest.
+type LoopJSON struct {
+	Dim  string `json:"dim"`
+	Size int64  `json:"size"`
+}
+
+// Mapping is the JSON form of mapping.Mapping.
+type Mapping struct {
+	Spatial  []LoopJSON       `json:"spatial"`
+	Temporal []LoopJSON       `json:"temporal"` // innermost first
+	Bounds   map[string][]int `json:"bounds"`   // operand -> per-level boundaries
+}
+
+func toNest(ls []LoopJSON) (loops.Nest, error) {
+	out := make(loops.Nest, 0, len(ls))
+	for _, l := range ls {
+		d, err := loops.ParseDim(l.Dim)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, loops.Loop{Dim: d, Size: l.Size})
+	}
+	return out, nil
+}
+
+func fromNest(n loops.Nest) []LoopJSON {
+	out := make([]LoopJSON, len(n))
+	for i, l := range n {
+		out[i] = LoopJSON{Dim: l.Dim.String(), Size: l.Size}
+	}
+	return out
+}
+
+// ToMapping converts the JSON form to a mapping.Mapping (not yet validated
+// against a layer/arch — call Mapping.Validate with those).
+func (m *Mapping) ToMapping() (*mapping.Mapping, error) {
+	sp, err := toNest(m.Spatial)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := toNest(m.Temporal)
+	if err != nil {
+		return nil, err
+	}
+	out := &mapping.Mapping{Spatial: sp, Temporal: tp}
+	for opName, b := range m.Bounds {
+		op, err := loops.ParseOperand(opName)
+		if err != nil {
+			return nil, err
+		}
+		out.Bound[op] = append([]int(nil), b...)
+	}
+	return out, nil
+}
+
+// FromMapping converts a mapping.Mapping into its JSON form.
+func FromMapping(m *mapping.Mapping) Mapping {
+	out := Mapping{
+		Spatial:  fromNest(m.Spatial),
+		Temporal: fromNest(m.Temporal),
+		Bounds:   map[string][]int{},
+	}
+	for _, op := range loops.AllOperands {
+		out.Bounds[op.String()] = append([]int(nil), m.Bound[op]...)
+	}
+	return out
+}
+
+// Problem bundles a full evaluation input file.
+type Problem struct {
+	Layer   Layer    `json:"layer"`
+	Arch    Arch     `json:"arch"`
+	Mapping *Mapping `json:"mapping,omitempty"` // nil: search a mapping
+}
+
+// Marshal renders any config value as indented JSON.
+func Marshal(v any) ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ")
+}
+
+// UnmarshalProblem parses a problem file.
+func UnmarshalProblem(data []byte) (*Problem, error) {
+	var p Problem
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return &p, nil
+}

@@ -1,0 +1,325 @@
+package config
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+func TestLayerRoundTrip(t *testing.T) {
+	orig := workload.NewConv2D("c3", 2, 64, 32, 28, 28, 3, 3)
+	orig.Strides.SX, orig.Strides.SY = 2, 2
+	j := FromLayer(&orig)
+	data, err := Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Layer
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.ToLayer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != orig.String() {
+		t.Errorf("round trip: %s != %s", got.String(), orig.String())
+	}
+	if got.Strides.SX != 2 || got.Strides.DX != 1 {
+		t.Errorf("strides lost: %+v", got.Strides)
+	}
+	if got.Precision != orig.Precision {
+		t.Errorf("precision lost: %+v", got.Precision)
+	}
+}
+
+func TestLayerErrors(t *testing.T) {
+	bad := Layer{Kind: "wat", Dims: map[string]int64{"B": 2}}
+	if _, err := bad.ToLayer(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	bad2 := Layer{Kind: "matmul", Dims: map[string]int64{"Q": 2}}
+	if _, err := bad2.ToLayer(); err == nil {
+		t.Error("unknown dim accepted")
+	}
+	bad3 := Layer{Kind: "dense", Dims: map[string]int64{"OX": 4}}
+	if _, err := bad3.ToLayer(); err == nil {
+		t.Error("invalid dense accepted")
+	}
+}
+
+func TestLayerPrecisionOverride(t *testing.T) {
+	l := Layer{Kind: "matmul", Dims: map[string]int64{"B": 2, "K": 2, "C": 2}, PrecO: 32}
+	got, err := l.ToLayer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Precision.O != 32 || got.Precision.W != 8 {
+		t.Errorf("precision override: %+v", got.Precision)
+	}
+}
+
+func TestArchRoundTrip(t *testing.T) {
+	orig := arch.CaseStudy()
+	j := FromArch(orig)
+	data, err := Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Arch
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.ToArch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.MACs != orig.MACs || got.Combine != orig.Combine {
+		t.Error("arch header lost")
+	}
+	if len(got.Memories) != len(orig.Memories) {
+		t.Fatalf("memory count %d != %d", len(got.Memories), len(orig.Memories))
+	}
+	for i, m := range orig.Memories {
+		g := got.Memories[i]
+		if g.Name != m.Name || g.CapacityBits != m.CapacityBits || g.DoubleBuffered != m.DoubleBuffered {
+			t.Errorf("memory %s fields lost", m.Name)
+		}
+		if !reflect.DeepEqual(g.Ports, m.Ports) {
+			t.Errorf("memory %s ports %v != %v", m.Name, g.Ports, m.Ports)
+		}
+	}
+	for _, op := range loops.AllOperands {
+		if !reflect.DeepEqual(got.Chain[op], orig.Chain[op]) {
+			t.Errorf("chain %s lost", op)
+		}
+	}
+}
+
+func TestArchExplicitPortAssignment(t *testing.T) {
+	a := Arch{
+		Name: "x", MACs: 4,
+		Memories: []Memory{{
+			Name: "M", CapacityBytes: 128,
+			Serves: []string{"W", "O"},
+			Ports: []Port{
+				{Name: "p0", Dir: "RW", BWBits: 8},
+				{Name: "p1", Dir: "RW", BWBits: 8},
+			},
+			PortOf: map[string]string{"O:wr": "p1"},
+		}},
+		Chains: map[string][]string{"W": {"M"}, "I": {"M"}, "O": {"M"}},
+	}
+	// I not served -> chain validation must fail.
+	if _, err := a.ToArch(); err == nil {
+		t.Fatal("chain through non-serving memory accepted")
+	}
+	a.Memories[0].Serves = []string{"W", "I", "O"}
+	got, err := a.ToArch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, idx, err := got.Memories[0].Port(arch.Access{Operand: loops.O, Write: true})
+	if err != nil || idx != 1 {
+		t.Errorf("explicit assignment lost: port %d (%v)", idx, err)
+	}
+}
+
+func TestArchErrors(t *testing.T) {
+	cases := []Arch{
+		{Name: "badcombine", MACs: 1, Combine: "meh"},
+		{Name: "badop", MACs: 1, Memories: []Memory{{Name: "M", CapacityBytes: 1, Serves: []string{"Z"}, Ports: []Port{{Name: "p", Dir: "RW", BWBits: 1}}}}},
+		{Name: "baddir", MACs: 1, Memories: []Memory{{Name: "M", CapacityBytes: 1, Serves: []string{"W"}, Ports: []Port{{Name: "p", Dir: "XX", BWBits: 1}}}}},
+	}
+	for _, c := range cases {
+		if _, err := c.ToArch(); err == nil {
+			t.Errorf("%s accepted", c.Name)
+		}
+	}
+	// Unknown port name in PortOf.
+	bad := Arch{Name: "x", MACs: 1, Memories: []Memory{{
+		Name: "M", CapacityBytes: 1, Serves: []string{"W"},
+		Ports:  []Port{{Name: "p", Dir: "RW", BWBits: 1}},
+		PortOf: map[string]string{"W:rd": "nope"},
+	}}, Chains: map[string][]string{"W": {"M"}, "I": {"M"}, "O": {"M"}}}
+	if _, err := bad.ToArch(); err == nil {
+		t.Error("unknown port name accepted")
+	}
+}
+
+func TestParseAccess(t *testing.T) {
+	acc, err := parseAccess("O:wr")
+	if err != nil || acc.Operand != loops.O || !acc.Write {
+		t.Errorf("parseAccess: %+v, %v", acc, err)
+	}
+	if _, err := parseAccess("O"); err == nil {
+		t.Error("bad access accepted")
+	}
+	if _, err := parseAccess("O:sideways"); err == nil {
+		t.Error("bad direction accepted")
+	}
+	if _, err := parseAccess("Q:rd"); err == nil {
+		t.Error("bad operand accepted")
+	}
+}
+
+func TestMappingRoundTrip(t *testing.T) {
+	orig := &mapping.Mapping{
+		Spatial:  loops.Nest{{Dim: loops.K, Size: 16}},
+		Temporal: loops.Nest{{Dim: loops.C, Size: 4}, {Dim: loops.B, Size: 2}},
+	}
+	orig.Bound[loops.W] = []int{1, 2}
+	orig.Bound[loops.I] = []int{0, 2}
+	orig.Bound[loops.O] = []int{2, 2}
+	j := FromMapping(orig)
+	data, err := Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Mapping
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.ToMapping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spatial.String() != orig.Spatial.String() || got.Temporal.String() != orig.Temporal.String() {
+		t.Error("nests lost")
+	}
+	for _, op := range loops.AllOperands {
+		if !reflect.DeepEqual(got.Bound[op], orig.Bound[op]) {
+			t.Errorf("bounds %s lost", op)
+		}
+	}
+}
+
+func TestMappingErrors(t *testing.T) {
+	bad := Mapping{Spatial: []LoopJSON{{Dim: "Q", Size: 2}}}
+	if _, err := bad.ToMapping(); err == nil {
+		t.Error("bad spatial dim accepted")
+	}
+	bad2 := Mapping{Temporal: []LoopJSON{{Dim: "Q", Size: 2}}}
+	if _, err := bad2.ToMapping(); err == nil {
+		t.Error("bad temporal dim accepted")
+	}
+	bad3 := Mapping{Bounds: map[string][]int{"Q": {1}}}
+	if _, err := bad3.ToMapping(); err == nil {
+		t.Error("bad bound operand accepted")
+	}
+}
+
+func TestUnmarshalProblem(t *testing.T) {
+	data := []byte(`{
+	  "layer": {"name": "l", "kind": "MatMul", "dims": {"B": 8, "K": 16, "C": 16}},
+	  "arch": {
+	    "name": "a", "macs": 4,
+	    "memories": [
+	      {"name": "Reg", "capacityBytes": 65536, "serves": ["W","I","O"],
+	       "ports": [{"name": "rw", "dir": "RW", "bwBits": 64}]},
+	      {"name": "GB", "capacityBytes": 1048576, "serves": ["W","I","O"],
+	       "ports": [{"name": "rd", "dir": "R", "bwBits": 64},
+	                 {"name": "wr", "dir": "W", "bwBits": 64}]}
+	    ],
+	    "chains": {"W": ["Reg","GB"], "I": ["Reg","GB"], "O": ["Reg","GB"]}
+	  }
+	}`)
+	p, err := UnmarshalProblem(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := p.Layer.ToLayer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Arch.ToArch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.TotalMACs() != 8*16*16 || a.MACs != 4 {
+		t.Error("problem fields wrong")
+	}
+	if p.Mapping != nil {
+		t.Error("absent mapping should be nil")
+	}
+	if _, err := UnmarshalProblem([]byte("{nope")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestNetworkRoundTrip(t *testing.T) {
+	orig := &network.Network{
+		Name: "tiny",
+		Layers: []workload.Layer{
+			workload.NewPointwise("pw", 1, 16, 8, 7, 7),
+			workload.NewDense("fc", 1, 32, 16*49),
+		},
+	}
+	data, err := Marshal(FromNetwork(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalNetwork(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || len(got.Layers) != len(orig.Layers) {
+		t.Fatal("network header lost")
+	}
+	for i := range got.Layers {
+		if got.Layers[i].String() != orig.Layers[i].String() {
+			t.Errorf("layer %d: %s != %s", i, got.Layers[i].String(), orig.Layers[i].String())
+		}
+	}
+	if got.TotalMACs() != orig.TotalMACs() {
+		t.Error("MACs lost")
+	}
+	if _, err := UnmarshalNetwork([]byte("{bad")); err == nil {
+		t.Error("bad network JSON accepted")
+	}
+	if _, err := UnmarshalNetwork([]byte(`{"name":"x","layers":[{"kind":"wat"}]}`)); err == nil {
+		t.Error("bad layer kind accepted")
+	}
+	if _, err := UnmarshalNetwork([]byte(`{"name":"x"}`)); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	l := workload.NewMatMul("r", 16, 32, 8)
+	a := arch.CaseStudy()
+	m := &mapping.Mapping{
+		Spatial:  arch.CaseStudySpatial(),
+		Temporal: loops.Nest{{Dim: loops.C, Size: 4}, {Dim: loops.B, Size: 2}, {Dim: loops.K, Size: 2}},
+	}
+	m.Bound[loops.W] = []int{0, 1, 3}
+	m.Bound[loops.I] = []int{0, 2, 3}
+	m.Bound[loops.O] = []int{1, 3}
+	p := &core.Problem{Layer: &l, Arch: a, Mapping: m}
+	r, err := core.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := FromResult(p, r)
+	if j.CCTotal != r.CCTotal || j.Scenario == "" || len(j.Ports) == 0 {
+		t.Errorf("summary wrong: %+v", j)
+	}
+	data, err := Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ResultJSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CCTotal != j.CCTotal || len(back.Ports) != len(j.Ports) {
+		t.Error("result JSON round trip lost data")
+	}
+}

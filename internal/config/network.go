@@ -1,0 +1,106 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+// NetworkJSON is the JSON form of a whole-network workload.
+type NetworkJSON struct {
+	Name   string  `json:"name"`
+	Layers []Layer `json:"layers"`
+}
+
+// ToNetwork converts the JSON form into a validated network.
+func (n *NetworkJSON) ToNetwork() (*network.Network, error) {
+	out := &network.Network{Name: n.Name}
+	for i := range n.Layers {
+		l, err := n.Layers[i].ToLayer()
+		if err != nil {
+			return nil, fmt.Errorf("config: network %q layer %d: %w", n.Name, i, err)
+		}
+		out.Layers = append(out.Layers, l)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FromNetwork converts a network into its JSON form.
+func FromNetwork(n *network.Network) NetworkJSON {
+	out := NetworkJSON{Name: n.Name}
+	for i := range n.Layers {
+		out.Layers = append(out.Layers, FromLayer(&n.Layers[i]))
+	}
+	return out
+}
+
+// UnmarshalNetwork parses a network file.
+func UnmarshalNetwork(data []byte) (*network.Network, error) {
+	var nj NetworkJSON
+	if err := json.Unmarshal(data, &nj); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return nj.ToNetwork()
+}
+
+// ResultJSON is the machine-readable summary of one evaluation, for
+// downstream tooling (plotting, regression tracking).
+type ResultJSON struct {
+	Layer       string     `json:"layer"`
+	Arch        string     `json:"arch"`
+	Spatial     string     `json:"spatial"`
+	Temporal    string     `json:"temporal"`
+	CCTotal     float64    `json:"ccTotal"`
+	CCIdeal     float64    `json:"ccIdeal"`
+	CCSpatial   int64      `json:"ccSpatial"`
+	TemporalSS  float64    `json:"temporalStall"`
+	SpatialSS   float64    `json:"spatialStall"`
+	Preload     float64    `json:"preload"`
+	Offload     float64    `json:"offload"`
+	Utilization float64    `json:"utilization"`
+	Scenario    string     `json:"scenario"`
+	Ports       []PortJSON `json:"ports"`
+}
+
+// PortJSON is one physical port's combined analysis.
+type PortJSON struct {
+	Port      string  `json:"port"`
+	ReqBWRead float64 `json:"reqBWReadBits"`
+	ReqBWWrit float64 `json:"reqBWWriteBits"`
+	RealBW    int64   `json:"realBWBits"`
+	SSComb    float64 `json:"ssComb"`
+}
+
+// FromResult converts an evaluation into its JSON summary.
+func FromResult(p *core.Problem, r *core.Result) ResultJSON {
+	out := ResultJSON{
+		Layer:       p.Layer.String(),
+		Arch:        p.Arch.Name,
+		Spatial:     p.Mapping.Spatial.String(),
+		Temporal:    p.Mapping.Temporal.String(),
+		CCTotal:     r.CCTotal,
+		CCIdeal:     r.CCIdeal,
+		CCSpatial:   r.CCSpatial,
+		TemporalSS:  r.SSOverall,
+		SpatialSS:   r.SpatialStall,
+		Preload:     r.Preload,
+		Offload:     r.Offload,
+		Utilization: r.Utilization,
+		Scenario:    r.Scenario.String(),
+	}
+	for _, ps := range r.Ports {
+		out.Ports = append(out.Ports, PortJSON{
+			Port:      ps.MemName + "." + ps.PortName,
+			ReqBWRead: ps.ReqBWReadBits,
+			ReqBWWrit: ps.ReqBWWriteBits,
+			RealBW:    ps.RealBWBits,
+			SSComb:    ps.SSComb,
+		})
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/loops"
+)
+
+// saturatedProblem sets up a port where one link individually stalls while
+// another fills its window exactly: the configuration where the capacity
+// bound exceeds the paper-verbatim Eq. (2).
+func saturatedProblem() *Problem {
+	// W fill needs 2 cc/period on a 1-elem/cc port (stalls), I fill needs
+	// its whole window too.
+	p := microProblem(1<<20, 16, 1<<20, false)
+	// GB.rd at 16 b/cc: W rd XReal = ceil(32*8/16) = 16 > XReq 8 (+16 over
+	// 2 periods); I rd XReal = ceil(8*8/16) = 4, SSu = (4-8)*2 = -8.
+	return p
+}
+
+func TestCapacityBoundExceedsEq2(t *testing.T) {
+	p := saturatedProblem()
+	full, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Opts = &ModelOptions{NoCapacityBound: true}
+	eq2, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full model on GB.rd: demand = 32 + 8 = 40, MUW = 16 -> 24.
+	// Eq.2 verbatim: W's SSu (+16) + max(0, I demand 8 - MUW 16) = 16.
+	var fullRd, eq2Rd float64
+	for _, ps := range full.Ports {
+		if ps.MemName == "GB" && ps.PortName == "rd" {
+			fullRd = ps.SSComb
+		}
+	}
+	for _, ps := range eq2.Ports {
+		if ps.MemName == "GB" && ps.PortName == "rd" {
+			eq2Rd = ps.SSComb
+		}
+	}
+	if math.Abs(fullRd-24) > 1e-9 {
+		t.Errorf("full GB.rd SS = %v, want 24", fullRd)
+	}
+	if math.Abs(eq2Rd-16) > 1e-9 {
+		t.Errorf("Eq.2-only GB.rd SS = %v, want 16", eq2Rd)
+	}
+	if full.SSOverall < eq2.SSOverall {
+		t.Error("capacity bound reduced the stall")
+	}
+}
+
+func TestNaiveCombineCancelsStall(t *testing.T) {
+	p := saturatedProblem()
+	p.Opts = &ModelOptions{NaiveCombine: true}
+	naive, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Opts = nil
+	full, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The naive sum lets I's slack (-8) cancel W's stall (+16): GB.rd
+	// becomes +8 < the full model's 24.
+	if naive.SSOverall >= full.SSOverall {
+		t.Errorf("naive %v not below full %v", naive.SSOverall, full.SSOverall)
+	}
+}
+
+func TestFractionalXReal(t *testing.T) {
+	// O drain at 24b over a 64b port: fractional 1.5 cc vs quantized 2 cc.
+	p := microProblem(64, 1<<20, 1<<20, false)
+	p.Opts = &ModelOptions{FractionalXReal: true}
+	r, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range r.Endpoints {
+		if e.Operand == loops.O && e.MemName == "Reg" {
+			if math.Abs(e.XReal-1.5) > 1e-12 {
+				t.Errorf("fractional XReal = %v, want 1.5", e.XReal)
+			}
+		}
+	}
+	p.Opts = nil
+	r2, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range r2.Endpoints {
+		if e.Operand == loops.O && e.MemName == "Reg" {
+			if e.XReal != 2 {
+				t.Errorf("quantized XReal = %v, want 2", e.XReal)
+			}
+		}
+	}
+}
+
+// The ablated models must never predict MORE latency than the full model
+// (both ablations only remove stall terms).
+func TestAblationsAreOptimistic(t *testing.T) {
+	for _, regRW := range []int64{32, 64, 128} {
+		p := microProblem(regRW, 32, 24, false)
+		full, err := Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []*ModelOptions{
+			{NoCapacityBound: true},
+			{FractionalXReal: true},
+		} {
+			p.Opts = opts
+			abl, err := Evaluate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if abl.CCTotal > full.CCTotal+1e-9 {
+				t.Errorf("ablation %+v increased latency: %v > %v", *opts, abl.CCTotal, full.CCTotal)
+			}
+			p.Opts = nil
+		}
+	}
+}

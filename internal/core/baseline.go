@@ -1,0 +1,26 @@
+package core
+
+// EvaluateBWUnaware runs the memory-bandwidth-UNAWARE baseline model used
+// for comparison in paper Fig. 7(b) (the dotted "w/o temporal stall" line)
+// and Fig. 8(a): identical to the full model except that every temporal
+// stall is assumed away (the double-buffered / multi-ported idealization
+// the paper criticizes in Section I). Pre-loading, spatial stall and the
+// offload tail are still counted, since prior models include them.
+func EvaluateBWUnaware(p *Problem) (*Result, error) {
+	r, err := Evaluate(p)
+	if err != nil {
+		return nil, err
+	}
+	out := *r
+	out.SSOverall = 0
+	out.SSRaw = 0
+	out.CCTotal = float64(r.CCSpatial) + r.Preload + r.Offload
+	out.Utilization = out.CCIdeal / out.CCTotal
+	out.TemporalUtilization = 1
+	if out.SpatialStall <= 0.5 {
+		out.Scenario = Scenario1
+	} else {
+		out.Scenario = Scenario2
+	}
+	return &out, nil
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/periodic"
+	"repro/internal/workload"
+)
+
+// PortStall is the Step-2 result for one physical memory port.
+type PortStall struct {
+	MemName  string
+	PortIdx  int
+	PortName string
+
+	Endpoints []*Endpoint
+
+	// ReqBWReadBits / ReqBWWriteBits are ReqBW_comb of the port with read
+	// and write distinguished (Section III-C-1), in bits/cycle.
+	ReqBWReadBits  float64
+	ReqBWWriteBits float64
+	// RealBWBits is the port's raw bandwidth.
+	RealBWBits int64
+
+	// MUWComb is the union of the endpoints' allowed-update windows.
+	MUWComb float64
+	// MUWExact reports whether MUWComb was computed exactly (see package
+	// periodic; a fallback underestimates MUW_comb and hence can only
+	// overestimate the stall).
+	MUWExact bool
+
+	// SSComb is the combined stall(+)/slack(-) of the port, per Eq. (1)/(2).
+	SSComb float64
+}
+
+// combineEq applies the paper's Eq. (1) and Eq. (2) to a set of endpoint
+// stalls sharing one physical port.
+//
+// Eq. (1) (all SS_u <= 0):  SS_comb = Σ(MUW_u + SS_u) − MUW_comb
+// Eq. (2) (some SS_u > 0):  SS_comb = Σ_{SS_u>0} SS_u +
+//
+//	max(0, Σ_{SS_u<=0}(MUW_u + SS_u) − MUW_comb')
+//
+// where MUW_comb' is the union over the non-positive-stall endpoints only,
+// so that slack from well-behaved links never cancels the stall that an
+// overloaded link induces by itself.
+//
+// Eq. (2) alone under-counts one scenario: a link that individually stalls
+// (SS_u > 0) occupies its whole window AND its overrun, so the port time it
+// burns is unavailable to the other links even when those fit their own
+// windows. The port-capacity bound — Eq. (1) applied to ALL links,
+// Σ(X_REAL·Z) − MUW_comb — captures exactly that, so the combination takes
+// the maximum of the two (both are lower bounds on the true stall; the
+// reference simulator confirms the max tracks the machine).
+func combineEq(eps []*Endpoint, opts ModelOptions) (ssComb, muwAll float64, exact bool) {
+	if opts.NaiveCombine {
+		muwAll, exact = unionMUW(eps)
+		var sum float64
+		for _, e := range eps {
+			sum += e.SSu // slack cancels stall: the idealization under test
+		}
+		return sum, muwAll, exact
+	}
+	var pos []*Endpoint
+	var nonpos []*Endpoint
+	var demand float64 // Σ X_REAL·Z over every link on the port
+	for _, e := range eps {
+		demand += e.MUW + e.SSu // MUW + SS_u = X_REAL * Z
+		if e.SSu > 0 {
+			pos = append(pos, e)
+		} else {
+			nonpos = append(nonpos, e)
+		}
+	}
+	muwAll, exact = unionMUW(eps)
+	capacityBound := demand - muwAll
+	if opts.NoCapacityBound {
+		capacityBound = -1e18 // never selected: paper's Eq. (2) verbatim
+	}
+	if len(pos) == 0 {
+		// Eq. (1) and the capacity bound coincide when no link stalls.
+		var sum float64
+		for _, e := range eps {
+			sum += e.MUW + e.SSu
+		}
+		return sum - muwAll, muwAll, exact
+	}
+	var eq2 float64
+	for _, e := range pos {
+		eq2 += e.SSu
+	}
+	if len(nonpos) > 0 {
+		muwNP, exNP := unionMUW(nonpos)
+		exact = exact && exNP
+		var sum float64
+		for _, e := range nonpos {
+			sum += e.MUW + e.SSu
+		}
+		if rest := sum - muwNP; rest > 0 {
+			eq2 += rest
+		}
+	}
+	if capacityBound > eq2 {
+		return capacityBound, muwAll, exact
+	}
+	return eq2, muwAll, exact
+}
+
+// unionMUW computes MUW_comb for a set of endpoints.
+func unionMUW(eps []*Endpoint) (float64, bool) {
+	ws := make([]periodic.Window, len(eps))
+	for i, e := range eps {
+		ws[i] = e.Window
+	}
+	u := periodic.UnionLength(ws)
+	return float64(u), periodic.UnionExact(ws)
+}
+
+// combinePorts groups endpoints by physical port and applies Step 2,
+// returning one PortStall per port that carries at least one DTL endpoint,
+// in deterministic order.
+func combinePorts(p *Problem, eps []*Endpoint) []*PortStall {
+	type key struct {
+		mem  string
+		port int
+	}
+	groups := map[key][]*Endpoint{}
+	var order []key
+	for _, e := range eps {
+		k := key{e.MemName, e.PortIdx}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], e)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].mem != order[j].mem {
+			return order[i].mem < order[j].mem
+		}
+		return order[i].port < order[j].port
+	})
+
+	prec := p.Layer.Precision
+	out := make([]*PortStall, 0, len(order))
+	for _, k := range order {
+		grp := groups[k]
+		mem := p.Arch.MemoryByName(k.mem)
+		ps := &PortStall{
+			MemName:    k.mem,
+			PortIdx:    k.port,
+			PortName:   mem.Ports[k.port].Name,
+			Endpoints:  grp,
+			RealBWBits: mem.Ports[k.port].BWBits,
+		}
+		for _, e := range grp {
+			if e.Access.Write {
+				ps.ReqBWWriteBits += e.ReqBWBits(prec)
+			} else {
+				ps.ReqBWReadBits += e.ReqBWBits(prec)
+			}
+		}
+		ps.SSComb, ps.MUWComb, ps.MUWExact = combineEq(grp, p.opts())
+		out = append(out, ps)
+	}
+	return out
+}
+
+// MemStall is the per-memory-module combination: the maximum over the
+// module's ports (ports operate concurrently within a module, so the longer
+// port stall hides the shorter — Section III-C-2 final combination).
+type MemStall struct {
+	MemName string
+	Ports   []*PortStall
+	SS      float64
+}
+
+// combineMemories groups port stalls by memory module.
+func combineMemories(ports []*PortStall) []*MemStall {
+	var out []*MemStall
+	byName := map[string]*MemStall{}
+	for _, ps := range ports {
+		ms, ok := byName[ps.MemName]
+		if !ok {
+			ms = &MemStall{MemName: ps.MemName}
+			byName[ps.MemName] = ms
+			out = append(out, ms)
+		}
+		ms.Ports = append(ms.Ports, ps)
+	}
+	for _, ms := range out {
+		first := true
+		for _, ps := range ms.Ports {
+			if first || ps.SSComb > ms.SS {
+				ms.SS = ps.SSComb
+				first = false
+			}
+		}
+	}
+	return out
+}
+
+// describePort renders a one-line summary used by reports.
+func describePort(ps *PortStall, prec workload.Precision) string {
+	return fmt.Sprintf("%s.%s: ReqBW rd %.1f / wr %.1f bit/cc, RealBW %d bit/cc, MUW %.0f, SS %+.1f",
+		ps.MemName, ps.PortName, ps.ReqBWReadBits, ps.ReqBWWriteBits, ps.RealBWBits, ps.MUWComb, ps.SSComb)
+}

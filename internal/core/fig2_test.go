@@ -1,0 +1,162 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/mapper"
+	"repro/internal/mapping"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// fig2Arch reproduces the memory system of paper Fig. 2(b): a global
+// buffer shared by W/I/O over per-operand local buffers over per-operand
+// registers — 3 operands x 3 levels = 9 unit memories (Mem1-9), whose
+// interfaces decouple into the figure's 18 numbered DTL endpoints.
+func fig2Arch() *arch.Arch {
+	mkReg := func(name string, op loops.Operand, bits int64) *arch.Memory {
+		return &arch.Memory{
+			Name: name, CapacityBits: bits,
+			Serves: []loops.Operand{op},
+			Ports:  []arch.Port{{Name: "rw", Dir: arch.ReadWrite, BWBits: 256}},
+		}
+	}
+	mkLB := func(name string, op loops.Operand) *arch.Memory {
+		return &arch.Memory{
+			Name: name, CapacityBits: 64 * 1024 * 8,
+			Serves: []loops.Operand{op},
+			Ports: []arch.Port{
+				{Name: "rd", Dir: arch.Read, BWBits: 128},
+				{Name: "wr", Dir: arch.Write, BWBits: 128},
+			},
+		}
+	}
+	a := &arch.Arch{
+		Name: "fig2",
+		MACs: 64,
+		Memories: []*arch.Memory{
+			mkReg("W-Reg", loops.W, 4*64*8),
+			mkReg("I-Reg", loops.I, 4*16*8),
+			mkReg("O-Reg", loops.O, 4*64*24),
+			mkLB("W-LB", loops.W),
+			mkLB("I-LB", loops.I),
+			mkLB("O-LB", loops.O),
+			{
+				Name: "GB", CapacityBits: 1 << 24,
+				Serves: []loops.Operand{loops.W, loops.I, loops.O},
+				Ports: []arch.Port{
+					{Name: "rd", Dir: arch.Read, BWBits: 128},
+					{Name: "wr", Dir: arch.Write, BWBits: 128},
+				},
+			},
+		},
+	}
+	a.Chain[loops.W] = []string{"W-Reg", "W-LB", "GB"}
+	a.Chain[loops.I] = []string{"I-Reg", "I-LB", "GB"}
+	a.Chain[loops.O] = []string{"O-Reg", "O-LB", "GB"}
+	if err := a.Normalize(); err != nil {
+		panic(err)
+	}
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// TestFig2DTLCensus checks the Step-1 decomposition on the Fig. 2(b)
+// system: with an output-stationary mapping (no psum round trips), every
+// operand has 2 inter-level interfaces with 2 endpoints each — the
+// figure's 12 fill/drain endpoints — and every endpoint lands on the port
+// the figure wires it to.
+func TestFig2DTLCensus(t *testing.T) {
+	l := workload.NewMatMul("f2", 8, 16, 16)
+	a := fig2Arch()
+	m := &mapping.Mapping{
+		Spatial:  loops.Nest{{Dim: loops.K, Size: 16}, {Dim: loops.B, Size: 2}, {Dim: loops.C, Size: 2}},
+		Temporal: loops.Nest{{Dim: loops.C, Size: 8}, {Dim: loops.B, Size: 4}},
+	}
+	m.Bound[loops.W] = []int{1, 1, 2}
+	m.Bound[loops.I] = []int{1, 1, 2}
+	m.Bound[loops.O] = []int{1, 2, 2} // all C at O-Reg: output stationary
+	if err := m.Validate(&l, a); err != nil {
+		t.Fatal(err)
+	}
+	eps, err := core.Endpoints(&core.Problem{Layer: &l, Arch: a, Mapping: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 12 {
+		for _, e := range eps {
+			t.Logf("  %s", e.Label())
+		}
+		t.Fatalf("endpoints = %d, want 12 (2 interfaces x 2 sides x 3 operands)", len(eps))
+	}
+	// Census by (memory, direction).
+	count := map[string]int{}
+	for _, e := range eps {
+		dir := "rd"
+		if e.Access.Write {
+			dir = "wr"
+		}
+		count[e.MemName+"."+dir]++
+	}
+	want := map[string]int{
+		"GB.rd": 2, "GB.wr": 1, // W+I fills read GB; O final drain writes it
+		"W-LB.rd": 1, "W-LB.wr": 1,
+		"I-LB.rd": 1, "I-LB.wr": 1,
+		"O-LB.rd": 1, "O-LB.wr": 1,
+		"W-Reg.wr": 1, "I-Reg.wr": 1, "O-Reg.rd": 1,
+	}
+	for k, v := range want {
+		if count[k] != v {
+			t.Errorf("%s endpoints = %d, want %d", k, count[k], v)
+		}
+	}
+	// A reduction loop above O-Reg adds the psum read-back pair per
+	// O interface (the figure's remaining numbered links).
+	m2 := m.Clone()
+	m2.Bound[loops.O] = []int{0, 1, 2}
+	eps2, err := core.Endpoints(&core.Problem{Layer: &l, Arch: a, Mapping: m2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psums := 0
+	for _, e := range eps2 {
+		if e.Kind == core.PsumBack {
+			psums++
+		}
+	}
+	if psums != 2 { // rd at O-LB + wr at O-Reg
+		t.Errorf("psum endpoints = %d, want 2", psums)
+	}
+}
+
+// TestFourLevelChainModelVsSim cross-validates the model against the
+// simulator on the full 3-level-per-operand Fig. 2(b) hierarchy — deeper
+// than any preset used by the main experiments.
+func TestFourLevelChainModelVsSim(t *testing.T) {
+	a := fig2Arch()
+	l := workload.NewMatMul("deep", 64, 64, 64)
+	best, _, err := mapper.Best(&l, a, &mapper.Options{
+		Spatial:       loops.Nest{{Dim: loops.K, Size: 16}, {Dim: loops.B, Size: 2}, {Dim: loops.C, Size: 2}},
+		BWAware:       true,
+		MaxCandidates: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Problem{Layer: &l, Arch: a, Mapping: best.Mapping}
+	sr, err := sim.Simulate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := 1 - math.Abs(best.Result.CCTotal-float64(sr.Cycles))/float64(sr.Cycles)
+	if acc < 0.85 {
+		t.Errorf("deep-hierarchy accuracy %.3f (model %.0f, sim %d)",
+			acc, best.Result.CCTotal, sr.Cycles)
+	}
+}

@@ -1,0 +1,97 @@
+package crossval
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// RandomConvLayer draws a small direct convolution (no Im2Col), exercising
+// the 7-dimensional path with sliding-window input tiles.
+func (g *Generator) RandomConvLayer() workload.Layer {
+	r := g.rng
+	oys := []int64{7, 14, 28}
+	ks := []int64{8, 16, 32}
+	cs := []int64{4, 8, 16}
+	oy := pick(r, oys)
+	l := workload.NewConv2D(
+		fmt.Sprintf("rndconv-%d", r.Int31()),
+		1, pick(r, ks), pick(r, cs), oy, oy, 3, 3)
+	if r.Intn(3) == 0 {
+		l.Strides.SX, l.Strides.SY = 2, 2
+	}
+	return l
+}
+
+// RandomConvArch draws a row-stationary-style machine: per-PE scratchpads
+// over a GB, with spatial unrolling over FY/OY/K and randomized port
+// widths and buffering.
+func (g *Generator) RandomConvArch() (*arch.Arch, loops.Nest) {
+	r := g.rng
+	bws := []int64{32, 64, 128, 256}
+	spatial := loops.Nest{
+		{Dim: loops.FY, Size: 3},
+		{Dim: loops.OY, Size: 7},
+		{Dim: loops.K, Size: pick(r, []int64{2, 4})},
+	}
+	macs := spatial.Product()
+	a := &arch.Arch{
+		Name:    fmt.Sprintf("rnd-rs-%d", r.Int31()),
+		MACs:    macs,
+		Combine: arch.Concurrent,
+		Memories: []*arch.Memory{
+			{
+				Name:           "Spad",
+				CapacityBits:   1 << uint(15+r.Intn(3)),
+				DoubleBuffered: r.Intn(2) == 0,
+				Serves:         []loops.Operand{loops.W, loops.I, loops.O},
+				Ports: []arch.Port{
+					{Name: "rd", Dir: arch.Read, BWBits: pick(r, bws)},
+					{Name: "wr", Dir: arch.Write, BWBits: pick(r, bws)},
+				},
+			},
+			{
+				Name:         "GB",
+				CapacityBits: 1 << 28,
+				Serves:       []loops.Operand{loops.W, loops.I, loops.O},
+				Ports: []arch.Port{
+					{Name: "rd", Dir: arch.Read, BWBits: pick(r, bws)},
+					{Name: "wr", Dir: arch.Write, BWBits: pick(r, bws)},
+				},
+			},
+		},
+	}
+	for _, op := range loops.AllOperands {
+		a.Chain[op] = []string{"Spad", "GB"}
+	}
+	if err := a.Normalize(); err != nil {
+		panic("crossval: " + err.Error())
+	}
+	if err := a.Validate(); err != nil {
+		panic("crossval: " + err.Error())
+	}
+	return a, spatial
+}
+
+// NextConv draws a direct-convolution problem and cross-validates it.
+func (g *Generator) NextConv(budget int, simulate func(*core.Problem) (int64, error)) (*Sample, error) {
+	layer := g.RandomConvLayer()
+	hw, sp := g.RandomConvArch()
+	best, _, err := mapper.Best(&layer, hw, &mapper.Options{
+		Spatial: sp, BWAware: true, MaxCandidates: budget,
+	})
+	if err != nil {
+		return nil, nil
+	}
+	p := &core.Problem{Layer: &layer, Arch: hw, Mapping: best.Mapping}
+	simCC, err := simulate(p)
+	if err != nil {
+		return nil, fmt.Errorf("crossval: conv sim: %w", err)
+	}
+	acc := 1 - abs(best.Result.CCTotal-float64(simCC))/float64(simCC)
+	return &Sample{Problem: p, ModelCC: best.Result.CCTotal, SimCC: simCC, Accuracy: acc}, nil
+}

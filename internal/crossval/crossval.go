@@ -1,0 +1,151 @@
+// Package crossval generates randomized (layer, architecture, mapping)
+// problems and cross-validates the analytical latency model against the
+// cycle-level reference simulator over the whole input space — the
+// repository's strongest correctness evidence beyond the hand-computed
+// unit cases and the fixed validation suite.
+package crossval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// Sample is one randomized cross-validation point.
+type Sample struct {
+	Problem  *core.Problem
+	ModelCC  float64
+	SimCC    int64
+	Accuracy float64
+}
+
+// Generator produces random problems from a seeded source so runs are
+// reproducible.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a deterministic generator for the seed.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// pick returns a random element.
+func pick[T any](r *rand.Rand, xs []T) T { return xs[r.Intn(len(xs))] }
+
+// RandomLayer draws a small matmul-form layer with power-of-two-ish dims.
+func (g *Generator) RandomLayer() workload.Layer {
+	dims := []int64{8, 16, 24, 32, 48, 64, 96}
+	l := workload.NewMatMul(
+		fmt.Sprintf("rnd-%d", g.rng.Int31()),
+		pick(g.rng, dims), pick(g.rng, dims), pick(g.rng, dims))
+	return l
+}
+
+// RandomArch draws a 2- or 3-level architecture with randomized port
+// widths, buffering and sharing. All structures are valid by construction.
+func (g *Generator) RandomArch() (*arch.Arch, loops.Nest) {
+	r := g.rng
+	bws := []int64{16, 32, 64, 128, 256}
+	spatial := loops.Nest{
+		{Dim: loops.K, Size: pick(r, []int64{4, 8})},
+		{Dim: loops.B, Size: pick(r, []int64{2, 4})},
+	}
+	macs := spatial.Product()
+
+	regPorts := func(bw int64) []arch.Port {
+		if r.Intn(2) == 0 {
+			return []arch.Port{{Name: "rw", Dir: arch.ReadWrite, BWBits: bw}}
+		}
+		return []arch.Port{
+			{Name: "rd", Dir: arch.Read, BWBits: bw},
+			{Name: "wr", Dir: arch.Write, BWBits: bw},
+		}
+	}
+	a := &arch.Arch{
+		Name:    fmt.Sprintf("rnd-arch-%d", r.Int31()),
+		MACs:    macs,
+		Combine: arch.Concurrent,
+		Memories: []*arch.Memory{
+			{
+				Name:           "Reg",
+				CapacityBits:   macs * 8 * int64(4+r.Intn(8)),
+				DoubleBuffered: r.Intn(2) == 0,
+				Serves:         []loops.Operand{loops.W, loops.I, loops.O},
+				Ports:          regPorts(pick(r, bws)),
+			},
+			{
+				Name:         "GB",
+				CapacityBits: 1 << 28,
+				Serves:       []loops.Operand{loops.W, loops.I, loops.O},
+				Ports: []arch.Port{
+					{Name: "rd", Dir: arch.Read, BWBits: pick(r, bws)},
+					{Name: "wr", Dir: arch.Write, BWBits: pick(r, bws)},
+				},
+			},
+		},
+	}
+	chains := map[loops.Operand][]string{
+		loops.W: {"Reg", "GB"},
+		loops.I: {"Reg", "GB"},
+		loops.O: {"Reg", "GB"},
+	}
+	// Optionally insert a middle level for W and I.
+	if r.Intn(2) == 0 {
+		a.Memories = append(a.Memories, &arch.Memory{
+			Name:           "LB",
+			CapacityBits:   1 << uint(16+r.Intn(4)),
+			DoubleBuffered: r.Intn(2) == 0,
+			Serves:         []loops.Operand{loops.W, loops.I},
+			Ports: []arch.Port{
+				{Name: "rd", Dir: arch.Read, BWBits: pick(r, bws)},
+				{Name: "wr", Dir: arch.Write, BWBits: pick(r, bws)},
+			},
+		})
+		chains[loops.W] = []string{"Reg", "LB", "GB"}
+		chains[loops.I] = []string{"Reg", "LB", "GB"}
+	}
+	for op, c := range chains {
+		a.Chain[op] = c
+	}
+	if err := a.Normalize(); err != nil {
+		panic("crossval: " + err.Error())
+	}
+	if err := a.Validate(); err != nil {
+		panic("crossval: " + err.Error())
+	}
+	return a, spatial
+}
+
+// Next draws a problem (with its best mapping under the model) and runs
+// both the model and the simulator. Returns nil when no valid mapping
+// exists for the draw (the caller should just draw again).
+func (g *Generator) Next(budget int, simulate func(*core.Problem) (int64, error)) (*Sample, error) {
+	layer := g.RandomLayer()
+	hw, sp := g.RandomArch()
+	best, _, err := mapper.Best(&layer, hw, &mapper.Options{
+		Spatial: sp, BWAware: true, MaxCandidates: budget,
+	})
+	if err != nil {
+		return nil, nil // unmappable draw; not an error
+	}
+	p := &core.Problem{Layer: &layer, Arch: hw, Mapping: best.Mapping}
+	simCC, err := simulate(p)
+	if err != nil {
+		return nil, fmt.Errorf("crossval: sim on %s/%s: %w", layer.Name, hw.Name, err)
+	}
+	acc := 1 - abs(best.Result.CCTotal-float64(simCC))/float64(simCC)
+	return &Sample{Problem: p, ModelCC: best.Result.CCTotal, SimCC: simCC, Accuracy: acc}, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

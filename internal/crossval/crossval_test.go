@@ -1,0 +1,135 @@
+package crossval
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func simulate(p *core.Problem) (int64, error) {
+	r, err := sim.Simulate(p, nil)
+	if err != nil {
+		return 0, err
+	}
+	return r.Cycles, nil
+}
+
+// TestRandomizedCrossValidation draws random problems and checks that the
+// analytical model tracks the reference simulator: every sample within a
+// generous band, and the average within the validation-grade band.
+func TestRandomizedCrossValidation(t *testing.T) {
+	const want = 40
+	g := NewGenerator(20220318) // DATE'22 paper date; any fixed seed works
+	var samples []*Sample
+	draws := 0
+	for len(samples) < want && draws < want*6 {
+		draws++
+		s, err := g.Next(800, simulate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == nil {
+			continue
+		}
+		samples = append(samples, s)
+	}
+	if len(samples) < want {
+		t.Fatalf("only %d mappable samples in %d draws", len(samples), draws)
+	}
+
+	var sum float64
+	worst := 1.0
+	var worstSample *Sample
+	for _, s := range samples {
+		sum += s.Accuracy
+		if s.Accuracy < worst {
+			worst = s.Accuracy
+			worstSample = s
+		}
+		if s.ModelCC <= 0 || s.SimCC <= 0 {
+			t.Fatalf("degenerate sample: %+v", s)
+		}
+	}
+	avg := sum / float64(len(samples))
+	if avg < 0.90 {
+		t.Errorf("average cross-validation accuracy %.3f < 0.90", avg)
+	}
+	if worst < 0.55 {
+		t.Errorf("worst sample accuracy %.3f < 0.55 (model %.0f vs sim %d on %s)",
+			worst, worstSample.ModelCC, worstSample.SimCC, worstSample.Problem.Arch.Name)
+	}
+	t.Logf("cross-validation over %d random problems: avg %.1f%%, worst %.1f%%",
+		len(samples), 100*avg, 100*worst)
+}
+
+// TestGeneratorDeterminism: same seed, same draws.
+func TestGeneratorDeterminism(t *testing.T) {
+	g1, g2 := NewGenerator(7), NewGenerator(7)
+	for i := 0; i < 5; i++ {
+		l1, l2 := g1.RandomLayer(), g2.RandomLayer()
+		if l1.String() != l2.String() {
+			t.Fatal("layer draws diverge")
+		}
+		a1, sp1 := g1.RandomArch()
+		a2, sp2 := g2.RandomArch()
+		if a1.Name != a2.Name || sp1.String() != sp2.String() {
+			t.Fatal("arch draws diverge")
+		}
+	}
+}
+
+// TestRandomArchValid: every generated architecture passes validation
+// (already enforced by construction; this guards the invariant).
+func TestRandomArchValid(t *testing.T) {
+	g := NewGenerator(42)
+	for i := 0; i < 50; i++ {
+		a, sp := g.RandomArch()
+		if err := a.Validate(); err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+		if sp.Product() != a.MACs {
+			t.Fatalf("draw %d: spatial %s != MACs %d", i, sp, a.MACs)
+		}
+	}
+}
+
+// TestRandomizedConvCrossValidation runs the direct-convolution variant of
+// the randomized harness.
+func TestRandomizedConvCrossValidation(t *testing.T) {
+	const want = 15
+	g := NewGenerator(7)
+	var samples []*Sample
+	draws := 0
+	for len(samples) < want && draws < want*8 {
+		draws++
+		s, err := g.NextConv(1500, simulate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == nil {
+			continue
+		}
+		samples = append(samples, s)
+	}
+	if len(samples) < want {
+		t.Fatalf("only %d mappable conv samples in %d draws", len(samples), draws)
+	}
+	var sum float64
+	worst := 1.0
+	for _, s := range samples {
+		sum += s.Accuracy
+		if s.Accuracy < worst {
+			worst = s.Accuracy
+		}
+	}
+	avg := sum / float64(len(samples))
+	if avg < 0.85 {
+		t.Errorf("conv cross-validation average %.3f < 0.85", avg)
+	}
+	if worst < 0.5 {
+		t.Errorf("worst conv sample %.3f < 0.5", worst)
+	}
+	t.Logf("conv cross-validation over %d problems: avg %.1f%%, worst %.1f%%",
+		len(samples), 100*avg, 100*worst)
+}

@@ -1,0 +1,140 @@
+// Package dataflow classifies mappings into the accelerator-taxonomy
+// stationarity classes the literature names dataflows by (weight-
+// stationary, output-stationary, input-stationary, row-stationary, no
+// local reuse), by measuring which operand the innermost memory level
+// keeps resident the longest. The paper frames its model as applicable to
+// "diverse architectures and dataflows"; this package makes the dataflow
+// of any mapping inspectable, so experiments can report not just WHICH
+// mapping won but WHAT KIND of dataflow it is.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/loops"
+	"repro/internal/mapping"
+)
+
+// Class is a stationarity taxonomy label.
+type Class uint8
+
+// Dataflow classes.
+const (
+	NoLocalReuse Class = iota
+	WeightStationary
+	OutputStationary
+	InputStationary
+	RowStationary
+	Hybrid
+)
+
+var classNames = map[Class]string{
+	NoLocalReuse:     "no-local-reuse",
+	WeightStationary: "weight-stationary",
+	OutputStationary: "output-stationary",
+	InputStationary:  "input-stationary",
+	RowStationary:    "row-stationary",
+	Hybrid:           "hybrid",
+}
+
+// String names the class.
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Residency quantifies one operand's stationarity at the innermost level.
+type Residency struct {
+	Operand loops.Operand
+	// Turnaround is Mem_CC at level 0: how many cycles the operand's
+	// register tile lives before being replaced.
+	Turnaround int64
+	// ReuseFactor is how many MAC operations each resident element
+	// serves: Turnaround x spatial fanout / tile share.
+	ReuseFactor float64
+}
+
+// Analysis is a full dataflow classification.
+type Analysis struct {
+	Class      Class
+	Residency  [loops.NumOperands]Residency
+	SpatialRow bool // FY or FX spatially unrolled (row-stationary family)
+}
+
+// Classify analyzes a mapping's innermost-level stationarity.
+func Classify(m *mapping.Mapping) *Analysis {
+	a := &Analysis{}
+	sp := m.Spatial.DimProduct()
+	for _, op := range loops.AllOperands {
+		mcc := m.MemCC(op, 0)
+		data := m.MemData(op, 0, loops.DefaultStrides())
+		fanout := int64(1)
+		for _, d := range loops.AllDims {
+			if sp[d] > 1 && loops.IsReuseDim(op, d) {
+				fanout *= sp[d]
+			}
+		}
+		reuse := 0.0
+		if data > 0 {
+			// MACs served per turnaround divided by resident elements.
+			spProd := int64(1)
+			for _, d := range loops.AllDims {
+				spProd *= sp[d]
+			}
+			reuse = float64(mcc*spProd) / float64(data)
+		}
+		a.Residency[op] = Residency{Operand: op, Turnaround: mcc, ReuseFactor: reuse}
+		_ = fanout
+	}
+	if sp[loops.FY] > 1 || sp[loops.FX] > 1 {
+		a.SpatialRow = true
+	}
+
+	// Rank operands by turnaround; the clearly longest-lived one names
+	// the dataflow.
+	type kv struct {
+		op loops.Operand
+		cc int64
+	}
+	ranked := []kv{
+		{loops.W, a.Residency[loops.W].Turnaround},
+		{loops.I, a.Residency[loops.I].Turnaround},
+		{loops.O, a.Residency[loops.O].Turnaround},
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].cc > ranked[j].cc })
+
+	switch {
+	case ranked[0].cc <= 1:
+		a.Class = NoLocalReuse
+	case a.SpatialRow:
+		a.Class = RowStationary
+	case ranked[0].cc < 2*ranked[1].cc:
+		a.Class = Hybrid
+	case ranked[0].op == loops.W:
+		a.Class = WeightStationary
+	case ranked[0].op == loops.O:
+		a.Class = OutputStationary
+	default:
+		a.Class = InputStationary
+	}
+	return a
+}
+
+// Describe renders a one-paragraph explanation.
+func (a *Analysis) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataflow: %s\n", a.Class)
+	for _, op := range loops.AllOperands {
+		r := a.Residency[op]
+		fmt.Fprintf(&b, "  %s: turnaround %d cc, reuse %.1f MACs/element\n",
+			op, r.Turnaround, r.ReuseFactor)
+	}
+	if a.SpatialRow {
+		b.WriteString("  filter rows/columns spatially unrolled (row-stationary family)\n")
+	}
+	return b.String()
+}

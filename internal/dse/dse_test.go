@@ -1,0 +1,161 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/loops"
+	"repro/internal/workload"
+)
+
+func quickConfig(gbBW int64, aware bool) *Config {
+	cfg := DefaultConfig(gbBW, aware)
+	cfg.Arrays = cfg.Arrays[:2] // 16x16 and 32x32
+	cfg.RegMults = []int64{4}
+	cfg.WLBKiB = []int64{16, 32}
+	cfg.ILBKiB = []int64{8}
+	cfg.Layer = workload.NewMatMul("t", 64, 64, 64)
+	cfg.MaxCandidates = 150
+	return cfg
+}
+
+func TestPaperArrays(t *testing.T) {
+	arrays := PaperArrays()
+	if len(arrays) != 3 {
+		t.Fatalf("arrays = %d", len(arrays))
+	}
+	wantMACs := []int64{256, 1024, 4096}
+	for i, a := range arrays {
+		if a.MACs != wantMACs[i] {
+			t.Errorf("%s MACs = %d, want %d", a.Name, a.MACs, wantMACs[i])
+		}
+		if a.Spatial.Product() != a.MACs {
+			t.Errorf("%s spatial product %d != MACs", a.Name, a.Spatial.Product())
+		}
+	}
+}
+
+func TestBuildArchValid(t *testing.T) {
+	for _, ac := range PaperArrays() {
+		a := BuildArch(ac, 4, 16, 8, 128)
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+		if a.MemoryByName("GB").Ports[0].BWBits != 128 {
+			t.Errorf("%s GB BW wrong", a.Name)
+		}
+		// Register capacity scales with the array.
+		sp := ac.Spatial.DimProduct()
+		if a.MemoryByName("W-Reg").CapacityBits != 4*sp[loops.K]*sp[loops.C]*8 {
+			t.Errorf("%s W-Reg capacity wrong", a.Name)
+		}
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	pts, err := Sweep(quickConfig(128, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*1*2*1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	validCount := 0
+	for _, p := range pts {
+		if p.Areamm2 <= 0 {
+			t.Error("non-positive area")
+		}
+		if p.Valid {
+			validCount++
+			if p.Latency <= 0 {
+				t.Error("valid point with non-positive latency")
+			}
+		}
+	}
+	if validCount == 0 {
+		t.Fatal("no valid points")
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	a, err := Sweep(quickConfig(128, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(quickConfig(128, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Latency != b[i].Latency || a[i].Arch.Name != b[i].Arch.Name {
+			t.Fatalf("sweep not deterministic at %d", i)
+		}
+	}
+}
+
+func TestParetoAndBestPerArray(t *testing.T) {
+	pts := []Point{
+		{Array: "a", Latency: 100, Areamm2: 1, Valid: true},
+		{Array: "a", Latency: 90, Areamm2: 2, Valid: true},
+		{Array: "b", Latency: 95, Areamm2: 1.5, Valid: true},
+		{Array: "b", Latency: 80, Areamm2: 3, Valid: true},
+		{Array: "b", Latency: 999, Areamm2: 0.1, Valid: false}, // ignored
+		{Array: "a", Latency: 120, Areamm2: 2.5, Valid: true},  // dominated
+	}
+	front := Pareto(pts)
+	if len(front) != 4 {
+		t.Fatalf("front = %v", front)
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Latency >= front[i-1].Latency {
+			t.Error("front latencies not decreasing")
+		}
+	}
+	best := BestPerArray(pts)
+	if best["a"].Latency != 90 || best["b"].Latency != 80 {
+		t.Errorf("best per array wrong: %+v", best)
+	}
+}
+
+func TestSweepEmptyConfig(t *testing.T) {
+	if _, err := Sweep(&Config{}); err == nil {
+		t.Error("empty config swept")
+	}
+}
+
+func TestBWAwareNeverFaster(t *testing.T) {
+	aware, err := Sweep(quickConfig(128, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unaware, err := Sweep(quickConfig(128, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range aware {
+		if !aware[i].Valid || !unaware[i].Valid {
+			continue
+		}
+		if aware[i].Latency < unaware[i].Latency-1e-9 {
+			t.Errorf("point %d: aware %.0f < unaware %.0f", i, aware[i].Latency, unaware[i].Latency)
+		}
+	}
+}
+
+func TestGBBandwidthMonotone(t *testing.T) {
+	low, err := Sweep(quickConfig(128, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Sweep(quickConfig(1024, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range low {
+		if !low[i].Valid || !high[i].Valid {
+			continue
+		}
+		if high[i].Latency > low[i].Latency+1e-9 {
+			t.Errorf("point %d: 1024b GB slower (%.0f) than 128b (%.0f)", i, high[i].Latency, low[i].Latency)
+		}
+	}
+}

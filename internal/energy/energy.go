@@ -1,0 +1,116 @@
+// Package energy implements the standard analytical energy model the paper
+// builds on (Section I: "count the operations of each hardware component
+// ... and multiply these with the corresponding unit energy"). It reuses
+// the latency model's DTL decomposition to count per-memory read/write
+// accesses, adds the MAC-array-level operand accesses, and prices them with
+// a capacity-dependent unit-energy table.
+//
+// Absolute numbers are synthetic (a 7nm-class technology curve); the case
+// studies only rely on RELATIVE energies between mappings, which depend on
+// access counts, not on the absolute scale.
+package energy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/loops"
+)
+
+// Table holds the unit-energy parameters.
+type Table struct {
+	// MACpJ is the energy of one multiply-accumulate operation.
+	MACpJ float64
+	// RegPJPerBit is the per-bit access energy of the register level used
+	// for the implicit array-side operand accesses.
+	RegPJPerBit float64
+	// BasePJPerBit and SlopePJPerBit parametrize the capacity-dependent
+	// per-bit access energy of SRAM-class memories:
+	//   e(C) = BasePJPerBit + SlopePJPerBit * sqrt(C / 8KiB).
+	BasePJPerBit  float64
+	SlopePJPerBit float64
+	// WritePenalty scales write accesses relative to reads.
+	WritePenalty float64
+}
+
+// Default7nm returns a plausible 7nm-class INT8 table.
+func Default7nm() *Table {
+	return &Table{
+		MACpJ:         0.12,
+		RegPJPerBit:   0.008,
+		BasePJPerBit:  0.015,
+		SlopePJPerBit: 0.020,
+		WritePenalty:  1.1,
+	}
+}
+
+// perBit returns the per-bit read energy of a memory with the given
+// capacity.
+func (t *Table) perBit(capacityBits int64) float64 {
+	return t.BasePJPerBit + t.SlopePJPerBit*math.Sqrt(float64(capacityBits)/(8*1024*8))
+}
+
+// Breakdown is the evaluated energy of one problem.
+type Breakdown struct {
+	MACPJ   float64            // total MAC energy
+	ArrayPJ float64            // array-side register accesses (level-0 operand feeds)
+	MemPJ   map[string]float64 // per physical memory module
+	TotalPJ float64
+}
+
+// MemNames returns the memory names in deterministic order.
+func (b *Breakdown) MemNames() []string {
+	names := make([]string, 0, len(b.MemPJ))
+	for n := range b.MemPJ {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Evaluate computes the total energy and its breakdown.
+func Evaluate(p *core.Problem, tbl *Table) (*Breakdown, error) {
+	if tbl == nil {
+		tbl = Default7nm()
+	}
+	eps, err := core.Endpoints(p)
+	if err != nil {
+		return nil, err
+	}
+	b := &Breakdown{MemPJ: map[string]float64{}}
+
+	// MAC operations.
+	macs := p.Layer.TotalMACs()
+	b.MACPJ = float64(macs) * tbl.MACpJ
+
+	// Array-side accesses at level 0: every MAC op reads one W and one I
+	// element and reads+writes one O partial sum from/to the innermost
+	// level.
+	prec := p.Layer.Precision
+	arrayBits := float64(macs) * (float64(prec.Bits(loops.W)) + float64(prec.Bits(loops.I)) +
+		float64(prec.Bits(loops.O))*(1+tbl.WritePenalty))
+	b.ArrayPJ = arrayBits * tbl.RegPJPerBit
+
+	// Inter-level traffic: each DTL endpoint performs Z transfers of
+	// MemData elements at its memory.
+	for _, e := range eps {
+		mem := p.Arch.MemoryByName(e.MemName)
+		if mem == nil {
+			return nil, fmt.Errorf("energy: unknown memory %q", e.MemName)
+		}
+		bits := float64(e.Z) * float64(e.MemData) * float64(prec.Bits(e.Operand))
+		unit := tbl.perBit(mem.CapacityBits)
+		if e.Access.Write {
+			unit *= tbl.WritePenalty
+		}
+		b.MemPJ[e.MemName] += bits * unit
+	}
+
+	b.TotalPJ = b.MACPJ + b.ArrayPJ
+	for _, v := range b.MemPJ {
+		b.TotalPJ += v
+	}
+	return b, nil
+}

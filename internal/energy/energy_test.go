@@ -1,0 +1,104 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+func problem() *core.Problem {
+	l := workload.NewMatMul("e", 16, 32, 8)
+	a := arch.CaseStudy()
+	m := &mapping.Mapping{
+		Spatial:  arch.CaseStudySpatial(),
+		Temporal: loops.Nest{{Dim: loops.C, Size: 4}, {Dim: loops.B, Size: 2}, {Dim: loops.K, Size: 2}},
+	}
+	m.Bound[loops.W] = []int{0, 1, 3}
+	m.Bound[loops.I] = []int{0, 2, 3}
+	m.Bound[loops.O] = []int{1, 3}
+	return &core.Problem{Layer: &l, Arch: a, Mapping: m}
+}
+
+func TestEvaluateBasics(t *testing.T) {
+	p := problem()
+	b, err := Evaluate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalPJ <= 0 || b.MACPJ <= 0 || b.ArrayPJ <= 0 {
+		t.Errorf("non-positive energies: %+v", b)
+	}
+	// MAC energy: 16*32*8 = 4096 MACs * 0.12 pJ.
+	if want := 4096 * 0.12; b.MACPJ != want {
+		t.Errorf("MACPJ = %v, want %v", b.MACPJ, want)
+	}
+	// Every chain memory with traffic appears.
+	for _, name := range []string{"W-Reg", "I-Reg", "O-Reg", "W-LB", "I-LB", "GB"} {
+		if b.MemPJ[name] <= 0 {
+			t.Errorf("memory %s has no energy", name)
+		}
+	}
+	sum := b.MACPJ + b.ArrayPJ
+	for _, v := range b.MemPJ {
+		sum += v
+	}
+	if sum != b.TotalPJ {
+		t.Errorf("total %v != sum %v", b.TotalPJ, sum)
+	}
+	names := b.MemNames()
+	if len(names) != len(b.MemPJ) {
+		t.Error("MemNames size mismatch")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Error("MemNames not sorted")
+		}
+	}
+}
+
+// More data reuse at a level must reduce traffic above it and so reduce
+// energy: compare full output-stationary vs psum-thrashing O mappings.
+func TestEnergyRewardssOutputStationarity(t *testing.T) {
+	pStationary := problem() // O reg holds the C loop: no psum traffic
+	pThrash := problem()
+	pThrash.Mapping.Bound[loops.O] = []int{0, 3} // C loop above O-Reg
+
+	bs, err := Evaluate(pStationary, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := Evaluate(pThrash, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.MemPJ["GB"] <= bs.MemPJ["GB"] {
+		t.Errorf("psum thrashing did not raise GB energy: %v vs %v", bt.MemPJ["GB"], bs.MemPJ["GB"])
+	}
+	if bt.TotalPJ <= bs.TotalPJ {
+		t.Errorf("psum thrashing did not raise total energy")
+	}
+}
+
+// Unit energy must grow with memory capacity.
+func TestCapacityMonotone(t *testing.T) {
+	tbl := Default7nm()
+	if tbl.perBit(1<<10) >= tbl.perBit(1<<24) {
+		t.Error("per-bit energy not monotone in capacity")
+	}
+}
+
+func TestEvaluateError(t *testing.T) {
+	p := problem()
+	p.Mapping.Bound[loops.W] = []int{0, 0, 3}
+	// Still evaluates (attributes well-defined); force an error instead
+	// via an arch with a memory the chain cannot serve. Simplest: nil
+	// layer.
+	p2 := &core.Problem{}
+	if _, err := Evaluate(p2, nil); err == nil {
+		t.Error("nil problem evaluated")
+	}
+}

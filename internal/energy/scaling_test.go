@@ -1,0 +1,124 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/loops"
+)
+
+// Doubling the output precision must raise array-side and O-traffic energy
+// but leave W/I memory energy untouched.
+func TestPrecisionScaling(t *testing.T) {
+	p8 := problem()
+	b8, err := Evaluate(p8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p48 := problem()
+	p48.Layer.Precision.O = 48
+	b48, err := Evaluate(p48, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b48.ArrayPJ <= b8.ArrayPJ {
+		t.Error("array energy did not grow with O precision")
+	}
+	if b48.MemPJ["O-Reg"] <= b8.MemPJ["O-Reg"] {
+		t.Error("O-Reg energy did not grow")
+	}
+	if b48.MemPJ["W-LB"] != b8.MemPJ["W-LB"] {
+		t.Error("W-LB energy changed with O precision")
+	}
+	if b48.MACPJ != b8.MACPJ {
+		t.Error("MAC energy changed with precision (unit table is fixed)")
+	}
+}
+
+// Energy must be invariant to RealBW (access counts don't depend on port
+// width), in contrast to latency.
+func TestEnergyBandwidthInvariant(t *testing.T) {
+	p := problem()
+	b1, err := Evaluate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := p.Arch.MemoryByName("GB")
+	for i := range gb.Ports {
+		gb.Ports[i].BWBits *= 8
+	}
+	b2, err := Evaluate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.TotalPJ != b2.TotalPJ {
+		t.Errorf("energy changed with bandwidth: %v vs %v", b1.TotalPJ, b2.TotalPJ)
+	}
+}
+
+// A custom table scales results linearly in its MAC term.
+func TestCustomTable(t *testing.T) {
+	p := problem()
+	tbl := Default7nm()
+	tbl.MACpJ *= 2
+	b1, err := Evaluate(p, Default7nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Evaluate(p, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.MACPJ != 2*b1.MACPJ {
+		t.Errorf("MAC energy scaling wrong: %v vs %v", b2.MACPJ, b1.MACPJ)
+	}
+}
+
+// Write penalty applies to write-side endpoints only.
+func TestWritePenalty(t *testing.T) {
+	p := problem()
+	flat := Default7nm()
+	flat.WritePenalty = 1.0
+	pen := Default7nm()
+	pen.WritePenalty = 2.0
+	b1, err := Evaluate(p, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Evaluate(p, pen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mem := range []string{"W-Reg", "GB"} {
+		if b2.MemPJ[mem] <= b1.MemPJ[mem] {
+			t.Errorf("%s energy did not grow with write penalty", mem)
+		}
+	}
+	// The penalized total is bounded by 2x (writes are at most all
+	// accesses) and must exceed the flat total.
+	if b2.TotalPJ <= b1.TotalPJ || b2.TotalPJ > 2*b1.TotalPJ {
+		t.Errorf("penalized total %v out of band vs %v", b2.TotalPJ, b1.TotalPJ)
+	}
+}
+
+// More MACs -> more energy, linearly in the MAC term.
+func TestEnergyTracksWork(t *testing.T) {
+	small := problem()
+	big := problem()
+	bigLayer := *big.Layer
+	bigLayer.Dims[loops.C] *= 2
+	big.Layer = &bigLayer
+	b1, err := Evaluate(small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Evaluate(big, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.MACPJ != 2*b1.MACPJ {
+		t.Error("MAC energy not linear in MAC count")
+	}
+	if b2.TotalPJ <= b1.TotalPJ {
+		t.Error("total energy did not grow with work")
+	}
+}

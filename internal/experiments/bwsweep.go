@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dse"
+	"repro/internal/mapper"
+)
+
+// BWPoint is one global-buffer bandwidth sample of the sweep.
+type BWPoint struct {
+	GBBWBits int64
+	// Latency per array size (best design + mapping at this bandwidth).
+	Latency map[string]float64
+	// Winner is the array size with the lowest latency.
+	Winner string
+}
+
+// BWSweep quantifies the paper's closing observation (Section V-C): how the
+// array-size verdict changes with global-buffer bandwidth, up to the
+// >1024 bit/cycle region that 3D SRAM-on-logic stacking enables. For each
+// bandwidth it evaluates the best fixed memory configuration per array.
+func BWSweep(bws []int64, maxCandidates int) ([]BWPoint, error) {
+	if len(bws) == 0 {
+		bws = []int64{64, 128, 256, 512, 1024, 2048, 4096}
+	}
+	if maxCandidates <= 0 {
+		maxCandidates = 300
+	}
+	var out []BWPoint
+	for _, bw := range bws {
+		cfg := dse.DefaultConfig(bw, true)
+		cfg.RegMults = []int64{4}
+		cfg.WLBKiB = []int64{32}
+		cfg.ILBKiB = []int64{16}
+		cfg.MaxCandidates = maxCandidates
+		pts, err := dse.Sweep(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bwsweep at %d: %w", bw, err)
+		}
+		best := dse.BestPerArray(pts)
+		p := BWPoint{GBBWBits: bw, Latency: map[string]float64{}}
+		winLat := 0.0
+		for arr, pt := range best {
+			p.Latency[arr] = pt.Latency
+			if p.Winner == "" || pt.Latency < winLat {
+				p.Winner, winLat = arr, pt.Latency
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// CrossoverBW returns the lowest swept bandwidth at which the given array
+// size becomes the overall winner, or -1 if it never does.
+func CrossoverBW(points []BWPoint, array string) int64 {
+	for _, p := range points {
+		if p.Winner == array {
+			return p.GBBWBits
+		}
+	}
+	return -1
+}
+
+// MapperBudgetForTests exposes the default mapper options used per point,
+// for documentation in EXPERIMENTS.md.
+func MapperBudgetForTests() mapper.Options {
+	return mapper.Options{BWAware: true, Pow2Splits: true, MaxCandidates: 300}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// TestBWSweepShape asserts the bandwidth-dependence story of Section V-C:
+// latency is monotonically non-increasing in GB bandwidth for every array
+// size, the small array saturates first (extra bandwidth stops helping),
+// and the 64x64 array only takes the lead at high bandwidth.
+func TestBWSweepShape(t *testing.T) {
+	points, err := BWSweep([]int64{128, 512, 2048}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	arrays := []string{"16x16", "32x32", "64x64"}
+	for i := 1; i < len(points); i++ {
+		for _, arr := range arrays {
+			if points[i].Latency[arr] > points[i-1].Latency[arr]+1e-9 {
+				t.Errorf("%s slower at %d than %d bit/cc", arr,
+					points[i].GBBWBits, points[i-1].GBBWBits)
+			}
+		}
+	}
+	// Low BW: the 64x64 is not the winner; high BW: it is.
+	if points[0].Winner == "64x64" {
+		t.Errorf("64x64 already wins at %d bit/cc", points[0].GBBWBits)
+	}
+	if points[len(points)-1].Winner != "64x64" {
+		t.Errorf("64x64 does not win at %d bit/cc (winner %s)",
+			points[len(points)-1].GBBWBits, points[len(points)-1].Winner)
+	}
+	// The crossover helper agrees.
+	if bw := CrossoverBW(points, "64x64"); bw <= 128 || bw > 2048 {
+		t.Errorf("64x64 crossover at %d bit/cc out of band", bw)
+	}
+	// At the top bandwidth every array should be compute-bound rather
+	// than drain-bound: the 64x64's latency improvement from low to high
+	// BW must be large (it is the most bandwidth-hungry design).
+	if gain := points[0].Latency["64x64"] / points[len(points)-1].Latency["64x64"]; gain < 1.5 {
+		t.Errorf("64x64 gains only %.2fx from %d to %d bit/cc", gain,
+			points[0].GBBWBits, points[len(points)-1].GBBWBits)
+	}
+}
+
+func TestCrossoverBWNotFound(t *testing.T) {
+	points := []BWPoint{{GBBWBits: 128, Winner: "32x32"}}
+	if bw := CrossoverBW(points, "64x64"); bw != -1 {
+		t.Errorf("phantom crossover %d", bw)
+	}
+}

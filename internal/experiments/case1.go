@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/loops"
+	"repro/internal/mapper"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+// Case1Side holds one mapping's evaluation in the Fig. 6 comparison.
+type Case1Side struct {
+	Name     string
+	Mapping  *mapping.Mapping
+	Result   *core.Result
+	Energy   *energy.Breakdown
+	PsumRT   int64 // partial-sum read-backs across the O-Reg/GB interface
+	GBwrReq  float64
+	GBrdReq  float64
+	GBwrReal float64
+}
+
+// Case1Result is the full Fig. 6 reproduction.
+type Case1Result struct {
+	Layer        workload.Layer
+	A, B         Case1Side
+	MappingCount int // valid mappings in the bounded census (paper: 30240)
+}
+
+// Case1Mappings constructs the paper's two contrasting temporal mappings on
+// the scaled-down case-study accelerator for the Case-1 layer
+// (B=120, K=640, C=128, spatial K16|B8|C2, temporal extents B15 K40 C64):
+//
+//	Mapping A (input-reuse-first): [C32 | K5 | B15 | K8 | C2]
+//	  W: LB=[C32 K5 B15];  I: LB=[C32 K5];  O: Reg=[C32]
+//	  The K5 loop at I-LB level multiplies input reuse, but the trailing
+//	  C2 above the O registers turns every output tile into a partial sum
+//	  that round-trips through the GB.
+//
+//	Mapping B (output-stationary): [C32 | C2 | B15 | K40]
+//	  W: LB=[C32 C2 B15];  I: LB=[C32 C2];  O: Reg=[C32 C2]
+//	  All reduction loops sit at the O-Reg level: only final outputs ever
+//	  reach the GB, at the cost of re-fetching inputs across the K sweep.
+//
+// Both have identical CC_ideal (38400 cycles) and identical weight-reuse
+// distribution across memory levels.
+func Case1Mappings() (a, b *mapping.Mapping) {
+	sp := arch.CaseStudySpatial()
+	a = &mapping.Mapping{
+		Spatial: sp.Clone(),
+		Temporal: loops.Nest{
+			{Dim: loops.C, Size: 32},
+			{Dim: loops.K, Size: 5},
+			{Dim: loops.B, Size: 15},
+			{Dim: loops.K, Size: 8},
+			{Dim: loops.C, Size: 2},
+		},
+	}
+	a.Bound[loops.W] = []int{0, 3, 5}
+	a.Bound[loops.I] = []int{0, 2, 5}
+	a.Bound[loops.O] = []int{1, 5}
+
+	b = &mapping.Mapping{
+		Spatial: sp.Clone(),
+		Temporal: loops.Nest{
+			{Dim: loops.C, Size: 32},
+			{Dim: loops.C, Size: 2},
+			{Dim: loops.B, Size: 15},
+			{Dim: loops.K, Size: 40},
+		},
+	}
+	b.Bound[loops.W] = []int{0, 3, 4}
+	b.Bound[loops.I] = []int{0, 2, 4}
+	b.Bound[loops.O] = []int{2, 4}
+	return a, b
+}
+
+// Case1 reproduces Fig. 6: evaluate Mapping A and Mapping B on the same
+// layer and hardware, and run a bounded mapping census for the space size.
+func Case1(census bool) (*Case1Result, error) {
+	l := workload.Case1Layer()
+	hw := arch.CaseStudy()
+	ma, mb := Case1Mappings()
+
+	res := &Case1Result{Layer: l}
+	for _, s := range []struct {
+		name string
+		m    *mapping.Mapping
+		out  *Case1Side
+	}{{"A", ma, &res.A}, {"B", mb, &res.B}} {
+		if err := s.m.Validate(&l, hw); err != nil {
+			return nil, fmt.Errorf("case1: mapping %s invalid: %w", s.name, err)
+		}
+		p := &core.Problem{Layer: &l, Arch: hw, Mapping: s.m}
+		r, err := core.Evaluate(p)
+		if err != nil {
+			return nil, fmt.Errorf("case1: mapping %s: %w", s.name, err)
+		}
+		e, err := energy.Evaluate(p, nil)
+		if err != nil {
+			return nil, fmt.Errorf("case1: mapping %s energy: %w", s.name, err)
+		}
+		side := Case1Side{Name: s.name, Mapping: s.m, Result: r, Energy: e}
+		tr := s.m.OutputTrafficAt(0)
+		side.PsumRT = tr.ReadBacks
+		for _, ps := range r.Ports {
+			if ps.MemName == "GB" && ps.PortName == "wr" {
+				side.GBwrReq = ps.ReqBWWriteBits
+				side.GBwrReal = float64(ps.RealBWBits)
+			}
+			if ps.MemName == "GB" && ps.PortName == "rd" {
+				side.GBrdReq = ps.ReqBWReadBits
+			}
+		}
+		*s.out = side
+	}
+
+	if census {
+		_, stats, err := mapper.Enumerate(&l, hw, &mapper.Options{
+			Spatial:       arch.CaseStudySpatial(),
+			BWAware:       true,
+			MaxCandidates: 40000,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("case1 census: %w", err)
+		}
+		res.MappingCount = stats.Valid
+	}
+	return res, nil
+}

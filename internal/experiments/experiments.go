@@ -1,0 +1,85 @@
+// Package experiments implements every experiment of the paper's evaluation
+// as a reusable, deterministic function: the test-chip validation of Fig. 5
+// and the three case studies of Figs. 6, 7 and 8. The cmd/ binaries print
+// the results; the benchmark harness re-runs them; tests assert the paper's
+// qualitative findings (who wins, by roughly what factor, and where the
+// crossovers fall).
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ValidationRow compares the analytical model against the cycle-level
+// reference simulator for one layer (Fig. 5(c)).
+type ValidationRow struct {
+	Layer    string
+	ModelCC  float64
+	SimCC    int64
+	Accuracy float64 // 1 - |model-sim|/sim
+	Util     float64 // modeled MAC array utilization
+	Stalled  bool    // whether the layer is temporal-stall-bound
+}
+
+// ValidationOptions tunes the Fig. 5(c) run.
+type ValidationOptions struct {
+	// Layers limits the suite (0 = all).
+	Layers int
+	// MaxCandidates bounds the per-layer mapping search (default 20000).
+	MaxCandidates int
+}
+
+// Validation reproduces Fig. 5(c): run every hand-tracking layer through
+// Im2Col, choose the best mapping on the in-house accelerator, then compare
+// the analytical latency against the reference simulator. Returns the
+// per-layer rows and the average accuracy.
+func Validation(opt *ValidationOptions) ([]ValidationRow, float64, error) {
+	if opt == nil {
+		opt = &ValidationOptions{}
+	}
+	maxCand := opt.MaxCandidates
+	if maxCand <= 0 {
+		maxCand = 20000
+	}
+	a := arch.InHouse()
+	sp := arch.InHouseSpatial()
+	suite := workload.HandTrackingSuite()
+	if opt.Layers > 0 && opt.Layers < len(suite) {
+		suite = suite[:opt.Layers]
+	}
+
+	var rows []ValidationRow
+	var sum float64
+	for _, l := range suite {
+		mm := workload.Im2Col(l)
+		best, _, err := mapper.Best(&mm, a, &mapper.Options{
+			Spatial: sp, BWAware: true, MaxCandidates: maxCand,
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("validation: %s: %w", l.Name, err)
+		}
+		p := &core.Problem{Layer: &mm, Arch: a, Mapping: best.Mapping}
+		sr, err := sim.Simulate(p, nil)
+		if err != nil {
+			return nil, 0, fmt.Errorf("validation: %s: %w", l.Name, err)
+		}
+		acc := 1 - math.Abs(best.Result.CCTotal-float64(sr.Cycles))/float64(sr.Cycles)
+		rows = append(rows, ValidationRow{
+			Layer:    l.Name,
+			ModelCC:  best.Result.CCTotal,
+			SimCC:    sr.Cycles,
+			Accuracy: acc,
+			Util:     best.Result.Utilization,
+			Stalled:  best.Result.SSOverall > 0,
+		})
+		sum += acc
+	}
+	return rows, sum / float64(len(rows)), nil
+}

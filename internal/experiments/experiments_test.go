@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/dse"
+	"repro/internal/loops"
+	"repro/internal/workload"
+)
+
+// TestValidationAccuracy asserts the Fig. 5(c) headline: high average
+// model-vs-simulator accuracy across the workload suite. The paper reports
+// 94.3% against RTL; we require >= 85% against the reference simulator on a
+// reduced-budget run (the full run in cmd/validate reaches 98.4%).
+func TestValidationAccuracy(t *testing.T) {
+	rows, avg, err := Validation(&ValidationOptions{Layers: 6, MaxCandidates: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The reduced search budget costs a little mapping quality (and hence
+	// model-sim agreement on stalls); the full-budget run in cmd/validate
+	// averages 98.4%.
+	if avg < 0.85 {
+		t.Errorf("average accuracy %.3f < 0.85", avg)
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0.6 || r.Accuracy > 1.0 {
+			t.Errorf("%s accuracy %.3f out of band", r.Layer, r.Accuracy)
+		}
+		if r.ModelCC <= 0 || r.SimCC <= 0 {
+			t.Errorf("%s non-positive latencies", r.Layer)
+		}
+	}
+}
+
+// TestCase1Shape asserts the Fig. 6 findings: identical ideal latency,
+// Mapping B substantially faster thanks to lower temporal stall, Mapping A
+// at least matching B on energy, and the partial-sum round trips present
+// only in A.
+func TestCase1Shape(t *testing.T) {
+	r, err := Case1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.A.Result.CCIdeal != 38400 || r.B.Result.CCIdeal != 38400 {
+		t.Errorf("CC_ideal = %v/%v, want 38400 (paper Fig. 6)", r.A.Result.CCIdeal, r.B.Result.CCIdeal)
+	}
+	if r.A.Result.CCSpatial != r.B.Result.CCSpatial {
+		t.Error("A and B differ in spatial cycles")
+	}
+	// B at least 15% lower latency (paper: 30%).
+	if r.B.Result.CCTotal > 0.85*r.A.Result.CCTotal {
+		t.Errorf("B not enough faster: A %v vs B %v", r.A.Result.CCTotal, r.B.Result.CCTotal)
+	}
+	if r.B.Result.SSOverall >= r.A.Result.SSOverall {
+		t.Error("B does not have lower temporal stall")
+	}
+	if r.B.Result.Utilization <= r.A.Result.Utilization {
+		t.Error("B does not have better utilization")
+	}
+	// A saves energy (paper: 5%).
+	if r.A.Energy.TotalPJ >= r.B.Energy.TotalPJ {
+		t.Errorf("A not energy-better: %v vs %v", r.A.Energy.TotalPJ, r.B.Energy.TotalPJ)
+	}
+	// Partial sums round-trip in A only.
+	if r.A.PsumRT == 0 || r.B.PsumRT != 0 {
+		t.Errorf("psum readbacks A=%d B=%d", r.A.PsumRT, r.B.PsumRT)
+	}
+	// Both exceed the GB write RealBW (Fig. 6(f): 3072 vs 128 bit/cycle).
+	if r.A.GBwrReq <= r.A.GBwrReal || r.B.GBwrReq <= r.B.GBwrReal {
+		t.Error("GB write ReqBW does not exceed RealBW")
+	}
+	if r.A.GBwrReq != 3072 {
+		t.Errorf("A GB write ReqBW = %v, want 3072 bit/cycle", r.A.GBwrReq)
+	}
+	// A's psum traffic needs far more GB read bandwidth than B's.
+	if r.A.GBrdReq < 4*r.B.GBrdReq {
+		t.Errorf("A GB read ReqBW %v not >> B %v", r.A.GBrdReq, r.B.GBrdReq)
+	}
+}
+
+func TestCase1WeightTrafficIdentical(t *testing.T) {
+	// "W's data reuse distribution across memory levels in these two
+	// mappings are the same": total W elements crossing each interface
+	// match between A and B.
+	r, err := Case1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Layer.Strides
+	for lvl := 0; lvl < 2; lvl++ {
+		ta := r.A.Mapping.MemData(loops.W, lvl, st) * r.A.Mapping.Periods(loops.W, lvl)
+		tb := r.B.Mapping.MemData(loops.W, lvl, st) * r.B.Mapping.Periods(loops.W, lvl)
+		if ta != tb {
+			t.Errorf("W traffic at level %d: A %d vs B %d", lvl, ta, tb)
+		}
+	}
+}
+
+func TestCase1Census(t *testing.T) {
+	if testing.Short() {
+		t.Skip("census is slow")
+	}
+	r, err := Case1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MappingCount < 1000 {
+		t.Errorf("mapping census %d implausibly small", r.MappingCount)
+	}
+}
+
+// TestCase2Shape asserts the Fig. 7 findings.
+func TestCase2Shape(t *testing.T) {
+	rows, err := Case2(&Case2Options{MaxCandidates: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Case2Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		// Breakdown adds up.
+		sum := float64(0)
+		sum += r.Ideal + r.SpatialStall + r.TemporalStall + r.Preload + r.Offload
+		if d := sum - r.Real; d > 1 || d < -1 {
+			t.Errorf("%s breakdown %v != total %v", r.Name, sum, r.Real)
+		}
+		// Ideal latency tracks MAC count exactly.
+		if r.Ideal != float64(r.MACs)/256 {
+			t.Errorf("%s ideal %v vs MACs %d", r.Name, r.Ideal, r.MACs)
+		}
+		if r.Real < r.Unaware-1e-9 {
+			t.Errorf("%s full model below baseline", r.Name)
+		}
+	}
+
+	// Output-dominant, small-C layers show large discrepancy (paper: 7.4x
+	// at (128,128,8), 9.2x at (512,512,8)); reduction-heavy layers are
+	// compute-bound and converge.
+	small := byName["(128,128,8)"]
+	big := byName["(512,512,8)"]
+	deep := byName["(128,128,128)"]
+	if small.Discrepancy < 2 {
+		t.Errorf("(128,128,8) discrepancy %.2f, want >= 2", small.Discrepancy)
+	}
+	if big.Discrepancy < small.Discrepancy {
+		t.Errorf("(512,512,8) discrepancy %.2f not >= (128,128,8) %.2f", big.Discrepancy, small.Discrepancy)
+	}
+	if deep.Discrepancy > 1.2 {
+		t.Errorf("(128,128,128) discrepancy %.2f, want ~1", deep.Discrepancy)
+	}
+	// Real latency follows total data size: the biggest-data layer has
+	// the biggest real latency among same-MAC layers.
+	if big.Real <= deep.Real*(float64(big.TotalBits)/float64(deep.TotalBits))/10 {
+		t.Error("real latency does not track data size")
+	}
+}
+
+// TestCase3Shape asserts the Fig. 8 findings on the quick pool.
+func TestCase3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	r, err := Case3(&Case3Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a) Unaware: within one array size the COMPUTE latency is flat;
+	// only the preload/offload edges vary with memory size (larger
+	// buffers take longer to fill), so the min-area design looks
+	// (near-)optimal — larger memories appear to buy nothing. The spread
+	// bound is loose because preload is a visible fraction of this small
+	// workload; the min-area check below is the meaningful assertion.
+	for arr, s := range arraySpread(r.Unaware) {
+		if s > 1.0 {
+			t.Errorf("unaware: array %s latency spread %.3f, want small", arr, s)
+		}
+	}
+	minArea := map[string]dse.Point{}
+	for _, p := range r.Unaware {
+		if !p.Valid {
+			continue
+		}
+		if cur, ok := minArea[p.Array]; !ok || p.Areamm2 < cur.Areamm2 {
+			minArea[p.Array] = p
+		}
+	}
+	for arr, p := range minArea {
+		best := dse.BestPerArray(r.Unaware)[arr]
+		if p.Latency > 1.1*best.Latency {
+			t.Errorf("unaware: %s min-area design %.0f cc not near best %.0f cc", arr, p.Latency, best.Latency)
+		}
+	}
+	// (b) Aware at low BW: memory configuration matters.
+	spreadLow := arraySpread(r.Low)
+	any := false
+	for _, s := range spreadLow {
+		if s > 0.05 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("aware low-BW: no array shows latency spread across memory configs")
+	}
+	// Aware latencies are never below unaware ones for the same design.
+	bestU := dse.BestPerArray(r.Unaware)
+	bestL := dse.BestPerArray(r.Low)
+	bestH := dse.BestPerArray(r.High)
+	for arr := range bestU {
+		if bestL[arr].Latency < bestU[arr].Latency-1e-9 {
+			t.Errorf("%s: aware low-BW faster than unaware", arr)
+		}
+		// (c) More GB bandwidth never hurts.
+		if bestH[arr].Latency > bestL[arr].Latency+1e-9 {
+			t.Errorf("%s: 1024b GB slower than 128b", arr)
+		}
+	}
+	// The paper's array-size crossover: at low GB bandwidth the 32x32
+	// array outperforms the 64x64; only high bandwidth restores the large
+	// array's advantage (Fig. 8(b) vs (c)).
+	if bestL["32x32"].Latency >= bestL["64x64"].Latency {
+		t.Errorf("low BW: 32x32 (%v) does not beat 64x64 (%v)",
+			bestL["32x32"].Latency, bestL["64x64"].Latency)
+	}
+	if bestH["64x64"].Latency >= bestH["32x32"].Latency {
+		t.Error("high BW: 64x64 not faster than 32x32")
+	}
+	// The unaware model, blind to all this, always prefers the big array.
+	if bestU["64x64"].Latency >= bestU["32x32"].Latency {
+		t.Error("unaware: 64x64 not 'faster' than 32x32")
+	}
+	// Pareto front is sane: strictly improving latency with area.
+	front := dse.Pareto(r.Low)
+	for i := 1; i < len(front); i++ {
+		if front[i].Latency >= front[i-1].Latency || front[i].Areamm2 <= front[i-1].Areamm2 {
+			t.Error("Pareto front not strictly improving")
+		}
+	}
+}
+
+// arraySpread returns, per array size, (max-min)/min of valid latencies.
+func arraySpread(pts []dse.Point) map[string]float64 {
+	minL := map[string]float64{}
+	maxL := map[string]float64{}
+	for _, p := range pts {
+		if !p.Valid {
+			continue
+		}
+		if v, ok := minL[p.Array]; !ok || p.Latency < v {
+			minL[p.Array] = p.Latency
+		}
+		if v, ok := maxL[p.Array]; !ok || p.Latency > v {
+			maxL[p.Array] = p.Latency
+		}
+	}
+	out := map[string]float64{}
+	for arr := range minL {
+		out[arr] = (maxL[arr] - minL[arr]) / minL[arr]
+	}
+	return out
+}
+
+// The Case-2 sweep's canonical points must exist in the suite (guards the
+// workload generator against drift).
+func TestCase2SweepCoversPaperPoints(t *testing.T) {
+	names := map[string]bool{}
+	for _, l := range workload.Case2Sweep() {
+		names[l.Name] = true
+	}
+	for _, want := range []string{"(128,128,8)", "(512,512,8)", "(128,128,128)"} {
+		if !names[want] {
+			t.Errorf("sweep missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// PrecisionRow is one operand-precision configuration of the sweep.
+type PrecisionRow struct {
+	W, I, O  int // bits
+	Latency  float64
+	Stall    float64
+	EnergyPJ float64
+}
+
+// PrecisionSweep quantifies the paper's Case-2 aside that the 24b output
+// precision (vs 8b W/I) is what pressures the GB write path: it evaluates
+// an output-dominant layer across operand precisions on the fixed
+// case-study accelerator, re-optimizing the mapping per point.
+func PrecisionSweep(maxCandidates int) ([]PrecisionRow, error) {
+	if maxCandidates <= 0 {
+		maxCandidates = 2000
+	}
+	hw := arch.CaseStudy()
+	sp := arch.CaseStudySpatial()
+	configs := []workload.Precision{
+		{W: 4, I: 4, O: 16},
+		{W: 8, I: 8, O: 8},
+		{W: 8, I: 8, O: 16},
+		{W: 8, I: 8, O: 24}, // the paper's configuration
+		{W: 8, I: 8, O: 32},
+		{W: 16, I: 16, O: 32},
+	}
+	var rows []PrecisionRow
+	for _, prec := range configs {
+		l := workload.NewMatMul(fmt.Sprintf("w%d i%d o%d", prec.W, prec.I, prec.O), 128, 128, 8)
+		l.Precision = prec
+		best, _, err := mapper.Best(&l, hw, &mapper.Options{
+			Spatial: sp, BWAware: true, MaxCandidates: maxCandidates,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("precision sweep %s: %w", l.Name, err)
+		}
+		row := PrecisionRow{
+			W: prec.W, I: prec.I, O: prec.O,
+			Latency: best.Result.CCTotal,
+			Stall:   best.Result.SSOverall,
+		}
+		p := &core.Problem{Layer: &l, Arch: hw, Mapping: best.Mapping}
+		if eb, err := energy.Evaluate(p, nil); err == nil {
+			row.EnergyPJ = eb.TotalPJ
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

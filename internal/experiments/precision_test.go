@@ -1,0 +1,72 @@
+package experiments
+
+import "testing"
+
+func TestPrecisionSweep(t *testing.T) {
+	rows, err := PrecisionSweep(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byO := map[int]PrecisionRow{}
+	for _, r := range rows {
+		if r.Latency <= 0 || r.EnergyPJ <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		if r.W == 8 && r.I == 8 {
+			byO[r.O] = r
+		}
+	}
+	// At fixed 8b W/I, widening the outputs raises both the drain stall
+	// and the energy: the Case-2 mechanism.
+	for _, pair := range [][2]int{{8, 16}, {16, 24}, {24, 32}} {
+		lo, okLo := byO[pair[0]]
+		hi, okHi := byO[pair[1]]
+		if !okLo || !okHi {
+			t.Fatalf("missing O=%d or O=%d rows", pair[0], pair[1])
+		}
+		if hi.Latency < lo.Latency {
+			t.Errorf("O %d->%d bits lowered latency: %v -> %v",
+				pair[0], pair[1], lo.Latency, hi.Latency)
+		}
+		if hi.EnergyPJ <= lo.EnergyPJ {
+			t.Errorf("O %d->%d bits lowered energy", pair[0], pair[1])
+		}
+	}
+	// The stall at O=32 clearly exceeds the stall at O=8.
+	if byO[32].Stall <= byO[8].Stall {
+		t.Errorf("stall not growing with O precision: %v vs %v", byO[32].Stall, byO[8].Stall)
+	}
+}
+
+func TestCase2Grid(t *testing.T) {
+	extents := []int64{16, 64}
+	cells, err := Case2Grid(extents, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Real <= 0 || c.Unaware <= 0 || c.Discrepancy < 1-1e-9 {
+			t.Errorf("degenerate cell %+v", c)
+		}
+	}
+	// The small-C, big-BK corner must have a larger discrepancy than the
+	// big-C corner (Fig. 7's monotone trend).
+	byKey := map[[3]int64]GridCell{}
+	for _, c := range cells {
+		byKey[[3]int64{c.B, c.K, c.C}] = c
+	}
+	if byKey[[3]int64{64, 64, 16}].Discrepancy <= byKey[[3]int64{64, 64, 64}].Discrepancy {
+		t.Errorf("discrepancy not falling with C: %v vs %v",
+			byKey[[3]int64{64, 64, 16}].Discrepancy, byKey[[3]int64{64, 64, 64}].Discrepancy)
+	}
+	rows, cols, vals := DiscrepancyMatrix(cells, extents)
+	if len(rows) != 4 || len(cols) != 2 || len(vals) != 4 || len(vals[0]) != 2 {
+		t.Errorf("matrix shape wrong: %d x %d", len(rows), len(cols))
+	}
+}

@@ -1,0 +1,219 @@
+// Package fusion decides which adjacent layer pairs of a network to fuse:
+// a fused boundary streams tile-by-tile from producer to consumer, so the
+// global buffer holds only a double-buffered tile of the intermediate
+// activation instead of the whole tensor. Fusion is the classic remedy for
+// activation spills; this package chooses fusions greedily with the buffer
+// planner of package alloc in the loop — each fusion shrinks the planned
+// footprint, and the measured benefit is the off-chip spill traffic it
+// eliminates.
+package fusion
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/mapper"
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+// Options tunes the optimizer.
+type Options struct {
+	// MaxCandidates is the per-layer mapping search budget (default 3000).
+	MaxCandidates int
+	// SpillBWBits prices off-chip traffic (default GB port /4 as in
+	// package network).
+	SpillBWBits int64
+	// MaxFusions bounds the fused boundaries (0 = unlimited).
+	MaxFusions int
+}
+
+// Result is the fusion verdict for one network on one architecture.
+type Result struct {
+	// Fused[i] reports whether the boundary after layer i is fused.
+	Fused []bool
+	// UnfusedPlan / FusedPlan are the buffer plans before and after.
+	UnfusedPlan *alloc.Plan
+	FusedPlan   *alloc.Plan
+	// UnfusedCC / FusedCC are the network latencies (layer compute plus
+	// spill round trips) before and after fusion.
+	UnfusedCC float64
+	FusedCC   float64
+	// SavedCC = UnfusedCC - FusedCC.
+	SavedCC float64
+	// TileBits[i] is the live tile buffer a fused boundary i keeps.
+	TileBits []int64
+}
+
+// layerInfo caches per-layer evaluation results.
+type layerInfo struct {
+	name     string
+	cc       float64
+	wBits    int64
+	outBits  int64
+	tileBits int64 // double-buffered producer output tile
+}
+
+// Optimize evaluates the network, then fuses spilled boundaries greedily
+// (largest spill first) until the plan is spill-free, the fusion budget is
+// exhausted, or no fusion helps.
+func Optimize(n *network.Network, hw *arch.Arch, spatial loops.Nest, opt *Options) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if opt == nil {
+		opt = &Options{}
+	}
+	budget := opt.MaxCandidates
+	if budget <= 0 {
+		budget = 3000
+	}
+	gb := hw.MemoryByName(hw.Chain[loops.W][len(hw.Chain[loops.W])-1])
+	if gb == nil {
+		return nil, fmt.Errorf("fusion: no outermost memory")
+	}
+	spillBW := opt.SpillBWBits
+	if spillBW <= 0 {
+		spillBW = gb.Ports[len(gb.Ports)-1].BWBits / 4
+		if spillBW <= 0 {
+			spillBW = 32
+		}
+	}
+
+	// Per-layer evaluation.
+	infos := make([]layerInfo, len(n.Layers))
+	for i := range n.Layers {
+		lowered := workload.Im2Col(n.Layers[i])
+		best, _, err := mapper.Best(&lowered, hw, &mapper.Options{
+			Spatial: spatial, BWAware: true, MaxCandidates: budget,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fusion: layer %s: %w", n.Layers[i].Name, err)
+		}
+		infos[i] = layerInfo{
+			name:    n.Layers[i].Name,
+			cc:      best.Result.CCTotal,
+			wBits:   lowered.OperandBits(loops.W),
+			outBits: lowered.OperandBits(loops.O),
+			// The producer drains output tiles of its innermost level;
+			// a fused boundary ping-pongs two of them.
+			tileBits: 2 * best.Mapping.MemData(loops.O, 0, lowered.Strides) *
+				int64(lowered.Precision.Bits(loops.O)),
+		}
+	}
+
+	fused := make([]bool, len(infos))
+	plan := func() (*alloc.Plan, map[int]int64, error) {
+		var tensors []alloc.Tensor
+		actIdx := map[int]int{}
+		for i, li := range infos {
+			tensors = append(tensors, alloc.Tensor{
+				Name: "w[" + li.name + "]", Bits: li.wBits, FirstUse: i, LastUse: i,
+			})
+			bits := li.outBits
+			if i < len(fused) && fused[i] {
+				bits = li.tileBits
+			}
+			last := i
+			if i+1 < len(infos) {
+				last = i + 1
+			}
+			actIdx[i] = len(tensors)
+			tensors = append(tensors, alloc.Tensor{
+				Name: "act[" + li.name + "]", Bits: bits, FirstUse: i, LastUse: last,
+			})
+		}
+		p, err := alloc.Build(tensors, gb.CapacityBits)
+		if err != nil {
+			return nil, nil, err
+		}
+		spills := map[int]int64{}
+		for i, ti := range actIdx {
+			if p.Placements[ti].Spill && i+1 < len(infos) {
+				spills[i] = p.Placements[ti].Tensor.Bits
+			}
+		}
+		return p, spills, nil
+	}
+
+	cost := func(spills map[int]int64) float64 {
+		total := 0.0
+		for i := range infos {
+			total += infos[i].cc
+		}
+		for _, bits := range spills {
+			total += float64(loops.CeilDiv(2*bits, spillBW))
+		}
+		return total
+	}
+
+	basePlan, baseSpills, err := plan()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Fused:       fused,
+		UnfusedPlan: basePlan,
+		UnfusedCC:   cost(baseSpills),
+		TileBits:    make([]int64, len(infos)),
+	}
+	for i, li := range infos {
+		res.TileBits[i] = li.tileBits
+	}
+
+	curPlan, curSpills := basePlan, baseSpills
+	curCC := res.UnfusedCC
+	fusions := 0
+	for {
+		// Pick the largest spilled, not-yet-fused boundary.
+		bestIdx, bestBits := -1, int64(0)
+		for i, bits := range curSpills {
+			if !fused[i] && bits > bestBits {
+				bestIdx, bestBits = i, bits
+			}
+		}
+		if bestIdx < 0 || (opt.MaxFusions > 0 && fusions >= opt.MaxFusions) {
+			break
+		}
+		fused[bestIdx] = true
+		p2, s2, err := plan()
+		if err != nil {
+			return nil, err
+		}
+		cc2 := cost(s2)
+		if cc2 >= curCC {
+			fused[bestIdx] = false // no benefit; stop
+			break
+		}
+		curPlan, curSpills, curCC = p2, s2, cc2
+		fusions++
+	}
+
+	res.FusedPlan = curPlan
+	res.FusedCC = curCC
+	res.SavedCC = res.UnfusedCC - res.FusedCC
+	return res, nil
+}
+
+// Report renders the verdict.
+func (r *Result) Report(layerNames []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fusion: %.0f cc -> %.0f cc (saved %.0f cc)\n", r.UnfusedCC, r.FusedCC, r.SavedCC)
+	any := false
+	for i, f := range r.Fused {
+		if f && i < len(layerNames) {
+			fmt.Fprintf(&b, "  fuse %s -> next (tile buffer %d KiB instead of full tensor)\n",
+				layerNames[i], r.TileBits[i]/8192)
+			any = true
+		}
+	}
+	if !any {
+		b.WriteString("  no fusion needed (or none helps)\n")
+	}
+	fmt.Fprintf(&b, "  GB spill: %d KiB -> %d KiB\n",
+		r.UnfusedPlan.SpillBits/8192, r.FusedPlan.SpillBits/8192)
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package fusion
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+func bigActNet() *network.Network {
+	// Wide spatial layers whose boundary activations dwarf a small GB.
+	return &network.Network{
+		Name: "bigact",
+		Layers: []workload.Layer{
+			workload.NewPointwise("pw1", 1, 64, 16, 28, 28),
+			workload.NewPointwise("pw2", 1, 64, 64, 28, 28),
+			workload.NewPointwise("pw3", 1, 32, 64, 28, 28),
+		},
+	}
+}
+
+func TestFusionEliminatesSpills(t *testing.T) {
+	n := bigActNet()
+	hw := arch.CaseStudy()
+	// Shrink the GB so whole boundary activations (64*784*24b = 147 KiB)
+	// cannot stay on chip.
+	hw.MemoryByName("GB").CapacityBits = 100 * 1024 * 8
+	r, err := Optimize(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UnfusedPlan.SpillBits == 0 {
+		t.Fatal("test premise broken: no spills without fusion")
+	}
+	fusedAny := false
+	for _, f := range r.Fused {
+		if f {
+			fusedAny = true
+		}
+	}
+	if !fusedAny {
+		t.Fatal("optimizer fused nothing despite spills")
+	}
+	if r.FusedPlan.SpillBits >= r.UnfusedPlan.SpillBits {
+		t.Errorf("fusion did not reduce spills: %d -> %d",
+			r.UnfusedPlan.SpillBits, r.FusedPlan.SpillBits)
+	}
+	if r.SavedCC <= 0 {
+		t.Errorf("fusion saved no latency: %+v", r)
+	}
+	if r.FusedCC+r.SavedCC != r.UnfusedCC {
+		t.Error("savings accounting inconsistent")
+	}
+	names := []string{"pw1", "pw2", "pw3"}
+	rep := r.Report(names)
+	if !strings.Contains(rep, "fuse") || !strings.Contains(rep, "saved") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestFusionNoOpWithBigGB(t *testing.T) {
+	n := bigActNet()
+	hw := arch.CaseStudy()
+	hw.MemoryByName("GB").CapacityBits = 1 << 28
+	r, err := Optimize(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range r.Fused {
+		if f {
+			t.Errorf("boundary %d fused without need", i)
+		}
+	}
+	if r.SavedCC != 0 {
+		t.Errorf("phantom savings %v", r.SavedCC)
+	}
+	if !strings.Contains(r.Report([]string{"a", "b", "c"}), "no fusion needed") {
+		t.Error("no-op not reported")
+	}
+}
+
+func TestFusionBudget(t *testing.T) {
+	n := bigActNet()
+	hw := arch.CaseStudy()
+	hw.MemoryByName("GB").CapacityBits = 60 * 1024 * 8
+	r, err := Optimize(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 800, MaxFusions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, f := range r.Fused {
+		if f {
+			count++
+		}
+	}
+	if count > 1 {
+		t.Errorf("fusion budget exceeded: %d", count)
+	}
+}
+
+func TestFusionTileMuchSmallerThanTensor(t *testing.T) {
+	n := bigActNet()
+	hw := arch.CaseStudy()
+	hw.MemoryByName("GB").CapacityBits = 100 * 1024 * 8
+	r, err := Optimize(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range r.Fused {
+		if !f {
+			continue
+		}
+		lowered := workload.Im2Col(n.Layers[i])
+		full := lowered.OperandBits(loops.O)
+		if r.TileBits[i]*4 > full {
+			t.Errorf("boundary %d tile %d not much smaller than tensor %d",
+				i, r.TileBits[i], full)
+		}
+	}
+}
+
+func TestFusionErrors(t *testing.T) {
+	if _, err := Optimize(&network.Network{Name: "e"}, arch.CaseStudy(), arch.CaseStudySpatial(), nil); err == nil {
+		t.Error("empty network optimized")
+	}
+}

@@ -1,0 +1,379 @@
+// Package loops defines the seven-dimensional nested-loop representation of
+// dense DNN layers used throughout the latency model, together with the
+// operand relevance classification (r / ir loops) from the paper's Section
+// III-A (which itself adopts the representation of ZigZag).
+//
+// A layer is a perfectly nested loop over the dimensions
+//
+//	B  — batch
+//	K  — output channels
+//	C  — input channels
+//	OY — output rows
+//	OX — output columns
+//	FY — filter rows
+//	FX — filter columns
+//
+// Every operand (W, I, O) classifies each dimension as relevant (r) — the
+// dimension indexes into that operand's data — or irrelevant (ir) — iterating
+// the dimension reuses the same data. The input operand additionally has
+// partially relevant (pr) dimension pairs: OY/FY and OX/FX jointly index the
+// input rows/columns through the sliding window.
+package loops
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dim identifies one of the seven canonical DNN layer dimensions.
+type Dim uint8
+
+// The seven canonical layer dimensions.
+const (
+	B Dim = iota
+	K
+	C
+	OY
+	OX
+	FY
+	FX
+	numDims
+)
+
+// NumDims is the number of canonical layer dimensions.
+const NumDims = int(numDims)
+
+// AllDims lists every canonical dimension in declaration order.
+var AllDims = [NumDims]Dim{B, K, C, OY, OX, FY, FX}
+
+var dimNames = [NumDims]string{"B", "K", "C", "OY", "OX", "FY", "FX"}
+
+// String returns the canonical upper-case name of the dimension.
+func (d Dim) String() string {
+	if int(d) < len(dimNames) {
+		return dimNames[d]
+	}
+	return fmt.Sprintf("Dim(%d)", uint8(d))
+}
+
+// ParseDim converts a dimension name (case-insensitive) to a Dim.
+func ParseDim(s string) (Dim, error) {
+	up := strings.ToUpper(strings.TrimSpace(s))
+	for i, n := range dimNames {
+		if n == up {
+			return Dim(i), nil
+		}
+	}
+	return 0, fmt.Errorf("loops: unknown dimension %q", s)
+}
+
+// Operand identifies one of the three layer operands.
+type Operand uint8
+
+// The three layer operands.
+const (
+	W Operand = iota // weights
+	I                // inputs (activations)
+	O                // outputs (partial and final sums)
+	numOperands
+)
+
+// NumOperands is the number of layer operands.
+const NumOperands = int(numOperands)
+
+// AllOperands lists every operand in declaration order.
+var AllOperands = [NumOperands]Operand{W, I, O}
+
+var operandNames = [NumOperands]string{"W", "I", "O"}
+
+// String returns the canonical single-letter operand name.
+func (o Operand) String() string {
+	if int(o) < len(operandNames) {
+		return operandNames[o]
+	}
+	return fmt.Sprintf("Operand(%d)", uint8(o))
+}
+
+// ParseOperand converts an operand name ("W", "I", "O", case-insensitive)
+// to an Operand.
+func ParseOperand(s string) (Operand, error) {
+	up := strings.ToUpper(strings.TrimSpace(s))
+	for i, n := range operandNames {
+		if n == up {
+			return Operand(i), nil
+		}
+	}
+	return 0, fmt.Errorf("loops: unknown operand %q", s)
+}
+
+// Relevance classifies how a dimension relates to an operand's data layout.
+type Relevance uint8
+
+// Relevance classes.
+const (
+	Irrelevant        Relevance = iota // iterating the dim reuses the same data
+	Relevant                           // the dim indexes the operand's data
+	PartiallyRelevant                  // the dim indexes jointly with a partner dim (input sliding window)
+)
+
+// String returns "ir", "r" or "pr".
+func (r Relevance) String() string {
+	switch r {
+	case Irrelevant:
+		return "ir"
+	case Relevant:
+		return "r"
+	case PartiallyRelevant:
+		return "pr"
+	}
+	return fmt.Sprintf("Relevance(%d)", uint8(r))
+}
+
+// relevanceTable[op][dim] gives the relevance of dim for operand op.
+//
+//	W: r = {K, C, FY, FX};       ir = {B, OY, OX}
+//	I: r = {B, C}; pr = {OY, OX, FY, FX}; ir = {K}
+//	O: r = {B, K, OY, OX};       ir = {C, FY, FX}
+var relevanceTable = [NumOperands][NumDims]Relevance{
+	W: {B: Irrelevant, K: Relevant, C: Relevant, OY: Irrelevant, OX: Irrelevant, FY: Relevant, FX: Relevant},
+	I: {B: Relevant, K: Irrelevant, C: Relevant, OY: PartiallyRelevant, OX: PartiallyRelevant, FY: PartiallyRelevant, FX: PartiallyRelevant},
+	O: {B: Relevant, K: Relevant, C: Irrelevant, OY: Relevant, OX: Relevant, FY: Irrelevant, FX: Irrelevant},
+}
+
+// RelevanceOf returns the relevance of dimension d for operand op.
+func RelevanceOf(op Operand, d Dim) Relevance {
+	return relevanceTable[op][d]
+}
+
+// IsReuseDim reports whether iterating dimension d leaves operand op's data
+// unchanged (i.e. d is irrelevant for op). Partially relevant dimensions are
+// treated as data-changing because the sliding window shifts the accessed
+// input region.
+func IsReuseDim(op Operand, d Dim) bool {
+	return relevanceTable[op][d] == Irrelevant
+}
+
+// prPartner maps each partially relevant input dimension to its window
+// partner: OY<->FY and OX<->FX.
+var prPartner = map[Dim]Dim{OY: FY, FY: OY, OX: FX, FX: OX}
+
+// PRPartner returns the partner dimension of a partially relevant input
+// dimension (OY<->FY, OX<->FX) and whether d has one.
+func PRPartner(d Dim) (Dim, bool) {
+	p, ok := prPartner[d]
+	return p, ok
+}
+
+// Loop is a single for-loop: a dimension iterated over a positive size.
+// A Loop with Size 1 is a degenerate (no-op) loop.
+type Loop struct {
+	Dim  Dim
+	Size int64
+}
+
+// String renders the loop as e.g. "K 16".
+func (l Loop) String() string { return fmt.Sprintf("%s %d", l.Dim, l.Size) }
+
+// Validate reports an error for non-positive loop sizes.
+func (l Loop) Validate() error {
+	if l.Size <= 0 {
+		return fmt.Errorf("loops: loop %s has non-positive size %d", l.Dim, l.Size)
+	}
+	return nil
+}
+
+// Nest is an ordered list of loops. By convention throughout this repository
+// index 0 is the INNERMOST loop and the last element is the outermost loop.
+type Nest []Loop
+
+// Product returns the product of all loop sizes in the nest (1 for empty).
+func (n Nest) Product() int64 {
+	p := int64(1)
+	for _, l := range n {
+		p *= l.Size
+	}
+	return p
+}
+
+// ProductOf returns the product of the sizes of loops whose dimension
+// satisfies keep.
+func (n Nest) ProductOf(keep func(Dim) bool) int64 {
+	p := int64(1)
+	for _, l := range n {
+		if keep(l.Dim) {
+			p *= l.Size
+		}
+	}
+	return p
+}
+
+// DimProduct returns, per dimension, the product of sizes of that dimension's
+// loops in the nest.
+func (n Nest) DimProduct() [NumDims]int64 {
+	var out [NumDims]int64
+	for i := range out {
+		out[i] = 1
+	}
+	for _, l := range n {
+		out[l.Dim] *= l.Size
+	}
+	return out
+}
+
+// Validate checks every loop in the nest.
+func (n Nest) Validate() error {
+	for i, l := range n {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("loops: nest index %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the nest.
+func (n Nest) Clone() Nest {
+	out := make(Nest, len(n))
+	copy(out, n)
+	return out
+}
+
+// String renders the nest from innermost to outermost, e.g.
+// "[C 4 | OX 8 | K 2]".
+func (n Nest) String() string {
+	parts := make([]string, len(n))
+	for i, l := range n {
+		parts[i] = l.String()
+	}
+	return "[" + strings.Join(parts, " | ") + "]"
+}
+
+// TopReuseRun returns the product of the sizes of the contiguous run of
+// loops, starting from the OUTERMOST end of the nest, that are irrelevant
+// for operand op. This is the "top ir loop size" factor of the paper's
+// Table I: for a non-double-buffered memory whose top temporal loops are ir
+// for the operand, the required bandwidth scales up by this product because
+// the held data may only be replaced during the final iteration of those
+// reuse loops.
+//
+// Loops of size 1 are transparent: they neither extend nor break the run.
+func (n Nest) TopReuseRun(op Operand) int64 {
+	run := int64(1)
+	for i := len(n) - 1; i >= 0; i-- {
+		l := n[i]
+		if l.Size == 1 {
+			continue
+		}
+		if IsReuseDim(op, l.Dim) {
+			run *= l.Size
+		} else {
+			break
+		}
+	}
+	return run
+}
+
+// ReuseProduct returns the product of the sizes of all loops in the nest
+// that are irrelevant for op — the total data-reuse factor the nest offers
+// that operand.
+func (n Nest) ReuseProduct(op Operand) int64 {
+	return n.ProductOf(func(d Dim) bool { return IsReuseDim(op, d) })
+}
+
+// PrimeFactors returns the ascending prime factorization of n (with
+// multiplicity). PrimeFactors(1) returns an empty slice; n must be >= 1.
+func PrimeFactors(n int64) []int64 {
+	if n < 1 {
+		panic(fmt.Sprintf("loops: PrimeFactors of non-positive %d", n))
+	}
+	var fs []int64
+	for n%2 == 0 {
+		fs = append(fs, 2)
+		n /= 2
+	}
+	for p := int64(3); p*p <= n; p += 2 {
+		for n%p == 0 {
+			fs = append(fs, p)
+			n /= p
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// Divisors returns all positive divisors of n in ascending order.
+func Divisors(n int64) []int64 {
+	if n < 1 {
+		panic(fmt.Sprintf("loops: Divisors of non-positive %d", n))
+	}
+	var ds []int64
+	for d := int64(1); d*d <= n; d++ {
+		if n%d == 0 {
+			ds = append(ds, d)
+			if d != n/d {
+				ds = append(ds, n/d)
+			}
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("loops: CeilDiv by non-positive %d", b))
+	}
+	return (a + b - 1) / b
+}
+
+// GCD returns the greatest common divisor of a and b (non-negative inputs).
+func GCD(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b (positive inputs).
+func LCM(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / GCD(a, b) * b
+}
+
+// ParseNest parses the human-readable nest syntax used throughout the
+// reports, e.g. "K 16 | B 8 | C 2" (case-insensitive, innermost first for
+// temporal nests). Surrounding brackets are tolerated.
+func ParseNest(s string) (Nest, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out Nest
+	for _, part := range strings.Split(s, "|") {
+		fields := strings.Fields(part)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("loops: bad nest component %q (want \"DIM SIZE\")", strings.TrimSpace(part))
+		}
+		d, err := ParseDim(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		var size int64
+		if _, err := fmt.Sscanf(fields[1], "%d", &size); err != nil {
+			return nil, fmt.Errorf("loops: bad loop size %q", fields[1])
+		}
+		l := Loop{Dim: d, Size: size}
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}

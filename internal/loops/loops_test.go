@@ -1,0 +1,393 @@
+package loops
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDimString(t *testing.T) {
+	want := map[Dim]string{B: "B", K: "K", C: "C", OY: "OY", OX: "OX", FY: "FY", FX: "FX"}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("Dim %d String = %q, want %q", d, d.String(), s)
+		}
+	}
+	if got := Dim(42).String(); got != "Dim(42)" {
+		t.Errorf("out-of-range Dim String = %q", got)
+	}
+}
+
+func TestParseDim(t *testing.T) {
+	for _, d := range AllDims {
+		got, err := ParseDim(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDim(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if got, err := ParseDim(" oy "); err != nil || got != OY {
+		t.Errorf("ParseDim lower/space = %v, %v", got, err)
+	}
+	if _, err := ParseDim("Q"); err == nil {
+		t.Error("ParseDim(Q) succeeded, want error")
+	}
+}
+
+func TestParseOperand(t *testing.T) {
+	for _, o := range AllOperands {
+		got, err := ParseOperand(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseOperand(%q) = %v, %v", o.String(), got, err)
+		}
+	}
+	if _, err := ParseOperand("X"); err == nil {
+		t.Error("ParseOperand(X) succeeded, want error")
+	}
+	if got := Operand(9).String(); got != "Operand(9)" {
+		t.Errorf("out-of-range Operand String = %q", got)
+	}
+}
+
+func TestRelevanceTable(t *testing.T) {
+	cases := []struct {
+		op   Operand
+		dim  Dim
+		want Relevance
+	}{
+		{W, K, Relevant}, {W, C, Relevant}, {W, FY, Relevant}, {W, FX, Relevant},
+		{W, B, Irrelevant}, {W, OY, Irrelevant}, {W, OX, Irrelevant},
+		{I, B, Relevant}, {I, C, Relevant}, {I, K, Irrelevant},
+		{I, OY, PartiallyRelevant}, {I, OX, PartiallyRelevant},
+		{I, FY, PartiallyRelevant}, {I, FX, PartiallyRelevant},
+		{O, B, Relevant}, {O, K, Relevant}, {O, OY, Relevant}, {O, OX, Relevant},
+		{O, C, Irrelevant}, {O, FY, Irrelevant}, {O, FX, Irrelevant},
+	}
+	for _, c := range cases {
+		if got := RelevanceOf(c.op, c.dim); got != c.want {
+			t.Errorf("RelevanceOf(%s, %s) = %s, want %s", c.op, c.dim, got, c.want)
+		}
+	}
+}
+
+func TestRelevanceString(t *testing.T) {
+	if Irrelevant.String() != "ir" || Relevant.String() != "r" || PartiallyRelevant.String() != "pr" {
+		t.Error("Relevance String values wrong")
+	}
+	if got := Relevance(7).String(); got != "Relevance(7)" {
+		t.Errorf("out-of-range Relevance String = %q", got)
+	}
+}
+
+func TestIsReuseDim(t *testing.T) {
+	// W and O have 3 reuse (ir) dims; I has only K (its window dims are pr).
+	wantIR := map[Operand]int{W: 3, I: 1, O: 3}
+	for _, op := range AllOperands {
+		n := 0
+		for _, d := range AllDims {
+			if IsReuseDim(op, d) {
+				n++
+			}
+		}
+		if n != wantIR[op] {
+			t.Errorf("operand %s has %d ir dims, want %d", op, n, wantIR[op])
+		}
+	}
+	// pr dims are not reuse dims for I.
+	for _, d := range []Dim{OY, OX, FY, FX} {
+		if IsReuseDim(I, d) {
+			t.Errorf("I should not reuse over %s", d)
+		}
+	}
+}
+
+func TestPRPartner(t *testing.T) {
+	pairs := map[Dim]Dim{OY: FY, FY: OY, OX: FX, FX: OX}
+	for d, want := range pairs {
+		got, ok := PRPartner(d)
+		if !ok || got != want {
+			t.Errorf("PRPartner(%s) = %s, %v; want %s", d, got, ok, want)
+		}
+	}
+	if _, ok := PRPartner(K); ok {
+		t.Error("PRPartner(K) should not exist")
+	}
+}
+
+func TestNestProduct(t *testing.T) {
+	n := Nest{{C, 4}, {OX, 8}, {K, 2}}
+	if got := n.Product(); got != 64 {
+		t.Errorf("Product = %d, want 64", got)
+	}
+	if got := (Nest{}).Product(); got != 1 {
+		t.Errorf("empty Product = %d, want 1", got)
+	}
+	if got := n.ProductOf(func(d Dim) bool { return d == C || d == K }); got != 8 {
+		t.Errorf("ProductOf = %d, want 8", got)
+	}
+}
+
+func TestNestDimProduct(t *testing.T) {
+	n := Nest{{C, 4}, {C, 2}, {K, 3}}
+	dp := n.DimProduct()
+	if dp[C] != 8 || dp[K] != 3 || dp[B] != 1 {
+		t.Errorf("DimProduct = %v", dp)
+	}
+}
+
+func TestNestValidate(t *testing.T) {
+	if err := (Nest{{C, 4}, {K, 1}}).Validate(); err != nil {
+		t.Errorf("valid nest got error: %v", err)
+	}
+	if err := (Nest{{C, 0}}).Validate(); err == nil {
+		t.Error("zero-size loop validated")
+	}
+	if err := (Loop{K, -2}).Validate(); err == nil {
+		t.Error("negative loop validated")
+	}
+}
+
+func TestNestCloneIndependence(t *testing.T) {
+	n := Nest{{C, 4}, {K, 2}}
+	c := n.Clone()
+	c[0].Size = 99
+	if n[0].Size != 4 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestNestString(t *testing.T) {
+	n := Nest{{C, 4}, {OX, 8}}
+	if got := n.String(); got != "[C 4 | OX 8]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTopReuseRun(t *testing.T) {
+	// Innermost first: [C 4 | OX 8 | OY 2]; for W the top run is OY*OX = 16.
+	n := Nest{{C, 4}, {OX, 8}, {OY, 2}}
+	if got := n.TopReuseRun(W); got != 16 {
+		t.Errorf("TopReuseRun(W) = %d, want 16", got)
+	}
+	// For O, OY and OX are relevant: top loop is OY (r) so run = 1.
+	if got := n.TopReuseRun(O); got != 1 {
+		t.Errorf("TopReuseRun(O) = %d, want 1", got)
+	}
+	// Size-1 loops are transparent.
+	n2 := Nest{{C, 4}, {OX, 8}, {K, 1}, {OY, 2}}
+	if got := n2.TopReuseRun(W); got != 16 {
+		t.Errorf("TopReuseRun with size-1 gap = %d, want 16", got)
+	}
+	// A relevant loop on top stops the run immediately.
+	n3 := Nest{{OX, 8}, {C, 4}}
+	if got := n3.TopReuseRun(W); got != 1 {
+		t.Errorf("TopReuseRun r-top = %d, want 1", got)
+	}
+	// Empty nest.
+	if got := (Nest{}).TopReuseRun(W); got != 1 {
+		t.Errorf("TopReuseRun empty = %d, want 1", got)
+	}
+}
+
+func TestReuseProduct(t *testing.T) {
+	n := Nest{{C, 4}, {OX, 8}, {K, 2}, {B, 3}}
+	if got := n.ReuseProduct(W); got != 24 { // OX*B
+		t.Errorf("ReuseProduct(W) = %d, want 24", got)
+	}
+	if got := n.ReuseProduct(O); got != 4 { // C
+		t.Errorf("ReuseProduct(O) = %d, want 4", got)
+	}
+	if got := n.ReuseProduct(I); got != 2 { // K
+		t.Errorf("ReuseProduct(I) = %d, want 2", got)
+	}
+}
+
+func TestPrimeFactors(t *testing.T) {
+	cases := map[int64][]int64{
+		1:   {},
+		2:   {2},
+		12:  {2, 2, 3},
+		97:  {97},
+		360: {2, 2, 2, 3, 3, 5},
+	}
+	for n, want := range cases {
+		got := PrimeFactors(n)
+		if len(got) != len(want) {
+			t.Errorf("PrimeFactors(%d) = %v, want %v", n, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("PrimeFactors(%d) = %v, want %v", n, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestPrimeFactorsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PrimeFactors(0) did not panic")
+		}
+	}()
+	PrimeFactors(0)
+}
+
+func TestDivisors(t *testing.T) {
+	got := Divisors(12)
+	want := []int64{1, 2, 3, 4, 6, 12}
+	if len(got) != len(want) {
+		t.Fatalf("Divisors(12) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Divisors(12) = %v, want %v", got, want)
+		}
+	}
+	if d := Divisors(1); len(d) != 1 || d[0] != 1 {
+		t.Errorf("Divisors(1) = %v", d)
+	}
+}
+
+func TestCeilDivGCDLCM(t *testing.T) {
+	if CeilDiv(7, 2) != 4 || CeilDiv(8, 2) != 4 || CeilDiv(0, 5) != 0 {
+		t.Error("CeilDiv wrong")
+	}
+	if GCD(12, 18) != 6 || GCD(7, 13) != 1 || GCD(0, 5) != 5 {
+		t.Error("GCD wrong")
+	}
+	if LCM(4, 6) != 12 || LCM(0, 5) != 0 {
+		t.Error("LCM wrong")
+	}
+}
+
+func TestPrimeFactorsRoundTrip(t *testing.T) {
+	f := func(x uint16) bool {
+		n := int64(x)%5000 + 1
+		p := int64(1)
+		for _, f := range PrimeFactors(n) {
+			p *= f
+		}
+		return p == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivisorsDivide(t *testing.T) {
+	f := func(x uint16) bool {
+		n := int64(x)%2000 + 1
+		for _, d := range Divisors(n) {
+			if n%d != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInputExtent(t *testing.T) {
+	// Unit stride/dilation: IX = OX + FX - 1.
+	if got := InputExtent(8, 3, 1, 1); got != 10 {
+		t.Errorf("InputExtent(8,3,1,1) = %d, want 10", got)
+	}
+	// Stride 2: (8-1)*2 + (3-1)*1 + 1 = 17.
+	if got := InputExtent(8, 3, 2, 1); got != 17 {
+		t.Errorf("InputExtent stride2 = %d, want 17", got)
+	}
+	// Degenerate inputs clamp to 1.
+	if got := InputExtent(0, 0, 0, 0); got != 1 {
+		t.Errorf("InputExtent degenerate = %d, want 1", got)
+	}
+}
+
+func TestTileElems(t *testing.T) {
+	var dims [NumDims]int64
+	for i := range dims {
+		dims[i] = 1
+	}
+	dims[K], dims[C], dims[FY], dims[FX] = 16, 8, 3, 3
+	if got := TileElems(W, dims, DefaultStrides()); got != 16*8*9 {
+		t.Errorf("W TileElems = %d", got)
+	}
+	dims[B], dims[OY], dims[OX] = 2, 8, 8
+	if got := TileElems(O, dims, DefaultStrides()); got != 2*16*64 {
+		t.Errorf("O TileElems = %d", got)
+	}
+	// I: B*C*(OY+FY-1)*(OX+FX-1) = 2*8*10*10.
+	if got := TileElems(I, dims, DefaultStrides()); got != 2*8*100 {
+		t.Errorf("I TileElems = %d", got)
+	}
+	// Zero-filled dims behave as 1s.
+	var zero [NumDims]int64
+	if got := TileElems(W, zero, Strides{}); got != 1 {
+		t.Errorf("zero dims TileElems = %d", got)
+	}
+}
+
+func TestNestTileElems(t *testing.T) {
+	n := Nest{{K, 4}, {C, 2}, {K, 2}}
+	if got := NestTileElems(W, n, DefaultStrides()); got != 16 {
+		t.Errorf("NestTileElems = %d, want 16", got)
+	}
+}
+
+// Property: for W and O, TileElems is multiplicative in each relevant dim.
+func TestTileElemsMultiplicative(t *testing.T) {
+	f := func(k, c uint8) bool {
+		var dims [NumDims]int64
+		for i := range dims {
+			dims[i] = 1
+		}
+		dims[K] = int64(k)%7 + 1
+		dims[C] = int64(c)%7 + 1
+		return TileElems(W, dims, DefaultStrides()) == dims[K]*dims[C]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNest(t *testing.T) {
+	n, err := ParseNest("[K 16 | B 8 | C 2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.String() != "[K 16 | B 8 | C 2]" {
+		t.Errorf("round trip = %s", n.String())
+	}
+	// Bare and lower-case forms.
+	n2, err := ParseNest("k 4 | oy 7")
+	if err != nil || n2.Product() != 28 {
+		t.Errorf("bare parse: %v, %v", n2, err)
+	}
+	// Empty.
+	if n3, err := ParseNest("[]"); err != nil || len(n3) != 0 {
+		t.Errorf("empty parse: %v, %v", n3, err)
+	}
+	// Errors.
+	for _, bad := range []string{"K", "K x", "Q 4", "K 0", "K 4 | "} {
+		if _, err := ParseNest(bad); err == nil {
+			t.Errorf("ParseNest(%q) accepted", bad)
+		}
+	}
+}
+
+// Property: every rendered nest parses back to itself.
+func TestParseNestRoundTrip(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		n := Nest{
+			{Dim: AllDims[a%7], Size: int64(a%9) + 1},
+			{Dim: AllDims[b%7], Size: int64(b%9) + 1},
+			{Dim: AllDims[c%7], Size: int64(c%9) + 1},
+		}
+		got, err := ParseNest(n.String())
+		return err == nil && got.String() == n.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

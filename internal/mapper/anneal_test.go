@@ -1,0 +1,101 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/workload"
+)
+
+func TestAnnealMatchesExhaustiveOnSmallSpace(t *testing.T) {
+	l := workload.NewMatMul("a", 32, 64, 64)
+	hw := arch.CaseStudy()
+	exh, _, err := Best(&l, hw, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := Anneal(&l, hw, &AnnealOptions{
+		Spatial: arch.CaseStudySpatial(), BWAware: true,
+		Iterations: 3000, Restarts: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ann.Mapping.Validate(&l, hw); err != nil {
+		t.Fatalf("anneal mapping invalid: %v", err)
+	}
+	// The annealer must come within 15% of the exhaustive optimum.
+	if ann.Result.CCTotal > 1.15*exh.Result.CCTotal {
+		t.Errorf("anneal %.0f vs exhaustive %.0f", ann.Result.CCTotal, exh.Result.CCTotal)
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	l := workload.NewMatMul("d", 32, 32, 32)
+	hw := arch.CaseStudy()
+	o := &AnnealOptions{Spatial: arch.CaseStudySpatial(), BWAware: true, Iterations: 800, Seed: 42}
+	a1, err := Anneal(&l, hw, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Anneal(&l, hw, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Result.CCTotal != a2.Result.CCTotal {
+		t.Error("annealing not deterministic for a fixed seed")
+	}
+}
+
+func TestAnnealDirectConv(t *testing.T) {
+	// A 7-dim direct conv: the exhaustive space explodes, the annealer
+	// must still return a valid competitive mapping.
+	l := workload.NewConv2D("c", 1, 32, 16, 28, 28, 3, 3)
+	hw := arch.RowStationary()
+	ann, err := Anneal(&l, hw, &AnnealOptions{
+		Spatial: arch.RowStationarySpatial(), BWAware: true,
+		Iterations: 2500, Restarts: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ann.Mapping.Validate(&l, hw); err != nil {
+		t.Fatal(err)
+	}
+	if ann.Result.Utilization <= 0.2 {
+		t.Errorf("anneal utilization %.2f implausibly low", ann.Result.Utilization)
+	}
+}
+
+func TestAnnealErrors(t *testing.T) {
+	l := workload.NewMatMul("e", 8, 8, 8)
+	hw := arch.CaseStudy()
+	if _, err := Anneal(&l, hw, nil); err == nil {
+		t.Error("nil options accepted")
+	}
+	bad := workload.NewMatMul("b", 8, 8, 8)
+	bad.Dims[0] = -1
+	if _, err := Anneal(&bad, hw, &AnnealOptions{Spatial: arch.CaseStudySpatial()}); err == nil {
+		t.Error("invalid layer accepted")
+	}
+}
+
+func TestNeighbourPreservesProduct(t *testing.T) {
+	l := workload.NewMatMul("n", 32, 64, 64)
+	hw := arch.CaseStudy()
+	ann, err := Anneal(&l, hw, &AnnealOptions{
+		Spatial: arch.CaseStudySpatial(), BWAware: true, Iterations: 500, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever state won, its per-dim products must still cover the
+	// layer exactly (moves preserve products).
+	tp := ann.Mapping.Temporal.DimProduct()
+	sp := ann.Mapping.Spatial.DimProduct()
+	for _, d := range []int{0, 1, 2} { // B, K, C
+		if tp[d]*sp[d] < l.Dims[d] {
+			t.Errorf("dim %d under-covered", d)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package mapper_test
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// ExampleBest searches the temporal-mapping space of a fully connected
+// layer on the case-study accelerator.
+func ExampleBest() {
+	layer := workload.NewMatMul("fc", 64, 64, 64)
+	hw := arch.CaseStudy()
+	best, stats, err := mapper.Best(&layer, hw, &mapper.Options{
+		Spatial: arch.CaseStudySpatial(),
+		BWAware: true,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("valid mappings: %d\n", stats.Valid)
+	fmt.Printf("best compute cycles: %d (utilization %.0f%%)\n",
+		best.Result.CCSpatial, 100*best.Result.SpatialUtilization)
+	// Output:
+	// valid mappings: 4362
+	// best compute cycles: 1024 (utilization 100%)
+}
+
+// ExampleBestWithSpatial searches spatial unrollings jointly with the
+// temporal mapping.
+func ExampleBestWithSpatial() {
+	layer := workload.NewMatMul("fc", 48, 48, 48)
+	hw := arch.CaseStudy()
+	best, spatial, _, err := mapper.BestWithSpatial(&layer, hw, &mapper.SpatialOptions{
+		MaxSpatials: 6,
+		Temporal:    mapper.Options{BWAware: true, MaxCandidates: 600},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("winning spatial unrolling: %s\n", spatial)
+	fmt.Printf("scenario: %s\n", best.Result.Scenario)
+	// Output:
+	// winning spatial unrolling: [K 16 | B 4 | C 4]
+	// scenario: scenario 1
+}

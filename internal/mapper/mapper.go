@@ -1,0 +1,356 @@
+// Package mapper is a ZigZag-style temporal-mapping search engine: given a
+// layer, an architecture and a fixed spatial unrolling, it enumerates
+// temporal loop nests (per-dimension tiling factorization × loop ordering),
+// assigns per-operand memory-level boundaries greedily under capacity, and
+// evaluates each valid mapping with the latency model of package core
+// (optionally the bandwidth-unaware baseline) and the energy model of
+// package energy.
+//
+// The paper integrates its latency model with ZigZag (Section V) to
+// generate design points; this package plays that role. It is exhaustive
+// within a bounded factorization/ordering space and deterministic.
+package mapper
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+// Objective selects what Best optimizes.
+type Objective uint8
+
+// Optimization objectives.
+const (
+	MinLatency Objective = iota
+	MinEnergy
+	MinEDP // energy-delay product
+)
+
+// Options tunes the search space.
+type Options struct {
+	// Spatial is the fixed spatial unrolling (required).
+	Spatial loops.Nest
+	// MaxSplitsPerDim bounds how many temporal loops one dimension may be
+	// split into (1 or 2; default 2).
+	MaxSplitsPerDim int
+	// Pow2Splits restricts split factors to powers of two (cuts the space
+	// for large prime-rich extents). Default false.
+	Pow2Splits bool
+	// MaxCandidates caps the number of loop nests evaluated (default
+	// 50000); the search reports how many were skipped.
+	MaxCandidates int
+	// Objective selects the ranking (default MinLatency).
+	Objective Objective
+	// BWAware selects the full model (true, default) or the bandwidth-
+	// unaware baseline for ranking — used to reproduce Fig. 8(a).
+	BWAware bool
+	// EnergyTable overrides the default energy table.
+	EnergyTable *energy.Table
+}
+
+func (o *Options) normalized() Options {
+	out := *o
+	if out.MaxSplitsPerDim <= 0 {
+		out.MaxSplitsPerDim = 2
+	}
+	if out.MaxCandidates <= 0 {
+		out.MaxCandidates = 50000
+	}
+	return out
+}
+
+// Candidate is one evaluated valid mapping.
+type Candidate struct {
+	Mapping  *mapping.Mapping
+	Result   *core.Result
+	EnergyPJ float64
+}
+
+// Score returns the candidate's objective value (lower is better).
+func (c *Candidate) Score(obj Objective) float64 {
+	switch obj {
+	case MinEnergy:
+		return c.EnergyPJ
+	case MinEDP:
+		return c.EnergyPJ * c.Result.CCTotal
+	}
+	return c.Result.CCTotal
+}
+
+// Stats summarizes a search.
+type Stats struct {
+	NestsGenerated int // ordered loop nests visited
+	Valid          int // mappings passing validation
+	Skipped        int // nests beyond MaxCandidates
+}
+
+// Best searches the space and returns the best candidate by the objective,
+// together with search statistics.
+func Best(l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Stats, error) {
+	var best *Candidate
+	o := opt.normalized()
+	stats, err := walk(l, a, &o, func(c *Candidate) {
+		if best == nil || c.Score(o.Objective) < best.Score(o.Objective) {
+			best = c
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if best == nil {
+		return nil, stats, fmt.Errorf("mapper: no valid mapping for layer %s on arch %s (of %d nests)", l.Name, a.Name, stats.NestsGenerated)
+	}
+	return best, stats, nil
+}
+
+// Enumerate returns every valid candidate (use bounded options; intended
+// for analysis and mapping-space counting, e.g. Case 1's mapping census).
+func Enumerate(l *workload.Layer, a *arch.Arch, opt *Options) ([]*Candidate, *Stats, error) {
+	var all []*Candidate
+	o := opt.normalized()
+	stats, err := walk(l, a, &o, func(c *Candidate) { all = append(all, c) })
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Score(o.Objective) < all[j].Score(o.Objective) })
+	return all, stats, nil
+}
+
+// walk generates and evaluates the space, invoking keep for each valid
+// candidate.
+func walk(l *workload.Layer, a *arch.Arch, o *Options, keep func(*Candidate)) (*Stats, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if len(o.Spatial) == 0 {
+		return nil, fmt.Errorf("mapper: no spatial unrolling given")
+	}
+	stats := &Stats{}
+
+	// Temporal extent per dimension after spatial unrolling (ceil).
+	sp := o.Spatial.DimProduct()
+	var extents [loops.NumDims]int64
+	for _, d := range loops.AllDims {
+		extents[d] = loops.CeilDiv(l.Dim(d), sp[d])
+	}
+
+	// Per-dimension split alternatives, including lightly padded extents:
+	// awkward (prime-rich) extents are rounded up to the next multiples of
+	// 2 and 4 so that stationarity-enabling inner loops exist. The padded
+	// iterations surface as spatial stall in the evaluation.
+	var dimSplits [loops.NumDims][][]int64
+	for _, d := range loops.AllDims {
+		dimSplits[d] = splits(extents[d], o.MaxSplitsPerDim, o.Pow2Splits)
+		for _, pad := range []int64{2, 4} {
+			pe := (extents[d] + pad - 1) / pad * pad
+			if pe > extents[d] && pe < 2*extents[d] {
+				dimSplits[d] = append(dimSplits[d], splits(pe, o.MaxSplitsPerDim, o.Pow2Splits)...)
+			}
+		}
+		dimSplits[d] = dedupSplits(dimSplits[d])
+	}
+
+	// Cartesian product of dimension splits -> block multisets -> ordered
+	// permutations.
+	var rec func(d int, blocks []loops.Loop)
+	rec = func(d int, blocks []loops.Loop) {
+		if stats.Skipped > 0 {
+			return
+		}
+		if d == loops.NumDims {
+			permute(blocks, func(nest loops.Nest) bool {
+				if stats.NestsGenerated >= o.MaxCandidates {
+					stats.Skipped++
+					return false
+				}
+				stats.NestsGenerated++
+				c := evaluate(l, a, o, nest)
+				if c != nil {
+					stats.Valid++
+					keep(c)
+				}
+				return true
+			})
+			return
+		}
+		dim := loops.AllDims[d]
+		for _, s := range dimSplits[dim] {
+			next := blocks
+			for _, f := range s {
+				if f > 1 {
+					next = append(next[:len(next):len(next)], loops.Loop{Dim: dim, Size: f})
+				}
+			}
+			rec(d+1, next)
+		}
+	}
+	rec(0, nil)
+	return stats, nil
+}
+
+// evaluate builds boundaries for one ordered nest, validates and scores it.
+// Returns nil for invalid mappings.
+func evaluate(l *workload.Layer, a *arch.Arch, o *Options, nest loops.Nest) *Candidate {
+	m := &mapping.Mapping{Spatial: o.Spatial.Clone(), Temporal: nest.Clone()}
+	if !assignBounds(m, l, a) {
+		return nil
+	}
+	if err := m.Validate(l, a); err != nil {
+		return nil
+	}
+	p := &core.Problem{Layer: l, Arch: a, Mapping: m}
+	var (
+		r   *core.Result
+		err error
+	)
+	if o.BWAware {
+		r, err = core.Evaluate(p)
+	} else {
+		r, err = core.EvaluateBWUnaware(p)
+	}
+	if err != nil {
+		return nil
+	}
+	c := &Candidate{Mapping: m, Result: r}
+	if o.Objective == MinEnergy || o.Objective == MinEDP {
+		b, err := energy.Evaluate(p, o.EnergyTable)
+		if err != nil {
+			return nil
+		}
+		c.EnergyPJ = b.TotalPJ
+	}
+	return c
+}
+
+// assignBounds sets each operand's level boundaries greedily: every level
+// absorbs as many loops (from where the previous level stopped) as its
+// mapper-visible capacity allows. Because operand-irrelevant loops do not
+// grow the resident tile, this automatically normalizes reuse loops to the
+// lowest possible level (the canonical placement discussed in DESIGN.md).
+// Returns false when even the spatial tile overflows some level.
+func assignBounds(m *mapping.Mapping, l *workload.Layer, a *arch.Arch) bool {
+	n := len(m.Temporal)
+	for _, op := range loops.AllOperands {
+		chain := a.ChainMems(op)
+		bounds := make([]int, len(chain))
+		prev := 0
+		for lev := range chain {
+			if lev == len(chain)-1 {
+				bounds[lev] = n
+				break
+			}
+			capBits := chain[lev].MapperCapacityBits()
+			bits := int64(l.Precision.Bits(op))
+			b := prev
+			m.Bound[op] = bounds // MemData reads Bound; keep it current
+			bounds[lev] = b
+			if m.MemData(op, lev, l.Strides)*bits > capBits {
+				return false // spatial tile alone does not fit
+			}
+			for b < n {
+				bounds[lev] = b + 1
+				if m.MemData(op, lev, l.Strides)*bits > capBits {
+					bounds[lev] = b
+					break
+				}
+				b++
+			}
+			prev = bounds[lev]
+		}
+		m.Bound[op] = bounds
+	}
+	return true
+}
+
+// splits returns the ways to factor extent into up to maxParts ordered
+// parts (inner first), dropping 1-factors. extent 1 yields one empty split.
+func splits(extent int64, maxParts int, pow2 bool) [][]int64 {
+	if extent == 1 {
+		return [][]int64{{}}
+	}
+	keepFactor := func(f int64) bool {
+		if !pow2 {
+			return true
+		}
+		return f&(f-1) == 0 || f == extent
+	}
+	out := [][]int64{{extent}}
+	if maxParts < 2 {
+		return out
+	}
+	for _, d := range loops.Divisors(extent) {
+		if d == 1 || d == extent {
+			continue
+		}
+		if !keepFactor(d) || !keepFactor(extent/d) {
+			continue
+		}
+		out = append(out, []int64{d, extent / d})
+	}
+	return out
+}
+
+// dedupSplits removes duplicate split alternatives.
+func dedupSplits(in [][]int64) [][]int64 {
+	seen := map[string]bool{}
+	out := in[:0]
+	for _, s := range in {
+		key := fmt.Sprint(s)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// permute visits every distinct ordering of the blocks; visit returns false
+// to stop the walk (candidate cap reached).
+func permute(blocks []loops.Loop, visit func(loops.Nest) bool) {
+	n := len(blocks)
+	if n == 0 {
+		visit(nil)
+		return
+	}
+	nest := make(loops.Nest, 0, n)
+	used := make([]bool, n)
+	seen := map[string]bool{}
+	var rec func() bool
+	rec = func() bool {
+		if len(nest) == n {
+			key := nest.String()
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+			return visit(nest)
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// Skip duplicate blocks at the same position.
+			if i > 0 && !used[i-1] && blocks[i] == blocks[i-1] {
+				continue
+			}
+			used[i] = true
+			nest = append(nest, blocks[i])
+			ok := rec()
+			nest = nest[:len(nest)-1]
+			used[i] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec()
+}

@@ -1,0 +1,234 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/workload"
+)
+
+func opts() *Options {
+	return &Options{Spatial: arch.CaseStudySpatial(), BWAware: true}
+}
+
+func TestBestFindsValidMapping(t *testing.T) {
+	l := workload.NewMatMul("m", 32, 64, 64)
+	a := arch.CaseStudy()
+	best, stats, err := Best(&l, a, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Valid == 0 || stats.NestsGenerated == 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if err := best.Mapping.Validate(&l, a); err != nil {
+		t.Fatalf("best mapping invalid: %v", err)
+	}
+	if best.Result.CCTotal <= 0 {
+		t.Error("non-positive latency")
+	}
+	// CC_spatial of any valid mapping here: (32/8)*(64/16)*(64/2) = 512.
+	if best.Result.CCSpatial != 512 {
+		t.Errorf("CCSpatial = %d, want 512", best.Result.CCSpatial)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	l := workload.NewMatMul("m", 16, 32, 32)
+	a := arch.CaseStudy()
+	b1, _, err := Best(&l, a, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := Best(&l, a, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Result.CCTotal != b2.Result.CCTotal || b1.Mapping.Temporal.String() != b2.Mapping.Temporal.String() {
+		t.Error("search not deterministic")
+	}
+}
+
+func TestEnumerateSortedAndValid(t *testing.T) {
+	l := workload.NewMatMul("m", 16, 32, 32)
+	a := arch.CaseStudy()
+	all, stats, err := Enumerate(&l, a, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != stats.Valid {
+		t.Fatalf("returned %d != valid %d", len(all), stats.Valid)
+	}
+	if len(all) < 2 {
+		t.Fatalf("space too small: %d", len(all))
+	}
+	for i, c := range all {
+		if err := c.Mapping.Validate(&l, a); err != nil {
+			t.Fatalf("candidate %d invalid: %v", i, err)
+		}
+		if i > 0 && all[i-1].Result.CCTotal > c.Result.CCTotal+1e-9 {
+			t.Fatal("enumeration not sorted by latency")
+		}
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	l := workload.NewMatMul("m", 16, 32, 32)
+	a := arch.CaseStudy()
+
+	oe := opts()
+	oe.Objective = MinEnergy
+	be, _, err := Best(&l, a, oe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.EnergyPJ <= 0 {
+		t.Error("no energy computed for MinEnergy objective")
+	}
+
+	ol := opts()
+	bl, _, err := Best(&l, a, ol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Result.CCTotal > be.Result.CCTotal+1e-9 {
+		t.Error("latency-best slower than energy-best")
+	}
+
+	op := opts()
+	op.Objective = MinEDP
+	bp, _, err := Best(&l, a, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.EnergyPJ*bp.Result.CCTotal > be.EnergyPJ*be.Result.CCTotal+1e-6 {
+		t.Error("EDP-best has worse EDP than energy-best")
+	}
+}
+
+func TestBWUnawareRanking(t *testing.T) {
+	l := workload.NewMatMul("m", 32, 64, 64)
+	a := arch.CaseStudy()
+	ou := opts()
+	ou.BWAware = false
+	bu, _, err := Best(&l, a, ou)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bu.Result.SSOverall != 0 {
+		t.Error("baseline result carries temporal stall")
+	}
+	// Re-scoring the unaware winner with the aware model can only be
+	// slower or equal to the aware winner.
+	ba, _, err := Best(&l, a, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Problem{Layer: &l, Arch: a, Mapping: bu.Mapping}
+	re, err := core.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.CCTotal < ba.Result.CCTotal-1e-9 {
+		t.Errorf("aware search missed a better mapping: %v < %v", re.CCTotal, ba.Result.CCTotal)
+	}
+}
+
+func TestMaxCandidatesCap(t *testing.T) {
+	l := workload.NewMatMul("m", 64, 128, 256)
+	a := arch.CaseStudy()
+	o := opts()
+	o.MaxCandidates = 50
+	_, stats, err := Best(&l, a, o)
+	if err != nil && stats == nil {
+		t.Fatal(err)
+	}
+	if stats.NestsGenerated > 50 {
+		t.Errorf("cap exceeded: %d", stats.NestsGenerated)
+	}
+	if stats.Skipped == 0 {
+		t.Error("expected skipped nests with a tight cap")
+	}
+}
+
+func TestSplits(t *testing.T) {
+	s := splits(12, 2, false)
+	// {12}, {2,6}, {3,4}, {4,3}, {6,2}.
+	if len(s) != 5 {
+		t.Errorf("splits(12) = %v", s)
+	}
+	s1 := splits(12, 1, false)
+	if len(s1) != 1 || s1[0][0] != 12 {
+		t.Errorf("splits(12, 1 part) = %v", s1)
+	}
+	p2 := splits(12, 2, true)
+	// pow2 keeps {12} and pairs with both factors pow2-or-extent: none of
+	// (2,6),(3,4),(4,3),(6,2) qualify except... 2 is pow2 but 6 is not.
+	if len(p2) != 1 {
+		t.Errorf("pow2 splits(12) = %v", p2)
+	}
+	if got := splits(1, 2, false); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("splits(1) = %v", got)
+	}
+	if got := splits(8, 2, true); len(got) != 3 { // {8},{2,4},{4,2}
+		t.Errorf("pow2 splits(8) = %v", got)
+	}
+}
+
+func TestPermuteDedup(t *testing.T) {
+	blocks := []loops.Loop{{Dim: loops.C, Size: 2}, {Dim: loops.C, Size: 2}}
+	count := 0
+	permute(blocks, func(loops.Nest) bool { count++; return true })
+	if count != 1 {
+		t.Errorf("duplicate blocks gave %d permutations, want 1", count)
+	}
+	var none int
+	permute(nil, func(loops.Nest) bool { none++; return true })
+	if none != 1 {
+		t.Errorf("empty permute visited %d times", none)
+	}
+}
+
+func TestNoValidMapping(t *testing.T) {
+	// Shrink the registers below the spatial tile so nothing fits.
+	a := arch.CaseStudy()
+	a.MemoryByName("W-Reg").CapacityBits = 8
+	l := workload.NewMatMul("m", 16, 32, 32)
+	if _, _, err := Best(&l, a, opts()); err == nil {
+		t.Error("expected no-valid-mapping error")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	l := workload.NewMatMul("m", 16, 32, 32)
+	a := arch.CaseStudy()
+	if _, _, err := Best(&l, a, &Options{}); err == nil {
+		t.Error("missing spatial accepted")
+	}
+	bad := workload.NewMatMul("m", 16, 32, 32)
+	bad.Dims[loops.C] = -3
+	if _, _, err := Best(&bad, a, opts()); err == nil {
+		t.Error("invalid layer accepted")
+	}
+}
+
+// The greedy boundary assignment must produce output-stationary mappings
+// when the O registers can hold the spatial tile: all reduction loops that
+// fit below O's top boundary sit at the register level.
+func TestGreedyNormalizesReuseLoops(t *testing.T) {
+	l := workload.NewMatMul("m", 16, 32, 32)
+	a := arch.CaseStudy()
+	best, _, err := Best(&l, a, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := best.Mapping
+	// O's register level must contain every loop that does not grow the O
+	// tile beyond capacity — in particular the innermost loop if it is a
+	// C loop.
+	if m.Temporal[0].Dim == loops.C && m.Bound[loops.O][0] == 0 {
+		t.Error("greedy left a free reuse loop above the O register level")
+	}
+}

@@ -1,0 +1,175 @@
+package mapper
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/workload"
+)
+
+// SpatialOptions tunes the spatial-unrolling search of BestWithSpatial.
+type SpatialOptions struct {
+	// Dims restricts which dimensions may be spatially unrolled
+	// (default: K, B, C — the matmul dims; pass all seven for direct
+	// convolution dataflows).
+	Dims []loops.Dim
+	// MaxDims bounds how many dimensions one unrolling may combine
+	// (default 3).
+	MaxDims int
+	// MinOccupancy discards unrollings using less than this fraction of
+	// the MAC array (default 0.5).
+	MinOccupancy float64
+	// MaxSpatials bounds how many unrollings are tried (default 24, best
+	// occupancy first).
+	MaxSpatials int
+	// Temporal carries the per-spatial temporal search options; its
+	// Spatial field is overwritten per candidate.
+	Temporal Options
+}
+
+func (o *SpatialOptions) normalized() SpatialOptions {
+	out := *o
+	if len(out.Dims) == 0 {
+		out.Dims = []loops.Dim{loops.K, loops.B, loops.C}
+	}
+	if out.MaxDims <= 0 {
+		out.MaxDims = 3
+	}
+	if out.MinOccupancy <= 0 {
+		out.MinOccupancy = 0.5
+	}
+	if out.MaxSpatials <= 0 {
+		out.MaxSpatials = 24
+	}
+	return out
+}
+
+// SpatialCandidates enumerates spatial unrollings for a layer on an array:
+// combinations of power-of-two (plus exact-dimension) factors over the
+// allowed dims whose product fits the MAC count, ranked by array occupancy
+// then by fewer padded cycles.
+func SpatialCandidates(l *workload.Layer, a *arch.Arch, o *SpatialOptions) []loops.Nest {
+	opt := o.normalized()
+
+	// Factor alternatives per dim: powers of two up to min(dim padded up,
+	// MACs), plus the exact extent when small.
+	factors := map[loops.Dim][]int64{}
+	for _, d := range opt.Dims {
+		ext := l.Dim(d)
+		set := map[int64]bool{1: true}
+		for f := int64(2); f <= a.MACs; f *= 2 {
+			if f <= 2*ext { // allow one padding step
+				set[f] = true
+			}
+		}
+		if ext <= a.MACs {
+			set[ext] = true
+		}
+		var fs []int64
+		for f := range set {
+			fs = append(fs, f)
+		}
+		sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+		factors[d] = fs
+	}
+
+	type cand struct {
+		nest loops.Nest
+		occ  float64
+		pad  float64
+	}
+	var cands []cand
+	seen := map[string]bool{}
+
+	var rec func(i int, used int, cur loops.Nest, prod int64)
+	rec = func(i int, used int, cur loops.Nest, prod int64) {
+		if i == len(opt.Dims) {
+			occ := float64(prod) / float64(a.MACs)
+			if occ < opt.MinOccupancy || occ > 1 {
+				return
+			}
+			// Padded compute factor: Π ceil(dim/unroll)*unroll / dim.
+			pad := 1.0
+			dp := cur.DimProduct()
+			for _, d := range loops.AllDims {
+				if dp[d] > 1 {
+					pad *= float64(loops.CeilDiv(l.Dim(d), dp[d])*dp[d]) / float64(l.Dim(d))
+				}
+			}
+			key := cur.String()
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			cands = append(cands, cand{nest: cur.Clone(), occ: occ, pad: pad})
+			return
+		}
+		d := opt.Dims[i]
+		// Skip this dim.
+		rec(i+1, used, cur, prod)
+		if used >= opt.MaxDims {
+			return
+		}
+		for _, f := range factors[d] {
+			if f == 1 || prod*f > a.MACs {
+				continue
+			}
+			rec(i+1, used+1, append(cur, loops.Loop{Dim: d, Size: f}), prod*f)
+		}
+	}
+	rec(0, 0, nil, 1)
+
+	sort.Slice(cands, func(i, j int) bool {
+		oi, oj := cands[i].occ/cands[i].pad, cands[j].occ/cands[j].pad
+		if oi != oj {
+			return oi > oj
+		}
+		return cands[i].nest.String() < cands[j].nest.String()
+	})
+	if len(cands) > opt.MaxSpatials {
+		cands = cands[:opt.MaxSpatials]
+	}
+	out := make([]loops.Nest, len(cands))
+	for i, c := range cands {
+		out[i] = c.nest
+	}
+	return out
+}
+
+// BestWithSpatial searches jointly over spatial unrollings and temporal
+// mappings, returning the overall best candidate, the winning spatial nest
+// and aggregate statistics.
+func BestWithSpatial(l *workload.Layer, a *arch.Arch, o *SpatialOptions) (*Candidate, loops.Nest, *Stats, error) {
+	opt := o.normalized()
+	spatials := SpatialCandidates(l, a, &opt)
+	if len(spatials) == 0 {
+		return nil, nil, nil, fmt.Errorf("mapper: no spatial unrolling reaches occupancy %.0f%% on %s",
+			100*opt.MinOccupancy, a.Name)
+	}
+	total := &Stats{}
+	var best *Candidate
+	var bestSp loops.Nest
+	for _, sp := range spatials {
+		topt := opt.Temporal
+		topt.Spatial = sp
+		cand, stats, err := Best(l, a, &topt)
+		if stats != nil {
+			total.NestsGenerated += stats.NestsGenerated
+			total.Valid += stats.Valid
+			total.Skipped += stats.Skipped
+		}
+		if err != nil {
+			continue // this unrolling has no valid temporal mapping
+		}
+		if best == nil || cand.Score(opt.Temporal.Objective) < best.Score(opt.Temporal.Objective) {
+			best = cand
+			bestSp = sp
+		}
+	}
+	if best == nil {
+		return nil, nil, total, fmt.Errorf("mapper: no valid mapping across %d spatial unrollings", len(spatials))
+	}
+	return best, bestSp, total, nil
+}

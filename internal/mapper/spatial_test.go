@@ -1,0 +1,117 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/workload"
+)
+
+func TestSpatialCandidatesBasics(t *testing.T) {
+	l := workload.NewMatMul("m", 64, 64, 64)
+	a := arch.CaseStudy()
+	cands := SpatialCandidates(&l, a, &SpatialOptions{})
+	if len(cands) == 0 {
+		t.Fatal("no spatial candidates")
+	}
+	seen := map[string]bool{}
+	for _, sp := range cands {
+		if p := sp.Product(); p > a.MACs || float64(p) < 0.5*float64(a.MACs) {
+			t.Errorf("candidate %s occupancy out of band", sp)
+		}
+		if seen[sp.String()] {
+			t.Errorf("duplicate candidate %s", sp)
+		}
+		seen[sp.String()] = true
+		for _, lp := range sp {
+			if lp.Dim != loops.K && lp.Dim != loops.B && lp.Dim != loops.C {
+				t.Errorf("unexpected dim in %s", sp)
+			}
+		}
+	}
+	// A full-occupancy candidate must exist for power-of-two dims.
+	full := false
+	for _, sp := range cands {
+		if sp.Product() == a.MACs {
+			full = true
+		}
+	}
+	if !full {
+		t.Error("no full-occupancy unrolling found")
+	}
+}
+
+func TestSpatialCandidatesRespectLimits(t *testing.T) {
+	l := workload.NewMatMul("m", 64, 64, 64)
+	a := arch.CaseStudy()
+	cands := SpatialCandidates(&l, a, &SpatialOptions{MaxSpatials: 3})
+	if len(cands) > 3 {
+		t.Errorf("cap ignored: %d", len(cands))
+	}
+	two := SpatialCandidates(&l, a, &SpatialOptions{MaxDims: 1})
+	for _, sp := range two {
+		if len(sp) > 1 {
+			t.Errorf("MaxDims=1 violated: %s", sp)
+		}
+	}
+}
+
+func TestSpatialCandidatesConvDims(t *testing.T) {
+	l := workload.NewConv2D("c", 1, 32, 16, 28, 28, 3, 3)
+	a := arch.CaseStudy()
+	cands := SpatialCandidates(&l, a, &SpatialOptions{
+		Dims: []loops.Dim{loops.K, loops.OY, loops.FY},
+	})
+	if len(cands) == 0 {
+		t.Fatal("no conv spatial candidates")
+	}
+	hasOY := false
+	for _, sp := range cands {
+		for _, lp := range sp {
+			if lp.Dim == loops.OY {
+				hasOY = true
+			}
+		}
+	}
+	if !hasOY {
+		t.Error("no candidate unrolls OY")
+	}
+}
+
+func TestBestWithSpatial(t *testing.T) {
+	l := workload.NewMatMul("m", 48, 48, 48)
+	a := arch.CaseStudy()
+	best, sp, stats, err := BestWithSpatial(&l, a, &SpatialOptions{
+		MaxSpatials: 6,
+		Temporal:    Options{BWAware: true, MaxCandidates: 600},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil || len(sp) == 0 || stats.Valid == 0 {
+		t.Fatalf("missing results: %+v", stats)
+	}
+	if err := best.Mapping.Validate(&l, a); err != nil {
+		t.Fatal(err)
+	}
+	if best.Mapping.Spatial.String() != sp.String() {
+		t.Error("winning spatial not the mapping's spatial")
+	}
+	// Joint search must beat-or-match the fixed canonical unrolling,
+	// since the canonical K16|B8|C2 is in the candidate set.
+	fixed, _, err := Best(&l, a, &Options{
+		Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 600,
+	})
+	if err == nil && best.Result.CCTotal > fixed.Result.CCTotal+1e-9 {
+		t.Errorf("joint search (%v) worse than fixed spatial (%v)", best.Result.CCTotal, fixed.Result.CCTotal)
+	}
+}
+
+func TestBestWithSpatialNoCandidates(t *testing.T) {
+	l := workload.NewMatMul("m", 2, 2, 2) // cannot fill half of 256 MACs
+	a := arch.CaseStudy()
+	if _, _, _, err := BestWithSpatial(&l, a, &SpatialOptions{}); err == nil {
+		t.Error("expected no-candidate error")
+	}
+}

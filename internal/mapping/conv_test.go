@@ -1,0 +1,108 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/workload"
+)
+
+// convMapping builds a direct-conv mapping on the row-stationary arch:
+//
+//	layer: Conv2D B1 K8 C4 OY28 OX28 FY3 FX3
+//	spatial: FY 3 | OY 14 | K 4
+//	temporal (in->out): [FX 3 | OX 28 | C 4 | OY 2 | K 2]
+//	all operands: Spad=[FX 3 | OX 28], GB rest
+func convMapping() (*Mapping, *workload.Layer, *arch.Arch) {
+	l := workload.NewConv2D("c", 1, 8, 4, 28, 28, 3, 3)
+	a := arch.RowStationary()
+	m := &Mapping{
+		Spatial: arch.RowStationarySpatial(),
+		Temporal: loops.Nest{
+			{Dim: loops.FX, Size: 3},
+			{Dim: loops.OX, Size: 28},
+			{Dim: loops.C, Size: 4},
+			{Dim: loops.OY, Size: 2},
+			{Dim: loops.K, Size: 2},
+		},
+	}
+	m.Bound[loops.W] = []int{2, 5}
+	m.Bound[loops.I] = []int{2, 5}
+	m.Bound[loops.O] = []int{2, 5}
+	return m, &l, a
+}
+
+func TestConvSlidingWindowMemData(t *testing.T) {
+	m, l, a := convMapping()
+	if err := m.Validate(l, a); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Strides
+
+	// I at the spad level: spatial OY14 x FY3 -> IY = 14+3-1 = 16 rows;
+	// temporal OX28 x FX3 -> IX = 28+3-1 = 30 columns; C spatial/temporal
+	// below the spad = 1.
+	if got := m.MemData(loops.I, 0, st); got != 16*30 {
+		t.Errorf("I spad MemData = %d, want %d", got, 16*30)
+	}
+	// I at GB: full input: C4 x IY(28*2... OY total = 28, FY 3 -> 30) x
+	// IX 30.
+	if got := m.MemData(loops.I, 1, st); got != 4*30*30 {
+		t.Errorf("I GB MemData = %d, want %d", got, 4*30*30)
+	}
+	// W at spad: spatial FY3 x K4, temporal FX3 -> 36 weights.
+	if got := m.MemData(loops.W, 0, st); got != 3*4*3 {
+		t.Errorf("W spad MemData = %d, want 36", got)
+	}
+	// O at spad: spatial OY14 x K4, temporal OX28 -> 1568.
+	if got := m.MemData(loops.O, 0, st); got != 14*4*28 {
+		t.Errorf("O spad MemData = %d, want %d", got, 14*4*28)
+	}
+}
+
+func TestConvOutputTraffic(t *testing.T) {
+	m, _, _ := convMapping()
+	// Above O's spad level: [C 4 | OY 2 | K 2]; C is the only reduction.
+	tr := m.OutputTrafficAt(0)
+	if tr.WriteUps != 16 {
+		t.Errorf("WriteUps = %d, want 16", tr.WriteUps)
+	}
+	// Distinct tiles above = OY2 x K2 = 4 -> 12 readbacks.
+	if tr.ReadBacks != 12 {
+		t.Errorf("ReadBacks = %d, want 12", tr.ReadBacks)
+	}
+	if tr.FinalFraction != 0.25 {
+		t.Errorf("FinalFraction = %v, want 0.25", tr.FinalFraction)
+	}
+}
+
+func TestConvTopReuseRuns(t *testing.T) {
+	m, _, _ := convMapping()
+	// Spad level nest: [FX 3 | OX 28]. For W, OX is ir on top -> run 28.
+	if got := m.TopReuseRun(loops.W, 0); got != 28 {
+		t.Errorf("W spad run = %d, want 28", got)
+	}
+	// For O, FX is ir but OX (top) is relevant -> run 1.
+	if got := m.TopReuseRun(loops.O, 0); got != 1 {
+		t.Errorf("O spad run = %d, want 1", got)
+	}
+	// For I, OX/FX are partially relevant -> never reuse -> run 1.
+	if got := m.TopReuseRun(loops.I, 0); got != 1 {
+		t.Errorf("I spad run = %d, want 1", got)
+	}
+}
+
+func TestStridedMemData(t *testing.T) {
+	m, l, a := convMapping()
+	strided := *l
+	strided.Strides.SX, strided.Strides.SY = 2, 2
+	if err := m.Validate(&strided, a); err != nil {
+		t.Fatal(err)
+	}
+	// Spatial OY14 at stride 2: IY = (14-1)*2 + 3 = 29 rows; temporal
+	// OX28: IX = (28-1)*2+3 = 57.
+	if got := m.MemData(loops.I, 0, strided.Strides); got != 29*57 {
+		t.Errorf("strided I spad MemData = %d, want %d", got, 29*57)
+	}
+}

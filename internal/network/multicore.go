@@ -1,0 +1,143 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+)
+
+// MultiCoreOptions configures a multi-accelerator evaluation: Cores
+// identical accelerator instances share the workload, either by splitting
+// every layer's batch/row dimension across cores (data parallelism) or by
+// assigning whole layers to cores round-robin as a pipeline.
+type MultiCoreOptions struct {
+	Cores int
+	// Pipeline selects layer-pipelined execution (throughput-oriented)
+	// instead of per-layer batch splitting (latency-oriented).
+	Pipeline bool
+	// ShareGBBandwidth divides each core's global-buffer port bandwidth
+	// by the core count, modeling cores contending for one off-chip
+	// interface (data-parallel mode only).
+	ShareGBBandwidth bool
+	// Options carries the per-layer evaluation settings.
+	Options Options
+}
+
+// MultiCoreResult is the outcome of a multi-core evaluation.
+type MultiCoreResult struct {
+	Cores int
+	// LatencyCC: data-parallel = the slowest core's makespan; pipeline =
+	// the bottleneck stage's latency (the steady-state initiation
+	// interval).
+	LatencyCC float64
+	// SingleCoreCC is the 1-core reference latency.
+	SingleCoreCC float64
+	// Speedup = SingleCoreCC / LatencyCC.
+	Speedup float64
+	// Efficiency = Speedup / Cores.
+	Efficiency float64
+	// PerCore (pipeline mode): the per-stage makespans.
+	PerCore []float64
+}
+
+// EvaluateMultiCore runs the network on opt.Cores instances of hw.
+//
+// Data-parallel mode splits each layer's B dimension as evenly as the core
+// count allows (cores get ceil(B/Cores); the makespan is set by the largest
+// shard) and optionally divides the GB bandwidth. Pipeline mode assigns
+// layers to cores round-robin; the reported latency is the bottleneck
+// core's total, i.e. the steady-state initiation interval of the pipeline.
+func EvaluateMultiCore(n *Network, hw *arch.Arch, spatial loops.Nest, opt *MultiCoreOptions) (*MultiCoreResult, error) {
+	if opt == nil || opt.Cores < 1 {
+		return nil, fmt.Errorf("network: need at least 1 core")
+	}
+	base, err := Evaluate(n, hw, spatial, &opt.Options)
+	if err != nil {
+		return nil, err
+	}
+	res := &MultiCoreResult{Cores: opt.Cores, SingleCoreCC: base.TotalCC}
+	if opt.Cores == 1 {
+		res.LatencyCC = base.TotalCC
+		res.Speedup, res.Efficiency = 1, 1
+		return res, nil
+	}
+
+	if opt.Pipeline {
+		// Round-robin layer assignment; bottleneck stage dominates.
+		stages := make([]float64, opt.Cores)
+		for i := range base.Layers {
+			stages[i%opt.Cores] += base.Layers[i].EffectiveCC
+		}
+		worst := 0.0
+		for _, s := range stages {
+			if s > worst {
+				worst = s
+			}
+		}
+		res.PerCore = stages
+		res.LatencyCC = worst
+		res.Speedup = base.TotalCC / worst
+		res.Efficiency = res.Speedup / float64(opt.Cores)
+		return res, nil
+	}
+
+	// Data parallel: split each layer's B dimension.
+	coreHW := hw
+	if opt.ShareGBBandwidth {
+		coreHW = hw.Clone()
+		top := outermost(coreHW)
+		if top != nil {
+			for i := range top.Ports {
+				bw := top.Ports[i].BWBits / int64(opt.Cores)
+				if bw < 1 {
+					bw = 1
+				}
+				top.Ports[i].BWBits = bw
+			}
+		}
+	}
+	shard := &Network{Name: n.Name + "-shard"}
+	for i := range n.Layers {
+		l := n.Layers[i]
+		// Split the first output dimension large enough to shard: batch
+		// rows first, then output rows/columns (conv layers usually run
+		// B=1), then output channels. Only the extent shrinks, so the
+		// shard layer stays valid.
+		for _, d := range []loops.Dim{loops.B, loops.OY, loops.OX, loops.K} {
+			if l.Dim(d) >= int64(opt.Cores) {
+				l.Dims[d] = loops.CeilDiv(l.Dim(d), int64(opt.Cores))
+				break
+			}
+		}
+		l.Name = fmt.Sprintf("%s/c%d", l.Name, opt.Cores)
+		shard.Layers = append(shard.Layers, l)
+	}
+	shardRes, err := Evaluate(shard, coreHW, spatial, &opt.Options)
+	if err != nil {
+		return nil, fmt.Errorf("network: shard evaluation: %w", err)
+	}
+	res.LatencyCC = shardRes.TotalCC
+	res.Speedup = base.TotalCC / shardRes.TotalCC
+	res.Efficiency = res.Speedup / float64(opt.Cores)
+	return res, nil
+}
+
+// ScalingCurve evaluates 1..maxCores and returns the speedups, a compact
+// strong-scaling study for the future-work scenario.
+func ScalingCurve(n *Network, hw *arch.Arch, spatial loops.Nest, maxCores int, opt *MultiCoreOptions) ([]MultiCoreResult, error) {
+	if opt == nil {
+		opt = &MultiCoreOptions{Options: Options{MaxCandidates: 1000}}
+	}
+	var out []MultiCoreResult
+	for c := 1; c <= maxCores; c *= 2 {
+		o := *opt
+		o.Cores = c
+		r, err := EvaluateMultiCore(n, hw, spatial, &o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}

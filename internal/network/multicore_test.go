@@ -1,0 +1,121 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func mcOpts(cores int, pipeline, share bool) *MultiCoreOptions {
+	return &MultiCoreOptions{
+		Cores:            cores,
+		Pipeline:         pipeline,
+		ShareGBBandwidth: share,
+		Options:          Options{MaxCandidates: 800},
+	}
+}
+
+func TestMultiCoreSingle(t *testing.T) {
+	n := smallNet()
+	hw := arch.CaseStudy()
+	r, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), mcOpts(1, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Speedup != 1 || r.Efficiency != 1 || r.LatencyCC != r.SingleCoreCC {
+		t.Errorf("1-core results wrong: %+v", r)
+	}
+}
+
+func TestMultiCoreDataParallel(t *testing.T) {
+	n := smallNet()
+	hw := arch.CaseStudy()
+	r, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), mcOpts(4, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Speedup <= 1.2 {
+		t.Errorf("4-core data-parallel speedup %.2f too low", r.Speedup)
+	}
+	if r.Speedup > 4.5 {
+		t.Errorf("superlinear beyond tolerance: %.2f", r.Speedup)
+	}
+	if r.Efficiency <= 0 || r.Efficiency > 1.2 {
+		t.Errorf("efficiency %.2f out of band", r.Efficiency)
+	}
+}
+
+func TestMultiCoreSharedBandwidthHurts(t *testing.T) {
+	n := smallNet()
+	hw := arch.CaseStudy()
+	private, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), mcOpts(4, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), mcOpts(4, false, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Speedup > private.Speedup+1e-9 {
+		t.Errorf("sharing the GB interface helped: %.2f vs %.2f", shared.Speedup, private.Speedup)
+	}
+}
+
+func TestMultiCorePipeline(t *testing.T) {
+	n := smallNet()
+	hw := arch.CaseStudy()
+	r, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), mcOpts(3, true, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerCore) != 3 {
+		t.Fatalf("per-core stages = %d", len(r.PerCore))
+	}
+	var sum, worst float64
+	for _, s := range r.PerCore {
+		sum += s
+		if s > worst {
+			worst = s
+		}
+	}
+	if r.LatencyCC != worst {
+		t.Error("pipeline latency is not the bottleneck stage")
+	}
+	if d := sum - r.SingleCoreCC; d > 1e-6 || d < -1e-6 {
+		t.Errorf("stage sum %v != single-core %v", sum, r.SingleCoreCC)
+	}
+	// Pipelining a 3-layer net over 3 cores can never exceed 3x.
+	if r.Speedup > 3+1e-9 {
+		t.Errorf("impossible pipeline speedup %.2f", r.Speedup)
+	}
+}
+
+func TestScalingCurve(t *testing.T) {
+	n := smallNet()
+	hw := arch.CaseStudy()
+	curve, err := ScalingCurve(n, hw, arch.CaseStudySpatial(), 4,
+		mcOpts(0, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 { // 1, 2, 4
+		t.Fatalf("curve points = %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].LatencyCC > curve[i-1].LatencyCC+1e-9 {
+			t.Errorf("more cores increased latency: %v -> %v",
+				curve[i-1].LatencyCC, curve[i].LatencyCC)
+		}
+	}
+}
+
+func TestMultiCoreErrors(t *testing.T) {
+	n := smallNet()
+	hw := arch.CaseStudy()
+	if _, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), nil); err == nil {
+		t.Error("nil options accepted")
+	}
+	if _, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), mcOpts(0, false, false)); err == nil {
+		t.Error("0 cores accepted")
+	}
+}

@@ -1,0 +1,329 @@
+// Package network extends the intra-layer latency model across whole DNNs —
+// the paper's stated future work ("modeling and optimizing latency in
+// cross-layer multi-core DNN mapping scenarios", Section VI). A network is
+// an ordered sequence of layers executed on one accelerator; each layer is
+// lowered (Im2Col), mapped with the per-layer optimizer, and priced with
+// the intra-layer model. Two cross-layer effects are modeled:
+//
+//   - prefetch overlap: the next layer's weight pre-loading can hide under
+//     the current layer's computation when the weight path (W-LB) is
+//     double-buffered — the saved cycles are min(preload_{i+1}, busy_i);
+//   - on-chip forwarding: when a layer's output and its successor's input
+//     both fit in the global buffer alongside the working tiles, the
+//     intermediate tensor never leaves the chip (this is the default
+//     intra-layer assumption; the network model checks it and charges a
+//     DRAM-style spill penalty otherwise).
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/loops"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// Network is an ordered sequence of layers with tensor dependencies
+// layer[i] output -> layer[i+1] input.
+type Network struct {
+	Name   string
+	Layers []workload.Layer
+}
+
+// Validate checks every layer.
+func (n *Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("network %q has no layers", n.Name)
+	}
+	for i := range n.Layers {
+		if err := n.Layers[i].Validate(); err != nil {
+			return fmt.Errorf("network %q layer %d: %w", n.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// TotalMACs sums the MAC work of all layers.
+func (n *Network) TotalMACs() int64 {
+	var t int64
+	for i := range n.Layers {
+		t += n.Layers[i].TotalMACs()
+	}
+	return t
+}
+
+// Options tunes a network evaluation.
+type Options struct {
+	// MaxCandidates is the per-layer mapping search budget (default 6000).
+	MaxCandidates int
+	// Objective ranks per-layer mappings (default MinLatency).
+	Objective mapper.Objective
+	// NoPrefetch disables cross-layer weight prefetch overlap.
+	NoPrefetch bool
+	// SpillBWBits is the off-chip bandwidth used to price intermediate
+	// tensors that do not fit on chip (default: the GB write port BW / 4,
+	// a DRAM-ish derating).
+	SpillBWBits int64
+	// PlanGB enables the precise global-buffer allocation planner
+	// (package alloc): tensors get liveness intervals and offsets, and
+	// only tensors the planner actually spills are charged, replacing
+	// the coarse per-boundary heuristic.
+	PlanGB bool
+}
+
+// LayerResult is one layer's evaluation within the network.
+type LayerResult struct {
+	Layer     workload.Layer // the lowered (post-Im2Col) layer
+	Original  string         // original layer name
+	Candidate *mapper.Candidate
+	EnergyPJ  float64
+	// PrefetchSaved is the preload time hidden under the previous layer.
+	PrefetchSaved float64
+	// SpillCC is the extra time charged for off-chip intermediate
+	// traffic when the layer boundary does not fit in the GB.
+	SpillCC float64
+	// EffectiveCC is the layer's contribution to the network latency.
+	EffectiveCC float64
+}
+
+// Result is a whole-network evaluation.
+type Result struct {
+	Layers  []LayerResult
+	TotalCC float64
+	TotalPJ float64
+	// IdealCC is the stall-free lower bound (sum of per-layer CC_ideal).
+	IdealCC float64
+	// PrefetchSavedCC totals the hidden preload time.
+	PrefetchSavedCC float64
+	// Utilization is IdealCC / TotalCC.
+	Utilization float64
+	// GBPlan is the buffer allocation when Options.PlanGB is set.
+	GBPlan *alloc.Plan
+}
+
+// Evaluate runs every layer of the network through the mapper and the
+// intra-layer model on one architecture, applying the cross-layer effects.
+func Evaluate(n *Network, hw *arch.Arch, spatial loops.Nest, opt *Options) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if opt == nil {
+		opt = &Options{}
+	}
+	maxCand := opt.MaxCandidates
+	if maxCand <= 0 {
+		maxCand = 6000
+	}
+	spillBW := opt.SpillBWBits
+	if spillBW <= 0 {
+		gb := outermost(hw)
+		if gb != nil && len(gb.Ports) > 0 {
+			spillBW = gb.Ports[len(gb.Ports)-1].BWBits / 4
+		}
+		if spillBW <= 0 {
+			spillBW = 32
+		}
+	}
+
+	res := &Result{}
+	obj := opt.Objective
+	needEnergy := true
+	for i := range n.Layers {
+		orig := n.Layers[i]
+		lowered := workload.Im2Col(orig)
+		cand, _, err := mapper.Best(&lowered, hw, &mapper.Options{
+			Spatial:       spatial,
+			BWAware:       true,
+			Objective:     obj,
+			MaxCandidates: maxCand,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("network %q layer %s: %w", n.Name, orig.Name, err)
+		}
+		lr := LayerResult{
+			Layer:     lowered,
+			Original:  orig.Name,
+			Candidate: cand,
+		}
+		if needEnergy {
+			p := &core.Problem{Layer: &lr.Layer, Arch: hw, Mapping: cand.Mapping}
+			if eb, err := energy.Evaluate(p, nil); err == nil {
+				lr.EnergyPJ = eb.TotalPJ
+			}
+		}
+		res.Layers = append(res.Layers, lr)
+	}
+
+	// Precise GB planning (optional): tensors with liveness intervals.
+	var plannedSpill map[int]int64 // layer index -> spilled boundary bits
+	if opt.PlanGB {
+		plan, spills, err := planGB(res.Layers, hw)
+		if err != nil {
+			return nil, err
+		}
+		res.GBPlan = plan
+		plannedSpill = spills
+	}
+
+	// Cross-layer effects.
+	for i := range res.Layers {
+		lr := &res.Layers[i]
+		r := lr.Candidate.Result
+		lr.EffectiveCC = r.CCTotal
+
+		// Weight prefetch: layer i's preload hides under layer i-1's
+		// computation when the weight path is double-buffered.
+		if !opt.NoPrefetch && i > 0 && weightPathBuffered(hw) {
+			prev := res.Layers[i-1].Candidate.Result
+			busy := float64(prev.CCSpatial) + prev.SSOverall
+			saved := r.Preload
+			if saved > busy {
+				saved = busy
+			}
+			lr.PrefetchSaved = saved
+			lr.EffectiveCC -= saved
+			res.PrefetchSavedCC += saved
+		}
+
+		// Spill: the boundary tensor between layer i and i+1 must fit in
+		// the outermost memory together with both layers' working sets.
+		if opt.PlanGB {
+			if bits := plannedSpill[i]; bits > 0 {
+				// A spilled boundary goes off chip and comes back.
+				lr.SpillCC = float64(loops.CeilDiv(2*bits, spillBW))
+				lr.EffectiveCC += lr.SpillCC
+			}
+		} else if i+1 < len(res.Layers) {
+			if spill := boundarySpillBits(hw, lr, &res.Layers[i+1]); spill > 0 {
+				lr.SpillCC = float64(loops.CeilDiv(spill, spillBW))
+				lr.EffectiveCC += lr.SpillCC
+			}
+		}
+
+		res.TotalCC += lr.EffectiveCC
+		res.TotalPJ += lr.EnergyPJ
+		res.IdealCC += r.CCIdeal
+	}
+	if res.TotalCC > 0 {
+		res.Utilization = res.IdealCC / res.TotalCC
+	}
+	return res, nil
+}
+
+// planGB builds the liveness tensors of the network schedule — per-layer
+// weights (extended one step earlier when prefetch applies) and boundary
+// activations — and runs the buffer planner. Returns the plan and the
+// spilled boundary bits per producing layer.
+func planGB(layers []LayerResult, hw *arch.Arch) (*alloc.Plan, map[int]int64, error) {
+	gb := outermost(hw)
+	if gb == nil {
+		return nil, nil, fmt.Errorf("network: no outermost memory to plan")
+	}
+	prefetch := weightPathBuffered(hw)
+	var tensors []alloc.Tensor
+	actIdx := map[int]int{} // layer -> tensor index of its output activation
+	for i := range layers {
+		first := i
+		if prefetch && i > 0 {
+			first = i - 1
+		}
+		tensors = append(tensors, alloc.Tensor{
+			Name:     fmt.Sprintf("w[%s]", layers[i].Original),
+			Bits:     layers[i].Layer.OperandBits(loops.W),
+			FirstUse: first,
+			LastUse:  i,
+		})
+		last := i
+		if i+1 < len(layers) {
+			last = i + 1
+		}
+		actIdx[i] = len(tensors)
+		tensors = append(tensors, alloc.Tensor{
+			Name:     fmt.Sprintf("act[%s]", layers[i].Original),
+			Bits:     layers[i].Layer.OperandBits(loops.O),
+			FirstUse: i,
+			LastUse:  last,
+		})
+	}
+	plan, err := alloc.Build(tensors, gb.CapacityBits)
+	if err != nil {
+		return nil, nil, err
+	}
+	spills := map[int]int64{}
+	for i, ti := range actIdx {
+		if plan.Placements[ti].Spill && i+1 < len(layers) {
+			spills[i] = plan.Placements[ti].Tensor.Bits
+		}
+	}
+	return plan, spills, nil
+}
+
+// outermost returns the top memory of the W chain (the GB in the presets).
+func outermost(hw *arch.Arch) *arch.Memory {
+	chain := hw.Chain[loops.W]
+	if len(chain) == 0 {
+		return nil
+	}
+	return hw.MemoryByName(chain[len(chain)-1])
+}
+
+// weightPathBuffered reports whether any intermediate W memory is
+// double-buffered (enabling next-layer prefetch).
+func weightPathBuffered(hw *arch.Arch) bool {
+	for _, m := range hw.ChainMems(loops.W) {
+		if m != nil && m.DoubleBuffered {
+			return true
+		}
+	}
+	return false
+}
+
+// boundarySpillBits returns how many bits of the boundary tensor overflow
+// the outermost memory, given both adjacent layers' resident footprints.
+func boundarySpillBits(hw *arch.Arch, cur, next *LayerResult) int64 {
+	gb := outermost(hw)
+	if gb == nil {
+		return 0
+	}
+	// The boundary tensor is cur's output == next's input.
+	boundary := cur.Layer.OperandBits(loops.O)
+	// Working set: cur's W + next's W resident tiles at the top level are
+	// streamed, so approximate the steady-state GB pressure by the
+	// boundary tensor plus both layers' weight footprints (weights must
+	// be on chip to avoid a second spill).
+	wBits := cur.Layer.OperandBits(loops.W) + next.Layer.OperandBits(loops.W)
+	over := boundary + wBits - gb.CapacityBits
+	if over < 0 {
+		return 0
+	}
+	if over > boundary {
+		over = boundary
+	}
+	return over
+}
+
+// Report renders a per-layer table plus totals.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %12s %10s %10s %10s %8s\n",
+		"layer", "latency cc", "prefetch", "spill cc", "energy nJ", "util %")
+	for i := range r.Layers {
+		lr := &r.Layers[i]
+		fmt.Fprintf(&b, "%-14s %12.0f %10.0f %10.0f %10.1f %8.1f\n",
+			lr.Original, lr.EffectiveCC, lr.PrefetchSaved, lr.SpillCC,
+			lr.EnergyPJ/1e3, 100*lr.Candidate.Result.Utilization)
+	}
+	fmt.Fprintf(&b, "network total: %.0f cc (ideal %.0f, utilization %.1f%%), %.1f uJ, %.0f cc hidden by prefetch\n",
+		r.TotalCC, r.IdealCC, 100*r.Utilization, r.TotalPJ/1e6, r.PrefetchSavedCC)
+	return b.String()
+}
+
+// HandTracking returns the validation workload as a network.
+func HandTracking() *Network {
+	return &Network{Name: "hand-tracking", Layers: workload.HandTrackingSuite()}
+}

@@ -1,0 +1,171 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/workload"
+)
+
+func smallNet() *Network {
+	return &Network{
+		Name: "tiny",
+		Layers: []workload.Layer{
+			workload.NewPointwise("pw1", 1, 32, 16, 14, 14),
+			workload.NewConv2D("c2", 1, 32, 32, 14, 14, 3, 3),
+			workload.NewDense("fc", 1, 64, 32*14*14),
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := smallNet().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	empty := &Network{Name: "e"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty network validated")
+	}
+	bad := smallNet()
+	bad.Layers[0].Dims[0] = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("bad layer validated")
+	}
+}
+
+func TestTotalMACs(t *testing.T) {
+	n := smallNet()
+	var want int64
+	for i := range n.Layers {
+		want += n.Layers[i].TotalMACs()
+	}
+	if got := n.TotalMACs(); got != want {
+		t.Errorf("TotalMACs = %d, want %d", got, want)
+	}
+}
+
+func TestEvaluateBasics(t *testing.T) {
+	n := smallNet()
+	hw := arch.CaseStudy()
+	r, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Layers) != len(n.Layers) {
+		t.Fatalf("layer results = %d", len(r.Layers))
+	}
+	if r.TotalCC <= 0 || r.TotalPJ <= 0 || r.IdealCC <= 0 {
+		t.Errorf("non-positive totals: %+v", r)
+	}
+	if r.Utilization <= 0 || r.Utilization > 1 {
+		t.Errorf("utilization %v out of band", r.Utilization)
+	}
+	// Sum of effective layer latencies equals the total.
+	var sum float64
+	for i := range r.Layers {
+		sum += r.Layers[i].EffectiveCC
+	}
+	if d := sum - r.TotalCC; d > 1e-6 || d < -1e-6 {
+		t.Errorf("total %v != sum %v", r.TotalCC, sum)
+	}
+	// First layer has nothing to hide its preload under.
+	if r.Layers[0].PrefetchSaved != 0 {
+		t.Error("first layer claims prefetch savings")
+	}
+	rep := r.Report()
+	if !strings.Contains(rep, "network total") || !strings.Contains(rep, "pw1") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestPrefetchOverlap(t *testing.T) {
+	n := smallNet()
+	hw := arch.CaseStudy() // W-LB double-buffered -> prefetch active
+	with, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1000, NoPrefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.PrefetchSavedCC <= 0 {
+		t.Error("no prefetch savings on a double-buffered weight path")
+	}
+	if with.TotalCC >= without.TotalCC {
+		t.Errorf("prefetch did not reduce latency: %v vs %v", with.TotalCC, without.TotalCC)
+	}
+	if d := (without.TotalCC - with.TotalCC) - with.PrefetchSavedCC; d > 1e-6 || d < -1e-6 {
+		t.Errorf("savings accounting off by %v", d)
+	}
+}
+
+func TestPrefetchNeedsDoubleBuffering(t *testing.T) {
+	n := smallNet()
+	hw := arch.CaseStudy()
+	for _, m := range hw.Memories {
+		m.DoubleBuffered = false
+	}
+	r, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PrefetchSavedCC != 0 {
+		t.Error("prefetch savings without double buffering")
+	}
+}
+
+func TestSpillCharged(t *testing.T) {
+	// Shrink the GB so the boundary tensors overflow.
+	n := smallNet()
+	hw := arch.CaseStudy()
+	hw.MemoryByName("GB").CapacityBits = 80 * 1024 // 10 KB
+	r, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spill float64
+	for i := range r.Layers {
+		spill += r.Layers[i].SpillCC
+	}
+	if spill <= 0 {
+		t.Error("no spill charged with a tiny GB")
+	}
+	// Last layer never spills (no successor).
+	if r.Layers[len(r.Layers)-1].SpillCC != 0 {
+		t.Error("last layer charged spill")
+	}
+}
+
+func TestHandTrackingNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full network is slow")
+	}
+	n := HandTracking()
+	hw := arch.InHouse()
+	r, err := Evaluate(n, hw, arch.InHouseSpatial(), &Options{MaxCandidates: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Layers) != len(n.Layers) {
+		t.Fatal("missing layers")
+	}
+	if r.Utilization <= 0.05 {
+		t.Errorf("network utilization %.3f implausibly low", r.Utilization)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	hw := arch.CaseStudy()
+	if _, err := Evaluate(&Network{Name: "e"}, hw, arch.CaseStudySpatial(), nil); err == nil {
+		t.Error("empty network evaluated")
+	}
+	// Unmappable: spatial bigger than the array.
+	n := smallNet()
+	big := arch.CaseStudySpatial().Clone()
+	big[0].Size = 1 << 20
+	if _, err := Evaluate(n, hw, big, &Options{MaxCandidates: 100}); err == nil {
+		t.Error("unmappable network evaluated")
+	}
+}

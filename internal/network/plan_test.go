@@ -1,0 +1,102 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestPlanGBProducesPlan(t *testing.T) {
+	n := smallNet()
+	hw := arch.CaseStudy()
+	r, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{
+		MaxCandidates: 800, PlanGB: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GBPlan == nil {
+		t.Fatal("no GB plan produced")
+	}
+	// Tensors: one weight + one activation per layer.
+	if got := len(r.GBPlan.Placements); got != 2*len(n.Layers) {
+		t.Errorf("placements = %d, want %d", got, 2*len(n.Layers))
+	}
+	if r.GBPlan.PeakBits <= 0 {
+		t.Error("no peak usage")
+	}
+	if s := r.GBPlan.Report(); !strings.Contains(s, "GB plan") {
+		t.Error("plan report empty")
+	}
+}
+
+func TestPlanGBSpillsUnderTinyBuffer(t *testing.T) {
+	n := smallNet()
+	hw := arch.CaseStudy()
+	hw.MemoryByName("GB").CapacityBits = 40 * 1024 // 5 KB
+	withPlan, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{
+		MaxCandidates: 800, PlanGB: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPlan.GBPlan.SpillBits == 0 {
+		t.Error("tiny GB produced no spills")
+	}
+	var spillCC float64
+	for i := range withPlan.Layers {
+		spillCC += withPlan.Layers[i].SpillCC
+	}
+	if spillCC <= 0 {
+		t.Error("no spill latency charged")
+	}
+	// The last layer's activation has no consumer; even when spilled it
+	// is not charged as a boundary round-trip.
+	if withPlan.Layers[len(withPlan.Layers)-1].SpillCC != 0 {
+		t.Error("last layer charged a boundary spill")
+	}
+}
+
+func TestPlanGBNoSpillsWithBigBuffer(t *testing.T) {
+	n := smallNet()
+	hw := arch.CaseStudy()
+	hw.MemoryByName("GB").CapacityBits = 1 << 28
+	r, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{
+		MaxCandidates: 800, PlanGB: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GBPlan.SpillBits != 0 {
+		t.Errorf("spills with a huge GB: %v", r.GBPlan.Spilled())
+	}
+	for i := range r.Layers {
+		if r.Layers[i].SpillCC != 0 {
+			t.Errorf("layer %d charged spill", i)
+		}
+	}
+}
+
+// The planner is never more pessimistic than needed: with prefetch, a
+// layer's weights are live one step early, raising the peak.
+func TestPlanGBPrefetchWidensLiveness(t *testing.T) {
+	n := smallNet()
+	hwPre := arch.CaseStudy() // W-LB double-buffered -> prefetch
+	rPre, err := Evaluate(n, hwPre, arch.CaseStudySpatial(), &Options{MaxCandidates: 800, PlanGB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwNo := arch.CaseStudy()
+	for _, m := range hwNo.Memories {
+		m.DoubleBuffered = false
+	}
+	rNo, err := Evaluate(n, hwNo, arch.CaseStudySpatial(), &Options{MaxCandidates: 800, PlanGB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rPre.GBPlan.PeakBits < rNo.GBPlan.PeakBits {
+		t.Errorf("prefetch peak %d < no-prefetch peak %d",
+			rPre.GBPlan.PeakBits, rNo.GBPlan.PeakBits)
+	}
+}

@@ -1,0 +1,120 @@
+// Package noc models the on-chip network that distributes operands from
+// the innermost memory level across the MAC array — the data-transfer
+// component the paper lists among the operations a system energy model
+// must count (Section I). For each operand the spatial unrolling fixes the
+// delivery pattern: the operand is BROADCAST across its irrelevant spatial
+// dimensions (one datum feeds many MACs) and UNICAST across its relevant
+// ones, so the wire traffic and energy follow directly from the mapping.
+package noc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/loops"
+)
+
+// Model holds the interconnect cost parameters.
+type Model struct {
+	// HopPJPerBit is the energy of moving one bit across one PE hop.
+	HopPJPerBit float64
+	// LeafPJPerBit is the fixed per-bit injection/ejection cost.
+	LeafPJPerBit float64
+}
+
+// Default7nm returns wire-energy constants in scale with the energy
+// package's memory costs.
+func Default7nm() *Model {
+	return &Model{HopPJPerBit: 0.0016, LeafPJPerBit: 0.004}
+}
+
+// OperandTraffic is the per-operand NoC analysis.
+type OperandTraffic struct {
+	Operand loops.Operand
+	// Fanout is the broadcast amplification: how many MACs one datum
+	// feeds (the product of the operand's irrelevant spatial dims).
+	Fanout int64
+	// ElemsPerCycle is the steady-state distinct-element delivery rate
+	// from the innermost memory into the array.
+	ElemsPerCycle float64
+	// BitsPerCycle is the corresponding wire payload.
+	BitsPerCycle float64
+	// AvgHops is the mean delivery distance on a sqrt(MACs) mesh.
+	AvgHops float64
+	// TotalPJ is the layer's total NoC energy for this operand.
+	TotalPJ float64
+}
+
+// Report is a whole-problem NoC analysis.
+type Report struct {
+	Operands []OperandTraffic
+	TotalPJ  float64
+}
+
+// Analyze computes the NoC traffic and energy of one problem.
+func Analyze(p *core.Problem, m *Model) (*Report, error) {
+	if p == nil || p.Layer == nil || p.Arch == nil || p.Mapping == nil {
+		return nil, fmt.Errorf("noc: nil problem component")
+	}
+	if m == nil {
+		m = Default7nm()
+	}
+	side := math.Sqrt(float64(p.Arch.MACs))
+	avgHops := side / 2 // mean Manhattan distance from an edge injector
+	if avgHops < 1 {
+		avgHops = 1
+	}
+	totalCC := float64(p.Mapping.CCSpatial())
+	if totalCC <= 0 {
+		return nil, fmt.Errorf("noc: empty temporal mapping")
+	}
+
+	rep := &Report{}
+	sp := p.Mapping.Spatial.DimProduct()
+	for _, op := range loops.AllOperands {
+		fanout := int64(1)
+		for _, d := range loops.AllDims {
+			if sp[d] > 1 && loops.IsReuseDim(op, d) {
+				fanout *= sp[d]
+			}
+		}
+		// Distinct elements delivered per turnaround of the innermost
+		// level: Mem_DATA every Mem_CC cycles. Outputs also travel back
+		// up once per turnaround (drain), doubling their wire payload.
+		memData := float64(p.Mapping.MemData(op, 0, p.Layer.Strides))
+		memCC := float64(p.Mapping.MemCC(op, 0))
+		rate := memData / memCC
+		bits := rate * float64(p.Layer.Precision.Bits(op))
+		dirFactor := 1.0
+		if op == loops.O {
+			dirFactor = 2.0 // accumulate in + drain out
+		}
+		energy := bits * dirFactor * totalCC * (m.LeafPJPerBit + m.HopPJPerBit*avgHops)
+		ot := OperandTraffic{
+			Operand:       op,
+			Fanout:        fanout,
+			ElemsPerCycle: rate,
+			BitsPerCycle:  bits,
+			AvgHops:       avgHops,
+			TotalPJ:       energy,
+		}
+		rep.Operands = append(rep.Operands, ot)
+		rep.TotalPJ += energy
+	}
+	sort.Slice(rep.Operands, func(i, j int) bool { return rep.Operands[i].Operand < rep.Operands[j].Operand })
+	return rep, nil
+}
+
+// BroadcastFriendly reports whether the mapping exploits broadcast for at
+// least one operand (fanout > 1) — a multicast-capable NoC pays off; a
+// pure unicast mesh would replicate that traffic.
+func (r *Report) BroadcastFriendly() bool {
+	for _, ot := range r.Operands {
+		if ot.Fanout > 1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+func problem() *core.Problem {
+	l := workload.NewMatMul("n", 16, 32, 8)
+	a := arch.CaseStudy()
+	m := &mapping.Mapping{
+		Spatial:  arch.CaseStudySpatial(), // K16 | B8 | C2
+		Temporal: loops.Nest{{Dim: loops.C, Size: 4}, {Dim: loops.B, Size: 2}, {Dim: loops.K, Size: 2}},
+	}
+	m.Bound[loops.W] = []int{0, 1, 3}
+	m.Bound[loops.I] = []int{0, 2, 3}
+	m.Bound[loops.O] = []int{1, 3}
+	return &core.Problem{Layer: &l, Arch: a, Mapping: m}
+}
+
+func TestAnalyzeFanouts(t *testing.T) {
+	r, err := Analyze(problem(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Operands) != 3 {
+		t.Fatalf("operands = %d", len(r.Operands))
+	}
+	// Spatial K16|B8|C2: W broadcast across B8 (ir), I across K16, O
+	// across C2.
+	want := map[loops.Operand]int64{loops.W: 8, loops.I: 16, loops.O: 2}
+	for _, ot := range r.Operands {
+		if ot.Fanout != want[ot.Operand] {
+			t.Errorf("%s fanout = %d, want %d", ot.Operand, ot.Fanout, want[ot.Operand])
+		}
+		if ot.TotalPJ <= 0 || ot.BitsPerCycle <= 0 {
+			t.Errorf("%s degenerate traffic: %+v", ot.Operand, ot)
+		}
+	}
+	if !r.BroadcastFriendly() {
+		t.Error("broadcast-friendly mapping not recognized")
+	}
+	if r.TotalPJ <= 0 {
+		t.Error("no total energy")
+	}
+}
+
+func TestDeliveryRates(t *testing.T) {
+	r, err := Analyze(problem(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ot := range r.Operands {
+		switch ot.Operand {
+		case loops.W:
+			// W at reg: MemData 32 (K16*C2), MemCC 1 -> 32 elems/cc.
+			if ot.ElemsPerCycle != 32 {
+				t.Errorf("W rate = %v", ot.ElemsPerCycle)
+			}
+		case loops.I:
+			// I at reg: MemData 16, MemCC 1.
+			if ot.ElemsPerCycle != 16 {
+				t.Errorf("I rate = %v", ot.ElemsPerCycle)
+			}
+		case loops.O:
+			// O at reg: MemData 128, MemCC 4 -> 32 elems/cc.
+			if ot.ElemsPerCycle != 32 {
+				t.Errorf("O rate = %v", ot.ElemsPerCycle)
+			}
+		}
+	}
+}
+
+func TestHopsScaleWithArray(t *testing.T) {
+	small, err := Analyze(problem(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := problem()
+	p.Arch.MACs = 4096
+	big, err := Analyze(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Operands[0].AvgHops <= small.Operands[0].AvgHops {
+		t.Error("hop count does not grow with the array")
+	}
+	if big.TotalPJ <= small.TotalPJ {
+		t.Error("NoC energy does not grow with the array")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, nil); err == nil {
+		t.Error("nil problem analyzed")
+	}
+	if _, err := Analyze(&core.Problem{}, nil); err == nil {
+		t.Error("empty problem analyzed")
+	}
+}

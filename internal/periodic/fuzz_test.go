@@ -1,0 +1,77 @@
+package periodic
+
+import "testing"
+
+// FuzzUnionLength cross-checks the interval-merge union against the
+// brute-force bitmap on arbitrary window shapes.
+func FuzzUnionLength(f *testing.F) {
+	f.Add(int64(4), int64(2), int64(1), int64(6), int64(3), int64(0))
+	f.Add(int64(3), int64(1), int64(2), int64(5), int64(5), int64(0))
+	f.Add(int64(8), int64(0), int64(0), int64(2), int64(1), int64(1))
+	f.Fuzz(func(t *testing.T, p1, x1, s1, p2, x2, s2 int64) {
+		clamp := func(p, x, s int64) (int64, int64, int64) {
+			if p < 1 {
+				p = 1
+			}
+			p = p%12 + 1
+			if x < 0 {
+				x = -x
+			}
+			x %= p + 1
+			if s < 0 {
+				s = -s
+			}
+			if p-x > 0 {
+				s %= p - x + 1
+			} else {
+				s = 0
+			}
+			return p, x, s
+		}
+		p1, x1, s1 = clamp(p1, x1, s1)
+		p2, x2, s2 = clamp(p2, x2, s2)
+		span := p1 * p2 * 2
+		a := Window{Period: p1, Active: x1, Start: s1, Count: span / p1}
+		b := Window{Period: p2, Active: x2, Start: s2, Count: span / p2}
+		if a.Validate() != nil || b.Validate() != nil {
+			t.Fatalf("clamped windows invalid: %v %v", a, b)
+		}
+		got := UnionLength([]Window{a, b})
+		want := bruteUnion([]Window{a, b})
+		if got != want {
+			t.Fatalf("union %d != brute %d for %v %v", got, want, a, b)
+		}
+	})
+}
+
+// FuzzIntersectLength cross-checks intersection the same way.
+func FuzzIntersectLength(f *testing.F) {
+	f.Add(int64(4), int64(2), int64(6), int64(3))
+	f.Fuzz(func(t *testing.T, p1, x1, p2, x2 int64) {
+		norm := func(p, x int64) (int64, int64) {
+			if p < 1 {
+				p = 1
+			}
+			p = p%10 + 1
+			if x < 0 {
+				x = -x
+			}
+			return p, x % (p + 1)
+		}
+		p1, x1 = norm(p1, x1)
+		p2, x2 = norm(p2, x2)
+		span := p1 * p2 * 2
+		a := Tail(p1, x1, span/p1)
+		b := Tail(p2, x2, span/p2)
+		got := IntersectLength(a, b)
+		var want int64
+		for tm := int64(0); tm < span; tm++ {
+			if a.ActiveAt(tm) && b.ActiveAt(tm) {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("intersect %d != brute %d for %v %v", got, want, a, b)
+		}
+	})
+}

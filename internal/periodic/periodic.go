@@ -1,0 +1,326 @@
+// Package periodic models the finite periodic operation pattern of a unit
+// memory's data-transfer link (paper Fig. 2(a), Step 1): a window function
+// with four parameters — period (Mem_CC), active length within one period
+// (X), active start offset within one period (S), and number of periods (Z).
+// The total allowed memory-updating window MUW_u of a link is the total
+// active length X*Z; Step 2 combines links sharing a physical port by taking
+// the UNION of their window sets, which this package computes exactly via
+// interval merging over the windows' common hyperperiod.
+package periodic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Window is a finite periodic activity pattern: Count periods of length
+// Period, each with an active interval [Start, Start+Active) that must not
+// wrap past the period boundary.
+type Window struct {
+	Period int64 // cycles per period (Mem_CC); > 0
+	Active int64 // active cycles per period (X); 0 <= Active <= Period
+	Start  int64 // active start offset within the period (S)
+	Count  int64 // number of periods (Z); >= 0
+}
+
+// Full returns a window that is active for its entire span: count periods
+// of length period, fully active. This models double-buffered memories and
+// single-buffered memories with a relevant loop on top (paper Fig. 3(a-c)),
+// whose updates may overlap computation at any time.
+func Full(period, count int64) Window {
+	return Window{Period: period, Active: period, Start: 0, Count: count}
+}
+
+// Tail returns a window active only for the LAST active cycles of each
+// period: the "memory update keep-out zone" pattern of single-buffered
+// memories with an irrelevant loop on top (paper Fig. 3(d-f)) — the held
+// data is being reused and may only be replaced at the end of the period.
+func Tail(period, active, count int64) Window {
+	if active > period {
+		active = period
+	}
+	return Window{Period: period, Active: active, Start: period - active, Count: count}
+}
+
+// Validate reports structural errors.
+func (w Window) Validate() error {
+	if w.Period <= 0 {
+		return fmt.Errorf("periodic: non-positive period %d", w.Period)
+	}
+	if w.Active < 0 || w.Active > w.Period {
+		return fmt.Errorf("periodic: active %d outside [0, period %d]", w.Active, w.Period)
+	}
+	if w.Start < 0 || w.Start+w.Active > w.Period {
+		return fmt.Errorf("periodic: active interval [%d,%d) exceeds period %d", w.Start, w.Start+w.Active, w.Period)
+	}
+	if w.Count < 0 {
+		return fmt.Errorf("periodic: negative count %d", w.Count)
+	}
+	return nil
+}
+
+// Span is the total time covered by the window: Period * Count.
+func (w Window) Span() int64 { return w.Period * w.Count }
+
+// TotalActive is the total active length across all periods: Active * Count.
+// For a DTL this is MUW_u = X_REQ * Z.
+func (w Window) TotalActive() int64 { return w.Active * w.Count }
+
+// IsFull reports whether the window is active over its whole span.
+func (w Window) IsFull() bool { return w.Active == w.Period }
+
+// ActiveAt reports whether absolute cycle t lies in an active interval.
+func (w Window) ActiveAt(t int64) bool {
+	if t < 0 || t >= w.Span() {
+		return false
+	}
+	ph := t % w.Period
+	return ph >= w.Start && ph < w.Start+w.Active
+}
+
+// String renders the window compactly.
+func (w Window) String() string {
+	return fmt.Sprintf("{P=%d X=%d S=%d Z=%d}", w.Period, w.Active, w.Start, w.Count)
+}
+
+// interval is a half-open [lo, hi) cycle range.
+type interval struct{ lo, hi int64 }
+
+// maxUnionIntervals bounds the exact interval expansion; beyond it
+// UnionLength falls back to a conservative (stall-overestimating) bound.
+// See DESIGN.md ("no silent caps"): callers can detect the fallback via
+// UnionExact.
+const maxUnionIntervals = 1 << 21
+
+// gcd of two non-negative ints.
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// hyperperiod returns the least common multiple of the windows' periods,
+// saturating at limit (returns limit+1 when exceeded).
+func hyperperiod(ws []Window, limit int64) int64 {
+	h := int64(1)
+	for _, w := range ws {
+		g := gcd(h, w.Period)
+		h = h / g * w.Period
+		if h > limit || h <= 0 {
+			return limit + 1
+		}
+	}
+	return h
+}
+
+// UnionLength returns the total length of the union of the windows' active
+// sets, measured over [0, span) where span is the maximum window span. This
+// is MUW_comb of the paper's Step 2. Windows must be valid.
+func UnionLength(ws []Window) int64 {
+	n, _ := unionLength(ws)
+	return n
+}
+
+// UnionExact reports whether UnionLength would compute the exact union for
+// these windows (as opposed to the conservative fallback bound).
+func UnionExact(ws []Window) bool {
+	_, exact := unionLength(ws)
+	return exact
+}
+
+func unionLength(ws []Window) (int64, bool) {
+	// Drop empty windows.
+	live := ws[:0:0]
+	span := int64(0)
+	for _, w := range ws {
+		if w.Span() > span {
+			span = w.Span()
+		}
+		if w.TotalActive() > 0 {
+			live = append(live, w)
+		}
+	}
+	if len(live) == 0 || span == 0 {
+		return 0, true
+	}
+	// Fast path: any full window covering the whole span covers everything.
+	for _, w := range live {
+		if w.IsFull() && w.Span() == span {
+			return span, true
+		}
+	}
+	if len(live) == 1 {
+		return live[0].TotalActive(), true
+	}
+
+	h := hyperperiod(live, span)
+	if h > span {
+		h = span
+	}
+	// Estimate the interval count; fall back if pathological.
+	var count int64
+	for _, w := range live {
+		count += h/w.Period + 1
+	}
+	if count > maxUnionIntervals {
+		// Conservative fallback: the union is at least as long as the
+		// longest member (underestimating the union overestimates the
+		// combined stall — safe for a latency bound).
+		best := int64(0)
+		for _, w := range live {
+			if ta := w.TotalActive(); ta > best {
+				best = ta
+			}
+		}
+		return best, false
+	}
+
+	ivs := make([]interval, 0, count)
+	for _, w := range live {
+		wspan := w.Span()
+		limit := h
+		if wspan < limit {
+			limit = wspan
+		}
+		for base := int64(0); base < limit; base += w.Period {
+			lo := base + w.Start
+			hi := lo + w.Active
+			if lo >= limit {
+				break
+			}
+			if hi > limit {
+				hi = limit
+			}
+			ivs = append(ivs, interval{lo, hi})
+		}
+	}
+	perH := mergeLength(ivs)
+
+	if h >= span {
+		return perH, true
+	}
+	// The union pattern repeats every h cycles for windows spanning the
+	// full range; windows with shorter spans only contribute to their own
+	// prefix. When all spans equal the max span the repetition is exact.
+	allFullSpan := true
+	for _, w := range live {
+		if w.Span() != span {
+			allFullSpan = false
+			break
+		}
+	}
+	if allFullSpan {
+		return perH * (span / h), true
+	}
+	// Mixed spans: compute exactly over the whole range if affordable.
+	var fullCount int64
+	for _, w := range live {
+		fullCount += w.Count + 1
+	}
+	if fullCount <= maxUnionIntervals {
+		ivs = ivs[:0]
+		for _, w := range live {
+			for base := int64(0); base < w.Span(); base += w.Period {
+				ivs = append(ivs, interval{base + w.Start, base + w.Start + w.Active})
+			}
+		}
+		return mergeLength(ivs), true
+	}
+	best := int64(0)
+	for _, w := range live {
+		if ta := w.TotalActive(); ta > best {
+			best = ta
+		}
+	}
+	return best, false
+}
+
+// mergeLength sorts and merges intervals and returns their total length.
+func mergeLength(ivs []interval) int64 {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	total := int64(0)
+	curLo, curHi := ivs[0].lo, ivs[0].hi
+	for _, iv := range ivs[1:] {
+		if iv.lo > curHi {
+			total += curHi - curLo
+			curLo, curHi = iv.lo, iv.hi
+			continue
+		}
+		if iv.hi > curHi {
+			curHi = iv.hi
+		}
+	}
+	total += curHi - curLo
+	return total
+}
+
+// IntersectLength returns the total length of the intersection of the two
+// windows' active sets over the overlap of their spans. The model's Step 2
+// uses unions; intersections support analyses of guaranteed-conflict time.
+func IntersectLength(a, b Window) int64 {
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	if err := b.Validate(); err != nil {
+		panic(err)
+	}
+	span := a.Span()
+	if s := b.Span(); s < span {
+		span = s
+	}
+	if span == 0 || a.Active == 0 || b.Active == 0 {
+		return 0
+	}
+	h := int64(1)
+	g := gcd(a.Period, b.Period)
+	h = a.Period / g * b.Period
+	if h > span {
+		h = span
+	}
+	var total int64
+	// Walk a's intervals within one hyperperiod and clip against b.
+	count := int64(0)
+	for base := int64(0); base < h; base += a.Period {
+		lo, hi := base+a.Start, base+a.Start+a.Active
+		if lo >= h {
+			break
+		}
+		if hi > h {
+			hi = h
+		}
+		total += overlapWithPeriodic(lo, hi, b)
+		count++
+		if count > maxUnionIntervals {
+			break
+		}
+	}
+	if h >= span {
+		return total
+	}
+	return total * (span / h)
+}
+
+// overlapWithPeriodic returns |[lo,hi) ∩ active(b)| assuming hi-lo fits in
+// a few of b's periods.
+func overlapWithPeriodic(lo, hi int64, b Window) int64 {
+	var total int64
+	base := lo - lo%b.Period
+	for ; base < hi; base += b.Period {
+		blo, bhi := base+b.Start, base+b.Start+b.Active
+		s, e := blo, bhi
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		if e > s {
+			total += e - s
+		}
+	}
+	return total
+}

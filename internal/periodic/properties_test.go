@@ -1,0 +1,116 @@
+package periodic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Union is monotone: adding a window never shrinks the union.
+func TestUnionMonotone(t *testing.T) {
+	f := func(p1, p2, x1, x2, s1, s2 uint8) bool {
+		mk := func(p, x, s uint8) Window {
+			per := int64(p%6) + 1
+			act := int64(x) % (per + 1)
+			st := int64(0)
+			if per-act > 0 {
+				st = int64(s) % (per - act + 1)
+			}
+			span := int64(60)
+			return Window{Period: per, Active: act, Start: st, Count: span / per}
+		}
+		a, b := mk(p1, x1, s1), mk(p2, x2, s2)
+		return UnionLength([]Window{a, b}) >= UnionLength([]Window{a})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Union of a window with itself equals its own total active length.
+func TestUnionIdempotent(t *testing.T) {
+	f := func(p, x uint8) bool {
+		per := int64(p%7) + 1
+		act := int64(x) % (per + 1)
+		w := Tail(per, act, 8)
+		return UnionLength([]Window{w, w, w}) == w.TotalActive()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Intersection is bounded by the smaller member and is symmetric.
+func TestIntersectBoundsAndSymmetry(t *testing.T) {
+	f := func(p1, p2, x1, x2 uint8) bool {
+		a := Tail(int64(p1%5)+1, int64(x1)%(int64(p1%5)+2), 12)
+		b := Tail(int64(p2%5)+1, int64(x2)%(int64(p2%5)+2), 12)
+		if a.Active > a.Period {
+			a.Active = a.Period
+		}
+		if b.Active > b.Period {
+			b.Active = b.Period
+		}
+		a = Tail(a.Period, a.Active, 12)
+		b = Tail(b.Period, b.Active, 12)
+		ab := IntersectLength(a, b)
+		ba := IntersectLength(b, a)
+		minTA := a.TotalActive()
+		if b.TotalActive() < minTA {
+			minTA = b.TotalActive()
+		}
+		return ab == ba && ab <= minTA && ab >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Inclusion-exclusion: |A| + |B| = |A∪B| + |A∩B| for equal spans.
+func TestInclusionExclusion(t *testing.T) {
+	cases := [][2]Window{
+		{Tail(4, 2, 6), Tail(6, 3, 4)},
+		{Tail(3, 1, 8), Full(4, 6)},
+		{Window{Period: 8, Active: 3, Start: 1, Count: 3}, Window{Period: 8, Active: 4, Start: 4, Count: 3}},
+	}
+	for i, c := range cases {
+		a, b := c[0], c[1]
+		// Equalize spans.
+		span := a.Span()
+		if b.Span() < span {
+			span = b.Span()
+		}
+		a.Count = span / a.Period
+		b.Count = span / b.Period
+		lhs := a.TotalActive() + b.TotalActive()
+		rhs := UnionLength([]Window{a, b}) + IntersectLength(a, b)
+		if lhs != rhs {
+			t.Errorf("case %d: |A|+|B| = %d, |A∪B|+|A∩B| = %d", i, lhs, rhs)
+		}
+	}
+}
+
+// A window's ActiveAt count over its span equals TotalActive.
+func TestActiveAtConsistent(t *testing.T) {
+	f := func(p, x, s uint8) bool {
+		per := int64(p%6) + 2
+		act := int64(x) % (per + 1)
+		st := int64(0)
+		if per-act > 0 {
+			st = int64(s) % (per - act + 1)
+		}
+		w := Window{Period: per, Active: act, Start: st, Count: 5}
+		if w.Validate() != nil {
+			return true
+		}
+		var n int64
+		for t := int64(0); t < w.Span(); t++ {
+			if w.ActiveAt(t) {
+				n++
+			}
+		}
+		return n == w.TotalActive()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

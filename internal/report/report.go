@@ -1,0 +1,253 @@
+// Package report renders experiment results as aligned ASCII tables, CSV
+// and simple ASCII charts, so every table and figure regenerator prints
+// rows comparable to the paper's.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows with a fixed header.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column names.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends one row; values are formatted with %v (floats get %.4g).
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Write(&b)
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoted when needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Header)
+	for _, r := range t.Rows {
+		writeCSVRow(&b, r)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Bar renders a horizontal ASCII bar chart of labeled values.
+func Bar(w io.Writer, title string, labels []string, values []float64, width int) {
+	if width <= 0 {
+		width = 50
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		fmt.Fprintf(w, "  %s %s %s\n", pad(labels[i], maxL), strings.Repeat("#", n), formatFloat(v))
+	}
+}
+
+// Scatter renders an ASCII scatter plot of (x, y) points grouped by series;
+// each series is drawn with its own rune.
+func Scatter(w io.Writer, title string, xs, ys []float64, series []int, glyphs []rune, wCols, hRows int) {
+	if len(xs) == 0 || len(xs) != len(ys) || len(xs) != len(series) {
+		fmt.Fprintln(w, "(no points)")
+		return
+	}
+	if wCols <= 0 {
+		wCols = 72
+	}
+	if hRows <= 0 {
+		hRows = 20
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := ys[0], ys[0]
+	for i := range xs {
+		minX = math.Min(minX, xs[i])
+		maxX = math.Max(maxX, xs[i])
+		minY = math.Min(minY, ys[i])
+		maxY = math.Max(maxY, ys[i])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, hRows)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", wCols))
+	}
+	for i := range xs {
+		c := int((xs[i] - minX) / (maxX - minX) * float64(wCols-1))
+		r := hRows - 1 - int((ys[i]-minY)/(maxY-minY)*float64(hRows-1))
+		g := '*'
+		if series[i] >= 0 && series[i] < len(glyphs) {
+			g = glyphs[series[i]]
+		}
+		grid[r][c] = g
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	fmt.Fprintf(w, "  y: %s .. %s\n", formatFloat(minY), formatFloat(maxY))
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", wCols))
+	fmt.Fprintf(w, "  x: %s .. %s\n", formatFloat(minX), formatFloat(maxX))
+}
+
+// Heatmap renders a 2D grid of values as ASCII shades, with row and column
+// labels. Values are normalized to the grid's min..max range; higher values
+// render darker.
+func Heatmap(w io.Writer, title string, rowLabels, colLabels []string, values [][]float64) {
+	shades := []byte(" .:-=+*#%@")
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, row := range values {
+		for _, v := range row {
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	if math.IsInf(minV, 1) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	span := maxV - minV
+	if span == 0 {
+		span = 1
+	}
+	labW := 0
+	for _, l := range rowLabels {
+		if len(l) > labW {
+			labW = len(l)
+		}
+	}
+	cellW := 1
+	for _, l := range colLabels {
+		if len(l) > cellW {
+			cellW = len(l)
+		}
+	}
+	fmt.Fprintf(w, "  %s ", strings.Repeat(" ", labW))
+	for _, cl := range colLabels {
+		fmt.Fprintf(w, "%s ", pad(cl, cellW))
+	}
+	fmt.Fprintln(w)
+	for r, row := range values {
+		label := ""
+		if r < len(rowLabels) {
+			label = rowLabels[r]
+		}
+		fmt.Fprintf(w, "  %s ", pad(label, labW))
+		for _, v := range row {
+			idx := int((v - minV) / span * float64(len(shades)-1))
+			fmt.Fprintf(w, "%s ", pad(strings.Repeat(string(shades[idx]), cellW), cellW))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  scale: '%c' = %s .. '%c' = %s\n", shades[0], formatFloat(minV), shades[len(shades)-1], formatFloat(maxV))
+}

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Title", "name", "value")
+	tb.Add("alpha", 1.5)
+	tb.Add("beta", 42.0)
+	tb.Add("gamma", "x")
+	s := tb.String()
+	for _, want := range []string{"My Title", "name", "value", "alpha", "1.5", "42", "gamma"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table misses %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title + header + separator + 3 rows.
+	if len(lines) != 6 {
+		t.Errorf("lines = %d:\n%s", len(lines), s)
+	}
+	// Columns align: all data lines have the same prefix width up to col 2.
+	if !strings.Contains(lines[2], "---") {
+		t.Error("no separator row")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if formatFloat(3.0) != "3" {
+		t.Errorf("3.0 -> %q", formatFloat(3.0))
+	}
+	if formatFloat(3.14159) != "3.142" {
+		t.Errorf("pi -> %q", formatFloat(3.14159))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Add("x,y", "plain")
+	tb.Add(`quo"te`, 2.0)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y",plain`) {
+		t.Errorf("comma not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, `"quo""te",2`) {
+		t.Errorf("quote not escaped: %q", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 {
+		t.Errorf("csv lines = %d", lines)
+	}
+}
+
+func TestBar(t *testing.T) {
+	var b strings.Builder
+	Bar(&b, "bars", []string{"one", "two"}, []float64{1, 2}, 10)
+	s := b.String()
+	if !strings.Contains(s, "bars") || !strings.Contains(s, "##########") {
+		t.Errorf("bar output:\n%s", s)
+	}
+	// Zero max does not panic.
+	var z strings.Builder
+	Bar(&z, "", []string{"x"}, []float64{0}, 10)
+}
+
+func TestScatter(t *testing.T) {
+	var b strings.Builder
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 1, 4, 9}
+	series := []int{0, 0, 1, 1}
+	Scatter(&b, "sc", xs, ys, series, []rune{'o', 'x'}, 20, 8)
+	s := b.String()
+	if !strings.Contains(s, "sc") || !strings.Contains(s, "o") || !strings.Contains(s, "x") {
+		t.Errorf("scatter output:\n%s", s)
+	}
+	var e strings.Builder
+	Scatter(&e, "", nil, nil, nil, nil, 10, 5)
+	if !strings.Contains(e.String(), "no points") {
+		t.Error("empty scatter not handled")
+	}
+	// Degenerate ranges must not panic.
+	var d strings.Builder
+	Scatter(&d, "", []float64{1, 1}, []float64{2, 2}, []int{0, 0}, []rune{'*'}, 10, 5)
+}
+
+func TestHeatmap(t *testing.T) {
+	var b strings.Builder
+	Heatmap(&b, "hm", []string{"r1", "r2"}, []string{"c1", "c2", "c3"},
+		[][]float64{{0, 5, 10}, {10, 5, 0}})
+	s := b.String()
+	for _, want := range []string{"hm", "r1", "c3", "scale:", "@"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("heatmap misses %q:\n%s", want, s)
+		}
+	}
+	// Flat data and empty data do not panic.
+	var f strings.Builder
+	Heatmap(&f, "", []string{"r"}, []string{"c"}, [][]float64{{3}})
+	var e strings.Builder
+	Heatmap(&e, "", nil, nil, nil)
+	if !strings.Contains(e.String(), "no data") {
+		t.Error("empty heatmap not handled")
+	}
+}

@@ -1,0 +1,150 @@
+// Package roofline provides the classic roofline sanity view on top of the
+// detailed latency model: given a problem, it computes the compute roof
+// (MACs/cycle), the bandwidth roof of each off-array port, the workload's
+// operational intensity, and the resulting bound — a coarse cross-check
+// that the detailed model's verdict (compute- vs bandwidth-bound) respects
+// first principles, and a fast screening tool for DSE.
+package roofline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/loops"
+)
+
+// Bound names the binding resource.
+type Bound uint8
+
+// Binding resources.
+const (
+	ComputeBound Bound = iota
+	BandwidthBound
+)
+
+// String names the bound.
+func (b Bound) String() string {
+	if b == BandwidthBound {
+		return "bandwidth-bound"
+	}
+	return "compute-bound"
+}
+
+// PortRoof is the minimum cycles one physical port needs to move the
+// layer's total traffic through it.
+type PortRoof struct {
+	Port     string
+	Bits     int64 // total bits the layer moves through the port
+	BWBits   int64
+	MinCC    float64
+	Operands string // contributing operands, for reports
+}
+
+// Analysis is the roofline view of one problem.
+type Analysis struct {
+	// ComputeCC is Total MACs / array size.
+	ComputeCC float64
+	// Roofs are per-port minimum cycle counts, descending.
+	Roofs []PortRoof
+	// BoundCC = max(ComputeCC, worst roof): the roofline latency bound.
+	BoundCC float64
+	// Bound says which resource binds.
+	Bound Bound
+	// IntensityMACsPerByte is the operational intensity versus the
+	// outermost (off-chip-facing) level.
+	IntensityMACsPerByte float64
+}
+
+// Analyze computes the roofline bound for a problem. Traffic per port is
+// derived from the same DTL decomposition the detailed model uses (so
+// mapping-induced re-fetching is counted), but all scheduling effects —
+// windows, contention order, buffering — are ignored: the result is a
+// LOWER bound on the achievable latency.
+func Analyze(p *core.Problem) (*Analysis, error) {
+	eps, err := core.Endpoints(p)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		ComputeCC: float64(p.Layer.TotalMACs()) / float64(p.Arch.MACs),
+	}
+
+	type acc struct {
+		bits int64
+		bw   int64
+		ops  map[string]bool
+	}
+	perPort := map[string]*acc{}
+	for _, e := range eps {
+		mem := p.Arch.MemoryByName(e.MemName)
+		key := fmt.Sprintf("%s.%s", e.MemName, mem.Ports[e.PortIdx].Name)
+		pa, ok := perPort[key]
+		if !ok {
+			pa = &acc{bw: mem.Ports[e.PortIdx].BWBits, ops: map[string]bool{}}
+			perPort[key] = pa
+		}
+		pa.bits += e.Z * e.MemData * int64(p.Layer.Precision.Bits(e.Operand))
+		pa.ops[e.Operand.String()] = true
+	}
+	for key, pa := range perPort {
+		var ops []string
+		for o := range pa.ops {
+			ops = append(ops, o)
+		}
+		sort.Strings(ops)
+		a.Roofs = append(a.Roofs, PortRoof{
+			Port:     key,
+			Bits:     pa.bits,
+			BWBits:   pa.bw,
+			MinCC:    float64(pa.bits) / float64(pa.bw),
+			Operands: strings.Join(ops, "+"),
+		})
+	}
+	sort.Slice(a.Roofs, func(i, j int) bool { return a.Roofs[i].MinCC > a.Roofs[j].MinCC })
+
+	a.BoundCC = a.ComputeCC
+	a.Bound = ComputeBound
+	if len(a.Roofs) > 0 && a.Roofs[0].MinCC > a.ComputeCC {
+		a.BoundCC = a.Roofs[0].MinCC
+		a.Bound = BandwidthBound
+	}
+
+	// Operational intensity vs the outermost level: MACs per byte moved
+	// through any GB-class port (top of each operand's chain).
+	topBits := int64(0)
+	tops := map[string]bool{}
+	for _, op := range loops.AllOperands {
+		chain := p.Arch.Chain[op]
+		tops[chain[len(chain)-1]] = true
+	}
+	for _, e := range eps {
+		if tops[e.MemName] {
+			topBits += e.Z * e.MemData * int64(p.Layer.Precision.Bits(e.Operand))
+		}
+	}
+	if topBits > 0 {
+		a.IntensityMACsPerByte = float64(p.Layer.TotalMACs()) / (float64(topBits) / 8)
+	}
+	return a, nil
+}
+
+// ConsistentWith checks the roofline bound against a detailed-model result:
+// the detailed latency must never beat the bound (within epsilon for the
+// preload/offload edges the roofline ignores).
+func (a *Analysis) ConsistentWith(r *core.Result) bool {
+	return r.CCTotal >= a.BoundCC*0.999
+}
+
+// Report renders the analysis.
+func (a *Analysis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "roofline: %s — bound %.0f cc (compute %.0f cc)\n", a.Bound, a.BoundCC, a.ComputeCC)
+	fmt.Fprintf(&b, "  operational intensity: %.2f MACs/byte (vs outermost level)\n", a.IntensityMACsPerByte)
+	for _, r := range a.Roofs {
+		fmt.Fprintf(&b, "  %-14s %8d bits @ %4d bit/cc -> >= %8.0f cc (%s)\n",
+			r.Port, r.Bits, r.BWBits, r.MinCC, r.Operands)
+	}
+	return b.String()
+}

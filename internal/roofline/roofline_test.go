@@ -1,0 +1,119 @@
+package roofline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+func searched(b, k, c int64, gbBW int64) (*core.Problem, *core.Result) {
+	l := workload.NewMatMul("r", b, k, c)
+	hw := arch.CaseStudy()
+	gb := hw.MemoryByName("GB")
+	for i := range gb.Ports {
+		gb.Ports[i].BWBits = gbBW
+	}
+	best, _, err := mapper.Best(&l, hw, &mapper.Options{
+		Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 2000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return &core.Problem{Layer: &l, Arch: hw, Mapping: best.Mapping}, best.Result
+}
+
+func TestComputeBoundCase(t *testing.T) {
+	// Deep reduction, generous GB: compute-bound.
+	p, r := searched(128, 128, 512, 1024)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bound != ComputeBound {
+		t.Errorf("bound = %s\n%s", a.Bound, a.Report())
+	}
+	if a.ComputeCC != 32768 {
+		t.Errorf("compute roof = %v", a.ComputeCC)
+	}
+	if !a.ConsistentWith(r) {
+		t.Errorf("detailed model (%v) beats the roofline bound (%v)", r.CCTotal, a.BoundCC)
+	}
+}
+
+func TestBandwidthBoundCase(t *testing.T) {
+	// Output-heavy, starved GB: bandwidth-bound.
+	p, r := searched(512, 512, 8, 128)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bound != BandwidthBound {
+		t.Errorf("bound = %s\n%s", a.Bound, a.Report())
+	}
+	if !a.ConsistentWith(r) {
+		t.Errorf("detailed model (%v) beats the roofline bound (%v)", r.CCTotal, a.BoundCC)
+	}
+	// The binding port must be a GB port (the narrow link).
+	if !strings.HasPrefix(a.Roofs[0].Port, "GB.") {
+		t.Errorf("binding port = %s", a.Roofs[0].Port)
+	}
+}
+
+func TestIntensity(t *testing.T) {
+	p, _ := searched(128, 128, 128, 1024)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IntensityMACsPerByte <= 0 {
+		t.Fatal("no intensity computed")
+	}
+	// Measured intensity uses MAPPED traffic, which is at least the
+	// compulsory traffic: intensity can never exceed the algorithmic
+	// ceiling MACs / (total operand bytes).
+	ceiling := float64(p.Layer.TotalMACs()) / (float64(p.Layer.TotalDataBits()) / 8)
+	if a.IntensityMACsPerByte > ceiling+1e-9 {
+		t.Errorf("intensity %v exceeds algorithmic ceiling %v", a.IntensityMACsPerByte, ceiling)
+	}
+}
+
+func TestRooflineNeverAboveModel(t *testing.T) {
+	// Across a grid of shapes and bandwidths, the roofline lower bound
+	// must never exceed the detailed model's latency.
+	for _, dims := range [][3]int64{{64, 64, 64}, {256, 64, 16}, {64, 256, 16}, {128, 128, 256}} {
+		for _, bw := range []int64{64, 256, 1024} {
+			p, r := searched(dims[0], dims[1], dims[2], bw)
+			a, err := Analyze(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.ConsistentWith(r) {
+				t.Errorf("dims %v bw %d: model %v < bound %v", dims, bw, r.CCTotal, a.BoundCC)
+			}
+		}
+	}
+}
+
+func TestReportAndErrors(t *testing.T) {
+	p, _ := searched(64, 64, 64, 256)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Report()
+	for _, want := range []string{"roofline:", "operational intensity", "GB.rd"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report misses %q:\n%s", want, s)
+		}
+	}
+	if _, err := Analyze(&core.Problem{}); err == nil {
+		t.Error("nil problem analyzed")
+	}
+	if ComputeBound.String() != "compute-bound" || BandwidthBound.String() != "bandwidth-bound" {
+		t.Error("bound names wrong")
+	}
+}

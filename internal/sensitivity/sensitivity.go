@@ -1,0 +1,146 @@
+// Package sensitivity performs one-at-a-time parameter sensitivity
+// analysis on an architecture: every tunable hardware parameter (each
+// memory's capacity and each port's bandwidth) is halved and doubled, the
+// mapping re-optimized, and the latency impact recorded — the tornado-chart
+// view that tells a designer WHERE the next wire or kilobyte buys the most
+// cycles, the actionable form of the paper's bottleneck-identification
+// claim (Section III-E).
+package sensitivity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// Parameter identifies one tunable knob.
+type Parameter struct {
+	Mem  string
+	Port string // empty: the memory's capacity; else the port's bandwidth
+}
+
+// String renders e.g. "GB.rd BW" or "W-LB capacity".
+func (p Parameter) String() string {
+	if p.Port == "" {
+		return p.Mem + " capacity"
+	}
+	return p.Mem + "." + p.Port + " BW"
+}
+
+// Effect is the measured impact of one parameter.
+type Effect struct {
+	Parameter Parameter
+	BaseCC    float64
+	HalfCC    float64 // latency with the parameter halved
+	DoubleCC  float64 // latency with the parameter doubled
+	// Swing = HalfCC - DoubleCC: the total latency range the parameter
+	// controls (>= 0 for monotone parameters).
+	Swing float64
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// MaxCandidates is the per-point mapping budget (default 1500).
+	MaxCandidates int
+	// SkipCapacity or SkipBandwidth restricts the swept knobs.
+	SkipCapacity  bool
+	SkipBandwidth bool
+}
+
+// Analyze sweeps every parameter of hw and returns effects sorted by
+// descending swing. The spatial unrolling stays fixed; the temporal
+// mapping is re-optimized per point (hardware-mapping co-adaptation).
+func Analyze(l *workload.Layer, hw *arch.Arch, spatial loops.Nest, opt *Options) ([]Effect, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	budget := opt.MaxCandidates
+	if budget <= 0 {
+		budget = 1500
+	}
+	eval := func(a *arch.Arch) (float64, error) {
+		layer := *l
+		best, _, err := mapper.Best(&layer, a, &mapper.Options{
+			Spatial: spatial, BWAware: true, Pow2Splits: true, MaxCandidates: budget,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return best.Result.CCTotal, nil
+	}
+	base, err := eval(hw)
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity: base point: %w", err)
+	}
+
+	var params []Parameter
+	for _, m := range hw.Memories {
+		if !opt.SkipCapacity {
+			params = append(params, Parameter{Mem: m.Name})
+		}
+		if !opt.SkipBandwidth {
+			for _, p := range m.Ports {
+				params = append(params, Parameter{Mem: m.Name, Port: p.Name})
+			}
+		}
+	}
+
+	var out []Effect
+	for _, param := range params {
+		e := Effect{Parameter: param, BaseCC: base}
+		for _, scale := range []struct {
+			factor float64
+			dst    *float64
+		}{{0.5, &e.HalfCC}, {2, &e.DoubleCC}} {
+			mod := hw.Clone()
+			mem := mod.MemoryByName(param.Mem)
+			if param.Port == "" {
+				mem.CapacityBits = int64(float64(mem.CapacityBits) * scale.factor)
+				if mem.CapacityBits < 8 {
+					mem.CapacityBits = 8
+				}
+			} else {
+				for i := range mem.Ports {
+					if mem.Ports[i].Name == param.Port {
+						mem.Ports[i].BWBits = int64(float64(mem.Ports[i].BWBits) * scale.factor)
+						if mem.Ports[i].BWBits < 1 {
+							mem.Ports[i].BWBits = 1
+						}
+					}
+				}
+			}
+			cc, err := eval(mod)
+			if err != nil {
+				// No valid mapping at this point (e.g. capacity halved
+				// below the spatial tile): treat as unbounded penalty.
+				cc = base * 16
+			}
+			*scale.dst = cc
+		}
+		e.Swing = e.HalfCC - e.DoubleCC
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Swing != out[j].Swing {
+			return out[i].Swing > out[j].Swing
+		}
+		return out[i].Parameter.String() < out[j].Parameter.String()
+	})
+	return out, nil
+}
+
+// Report renders the tornado table.
+func Report(effects []Effect) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %12s %12s %12s %12s\n", "parameter", "half", "base", "double", "swing")
+	for _, e := range effects {
+		fmt.Fprintf(&b, "%-20s %12.0f %12.0f %12.0f %12.0f\n",
+			e.Parameter, e.HalfCC, e.BaseCC, e.DoubleCC, e.Swing)
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package sensitivity
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/workload"
+)
+
+func TestAnalyzeBandwidthBoundLayer(t *testing.T) {
+	// Output-heavy layer on the case-study arch: the GB ports should top
+	// the tornado.
+	l := workload.NewMatMul("s", 128, 128, 8)
+	hw := arch.CaseStudy()
+	effects, err := Analyze(&l, hw, arch.CaseStudySpatial(), &Options{
+		MaxCandidates: 800, SkipCapacity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(effects) == 0 {
+		t.Fatal("no effects")
+	}
+	// Monotonicity: doubling any bandwidth never hurts, halving never
+	// helps.
+	for _, e := range effects {
+		if e.DoubleCC > e.BaseCC+1e-9 {
+			t.Errorf("%s: doubling raised latency %v -> %v", e.Parameter, e.BaseCC, e.DoubleCC)
+		}
+		if e.HalfCC < e.BaseCC-1e-9 {
+			t.Errorf("%s: halving lowered latency %v -> %v", e.Parameter, e.BaseCC, e.HalfCC)
+		}
+		if e.Swing < -1e-9 {
+			t.Errorf("%s: negative swing %v", e.Parameter, e.Swing)
+		}
+	}
+	// Sorted by swing.
+	for i := 1; i < len(effects); i++ {
+		if effects[i].Swing > effects[i-1].Swing+1e-9 {
+			t.Error("effects not sorted by swing")
+		}
+	}
+	// The top knob must be a GB port (the stall source for this layer).
+	if !strings.HasPrefix(effects[0].Parameter.String(), "GB.") {
+		t.Errorf("top parameter = %s, want a GB port\n%s",
+			effects[0].Parameter, Report(effects))
+	}
+}
+
+func TestAnalyzeComputeBoundLayerFlat(t *testing.T) {
+	// Reduction-heavy layer: compute-bound, so bandwidth knobs have small
+	// swing relative to total latency.
+	l := workload.NewMatMul("c", 128, 128, 512)
+	hw := arch.CaseStudy()
+	effects, err := Analyze(&l, hw, arch.CaseStudySpatial(), &Options{
+		MaxCandidates: 600, SkipCapacity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a compute-bound layer, DOUBLING any bandwidth buys almost
+	// nothing (halving can still hurt a saturated link, which is exactly
+	// what the tornado is for).
+	for _, e := range effects {
+		if gain := e.BaseCC - e.DoubleCC; gain > 0.1*e.BaseCC {
+			t.Errorf("%s: doubling gained %.0f cc on a compute-bound layer (base %.0f)",
+				e.Parameter, gain, e.BaseCC)
+		}
+	}
+}
+
+func TestCapacityKnobs(t *testing.T) {
+	l := workload.NewMatMul("k", 64, 64, 64)
+	hw := arch.CaseStudy()
+	effects, err := Analyze(&l, hw, arch.CaseStudySpatial(), &Options{
+		MaxCandidates: 400, SkipBandwidth: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range effects {
+		if e.Parameter.Port != "" {
+			t.Errorf("bandwidth knob %s present with SkipBandwidth", e.Parameter)
+		}
+	}
+	// Shrink the W registers to exactly the spatial tile: halving then
+	// makes every mapping invalid and the unmappable penalty must kick
+	// in instead of an error.
+	tight := arch.CaseStudy()
+	tight.MemoryByName("W-Reg").CapacityBits = 32 * 8
+	effects2, err := Analyze(&l, tight, arch.CaseStudySpatial(), &Options{
+		MaxCandidates: 400, SkipBandwidth: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range effects2 {
+		if e.Parameter.Mem == "W-Reg" && e.HalfCC >= 4*e.BaseCC {
+			found = true
+		}
+	}
+	if !found {
+		t.Log(Report(effects2))
+		t.Error("register capacity halving did not trigger the unmappable penalty")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	s := Report([]Effect{{Parameter: Parameter{Mem: "GB", Port: "rd"}, BaseCC: 10, HalfCC: 20, DoubleCC: 5, Swing: 15}})
+	for _, want := range []string{"parameter", "GB.rd BW", "15"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report misses %q:\n%s", want, s)
+		}
+	}
+	if (Parameter{Mem: "X"}).String() != "X capacity" {
+		t.Error("capacity parameter name wrong")
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+)
+
+// EDF is the smarter arbiter: across a spread of contention levels it must
+// never lose to FIFO by more than noise, and the two must agree when no
+// port is contended.
+func TestArbitrationPolicies(t *testing.T) {
+	configs := [][3]int64{
+		{64, 32, 24},                // contended
+		{64, 16, 16},                // heavily contended
+		{1 << 20, 1 << 20, 1 << 20}, // uncontended
+	}
+	for _, cfg := range configs {
+		p := microProblem(cfg[0], cfg[1], cfg[2], false)
+		edf, err := Simulate(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fifo, err := Simulate(p, &Options{FIFOArbitration: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if edf.Cycles > fifo.Cycles {
+			t.Errorf("cfg %v: EDF (%d) slower than FIFO (%d)", cfg, edf.Cycles, fifo.Cycles)
+		}
+	}
+	// Uncontended: identical.
+	p := microProblem(1<<20, 1<<20, 1<<20, false)
+	edf, _ := Simulate(p, nil)
+	fifo, _ := Simulate(p, &Options{FIFOArbitration: true})
+	if edf.Cycles != fifo.Cycles {
+		t.Errorf("uncontended EDF %d != FIFO %d", edf.Cycles, fifo.Cycles)
+	}
+}
+
+// FIFO results remain deterministic.
+func TestFIFODeterminism(t *testing.T) {
+	p := microProblem(64, 32, 24, false)
+	a, err := Simulate(p, &Options{FIFOArbitration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p, &Options{FIFOArbitration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Error("FIFO non-deterministic")
+	}
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// run executes the event loop: compute advances one step per cycle unless a
+// tile with an expired deadline is still in flight; ports serve released
+// jobs one at a time, earliest deadline first.
+func (b *builder) run(opt *Options) (*Result, error) {
+	maxCycles := opt.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = b.steps*64 + 1_000_000
+	}
+	for _, pt := range b.ports {
+		pt.ready.fifo = opt.FIFOArbitration
+	}
+
+	// Deadline-gated tiles, lazily popped when they complete.
+	var gates deadlineHeap
+	for _, tl := range b.tiles {
+		if tl.deadline >= 0 {
+			gates = append(gates, tl)
+		}
+	}
+	heap.Init(&gates)
+
+	ports := make([]*port, 0, len(b.ports))
+	for _, pt := range b.ports {
+		ports = append(ports, pt)
+	}
+	// Deterministic order.
+	for i := 0; i < len(ports); i++ {
+		for j := i + 1; j < len(ports); j++ {
+			if ports[j].name < ports[i].name {
+				ports[i], ports[j] = ports[j], ports[i]
+			}
+		}
+	}
+
+	jobsLeft := 0
+	for _, pt := range ports {
+		jobsLeft += len(pt.pending)
+	}
+	totalJobs := jobsLeft
+
+	var (
+		t, s       int64 // cycle, next compute step
+		stash      []*job
+		tCompStart = int64(-1)
+		tCompEnd   = int64(-1)
+	)
+
+	nextGate := func() int64 {
+		for gates.Len() > 0 {
+			top := gates[0]
+			if top.pending == 0 {
+				heap.Pop(&gates)
+				continue
+			}
+			return top.deadline
+		}
+		return -1
+	}
+
+	restash := func() {
+		for _, j := range stash {
+			heap.Push(&j.port.ready, j)
+		}
+		stash = stash[:0]
+	}
+
+	for {
+		// Release jobs whose window has opened.
+		for _, pt := range ports {
+			for pt.cursor < len(pt.pending) && pt.pending[pt.cursor].release <= s {
+				heap.Push(&pt.ready, pt.pending[pt.cursor])
+				pt.cursor++
+			}
+		}
+		// Start idle ports on their most urgent startable job.
+		for _, pt := range ports {
+			if pt.current != nil {
+				continue
+			}
+			for pt.ready.Len() > 0 {
+				j := heap.Pop(&pt.ready).(*job)
+				if j.parent != nil && j.parent.pending > 0 {
+					stash = append(stash, j)
+					continue
+				}
+				pt.current = j
+				cycles := (j.bits + pt.bwBits - 1) / pt.bwBits
+				if cycles < 1 {
+					cycles = 1
+				}
+				pt.curDone = t + cycles
+				pt.busy += cycles
+				break
+			}
+		}
+
+		gate := nextGate()
+		blocked := gate >= 0 && gate <= s
+		computing := s < b.steps && !blocked
+		if computing && tCompStart < 0 {
+			tCompStart = t
+		}
+
+		// Next event horizon.
+		const inf = int64(1) << 62
+		next := inf
+		for _, pt := range ports {
+			if pt.current != nil && pt.curDone < next {
+				next = pt.curDone
+			}
+		}
+		if computing {
+			limit := b.steps
+			if gate >= 0 && gate < limit {
+				limit = gate
+			}
+			for _, pt := range ports {
+				if pt.cursor < len(pt.pending) && pt.pending[pt.cursor].release < limit {
+					limit = pt.pending[pt.cursor].release
+				}
+			}
+			if limit <= s {
+				limit = s + 1
+			}
+			if e := t + (limit - s); e < next {
+				next = e
+			}
+		}
+		if next == inf {
+			if jobsLeft == 0 && s >= b.steps {
+				break
+			}
+			if !computing {
+				return nil, fmt.Errorf("sim: deadlock at cycle %d (step %d/%d, %d jobs left)", t, s, b.steps, jobsLeft)
+			}
+			// No transfers in flight; run compute to the next boundary.
+			next = t + 1
+		}
+
+		delta := next - t
+		if delta < 1 {
+			delta = 1
+		}
+		if computing {
+			adv := delta
+			if s+adv > b.steps {
+				adv = b.steps - s
+			}
+			s += adv
+			if s >= b.steps && tCompEnd < 0 {
+				tCompEnd = t + adv
+			}
+		}
+		t += delta
+		if t > maxCycles {
+			return nil, fmt.Errorf("sim: exceeded %d cycles (step %d/%d)", maxCycles, s, b.steps)
+		}
+
+		// Complete finished jobs.
+		finished := false
+		for _, pt := range ports {
+			if pt.current != nil && pt.curDone <= t {
+				pt.current.tile.pending--
+				pt.current = nil
+				jobsLeft--
+				finished = true
+			}
+		}
+		if finished {
+			restash()
+		}
+	}
+
+	if tCompStart < 0 {
+		tCompStart = 0
+	}
+	if tCompEnd < 0 {
+		tCompEnd = t
+	}
+	res := &Result{
+		Cycles:        t,
+		PreloadCycles: tCompStart,
+		DrainTail:     t - tCompEnd,
+		ComputeStall:  (tCompEnd - tCompStart) - b.steps,
+		PortBusy:      map[string]int64{},
+		Jobs:          totalJobs,
+	}
+	for _, pt := range ports {
+		res.PortBusy[pt.name] = pt.busy
+	}
+	return res, nil
+}

@@ -1,0 +1,353 @@
+// Package sim is a cycle-level reference simulator for the abstract
+// accelerator machine of package arch executing a mapping from package
+// mapping. It is the repository's substitute for the paper's RTL
+// simulation of the taped-out accelerator (Section IV): an INDEPENDENT
+// implementation of the machine's timing semantics against which the
+// analytical model of package core is validated.
+//
+// # Machine semantics
+//
+// Compute proceeds in steps; in each step the spatial array consumes one
+// point of the innermost temporal iteration (one cycle when nothing
+// stalls). Every unit memory (operand, level) holds one tile per
+// turnaround period of Mem_CC steps. Tiles move between levels through
+// transfer jobs:
+//
+//   - a fill (W/I) of the tile used in period k may transfer during the
+//     allowed window inside period k-1 — the whole period for
+//     double-buffered destinations or relevant-top-loop single buffers,
+//     only the trailing keep-out-free X_REQ cycles otherwise — and must
+//     finish before period k begins or compute stalls;
+//   - an output drain is released when its tile's last accumulation
+//     period ends and must finish within the next period's allowed window;
+//   - a partial-sum read-back must land before its tile's accumulation
+//     resumes, and depends on its own earlier drain.
+//
+// Each physical memory port serves one job at a time at full port
+// bandwidth, earliest-deadline-first among released jobs; a transfer
+// occupies its read-side and write-side ports as two independent jobs
+// (store-and-forward staging). Consecutive periods that reuse an identical
+// tile are transferred once — the simulator never re-fetches data that is
+// already resident.
+//
+// The simulator makes no use of the analytical stall equations; it only
+// shares the structural mapping arithmetic (tile sizes, turnaround
+// periods), so agreement between the two on total cycles is a meaningful
+// validation result.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loops"
+)
+
+// Options tunes a simulation run.
+type Options struct {
+	// MaxCycles aborts runaway simulations (0 = 50x the stall-free bound).
+	MaxCycles int64
+	// FIFOArbitration serves each port's jobs in release order instead of
+	// earliest-deadline-first — the simpler hardware arbiter, for
+	// sensitivity studies of the simulator's scheduling assumption.
+	FIFOArbitration bool
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	// Cycles is the total wall-clock cycle count: preload + compute
+	// (with stalls) + offload drain tail.
+	Cycles int64
+	// ComputeStall counts cycles where compute was blocked waiting on a
+	// transfer after preload completed.
+	ComputeStall int64
+	// PreloadCycles is the time before the first compute step.
+	PreloadCycles int64
+	// DrainTail is the time after the last compute step.
+	DrainTail int64
+	// PortBusy counts busy cycles per "mem.port".
+	PortBusy map[string]int64
+	// Jobs is the number of transfer jobs executed.
+	Jobs int
+}
+
+// tile is a unit of data whose arrival may gate compute.
+type tile struct {
+	deadline int64 // compute step before which the tile must be ready (-1: none)
+	pending  int   // outstanding jobs
+}
+
+// job is one port occupation: moving bits through a single port.
+type job struct {
+	port     *port
+	bits     int64
+	release  int64 // earliest compute step at which the transfer window opens
+	deadline int64 // compute step the dependent tile is needed at (-1: offload)
+	tile     *tile
+	parent   *tile // must be ready before this job may start (nil: none)
+	seq      int   // tie-breaker for determinism
+}
+
+// port is one physical memory port.
+type port struct {
+	name    string
+	bwBits  int64
+	pending []*job // not yet released, sorted by release step
+	cursor  int
+	ready   jobHeap // released, waiting for service (EDF)
+	current *job
+	curDone int64 // absolute cycle the current job completes
+	busy    int64
+}
+
+// jobHeap orders jobs by (deadline, release, seq) — earliest deadline
+// first, offload jobs (deadline -1) last — or by (release, seq) in FIFO
+// mode.
+type jobHeap struct {
+	items []*job
+	fifo  bool
+}
+
+func (h *jobHeap) Len() int { return len(h.items) }
+func (h *jobHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if !h.fifo {
+		da, db := a.deadline, b.deadline
+		if da < 0 {
+			da = 1 << 62
+		}
+		if db < 0 {
+			db = 1 << 62
+		}
+		if da != db {
+			return da < db
+		}
+	}
+	if a.release != b.release {
+		return a.release < b.release
+	}
+	return a.seq < b.seq
+}
+func (h *jobHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *jobHeap) Push(x any)    { h.items = append(h.items, x.(*job)) }
+func (h *jobHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// deadlineHeap orders tiles by deadline.
+type deadlineHeap []*tile
+
+func (h deadlineHeap) Len() int           { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool { return h[i].deadline < h[j].deadline }
+func (h deadlineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x any)        { *h = append(*h, x.(*tile)) }
+func (h *deadlineHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Simulate runs the problem to completion and returns the measured cycles.
+func Simulate(p *core.Problem, opt *Options) (*Result, error) {
+	if p == nil || p.Layer == nil || p.Arch == nil || p.Mapping == nil {
+		return nil, fmt.Errorf("sim: nil problem component")
+	}
+	if opt == nil {
+		opt = &Options{}
+	}
+	b := newBuilder(p)
+	if err := b.buildJobs(); err != nil {
+		return nil, err
+	}
+	return b.run(opt)
+}
+
+// builder assembles ports, tiles and jobs for one problem.
+type builder struct {
+	p     *core.Problem
+	ports map[string]*port
+	jobs  int
+	tiles []*tile
+	steps int64 // CCSpatial
+}
+
+func newBuilder(p *core.Problem) *builder {
+	return &builder{
+		p:     p,
+		ports: map[string]*port{},
+		steps: p.Mapping.CCSpatial(),
+	}
+}
+
+func (b *builder) portFor(mem *arch.Memory, acc arch.Access) (*port, error) {
+	pp, idx, err := mem.Port(acc)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s.%s", mem.Name, mem.Ports[idx].Name)
+	if pt, ok := b.ports[key]; ok {
+		return pt, nil
+	}
+	pt := &port{name: key, bwBits: pp.BWBits, curDone: -1}
+	b.ports[key] = pt
+	return pt, nil
+}
+
+// addTransfer creates the two port jobs of one tile movement.
+func (b *builder) addTransfer(srcMem, dstMem *arch.Memory, op loops.Operand,
+	elems, release, deadline int64, parent *tile) (*tile, error) {
+	bits := elems * int64(b.p.Layer.Precision.Bits(op))
+	rdPort, err := b.portFor(srcMem, arch.Access{Operand: op, Write: false})
+	if err != nil {
+		return nil, err
+	}
+	wrPort, err := b.portFor(dstMem, arch.Access{Operand: op, Write: true})
+	if err != nil {
+		return nil, err
+	}
+	t := &tile{deadline: deadline, pending: 2}
+	b.tiles = append(b.tiles, t)
+	for _, pt := range []*port{rdPort, wrPort} {
+		b.jobs++
+		j := &job{port: pt, bits: bits, release: release, deadline: deadline,
+			tile: t, parent: parent, seq: b.jobs}
+		pt.pending = append(pt.pending, j)
+	}
+	return t, nil
+}
+
+// buildJobs walks every inter-level interface and emits transfer jobs.
+func (b *builder) buildJobs() error {
+	m := b.p.Mapping
+	st := b.p.Layer.Strides
+	for _, op := range loops.AllOperands {
+		chain := b.p.Arch.ChainMems(op)
+		var parentPre *tile // preload chaining down the hierarchy
+		for l := len(chain) - 2; l >= 0; l-- {
+			lower, upper := chain[l], chain[l+1]
+			memData := m.MemData(op, l, st)
+			memCC := m.MemCC(op, l)
+			z := m.Periods(op, l)
+			topRun := int64(1)
+			if !lower.DoubleBuffered {
+				topRun = m.TopReuseRun(op, l)
+			}
+			xReq := memCC / topRun
+			if xReq < 1 {
+				xReq = 1
+			}
+
+			combos := rCombos(m, op, l)
+			if op != loops.O {
+				pre, err := b.fillJobs(lower, upper, op, memData, memCC, xReq, z, combos, parentPre)
+				if err != nil {
+					return err
+				}
+				parentPre = pre
+				continue
+			}
+			if err := b.outputJobs(lower, upper, memData, memCC, xReq, z, combos); err != nil {
+				return err
+			}
+		}
+	}
+	// Sort pending queues by release for cursor-based release.
+	for _, pt := range b.ports {
+		sort.Slice(pt.pending, func(i, j int) bool {
+			if pt.pending[i].release != pt.pending[j].release {
+				return pt.pending[i].release < pt.pending[j].release
+			}
+			return pt.pending[i].seq < pt.pending[j].seq
+		})
+	}
+	return nil
+}
+
+// rCombos returns, per turnaround period of operand op at level l, an id
+// identifying the tile content (the operand-relevant digits of the
+// above-level loop indices). Periods sharing an id reuse the same tile.
+func rCombos(m interface {
+	AboveNest(loops.Operand, int) loops.Nest
+	Periods(loops.Operand, int) int64
+}, op loops.Operand, l int) []int64 {
+	above := m.AboveNest(op, l)
+	z := m.Periods(op, l)
+	ids := make([]int64, z)
+	for k := int64(0); k < z; k++ {
+		rest := k
+		var id int64
+		mult := int64(1)
+		for _, lp := range above { // innermost first
+			digit := rest % lp.Size
+			rest /= lp.Size
+			if !loops.IsReuseDim(op, lp.Dim) {
+				id += digit * mult
+				mult *= lp.Size
+			}
+		}
+		ids[k] = id
+	}
+	return ids
+}
+
+// fillJobs emits the preload (k=0) and steady-state fills of a W/I level.
+// Returns the preload tile for chaining the level below.
+func (b *builder) fillJobs(lower, upper *arch.Memory, op loops.Operand,
+	memData, memCC, xReq, z int64, combos []int64, parentPre *tile) (*tile, error) {
+	pre, err := b.addTransfer(upper, lower, op, memData, 0, 0, parentPre)
+	if err != nil {
+		return nil, err
+	}
+	for k := int64(1); k < z; k++ {
+		if combos[k] == combos[k-1] {
+			continue // identical tile stays resident
+		}
+		release := k*memCC - xReq
+		deadline := k * memCC
+		if _, err := b.addTransfer(upper, lower, op, memData, release, deadline, nil); err != nil {
+			return nil, err
+		}
+	}
+	return pre, nil
+}
+
+// outputJobs emits drains and psum read-backs for one O interface.
+func (b *builder) outputJobs(lower, upper *arch.Memory,
+	memData, memCC, xReq, z int64, combos []int64) error {
+	op := loops.O
+	lastDrain := map[int64]*tile{} // tile id -> its most recent drain
+	for k := int64(0); k < z; k++ {
+		id := combos[k]
+		runStart := k == 0 || combos[k-1] != id
+		runEnd := k == z-1 || combos[k+1] != id
+
+		if runStart {
+			if prev, seen := lastDrain[id]; seen {
+				// Read the partial back before period k begins.
+				release := k*memCC - xReq
+				deadline := k * memCC
+				if _, err := b.addTransfer(upper, lower, op, memData, release, deadline, prev); err != nil {
+					return err
+				}
+			}
+		}
+		if runEnd {
+			// Drain after the run's last period completes; must clear the
+			// buffer within the next period's allowed window unless the
+			// layer is over (offload tail).
+			release := (k + 1) * memCC
+			deadline := (k+1)*memCC + xReq
+			if release >= b.steps {
+				deadline = -1
+			}
+			dt, err := b.addTransfer(lower, upper, op, memData, release, deadline, nil)
+			if err != nil {
+				return err
+			}
+			lastDrain[id] = dt
+		}
+	}
+	return nil
+}

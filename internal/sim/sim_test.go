@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+// microProblem mirrors the hand-computed example of package core's tests:
+// MatMul B=2 K=4 C=8 on a 2-level machine (Reg over GB), spatial K4,
+// temporal [C 8 | B 2], every operand splitting Reg=[C 8] / GB=[B 2].
+func microProblem(regRW, gbRd, gbWr int64, regDB bool) *core.Problem {
+	l := workload.NewMatMul("µ", 2, 4, 8)
+	a := &arch.Arch{
+		Name: "micro",
+		MACs: 4,
+		Memories: []*arch.Memory{
+			{Name: "Reg", CapacityBits: 1 << 20, DoubleBuffered: regDB,
+				Serves: []loops.Operand{loops.W, loops.I, loops.O},
+				Ports:  []arch.Port{{Name: "rw", Dir: arch.ReadWrite, BWBits: regRW}}},
+			{Name: "GB", CapacityBits: 1 << 30,
+				Serves: []loops.Operand{loops.W, loops.I, loops.O},
+				Ports: []arch.Port{
+					{Name: "rd", Dir: arch.Read, BWBits: gbRd},
+					{Name: "wr", Dir: arch.Write, BWBits: gbWr},
+				}},
+		},
+	}
+	for _, op := range loops.AllOperands {
+		a.Chain[op] = []string{"Reg", "GB"}
+	}
+	if err := a.Normalize(); err != nil {
+		panic(err)
+	}
+	m := &mapping.Mapping{
+		Spatial:  loops.Nest{{Dim: loops.K, Size: 4}},
+		Temporal: loops.Nest{{Dim: loops.C, Size: 8}, {Dim: loops.B, Size: 2}},
+	}
+	for _, op := range loops.AllOperands {
+		m.Bound[op] = []int{1, 2}
+	}
+	return &core.Problem{Layer: &l, Arch: a, Mapping: m}
+}
+
+func TestNoStallTimeline(t *testing.T) {
+	// Generous bandwidth: every transfer takes 1 cycle.
+	p := microProblem(1<<20, 1<<20, 1<<20, false)
+	r, err := Simulate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand trace: preload W (GB.rd 1cc) then I (1cc) -> compute starts at
+	// t=2; no stalls; 16 steps; final drain 1cc -> total 19.
+	if r.ComputeStall != 0 {
+		t.Errorf("ComputeStall = %d, want 0", r.ComputeStall)
+	}
+	if r.PreloadCycles != 2 {
+		t.Errorf("PreloadCycles = %d, want 2", r.PreloadCycles)
+	}
+	if r.Cycles != 19 {
+		t.Errorf("Cycles = %d, want 19", r.Cycles)
+	}
+	if r.DrainTail != 1 {
+		t.Errorf("DrainTail = %d, want 1", r.DrainTail)
+	}
+}
+
+func TestStarvedTimeline(t *testing.T) {
+	// The core-test configuration: Reg.rw 64, GB.rd 32, GB.wr 24 b/cc.
+	// Hand trace (see test comments in core): preload 10, stall 3 on the
+	// first O drain, drain tail 4 -> 33 total.
+	p := microProblem(64, 32, 24, false)
+	r, err := Simulate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PreloadCycles != 10 {
+		t.Errorf("PreloadCycles = %d, want 10", r.PreloadCycles)
+	}
+	if r.ComputeStall != 3 {
+		t.Errorf("ComputeStall = %d, want 3", r.ComputeStall)
+	}
+	if r.DrainTail != 4 {
+		t.Errorf("DrainTail = %d, want 4", r.DrainTail)
+	}
+	if r.Cycles != 33 {
+		t.Errorf("Cycles = %d, want 33", r.Cycles)
+	}
+	// The analytical model for the same problem gives 34: within 5%.
+	ana, err := core.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(r.Cycles) / ana.CCTotal
+	if ratio < 0.90 || ratio > 1.10 {
+		t.Errorf("sim %d vs model %.0f: ratio %.3f", r.Cycles, ana.CCTotal, ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := microProblem(64, 32, 24, false)
+	r1, err := Simulate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.ComputeStall != r2.ComputeStall {
+		t.Errorf("non-deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestRedundantFillsSkipped(t *testing.T) {
+	// W's GB level holds only the B loop (ir for W): period 2's W tile is
+	// identical to period 1's, so only the preload transfer happens.
+	p := microProblem(1<<20, 1<<20, 1<<20, false)
+	r, err := Simulate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs: W preload (2), I preload (2), I fill k=1 (2), O drains (4).
+	if r.Jobs != 10 {
+		t.Errorf("Jobs = %d, want 10", r.Jobs)
+	}
+}
+
+func TestRCombos(t *testing.T) {
+	m := &mapping.Mapping{
+		Spatial:  loops.Nest{{Dim: loops.K, Size: 4}},
+		Temporal: loops.Nest{{Dim: loops.C, Size: 2}, {Dim: loops.B, Size: 2}, {Dim: loops.K, Size: 2}},
+	}
+	m.Bound[loops.W] = []int{0, 3}
+	m.Bound[loops.I] = []int{0, 3}
+	m.Bound[loops.O] = []int{0, 3}
+	// Above W level 0: [C 2 | B 2 | K 2]; W r digits: C and K.
+	// k: c=k%2, b=(k/2)%2, kk=k/4. id = c + 2*kk.
+	want := []int64{0, 1, 0, 1, 2, 3, 2, 3}
+	got := rCombos(m, loops.W, 0)
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("rCombos[%d] = %d, want %d (all %v)", i, got[i], w, got)
+		}
+	}
+	// For O (r digits: B and K): id = b + 2*kk.
+	wantO := []int64{0, 0, 1, 1, 2, 2, 3, 3}
+	gotO := rCombos(m, loops.O, 0)
+	for i, w := range wantO {
+		if gotO[i] != w {
+			t.Fatalf("rCombos O[%d] = %d, want %d", i, gotO[i], w)
+		}
+	}
+}
+
+func TestPsumRoundTrip(t *testing.T) {
+	// O with a reduction loop above its reg level: [C 2 | B 2 | C 2],
+	// O bound [1,3]: above = [B 2 | C 2] -> ids 0,1,0,1: tiles revisit.
+	l := workload.NewMatMul("ps", 2, 4, 4)
+	p := microProblem(1<<20, 1<<20, 1<<20, false)
+	p.Layer = &l
+	p.Mapping.Temporal = loops.Nest{{Dim: loops.C, Size: 2}, {Dim: loops.B, Size: 2}, {Dim: loops.C, Size: 2}}
+	for _, op := range loops.AllOperands {
+		p.Mapping.Bound[op] = []int{1, 3}
+	}
+	r, err := Simulate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even with generous bandwidth the 1-cycle keep-out windows of the
+	// single-buffered O registers leave a few cycles of serialization
+	// stall the analytic model ignores (part of the validation gap).
+	if r.ComputeStall > 4 {
+		t.Errorf("stall = %d with generous BW, want <= 4", r.ComputeStall)
+	}
+	// O jobs: 4 runs -> 4 drains (8 jobs) + 2 readbacks (4 jobs).
+	// W: preload + fills at k where C digit changes: above W L0 = [B2|C2],
+	// W ids: c=k/2 -> 0,0,1,1: preload + 1 fill. I ids: b + 2c -> 0,1,2,3:
+	// preload + 3 fills.
+	wantJobs := 2*(1+1) + 2*(1+3) + 8 + 4
+	if r.Jobs != wantJobs {
+		t.Errorf("Jobs = %d, want %d", r.Jobs, wantJobs)
+	}
+}
+
+func TestStallScalesWithStarvation(t *testing.T) {
+	// Halving GB write bandwidth must not reduce total cycles.
+	fast, err := Simulate(microProblem(64, 32, 48, false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Simulate(microProblem(64, 32, 12, false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Cycles < fast.Cycles {
+		t.Errorf("slower GB.wr gave fewer cycles: %d vs %d", slow.Cycles, fast.Cycles)
+	}
+}
+
+func TestDoubleBufferingHelps(t *testing.T) {
+	sb, err := Simulate(microProblem(64, 32, 24, false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Simulate(microProblem(64, 32, 24, true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Cycles > sb.Cycles {
+		t.Errorf("double buffering hurt: %d vs %d", db.Cycles, sb.Cycles)
+	}
+}
+
+func TestMaxCyclesAbort(t *testing.T) {
+	p := microProblem(64, 32, 24, false)
+	if _, err := Simulate(p, &Options{MaxCycles: 5}); err == nil {
+		t.Error("MaxCycles not enforced")
+	}
+}
+
+func TestNilProblem(t *testing.T) {
+	if _, err := Simulate(nil, nil); err == nil {
+		t.Error("nil problem simulated")
+	}
+	if _, err := Simulate(&core.Problem{}, nil); err == nil {
+		t.Error("empty problem simulated")
+	}
+}
+
+func TestPortBusyAccounting(t *testing.T) {
+	p := microProblem(64, 32, 24, false)
+	r, err := Simulate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Reg.rw", "GB.rd", "GB.wr"} {
+		if r.PortBusy[name] <= 0 {
+			t.Errorf("port %s has no busy cycles", name)
+		}
+		if r.PortBusy[name] > r.Cycles {
+			t.Errorf("port %s busy %d > total %d", name, r.PortBusy[name], r.Cycles)
+		}
+	}
+}

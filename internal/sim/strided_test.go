@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// Strided and dilated direct convolutions must run through both the model
+// and the simulator with consistent results — the sliding-window input
+// sizing (loops.InputExtent) feeds both.
+func TestStridedConvModelVsSim(t *testing.T) {
+	hw := arch.RowStationary()
+	sp := arch.RowStationarySpatial()
+	cases := []workload.Layer{
+		func() workload.Layer {
+			l := workload.NewConv2D("s2", 1, 16, 8, 14, 14, 3, 3)
+			l.Strides.SX, l.Strides.SY = 2, 2
+			return l
+		}(),
+		func() workload.Layer {
+			l := workload.NewConv2D("d2", 1, 16, 8, 14, 14, 3, 3)
+			l.Strides.DX, l.Strides.DY = 2, 2
+			return l
+		}(),
+	}
+	for _, l := range cases {
+		layer := l
+		best, _, err := mapper.Best(&layer, hw, &mapper.Options{
+			Spatial: sp, BWAware: true, MaxCandidates: 2500,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		p := &core.Problem{Layer: &layer, Arch: hw, Mapping: best.Mapping}
+		sr, err := Simulate(p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		acc := 1 - math.Abs(best.Result.CCTotal-float64(sr.Cycles))/float64(sr.Cycles)
+		if acc < 0.80 {
+			t.Errorf("%s: accuracy %.3f (model %.0f, sim %d)", l.Name, acc, best.Result.CCTotal, sr.Cycles)
+		}
+	}
+}
+
+// The simulator's total must never be below the stall-free bound
+// (CC_spatial), and preload/drain must be non-negative.
+func TestSimLowerBound(t *testing.T) {
+	for _, bw := range []int64{16, 64, 1 << 20} {
+		p := microProblem(bw, bw, bw, false)
+		r, err := Simulate(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycles < p.Mapping.CCSpatial() {
+			t.Errorf("bw %d: cycles %d below compute bound %d", bw, r.Cycles, p.Mapping.CCSpatial())
+		}
+		if r.PreloadCycles < 0 || r.DrainTail < 0 || r.ComputeStall < 0 {
+			t.Errorf("bw %d: negative phase in %+v", bw, r)
+		}
+		if r.Cycles != r.PreloadCycles+p.Mapping.CCSpatial()+r.ComputeStall+r.DrainTail {
+			t.Errorf("bw %d: phases do not add up: %+v", bw, r)
+		}
+	}
+}
+
+// Monotonicity: widening any single port never increases simulated cycles.
+func TestSimBandwidthMonotone(t *testing.T) {
+	base, err := Simulate(microProblem(64, 32, 24, false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wider := [][3]int64{{128, 32, 24}, {64, 64, 24}, {64, 32, 48}}
+	for _, w := range wider {
+		r, err := Simulate(microProblem(w[0], w[1], w[2], false), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycles > base.Cycles {
+			t.Errorf("widening %v increased cycles: %d > %d", w, r.Cycles, base.Cycles)
+		}
+	}
+}

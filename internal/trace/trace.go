@@ -1,0 +1,124 @@
+// Package trace renders memory-compute timeline diagrams in the style of
+// the paper's Fig. 3 and Fig. 4: for each data transfer link, the periodic
+// allowed-update window (the Mem Update Keep-Out Zone's complement), the
+// actual transfer time at the real bandwidth, and the resulting stall or
+// slack — as fixed-width ASCII, one character per cycle.
+//
+// Legend:
+//
+//	C  compute cycle                . keep-out (update forbidden)
+//	=  allowed window, port idle    # transfer within the window
+//	!  transfer overrun (stall)     |  period boundary
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Timeline renders one endpoint's first periods as two aligned rows: the
+// compute row and the memory-update row. maxPeriods bounds the rendering;
+// maxCycles truncates very long periods (0 = defaults 4 and 96).
+func Timeline(e *core.Endpoint, maxPeriods, maxCycles int) string {
+	if maxPeriods <= 0 {
+		maxPeriods = 4
+	}
+	if maxCycles <= 0 {
+		maxCycles = 96
+	}
+	periods := int(e.Z)
+	if periods > maxPeriods {
+		periods = maxPeriods
+	}
+	per := int(e.MemCC)
+	need := int(e.XReal + 0.999)
+	start := int(e.Window.Start)
+	win := int(e.Window.Active)
+
+	overrunPer := need - win // transfer cycles spilling past each window
+	var comp, mem strings.Builder
+	cycles := 0
+	for p := 0; p < periods && cycles < maxCycles; p++ {
+		if p > 0 {
+			comp.WriteByte('|')
+			mem.WriteByte('|')
+		}
+		for c := 0; c < per && cycles < maxCycles; c++ {
+			comp.WriteByte('C')
+			inWin := c >= start && c < start+win
+			switch {
+			case p > 0 && c < overrunPer:
+				mem.WriteByte('!') // previous window's transfer overruns
+			case inWin && c-start < need:
+				mem.WriteByte('#')
+			case inWin:
+				mem.WriteByte('=')
+			default:
+				mem.WriteByte('.')
+			}
+			cycles++
+		}
+	}
+	overrun := overrunPer
+	label := "no stall"
+	if overrun > 0 {
+		label = fmt.Sprintf("stall %d cc/period", overrun)
+	} else if need < win {
+		label = fmt.Sprintf("slack %d cc/period", win-need)
+	}
+	return fmt.Sprintf("%s  (X_REQ=%d, X_REAL=%.1f, %s)\n  compute %s\n  memory  %s\n",
+		e.Label(), e.XReq, e.XReal, label, comp.String(), mem.String())
+}
+
+// PortSummary renders one physical port's links with their windows and
+// stalls — the Fig. 4 "combine" view.
+func PortSummary(ps *core.PortStall) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "port %s.%s  RealBW %d bit/cc  MUW_comb %.0f  SS_comb %+.0f\n",
+		ps.MemName, ps.PortName, ps.RealBWBits, ps.MUWComb, ps.SSComb)
+	for _, e := range ps.Endpoints {
+		fmt.Fprintf(&b, "  %-26s P=%-6d X_REQ=%-5d X_REAL=%-7.1f Z=%-6d SS_u=%+.0f\n",
+			e.Label(), e.MemCC, e.XReq, e.XReal, e.Z, e.SSu)
+	}
+	return b.String()
+}
+
+// ResultOverview renders every stalled port of a result with timelines for
+// its worst link.
+func ResultOverview(r *core.Result, maxPorts int) string {
+	if maxPorts <= 0 {
+		maxPorts = 3
+	}
+	var b strings.Builder
+	n := 0
+	for _, ps := range r.Ports {
+		if ps.SSComb <= 0 || n >= maxPorts {
+			continue
+		}
+		n++
+		b.WriteString(PortSummary(ps))
+		var worst *core.Endpoint
+		for _, e := range ps.Endpoints {
+			if worst == nil || e.SSu > worst.SSu {
+				worst = e
+			}
+		}
+		if worst != nil {
+			b.WriteString(indent(Timeline(worst, 3, 72), "  "))
+		}
+	}
+	if n == 0 {
+		b.WriteString("no stalling ports\n")
+	}
+	return b.String()
+}
+
+func indent(s, pre string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pre + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/periodic"
+	"repro/internal/workload"
+)
+
+// endpoint builds a synthetic endpoint with controlled window shape.
+func endpoint(memCC, xReq int64, xReal float64, z int64) *core.Endpoint {
+	return &core.Endpoint{
+		Operand: loops.W,
+		Kind:    core.Fill,
+		MemName: "M",
+		MemCC:   memCC,
+		XReq:    xReq,
+		XReal:   xReal,
+		Z:       z,
+		Window:  periodic.Tail(memCC, xReq, z),
+	}
+}
+
+func TestTimelineNoStallFullWindow(t *testing.T) {
+	// Full window (X_REQ = Mem_CC = 4), transfer takes 2 cycles.
+	e := endpoint(4, 4, 2, 3)
+	s := Timeline(e, 3, 64)
+	if !strings.Contains(s, "slack 2 cc/period") {
+		t.Errorf("missing slack label:\n%s", s)
+	}
+	if !strings.Contains(s, "##==|##==|##==") {
+		t.Errorf("memory row wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "CCCC|CCCC|CCCC") {
+		t.Errorf("compute row wrong:\n%s", s)
+	}
+}
+
+func TestTimelineKeepOutStall(t *testing.T) {
+	// Keep-out: window is the last cycle of a 4-cycle period; transfer
+	// needs 2 -> 1 cycle overrun per period.
+	e := endpoint(4, 1, 2, 2)
+	s := Timeline(e, 2, 64)
+	if !strings.Contains(s, "stall 1 cc/period") {
+		t.Errorf("missing stall label:\n%s", s)
+	}
+	// Period: 3 keep-out dots, then the window cycle '#', overrun shows
+	// in the next period's leading cell as '!'.
+	if !strings.Contains(s, "...#|!") {
+		t.Errorf("keep-out pattern wrong:\n%s", s)
+	}
+}
+
+func TestTimelineZeroStall(t *testing.T) {
+	e := endpoint(4, 1, 1, 2)
+	s := Timeline(e, 2, 64)
+	if !strings.Contains(s, "no stall") {
+		t.Errorf("want no stall:\n%s", s)
+	}
+}
+
+func TestTimelineTruncation(t *testing.T) {
+	e := endpoint(1000, 1000, 10, 5)
+	s := Timeline(e, 5, 30)
+	comp := ""
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "compute") {
+			comp = line
+		}
+	}
+	if len(comp) > 60 {
+		t.Errorf("truncation failed: %q", comp)
+	}
+}
+
+func problem() *core.Result {
+	l := workload.NewMatMul("t", 16, 32, 8)
+	a := arch.CaseStudy()
+	gb := a.MemoryByName("GB")
+	for i := range gb.Ports {
+		gb.Ports[i].BWBits = 16 // starve to force stalls
+	}
+	m := &mapping.Mapping{
+		Spatial:  arch.CaseStudySpatial(),
+		Temporal: loops.Nest{{Dim: loops.C, Size: 4}, {Dim: loops.B, Size: 2}, {Dim: loops.K, Size: 2}},
+	}
+	m.Bound[loops.W] = []int{0, 1, 3}
+	m.Bound[loops.I] = []int{0, 2, 3}
+	m.Bound[loops.O] = []int{1, 3}
+	r, err := core.Evaluate(&core.Problem{Layer: &l, Arch: a, Mapping: m})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestPortSummary(t *testing.T) {
+	r := problem()
+	bp := r.BottleneckPort()
+	s := PortSummary(bp)
+	for _, want := range []string{"port", "RealBW", "MUW_comb", "SS_comb", "X_REQ"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestResultOverview(t *testing.T) {
+	r := problem()
+	s := ResultOverview(r, 2)
+	if !strings.Contains(s, "port") || !strings.Contains(s, "compute") {
+		t.Errorf("overview:\n%s", s)
+	}
+	// Unstalled result.
+	l := workload.NewMatMul("t", 16, 32, 8)
+	a := arch.CaseStudy()
+	m := &mapping.Mapping{
+		Spatial:  arch.CaseStudySpatial(),
+		Temporal: loops.Nest{{Dim: loops.C, Size: 4}, {Dim: loops.B, Size: 2}, {Dim: loops.K, Size: 2}},
+	}
+	m.Bound[loops.W] = []int{0, 1, 3}
+	m.Bound[loops.I] = []int{0, 2, 3}
+	m.Bound[loops.O] = []int{1, 3}
+	r2, err := core.Evaluate(&core.Problem{Layer: &l, Arch: a, Mapping: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.SSOverall == 0 {
+		if s2 := ResultOverview(r2, 2); !strings.Contains(s2, "no stalling ports") {
+			t.Errorf("unstalled overview:\n%s", s2)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+// This file defines additional whole-network layer suites for the
+// cross-layer experiments. Shapes follow the published architectures;
+// repeated blocks are unrolled explicitly so per-layer results line up
+// with the usual layer tables.
+
+// ResNet18Suite returns the convolutional backbone of ResNet-18 at
+// 224x224 input (batch 1): the 7x7 stem, four double-block stages with
+// stride-2 transitions (projection shortcuts included as pointwise
+// layers), and the final classifier.
+func ResNet18Suite() []Layer {
+	var ls []Layer
+	add := func(l Layer) { ls = append(ls, l) }
+
+	stem := NewConv2D("conv1", 1, 64, 3, 112, 112, 7, 7)
+	stem.Strides.SX, stem.Strides.SY = 2, 2
+	add(stem)
+
+	// Stage 1: 64ch, 56x56.
+	for i := 1; i <= 4; i++ {
+		add(NewConv2D(name("conv2", i), 1, 64, 64, 56, 56, 3, 3))
+	}
+	// Stage 2: 128ch, 28x28 (first conv strided, projection shortcut).
+	tr2 := NewConv2D("conv3_1", 1, 128, 64, 28, 28, 3, 3)
+	tr2.Strides.SX, tr2.Strides.SY = 2, 2
+	add(tr2)
+	add(NewPointwise("conv3_proj", 1, 128, 64, 28, 28))
+	for i := 2; i <= 4; i++ {
+		add(NewConv2D(name("conv3", i), 1, 128, 128, 28, 28, 3, 3))
+	}
+	// Stage 3: 256ch, 14x14.
+	tr3 := NewConv2D("conv4_1", 1, 256, 128, 14, 14, 3, 3)
+	tr3.Strides.SX, tr3.Strides.SY = 2, 2
+	add(tr3)
+	add(NewPointwise("conv4_proj", 1, 256, 128, 14, 14))
+	for i := 2; i <= 4; i++ {
+		add(NewConv2D(name("conv4", i), 1, 256, 256, 14, 14, 3, 3))
+	}
+	// Stage 4: 512ch, 7x7.
+	tr4 := NewConv2D("conv5_1", 1, 512, 256, 7, 7, 3, 3)
+	tr4.Strides.SX, tr4.Strides.SY = 2, 2
+	add(tr4)
+	add(NewPointwise("conv5_proj", 1, 512, 256, 7, 7))
+	for i := 2; i <= 4; i++ {
+		add(NewConv2D(name("conv5", i), 1, 512, 512, 7, 7, 3, 3))
+	}
+	add(NewDense("fc", 1, 1000, 512))
+	return ls
+}
+
+// VGG16Suite returns the 13 convolution layers and 3 dense layers of
+// VGG-16 at 224x224 input (batch 1) — the classic compute-heavy,
+// weight-heavy counterpoint to the MobileNet-style hand-tracking suite.
+func VGG16Suite() []Layer {
+	var ls []Layer
+	add := func(l Layer) { ls = append(ls, l) }
+	add(NewConv2D("conv1_1", 1, 64, 3, 224, 224, 3, 3))
+	add(NewConv2D("conv1_2", 1, 64, 64, 224, 224, 3, 3))
+	add(NewConv2D("conv2_1", 1, 128, 64, 112, 112, 3, 3))
+	add(NewConv2D("conv2_2", 1, 128, 128, 112, 112, 3, 3))
+	add(NewConv2D("conv3_1", 1, 256, 128, 56, 56, 3, 3))
+	add(NewConv2D("conv3_2", 1, 256, 256, 56, 56, 3, 3))
+	add(NewConv2D("conv3_3", 1, 256, 256, 56, 56, 3, 3))
+	add(NewConv2D("conv4_1", 1, 512, 256, 28, 28, 3, 3))
+	add(NewConv2D("conv4_2", 1, 512, 512, 28, 28, 3, 3))
+	add(NewConv2D("conv4_3", 1, 512, 512, 28, 28, 3, 3))
+	add(NewConv2D("conv5_1", 1, 512, 512, 14, 14, 3, 3))
+	add(NewConv2D("conv5_2", 1, 512, 512, 14, 14, 3, 3))
+	add(NewConv2D("conv5_3", 1, 512, 512, 14, 14, 3, 3))
+	add(NewDense("fc6", 1, 4096, 512*7*7))
+	add(NewDense("fc7", 1, 4096, 4096))
+	add(NewDense("fc8", 1, 1000, 4096))
+	return ls
+}
+
+func name(prefix string, i int) string {
+	return prefix + "_" + string(rune('0'+i))
+}
+
+// MobileNetV2Suite returns the inverted-residual backbone of MobileNetV2 at
+// 224x224 (batch 1): expansion pointwise, depthwise and projection
+// pointwise per block, with the stage widths of the published architecture.
+func MobileNetV2Suite() []Layer {
+	var ls []Layer
+	add := func(l Layer) { ls = append(ls, l) }
+	stem := NewConv2D("conv0", 1, 32, 3, 112, 112, 3, 3)
+	stem.Strides.SX, stem.Strides.SY = 2, 2
+	add(stem)
+
+	// One inverted residual block: expand (1x1), depthwise (3x3, stride
+	// s), project (1x1). Repeats share spatial extents.
+	block := func(tag string, cin, cout, expand, oy int64, stride int64, reps int) {
+		for r := 0; r < reps; r++ {
+			in := cin
+			s := stride
+			if r > 0 {
+				in = cout
+				s = 1
+			}
+			hidden := in * expand
+			if expand > 1 {
+				iy := oy
+				if s > 1 && r == 0 {
+					iy = oy * s
+				}
+				add(NewPointwise(tag+string(rune('a'+r))+"_exp", 1, hidden, in, iy, iy))
+			}
+			dw := NewDepthwise(tag+string(rune('a'+r))+"_dw", 1, hidden, oy, oy, 3, 3)
+			if s > 1 && r == 0 {
+				dw.Strides.SX, dw.Strides.SY = s, s
+			}
+			add(dw)
+			add(NewPointwise(tag+string(rune('a'+r))+"_proj", 1, cout, hidden, oy, oy))
+		}
+	}
+	block("b1", 32, 16, 1, 112, 1, 1)
+	block("b2", 16, 24, 6, 56, 2, 2)
+	block("b3", 24, 32, 6, 28, 2, 3)
+	block("b4", 32, 64, 6, 14, 2, 4)
+	block("b5", 64, 96, 6, 14, 1, 3)
+	block("b6", 96, 160, 6, 7, 2, 3)
+	block("b7", 160, 320, 6, 7, 1, 1)
+	add(NewPointwise("conv_last", 1, 1280, 320, 7, 7))
+	add(NewDense("fc", 1, 1000, 1280))
+	return ls
+}

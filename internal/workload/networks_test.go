@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/loops"
+)
+
+func TestResNet18Suite(t *testing.T) {
+	suite := ResNet18Suite()
+	if len(suite) != 1+4+5+5+5+1 {
+		t.Fatalf("resnet18 layers = %d", len(suite))
+	}
+	names := map[string]bool{}
+	var macs int64
+	for _, l := range suite {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		if names[l.Name] {
+			t.Errorf("duplicate name %s", l.Name)
+		}
+		names[l.Name] = true
+		macs += l.TotalMACs()
+		m := Im2Col(l)
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s lowered: %v", l.Name, err)
+		}
+	}
+	// ResNet-18 backbone is ~1.8 GMAC; our unrolled variant must land in
+	// the same ballpark.
+	if macs < 1_200_000_000 || macs > 2_500_000_000 {
+		t.Errorf("resnet18 MACs = %d, expected ~1.8G", macs)
+	}
+	// Strided stem: the input extent must reflect stride 2.
+	stem := suite[0]
+	if stem.Strides.SX != 2 {
+		t.Error("stem not strided")
+	}
+	if got := stem.OperandElems(loops.I); got != 3*((112-1)*2+7)*((112-1)*2+7) {
+		t.Errorf("stem input elems = %d", got)
+	}
+}
+
+func TestVGG16Suite(t *testing.T) {
+	suite := VGG16Suite()
+	if len(suite) != 16 {
+		t.Fatalf("vgg16 layers = %d", len(suite))
+	}
+	var macs int64
+	for _, l := range suite {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		macs += l.TotalMACs()
+	}
+	// VGG-16 is ~15.5 GMAC.
+	if macs < 12_000_000_000 || macs > 18_000_000_000 {
+		t.Errorf("vgg16 MACs = %d, expected ~15.5G", macs)
+	}
+	// VGG is weight-heavy: fc6 alone holds >100M weights.
+	fc6 := suite[13]
+	if fc6.OperandElems(loops.W) < 100_000_000 {
+		t.Errorf("fc6 weights = %d", fc6.OperandElems(loops.W))
+	}
+}
+
+func TestMobileNetV2Suite(t *testing.T) {
+	suite := MobileNetV2Suite()
+	if len(suite) < 40 {
+		t.Fatalf("mobilenetv2 layers = %d", len(suite))
+	}
+	var macs int64
+	names := map[string]bool{}
+	for _, l := range suite {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		if names[l.Name] {
+			t.Errorf("duplicate %s", l.Name)
+		}
+		names[l.Name] = true
+		macs += l.TotalMACs()
+	}
+	// MobileNetV2 is ~0.3 GMAC.
+	if macs < 200_000_000 || macs > 500_000_000 {
+		t.Errorf("mobilenetv2 MACs = %d, expected ~0.3G", macs)
+	}
+	// Depthwise layers present and per-channel shaped.
+	dw := 0
+	for _, l := range suite {
+		if l.Kind == Depthwise {
+			dw++
+			if l.Dim(loops.K) != 1 {
+				t.Errorf("%s depthwise with K=%d", l.Name, l.Dim(loops.K))
+			}
+		}
+	}
+	if dw < 10 {
+		t.Errorf("only %d depthwise layers", dw)
+	}
+}

@@ -1,0 +1,68 @@
+package workload
+
+import "fmt"
+
+// HandTrackingSuite returns the validation workload: a hand-tracking CNN in
+// the style of the SSD-MobileNet-based model of reference [19], expressed as
+// the representative convolution and dense layers that are fed through
+// Im2Col onto the accelerator (paper Fig. 5(c) runs "NN layers of different
+// sizes" from this workload). Shapes cover small and large spatial extents,
+// shallow and deep channel counts, and the final dense classifier so the
+// validation exercises all stall regimes.
+func HandTrackingSuite() []Layer {
+	return []Layer{
+		NewConv2D("conv1", 1, 32, 3, 112, 112, 3, 3),
+		NewDepthwise("conv2_dw", 1, 32, 112, 112, 3, 3),
+		NewPointwise("conv2_pw", 1, 64, 32, 112, 112),
+		NewConv2D("conv3", 1, 64, 64, 56, 56, 3, 3),
+		NewPointwise("conv4_pw", 1, 128, 64, 56, 56),
+		NewConv2D("conv5", 1, 128, 128, 28, 28, 3, 3),
+		NewPointwise("conv6_pw", 1, 256, 128, 28, 28),
+		NewConv2D("conv7", 1, 256, 256, 14, 14, 3, 3),
+		NewPointwise("conv8_pw", 1, 512, 256, 14, 14),
+		NewConv2D("conv9", 1, 512, 512, 7, 7, 3, 3),
+		NewConv2D("head_loc", 1, 24, 512, 7, 7, 3, 3),
+		NewConv2D("head_cls", 1, 12, 512, 7, 7, 1, 1),
+		NewDense("fc", 1, 1024, 512),
+	}
+}
+
+// Case2Sweep returns the Case-2 workload grid (paper Fig. 7): matmul-form
+// layers with B, K, C swept over {8 .. 512}. Each returned layer is named
+// "(B,K,C)". The paper varies the three dimensions jointly to contrast
+// output-dominant (large B,K, small C) against reduction-dominant (large C)
+// layers; the canonical points called out in the text — (128,128,8) and
+// (512,512,8) — are included.
+func Case2Sweep() []Layer {
+	points := [][3]int64{
+		{8, 8, 8},
+		{8, 32, 32},
+		{32, 32, 8},
+		{32, 32, 32},
+		{32, 128, 32},
+		{128, 128, 8},
+		{128, 128, 32},
+		{128, 128, 128},
+		{512, 128, 8},
+		{128, 512, 8},
+		{512, 512, 8},
+		{128, 128, 512},
+		{512, 512, 128},
+		{512, 512, 512},
+	}
+	out := make([]Layer, 0, len(points))
+	for _, p := range points {
+		out = append(out, NewMatMul(fmt.Sprintf("(%d,%d,%d)", p[0], p[1], p[2]), p[0], p[1], p[2]))
+	}
+	return out
+}
+
+// Case1Layer returns the layer used by Case study 1 (paper Fig. 6). The
+// paper reports CC_ideal = 38400 on a 16x16-MAC array, i.e. a layer with
+// 38400*256 = 9,830,400 MACs, consistent with a post-Im2Col matmul of
+// B=120, K=640, C=128 — moderate batch rows, wide output channels and a
+// reduction depth that makes the C-loop split between memory levels (the
+// Mapping A/B difference) the deciding factor.
+func Case1Layer() Layer {
+	return NewMatMul("case1", 120, 640, 128)
+}

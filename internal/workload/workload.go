@@ -1,0 +1,296 @@
+// Package workload defines dense DNN layer workloads — Conv2D, Dense,
+// Depthwise and Pointwise layers — in the seven-dimensional loop form of
+// package loops, together with the Im2Col lowering that the paper applies
+// before running layers on the matrix-multiply-style in-house accelerator,
+// and the layer suites used by the validation and case-study experiments.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/loops"
+)
+
+// Kind enumerates the supported layer types (paper Section II-A-1).
+type Kind uint8
+
+// Supported layer kinds.
+const (
+	Conv2D Kind = iota
+	Dense
+	Depthwise
+	Pointwise
+	MatMul // already-lowered matrix multiply (the post-Im2Col form)
+)
+
+var kindNames = map[Kind]string{
+	Conv2D:    "Conv2D",
+	Dense:     "Dense",
+	Depthwise: "Depthwise",
+	Pointwise: "Pointwise",
+	MatMul:    "MatMul",
+}
+
+// String returns the layer kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Precision holds the bit width of each operand's data elements.
+type Precision struct {
+	W, I, O int // bits per element
+}
+
+// DefaultPrecision is the INT8 inference configuration of the in-house
+// accelerator: 8b weights, 8b inputs, 24b (partial) outputs.
+var DefaultPrecision = Precision{W: 8, I: 8, O: 24}
+
+// Bits returns the element width of operand op.
+func (p Precision) Bits(op loops.Operand) int {
+	switch op {
+	case loops.W:
+		return p.W
+	case loops.I:
+		return p.I
+	case loops.O:
+		return p.O
+	}
+	panic("workload: Precision.Bits: unknown operand")
+}
+
+// Validate reports an error for non-positive widths.
+func (p Precision) Validate() error {
+	if p.W <= 0 || p.I <= 0 || p.O <= 0 {
+		return fmt.Errorf("workload: non-positive precision %+v", p)
+	}
+	return nil
+}
+
+// Layer is one dense DNN layer expressed over the seven canonical loop
+// dimensions. A dimension not used by the layer kind has extent 1.
+type Layer struct {
+	Name string
+	Kind Kind
+
+	// Dims holds the full extent of each canonical dimension.
+	Dims [loops.NumDims]int64
+
+	// Strides describes convolution stride/dilation (Conv2D/Depthwise).
+	Strides loops.Strides
+
+	// Precision gives per-operand element widths in bits.
+	Precision Precision
+}
+
+// Dim returns the extent of dimension d (>= 1).
+func (l *Layer) Dim(d loops.Dim) int64 {
+	v := l.Dims[d]
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// setDefaults fills zero dims with 1 and zero precision with the default.
+func (l *Layer) setDefaults() {
+	for i, v := range l.Dims {
+		if v < 1 {
+			l.Dims[i] = 1
+		}
+	}
+	if l.Precision == (Precision{}) {
+		l.Precision = DefaultPrecision
+	}
+	l.Strides = normalizedStrides(l.Strides)
+}
+
+func normalizedStrides(s loops.Strides) loops.Strides {
+	if s.SX == 0 {
+		s.SX = 1
+	}
+	if s.SY == 0 {
+		s.SY = 1
+	}
+	if s.DX == 0 {
+		s.DX = 1
+	}
+	if s.DY == 0 {
+		s.DY = 1
+	}
+	return s
+}
+
+// Validate checks dimension extents and kind-specific constraints.
+func (l *Layer) Validate() error {
+	for _, d := range loops.AllDims {
+		if l.Dims[d] < 1 {
+			return fmt.Errorf("workload: layer %q: dimension %s has extent %d", l.Name, d, l.Dims[d])
+		}
+	}
+	if err := l.Precision.Validate(); err != nil {
+		return fmt.Errorf("workload: layer %q: %w", l.Name, err)
+	}
+	switch l.Kind {
+	case Dense, MatMul:
+		for _, d := range []loops.Dim{loops.OY, loops.OX, loops.FY, loops.FX} {
+			if l.Dims[d] != 1 {
+				return fmt.Errorf("workload: layer %q: %s layer must have %s=1, got %d", l.Name, l.Kind, d, l.Dims[d])
+			}
+		}
+	case Pointwise:
+		if l.Dims[loops.FY] != 1 || l.Dims[loops.FX] != 1 {
+			return fmt.Errorf("workload: layer %q: pointwise layer must have FY=FX=1", l.Name)
+		}
+	case Depthwise:
+		if l.Dims[loops.K] != 1 && l.Dims[loops.C] != 1 {
+			return fmt.Errorf("workload: layer %q: depthwise layer must have K=1 or C=1 (per-channel form)", l.Name)
+		}
+	case Conv2D:
+		// no extra constraints
+	default:
+		return fmt.Errorf("workload: layer %q: unknown kind %d", l.Name, uint8(l.Kind))
+	}
+	return nil
+}
+
+// TotalMACs returns the total number of multiply-accumulate operations of
+// the layer: the product of all seven dimension extents.
+func (l *Layer) TotalMACs() int64 {
+	p := int64(1)
+	for _, d := range loops.AllDims {
+		p *= l.Dim(d)
+	}
+	return p
+}
+
+// OperandElems returns the total number of data elements of operand op.
+func (l *Layer) OperandElems(op loops.Operand) int64 {
+	var dims [loops.NumDims]int64
+	for _, d := range loops.AllDims {
+		dims[d] = l.Dim(d)
+	}
+	return loops.TileElems(op, dims, l.Strides)
+}
+
+// OperandBits returns the total data size of operand op in bits.
+func (l *Layer) OperandBits(op loops.Operand) int64 {
+	return l.OperandElems(op) * int64(l.Precision.Bits(op))
+}
+
+// TotalDataBits returns the summed data size of W, I and O in bits.
+func (l *Layer) TotalDataBits() int64 {
+	var t int64
+	for _, op := range loops.AllOperands {
+		t += l.OperandBits(op)
+	}
+	return t
+}
+
+// String renders the layer compactly, e.g.
+// "conv3 Conv2D[B1 K64 C32 OY28 OX28 FY3 FX3]".
+func (l *Layer) String() string {
+	s := l.Name + " " + l.Kind.String() + "["
+	for i, d := range loops.AllDims {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s%d", d, l.Dim(d))
+	}
+	return s + "]"
+}
+
+// NewConv2D constructs a convolution layer. Zero-valued dims become 1.
+func NewConv2D(name string, b, k, c, oy, ox, fy, fx int64) Layer {
+	l := Layer{Name: name, Kind: Conv2D}
+	l.Dims[loops.B] = b
+	l.Dims[loops.K] = k
+	l.Dims[loops.C] = c
+	l.Dims[loops.OY] = oy
+	l.Dims[loops.OX] = ox
+	l.Dims[loops.FY] = fy
+	l.Dims[loops.FX] = fx
+	l.setDefaults()
+	return l
+}
+
+// NewDense constructs a fully connected layer: B batches of a K×C matrix-
+// vector product.
+func NewDense(name string, b, k, c int64) Layer {
+	l := Layer{Name: name, Kind: Dense}
+	l.Dims[loops.B] = b
+	l.Dims[loops.K] = k
+	l.Dims[loops.C] = c
+	l.setDefaults()
+	return l
+}
+
+// NewMatMul constructs an already-lowered matrix multiply with M=b rows,
+// N=k columns and reduction depth c.
+func NewMatMul(name string, b, k, c int64) Layer {
+	l := Layer{Name: name, Kind: MatMul}
+	l.Dims[loops.B] = b
+	l.Dims[loops.K] = k
+	l.Dims[loops.C] = c
+	l.setDefaults()
+	return l
+}
+
+// NewPointwise constructs a 1x1 convolution layer.
+func NewPointwise(name string, b, k, c, oy, ox int64) Layer {
+	l := Layer{Name: name, Kind: Pointwise}
+	l.Dims[loops.B] = b
+	l.Dims[loops.K] = k
+	l.Dims[loops.C] = c
+	l.Dims[loops.OY] = oy
+	l.Dims[loops.OX] = ox
+	l.setDefaults()
+	return l
+}
+
+// NewDepthwise constructs a depthwise convolution layer over c channels.
+func NewDepthwise(name string, b, c, oy, ox, fy, fx int64) Layer {
+	l := Layer{Name: name, Kind: Depthwise}
+	l.Dims[loops.B] = b
+	l.Dims[loops.C] = c
+	l.Dims[loops.OY] = oy
+	l.Dims[loops.OX] = ox
+	l.Dims[loops.FY] = fy
+	l.Dims[loops.FX] = fx
+	l.setDefaults()
+	return l
+}
+
+// Im2Col lowers a convolution-family layer to the matrix-multiply form that
+// the in-house accelerator executes (paper Section IV: "Im2Col operation —
+// unrolling convolution into matrix-matrix multiplication — is performed by
+// a RISC-V core before processing on the accelerator").
+//
+// The lowering maps
+//
+//	M (rows)      = B*OY*OX  -> B
+//	N (cols)      = K        -> K
+//	depth (red.)  = C*FY*FX  -> C
+//
+// so that after lowering only the B, K, C dimensions are non-trivial and all
+// operand relevance relations of the matmul hold exactly (input duplication
+// introduced by Im2Col is accounted by the enlarged I size). Layers that are
+// already Dense/MatMul are returned unchanged apart from the kind.
+func Im2Col(l Layer) Layer {
+	l.setDefaults()
+	out := Layer{
+		Name:      l.Name,
+		Kind:      MatMul,
+		Precision: l.Precision,
+		Strides:   loops.DefaultStrides(),
+	}
+	for i := range out.Dims {
+		out.Dims[i] = 1
+	}
+	out.Dims[loops.B] = l.Dim(loops.B) * l.Dim(loops.OY) * l.Dim(loops.OX)
+	out.Dims[loops.K] = l.Dim(loops.K)
+	out.Dims[loops.C] = l.Dim(loops.C) * l.Dim(loops.FY) * l.Dim(loops.FX)
+	return out
+}

@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loops"
+)
+
+func TestKindString(t *testing.T) {
+	if Conv2D.String() != "Conv2D" || MatMul.String() != "MatMul" {
+		t.Error("Kind names wrong")
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	p := DefaultPrecision
+	if p.Bits(loops.W) != 8 || p.Bits(loops.I) != 8 || p.Bits(loops.O) != 24 {
+		t.Error("default precision wrong")
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Precision{W: 8, I: 0, O: 24}).Validate(); err == nil {
+		t.Error("zero precision validated")
+	}
+}
+
+func TestNewConv2DDefaults(t *testing.T) {
+	l := NewConv2D("c", 0, 16, 8, 4, 4, 3, 3)
+	if l.Dim(loops.B) != 1 {
+		t.Error("zero B not defaulted to 1")
+	}
+	if l.Precision != DefaultPrecision {
+		t.Error("precision not defaulted")
+	}
+	if l.Strides.SX != 1 || l.Strides.DY != 1 {
+		t.Error("strides not normalized")
+	}
+	if err := l.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayerValidateKinds(t *testing.T) {
+	good := []Layer{
+		NewConv2D("c", 1, 4, 4, 4, 4, 3, 3),
+		NewDense("d", 2, 16, 16),
+		NewMatMul("m", 8, 8, 8),
+		NewPointwise("p", 1, 8, 8, 4, 4),
+		NewDepthwise("dw", 1, 8, 4, 4, 3, 3),
+	}
+	for _, l := range good {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+	}
+
+	bad := NewDense("d", 1, 4, 4)
+	bad.Dims[loops.OX] = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("dense with OX=2 validated")
+	}
+
+	pw := NewPointwise("p", 1, 4, 4, 2, 2)
+	pw.Dims[loops.FX] = 3
+	if err := pw.Validate(); err == nil {
+		t.Error("pointwise with FX=3 validated")
+	}
+
+	dw := NewDepthwise("dw", 1, 8, 4, 4, 3, 3)
+	dw.Dims[loops.K] = 8 // both K and C > 1
+	if err := dw.Validate(); err == nil {
+		t.Error("depthwise with K>1 and C>1 validated")
+	}
+
+	neg := NewMatMul("m", 4, 4, 4)
+	neg.Dims[loops.C] = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative dim validated")
+	}
+
+	unk := Layer{Name: "u", Kind: Kind(77)}
+	unk.setDefaults()
+	if err := unk.Validate(); err == nil {
+		t.Error("unknown kind validated")
+	}
+}
+
+func TestTotalMACs(t *testing.T) {
+	l := NewConv2D("c", 2, 4, 8, 5, 5, 3, 3)
+	want := int64(2 * 4 * 8 * 5 * 5 * 3 * 3)
+	if got := l.TotalMACs(); got != want {
+		t.Errorf("TotalMACs = %d, want %d", got, want)
+	}
+}
+
+func TestOperandElems(t *testing.T) {
+	l := NewConv2D("c", 2, 4, 8, 5, 5, 3, 3)
+	if got := l.OperandElems(loops.W); got != 4*8*3*3 {
+		t.Errorf("W elems = %d", got)
+	}
+	if got := l.OperandElems(loops.O); got != 2*4*5*5 {
+		t.Errorf("O elems = %d", got)
+	}
+	// I: B*C*(5+3-1)^2 = 2*8*49.
+	if got := l.OperandElems(loops.I); got != 2*8*49 {
+		t.Errorf("I elems = %d", got)
+	}
+}
+
+func TestOperandBitsAndTotal(t *testing.T) {
+	l := NewMatMul("m", 2, 3, 4)
+	// W = K*C = 12 elems * 8b; I = B*C = 8 * 8b; O = B*K = 6 * 24b.
+	if got := l.OperandBits(loops.W); got != 96 {
+		t.Errorf("W bits = %d", got)
+	}
+	if got := l.OperandBits(loops.I); got != 64 {
+		t.Errorf("I bits = %d", got)
+	}
+	if got := l.OperandBits(loops.O); got != 144 {
+		t.Errorf("O bits = %d", got)
+	}
+	if got := l.TotalDataBits(); got != 96+64+144 {
+		t.Errorf("total bits = %d", got)
+	}
+}
+
+func TestIm2Col(t *testing.T) {
+	l := NewConv2D("c", 2, 16, 8, 7, 7, 3, 3)
+	m := Im2Col(l)
+	if m.Kind != MatMul {
+		t.Fatal("Im2Col did not produce MatMul")
+	}
+	if m.Dim(loops.B) != 2*7*7 || m.Dim(loops.K) != 16 || m.Dim(loops.C) != 8*3*3 {
+		t.Errorf("Im2Col dims = %v", m.Dims)
+	}
+	for _, d := range []loops.Dim{loops.OY, loops.OX, loops.FY, loops.FX} {
+		if m.Dim(d) != 1 {
+			t.Errorf("Im2Col left %s = %d", d, m.Dim(d))
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Im2Col preserves the total MAC count and W/O sizes.
+func TestIm2ColPreservesMACs(t *testing.T) {
+	f := func(b, k, c, o, fv uint8) bool {
+		l := NewConv2D("c",
+			int64(b%4+1), int64(k%8+1), int64(c%8+1),
+			int64(o%6+1), int64(o%6+1), int64(fv%3+1), int64(fv%3+1))
+		m := Im2Col(l)
+		return m.TotalMACs() == l.TotalMACs() &&
+			m.OperandElems(loops.O) == l.OperandElems(loops.O)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Im2Col duplicates input pixels: lowered I size must be >= original.
+func TestIm2ColInputDuplication(t *testing.T) {
+	l := NewConv2D("c", 1, 4, 4, 8, 8, 3, 3)
+	m := Im2Col(l)
+	if m.OperandElems(loops.I) < l.OperandElems(loops.I) {
+		t.Error("Im2Col shrank input size")
+	}
+	// 1x1 filters duplicate nothing.
+	pw := NewPointwise("p", 1, 4, 4, 8, 8)
+	mpw := Im2Col(pw)
+	if mpw.OperandElems(loops.I) != pw.OperandElems(loops.I) {
+		t.Error("1x1 Im2Col changed input size")
+	}
+}
+
+func TestLayerString(t *testing.T) {
+	l := NewMatMul("m", 2, 3, 4)
+	want := "m MatMul[B2 K3 C4 OY1 OX1 FY1 FX1]"
+	if got := l.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestHandTrackingSuite(t *testing.T) {
+	suite := HandTrackingSuite()
+	if len(suite) < 10 {
+		t.Fatalf("suite has %d layers, want >= 10", len(suite))
+	}
+	names := map[string]bool{}
+	for _, l := range suite {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		if names[l.Name] {
+			t.Errorf("duplicate layer name %q", l.Name)
+		}
+		names[l.Name] = true
+		m := Im2Col(l)
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s lowered: %v", l.Name, err)
+		}
+	}
+}
+
+func TestCase2Sweep(t *testing.T) {
+	sweep := Case2Sweep()
+	if len(sweep) < 10 {
+		t.Fatalf("sweep has %d points", len(sweep))
+	}
+	has128 := false
+	has512 := false
+	for _, l := range sweep {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		if l.Name == "(128,128,8)" {
+			has128 = true
+		}
+		if l.Name == "(512,512,8)" {
+			has512 = true
+		}
+	}
+	if !has128 || !has512 {
+		t.Error("sweep misses the paper's canonical (128,128,8)/(512,512,8) points")
+	}
+}
+
+func TestCase1Layer(t *testing.T) {
+	l := Case1Layer()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// CC_ideal on the 256-MAC case-study array must be 38400 (paper Fig. 6).
+	if got := l.TotalMACs() / 256; got != 38400 {
+		t.Errorf("case1 CC_ideal = %d, want 38400", got)
+	}
+	// The spatial unrolling K16|B8|C2 must divide the layer dims.
+	if l.Dim(loops.K)%16 != 0 || l.Dim(loops.B)%8 != 0 || l.Dim(loops.C)%2 != 0 {
+		t.Error("case1 layer not divisible by the case-study spatial unrolling")
+	}
+}
