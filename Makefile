@@ -1,0 +1,28 @@
+# Developer entry points. Everything is plain `go` underneath; the targets
+# only pin the invocations CI and EXPERIMENTS.md reference.
+
+GO ?= go
+
+.PHONY: all build test race bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages under the race detector: the mapper's
+# evaluation pipeline, the shared worker budget, and the parallel consumers.
+race:
+	$(GO) test -race ./internal/mapper ./internal/par ./internal/network
+
+# Search & model benchmarks with allocation stats, archived as JSON for
+# structural diffing (see cmd/benchjson).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMapperSearch|BenchmarkModelThroughput' \
+		-benchmem -benchtime=2s . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_mapper.json
+
+clean:
+	rm -f BENCH_mapper.json

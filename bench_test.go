@@ -345,6 +345,20 @@ func BenchmarkSimThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkModelThroughputReused is BenchmarkModelThroughput with a
+// retained core.Evaluator — the configuration the mapping-search hot path
+// actually runs, with every internal buffer reused across evaluations.
+func BenchmarkModelThroughputReused(b *testing.B) {
+	p := caseStudyProblem(b)
+	var ev core.Evaluator
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.ScoreLatency(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMapperSearch measures a bounded mapping search end to end.
 func BenchmarkMapperSearch(b *testing.B) {
 	layer := workload.NewMatMul("search", 128, 128, 128)
@@ -353,6 +367,39 @@ func BenchmarkMapperSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := mapper.Best(&layer, hw, &mapper.Options{
 			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 1000,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapperSearchSerial pins the single-worker, prune-disabled
+// search — the engine's pre-pipeline behaviour, for speedup accounting.
+func BenchmarkMapperSearchSerial(b *testing.B) {
+	layer := workload.NewMatMul("search", 128, 128, 128)
+	hw := arch.CaseStudy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mapper.Best(&layer, hw, &mapper.Options{
+			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 1000,
+			Workers: 1, NoPrune: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapperSearchParallel forces a 4-worker evaluation pipeline
+// (bypassing the shared budget, so the number is meaningful regardless of
+// the machine's GOMAXPROCS).
+func BenchmarkMapperSearchParallel(b *testing.B) {
+	layer := workload.NewMatMul("search", 128, 128, 128)
+	hw := arch.CaseStudy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mapper.Best(&layer, hw, &mapper.Options{
+			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 1000,
+			Workers: 4,
 		}); err != nil {
 			b.Fatal(err)
 		}

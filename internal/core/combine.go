@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/periodic"
 	"repro/internal/workload"
@@ -53,17 +52,20 @@ type PortStall struct {
 // Σ(X_REAL·Z) − MUW_comb — captures exactly that, so the combination takes
 // the maximum of the two (both are lower bounds on the true stall; the
 // reference simulator confirms the max tracks the machine).
-func combineEq(eps []*Endpoint, opts ModelOptions) (ssComb, muwAll float64, exact bool) {
+func combineEq(eps []*Endpoint, opts ModelOptions, sc *combineScratch) (ssComb, muwAll float64, exact bool) {
+	if sc == nil {
+		sc = &combineScratch{}
+	}
 	if opts.NaiveCombine {
-		muwAll, exact = unionMUW(eps)
+		muwAll, exact = unionMUW(eps, sc)
 		var sum float64
 		for _, e := range eps {
 			sum += e.SSu // slack cancels stall: the idealization under test
 		}
 		return sum, muwAll, exact
 	}
-	var pos []*Endpoint
-	var nonpos []*Endpoint
+	pos := sc.pos[:0]
+	nonpos := sc.nonpos[:0]
 	var demand float64 // Σ X_REAL·Z over every link on the port
 	for _, e := range eps {
 		demand += e.MUW + e.SSu // MUW + SS_u = X_REAL * Z
@@ -73,7 +75,8 @@ func combineEq(eps []*Endpoint, opts ModelOptions) (ssComb, muwAll float64, exac
 			nonpos = append(nonpos, e)
 		}
 	}
-	muwAll, exact = unionMUW(eps)
+	sc.pos, sc.nonpos = pos, nonpos // retain grown capacity across calls
+	muwAll, exact = unionMUW(eps, sc)
 	capacityBound := demand - muwAll
 	if opts.NoCapacityBound {
 		capacityBound = -1e18 // never selected: paper's Eq. (2) verbatim
@@ -91,7 +94,7 @@ func combineEq(eps []*Endpoint, opts ModelOptions) (ssComb, muwAll float64, exac
 		eq2 += e.SSu
 	}
 	if len(nonpos) > 0 {
-		muwNP, exNP := unionMUW(nonpos)
+		muwNP, exNP := unionMUW(nonpos, sc)
 		exact = exact && exNP
 		var sum float64
 		for _, e := range nonpos {
@@ -107,63 +110,23 @@ func combineEq(eps []*Endpoint, opts ModelOptions) (ssComb, muwAll float64, exac
 	return eq2, muwAll, exact
 }
 
-// unionMUW computes MUW_comb for a set of endpoints.
-func unionMUW(eps []*Endpoint) (float64, bool) {
-	ws := make([]periodic.Window, len(eps))
-	for i, e := range eps {
-		ws[i] = e.Window
-	}
-	u := periodic.UnionLength(ws)
-	return float64(u), periodic.UnionExact(ws)
+// combineScratch carries the reusable buffers of combineEq so that repeated
+// Step-2 combinations allocate nothing beyond the periodic-union internals.
+type combineScratch struct {
+	windows     []periodic.Window
+	union       periodic.UnionScratch
+	pos, nonpos []*Endpoint
 }
 
-// combinePorts groups endpoints by physical port and applies Step 2,
-// returning one PortStall per port that carries at least one DTL endpoint,
-// in deterministic order.
-func combinePorts(p *Problem, eps []*Endpoint) []*PortStall {
-	type key struct {
-		mem  string
-		port int
-	}
-	groups := map[key][]*Endpoint{}
-	var order []key
+// unionMUW computes MUW_comb for a set of endpoints.
+func unionMUW(eps []*Endpoint, sc *combineScratch) (float64, bool) {
+	ws := sc.windows[:0]
 	for _, e := range eps {
-		k := key{e.MemName, e.PortIdx}
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], e)
+		ws = append(ws, e.Window)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].mem != order[j].mem {
-			return order[i].mem < order[j].mem
-		}
-		return order[i].port < order[j].port
-	})
-
-	prec := p.Layer.Precision
-	out := make([]*PortStall, 0, len(order))
-	for _, k := range order {
-		grp := groups[k]
-		mem := p.Arch.MemoryByName(k.mem)
-		ps := &PortStall{
-			MemName:    k.mem,
-			PortIdx:    k.port,
-			PortName:   mem.Ports[k.port].Name,
-			Endpoints:  grp,
-			RealBWBits: mem.Ports[k.port].BWBits,
-		}
-		for _, e := range grp {
-			if e.Access.Write {
-				ps.ReqBWWriteBits += e.ReqBWBits(prec)
-			} else {
-				ps.ReqBWReadBits += e.ReqBWBits(prec)
-			}
-		}
-		ps.SSComb, ps.MUWComb, ps.MUWExact = combineEq(grp, p.opts())
-		out = append(out, ps)
-	}
-	return out
+	sc.windows = ws
+	u, exact := periodic.UnionWith(ws, &sc.union)
+	return float64(u), exact
 }
 
 // MemStall is the per-memory-module combination: the maximum over the
@@ -173,31 +136,6 @@ type MemStall struct {
 	MemName string
 	Ports   []*PortStall
 	SS      float64
-}
-
-// combineMemories groups port stalls by memory module.
-func combineMemories(ports []*PortStall) []*MemStall {
-	var out []*MemStall
-	byName := map[string]*MemStall{}
-	for _, ps := range ports {
-		ms, ok := byName[ps.MemName]
-		if !ok {
-			ms = &MemStall{MemName: ps.MemName}
-			byName[ps.MemName] = ms
-			out = append(out, ms)
-		}
-		ms.Ports = append(ms.Ports, ps)
-	}
-	for _, ms := range out {
-		first := true
-		for _, ps := range ms.Ports {
-			if first || ps.SSComb > ms.SS {
-				ms.SS = ps.SSComb
-				first = false
-			}
-		}
-	}
-	return out
 }
 
 // describePort renders a one-line summary used by reports.

@@ -137,118 +137,12 @@ func (p *Problem) opts() ModelOptions {
 
 // Endpoints enumerates every DTL endpoint of the problem (Step 1). It is
 // exported for consumers that need the same traffic decomposition the
-// latency model uses — e.g. the access-count-based energy model.
+// latency model uses — e.g. the access-count-based energy model. The
+// returned endpoints are caller-owned (built in a throwaway Evaluator).
 func Endpoints(p *Problem) ([]*Endpoint, error) {
 	if p == nil || p.Layer == nil || p.Arch == nil || p.Mapping == nil {
 		return nil, fmt.Errorf("core: nil problem component")
 	}
-	return buildEndpoints(p)
-}
-
-// buildEndpoints enumerates every DTL endpoint of the problem (Step 1).
-//
-// For W and I, each interface between chain level l+1 and l carries a fill
-// link (read at l+1, write at l). For O, each interface carries a drain
-// link (read at l, write at l+1) and, when reduction loops sit above level
-// l, a psum read-back link (read at l+1, write at l).
-//
-// Table I application: the keep-out scaling (TopRun) is decided by the
-// unit memory that HOLDS the moving tile — level l — based on its
-// double-buffering and the relevance of the top temporal loop of its level
-// nest. Both endpoints of a link share the same allowed window; only their
-// RealBW (and hence X_REAL and SS_u) differ.
-func buildEndpoints(p *Problem) ([]*Endpoint, error) {
-	var eps []*Endpoint
-	m := p.Mapping
-	st := p.Layer.Strides
-	prec := p.Layer.Precision
-
-	for _, op := range loops.AllOperands {
-		chain := p.Arch.ChainMems(op)
-		for l := 0; l+1 < len(chain); l++ {
-			lower, upper := chain[l], chain[l+1]
-			memData := m.MemData(op, l, st)
-			memCC := m.MemCC(op, l)
-			z := m.Periods(op, l)
-			topRun := int64(1)
-			if !lower.DoubleBuffered {
-				topRun = m.TopReuseRun(op, l)
-			}
-			if memCC%topRun != 0 {
-				return nil, fmt.Errorf("core: %s level %d: top reuse run %d does not divide Mem_CC %d", op, l, topRun, memCC)
-			}
-			xReq := memCC / topRun
-			win := periodic.Tail(memCC, xReq, z)
-
-			mk := func(mem *arch.Memory, write bool, kind LinkKind, zz int64) (*Endpoint, error) {
-				acc := arch.Access{Operand: op, Write: write}
-				port, idx, err := mem.Port(acc)
-				if err != nil {
-					return nil, err
-				}
-				bits := int64(prec.Bits(op))
-				realBW := float64(port.BWBits) / float64(bits)
-				w := win
-				w.Count = zz
-				// A port moves whole bus words: one tile transfer occupies
-				// an integer number of cycles (matching real buses and the
-				// reference simulator).
-				xReal := float64(loops.CeilDiv(memData*bits, port.BWBits))
-				if p.opts().FractionalXReal {
-					xReal = float64(memData*bits) / float64(port.BWBits)
-				}
-				ep := &Endpoint{
-					Operand: op, Level: l, Kind: kind,
-					MemName: mem.Name, Access: acc, PortIdx: idx,
-					MemData: memData, MemCC: memCC, Z: zz, TopRun: topRun,
-					ReqBWElems:  float64(memData) * float64(topRun) / float64(memCC),
-					RealBWElems: realBW,
-					XReq:        xReq,
-					XReal:       xReal,
-					Window:      w,
-				}
-				ep.MUW = float64(ep.XReq) * float64(zz)
-				ep.SSu = (ep.XReal - float64(ep.XReq)) * float64(zz)
-				return ep, nil
-			}
-
-			if op == loops.O {
-				tr := m.OutputTrafficAt(l)
-				// Drain: read at the lower memory, write at the upper.
-				rd, err := mk(lower, false, Drain, tr.WriteUps)
-				if err != nil {
-					return nil, err
-				}
-				wr, err := mk(upper, true, Drain, tr.WriteUps)
-				if err != nil {
-					return nil, err
-				}
-				eps = append(eps, rd, wr)
-				if tr.ReadBacks > 0 {
-					prd, err := mk(upper, false, PsumBack, tr.ReadBacks)
-					if err != nil {
-						return nil, err
-					}
-					pwr, err := mk(lower, true, PsumBack, tr.ReadBacks)
-					if err != nil {
-						return nil, err
-					}
-					eps = append(eps, prd, pwr)
-				}
-				continue
-			}
-
-			// W / I fill: read at the upper memory, write at the lower.
-			rd, err := mk(upper, false, Fill, z)
-			if err != nil {
-				return nil, err
-			}
-			wr, err := mk(lower, true, Fill, z)
-			if err != nil {
-				return nil, err
-			}
-			eps = append(eps, rd, wr)
-		}
-	}
-	return eps, nil
+	var ev Evaluator
+	return ev.buildEndpoints(p)
 }

@@ -72,194 +72,14 @@ type Result struct {
 // Evaluate runs the full 3-step latency model. The mapping is assumed to be
 // valid for the layer and architecture (call Mapping.Validate first; the
 // model itself re-checks only what it needs to stay well-defined).
+//
+// Evaluate runs a throwaway Evaluator, so the returned Result owns all of
+// its diagnostic slices. Repeated evaluations (mapping searches, sweeps)
+// should hold one Evaluator per goroutine and use its methods, which reuse
+// every internal buffer.
 func Evaluate(p *Problem) (*Result, error) {
-	if p.Layer == nil || p.Arch == nil || p.Mapping == nil {
-		return nil, fmt.Errorf("core: nil problem component")
-	}
-
-	// Step 1: per-DTL attributes.
-	eps, err := buildEndpoints(p)
-	if err != nil {
-		return nil, err
-	}
-	// Step 2: combine per physical port, then per memory module.
-	ports := combinePorts(p, eps)
-	mems := combineMemories(ports)
-
-	// Step 3: integrate across memory modules. Elastic stalls (full-window
-	// links) hide under any other freeze, so they combine by max/sum per
-	// the architecture's concurrency configuration; rigid stalls (keep-out
-	// windows narrower than the turnaround) freeze compute at disjoint
-	// steps of different unit memories and accumulate.
-	ssRaw := integrate(mems, p.Arch.Combine)
-	if !p.opts().NoRigidAccumulation {
-		if rigid := rigidTotal(eps); rigid > ssRaw {
-			ssRaw = rigid
-		}
-	}
-	ss := ssRaw
-	if ss < 0 {
-		ss = 0
-	}
-
-	ccIdeal := float64(p.Layer.TotalMACs()) / float64(p.Arch.MACs)
-	ccSpatial := p.Mapping.CCSpatial()
-	pre := preloadCycles(p)
-	post := offloadCycles(p)
-
-	r := &Result{
-		CCIdeal:      ccIdeal,
-		CCSpatial:    ccSpatial,
-		SpatialStall: float64(ccSpatial) - ccIdeal,
-		SSOverall:    ss,
-		Preload:      pre,
-		Offload:      post,
-		CCTotal:      float64(ccSpatial) + ss + pre + post,
-		Endpoints:    eps,
-		Ports:        ports,
-		Memories:     mems,
-		SSRaw:        ssRaw,
-	}
-	r.Utilization = ccIdeal / r.CCTotal
-	r.SpatialUtilization = ccIdeal / float64(ccSpatial)
-	r.TemporalUtilization = float64(ccSpatial) / (float64(ccSpatial) + ss)
-
-	spatialFull := float64(ccSpatial) <= ccIdeal+0.5
-	temporalFull := ss <= 0
-	switch {
-	case spatialFull && temporalFull:
-		r.Scenario = Scenario1
-	case temporalFull:
-		r.Scenario = Scenario2
-	case spatialFull:
-		r.Scenario = Scenario3
-	default:
-		r.Scenario = Scenario4
-	}
-	return r, nil
-}
-
-// rigidTotal accumulates the structural stalls of keep-out-window links.
-// A link whose allowed window is narrower than its turnaround (X_REQ <
-// Mem_CC, i.e. a single-buffered destination with reuse loops on top)
-// overruns its window on EVERY period when X_REAL > X_REQ; the resulting
-// compute freezes sit at that unit memory's own period boundaries, so
-// freezes of different unit memories cannot hide under each other and add
-// up. Within one unit memory, the drain and psum links share the same
-// boundary freeze (max); a link's two port endpoints are the same transfer
-// (max). The reference simulator confirms this accumulation (DESIGN.md §5).
-func rigidTotal(eps []*Endpoint) float64 {
-	type unitKey struct {
-		op  loops.Operand
-		lvl int
-	}
-	perUnit := map[unitKey]map[LinkKind]float64{}
-	for _, e := range eps {
-		if e.XReq >= e.MemCC || e.SSu <= 0 {
-			continue
-		}
-		k := unitKey{e.Operand, e.Level}
-		if perUnit[k] == nil {
-			perUnit[k] = map[LinkKind]float64{}
-		}
-		if e.SSu > perUnit[k][e.Kind] {
-			perUnit[k][e.Kind] = e.SSu
-		}
-	}
-	var total float64
-	for _, kinds := range perUnit {
-		unit := 0.0
-		for _, v := range kinds {
-			if v > unit {
-				unit = v
-			}
-		}
-		total += unit
-	}
-	return total
-}
-
-// integrate implements Step 3: memories operating concurrently hide each
-// other's stalls (max); sequentially operating memories accumulate (sum).
-func integrate(mems []*MemStall, mode arch.StallCombine) float64 {
-	if len(mems) == 0 {
-		return 0
-	}
-	if mode == arch.Sequential {
-		var sum float64
-		for _, m := range mems {
-			if m.SS > 0 {
-				sum += m.SS
-			}
-		}
-		if sum > 0 {
-			return sum
-		}
-		// All slack: report the least-slack memory.
-		best := math.Inf(-1)
-		for _, m := range mems {
-			if m.SS > best {
-				best = m.SS
-			}
-		}
-		return best
-	}
-	best := math.Inf(-1)
-	for _, m := range mems {
-		if m.SS > best {
-			best = m.SS
-		}
-	}
-	return best
-}
-
-// preloadCycles estimates the data pre-loading phase (Fig. 1(a)): the first
-// W and I tiles ripple down each operand's chain level by level; each hop
-// moves the level's tile at the slower of the two port bandwidths. Operands
-// load concurrently (the phase takes the slowest operand), EXCEPT where
-// their hops read the same physical port — one port moves one tile at a
-// time, so shared-port hop times serialize (the reference simulator's
-// behaviour).
-func preloadCycles(p *Problem) float64 {
-	type portKey struct {
-		mem  string
-		port int
-	}
-	perPort := map[portKey]float64{}
-	worst := 0.0
-	for _, op := range []loops.Operand{loops.W, loops.I} {
-		total := 0.0
-		chain := p.Arch.ChainMems(op)
-		for l := 0; l+1 < len(chain); l++ {
-			elems := p.Mapping.MemData(op, l, p.Layer.Strides)
-			cc := hopCycles(p, chain[l+1], chain[l], op, elems)
-			total += cc
-			if _, idx, err := chain[l+1].Port(arch.Access{Operand: op, Write: false}); err == nil {
-				perPort[portKey{chain[l+1].Name, idx}] += cc
-			}
-		}
-		if total > worst {
-			worst = total
-		}
-	}
-	for _, busy := range perPort {
-		if busy > worst {
-			worst = busy
-		}
-	}
-	return worst
-}
-
-// offloadCycles estimates the data offloading phase: the final O tile at
-// each level drains up the chain.
-func offloadCycles(p *Problem) float64 {
-	total := 0.0
-	chain := p.Arch.ChainMems(loops.O)
-	for l := 0; l+1 < len(chain); l++ {
-		elems := p.Mapping.MemData(loops.O, l, p.Layer.Strides)
-		total += hopCycles(p, chain[l], chain[l+1], loops.O, elems)
-	}
-	return total
+	var ev Evaluator
+	return ev.Evaluate(p)
 }
 
 // hopCycles is the time to move elems elements of op from src (read) to dst

@@ -8,14 +8,13 @@ package dse
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/area"
 	"repro/internal/loops"
 	"repro/internal/mapper"
+	"repro/internal/par"
 	"repro/internal/workload"
 )
 
@@ -65,7 +64,8 @@ type Config struct {
 	Layer workload.Layer
 	// MaxCandidates bounds the per-point mapping search.
 	MaxCandidates int
-	// Workers bounds parallelism (default NumCPU).
+	// Workers bounds parallelism: 0 draws from the shared process-wide
+	// worker budget (package par), n >= 1 forces exactly n workers.
 	Workers int
 }
 
@@ -201,48 +201,32 @@ func Sweep(cfg *Config) ([]Point, error) {
 	points := make([]Point, len(tasks))
 	am := area.Default7nm()
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	var wg sync.WaitGroup
-	ch := make(chan task)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for tk := range ch {
-				a := BuildArch(tk.ac, tk.rm, tk.wlb, tk.ilb, cfg.GBBWBits)
-				pt := Point{
-					Arch:    a,
-					Array:   tk.ac.Name,
-					Spatial: tk.ac.Spatial,
-					Areamm2: am.Arch(a, "GB"),
-				}
-				layer := cfg.Layer
-				best, _, err := mapper.Best(&layer, a, &mapper.Options{
-					Spatial:       tk.ac.Spatial,
-					BWAware:       cfg.BWAware,
-					Pow2Splits:    true,
-					MaxCandidates: cfg.MaxCandidates,
-				})
-				if err == nil {
-					pt.Latency = best.Result.CCTotal
-					pt.Mapping = best.Mapping.Temporal.String()
-					pt.Valid = true
-				}
-				points[tk.idx] = pt
-			}
-		}()
-	}
-	for _, tk := range tasks {
-		ch <- tk
-	}
-	close(ch)
-	wg.Wait()
+	// Sweep points share the process-wide worker budget with the mapping
+	// searches they invoke: when the sweep saturates the budget, the inner
+	// searches run serially, and vice versa — never oversubscribed.
+	par.ForEachLimit(len(tasks), cfg.Workers, func(i int) {
+		tk := tasks[i]
+		a := BuildArch(tk.ac, tk.rm, tk.wlb, tk.ilb, cfg.GBBWBits)
+		pt := Point{
+			Arch:    a,
+			Array:   tk.ac.Name,
+			Spatial: tk.ac.Spatial,
+			Areamm2: am.Arch(a, "GB"),
+		}
+		layer := cfg.Layer
+		best, _, err := mapper.Best(&layer, a, &mapper.Options{
+			Spatial:       tk.ac.Spatial,
+			BWAware:       cfg.BWAware,
+			Pow2Splits:    true,
+			MaxCandidates: cfg.MaxCandidates,
+		})
+		if err == nil {
+			pt.Latency = best.Result.CCTotal
+			pt.Mapping = best.Mapping.Temporal.String()
+			pt.Valid = true
+		}
+		points[tk.idx] = pt
+	})
 	return points, nil
 }
 

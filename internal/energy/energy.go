@@ -109,8 +109,11 @@ func Evaluate(p *core.Problem, tbl *Table) (*Breakdown, error) {
 	}
 
 	b.TotalPJ = b.MACPJ + b.ArrayPJ
-	for _, v := range b.MemPJ {
-		b.TotalPJ += v
+	// Sum in name order: float addition is not associative, so iterating
+	// the map directly would change TotalPJ in its last bits from run to
+	// run — enough to flip exact-tie comparisons in mapping searches.
+	for _, n := range b.MemNames() {
+		b.TotalPJ += b.MemPJ[n]
 	}
 	return b, nil
 }

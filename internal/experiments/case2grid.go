@@ -2,12 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/mapper"
+	"repro/internal/par"
 	"repro/internal/workload"
 )
 
@@ -42,48 +41,31 @@ func Case2Grid(extents []int64, maxCandidates int) ([]GridCell, error) {
 		}
 	}
 
-	workers := runtime.NumCPU()
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int)
 	errs := make([]error, len(cells))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				cell := &cells[i]
-				l := workload.NewMatMul(
-					fmt.Sprintf("(%d,%d,%d)", cell.B, cell.K, cell.C),
-					cell.B, cell.K, cell.C)
-				best, _, err := mapper.Best(&l, hw, &mapper.Options{
-					Spatial: sp, BWAware: true, Pow2Splits: true,
-					MaxCandidates: maxCandidates,
-				})
-				if err != nil {
-					errs[i] = fmt.Errorf("case2grid %s: %w", l.Name, err)
-					continue
-				}
-				un, err := core.EvaluateBWUnaware(&core.Problem{
-					Layer: &l, Arch: hw, Mapping: best.Mapping,
-				})
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				cell.Real = best.Result.CCTotal
-				cell.Unaware = un.CCTotal
-				cell.Discrepancy = cell.Real / cell.Unaware
-			}
-		}()
-	}
-	for i := range cells {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
+	par.ForEach(len(cells), func(i int) {
+		cell := &cells[i]
+		l := workload.NewMatMul(
+			fmt.Sprintf("(%d,%d,%d)", cell.B, cell.K, cell.C),
+			cell.B, cell.K, cell.C)
+		best, _, err := mapper.Best(&l, hw, &mapper.Options{
+			Spatial: sp, BWAware: true, Pow2Splits: true,
+			MaxCandidates: maxCandidates,
+		})
+		if err != nil {
+			errs[i] = fmt.Errorf("case2grid %s: %w", l.Name, err)
+			return
+		}
+		un, err := core.EvaluateBWUnaware(&core.Problem{
+			Layer: &l, Arch: hw, Mapping: best.Mapping,
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		cell.Real = best.Result.CCTotal
+		cell.Unaware = un.CCTotal
+		cell.Discrepancy = cell.Real / cell.Unaware
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

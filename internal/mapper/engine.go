@@ -1,0 +1,367 @@
+package mapper
+
+// The evaluation pipeline: a single generator walks the canonical nest
+// enumeration (factorization × ordering, exactly the order the old serial
+// search used), workers score candidates concurrently with per-worker
+// scratch (no allocation on the reject path), and a reducer merges the
+// per-worker bests with the tie-break (score, generation index). Because
+// the serial search kept the FIRST candidate achieving the minimum score,
+// and (score, index) is minimized by exactly that candidate, the parallel
+// result is bit-identical to the serial one for any worker count.
+//
+// On top of the pipeline sits a branch-and-bound prune for the latency
+// objective: the bandwidth-unaware baseline CC_spatial + preload + offload
+// is an admissible lower bound on the full model's CC_total (the stall
+// integration only ever adds SS_overall >= 0 to it), so a nest whose bound
+// already exceeds the best full evaluation seen so far cannot win and its
+// Step-1/2/3 evaluation is skipped. The shared best is a monotonically
+// decreasing atomic; pruning only on a STRICT bound excess keeps equal-
+// score candidates alive for the deterministic tie-break.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/par"
+	"repro/internal/workload"
+)
+
+// searchMode selects what the engine keeps.
+type searchMode uint8
+
+const (
+	modeBest searchMode = iota // keep only the minimum (Best)
+	modeAll                    // keep every valid candidate (Enumerate)
+)
+
+// scored pairs a materialized candidate with its canonical sort keys.
+type scored struct {
+	cand  *Candidate
+	score float64
+	key   string // temporal nest rendering, the lexicographic tie-break
+	seq   int64  // generation index, the final tie-break
+}
+
+// job is one nest to evaluate, tagged with its generation index.
+type job struct {
+	seq  int64
+	nest loops.Nest
+}
+
+// batchSize amortizes channel traffic: the generator ships nests to the
+// workers in slabs of this many.
+const batchSize = 64
+
+type engine struct {
+	l    *workload.Layer
+	a    *arch.Arch
+	o    *Options
+	mode searchMode
+
+	// prune enables the lower-bound branch-and-bound (modeBest, latency
+	// objective, full model only — for the baseline model the "bound" IS
+	// the score, and other objectives are not bounded by it).
+	prune bool
+	// bestBits is Float64bits of the best score seen by any worker; it
+	// only decreases. Read by workers for the prune decision.
+	bestBits atomic.Uint64
+}
+
+// runSearch drives one search. It returns the best candidate (modeBest),
+// the unsorted candidate list (modeAll), and exact statistics.
+func runSearch(l *workload.Layer, a *arch.Arch, o *Options, mode searchMode) (*Candidate, []scored, *Stats, error) {
+	if err := l.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if len(o.Spatial) == 0 {
+		return nil, nil, nil, fmt.Errorf("mapper: no spatial unrolling given")
+	}
+	e := &engine{l: l, a: a, o: o, mode: mode}
+	e.prune = mode == modeBest && !o.NoPrune && o.Objective == MinLatency && o.BWAware
+	e.bestBits.Store(math.Float64bits(math.Inf(1)))
+	stats := &Stats{}
+
+	// Decide the worker count. Forced counts (Workers >= 1) bypass the
+	// shared budget; the default draws from it so that nested parallelism
+	// (e.g. a layer sweep running many searches) never oversubscribes.
+	workers := 1
+	acquired := 0
+	if o.Workers > 1 {
+		workers = o.Workers
+	} else if o.Workers == 0 {
+		acquired = par.AcquireUpTo(par.Limit() - 1)
+		workers = 1 + acquired
+	}
+	defer func() {
+		for i := 0; i < acquired; i++ {
+			par.Release()
+		}
+	}()
+
+	ws := make([]*worker, workers)
+	for i := range ws {
+		ws[i] = newWorker(e)
+	}
+
+	if workers == 1 {
+		// Serial fast path: evaluate in generation order on the caller's
+		// goroutine, straight off the generator's shared nest buffer.
+		e.generate(stats, func(seq int64, nest loops.Nest) {
+			ws[0].process(seq, nest)
+		})
+	} else {
+		ch := make(chan []job, workers)
+		var wg sync.WaitGroup
+		for _, w := range ws[1:] {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				w.drain(ch)
+			}(w)
+		}
+		go func() {
+			var jobs []job
+			var slab []loops.Loop
+			flush := func() {
+				if len(jobs) > 0 {
+					ch <- jobs
+				}
+				jobs, slab = nil, nil
+			}
+			e.generate(stats, func(seq int64, nest loops.Nest) {
+				if jobs == nil {
+					jobs = make([]job, 0, batchSize)
+					slab = make([]loops.Loop, 0, batchSize*8)
+				}
+				// Copy the generator's shared buffer into the batch slab.
+				// A slab regrow leaves earlier jobs pointing into the old
+				// array, which stays valid — the slices are read-only.
+				start := len(slab)
+				slab = append(slab, nest...)
+				jobs = append(jobs, job{seq: seq, nest: loops.Nest(slab[start:len(slab):len(slab)])})
+				if len(jobs) == batchSize {
+					flush()
+				}
+			})
+			flush()
+			close(ch)
+		}()
+		ws[0].drain(ch) // the caller is the first worker
+		wg.Wait()
+	}
+
+	// Reduce: sum the exact counters, take the (score, seq) minimum.
+	var best *Candidate
+	bestScore, bestSeq := math.Inf(1), int64(math.MaxInt64)
+	var all []scored
+	for _, w := range ws {
+		stats.Valid += w.valid
+		stats.Pruned += w.pruned
+		if w.best != nil && (w.bestScore < bestScore || (w.bestScore == bestScore && w.bestSeq < bestSeq)) {
+			best, bestScore, bestSeq = w.best, w.bestScore, w.bestSeq
+		}
+		all = append(all, w.all...)
+	}
+	return best, all, stats, nil
+}
+
+// generate walks the canonical enumeration and hands each nest to emit,
+// counting generated/skipped nests. The nest passed to emit is a shared
+// buffer, valid only for the duration of the call. Single-threaded; the
+// emitted seq is dense and strictly increasing.
+func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
+	o := e.o
+
+	// Temporal extent per dimension after spatial unrolling (ceil).
+	sp := o.Spatial.DimProduct()
+	var extents [loops.NumDims]int64
+	for _, d := range loops.AllDims {
+		extents[d] = loops.CeilDiv(e.l.Dim(d), sp[d])
+	}
+
+	// Per-dimension split alternatives, including lightly padded extents:
+	// awkward (prime-rich) extents are rounded up to the next multiples of
+	// 2 and 4 so that stationarity-enabling inner loops exist. The padded
+	// iterations surface as spatial stall in the evaluation.
+	var dimSplits [loops.NumDims][][]int64
+	for _, d := range loops.AllDims {
+		dimSplits[d] = splits(extents[d], o.MaxSplitsPerDim, o.Pow2Splits)
+		for _, pad := range []int64{2, 4} {
+			pe := (extents[d] + pad - 1) / pad * pad
+			if pe > extents[d] && pe < 2*extents[d] {
+				dimSplits[d] = append(dimSplits[d], splits(pe, o.MaxSplitsPerDim, o.Pow2Splits)...)
+			}
+		}
+		dimSplits[d] = dedupSplits(dimSplits[d])
+	}
+
+	// Cartesian product of dimension splits -> block multisets -> ordered
+	// permutations.
+	seq := int64(0)
+	var rec func(d int, blocks []loops.Loop)
+	rec = func(d int, blocks []loops.Loop) {
+		if st.Skipped > 0 {
+			return
+		}
+		if d == loops.NumDims {
+			permute(blocks, func(nest loops.Nest) bool {
+				if st.NestsGenerated >= o.MaxCandidates {
+					st.Skipped++
+					return false
+				}
+				st.NestsGenerated++
+				emit(seq, nest)
+				seq++
+				return true
+			})
+			return
+		}
+		dim := loops.AllDims[d]
+		for _, s := range dimSplits[dim] {
+			next := blocks
+			for _, f := range s {
+				if f > 1 {
+					next = append(next[:len(next):len(next)], loops.Loop{Dim: dim, Size: f})
+				}
+			}
+			rec(d+1, next)
+		}
+	}
+	rec(0, nil)
+}
+
+// worker holds one evaluation lane's scratch: a reusable mapping (shared
+// read-only spatial nest, boundary storage reused across nests), resolved
+// memory chains, and a core.Evaluator whose internal buffers persist across
+// candidates. The reject path — bounds overflow, validation failure, prune
+// — allocates nothing.
+type worker struct {
+	e      *engine
+	m      mapping.Mapping
+	chains [loops.NumOperands][]*arch.Memory
+	store  [loops.NumOperands][]int
+	prob   core.Problem
+	ev     core.Evaluator
+
+	valid  int
+	pruned int
+
+	best      *Candidate
+	bestScore float64
+	bestSeq   int64
+
+	all []scored // modeAll only
+}
+
+func newWorker(e *engine) *worker {
+	w := &worker{e: e, bestScore: math.Inf(1), bestSeq: math.MaxInt64}
+	w.m.Spatial = e.o.Spatial
+	for _, op := range loops.AllOperands {
+		w.chains[op] = e.a.ChainMems(op)
+	}
+	w.prob = core.Problem{Layer: e.l, Arch: e.a, Mapping: &w.m}
+	return w
+}
+
+func (w *worker) drain(ch <-chan []job) {
+	for jobs := range ch {
+		for _, j := range jobs {
+			w.process(j.seq, j.nest)
+		}
+	}
+}
+
+// process scores one nest. Valid counts mappings that pass validation (and,
+// where a candidate is materialized, evaluation), never depending on the
+// prune trajectory — so Stats.Valid is identical for any worker count.
+func (w *worker) process(seq int64, nest loops.Nest) {
+	e := w.e
+	o := e.o
+	w.m.Temporal = nest
+	if !assignBoundsIn(&w.m, e.l, &w.chains, &w.store) {
+		return
+	}
+	if w.m.Validate(e.l, e.a) != nil {
+		return
+	}
+
+	if e.mode == modeAll || o.Objective == MinEnergy || o.Objective == MinEDP {
+		// Enumeration and energy objectives need the materialized result
+		// (diagnostics / energy) for every valid candidate anyway.
+		c := evaluate(e.l, e.a, o, nest)
+		if c == nil {
+			return
+		}
+		w.valid++
+		s := c.Score(o.Objective)
+		if e.mode == modeAll {
+			w.all = append(w.all, scored{cand: c, score: s, key: c.Mapping.Temporal.String(), seq: seq})
+			return
+		}
+		if w.better(s, seq) {
+			w.best, w.bestScore, w.bestSeq = c, s, seq
+		}
+		return
+	}
+
+	// Latency objective: scratch-based scoring, no allocation unless the
+	// candidate improves the worker's best.
+	w.valid++
+	var score float64
+	if o.BWAware {
+		if e.prune {
+			lb := w.ev.LowerBound(&w.prob)
+			if lb > e.loadBest() {
+				w.pruned++
+				return
+			}
+		}
+		s, err := w.ev.ScoreLatency(&w.prob)
+		if err != nil {
+			return
+		}
+		score = s
+	} else {
+		// The baseline model's CC_total IS the lower bound expression.
+		score = w.ev.LowerBound(&w.prob)
+	}
+	if w.better(score, seq) {
+		if c := evaluate(e.l, e.a, o, nest); c != nil {
+			w.best, w.bestScore, w.bestSeq = c, score, seq
+			if e.prune {
+				e.lowerBest(score)
+			}
+		}
+	}
+}
+
+// better reports whether (score, seq) beats the worker's current best under
+// the canonical order.
+func (w *worker) better(score float64, seq int64) bool {
+	return score < w.bestScore || (score == w.bestScore && seq < w.bestSeq)
+}
+
+// loadBest returns the shared best-so-far score.
+func (e *engine) loadBest() float64 {
+	return math.Float64frombits(e.bestBits.Load())
+}
+
+// lowerBest lowers the shared best-so-far to s if s improves it.
+func (e *engine) lowerBest(s float64) {
+	bits := math.Float64bits(s)
+	for {
+		cur := e.bestBits.Load()
+		if math.Float64frombits(cur) <= s {
+			return
+		}
+		if e.bestBits.CompareAndSwap(cur, bits) {
+			return
+		}
+	}
+}

@@ -8,7 +8,10 @@
 //
 // The paper integrates its latency model with ZigZag (Section V) to
 // generate design points; this package plays that role. It is exhaustive
-// within a bounded factorization/ordering space and deterministic.
+// within a bounded factorization/ordering space and deterministic: the
+// evaluation pipeline (engine.go) may fan candidates out across a worker
+// pool, but the selected mapping, its score and the search statistics are
+// identical to a serial run.
 package mapper
 
 import (
@@ -53,6 +56,16 @@ type Options struct {
 	BWAware bool
 	// EnergyTable overrides the default energy table.
 	EnergyTable *energy.Table
+	// Workers caps the evaluation parallelism: 0 (default) draws extra
+	// workers from the shared par budget (up to GOMAXPROCS across ALL
+	// concurrent searches and sweeps in the process), 1 forces serial
+	// evaluation, and n > 1 forces exactly n workers regardless of the
+	// budget (tests and benchmarks). The result is identical in all cases.
+	Workers int
+	// NoPrune disables the branch-and-bound lower-bound prune (latency
+	// objectives only; see engine.go). The selected mapping is identical
+	// with or without pruning — the knob exists for measurement.
+	NoPrune bool
 }
 
 func (o *Options) normalized() Options {
@@ -84,23 +97,26 @@ func (c *Candidate) Score(obj Objective) float64 {
 	return c.Result.CCTotal
 }
 
-// Stats summarizes a search.
+// Stats summarizes a search. NestsGenerated, Valid and Skipped are exact
+// and independent of the worker count and of branch-and-bound pruning: a
+// parallel run reports the same three values as a serial run of the same
+// search. Pruned is the only trajectory-dependent counter — it reports how
+// many nests the lower bound allowed the engine to skip, which depends on
+// how fast the shared best-so-far tightened and therefore on scheduling.
 type Stats struct {
 	NestsGenerated int // ordered loop nests visited
 	Valid          int // mappings passing validation
 	Skipped        int // nests beyond MaxCandidates
+	Pruned         int // full evaluations skipped by the lower bound (informational)
 }
 
 // Best searches the space and returns the best candidate by the objective,
-// together with search statistics.
+// together with search statistics. Ties on the objective are broken by
+// generation order (the first nest in the canonical enumeration wins),
+// which makes the result independent of the worker count.
 func Best(l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Stats, error) {
-	var best *Candidate
 	o := opt.normalized()
-	stats, err := walk(l, a, &o, func(c *Candidate) {
-		if best == nil || c.Score(o.Objective) < best.Score(o.Objective) {
-			best = c
-		}
-	})
+	best, _, stats, err := runSearch(l, a, &o, modeBest)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -112,91 +128,36 @@ func Best(l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Stats, er
 
 // Enumerate returns every valid candidate (use bounded options; intended
 // for analysis and mapping-space counting, e.g. Case 1's mapping census).
+// Candidates are ordered canonically: by score, then by the temporal nest's
+// lexicographic rendering, then by generation order — so equal-score
+// candidates land in a deterministic order regardless of the worker count.
 func Enumerate(l *workload.Layer, a *arch.Arch, opt *Options) ([]*Candidate, *Stats, error) {
-	var all []*Candidate
 	o := opt.normalized()
-	stats, err := walk(l, a, &o, func(c *Candidate) { all = append(all, c) })
+	_, scoredAll, stats, err := runSearch(l, a, &o, modeAll)
 	if err != nil {
 		return nil, nil, err
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Score(o.Objective) < all[j].Score(o.Objective) })
+	sort.Slice(scoredAll, func(i, j int) bool {
+		if scoredAll[i].score != scoredAll[j].score {
+			return scoredAll[i].score < scoredAll[j].score
+		}
+		if scoredAll[i].key != scoredAll[j].key {
+			return scoredAll[i].key < scoredAll[j].key
+		}
+		return scoredAll[i].seq < scoredAll[j].seq
+	})
+	all := make([]*Candidate, len(scoredAll))
+	for i := range scoredAll {
+		all[i] = scoredAll[i].cand
+	}
 	return all, stats, nil
 }
 
-// walk generates and evaluates the space, invoking keep for each valid
-// candidate.
-func walk(l *workload.Layer, a *arch.Arch, o *Options, keep func(*Candidate)) (*Stats, error) {
-	if err := l.Validate(); err != nil {
-		return nil, err
-	}
-	if len(o.Spatial) == 0 {
-		return nil, fmt.Errorf("mapper: no spatial unrolling given")
-	}
-	stats := &Stats{}
-
-	// Temporal extent per dimension after spatial unrolling (ceil).
-	sp := o.Spatial.DimProduct()
-	var extents [loops.NumDims]int64
-	for _, d := range loops.AllDims {
-		extents[d] = loops.CeilDiv(l.Dim(d), sp[d])
-	}
-
-	// Per-dimension split alternatives, including lightly padded extents:
-	// awkward (prime-rich) extents are rounded up to the next multiples of
-	// 2 and 4 so that stationarity-enabling inner loops exist. The padded
-	// iterations surface as spatial stall in the evaluation.
-	var dimSplits [loops.NumDims][][]int64
-	for _, d := range loops.AllDims {
-		dimSplits[d] = splits(extents[d], o.MaxSplitsPerDim, o.Pow2Splits)
-		for _, pad := range []int64{2, 4} {
-			pe := (extents[d] + pad - 1) / pad * pad
-			if pe > extents[d] && pe < 2*extents[d] {
-				dimSplits[d] = append(dimSplits[d], splits(pe, o.MaxSplitsPerDim, o.Pow2Splits)...)
-			}
-		}
-		dimSplits[d] = dedupSplits(dimSplits[d])
-	}
-
-	// Cartesian product of dimension splits -> block multisets -> ordered
-	// permutations.
-	var rec func(d int, blocks []loops.Loop)
-	rec = func(d int, blocks []loops.Loop) {
-		if stats.Skipped > 0 {
-			return
-		}
-		if d == loops.NumDims {
-			permute(blocks, func(nest loops.Nest) bool {
-				if stats.NestsGenerated >= o.MaxCandidates {
-					stats.Skipped++
-					return false
-				}
-				stats.NestsGenerated++
-				c := evaluate(l, a, o, nest)
-				if c != nil {
-					stats.Valid++
-					keep(c)
-				}
-				return true
-			})
-			return
-		}
-		dim := loops.AllDims[d]
-		for _, s := range dimSplits[dim] {
-			next := blocks
-			for _, f := range s {
-				if f > 1 {
-					next = append(next[:len(next):len(next)], loops.Loop{Dim: dim, Size: f})
-				}
-			}
-			rec(d+1, next)
-		}
-	}
-	rec(0, nil)
-	return stats, nil
-}
-
-// evaluate builds boundaries for one ordered nest, validates and scores it.
-// Returns nil for invalid mappings.
+// evaluate builds boundaries for one ordered nest, validates and scores it
+// with freshly allocated structures — the materialization path, used for
+// kept candidates and by the annealer. Returns nil for invalid mappings.
+// The hot path of the search engine uses scratch-based scoring instead
+// (engine.go) and only materializes improvements.
 func evaluate(l *workload.Layer, a *arch.Arch, o *Options, nest loops.Nest) *Candidate {
 	m := &mapping.Mapping{Spatial: o.Spatial.Clone(), Temporal: nest.Clone()}
 	if !assignBounds(m, l, a) {
@@ -236,10 +197,26 @@ func evaluate(l *workload.Layer, a *arch.Arch, o *Options, nest loops.Nest) *Can
 // lowest possible level (the canonical placement discussed in DESIGN.md).
 // Returns false when even the spatial tile overflows some level.
 func assignBounds(m *mapping.Mapping, l *workload.Layer, a *arch.Arch) bool {
+	var chains [loops.NumOperands][]*arch.Memory
+	var store [loops.NumOperands][]int
+	for _, op := range loops.AllOperands {
+		chains[op] = a.ChainMems(op)
+	}
+	return assignBoundsIn(m, l, &chains, &store)
+}
+
+// assignBoundsIn is assignBounds with caller-provided chain resolution and
+// boundary storage, so the search hot path can run it allocation-free. The
+// boundary slices written into m.Bound alias store.
+func assignBoundsIn(m *mapping.Mapping, l *workload.Layer, chains *[loops.NumOperands][]*arch.Memory, store *[loops.NumOperands][]int) bool {
 	n := len(m.Temporal)
 	for _, op := range loops.AllOperands {
-		chain := a.ChainMems(op)
-		bounds := make([]int, len(chain))
+		chain := chains[op]
+		bounds := store[op][:0]
+		for range chain {
+			bounds = append(bounds, 0)
+		}
+		store[op] = bounds
 		prev := 0
 		for lev := range chain {
 			if lev == len(chain)-1 {
@@ -313,7 +290,8 @@ func dedupSplits(in [][]int64) [][]int64 {
 }
 
 // permute visits every distinct ordering of the blocks; visit returns false
-// to stop the walk (candidate cap reached).
+// to stop the walk (candidate cap reached). The nest passed to visit is a
+// shared buffer, only valid for the duration of the call.
 func permute(blocks []loops.Loop, visit func(loops.Nest) bool) {
 	n := len(blocks)
 	if n == 0 {

@@ -159,6 +159,7 @@ func BestWithSpatial(l *workload.Layer, a *arch.Arch, o *SpatialOptions) (*Candi
 			total.NestsGenerated += stats.NestsGenerated
 			total.Valid += stats.Valid
 			total.Skipped += stats.Skipped
+			total.Pruned += stats.Pruned
 		}
 		if err != nil {
 			continue // this unrolling has no valid temporal mapping

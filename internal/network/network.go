@@ -25,6 +25,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/loops"
 	"repro/internal/mapper"
+	"repro/internal/par"
 	"repro/internal/workload"
 )
 
@@ -133,7 +134,14 @@ func Evaluate(n *Network, hw *arch.Arch, spatial loops.Nest, opt *Options) (*Res
 	res := &Result{}
 	obj := opt.Objective
 	needEnergy := true
-	for i := range n.Layers {
+	// Per-layer mapping searches are independent; run them under the shared
+	// worker budget. Results land at their layer index and errors are
+	// reported for the first failing layer, so the outcome is identical to
+	// the old serial loop. The cross-layer passes below stay serial — they
+	// chain layer i to layer i-1.
+	layerRes := make([]LayerResult, len(n.Layers))
+	layerErr := make([]error, len(n.Layers))
+	par.ForEach(len(n.Layers), func(i int) {
 		orig := n.Layers[i]
 		lowered := workload.Im2Col(orig)
 		cand, _, err := mapper.Best(&lowered, hw, &mapper.Options{
@@ -143,7 +151,8 @@ func Evaluate(n *Network, hw *arch.Arch, spatial loops.Nest, opt *Options) (*Res
 			MaxCandidates: maxCand,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("network %q layer %s: %w", n.Name, orig.Name, err)
+			layerErr[i] = fmt.Errorf("network %q layer %s: %w", n.Name, orig.Name, err)
+			return
 		}
 		lr := LayerResult{
 			Layer:     lowered,
@@ -156,8 +165,14 @@ func Evaluate(n *Network, hw *arch.Arch, spatial loops.Nest, opt *Options) (*Res
 				lr.EnergyPJ = eb.TotalPJ
 			}
 		}
-		res.Layers = append(res.Layers, lr)
+		layerRes[i] = lr
+	})
+	for _, err := range layerErr {
+		if err != nil {
+			return nil, err
+		}
 	}
+	res.Layers = layerRes
 
 	// Precise GB planning (optional): tensors with liveness intervals.
 	var plannedSpill map[int]int64 // layer index -> spilled boundary bits

@@ -1,0 +1,133 @@
+// Package par is the process-wide worker budget shared by every parallel
+// construct in this repository: the mapper's evaluation pipeline, the
+// network evaluator's per-layer fan-out, the DSE sweeps and the experiment
+// grids. All of them draw extra workers from one token pool sized to
+// GOMAXPROCS, so nested parallelism (a parallel DSE sweep whose every point
+// runs a parallel mapping search) degrades gracefully to inline execution
+// instead of oversubscribing the machine with multiplied goroutine pools.
+//
+// The calling goroutine always counts as the first worker and never needs a
+// token; only EXTRA workers are budgeted. An inner construct that finds the
+// pool drained simply runs inline on its caller's goroutine, which makes
+// nesting deadlock-free by construction.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// extra is the number of additional worker tokens currently available
+	// (budget minus outstanding acquisitions).
+	extra atomic.Int64
+	// budget is the configured pool size (total workers, including the
+	// token-free calling goroutine).
+	budget atomic.Int64
+)
+
+func init() { SetLimit(runtime.GOMAXPROCS(0)) }
+
+// Limit returns the total worker budget (including the calling goroutine).
+func Limit() int { return int(budget.Load()) }
+
+// SetLimit resizes the pool to n total workers (n-1 extra tokens; n < 1 is
+// clamped to 1, i.e. fully inline execution). Intended for tests and for
+// embedders that want to reserve cores; outstanding tokens are unaffected,
+// so shrinking takes effect as running constructs drain.
+func SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	old := budget.Swap(int64(n))
+	d := int64(n) - old
+	if old == 0 {
+		d-- // first configuration: the calling goroutine's slot is token-free
+	}
+	extra.Add(d)
+}
+
+// TryAcquire obtains one extra-worker token without blocking. Callers must
+// Release the token when the worker exits.
+func TryAcquire() bool {
+	for {
+		v := extra.Load()
+		if v <= 0 {
+			return false
+		}
+		if extra.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// AcquireUpTo obtains at most max extra-worker tokens without blocking and
+// returns how many it got. Release each when done.
+func AcquireUpTo(max int) int {
+	got := 0
+	for got < max && TryAcquire() {
+		got++
+	}
+	return got
+}
+
+// Release returns one token taken with TryAcquire or AcquireUpTo.
+func Release() { extra.Add(1) }
+
+// ForEach runs fn(i) for every i in [0, n) with the calling goroutine plus
+// as many extra workers as the shared budget allows right now. Iteration
+// order across workers is unspecified; fn must be safe for concurrent calls
+// with distinct i. ForEach returns when every index has been processed.
+func ForEach(n int, fn func(i int)) { ForEachLimit(n, 0, fn) }
+
+// ForEachLimit is ForEach with an explicit worker cap. limit <= 0 selects
+// the shared-budget behaviour of ForEach; limit >= 1 forces exactly
+// min(limit, n) workers, bypassing the token pool — used by tests that need
+// guaranteed concurrency and by callers with their own budget knob.
+func ForEachLimit(n, limit int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+		}
+	}
+
+	extras := 0
+	forced := limit >= 1
+	if forced {
+		if limit > n {
+			limit = n
+		}
+		extras = limit - 1
+	} else {
+		max := Limit() - 1
+		if max > n-1 {
+			max = n - 1
+		}
+		if max > 0 {
+			extras = AcquireUpTo(max)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < extras; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !forced {
+				defer Release()
+			}
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}

@@ -1,0 +1,84 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		hits := make([]int32, n)
+		ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachLimitForcedWorkers(t *testing.T) {
+	// A forced limit must spawn exactly that many lanes even when the
+	// budget is exhausted — that is what makes -race equivalence tests
+	// meaningful on a single-CPU machine.
+	const n, limit = 64, 4
+	var peak, cur atomic.Int64
+	done := make(chan struct{})
+	ForEachLimit(n, limit, func(i int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		if i == 0 {
+			// Hold one lane until another has definitely run: with a
+			// single lane this would deadlock, proving limit > 1 lanes
+			// actually run concurrently.
+			<-done
+		}
+		if i == n-1 {
+			close(done)
+		}
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > limit {
+		t.Errorf("observed %d concurrent lanes, forced limit %d", p, limit)
+	}
+}
+
+func TestBudgetAcquireRelease(t *testing.T) {
+	old := Limit()
+	defer SetLimit(old)
+
+	SetLimit(3) // 1 implicit caller + 2 extra tokens
+	if got := AcquireUpTo(10); got != 2 {
+		t.Fatalf("AcquireUpTo(10) = %d, want 2", got)
+	}
+	if TryAcquire() {
+		t.Fatal("TryAcquire succeeded on drained budget")
+	}
+	Release()
+	if !TryAcquire() {
+		t.Fatal("TryAcquire failed after Release")
+	}
+	Release()
+	Release()
+}
+
+func TestForEachNestedDoesNotDeadlock(t *testing.T) {
+	old := Limit()
+	defer SetLimit(old)
+	SetLimit(2)
+
+	var count atomic.Int64
+	ForEach(4, func(i int) {
+		// Inner loops run inline (or with whatever tokens remain) —
+		// never blocking on the exhausted budget.
+		ForEach(4, func(j int) { count.Add(1) })
+	})
+	if count.Load() != 16 {
+		t.Fatalf("nested ForEach ran %d units, want 16", count.Load())
+	}
+}

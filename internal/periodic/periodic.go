@@ -118,18 +118,39 @@ func hyperperiod(ws []Window, limit int64) int64 {
 // sets, measured over [0, span) where span is the maximum window span. This
 // is MUW_comb of the paper's Step 2. Windows must be valid.
 func UnionLength(ws []Window) int64 {
-	n, _ := unionLength(ws)
+	n, _ := unionLength(ws, nil)
 	return n
+}
+
+// Union returns UnionLength and UnionExact in a single pass — the form the
+// latency model's hot path uses, since it always needs both.
+func Union(ws []Window) (length int64, exact bool) {
+	return unionLength(ws, nil)
+}
+
+// UnionScratch carries the interval buffer of the union computation so that
+// repeated UnionWith calls (one per physical port per model evaluation)
+// reuse it instead of allocating.
+type UnionScratch struct {
+	ivs []interval
+}
+
+// UnionWith is Union with caller-provided scratch (nil behaves like Union).
+func UnionWith(ws []Window, sc *UnionScratch) (length int64, exact bool) {
+	return unionLength(ws, sc)
 }
 
 // UnionExact reports whether UnionLength would compute the exact union for
 // these windows (as opposed to the conservative fallback bound).
 func UnionExact(ws []Window) bool {
-	_, exact := unionLength(ws)
+	_, exact := unionLength(ws, nil)
 	return exact
 }
 
-func unionLength(ws []Window) (int64, bool) {
+func unionLength(ws []Window, sc *UnionScratch) (int64, bool) {
+	if sc == nil {
+		sc = &UnionScratch{}
+	}
 	// Drop empty windows.
 	live := ws[:0:0]
 	span := int64(0)
@@ -176,7 +197,7 @@ func unionLength(ws []Window) (int64, bool) {
 		return best, false
 	}
 
-	ivs := make([]interval, 0, count)
+	ivs := sc.ivs[:0]
 	for _, w := range live {
 		wspan := w.Span()
 		limit := h
@@ -195,6 +216,7 @@ func unionLength(ws []Window) (int64, bool) {
 			ivs = append(ivs, interval{lo, hi})
 		}
 	}
+	sc.ivs = ivs
 	perH := mergeLength(ivs)
 
 	if h >= span {
@@ -225,6 +247,7 @@ func unionLength(ws []Window) (int64, bool) {
 				ivs = append(ivs, interval{base + w.Start, base + w.Start + w.Active})
 			}
 		}
+		sc.ivs = ivs
 		return mergeLength(ivs), true
 	}
 	best := int64(0)
@@ -241,7 +264,17 @@ func mergeLength(ivs []interval) int64 {
 	if len(ivs) == 0 {
 		return 0
 	}
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	if len(ivs) <= 48 {
+		// Insertion sort: the common case has a handful of intervals, and
+		// sort.Slice's closure and interface boxing allocate on every call.
+		for i := 1; i < len(ivs); i++ {
+			for j := i; j > 0 && ivs[j].lo < ivs[j-1].lo; j-- {
+				ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+			}
+		}
+	} else {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	}
 	total := int64(0)
 	curLo, curHi := ivs[0].lo, ivs[0].hi
 	for _, iv := range ivs[1:] {

@@ -102,7 +102,14 @@ func Analyze(p *core.Problem) (*Analysis, error) {
 			Operands: strings.Join(ops, "+"),
 		})
 	}
-	sort.Slice(a.Roofs, func(i, j int) bool { return a.Roofs[i].MinCC > a.Roofs[j].MinCC })
+	sort.Slice(a.Roofs, func(i, j int) bool {
+		// Tie-break on the port name: Roofs comes from a map, so equal
+		// MinCC entries would otherwise land in random iteration order.
+		if a.Roofs[i].MinCC != a.Roofs[j].MinCC {
+			return a.Roofs[i].MinCC > a.Roofs[j].MinCC
+		}
+		return a.Roofs[i].Port < a.Roofs[j].Port
+	})
 
 	a.BoundCC = a.ComputeCC
 	a.Bound = ComputeBound
