@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench clean
+.PHONY: all build test race vet bench clean
 
 all: build test
 
@@ -14,15 +14,19 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages under the race detector: the mapper's
-# evaluation pipeline, the shared worker budget, and the parallel consumers.
+# evaluation pipeline, the memoization cache, the shared worker budget, and
+# the parallel consumers.
 race:
-	$(GO) test -race ./internal/mapper ./internal/par ./internal/network
+	$(GO) test -race ./internal/mapper ./internal/memo ./internal/par ./internal/network
 
-# Search & model benchmarks with allocation stats, archived as JSON for
-# structural diffing (see cmd/benchjson).
+vet:
+	$(GO) vet ./...
+
+# Search & model benchmarks with allocation stats, appended to the JSON
+# history in BENCH_mapper.json keyed by git SHA + date (see cmd/benchjson).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkMapperSearch|BenchmarkModelThroughput' \
-		-benchmem -benchtime=2s . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_mapper.json
+	$(GO) test -run '^$$' -bench 'BenchmarkMapperSearch|BenchmarkModelThroughput|BenchmarkNetworkEval' \
+		-benchmem -benchtime=2s . | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_mapper.json
 
 clean:
-	rm -f BENCH_mapper.json
+	rm -f benchjson-*.tmp

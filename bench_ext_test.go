@@ -10,6 +10,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fusion"
 	"repro/internal/mapper"
+	"repro/internal/memo"
 	"repro/internal/network"
 	"repro/internal/noc"
 	"repro/internal/roofline"
@@ -48,6 +49,61 @@ func BenchmarkNetworkEvaluate(b *testing.B) {
 	}
 	b.ReportMetric(r.TotalCC, "total-cc")
 	b.ReportMetric(100*r.Utilization, "util-%")
+}
+
+// repeatNet is a network with heavily repeated layer shapes — the residual
+// stages of a ResNet-style body — where content-addressed caching pays: 9
+// layers, 4 unique shapes.
+func repeatNet() *network.Network {
+	return &network.Network{
+		Name: "bench-repeat",
+		Layers: []workload.Layer{
+			workload.NewConv2D("c1", 1, 32, 16, 28, 28, 3, 3),
+			workload.NewConv2D("c2a", 1, 32, 32, 28, 28, 3, 3),
+			workload.NewConv2D("c2b", 1, 32, 32, 28, 28, 3, 3),
+			workload.NewConv2D("c2c", 1, 32, 32, 28, 28, 3, 3),
+			workload.NewPointwise("p1", 1, 64, 32, 14, 14),
+			workload.NewConv2D("c3a", 1, 64, 64, 14, 14, 3, 3),
+			workload.NewConv2D("c3b", 1, 64, 64, 14, 14, 3, 3),
+			workload.NewConv2D("c3c", 1, 64, 64, 14, 14, 3, 3),
+			workload.NewPointwise("p2", 1, 64, 64, 14, 14),
+		},
+	}
+}
+
+// BenchmarkNetworkEvalCold prices the repeated-shape network with the memo
+// cache emptied before every iteration: every unique shape pays a full
+// mapping search each time. Baseline for BenchmarkNetworkEvalCached.
+func BenchmarkNetworkEvalCold(b *testing.B) {
+	hw, sp := arch.CaseStudy(), arch.CaseStudySpatial()
+	opt := &network.Options{MaxCandidates: 800}
+	for i := 0; i < b.N; i++ {
+		memo.Default.Reset()
+		if _, err := network.Evaluate(repeatNet(), hw, sp, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	memo.Default.Reset()
+}
+
+// BenchmarkNetworkEvalCached is the same evaluation against a warm cache:
+// every layer's search is a fingerprint hit. The gap to Cold is the price of
+// the mapping searches the cache removes.
+func BenchmarkNetworkEvalCached(b *testing.B) {
+	hw, sp := arch.CaseStudy(), arch.CaseStudySpatial()
+	opt := &network.Options{MaxCandidates: 800}
+	memo.Default.Reset()
+	if _, err := network.Evaluate(repeatNet(), hw, sp, opt); err != nil {
+		b.Fatal(err) // warm the cache outside the timed region
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := network.Evaluate(repeatNet(), hw, sp, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	memo.Default.Reset()
 }
 
 // BenchmarkMultiCoreScaling evaluates the 4-core data-parallel speedup.

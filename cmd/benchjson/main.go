@@ -1,36 +1,51 @@
 // Command benchjson converts `go test -bench -benchmem` output read from
-// stdin into a JSON report on stdout. It parses the standard benchmark
-// result lines —
+// stdin into a JSON history. It parses the standard benchmark result lines —
 //
 //	BenchmarkName-8   120  9570123 ns/op  7768 B/op  120 allocs/op  3.5 extra-metric
 //
 // — keeping ns/op, B/op, allocs/op and any custom metrics, so CI can diff
-// performance numbers structurally instead of scraping text. Used by
-// `make bench`, which writes BENCH_mapper.json.
+// performance numbers structurally instead of scraping text.
+//
+// With -out FILE the parsed run is appended to the history array in FILE
+// ({"runs": [...]}), keyed by git SHA + date: re-running on the same commit
+// the same day replaces that entry instead of growing the file, while every
+// new commit adds one. A pre-history flat report ({"results": [...]}) found
+// in FILE is migrated as the oldest run. Without -out the single-run history
+// is printed to stdout. Used by `make bench`, which maintains
+// BENCH_mapper.json.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name       string             `json:"name"`
-	Procs      int                `json:"procs,omitempty"` // the -N suffix (GOMAXPROCS)
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	BytesPerOp int64              `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64             `json:"allocs_per_op,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"` // the -N suffix (GOMAXPROCS)
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the full parsed run.
-type Report struct {
+// Run is one parsed benchmark invocation: environment header + results,
+// stamped with the commit and date it measured.
+type Run struct {
+	SHA     string   `json:"sha,omitempty"`
+	Date    string   `json:"date,omitempty"` // YYYY-MM-DD, UTC
 	Goos    string   `json:"goos,omitempty"`
 	Goarch  string   `json:"goarch,omitempty"`
 	Pkg     string   `json:"pkg,omitempty"`
@@ -38,43 +53,156 @@ type Report struct {
 	Results []Result `json:"results"`
 }
 
+// History is the on-disk format: newest run last.
+type History struct {
+	Runs []Run `json:"runs"`
+}
+
 func main() {
-	rep := Report{}
-	sc := bufio.NewScanner(os.Stdin)
+	var (
+		out  = flag.String("out", "", "history file to update in place (empty: print the run to stdout)")
+		sha  = flag.String("sha", "", "commit id for the run key (default: git rev-parse --short HEAD)")
+		date = flag.String("date", "", "date for the run key, YYYY-MM-DD (default: today, UTC)")
+	)
+	flag.Parse()
+
+	run, err := parseRun(os.Stdin)
+	if err != nil {
+		fail(err)
+	}
+	run.SHA = *sha
+	if run.SHA == "" {
+		run.SHA = gitSHA()
+	}
+	run.Date = *date
+	if run.Date == "" {
+		run.Date = time.Now().UTC().Format("2006-01-02")
+	}
+
+	if *out == "" {
+		if err := writeJSON(os.Stdout, History{Runs: []Run{run}}); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	hist, err := loadHistory(*out)
+	if err != nil {
+		fail(err)
+	}
+	hist.add(run)
+	f, err := os.CreateTemp(filepath.Dir(*out), "benchjson-*.tmp")
+	if err != nil {
+		fail(err)
+	}
+	err = writeJSON(f, *hist)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), *out)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s now holds %d run(s); latest %s %s (%d benchmarks)\n",
+		*out, len(hist.Runs), run.SHA, run.Date, len(run.Results))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// gitSHA asks git for the short commit id; a missing git or repository is
+// not fatal — the run is simply keyed by date alone.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// loadHistory reads an existing history file. A file in the pre-history flat
+// format (top-level "results", no "runs") is migrated as the oldest run; a
+// missing file starts an empty history.
+func loadHistory(path string) (*History, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &History{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var probe struct {
+		Runs    []Run    `json:"runs"`
+		Results []Result `json:"results"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if probe.Runs != nil {
+		return &History{Runs: probe.Runs}, nil
+	}
+	var legacy Run
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(legacy.Results) == 0 {
+		return &History{}, nil
+	}
+	return &History{Runs: []Run{legacy}}, nil
+}
+
+// add appends the run, replacing an existing entry with the same SHA + date
+// so repeated `make bench` on one commit updates in place.
+func (h *History) add(run Run) {
+	for i := range h.Runs {
+		if h.Runs[i].SHA == run.SHA && h.Runs[i].Date == run.Date {
+			h.Runs[i] = run
+			return
+		}
+	}
+	h.Runs = append(h.Runs, run)
+}
+
+// parseRun parses `go test -bench` output into one Run.
+func parseRun(r io.Reader) (Run, error) {
+	var run Run
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
 		case strings.HasPrefix(line, "goos:"):
-			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			run.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
 			continue
 		case strings.HasPrefix(line, "goarch:"):
-			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			run.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 			continue
 		case strings.HasPrefix(line, "pkg:"):
-			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			run.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 			continue
 		case strings.HasPrefix(line, "cpu:"):
-			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 			continue
 		}
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
-		if r, ok := parseLine(line); ok {
-			rep.Results = append(rep.Results, r)
+		if res, ok := parseLine(line); ok {
+			run.Results = append(run.Results, res)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return run, sc.Err()
 }
 
 // parseLine parses one benchmark result line.

@@ -10,12 +10,25 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/mapper"
+	"repro/internal/memo"
 	"repro/internal/report"
 )
 
 func main() {
 	budget := flag.Int("budget", 300, "mapping search budget per design point")
+	cacheDir := flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
 	flag.Parse()
+
+	if *cacheDir != "" {
+		dir, err := mapper.EnableDiskCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bwsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("disk cache: %s\n", dir)
+	}
+	defer func() { fmt.Println(memo.Default.Counters()) }()
 
 	bws := []int64{64, 128, 256, 512, 1024, 2048, 4096}
 	points, err := experiments.BWSweep(bws, *budget)

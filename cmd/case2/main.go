@@ -10,16 +10,29 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/mapper"
+	"repro/internal/memo"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
-		budget = flag.Int("budget", 20000, "mapping search budget per layer")
-		csv    = flag.Bool("csv", false, "CSV output")
-		grid   = flag.Bool("grid", false, "full BxKxC grid with a discrepancy heatmap")
+		budget   = flag.Int("budget", 20000, "mapping search budget per layer")
+		csv      = flag.Bool("csv", false, "CSV output")
+		grid     = flag.Bool("grid", false, "full BxKxC grid with a discrepancy heatmap")
+		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
 	)
 	flag.Parse()
+
+	if *cacheDir != "" {
+		dir, err := mapper.EnableDiskCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "case2:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("disk cache: %s\n", dir)
+	}
+	defer func() { fmt.Println(memo.Default.Counters()) }()
 
 	if *grid {
 		extents := []int64{8, 32, 128, 512}

@@ -12,17 +12,30 @@ import (
 
 	"repro/internal/dse"
 	"repro/internal/experiments"
+	"repro/internal/mapper"
+	"repro/internal/memo"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "small memory pool (fast)")
-		budget = flag.Int("budget", 0, "mapping search budget per design point (0 = default)")
-		plot   = flag.Bool("plot", true, "ASCII scatter plots")
-		csv    = flag.Bool("csv", false, "CSV of all points")
+		quick    = flag.Bool("quick", false, "small memory pool (fast)")
+		budget   = flag.Int("budget", 0, "mapping search budget per design point (0 = default)")
+		plot     = flag.Bool("plot", true, "ASCII scatter plots")
+		csv      = flag.Bool("csv", false, "CSV of all points")
+		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
 	)
 	flag.Parse()
+
+	if *cacheDir != "" {
+		dir, err := mapper.EnableDiskCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "case3:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("disk cache: %s\n", dir)
+	}
+	defer func() { fmt.Println(memo.Default.Counters()) }()
 
 	r, err := experiments.Case3(&experiments.Case3Options{Quick: *quick, MaxCandidates: *budget})
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/loops"
 	"repro/internal/mapper"
+	"repro/internal/memo"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -29,9 +30,20 @@ func main() {
 		ox     = flag.Int64("ox", 28, "output cols")
 		fy     = flag.Int64("fy", 3, "filter rows")
 		fx     = flag.Int64("fx", 3, "filter cols")
-		budget = flag.Int("budget", 8000, "mapping search budget per architecture")
+		budget   = flag.Int("budget", 8000, "mapping search budget per architecture")
+		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
 	)
 	flag.Parse()
+
+	if *cacheDir != "" {
+		dir, err := mapper.EnableDiskCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("disk cache: %s\n", dir)
+	}
+	defer func() { fmt.Println(memo.Default.Counters()) }()
 
 	conv := workload.NewConv2D("conv", *b, *k, *c, *oy, *ox, *fy, *fx)
 	fmt.Printf("workload: %s (%.1f MMACs)\n\n", conv.String(), float64(conv.TotalMACs())/1e6)
@@ -55,7 +67,7 @@ func main() {
 		if !p.direct {
 			layer = workload.Im2Col(conv)
 		}
-		best, _, err := mapper.Best(&layer, p.hw, &mapper.Options{
+		best, _, err := mapper.BestCached(&layer, p.hw, &mapper.Options{
 			Spatial: p.spatial, BWAware: true, MaxCandidates: *budget,
 		})
 		if err != nil {

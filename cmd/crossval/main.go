@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crossval"
+	"repro/internal/mapper"
+	"repro/internal/memo"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -21,10 +23,21 @@ func main() {
 	var (
 		samples = flag.Int("samples", 50, "mappable samples to collect")
 		seed    = flag.Int64("seed", 20220318, "generator seed")
-		budget  = flag.Int("budget", 1000, "mapping search budget per sample")
-		verbose = flag.Bool("v", false, "print every sample")
+		budget   = flag.Int("budget", 1000, "mapping search budget per sample")
+		verbose  = flag.Bool("v", false, "print every sample")
+		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
 	)
 	flag.Parse()
+
+	if *cacheDir != "" {
+		dir, err := mapper.EnableDiskCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crossval:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("disk cache: %s\n", dir)
+	}
+	defer func() { fmt.Println(memo.Default.Counters()) }()
 
 	simulate := func(p *core.Problem) (int64, error) {
 		r, err := sim.Simulate(p, nil)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/loops"
 	"repro/internal/mapper"
 	"repro/internal/mapping"
+	"repro/internal/memo"
 	"repro/internal/report"
 	"repro/internal/roofline"
 	"repro/internal/sensitivity"
@@ -51,8 +52,18 @@ func main() {
 		csv      = flag.Bool("csv", false, "print the port table as CSV")
 		jsonOut  = flag.String("json", "", "write the evaluation summary as JSON to this file")
 		spatial  = flag.String("spatial", "", "override spatial unrolling, e.g. \"K 16 | B 8 | C 2\"")
+		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
 	)
 	flag.Parse()
+
+	if *cacheDir != "" {
+		dir, err := mapper.EnableDiskCache(*cacheDir)
+		if err != nil {
+			fatal("cachedir: %v", err)
+		}
+		fmt.Printf("disk cache: %s\n", dir)
+		defer func() { fmt.Println(memo.Default.Counters()) }()
+	}
 
 	var hw *arch.Arch
 	var sp loops.Nest
@@ -141,7 +152,7 @@ func main() {
 			hw.Name, hw.MACs, layer.String())
 	} else if *anneal {
 		var err error
-		best, err = mapper.Anneal(&layer, hw, &mapper.AnnealOptions{
+		best, err = mapper.AnnealCached(&layer, hw, &mapper.AnnealOptions{
 			Spatial: sp, BWAware: !*unaware, Iterations: *budget / 4,
 		})
 		if err != nil {
@@ -152,7 +163,7 @@ func main() {
 	} else {
 		var stats *mapper.Stats
 		var err error
-		best, stats, err = mapper.Best(&layer, hw, &mapper.Options{
+		best, stats, err = mapper.BestCached(&layer, hw, &mapper.Options{
 			Spatial: sp, BWAware: !*unaware, MaxCandidates: *budget,
 		})
 		if err != nil {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/loops"
 	"repro/internal/mapper"
+	"repro/internal/memo"
 	"repro/internal/network"
 	"repro/internal/workload"
 )
@@ -35,8 +36,20 @@ func main() {
 		planGB   = flag.Bool("plangb", false, "run the global-buffer allocation planner")
 		scaling  = flag.Bool("scaling", false, "print the 1..cores strong-scaling curve")
 		objName  = flag.String("objective", "latency", "per-layer mapping objective: latency|energy|edp")
+		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
 	)
 	flag.Parse()
+
+	if *cacheDir != "" {
+		dir, err := mapper.EnableDiskCache(*cacheDir)
+		if err != nil {
+			fatal("cachedir: %v", err)
+		}
+		fmt.Printf("disk cache: %s\n", dir)
+	}
+	// Surface the evaluation-cache traffic after all output (early returns
+	// included).
+	defer func() { fmt.Println(memo.Default.Counters()) }()
 
 	var hw *arch.Arch
 	var sp loops.Nest
@@ -90,8 +103,20 @@ func main() {
 		fatal("unknown objective %q", *objName)
 	}
 
-	fmt.Printf("network %s (%d layers, %.1f GMAC) on %s\n\n",
-		net.Name, len(net.Layers), float64(net.TotalMACs())/1e9, hw.Name)
+	unique, mult, _ := workload.DedupLayers(net.Layers)
+	fmt.Printf("network %s (%d layers, %d unique shapes, %.1f GMAC) on %s\n",
+		net.Name, len(net.Layers), len(unique), float64(net.TotalMACs())/1e9, hw.Name)
+	if len(unique) < len(net.Layers) {
+		most, at := 0, 0
+		for i, m := range mult {
+			if m > most {
+				most, at = m, i
+			}
+		}
+		fmt.Printf("repeated shapes share one mapping search each (top repeat: %s x%d)\n",
+			unique[at].Name, most)
+	}
+	fmt.Println()
 	opts := network.Options{
 		MaxCandidates: *budget,
 		Objective:     obj,

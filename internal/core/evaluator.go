@@ -33,6 +33,8 @@ type Evaluator struct {
 	rigid    []rigidEntry   // rigid-stall accumulation scratch
 	busy     []portBusyCC   // preload shared-port serialization scratch
 	sc       combineScratch // Eq. (1)/(2) scratch
+
+	opc opCache // Step-1 sub-result memo tables (opcache.go)
 }
 
 // NewEvaluator returns an empty evaluator (equivalent to new(Evaluator)).
@@ -501,22 +503,20 @@ func (ev *Evaluator) buildEndpoints(p *Problem) ([]*Endpoint, error) {
 	ev.epStore = ev.epStore[:0]
 	ev.eps = ev.eps[:0]
 
-	m := p.Mapping
-	st := p.Layer.Strides
 	prec := p.Layer.Precision
+	ev.opc.ensure(p)
 
 	for _, op := range loops.AllOperands {
 		chain := ev.chainMems(p.Arch, op)
+		if len(chain) < 2 {
+			continue
+		}
+		quants := ev.opc.quants(p, op, chain)
 		for l := 0; l+1 < len(chain); l++ {
 			lower, upper := chain[l], chain[l+1]
-			memData := m.MemData(op, l, st)
-			memCC := m.MemCC(op, l)
-			z := m.Periods(op, l)
-			topRun := int64(1)
-			if !lower.DoubleBuffered {
-				topRun = m.TopReuseRun(op, l)
-			}
-			if memCC%topRun != 0 {
+			q := &quants[l]
+			memData, memCC, z, topRun := q.memData, q.memCC, q.z, q.topRun
+			if q.bad {
 				return nil, fmt.Errorf("core: %s level %d: top reuse run %d does not divide Mem_CC %d", op, l, topRun, memCC)
 			}
 			xReq := memCC / topRun
@@ -557,7 +557,7 @@ func (ev *Evaluator) buildEndpoints(p *Problem) ([]*Endpoint, error) {
 			}
 
 			if op == loops.O {
-				tr := m.OutputTrafficAt(l)
+				tr := q.traffic
 				// Drain: read at the lower memory, write at the upper.
 				if _, err := mk(lower, false, Drain, tr.WriteUps); err != nil {
 					return nil, err

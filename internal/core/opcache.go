@@ -1,0 +1,144 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+// Step-1 sub-result cache: an operand's DTL quantities at a memory level —
+// Mem_DATA, Mem_CC, Z, the Table-I top reuse run and the psum traffic split
+// — depend only on that operand's per-level loop content, NOT on how the
+// loops are ordered within a level (every quantity is a product over the
+// level's dims, except the top reuse run, which the cache key carries
+// explicitly). Sibling nests in a mapping search permute loops heavily while
+// reproducing the same per-level content, so a search-lived cache keyed by
+// the canonical per-level encoding skips the Mem_DATA tile resolution (the
+// sliding-window arithmetic of TileElems) and the traffic split for the
+// vast majority of candidates.
+//
+// The cache is scoped to one (layer, arch, spatial unrolling) triple —
+// exactly one mapping search — and resets itself when any of the three
+// changes. Like Evaluator.chainMems it keys on pointer identity for the
+// layer and arch: holding the pointer keeps the object alive, so identity
+// is sound unless a caller mutates a Layer/Arch mid-search (unsupported
+// throughout this repository).
+//
+// Cached values are exact integers, so a cache hit is bit-identical to a
+// recomputation by construction (asserted in TestOpCacheBitIdentical).
+
+// levelQuant is one interface level's cached Step-1 quantities.
+type levelQuant struct {
+	memData int64 // Mem_DATA: resident elements at the level
+	memCC   int64 // Mem_CC: turnaround cycles
+	z       int64 // Z: turnarounds over the whole layer
+	topRun  int64 // effective Table-I top reuse run (1 when double-buffered)
+	traffic mapping.OutputTraffic
+	bad     bool // topRun does not divide memCC (model error)
+}
+
+// opCache holds the per-operand memo tables of one Evaluator. Not safe for
+// concurrent use, like the Evaluator that owns it.
+type opCache struct {
+	layer   *workload.Layer
+	arch    *arch.Arch
+	spatial [loops.NumDims]int64
+
+	m      [loops.NumOperands]map[string][]levelQuant
+	keyBuf []byte
+	qBuf   []levelQuant // scratch for building entries before interning
+}
+
+// opCacheMaxEntries bounds each operand's table; a full table is dropped
+// whole (searches revisit recent shapes, so coarse eviction is fine).
+const opCacheMaxEntries = 1 << 13
+
+// ensure re-scopes the cache to problem p, dropping all entries when the
+// layer, arch or spatial unrolling changed since the last evaluation.
+func (c *opCache) ensure(p *Problem) {
+	sp := p.Mapping.Spatial.DimProduct()
+	if c.layer == p.Layer && c.arch == p.Arch && c.spatial == sp {
+		return
+	}
+	c.layer, c.arch, c.spatial = p.Layer, p.Arch, sp
+	for op := range c.m {
+		c.m[op] = nil
+	}
+}
+
+// quants returns the cached Step-1 quantities of operand op for the current
+// mapping, computing and interning them on a miss. The returned slice has
+// one entry per interface level (len(chain)-1) and is owned by the cache:
+// callers must treat it as read-only, and it is only valid until the next
+// quants call (a table drop may release it).
+func (c *opCache) quants(p *Problem, op loops.Operand, chain []*arch.Memory) []levelQuant {
+	m := p.Mapping
+	levels := len(chain)
+
+	// Canonical key: per level (ALL levels, so the above-products of every
+	// interface are pinned) the non-trivial per-dim products of the level's
+	// loop slice, plus each interface level's effective top reuse run.
+	key := c.keyBuf[:0]
+	var tmp [binary.MaxVarintLen64]byte
+	for l := 0; l < levels; l++ {
+		nest := m.LevelNest(op, l)
+		var dims [loops.NumDims]int64
+		for i := range dims {
+			dims[i] = 1
+		}
+		for _, lp := range nest {
+			dims[lp.Dim] *= lp.Size
+		}
+		for d, v := range dims {
+			if v != 1 {
+				key = append(key, byte(d))
+				n := binary.PutUvarint(tmp[:], uint64(v))
+				key = append(key, tmp[:n]...)
+			}
+		}
+		key = append(key, 0xFF) // level terminator
+		if l < levels-1 && !chain[l].DoubleBuffered {
+			n := binary.PutUvarint(tmp[:], uint64(nest.TopReuseRun(op)))
+			key = append(key, tmp[:n]...)
+		}
+	}
+	c.keyBuf = key
+
+	if q, ok := c.m[op][string(key)]; ok {
+		return q
+	}
+
+	st := p.Layer.Strides
+	if cap(c.qBuf) < levels-1 {
+		c.qBuf = make([]levelQuant, levels-1)
+	}
+	q := c.qBuf[:levels-1]
+	for l := 0; l+1 < levels; l++ {
+		lq := &q[l]
+		lq.memData = m.MemData(op, l, st)
+		lq.memCC = m.MemCC(op, l)
+		lq.z = m.Periods(op, l)
+		lq.topRun = 1
+		if !chain[l].DoubleBuffered {
+			lq.topRun = m.TopReuseRun(op, l)
+		}
+		lq.bad = lq.topRun == 0 || lq.memCC%lq.topRun != 0
+		lq.traffic = mapping.OutputTraffic{}
+		if op == loops.O {
+			lq.traffic = m.OutputTrafficAt(l)
+		}
+	}
+
+	if c.m[op] == nil {
+		c.m[op] = make(map[string][]levelQuant)
+	} else if len(c.m[op]) >= opCacheMaxEntries {
+		c.m[op] = make(map[string][]levelQuant)
+	}
+	stored := make([]levelQuant, len(q))
+	copy(stored, q)
+	c.m[op][string(key)] = stored
+	return stored
+}

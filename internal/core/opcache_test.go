@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+// permute returns all permutations of n (small) in a deterministic order.
+func permute(n loops.Nest) []loops.Nest {
+	if len(n) <= 1 {
+		return []loops.Nest{n.Clone()}
+	}
+	var out []loops.Nest
+	for i := range n {
+		rest := make(loops.Nest, 0, len(n)-1)
+		rest = append(rest, n[:i]...)
+		rest = append(rest, n[i+1:]...)
+		for _, p := range permute(rest) {
+			out = append(out, append(loops.Nest{n[i]}, p...))
+		}
+	}
+	return out
+}
+
+// TestOpCacheBitIdentical: a shared Evaluator (whose Step-1 op-cache stays
+// warm across calls) must produce bit-identical results to a throwaway
+// Evaluator per call, over mapping permutations engineered to hit the cache.
+func TestOpCacheBitIdentical(t *testing.T) {
+	l := workload.NewConv2D("c", 1, 4, 2, 4, 4, 3, 3)
+	a := microArch(4, 37, 53, 29, false)
+
+	base := loops.Nest{
+		{Dim: loops.C, Size: 2}, {Dim: loops.OX, Size: 4},
+		{Dim: loops.OY, Size: 4}, {Dim: loops.FX, Size: 3}, {Dim: loops.FY, Size: 3},
+	}
+	perms := permute(base)
+	if len(perms) != 120 {
+		t.Fatalf("got %d permutations", len(perms))
+	}
+
+	shared := NewEvaluator()
+	evaluated := 0
+	for _, tmp := range perms {
+		for split := 0; split <= len(tmp); split++ {
+			m := &mapping.Mapping{
+				Spatial:  loops.Nest{{Dim: loops.K, Size: 4}},
+				Temporal: tmp,
+			}
+			for _, op := range loops.AllOperands {
+				m.Bound[op] = []int{split, len(tmp)}
+			}
+			p := &Problem{Layer: &l, Arch: a, Mapping: m}
+			if err := m.Validate(&l, a); err != nil {
+				t.Fatalf("mapping invalid: %v", err)
+			}
+
+			want, err1 := Evaluate(p) // throwaway evaluator: never cached
+			got, err2 := shared.Evaluate(p)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error mismatch: fresh=%v shared=%v", err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			evaluated++
+			if got.CCTotal != want.CCTotal || got.SSOverall != want.SSOverall ||
+				got.Preload != want.Preload || got.Offload != want.Offload ||
+				got.SSRaw != want.SSRaw || got.CCSpatial != want.CCSpatial {
+				t.Fatalf("split %d temporal %v:\n shared CCTotal=%v SS=%v pre=%v post=%v\n fresh  CCTotal=%v SS=%v pre=%v post=%v",
+					split, tmp, got.CCTotal, got.SSOverall, got.Preload, got.Offload,
+					want.CCTotal, want.SSOverall, want.Preload, want.Offload)
+			}
+			if len(got.Endpoints) != len(want.Endpoints) {
+				t.Fatalf("endpoint count %d != %d", len(got.Endpoints), len(want.Endpoints))
+			}
+			for i := range got.Endpoints {
+				g, w := got.Endpoints[i], want.Endpoints[i]
+				if g.MemData != w.MemData || g.MemCC != w.MemCC || g.Z != w.Z ||
+					g.TopRun != w.TopRun || g.XReq != w.XReq || g.XReal != w.XReal ||
+					g.SSu != w.SSu || g.Window != w.Window {
+					t.Fatalf("endpoint %d differs:\n shared %+v\n fresh  %+v", i, *g, *w)
+				}
+			}
+		}
+	}
+	if evaluated < 300 {
+		t.Fatalf("only %d cases evaluated", evaluated)
+	}
+
+	// The cache must have deduplicated across within-level permutations:
+	// far fewer interned keys than evaluations.
+	interned := 0
+	for op := range shared.opc.m {
+		interned += len(shared.opc.m[op])
+	}
+	if interned == 0 || interned >= evaluated {
+		t.Fatalf("op-cache interned %d keys over %d evaluations — no reuse", interned, evaluated)
+	}
+	t.Logf("op-cache: %d interned keys over %d evaluations", interned, evaluated)
+}
+
+// TestOpCacheRescope: changing the layer, arch or spatial nest between calls
+// must invalidate the cache (and still give fresh-identical results).
+func TestOpCacheRescope(t *testing.T) {
+	shared := NewEvaluator()
+	layers := []workload.Layer{
+		workload.NewMatMul("m1", 2, 4, 8),
+		workload.NewMatMul("m2", 4, 4, 8),
+	}
+	archs := []*struct{ regRW int64 }{{16}, {64}}
+	for _, la := range layers {
+		la := la
+		for _, ac := range archs {
+			a := microArch(4, ac.regRW, 53, 29, false)
+			for _, spK := range []int64{2, 4} {
+				tK := int64(4) / spK * (la.Dim(loops.K) / 4)
+				tmp := loops.Nest{{Dim: loops.C, Size: 8}, {Dim: loops.B, Size: la.Dim(loops.B)}}
+				if tK > 1 {
+					tmp = append(tmp, loops.Loop{Dim: loops.K, Size: tK})
+				}
+				m := &mapping.Mapping{
+					Spatial:  loops.Nest{{Dim: loops.K, Size: spK}},
+					Temporal: tmp,
+				}
+				for _, op := range loops.AllOperands {
+					m.Bound[op] = []int{1, len(tmp)}
+				}
+				p := &Problem{Layer: &la, Arch: a, Mapping: m}
+				if err := m.Validate(&la, a); err != nil {
+					t.Fatalf("mapping invalid: %v", err)
+				}
+				want, err1 := Evaluate(p)
+				got, err2 := shared.Evaluate(p)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("eval: %v / %v", err1, err2)
+				}
+				if got.CCTotal != want.CCTotal || got.SSOverall != want.SSOverall {
+					t.Fatalf("layer %s reg %d spatial K%d: shared %v != fresh %v",
+						la.Name, ac.regRW, spK, got.CCTotal, want.CCTotal)
+				}
+			}
+		}
+	}
+}

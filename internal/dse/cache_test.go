@@ -1,0 +1,60 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/memo"
+)
+
+// smallConfig is a fast sweep slice for the equivalence test.
+func smallConfig(bwAware bool) *Config {
+	cfg := DefaultConfig(128, bwAware)
+	cfg.Arrays = cfg.Arrays[:2]
+	cfg.RegMults = []int64{2, 4}
+	cfg.WLBKiB = []int64{16}
+	cfg.ILBKiB = []int64{8}
+	cfg.MaxCandidates = 150
+	return cfg
+}
+
+// TestSweepCachedMatchesUncached: sweep results through the memo cache are
+// exactly equal to an uncached sweep, and a repeated sweep (fresh Arch
+// values, same content) is served from memory.
+func TestSweepCachedMatchesUncached(t *testing.T) {
+	memo.Default.Reset()
+	cfg := smallConfig(true)
+
+	cached, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := memo.Default.Counters().Hits()
+	repeat, err := Sweep(cfg) // rebuilds every Arch; content-keyed -> all hits
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memo.Default.Counters().Hits()-h0 < int64(len(repeat)) {
+		t.Fatalf("repeat sweep hit %d times, want >= %d",
+			memo.Default.Counters().Hits()-h0, len(repeat))
+	}
+
+	memo.Default.SetEnabled(false)
+	defer memo.Default.SetEnabled(true)
+	plain, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(cached) != len(plain) || len(repeat) != len(plain) {
+		t.Fatalf("point counts differ: %d / %d / %d", len(cached), len(repeat), len(plain))
+	}
+	for i := range plain {
+		for name, pts := range map[string][]Point{"cached": cached, "repeat": repeat} {
+			c, p := pts[i], plain[i]
+			if c.Valid != p.Valid || c.Latency != p.Latency || c.Areamm2 != p.Areamm2 || c.Mapping != p.Mapping {
+				t.Fatalf("%s point %d (%s): latency %v != %v, mapping %q != %q",
+					name, i, p.Arch.Name, c.Latency, p.Latency, c.Mapping, p.Mapping)
+			}
+		}
+	}
+}

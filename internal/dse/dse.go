@@ -214,7 +214,10 @@ func Sweep(cfg *Config) ([]Point, error) {
 			Areamm2: am.Arch(a, "GB"),
 		}
 		layer := cfg.Layer
-		best, _, err := mapper.Best(&layer, a, &mapper.Options{
+		// Cached search: sweep grids re-visit (arch, layer) points across
+		// panels and CLI invocations; the fingerprint is content-addressed,
+		// so each freshly built (but structurally identical) Arch hits.
+		best, _, err := mapper.BestCached(&layer, a, &mapper.Options{
 			Spatial:       tk.ac.Spatial,
 			BWAware:       cfg.BWAware,
 			Pow2Splits:    true,

@@ -54,7 +54,7 @@ func Case2(opt *Case2Options) ([]Case2Row, error) {
 	var rows []Case2Row
 	for _, l := range workload.Case2Sweep() {
 		layer := l
-		best, _, err := mapper.Best(&layer, hw, &mapper.Options{
+		best, _, err := mapper.BestCached(&layer, hw, &mapper.Options{
 			Spatial: sp, BWAware: true, MaxCandidates: maxCand,
 		})
 		if err != nil {

@@ -47,7 +47,7 @@ func Case2Grid(extents []int64, maxCandidates int) ([]GridCell, error) {
 		l := workload.NewMatMul(
 			fmt.Sprintf("(%d,%d,%d)", cell.B, cell.K, cell.C),
 			cell.B, cell.K, cell.C)
-		best, _, err := mapper.Best(&l, hw, &mapper.Options{
+		best, _, err := mapper.BestCached(&l, hw, &mapper.Options{
 			Spatial: sp, BWAware: true, Pow2Splits: true,
 			MaxCandidates: maxCandidates,
 		})

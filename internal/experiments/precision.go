@@ -40,7 +40,7 @@ func PrecisionSweep(maxCandidates int) ([]PrecisionRow, error) {
 	for _, prec := range configs {
 		l := workload.NewMatMul(fmt.Sprintf("w%d i%d o%d", prec.W, prec.I, prec.O), 128, 128, 8)
 		l.Precision = prec
-		best, _, err := mapper.Best(&l, hw, &mapper.Options{
+		best, _, err := mapper.BestCached(&l, hw, &mapper.Options{
 			Spatial: sp, BWAware: true, MaxCandidates: maxCandidates,
 		})
 		if err != nil {

@@ -1,0 +1,239 @@
+package mapper
+
+// Content-addressed memoization of whole mapping searches. A search is a
+// pure function of (layer shape, architecture, search options) — PR 1 made
+// the engine bit-deterministic for any worker count — so its result can be
+// keyed by a canonical fingerprint and shared: across the repeated layer
+// shapes of a real network (network.Evaluate), across the re-visited grid
+// points of a DSE sweep, across annealing restarts, and (optionally, via the
+// on-disk store) across CLI invocations.
+//
+// Two option fields are deliberately EXCLUDED from the key: Workers and
+// NoPrune. Both steer how the engine schedules work, not what it returns —
+// the selected mapping, score and exact Stats counters are identical for any
+// setting (Stats.Pruned, the only trajectory-dependent counter, is
+// informational; a cached result reports the pruning of the run that
+// populated the cache).
+//
+// Cached *Candidate values are shared between every caller with the same
+// key and MUST be treated as immutable; Stats are returned as per-call
+// copies. Because the layer NAME is not part of the key, a "no valid
+// mapping" outcome is re-reported under each caller's own layer name.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/memo"
+	"repro/internal/workload"
+)
+
+// diskFormatVersion tags the on-disk payload layout AND the model arithmetic
+// feeding it. Bump on any change to the gob payloads below, to the search
+// space enumeration, or to the latency/energy arithmetic — stale files then
+// read as misses.
+const diskFormatVersion = 1
+
+var (
+	diskMu    sync.Mutex
+	diskStore *memo.Disk
+)
+
+// EnableDiskCache opens the on-disk search cache rooted at the resolved
+// directory ("auto" selects <user cache dir>/repro-latmodel) and routes all
+// subsequent cached searches through it. Returns the resolved directory.
+func EnableDiskCache(dirFlag string) (string, error) {
+	dir, err := memo.ResolveDir(dirFlag)
+	if err != nil {
+		return "", err
+	}
+	d, err := memo.OpenDisk(dir, diskFormatVersion)
+	if err != nil {
+		return "", err
+	}
+	diskMu.Lock()
+	diskStore = d
+	diskMu.Unlock()
+	return dir, nil
+}
+
+// DisableDiskCache detaches the on-disk store (tests).
+func DisableDiskCache() {
+	diskMu.Lock()
+	diskStore = nil
+	diskMu.Unlock()
+}
+
+func getDisk() *memo.Disk {
+	diskMu.Lock()
+	defer diskMu.Unlock()
+	return diskStore
+}
+
+// searchResult is the cached value of one Best search. cand is nil when the
+// search completed but found no valid mapping.
+type searchResult struct {
+	cand  *Candidate
+	stats Stats
+}
+
+// bestKey fingerprints everything a Best search's result depends on.
+// o must already be normalized (defaults filled in), so that explicit and
+// defaulted options key identically.
+func bestKey(l *workload.Layer, a *arch.Arch, o *Options) memo.Key {
+	var b memo.Builder
+	b.Str("mapper.Best/1")
+	b.Layer(l)
+	b.Arch(a)
+	b.Nest(o.Spatial)
+	b.Int(int64(o.MaxSplitsPerDim))
+	b.Bool(o.Pow2Splits)
+	b.Int(int64(o.MaxCandidates))
+	b.Uint(uint64(o.Objective))
+	b.Bool(o.BWAware)
+	b.EnergyTable(o.EnergyTable)
+	return b.Key()
+}
+
+// diskSearch is the on-disk payload of a successful search: the winning
+// temporal nest plus the exact statistics. The Candidate itself is NOT
+// stored — it is rebuilt by re-running the deterministic materialization
+// path (evaluate) on the stored nest, which reproduces the in-memory result
+// bit for bit and re-validates the nest against the live layer/arch (a
+// corrupt or stale payload degrades to a miss).
+type diskSearch struct {
+	Temporal loops.Nest
+	Stats    Stats
+}
+
+func encodeSearch(c *Candidate, st *Stats) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(diskSearch{Temporal: c.Mapping.Temporal, Stats: *st}); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+func decodeSearch(l *workload.Layer, a *arch.Arch, o *Options, blob []byte) *searchResult {
+	var ds diskSearch
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&ds); err != nil {
+		return nil
+	}
+	c := evaluate(l, a, o, ds.Temporal)
+	if c == nil {
+		return nil
+	}
+	return &searchResult{cand: c, stats: ds.Stats}
+}
+
+// BestCached is Best behind the process-wide memo cache: the first call for
+// a (layer shape, arch, options) key runs the search, concurrent calls for
+// the same key join it in flight (singleflight), and later calls are served
+// from memory — or from the on-disk store when EnableDiskCache is active.
+// Results are bit-identical to Best. The returned Candidate is shared and
+// must not be mutated; the Stats are a private copy.
+func BestCached(l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Stats, error) {
+	o := opt.normalized()
+	k := bestKey(l, a, &o)
+	v, err := memo.Default.Do(k, func() (any, error) {
+		if d := getDisk(); d != nil {
+			if blob, ok := d.Get(k); ok {
+				if res := decodeSearch(l, a, &o, blob); res != nil {
+					memo.Default.Counters().NoteDiskHit()
+					return res, nil
+				}
+			}
+		}
+		best, _, stats, err := runSearch(l, a, &o, modeBest)
+		if err != nil {
+			return nil, err
+		}
+		res := &searchResult{cand: best, stats: *stats}
+		if best != nil {
+			if d := getDisk(); d != nil {
+				if blob := encodeSearch(best, stats); blob != nil {
+					d.Put(k, blob)
+				}
+			}
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := v.(*searchResult)
+	st := res.stats
+	if res.cand == nil {
+		return nil, &st, fmt.Errorf("mapper: no valid mapping for layer %s on arch %s (of %d nests)", l.Name, a.Name, st.NestsGenerated)
+	}
+	return res.cand, &st, nil
+}
+
+// annealKey fingerprints an Anneal run: the annealer is seeded and its
+// chains are merged deterministically, so the result is a pure function of
+// these fields.
+func annealKey(l *workload.Layer, a *arch.Arch, o *AnnealOptions) memo.Key {
+	// Mirror Anneal's defaulting so explicit and defaulted options key
+	// identically.
+	iters, restarts, seed := o.Iterations, o.Restarts, o.Seed
+	if iters <= 0 {
+		iters = 4000
+	}
+	if restarts <= 0 {
+		restarts = 3
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	var b memo.Builder
+	b.Str("mapper.Anneal/1")
+	b.Layer(l)
+	b.Arch(a)
+	b.Nest(o.Spatial)
+	b.Int(int64(iters))
+	b.Int(int64(restarts))
+	b.Int(seed)
+	b.Float(o.InitialTemp)
+	b.Uint(uint64(o.Objective))
+	b.Bool(o.BWAware)
+	return b.Key()
+}
+
+// AnnealCached is Anneal behind the memo cache (and the disk store when
+// enabled), with the same determinism contract as BestCached.
+func AnnealCached(l *workload.Layer, a *arch.Arch, opt *AnnealOptions) (*Candidate, error) {
+	if opt == nil {
+		return Anneal(l, a, opt) // let Anneal report the error
+	}
+	k := annealKey(l, a, opt)
+	evalOpts := &Options{Spatial: opt.Spatial, BWAware: opt.BWAware, Objective: opt.Objective}
+	v, err := memo.Default.Do(k, func() (any, error) {
+		if d := getDisk(); d != nil {
+			if blob, ok := d.Get(k); ok {
+				if res := decodeSearch(l, a, evalOpts, blob); res != nil {
+					memo.Default.Counters().NoteDiskHit()
+					return res, nil
+				}
+			}
+		}
+		c, err := Anneal(l, a, opt)
+		if err != nil {
+			return nil, err
+		}
+		if d := getDisk(); d != nil {
+			var st Stats
+			if blob := encodeSearch(c, &st); blob != nil {
+				d.Put(k, blob)
+			}
+		}
+		return &searchResult{cand: c}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*searchResult).cand, nil
+}

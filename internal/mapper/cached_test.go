@@ -1,0 +1,248 @@
+package mapper
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/memo"
+	"repro/internal/workload"
+)
+
+// sameCandidate asserts exact (bitwise) equality of the fields callers
+// consume: the temporal nest, the full-model total and the energy.
+func sameCandidate(t *testing.T, tag string, got, want *Candidate) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: nil candidate (got=%v want=%v)", tag, got != nil, want != nil)
+	}
+	if got.Mapping.Temporal.String() != want.Mapping.Temporal.String() {
+		t.Fatalf("%s: temporal %s != %s", tag, got.Mapping.Temporal, want.Mapping.Temporal)
+	}
+	if got.Result.CCTotal != want.Result.CCTotal || got.Result.SSOverall != want.Result.SSOverall ||
+		got.Result.Preload != want.Result.Preload || got.Result.Offload != want.Result.Offload {
+		t.Fatalf("%s: result differs: CCTotal %v != %v", tag, got.Result.CCTotal, want.Result.CCTotal)
+	}
+	if got.EnergyPJ != want.EnergyPJ {
+		t.Fatalf("%s: energy %v != %v", tag, got.EnergyPJ, want.EnergyPJ)
+	}
+}
+
+// TestBestCachedIdentity: BestCached must return bit-identical results to
+// Best — on the miss, on the memory hit, and under a renamed (same-shape)
+// layer — and hit the cache for the repeats.
+func TestBestCachedIdentity(t *testing.T) {
+	memo.Default.Reset()
+	l := workload.NewMatMul("m", 16, 32, 32)
+	a := arch.CaseStudy()
+
+	want, wantStats, err := Best(&l, a, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h0 := memo.Default.Counters().Hits()
+	c1, s1, err := BestCached(&l, a, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCandidate(t, "miss", c1, want)
+	if *s1 != *wantStats {
+		t.Fatalf("stats differ: %+v != %+v", *s1, *wantStats)
+	}
+
+	c2, s2, err := BestCached(&l, a, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCandidate(t, "hit", c2, want)
+	if c2 != c1 {
+		t.Fatal("memory hit did not return the shared candidate")
+	}
+	if s2 == s1 {
+		t.Fatal("stats must be per-call copies")
+	}
+
+	// A renamed layer of the same shape must hit the same entry.
+	renamed := workload.NewMatMul("other-name", 16, 32, 32)
+	c3, _, err := BestCached(&renamed, a, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 != c1 {
+		t.Fatal("same-shape layer missed the cache")
+	}
+	if memo.Default.Counters().Hits()-h0 < 2 {
+		t.Fatalf("expected >=2 hits, counters: %s", memo.Default.Counters())
+	}
+
+	// Changed options must NOT share the entry.
+	o2 := opts()
+	o2.Pow2Splits = true
+	c4, _, err := BestCached(&l, a, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4 == c1 {
+		t.Fatal("different options shared a cache entry")
+	}
+}
+
+// TestBestCachedWorkersExcluded: Workers and NoPrune steer scheduling, not
+// the result, and are excluded from the key.
+func TestBestCachedWorkersExcluded(t *testing.T) {
+	memo.Default.Reset()
+	l := workload.NewMatMul("m", 16, 32, 32)
+	a := arch.CaseStudy()
+	o1 := opts()
+	o1.Workers = 1
+	o2 := opts()
+	o2.Workers = 4
+	o2.NoPrune = true
+	c1, _, err := BestCached(&l, a, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := BestCached(&l, a, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("Workers/NoPrune changed the cache key")
+	}
+}
+
+// TestBestCachedConcurrent: hammer one key from many goroutines (run with
+// -race); every caller must see the one shared candidate.
+func TestBestCachedConcurrent(t *testing.T) {
+	memo.Default.Reset()
+	l := workload.NewMatMul("m", 16, 32, 32)
+	a := arch.CaseStudy()
+
+	const goroutines = 8
+	cands := make([]*Candidate, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, _, err := BestCached(&l, a, opts())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cands[i] = c
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if cands[i] != cands[0] {
+			t.Fatalf("goroutine %d got a different candidate", i)
+		}
+	}
+	cnt := memo.Default.Counters()
+	if cnt.Misses() < 1 {
+		t.Fatalf("no miss recorded: %s", cnt)
+	}
+}
+
+// TestBestCachedNoValidMapping: the no-valid-mapping outcome is cached and
+// re-reported (with stats) on every call.
+func TestBestCachedNoValidMapping(t *testing.T) {
+	memo.Default.Reset()
+	a := arch.CaseStudy()
+	a.MemoryByName("W-Reg").CapacityBits = 8
+	l := workload.NewMatMul("m", 16, 32, 32)
+	for i := 0; i < 2; i++ {
+		c, st, err := BestCached(&l, a, opts())
+		if err == nil || c != nil {
+			t.Fatal("expected no-valid-mapping error")
+		}
+		if st == nil || st.NestsGenerated == 0 {
+			t.Fatalf("round %d: missing stats alongside the error", i)
+		}
+	}
+}
+
+// TestDiskCacheWarmStart: a fresh in-memory cache warmed from disk must
+// reproduce the original result bit for bit; a version/arch change must
+// degrade to a miss, not a wrong hit.
+func TestDiskCacheWarmStart(t *testing.T) {
+	memo.Default.Reset()
+	defer DisableDiskCache()
+	dir := t.TempDir()
+	if _, err := EnableDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	l := workload.NewMatMul("m", 16, 32, 32)
+	a := arch.CaseStudy()
+	want, wantStats, err := BestCached(&l, a, opts()) // populates disk
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memo.Default.Reset() // cold memory, warm disk
+	d0 := memo.Default.Counters().DiskHits()
+	got, gotStats, err := BestCached(&l, a, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCandidate(t, "disk", got, want)
+	if *gotStats != *wantStats {
+		t.Fatalf("disk stats differ: %+v != %+v", *gotStats, *wantStats)
+	}
+	if memo.Default.Counters().DiskHits() != d0+1 {
+		t.Fatalf("disk hit not counted: %s", memo.Default.Counters())
+	}
+
+	// A different arch must not be served by the stored file (Reset keeps
+	// counters, so compare against the running baseline).
+	memo.Default.Reset()
+	d1 := memo.Default.Counters().DiskHits()
+	a2 := a.Clone()
+	a2.MemoryByName("GB").Ports[0].BWBits *= 2
+	if _, _, err := BestCached(&l, a2, opts()); err != nil {
+		t.Fatal(err)
+	}
+	if memo.Default.Counters().DiskHits() != d1 {
+		t.Fatal("changed arch served from disk")
+	}
+}
+
+// TestAnnealCachedIdentity: AnnealCached equals Anneal exactly and hits on
+// repeats.
+func TestAnnealCachedIdentity(t *testing.T) {
+	memo.Default.Reset()
+	l := workload.NewMatMul("m", 16, 32, 32)
+	a := arch.CaseStudy()
+	ao := &AnnealOptions{Spatial: arch.CaseStudySpatial(), BWAware: true, Iterations: 200, Restarts: 2, Seed: 7}
+
+	want, err := Anneal(&l, a, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := AnnealCached(&l, a, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCandidate(t, "anneal miss", c1, want)
+	c2, err := AnnealCached(&l, a, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("anneal repeat missed the cache")
+	}
+
+	// A different seed is a different key.
+	ao2 := *ao
+	ao2.Seed = 8
+	c3, err := AnnealCached(&l, a, &ao2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 == c1 {
+		t.Fatal("different seed shared a cache entry")
+	}
+}

@@ -116,7 +116,7 @@ func runSearch(l *workload.Layer, a *arch.Arch, o *Options, mode searchMode) (*C
 			ws[0].process(seq, nest)
 		})
 	} else {
-		ch := make(chan []job, workers)
+		ch := make(chan *jobBatch, workers)
 		var wg sync.WaitGroup
 		for _, w := range ws[1:] {
 			wg.Add(1)
@@ -126,26 +126,26 @@ func runSearch(l *workload.Layer, a *arch.Arch, o *Options, mode searchMode) (*C
 			}(w)
 		}
 		go func() {
-			var jobs []job
-			var slab []loops.Loop
+			var cur *jobBatch
 			flush := func() {
-				if len(jobs) > 0 {
-					ch <- jobs
+				if cur != nil && len(cur.jobs) > 0 {
+					ch <- cur
 				}
-				jobs, slab = nil, nil
+				cur = nil
 			}
 			e.generate(stats, func(seq int64, nest loops.Nest) {
-				if jobs == nil {
-					jobs = make([]job, 0, batchSize)
-					slab = make([]loops.Loop, 0, batchSize*8)
+				if cur == nil {
+					cur = batchPool.Get().(*jobBatch)
+					cur.jobs = cur.jobs[:0]
+					cur.slab = cur.slab[:0]
 				}
 				// Copy the generator's shared buffer into the batch slab.
 				// A slab regrow leaves earlier jobs pointing into the old
 				// array, which stays valid — the slices are read-only.
-				start := len(slab)
-				slab = append(slab, nest...)
-				jobs = append(jobs, job{seq: seq, nest: loops.Nest(slab[start:len(slab):len(slab)])})
-				if len(jobs) == batchSize {
+				start := len(cur.slab)
+				cur.slab = append(cur.slab, nest...)
+				cur.jobs = append(cur.jobs, job{seq: seq, nest: loops.Nest(cur.slab[start:len(cur.slab):len(cur.slab)])})
+				if len(cur.jobs) == batchSize {
 					flush()
 				}
 			})
@@ -167,6 +167,7 @@ func runSearch(l *workload.Layer, a *arch.Arch, o *Options, mode searchMode) (*C
 			best, bestScore, bestSeq = w.best, w.bestScore, w.bestSeq
 		}
 		all = append(all, w.all...)
+		w.release()
 	}
 	return best, all, stats, nil
 }
@@ -236,18 +237,30 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 	rec(0, nil)
 }
 
-// worker holds one evaluation lane's scratch: a reusable mapping (shared
-// read-only spatial nest, boundary storage reused across nests), resolved
-// memory chains, and a core.Evaluator whose internal buffers persist across
-// candidates. The reject path — bounds overflow, validation failure, prune
-// — allocates nothing.
+// workerScratch is the heavy, search-independent part of a worker's state:
+// resolved memory chains, boundary storage and a core.Evaluator whose
+// internal buffers (and Step-1 op-cache) persist across candidates. It is
+// recycled through scratchPool so that back-to-back searches — a network
+// sweep evaluating dozens of layers, a benchmark loop — stop re-growing the
+// evaluator buffers from zero on every Best call.
+type workerScratch struct {
+	chainArch *arch.Arch // architecture the chains were resolved for
+	chains    [loops.NumOperands][]*arch.Memory
+	store     [loops.NumOperands][]int
+	ev        core.Evaluator
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(workerScratch) }}
+
+// worker holds one evaluation lane: pooled scratch plus a reusable mapping
+// (shared read-only spatial nest, boundary storage reused across nests). The
+// reject path — bounds overflow, validation failure, prune — allocates
+// nothing.
 type worker struct {
-	e      *engine
-	m      mapping.Mapping
-	chains [loops.NumOperands][]*arch.Memory
-	store  [loops.NumOperands][]int
-	prob   core.Problem
-	ev     core.Evaluator
+	e    *engine
+	s    *workerScratch
+	m    mapping.Mapping
+	prob core.Problem
 
 	valid  int
 	pruned int
@@ -260,20 +273,42 @@ type worker struct {
 }
 
 func newWorker(e *engine) *worker {
-	w := &worker{e: e, bestScore: math.Inf(1), bestSeq: math.MaxInt64}
-	w.m.Spatial = e.o.Spatial
-	for _, op := range loops.AllOperands {
-		w.chains[op] = e.a.ChainMems(op)
+	w := &worker{e: e, s: scratchPool.Get().(*workerScratch), bestScore: math.Inf(1), bestSeq: math.MaxInt64}
+	if w.s.chainArch != e.a {
+		for _, op := range loops.AllOperands {
+			w.s.chains[op] = e.a.ChainMems(op)
+		}
+		w.s.chainArch = e.a
 	}
+	w.m.Spatial = e.o.Spatial
 	w.prob = core.Problem{Layer: e.l, Arch: e.a, Mapping: &w.m}
 	return w
 }
 
-func (w *worker) drain(ch <-chan []job) {
-	for jobs := range ch {
-		for _, j := range jobs {
+// release returns the worker's scratch to the pool. The worker must not be
+// used afterwards.
+func (w *worker) release() {
+	scratchPool.Put(w.s)
+	w.s = nil
+}
+
+// jobBatch is a recyclable slab of jobs: the nests of all jobs in a batch
+// are carved out of one shared loop slab, and the whole batch goes back to
+// batchPool once a worker has drained it (safe: evaluate clones any nest it
+// materializes, nothing else retains the slices).
+type jobBatch struct {
+	jobs []job
+	slab []loops.Loop
+}
+
+var batchPool = sync.Pool{New: func() any { return new(jobBatch) }}
+
+func (w *worker) drain(ch <-chan *jobBatch) {
+	for bt := range ch {
+		for _, j := range bt.jobs {
 			w.process(j.seq, j.nest)
 		}
+		batchPool.Put(bt)
 	}
 }
 
@@ -284,7 +319,7 @@ func (w *worker) process(seq int64, nest loops.Nest) {
 	e := w.e
 	o := e.o
 	w.m.Temporal = nest
-	if !assignBoundsIn(&w.m, e.l, &w.chains, &w.store) {
+	if !assignBoundsIn(&w.m, e.l, &w.s.chains, &w.s.store) {
 		return
 	}
 	if w.m.Validate(e.l, e.a) != nil {
@@ -316,20 +351,20 @@ func (w *worker) process(seq int64, nest loops.Nest) {
 	var score float64
 	if o.BWAware {
 		if e.prune {
-			lb := w.ev.LowerBound(&w.prob)
+			lb := w.s.ev.LowerBound(&w.prob)
 			if lb > e.loadBest() {
 				w.pruned++
 				return
 			}
 		}
-		s, err := w.ev.ScoreLatency(&w.prob)
+		s, err := w.s.ev.ScoreLatency(&w.prob)
 		if err != nil {
 			return
 		}
 		score = s
 	} else {
 		// The baseline model's CC_total IS the lower bound expression.
-		score = w.ev.LowerBound(&w.prob)
+		score = w.s.ev.LowerBound(&w.prob)
 	}
 	if w.better(score, seq) {
 		if c := evaluate(e.l, e.a, o, nest); c != nil {

@@ -1,0 +1,100 @@
+package memo
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Disk is a best-effort on-disk blob store keyed by Key, used to warm the
+// in-memory cache across CLI invocations. Every blob is written with the
+// store's version and the key's full encoding; Get verifies both, so a
+// stale-version file or a hash-collision file reads as a miss, never as a
+// wrong value. All failures (permissions, corruption, races between
+// processes) degrade to misses — the store is a cache, not a database.
+type Disk struct {
+	dir     string
+	version int
+}
+
+// diskBlob is the on-disk envelope.
+type diskBlob struct {
+	Version int
+	Enc     string
+	Blob    []byte
+}
+
+// OpenDisk creates (if needed) and returns a disk store rooted at dir.
+// version tags the value encoding: bump it whenever the cached value format
+// OR the model arithmetic changes, and old files are ignored.
+func OpenDisk(dir string, version int) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("memo: disk cache dir: %w", err)
+	}
+	return &Disk{dir: dir, version: version}, nil
+}
+
+// ResolveDir expands the conventional -cachedir flag value: "auto" maps to
+// <user cache dir>/repro-latmodel, anything else is used verbatim.
+func ResolveDir(flagVal string) (string, error) {
+	if flagVal != "auto" {
+		return flagVal, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("memo: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "repro-latmodel"), nil
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// path names the blob file for k. Distinct keys with equal hashes map to
+// the same file and evict each other — harmless, Get checks Enc.
+func (d *Disk) path(k Key) string {
+	return filepath.Join(d.dir, fmt.Sprintf("%016x.memo", k.Hash))
+}
+
+// Get loads the blob stored for k, or reports a miss.
+func (d *Disk) Get(k Key) ([]byte, bool) {
+	data, err := os.ReadFile(d.path(k))
+	if err != nil {
+		return nil, false
+	}
+	var blob diskBlob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&blob); err != nil {
+		return nil, false
+	}
+	if blob.Version != d.version || blob.Enc != k.Enc {
+		return nil, false
+	}
+	return blob.Blob, true
+}
+
+// Put stores blob for k (best effort: errors are swallowed). The file is
+// written to a temp name and renamed so concurrent readers never observe a
+// torn write.
+func (d *Disk) Put(k Key, blob []byte) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(diskBlob{Version: d.version, Enc: k.Enc, Blob: blob}); err != nil {
+		return
+	}
+	dst := d.path(k)
+	tmp, err := os.CreateTemp(d.dir, ".memo-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(buf.Bytes())
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, dst); err != nil {
+		os.Remove(name)
+	}
+}

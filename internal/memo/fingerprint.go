@@ -1,0 +1,178 @@
+package memo
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/energy"
+	"repro/internal/loops"
+	"repro/internal/workload"
+)
+
+// Key is a content-addressed cache key: the full canonical encoding of the
+// inputs plus its 64-bit FNV-1a hash. The hash picks a shard and names the
+// disk file; lookups always compare the full encoding, so the key is
+// collision-checked by construction — two distinct inputs can share a hash
+// (costing locality, never correctness) but never a Key.
+type Key struct {
+	Hash uint64
+	Enc  string
+}
+
+// FNV-1a 64-bit, as in hash/fnv, open-coded so Sum can run allocation-free
+// over the builder's buffer.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511627709
+)
+
+// fnv1a folds b into h.
+func fnv1a(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Builder accumulates a canonical binary encoding. Every field written is
+// length- or tag-delimited so that no two distinct input sequences produce
+// the same bytes. A zero Builder is ready to use; Reset allows reuse.
+type Builder struct {
+	buf []byte
+}
+
+// Reset clears the builder, keeping its buffer.
+func (b *Builder) Reset() { b.buf = b.buf[:0] }
+
+// Key finalizes the builder into a Key. The builder remains usable (and
+// unchanged); call Reset to start a new encoding.
+func (b *Builder) Key() Key {
+	return Key{Hash: fnv1a(fnvOffset64, b.buf), Enc: string(b.buf)}
+}
+
+// Int appends a signed integer (varint).
+func (b *Builder) Int(v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	b.buf = append(b.buf, tmp[:n]...)
+}
+
+// Uint appends an unsigned integer (uvarint).
+func (b *Builder) Uint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	b.buf = append(b.buf, tmp[:n]...)
+}
+
+// Bool appends a boolean.
+func (b *Builder) Bool(v bool) {
+	if v {
+		b.buf = append(b.buf, 1)
+	} else {
+		b.buf = append(b.buf, 0)
+	}
+}
+
+// Float appends a float64 by its IEEE-754 bits, so that every distinct
+// value (including -0 vs +0 and NaN payloads) encodes distinctly.
+func (b *Builder) Float(v float64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	b.buf = append(b.buf, tmp[:]...)
+}
+
+// Str appends a length-prefixed string.
+func (b *Builder) Str(s string) {
+	b.Uint(uint64(len(s)))
+	b.buf = append(b.buf, s...)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (b *Builder) Bytes(p []byte) {
+	b.Uint(uint64(len(p)))
+	b.buf = append(b.buf, p...)
+}
+
+// Layer appends the layer's canonical SHAPE encoding — kind, dims, strides,
+// precision; the name is deliberately excluded so that repeated shapes
+// (conv2_1 vs conv3_4 in a ResNet) address the same cache line. Nothing in
+// the models reads the name except error messages.
+func (b *Builder) Layer(l *workload.Layer) {
+	b.buf = append(b.buf, 'L')
+	sk := l.AppendShapeKey(nil)
+	b.Bytes(sk)
+}
+
+// Nest appends an ordered loop nest (order is semantic: innermost first).
+func (b *Builder) Nest(n loops.Nest) {
+	b.buf = append(b.buf, 'N')
+	b.Uint(uint64(len(n)))
+	for _, lp := range n {
+		b.Uint(uint64(lp.Dim))
+		b.Int(lp.Size)
+	}
+}
+
+// Arch appends the architecture's canonical encoding: everything the models
+// read — MAC count, stall-combination mode, every memory module (name,
+// capacity, buffering, served operands, ports, port assignments) and every
+// operand chain. Memory NAMES are included because they order the model's
+// deterministic float reductions and anchor the chains; the top-level
+// arch name is excluded (it is only used in reports), so structurally
+// identical variants share cache entries.
+func (b *Builder) Arch(a *arch.Arch) {
+	b.buf = append(b.buf, 'A')
+	b.Int(a.MACs)
+	b.Uint(uint64(a.Combine))
+	b.Uint(uint64(len(a.Memories)))
+	for _, m := range a.Memories {
+		b.Str(m.Name)
+		b.Int(m.CapacityBits)
+		b.Bool(m.DoubleBuffered)
+		b.Uint(uint64(len(m.Serves)))
+		for _, op := range m.Serves {
+			b.Uint(uint64(op))
+		}
+		b.Uint(uint64(len(m.Ports)))
+		for _, p := range m.Ports {
+			b.Uint(uint64(p.Dir))
+			b.Int(p.BWBits)
+		}
+		// PortOf in a deterministic order: served operands × {read, write}.
+		for _, op := range m.Serves {
+			for _, wr := range []bool{false, true} {
+				if idx, ok := m.PortOf[arch.Access{Operand: op, Write: wr}]; ok {
+					b.Int(int64(idx))
+				} else {
+					b.Int(-1)
+				}
+			}
+		}
+	}
+	for _, op := range loops.AllOperands {
+		chain := a.Chain[op]
+		b.Uint(uint64(len(chain)))
+		for _, name := range chain {
+			b.Str(name)
+		}
+	}
+}
+
+// EnergyTable appends an energy table (nil encodes as the default-table
+// marker: energy.Evaluate treats nil as Default7nm, so both must key
+// identically only if callers rely on that; encode the pointer state
+// explicitly instead to stay conservative).
+func (b *Builder) EnergyTable(t *energy.Table) {
+	if t == nil {
+		b.buf = append(b.buf, 'e')
+		return
+	}
+	b.buf = append(b.buf, 'E')
+	b.Float(t.MACpJ)
+	b.Float(t.RegPJPerBit)
+	b.Float(t.BasePJPerBit)
+	b.Float(t.SlopePJPerBit)
+	b.Float(t.WritePenalty)
+}

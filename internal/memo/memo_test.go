@@ -1,0 +1,281 @@
+package memo
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/energy"
+	"repro/internal/loops"
+	"repro/internal/workload"
+)
+
+func layerKey(l workload.Layer) Key {
+	var b Builder
+	b.Layer(&l)
+	return b.Key()
+}
+
+// TestLayerFingerprintDistinct: layers differing in any shape field get
+// distinct keys; the name is shape-irrelevant and must NOT change the key.
+func TestLayerFingerprintDistinct(t *testing.T) {
+	base := workload.NewConv2D("a", 1, 64, 32, 28, 28, 3, 3)
+	variants := []workload.Layer{
+		workload.NewConv2D("a", 1, 64, 32, 28, 28, 3, 1),
+		workload.NewConv2D("a", 1, 64, 32, 28, 27, 3, 3),
+		workload.NewConv2D("a", 2, 64, 32, 28, 28, 3, 3),
+		workload.NewPointwise("a", 1, 64, 32, 28, 28),
+		workload.NewMatMul("a", 1, 64, 32),
+	}
+	strided := base
+	strided.Strides = loops.Strides{SX: 2, SY: 2, DX: 1, DY: 1}
+	variants = append(variants, strided)
+	prec := base
+	prec.Precision = workload.Precision{W: 4, I: 4, O: 16}
+	variants = append(variants, prec)
+
+	bk := layerKey(base)
+	seen := map[string]string{bk.Enc: base.String()}
+	for _, v := range variants {
+		k := layerKey(v)
+		if prev, dup := seen[k.Enc]; dup {
+			t.Errorf("layer %v collides with %v", v.String(), prev)
+		}
+		seen[k.Enc] = v.String()
+	}
+
+	renamed := base
+	renamed.Name = "completely-different-name"
+	if layerKey(renamed) != bk {
+		t.Errorf("layer name changed the shape fingerprint")
+	}
+}
+
+// TestArchFingerprintDistinct: structural changes alter the key, renaming
+// the arch does not.
+func TestArchFingerprintDistinct(t *testing.T) {
+	archKey := func(a *arch.Arch) Key {
+		var b Builder
+		b.Arch(a)
+		return b.Key()
+	}
+	base := arch.CaseStudy()
+	bk := archKey(base)
+
+	seen := map[string]string{bk.Enc: "base"}
+	mutate := func(name string, f func(a *arch.Arch)) {
+		a := base.Clone()
+		f(a)
+		k := archKey(a)
+		if prev, dup := seen[k.Enc]; dup {
+			t.Errorf("arch variant %q collides with %q", name, prev)
+		}
+		seen[k.Enc] = name
+	}
+	mutate("capacity", func(a *arch.Arch) { a.MemoryByName("GB").CapacityBits *= 2 })
+	mutate("bw", func(a *arch.Arch) { a.MemoryByName("GB").Ports[0].BWBits /= 2 })
+	mutate("db", func(a *arch.Arch) {
+		m := a.Memories[0]
+		m.DoubleBuffered = !m.DoubleBuffered
+	})
+	mutate("macs", func(a *arch.Arch) { a.MACs *= 2 })
+	mutate("combine", func(a *arch.Arch) { a.Combine = arch.Sequential })
+
+	renamed := base.Clone()
+	renamed.Name = "other"
+	if archKey(renamed) != bk {
+		t.Errorf("arch name changed the fingerprint")
+	}
+}
+
+// TestBuilderDelimiting: adjacent fields must not be confusable ("ab"+"c"
+// vs "a"+"bc").
+func TestBuilderDelimiting(t *testing.T) {
+	var b1, b2 Builder
+	b1.Str("ab")
+	b1.Str("c")
+	b2.Str("a")
+	b2.Str("bc")
+	if b1.Key() == b2.Key() {
+		t.Fatal("length prefixing failed: ab|c == a|bc")
+	}
+	b1.Reset()
+	b2.Reset()
+	b1.EnergyTable(nil)
+	b2.EnergyTable(energy.Default7nm())
+	if b1.Key() == b2.Key() {
+		t.Fatal("nil energy table keys like the default table")
+	}
+}
+
+// TestCacheSingleflight: many goroutines asking for one key run the
+// computation exactly once and all observe its value. Run under -race.
+func TestCacheSingleflight(t *testing.T) {
+	c := New(0)
+	var b Builder
+	b.Str("the-key")
+	k := b.Key()
+
+	var computed atomic.Int64
+	release := make(chan struct{})
+	const goroutines = 16
+	var wg sync.WaitGroup
+	results := make([]any, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do(k, func() (any, error) {
+				<-release // hold the computation open so others pile up
+				computed.Add(1)
+				return "value", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := computed.Load(); n != 1 {
+		t.Fatalf("computation ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != "value" {
+			t.Fatalf("goroutine %d saw %v", i, v)
+		}
+	}
+	cnt := c.Counters()
+	if cnt.Misses() != 1 {
+		t.Errorf("misses = %d, want 1", cnt.Misses())
+	}
+	if cnt.Hits()+cnt.InflightWaits() != goroutines-1 {
+		t.Errorf("hits+waits = %d, want %d", cnt.Hits()+cnt.InflightWaits(), goroutines-1)
+	}
+}
+
+// TestCacheDistinctKeys: distinct keys compute independently, repeated keys
+// hit.
+func TestCacheDistinctKeys(t *testing.T) {
+	c := New(0)
+	mk := func(i int) Key {
+		var b Builder
+		b.Int(int64(i))
+		return b.Key()
+	}
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 10; i++ {
+			v, err := c.Do(mk(i), func() (any, error) { return i * i, nil })
+			if err != nil || v.(int) != i*i {
+				t.Fatalf("round %d key %d: got %v, %v", round, i, v, err)
+			}
+		}
+	}
+	if c.Counters().Misses() != 10 {
+		t.Errorf("misses = %d, want 10", c.Counters().Misses())
+	}
+	if c.Counters().Hits() != 10 {
+		t.Errorf("hits = %d, want 10", c.Counters().Hits())
+	}
+	if c.Len() != 10 {
+		t.Errorf("len = %d, want 10", c.Len())
+	}
+}
+
+// TestCacheErrorsCached: a deterministic failure is served from cache too.
+func TestCacheErrorsCached(t *testing.T) {
+	c := New(0)
+	var b Builder
+	b.Str("failing")
+	k := b.Key()
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := c.Do(k, func() (any, error) {
+			calls++
+			return nil, fmt.Errorf("no valid mapping")
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failing computation ran %d times, want 1", calls)
+	}
+}
+
+// TestCacheDisabled: a disabled cache runs every computation.
+func TestCacheDisabled(t *testing.T) {
+	c := New(0)
+	c.SetEnabled(false)
+	var b Builder
+	b.Str("k")
+	k := b.Key()
+	calls := 0
+	for i := 0; i < 3; i++ {
+		if _, err := c.Do(k, func() (any, error) { calls++; return 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("disabled cache ran computation %d times, want 3", calls)
+	}
+	c.SetEnabled(true)
+	if !c.Enabled() {
+		t.Fatal("re-enable failed")
+	}
+}
+
+// TestDiskRoundtrip: Put/Get verify version and encoding.
+func TestDiskRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Builder
+	b.Str("disk-key")
+	k := b.Key()
+
+	if _, ok := d.Get(k); ok {
+		t.Fatal("hit on empty store")
+	}
+	d.Put(k, []byte("payload"))
+	got, ok := d.Get(k)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("roundtrip: got %q, %v", got, ok)
+	}
+
+	// A version bump invalidates everything.
+	d2, err := OpenDisk(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d2.Get(k); ok {
+		t.Fatal("stale-version blob served")
+	}
+
+	// A hash-colliding key with different Enc must read as a miss.
+	k2 := Key{Hash: k.Hash, Enc: k.Enc + "x"}
+	if _, ok := d.Get(k2); ok {
+		t.Fatal("collision served wrong value")
+	}
+}
+
+// TestCacheBound: inserting past the bound drops entries instead of growing
+// without limit.
+func TestCacheBound(t *testing.T) {
+	c := New(numShards) // one entry per shard
+	for i := 0; i < 10*numShards; i++ {
+		var b Builder
+		b.Int(int64(i))
+		if _, err := c.Do(b.Key(), func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n > 2*numShards {
+		t.Fatalf("cache grew to %d entries despite bound", n)
+	}
+}

@@ -1,0 +1,66 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/memo"
+	"repro/internal/workload"
+)
+
+// TestEvaluateCachedMatchesUncached: a network evaluation served (partly)
+// from the memo cache must equal a fully uncached evaluation EXACTLY — no
+// epsilon: cached results are the same bits or the cache is broken. The
+// network repeats layer shapes so the cached run actually exercises hits.
+func TestEvaluateCachedMatchesUncached(t *testing.T) {
+	memo.Default.Reset()
+	// Repeated shapes: conv2/conv3 and their duplicates dedupe.
+	net := &Network{Name: "dup", Layers: []workload.Layer{
+		workload.NewPointwise("a1", 1, 32, 16, 14, 14),
+		workload.NewConv2D("b1", 1, 16, 16, 14, 14, 3, 3),
+		workload.NewPointwise("a2", 1, 32, 16, 14, 14),
+		workload.NewConv2D("b2", 1, 16, 16, 14, 14, 3, 3),
+		workload.NewPointwise("a3", 1, 32, 16, 14, 14),
+	}}
+	hw, sp := arch.InHouse(), arch.InHouseSpatial()
+	opt := &Options{MaxCandidates: 400}
+
+	h0 := memo.Default.Counters().Hits()
+	cached, err := Evaluate(net, hw, sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second cached run: everything hits.
+	cached2, err := Evaluate(net, hw, sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memo.Default.Counters().Hits() == h0 {
+		t.Fatal("no cache hits on a network with repeated shapes")
+	}
+
+	memo.Default.SetEnabled(false)
+	defer memo.Default.SetEnabled(true)
+	plain, err := Evaluate(net, hw, sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, r := range map[string]*Result{"cached": cached, "cached-rerun": cached2} {
+		if r.TotalCC != plain.TotalCC || r.TotalPJ != plain.TotalPJ ||
+			r.IdealCC != plain.IdealCC || r.PrefetchSavedCC != plain.PrefetchSavedCC {
+			t.Fatalf("%s differs from uncached: total %v != %v, energy %v != %v",
+				name, r.TotalCC, plain.TotalCC, r.TotalPJ, plain.TotalPJ)
+		}
+		for i := range r.Layers {
+			c, p := &r.Layers[i], &plain.Layers[i]
+			if c.EffectiveCC != p.EffectiveCC || c.EnergyPJ != p.EnergyPJ ||
+				c.PrefetchSaved != p.PrefetchSaved || c.SpillCC != p.SpillCC {
+				t.Fatalf("%s layer %d (%s): %v != %v", name, i, c.Original, c.EffectiveCC, p.EffectiveCC)
+			}
+			if c.Candidate.Mapping.Temporal.String() != p.Candidate.Mapping.Temporal.String() {
+				t.Fatalf("%s layer %d picked a different mapping", name, i)
+			}
+		}
+	}
+}

@@ -144,7 +144,10 @@ func Evaluate(n *Network, hw *arch.Arch, spatial loops.Nest, opt *Options) (*Res
 	par.ForEach(len(n.Layers), func(i int) {
 		orig := n.Layers[i]
 		lowered := workload.Im2Col(orig)
-		cand, _, err := mapper.Best(&lowered, hw, &mapper.Options{
+		// Cached search: a network repeats layer shapes (residual stages,
+		// repeated blocks), and the memo key ignores layer names — repeats
+		// are served from memory, concurrent duplicates singleflight.
+		cand, _, err := mapper.BestCached(&lowered, hw, &mapper.Options{
 			Spatial:       spatial,
 			BWAware:       true,
 			Objective:     obj,

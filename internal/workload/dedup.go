@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"encoding/binary"
+
+	"repro/internal/loops"
+)
+
+// AppendShapeKey appends a canonical binary encoding of the layer's SHAPE —
+// kind, dimension extents, strides and precision, but NOT the name — to dst
+// and returns the extended slice. Two layers with equal shape keys are
+// interchangeable for every model in this repository (latency, energy, area,
+// mapping search): all of them consume only the encoded fields. The encoding
+// is stable across processes, so it can key on-disk caches.
+func (l *Layer) AppendShapeKey(dst []byte) []byte {
+	dst = append(dst, byte(l.Kind))
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v int64) {
+		n := binary.PutVarint(buf[:], v)
+		dst = append(dst, buf[:n]...)
+	}
+	for _, d := range loops.AllDims {
+		put(l.Dim(d))
+	}
+	s := l.Strides
+	if s.SX == 0 {
+		s.SX = 1
+	}
+	if s.SY == 0 {
+		s.SY = 1
+	}
+	if s.DX == 0 {
+		s.DX = 1
+	}
+	if s.DY == 0 {
+		s.DY = 1
+	}
+	put(s.SX)
+	put(s.SY)
+	put(s.DX)
+	put(s.DY)
+	p := l.Precision
+	if p == (Precision{}) {
+		p = DefaultPrecision
+	}
+	put(int64(p.W))
+	put(int64(p.I))
+	put(int64(p.O))
+	return dst
+}
+
+// ShapeKey returns AppendShapeKey's encoding as a string, usable as a map
+// key.
+func (l *Layer) ShapeKey() string {
+	return string(l.AppendShapeKey(nil))
+}
+
+// DedupLayers groups layers by shape (ShapeKey — name-insensitive): it
+// returns the unique shapes in first-appearance order, each shape's
+// multiplicity, and a per-input index into the unique list. Real DNNs repeat
+// layer shapes heavily (ResNet runs the same conv dozens of times), so
+// drivers that price each unique shape once and multiply save the
+// repetition factor — the same reuse the memoized search (mapper.BestCached)
+// exploits automatically.
+func DedupLayers(layers []Layer) (unique []Layer, mult []int, index []int) {
+	byKey := make(map[string]int, len(layers))
+	index = make([]int, len(layers))
+	var keyBuf []byte
+	for i := range layers {
+		keyBuf = layers[i].AppendShapeKey(keyBuf[:0])
+		u, ok := byKey[string(keyBuf)]
+		if !ok {
+			u = len(unique)
+			byKey[string(keyBuf)] = u
+			unique = append(unique, layers[i])
+			mult = append(mult, 0)
+		}
+		mult[u]++
+		index[i] = u
+	}
+	return unique, mult, index
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/loops"
+)
+
+// TestDedupLayersRepeatedShapes: a network with repeated shapes (differently
+// named, like a ResNet's residual stages) collapses to the unique shapes in
+// first-appearance order with the right multiplicities.
+func TestDedupLayersRepeatedShapes(t *testing.T) {
+	layers := []Layer{
+		NewConv2D("conv1", 1, 64, 3, 112, 112, 7, 7),
+		NewConv2D("conv2_1", 1, 64, 64, 56, 56, 3, 3),
+		NewConv2D("conv2_2", 1, 64, 64, 56, 56, 3, 3), // repeat of conv2_1
+		NewPointwise("pw1", 1, 128, 64, 28, 28),
+		NewConv2D("conv2_3", 1, 64, 64, 56, 56, 3, 3), // repeat of conv2_1
+		NewPointwise("pw2", 1, 128, 64, 28, 28),       // repeat of pw1
+	}
+	unique, mult, index := DedupLayers(layers)
+
+	if len(unique) != 3 {
+		t.Fatalf("unique shapes = %d, want 3", len(unique))
+	}
+	wantNames := []string{"conv1", "conv2_1", "pw1"} // first appearance wins
+	for i, n := range wantNames {
+		if unique[i].Name != n {
+			t.Errorf("unique[%d] = %s, want %s", i, unique[i].Name, n)
+		}
+	}
+	wantMult := []int{1, 3, 2}
+	for i, m := range wantMult {
+		if mult[i] != m {
+			t.Errorf("mult[%d] = %d, want %d", i, mult[i], m)
+		}
+	}
+	wantIndex := []int{0, 1, 1, 2, 1, 2}
+	for i, u := range wantIndex {
+		if index[i] != u {
+			t.Errorf("index[%d] = %d, want %d", i, index[i], u)
+		}
+	}
+	// Multiplicities must cover every input layer.
+	total := 0
+	for _, m := range mult {
+		total += m
+	}
+	if total != len(layers) {
+		t.Fatalf("multiplicities sum to %d, want %d", total, len(layers))
+	}
+}
+
+// TestShapeKeyDistinguishes: every shape-relevant field changes the key; the
+// name does not, and zero-value strides/precision key like their defaults.
+func TestShapeKeyDistinguishes(t *testing.T) {
+	base := NewConv2D("a", 1, 64, 32, 28, 28, 3, 3)
+	seen := map[string]string{base.ShapeKey(): "base"}
+	distinct := func(tag string, l Layer) {
+		t.Helper()
+		if prev, dup := seen[l.ShapeKey()]; dup {
+			t.Errorf("%s collides with %s", tag, prev)
+		}
+		seen[l.ShapeKey()] = tag
+	}
+	distinct("k", NewConv2D("a", 1, 65, 32, 28, 28, 3, 3))
+	distinct("fx", NewConv2D("a", 1, 64, 32, 28, 28, 3, 1))
+	distinct("matmul", NewMatMul("a", 64, 32, 28))
+
+	strided := base
+	strided.Strides = loops.Strides{SX: 2, SY: 2, DX: 1, DY: 1}
+	distinct("strides", strided)
+
+	prec := base
+	prec.Precision = Precision{W: 4, I: 4, O: 16}
+	distinct("precision", prec)
+
+	renamed := base
+	renamed.Name = "b"
+	if renamed.ShapeKey() != base.ShapeKey() {
+		t.Error("name changed the shape key")
+	}
+
+	// The constructor fills defaults; a layer with explicitly zeroed strides
+	// and precision describes the same shape and must key identically.
+	zeroed := base
+	zeroed.Strides = loops.Strides{}
+	zeroed.Precision = Precision{}
+	def := base
+	def.Strides = loops.Strides{SX: 1, SY: 1, DX: 1, DY: 1}
+	def.Precision = DefaultPrecision
+	if zeroed.ShapeKey() != def.ShapeKey() {
+		t.Error("zero-value strides/precision key differently from the defaults")
+	}
+}
