@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet bench bench-smoke clean
 
 all: build test
 
@@ -25,8 +25,15 @@ vet:
 # Search & model benchmarks with allocation stats, appended to the JSON
 # history in BENCH_mapper.json keyed by git SHA + date (see cmd/benchjson).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkMapperSearch|BenchmarkModelThroughput|BenchmarkNetworkEval' \
-		-benchmem -benchtime=2s . | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_mapper.json
+	$(GO) test -run '^$$' -bench 'BenchmarkMapperSearch|BenchmarkModelThroughput|BenchmarkNetworkEval|BenchmarkGenerateOnly' \
+		-benchmem -benchtime=2s . ./internal/mapper | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_mapper.json
+
+# One-iteration pass over every benchmark in the repo: CI runs this so a
+# benchmark that stops compiling or starts failing is caught on the PR, and
+# the cmd/benchjson parser is exercised end to end (timings discarded — CI
+# machines produce meaningless numbers, so no history file is written).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./... | $(GO) run ./cmd/benchjson > /dev/null
 
 clean:
 	rm -f benchjson-*.tmp

@@ -389,6 +389,23 @@ func BenchmarkMapperSearchSerial(b *testing.B) {
 	}
 }
 
+// BenchmarkMapperSearchNoSym is BenchmarkMapperSearch with the symmetry
+// reduction disabled — the pre-reduction engine, for speedup accounting
+// (the result is bit-identical; only the evaluated stream grows).
+func BenchmarkMapperSearchNoSym(b *testing.B) {
+	layer := workload.NewMatMul("search", 128, 128, 128)
+	hw := arch.CaseStudy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mapper.Best(&layer, hw, &mapper.Options{
+			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 1000,
+			NoReduce: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMapperSearchParallel forces a 4-worker evaluation pipeline
 // (bypassing the shared budget, so the number is meaningful regardless of
 // the machine's GOMAXPROCS).

@@ -12,6 +12,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mapper"
 	"repro/internal/memo"
+	"repro/internal/prof"
 	"repro/internal/report"
 )
 
@@ -21,14 +22,18 @@ func main() {
 		csv      = flag.Bool("csv", false, "CSV output")
 		grid     = flag.Bool("grid", false, "full BxKxC grid with a discrepancy heatmap")
 		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
+		nosym    = flag.Bool("nosym", false, "disable the symmetry-reduced enumeration (walk every ordering)")
 	)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal("%v", err)
+	}
+	defer prof.Stop()
 
 	if *cacheDir != "" {
 		dir, err := mapper.EnableDiskCache(*cacheDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "case2:", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		fmt.Printf("disk cache: %s\n", dir)
 	}
@@ -36,10 +41,11 @@ func main() {
 
 	if *grid {
 		extents := []int64{8, 32, 128, 512}
-		cells, err := experiments.Case2Grid(extents, *budget/4)
+		cells, err := experiments.Case2Grid(extents, &experiments.Case2Options{
+			MaxCandidates: *budget / 4, NoReduce: *nosym,
+		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "case2:", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		rows, cols, vals := experiments.DiscrepancyMatrix(cells, extents)
 		report.Heatmap(os.Stdout,
@@ -56,10 +62,9 @@ func main() {
 		return
 	}
 
-	rows, err := experiments.Case2(&experiments.Case2Options{MaxCandidates: *budget})
+	rows, err := experiments.Case2(&experiments.Case2Options{MaxCandidates: *budget, NoReduce: *nosym})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "case2:", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 
 	a := report.NewTable("Fig. 7(a) — workload profile",
@@ -100,4 +105,10 @@ func main() {
 		}
 	}
 	fmt.Println("(paper: 7.4x at (128,128,8) and 9.2x at (512,512,8))")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "case2: "+format+"\n", args...)
+	prof.Stop() // os.Exit skips defers; flush any profiles first
+	os.Exit(1)
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mapper"
 	"repro/internal/memo"
+	"repro/internal/prof"
 	"repro/internal/report"
 )
 
@@ -24,23 +25,28 @@ func main() {
 		plot     = flag.Bool("plot", true, "ASCII scatter plots")
 		csv      = flag.Bool("csv", false, "CSV of all points")
 		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
+		nosym    = flag.Bool("nosym", false, "disable the symmetry-reduced enumeration (walk every ordering)")
 	)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal("%v", err)
+	}
+	defer prof.Stop()
 
 	if *cacheDir != "" {
 		dir, err := mapper.EnableDiskCache(*cacheDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "case3:", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		fmt.Printf("disk cache: %s\n", dir)
 	}
 	defer func() { fmt.Println(memo.Default.Counters()) }()
 
-	r, err := experiments.Case3(&experiments.Case3Options{Quick: *quick, MaxCandidates: *budget})
+	r, err := experiments.Case3(&experiments.Case3Options{
+		Quick: *quick, MaxCandidates: *budget, NoReduce: *nosym,
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "case3:", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 
 	panels := []struct {
@@ -106,4 +112,10 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "case3: "+format+"\n", args...)
+	prof.Stop() // os.Exit skips defers; flush any profiles first
+	os.Exit(1)
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/loops"
 	"repro/internal/mapper"
 	"repro/internal/memo"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -32,8 +33,14 @@ func main() {
 		fx     = flag.Int64("fx", 3, "filter cols")
 		budget   = flag.Int("budget", 8000, "mapping search budget per architecture")
 		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
+		nosym    = flag.Bool("nosym", false, "disable the symmetry-reduced enumeration (walk every ordering)")
 	)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	if *cacheDir != "" {
 		dir, err := mapper.EnableDiskCache(*cacheDir)
@@ -68,7 +75,7 @@ func main() {
 			layer = workload.Im2Col(conv)
 		}
 		best, _, err := mapper.BestCached(&layer, p.hw, &mapper.Options{
-			Spatial: p.spatial, BWAware: true, MaxCandidates: *budget,
+			Spatial: p.spatial, BWAware: true, MaxCandidates: *budget, NoReduce: *nosym,
 		})
 		if err != nil {
 			tb.Add(p.hw.Name, p.hw.MACs, "unmappable", "-", "-", "-", "-")

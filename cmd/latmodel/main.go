@@ -28,6 +28,7 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/mapping"
 	"repro/internal/memo"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/roofline"
 	"repro/internal/sensitivity"
@@ -53,8 +54,13 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the evaluation summary as JSON to this file")
 		spatial  = flag.String("spatial", "", "override spatial unrolling, e.g. \"K 16 | B 8 | C 2\"")
 		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
+		nosym    = flag.Bool("nosym", false, "disable the symmetry-reduced enumeration (walk every ordering)")
 	)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal("%v", err)
+	}
+	defer prof.Stop()
 
 	if *cacheDir != "" {
 		dir, err := mapper.EnableDiskCache(*cacheDir)
@@ -153,7 +159,7 @@ func main() {
 	} else if *anneal {
 		var err error
 		best, err = mapper.AnnealCached(&layer, hw, &mapper.AnnealOptions{
-			Spatial: sp, BWAware: !*unaware, Iterations: *budget / 4,
+			Spatial: sp, BWAware: !*unaware, Iterations: *budget / 4, NoReduce: *nosym,
 		})
 		if err != nil {
 			fatal("annealing: %v", err)
@@ -164,7 +170,7 @@ func main() {
 		var stats *mapper.Stats
 		var err error
 		best, stats, err = mapper.BestCached(&layer, hw, &mapper.Options{
-			Spatial: sp, BWAware: !*unaware, MaxCandidates: *budget,
+			Spatial: sp, BWAware: !*unaware, MaxCandidates: *budget, NoReduce: *nosym,
 		})
 		if err != nil {
 			fatal("mapping search: %v", err)
@@ -285,5 +291,6 @@ func abs(x float64) float64 {
 
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "latmodel: "+format+"\n", args...)
+	prof.Stop() // os.Exit skips defers; flush any profiles first
 	os.Exit(1)
 }

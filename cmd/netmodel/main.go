@@ -20,6 +20,7 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/memo"
 	"repro/internal/network"
+	"repro/internal/prof"
 	"repro/internal/workload"
 )
 
@@ -37,8 +38,13 @@ func main() {
 		scaling  = flag.Bool("scaling", false, "print the 1..cores strong-scaling curve")
 		objName  = flag.String("objective", "latency", "per-layer mapping objective: latency|energy|edp")
 		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
+		nosym    = flag.Bool("nosym", false, "disable the symmetry-reduced enumeration (walk every ordering)")
 	)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal("%v", err)
+	}
+	defer prof.Stop()
 
 	if *cacheDir != "" {
 		dir, err := mapper.EnableDiskCache(*cacheDir)
@@ -122,6 +128,7 @@ func main() {
 		Objective:     obj,
 		NoPrefetch:    *noPre,
 		PlanGB:        *planGB,
+		NoReduce:      *nosym,
 	}
 	if *scaling {
 		curve, err := network.ScalingCurve(net, hw, sp, *cores, &network.MultiCoreOptions{
@@ -167,5 +174,6 @@ func main() {
 
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "netmodel: "+format+"\n", args...)
+	prof.Stop() // os.Exit skips defers; flush any profiles first
 	os.Exit(1)
 }

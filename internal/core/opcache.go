@@ -1,8 +1,6 @@
 package core
 
 import (
-	"encoding/binary"
-
 	"repro/internal/arch"
 	"repro/internal/loops"
 	"repro/internal/mapping"
@@ -78,33 +76,10 @@ func (c *opCache) quants(p *Problem, op loops.Operand, chain []*arch.Memory) []l
 	m := p.Mapping
 	levels := len(chain)
 
-	// Canonical key: per level (ALL levels, so the above-products of every
-	// interface are pinned) the non-trivial per-dim products of the level's
-	// loop slice, plus each interface level's effective top reuse run.
-	key := c.keyBuf[:0]
-	var tmp [binary.MaxVarintLen64]byte
-	for l := 0; l < levels; l++ {
-		nest := m.LevelNest(op, l)
-		var dims [loops.NumDims]int64
-		for i := range dims {
-			dims[i] = 1
-		}
-		for _, lp := range nest {
-			dims[lp.Dim] *= lp.Size
-		}
-		for d, v := range dims {
-			if v != 1 {
-				key = append(key, byte(d))
-				n := binary.PutUvarint(tmp[:], uint64(v))
-				key = append(key, tmp[:n]...)
-			}
-		}
-		key = append(key, 0xFF) // level terminator
-		if l < levels-1 && !chain[l].DoubleBuffered {
-			n := binary.PutUvarint(tmp[:], uint64(nest.TopReuseRun(op)))
-			key = append(key, tmp[:n]...)
-		}
-	}
+	// Canonical key: the operand's Step-1 content key (signature.go) — the
+	// same encoding the mapper's model-equivalence signature concatenates
+	// across operands.
+	key := appendOperandKey(c.keyBuf[:0], m, op, chain)
 	c.keyBuf = key
 
 	if q, ok := c.m[op][string(key)]; ok {

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+)
+
+// appendOperandKey appends operand op's canonical Step-1 content key for
+// mapping m to dst: per memory level (ALL levels, so the above-products of
+// every interface are pinned) the level nest's dim products, plus each
+// non-double-buffered interface level's effective top reuse run. Every
+// Step-1 quantity of the operand — Mem_DATA, Mem_CC, Z, the Table-I
+// keep-out scaling and the psum traffic split — is a pure function of this
+// key, which makes it both the op-cache's lookup key (opcache.go) and one
+// third of the mapper's model-equivalence signature.
+func appendOperandKey(dst []byte, m *mapping.Mapping, op loops.Operand, chain []*arch.Memory) []byte {
+	levels := len(chain)
+	for l := 0; l < levels; l++ {
+		nest := m.LevelNest(op, l)
+		dst = nest.AppendDimProducts(dst)
+		if l < levels-1 && !chain[l].DoubleBuffered {
+			dst = loops.AppendUvarint(dst, uint64(nest.TopReuseRun(op)))
+		}
+	}
+	return dst
+}
+
+// AppendSignature appends the mapping's model-equivalence signature to dst
+// and returns the extended slice: the concatenation of every operand's
+// Step-1 content key. Two mappings of the same (layer, arch, spatial
+// unrolling) with equal signatures produce bit-identical results under
+// Evaluate, EvaluateBWUnaware, ScoreLatency, LowerBound and the energy
+// model: each consumes the temporal nest exclusively through per-level
+// per-operand dim products, top reuse runs and CC_spatial (the all-level
+// product, which the per-level products determine), and mapping.Validate's
+// coverage and capacity checks read the same products. The mapper's
+// symmetry reduction (DESIGN.md §9) relies on this exactness.
+//
+// The mapping's level boundaries must already be assigned. Signatures are
+// only comparable between mappings sharing layer, arch and spatial nest —
+// the chain structure fixes the encoding's field boundaries, so within one
+// such family equal bytes imply equal quantity tuples.
+func (ev *Evaluator) AppendSignature(dst []byte, p *Problem) []byte {
+	for _, op := range loops.AllOperands {
+		dst = appendOperandKey(dst, p.Mapping, op, ev.chainMems(p.Arch, op))
+	}
+	return dst
+}

@@ -124,6 +124,9 @@ func Case1(census bool) (*Case1Result, error) {
 			Spatial:       arch.CaseStudySpatial(),
 			BWAware:       true,
 			MaxCandidates: 40000,
+			// The census counts MAPPINGS — the paper's mapping-space size —
+			// not model-equivalence classes, so keep the full space.
+			NoReduce: true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("case1 census: %w", err)

@@ -21,11 +21,17 @@ type GridCell struct {
 // Case2Grid runs the full Fig. 7 axis: every (B, K, C) combination from the
 // given extents on the fixed case-study accelerator, with per-point mapping
 // optimization, in parallel. It returns cells in row-major (B-major, then
-// K, then C) order.
-func Case2Grid(extents []int64, maxCandidates int) ([]GridCell, error) {
+// K, then C) order. A nil opt uses the defaults; the grid's per-point
+// search budget default is 1500 (smaller than Case2's — the grid has 64
+// points).
+func Case2Grid(extents []int64, opt *Case2Options) ([]GridCell, error) {
 	if len(extents) == 0 {
 		extents = []int64{8, 32, 128, 512}
 	}
+	if opt == nil {
+		opt = &Case2Options{}
+	}
+	maxCandidates := opt.MaxCandidates
 	if maxCandidates <= 0 {
 		maxCandidates = 1500
 	}
@@ -49,7 +55,7 @@ func Case2Grid(extents []int64, maxCandidates int) ([]GridCell, error) {
 			cell.B, cell.K, cell.C)
 		best, _, err := mapper.BestCached(&l, hw, &mapper.Options{
 			Spatial: sp, BWAware: true, Pow2Splits: true,
-			MaxCandidates: maxCandidates,
+			MaxCandidates: maxCandidates, NoReduce: opt.NoReduce,
 		})
 		if err != nil {
 			errs[i] = fmt.Errorf("case2grid %s: %w", l.Name, err)

@@ -43,7 +43,7 @@ func TestPrecisionSweep(t *testing.T) {
 
 func TestCase2Grid(t *testing.T) {
 	extents := []int64{16, 64}
-	cells, err := Case2Grid(extents, 400)
+	cells, err := Case2Grid(extents, &Case2Options{MaxCandidates: 400})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,65 @@
+package loops
+
+import "encoding/binary"
+
+// Model-equivalence signature primitives.
+//
+// The uniform latency model consumes a temporal nest through two kinds of
+// quantities only: per-level per-dimension size PRODUCTS (the Mem_DATA tile
+// resolution, Mem_CC, the turnaround count Z, the psum traffic split and
+// CC_spatial are all products over a level slice's dims) and the TOP REUSE
+// RUN of each non-double-buffered interface level (Table I's keep-out
+// scaling). Two nests that agree on both therefore score identically — they
+// belong to the same model-equivalence class. The mapper's symmetry
+// reduction keys classes by the byte encoding built from these primitives,
+// and core's Step-1 op-cache keys its sub-results by the same encoding.
+
+// AppendDimProducts appends the canonical encoding of the nest's non-trivial
+// per-dimension size products to dst and returns the extended slice: for
+// each dimension with product != 1, in declaration order, one dimension
+// index byte followed by the uvarint product, closed by a 0xFF terminator.
+// A dimension byte is < NumDims < 0x80, so the encoding is self-delimiting
+// and injective: equal byte strings imply equal product vectors.
+func (n Nest) AppendDimProducts(dst []byte) []byte {
+	dims := n.DimProduct()
+	var tmp [binary.MaxVarintLen64]byte
+	for d, v := range dims {
+		if v != 1 {
+			dst = append(dst, byte(d))
+			k := binary.PutUvarint(tmp[:], uint64(v))
+			dst = append(dst, tmp[:k]...)
+		}
+	}
+	return append(dst, 0xFF)
+}
+
+// AppendUvarint appends the uvarint encoding of v to dst and returns the
+// extended slice.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:k]...)
+}
+
+// DistinctOrderings returns the number of distinct sequences the block
+// multiset can be arranged into: n! / prod(m_i!) over the multiplicities
+// m_i of the distinct blocks. The mapper uses it to account skipped
+// enumeration remainders exactly without walking them. The count is built
+// incrementally — after item i it equals the multinomial of the first i+1
+// blocks — so every intermediate value is itself an exact integer and the
+// running product never exceeds the final result times n (the engine's
+// worst case, 7 dims x 2 splits = 14 blocks, tops out at 14! ~ 8.7e10,
+// far inside int64).
+func DistinctOrderings(blocks []Loop) int64 {
+	total := int64(1)
+	for i := range blocks {
+		dup := int64(0)
+		for j := 0; j <= i; j++ {
+			if blocks[j] == blocks[i] {
+				dup++
+			}
+		}
+		total = total * int64(i+1) / dup
+	}
+	return total
+}

@@ -1,0 +1,93 @@
+package loops
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestAppendDimProducts(t *testing.T) {
+	cases := []struct {
+		name string
+		nest Nest
+		want []byte // expected encoding, 0xFF-terminated
+	}{
+		{"empty", Nest{}, []byte{0xFF}},
+		{"unit-loops-dropped", Nest{{Dim: K, Size: 1}, {Dim: C, Size: 1}}, []byte{0xFF}},
+		{
+			"single", Nest{{Dim: K, Size: 300}},
+			append(append([]byte{byte(K)}, binary.AppendUvarint(nil, 300)...), 0xFF),
+		},
+		{
+			"order-invariant-products", Nest{{Dim: K, Size: 4}, {Dim: C, Size: 3}, {Dim: K, Size: 5}},
+			// products: K=20, C=3, emitted in Dim order (K before C)
+			[]byte{byte(K), 20, byte(C), 3, 0xFF},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.nest.AppendDimProducts(nil)
+			if !bytes.Equal(got, tc.want) {
+				t.Errorf("got % x, want % x", got, tc.want)
+			}
+		})
+	}
+	// The ordering-invariance that the mapper's symmetry reduction rests on:
+	// any permutation of the same loops encodes identically.
+	a := Nest{{Dim: B, Size: 2}, {Dim: K, Size: 8}, {Dim: C, Size: 3}, {Dim: K, Size: 2}}
+	b := Nest{{Dim: K, Size: 2}, {Dim: C, Size: 3}, {Dim: K, Size: 8}, {Dim: B, Size: 2}}
+	if !bytes.Equal(a.AppendDimProducts(nil), b.AppendDimProducts(nil)) {
+		t.Error("permuted nests encode differently")
+	}
+	// Appending must preserve the prefix.
+	pre := []byte("prefix")
+	out := a.AppendDimProducts(pre)
+	if !bytes.HasPrefix(out, pre) {
+		t.Error("dst prefix clobbered")
+	}
+}
+
+func TestAppendUvarintMatchesBinary(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1} {
+		got := AppendUvarint(nil, v)
+		want := binary.AppendUvarint(nil, v)
+		if !bytes.Equal(got, want) {
+			t.Errorf("v=%d: got % x, want % x", v, got, want)
+		}
+	}
+}
+
+func TestDistinctOrderings(t *testing.T) {
+	cases := []struct {
+		blocks []Loop
+		want   int64
+	}{
+		{nil, 1},
+		{[]Loop{{Dim: K, Size: 2}}, 1},
+		{[]Loop{{Dim: K, Size: 2}, {Dim: K, Size: 2}}, 1},
+		{[]Loop{{Dim: K, Size: 2}, {Dim: K, Size: 3}}, 2},
+		{[]Loop{{Dim: K, Size: 2}, {Dim: K, Size: 2}, {Dim: C, Size: 2}}, 3},     // 3!/2!
+		{[]Loop{{Dim: K, Size: 2}, {Dim: K, Size: 2}, {Dim: C, Size: 2}, {Dim: C, Size: 2}}, 6}, // 4!/(2!2!)
+		{[]Loop{{Dim: B, Size: 2}, {Dim: K, Size: 3}, {Dim: C, Size: 5}, {Dim: OY, Size: 7}}, 24},
+	}
+	for _, tc := range cases {
+		if got := DistinctOrderings(tc.blocks); got != tc.want {
+			t.Errorf("%v: got %d, want %d", tc.blocks, got, tc.want)
+		}
+	}
+}
+
+// TestDistinctOrderingsNoOverflow exercises the worst case the mapper can
+// produce (14 blocks: 7 dims × ≤2 split parts each); the incremental
+// divide-as-you-go form must not overflow int64 on the way.
+func TestDistinctOrderingsNoOverflow(t *testing.T) {
+	blocks := make([]Loop, 0, 14)
+	for d := Dim(0); d < Dim(NumDims); d++ {
+		blocks = append(blocks, Loop{Dim: d, Size: int64(2 + d)}, Loop{Dim: d, Size: int64(100 + d)})
+	}
+	got := DistinctOrderings(blocks)
+	const want = 87178291200 // 14!, all blocks distinct
+	if got != want {
+		t.Errorf("14 distinct blocks: got %d, want 14! = %d", got, want)
+	}
+}

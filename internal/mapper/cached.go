@@ -8,12 +8,14 @@ package mapper
 // points of a DSE sweep, across annealing restarts, and (optionally, via the
 // on-disk store) across CLI invocations.
 //
-// Two option fields are deliberately EXCLUDED from the key: Workers and
-// NoPrune. Both steer how the engine schedules work, not what it returns —
-// the selected mapping, score and exact Stats counters are identical for any
-// setting (Stats.Pruned, the only trajectory-dependent counter, is
-// informational; a cached result reports the pruning of the run that
-// populated the cache).
+// Three option fields are deliberately EXCLUDED from the key: Workers,
+// NoPrune and NoReduce. None of them can change the selected mapping or its
+// score — Workers and NoPrune only steer scheduling, and the symmetry
+// reduction is exact (DESIGN.md §9) — so keying on them would only split
+// identical results across entries. The Stats counters DO depend on
+// NoReduce (a reduced run walks classes, a full run walks orderings): like
+// Pruned already did, a cached result reports the counters of whichever run
+// populated the cache.
 //
 // Cached *Candidate values are shared between every caller with the same
 // key and MUST be treated as immutable; Stats are returned as per-call
@@ -36,7 +38,11 @@ import (
 // feeding it. Bump on any change to the gob payloads below, to the search
 // space enumeration, or to the latency/energy arithmetic — stale files then
 // read as misses.
-const diskFormatVersion = 1
+//
+// Version history: 1 = PR 2 (initial disk cache); 2 = symmetry-reduced
+// enumeration (Stats gained ClassesMerged/SubtreesPruned, cap and Skipped
+// semantics changed to the walk budget).
+const diskFormatVersion = 2
 
 var (
 	diskMu    sync.Mutex
@@ -175,7 +181,9 @@ func BestCached(l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Sta
 
 // annealKey fingerprints an Anneal run: the annealer is seeded and its
 // chains are merged deterministically, so the result is a pure function of
-// these fields.
+// these fields. NoReduce is excluded like in bestKey: the signature cache
+// cannot change any score or accept/reject decision, only which member of
+// the winning equivalence class is materialized.
 func annealKey(l *workload.Layer, a *arch.Arch, o *AnnealOptions) memo.Key {
 	// Mirror Anneal's defaulting so explicit and defaulted options key
 	// identically.

@@ -17,6 +17,18 @@ package mapper
 // Step-1/2/3 evaluation is skipped. The shared best is a monotonically
 // decreasing atomic; pruning only on a STRICT bound excess keeps equal-
 // score candidates alive for the deterministic tie-break.
+//
+// The generator itself is symmetry- and bound-aware (DESIGN.md §9): it
+// canonicalizes every walked ordering by its model-equivalence signature and
+// emits only the first member of each class (reduce.go), and it drops whole
+// factorization subtrees whose incremental lower bound — the partial
+// temporal product composed per dimension, times the smallest completion,
+// plus the mapping-independent preload/offload floor — already exceeds a
+// deterministic probe score. Pruned subtrees never allocate and never cross
+// the channel. Both mechanisms are exact: merged orderings score
+// bit-identically to their representative, and pruned subtrees cannot
+// contain the winner, so Best is bit-identical to the unreduced exhaustive
+// search while the workers see a several-fold smaller stream.
 
 import (
 	"fmt"
@@ -64,10 +76,16 @@ type engine struct {
 	o    *Options
 	mode searchMode
 
-	// prune enables the lower-bound branch-and-bound (modeBest, latency
-	// objective, full model only — for the baseline model the "bound" IS
-	// the score, and other objectives are not bounded by it).
+	// prune enables the workers' lower-bound branch-and-bound (modeBest,
+	// latency objective, full model only — for the baseline model the
+	// "bound" IS the score, and other objectives are not bounded by it).
 	prune bool
+	// genPrune enables the generator-side subtree prune (modeBest, latency
+	// objective, either model). Unlike the workers' prune it compares
+	// against a FIXED deterministic probe bound, never the racy shared
+	// best, so the emitted nest stream — and every exact Stats counter —
+	// is independent of worker count and of NoPrune.
+	genPrune bool
 	// bestBits is Float64bits of the best score seen by any worker; it
 	// only decreases. Read by workers for the prune decision.
 	bestBits atomic.Uint64
@@ -84,6 +102,7 @@ func runSearch(l *workload.Layer, a *arch.Arch, o *Options, mode searchMode) (*C
 	}
 	e := &engine{l: l, a: a, o: o, mode: mode}
 	e.prune = mode == modeBest && !o.NoPrune && o.Objective == MinLatency && o.BWAware
+	e.genPrune = mode == modeBest && o.Objective == MinLatency
 	e.bestBits.Store(math.Float64bits(math.Inf(1)))
 	stats := &Stats{}
 
@@ -172,8 +191,8 @@ func runSearch(l *workload.Layer, a *arch.Arch, o *Options, mode searchMode) (*C
 	return best, all, stats, nil
 }
 
-// generate walks the canonical enumeration and hands each nest to emit,
-// counting generated/skipped nests. The nest passed to emit is a shared
+// generate walks the canonical enumeration and hands each emitted nest to
+// emit, keeping the exact counters. The nest passed to emit is a shared
 // buffer, valid only for the duration of the call. Single-threaded; the
 // emitted seq is dense and strictly increasing.
 func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
@@ -202,39 +221,104 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 		dimSplits[d] = dedupSplits(dimSplits[d])
 	}
 
-	// Cartesian product of dimension splits -> block multisets -> ordered
-	// permutations.
-	seq := int64(0)
-	var rec func(d int, blocks []loops.Loop)
-	rec = func(d int, blocks []loops.Loop) {
-		if st.Skipped > 0 {
-			return
+	reduce := !o.NoReduce
+	var canon *canonicalizer
+	if reduce || e.genPrune {
+		canon = newCanonicalizer(e.l, e.a, o.Spatial)
+	}
+
+	// Generator-side branch and bound: score two fixed heuristic members of
+	// the space up front; a split subtree whose smallest achievable
+	// temporal product plus the mapping-independent preload/offload floor
+	// already exceeds that score cannot contain the winner (every nest in
+	// it scores STRICTLY worse than an existing member, so even the
+	// tie-break cannot want it) and is dropped before its permutations
+	// exist. The probe bound is deterministic — unlike the workers' shared
+	// best it does not depend on scheduling — which keeps the emitted
+	// stream and all exact counters identical for any worker count. The
+	// probe score also seeds the workers' shared best, tightening their
+	// prune from the first candidate on.
+	probeBound := math.Inf(1)
+	boundFloor := 0.0
+	if e.genPrune {
+		boundFloor = canon.boundFloor()
+		for _, nest := range probeNests(&extents) {
+			if s, ok := canon.score(nest, o.BWAware); ok && s < probeBound {
+				probeBound = s
+			}
 		}
+		if e.prune {
+			e.lowerBest(probeBound)
+		}
+	}
+
+	// minTail[d] is the smallest temporal product the dimensions from
+	// AllDims[d] on can still contribute: every split alternative of a
+	// dimension multiplies to at least the unpadded extent. float64 keeps
+	// the running products safe from int64 overflow.
+	var minTail [loops.NumDims + 1]float64
+	minTail[loops.NumDims] = 1
+	for d := loops.NumDims - 1; d >= 0; d-- {
+		minTail[d] = minTail[d+1] * float64(extents[loops.AllDims[d]])
+	}
+
+	// The walk: cartesian product of dimension splits -> block multisets ->
+	// distinct orderings. MaxCandidates caps the ORDERINGS VISITED
+	// (representatives plus merged duplicates); once it trips, the exact
+	// remainder of every outstanding multiset is added to Skipped by
+	// multinomial arithmetic instead of being walked.
+	seq := int64(0)
+	walked := 0
+	capped := false
+	var rec func(d int, blocks []loops.Loop, prod float64)
+	rec = func(d int, blocks []loops.Loop, prod float64) {
 		if d == loops.NumDims {
+			if capped {
+				st.Skipped += int(loops.DistinctOrderings(blocks))
+				return
+			}
+			visited := 0
 			permute(blocks, func(nest loops.Nest) bool {
-				if st.NestsGenerated >= o.MaxCandidates {
-					st.Skipped++
+				if walked == o.MaxCandidates {
+					capped = true
 					return false
+				}
+				walked++
+				visited++
+				if reduce && canon.intern(nest) {
+					st.ClassesMerged++
+					return true
 				}
 				st.NestsGenerated++
 				emit(seq, nest)
 				seq++
 				return true
 			})
+			if capped {
+				st.Skipped += int(loops.DistinctOrderings(blocks)) - visited
+			}
 			return
 		}
 		dim := loops.AllDims[d]
 		for _, s := range dimSplits[dim] {
 			next := blocks
+			part := int64(1)
 			for _, f := range s {
+				part *= f
 				if f > 1 {
 					next = append(next[:len(next):len(next)], loops.Loop{Dim: dim, Size: f})
 				}
 			}
-			rec(d+1, next)
+			// Once capped, pruning stops too: the remainder is counted, not
+			// walked, and the count must not depend on the bound.
+			if !capped && float64(part)*prod*minTail[d+1]+boundFloor > probeBound {
+				st.SubtreesPruned++
+				continue
+			}
+			rec(d+1, next, float64(part)*prod)
 		}
 	}
-	rec(0, nil)
+	rec(0, nil, 1)
 }
 
 // workerScratch is the heavy, search-independent part of a worker's state:

@@ -65,18 +65,24 @@ func TestParallelMatchesSerial(t *testing.T) {
 			refCand, refStats, refErr := Best(&tc.l, tc.a, &ser)
 
 			for _, cfg := range []struct {
-				label   string
-				workers int
-				noPrune bool
+				label    string
+				workers  int
+				noPrune  bool
+				noReduce bool
 			}{
-				{"serial-pruned", 1, false},
-				{"parallel-2", 2, false},
-				{"parallel-4", 4, false},
-				{"parallel-4-noprune", 4, true},
+				{"serial-pruned", 1, false, false},
+				{"parallel-2", 2, false, false},
+				{"parallel-4", 4, false, false},
+				{"parallel-4-noprune", 4, true, false},
+				// The symmetry reduction is exact, so disabling it must not
+				// move the result either; its stats differ by construction
+				// (it walks orderings, not classes), so skip those below.
+				{"parallel-4-nosym", 4, false, true},
 			} {
 				o := tc.o
 				o.Workers = cfg.workers
 				o.NoPrune = cfg.noPrune
+				o.NoReduce = cfg.noReduce
 				cand, stats, err := Best(&tc.l, tc.a, &o)
 				if (err == nil) != (refErr == nil) {
 					t.Fatalf("%s: err = %v, reference err = %v", cfg.label, err, refErr)
@@ -94,6 +100,9 @@ func TestParallelMatchesSerial(t *testing.T) {
 				}
 				if got, want := cand.Mapping.Temporal.String(), refCand.Mapping.Temporal.String(); got != want {
 					t.Errorf("%s: mapping %s, want %s", cfg.label, got, want)
+				}
+				if cfg.noReduce {
+					continue
 				}
 				if stats.NestsGenerated != refStats.NestsGenerated ||
 					stats.Valid != refStats.Valid ||
@@ -208,22 +217,31 @@ func TestPruneStatsExact(t *testing.T) {
 }
 
 // TestMaxCandidatesCapParallel pins the cap semantics under concurrency:
-// generation stops at the cap with Skipped recorded, identically for any
-// worker count.
+// the WALK (orderings visited) stops exactly at the budget with the true
+// remainder in Skipped, identically for any worker count; under NoReduce
+// every walked ordering is also generated, so the old exact-cap behaviour
+// is recovered.
 func TestMaxCandidatesCapParallel(t *testing.T) {
 	l := workload.NewMatMul("m", 32, 64, 64)
 	a := arch.CaseStudy()
 	for _, workers := range []int{1, 4} {
-		o := Options{Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 40, Workers: workers}
-		_, stats, err := Best(&l, a, &o)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if stats.NestsGenerated != 40 {
-			t.Errorf("workers=%d: generated %d, want exactly the cap 40", workers, stats.NestsGenerated)
-		}
-		if stats.Skipped == 0 {
-			t.Errorf("workers=%d: cap hit but Skipped == 0", workers)
+		for _, noReduce := range []bool{false, true} {
+			o := Options{Spatial: arch.CaseStudySpatial(), BWAware: true,
+				MaxCandidates: 40, Workers: workers, NoReduce: noReduce}
+			_, stats, err := Best(&l, a, &o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if walked := stats.NestsGenerated + stats.ClassesMerged; walked != 40 {
+				t.Errorf("workers=%d nosym=%v: walked %d, want exactly the budget 40",
+					workers, noReduce, walked)
+			}
+			if noReduce && stats.NestsGenerated != 40 {
+				t.Errorf("workers=%d: NoReduce generated %d, want 40", workers, stats.NestsGenerated)
+			}
+			if stats.Skipped == 0 {
+				t.Errorf("workers=%d nosym=%v: cap hit but Skipped == 0", workers, noReduce)
+			}
 		}
 	}
 }

@@ -46,8 +46,12 @@ type Options struct {
 	// Pow2Splits restricts split factors to powers of two (cuts the space
 	// for large prime-rich extents). Default false.
 	Pow2Splits bool
-	// MaxCandidates caps the number of loop nests evaluated (default
-	// 50000); the search reports how many were skipped.
+	// MaxCandidates caps the enumeration walk: the number of ordered nests
+	// VISITED, whether each is evaluated directly (NoReduce) or first
+	// canonicalized into its model-equivalence class (default — the same
+	// budget then covers the same slice of the mapping space while
+	// evaluating only one representative per class). The exact remainder
+	// beyond the budget is reported as Stats.Skipped. Default 50000.
 	MaxCandidates int
 	// Objective selects the ranking (default MinLatency).
 	Objective Objective
@@ -62,10 +66,18 @@ type Options struct {
 	// evaluation, and n > 1 forces exactly n workers regardless of the
 	// budget (tests and benchmarks). The result is identical in all cases.
 	Workers int
-	// NoPrune disables the branch-and-bound lower-bound prune (latency
-	// objectives only; see engine.go). The selected mapping is identical
-	// with or without pruning — the knob exists for measurement.
+	// NoPrune disables the workers' branch-and-bound lower-bound prune
+	// (latency objectives only; see engine.go). The selected mapping and
+	// all exact statistics are identical with or without pruning — the
+	// knob exists for measurement.
 	NoPrune bool
+	// NoReduce disables the symmetry reduction (DESIGN.md §9): every
+	// distinct loop ordering is scored instead of one representative per
+	// model-equivalence class. The selected mapping and its score are
+	// bit-identical either way (the reduction is exact); the knob exists
+	// for cross-checking and measurement (-nosym in the cmds). The
+	// Stats counters change meaning with it — see Stats.
+	NoReduce bool
 }
 
 func (o *Options) normalized() Options {
@@ -97,17 +109,35 @@ func (c *Candidate) Score(obj Objective) float64 {
 	return c.Result.CCTotal
 }
 
-// Stats summarizes a search. NestsGenerated, Valid and Skipped are exact
-// and independent of the worker count and of branch-and-bound pruning: a
-// parallel run reports the same three values as a serial run of the same
-// search. Pruned is the only trajectory-dependent counter — it reports how
-// many nests the lower bound allowed the engine to skip, which depends on
-// how fast the shared best-so-far tightened and therefore on scheduling.
+// Stats summarizes a search. All counters except Pruned are exact: they are
+// pure functions of (layer, arch, Options) — independent of the worker
+// count and of NoPrune, so a parallel run reports the same values as a
+// serial run of the same search. Pruned is the only trajectory-dependent
+// counter: it reports how many full evaluations the workers' lower bound
+// skipped, which depends on how fast the shared best-so-far tightened and
+// therefore on scheduling.
 type Stats struct {
-	NestsGenerated int // ordered loop nests visited
-	Valid          int // mappings passing validation
-	Skipped        int // nests beyond MaxCandidates
-	Pruned         int // full evaluations skipped by the lower bound (informational)
+	// NestsGenerated counts the ordered nests handed to evaluation: with
+	// the symmetry reduction active (default) one representative per
+	// model-equivalence class, with NoReduce every visited ordering.
+	NestsGenerated int
+	// ClassesMerged counts visited orderings absorbed into an earlier
+	// representative's class (always 0 under NoReduce). NestsGenerated +
+	// ClassesMerged is the walk length MaxCandidates caps.
+	ClassesMerged int
+	// SubtreesPruned counts factorization subtrees the generator dropped
+	// against its deterministic probe bound before permuting them
+	// (engine.go); their orderings appear in no other counter.
+	SubtreesPruned int
+	// Valid counts evaluated mappings passing validation (under reduction:
+	// valid class representatives).
+	Valid int
+	// Skipped is the exact number of orderings beyond the MaxCandidates
+	// walk budget, counted by multinomial arithmetic rather than walked.
+	Skipped int
+	// Pruned counts full evaluations skipped by the workers' lower bound
+	// (informational; trajectory-dependent).
+	Pruned int
 }
 
 // Best searches the space and returns the best candidate by the objective,
@@ -128,9 +158,13 @@ func Best(l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Stats, er
 
 // Enumerate returns every valid candidate (use bounded options; intended
 // for analysis and mapping-space counting, e.g. Case 1's mapping census).
-// Candidates are ordered canonically: by score, then by the temporal nest's
-// lexicographic rendering, then by generation order — so equal-score
-// candidates land in a deterministic order regardless of the worker count.
+// With the symmetry reduction active (default) that means one candidate per
+// valid model-equivalence class; set NoReduce to enumerate every valid
+// ordering. Candidates are ordered canonically: by score, then by the
+// temporal nest's lexicographic rendering, then by generation order — so
+// equal-score candidates land in a deterministic order regardless of the
+// worker count. Unlike Best, Enumerate never bound-prunes subtrees (every
+// valid candidate is wanted, not just the winner).
 func Enumerate(l *workload.Layer, a *arch.Arch, opt *Options) ([]*Candidate, *Stats, error) {
 	o := opt.normalized()
 	_, scoredAll, stats, err := runSearch(l, a, &o, modeAll)
@@ -289,9 +323,16 @@ func dedupSplits(in [][]int64) [][]int64 {
 	return out
 }
 
-// permute visits every distinct ordering of the blocks; visit returns false
-// to stop the walk (candidate cap reached). The nest passed to visit is a
-// shared buffer, only valid for the duration of the call.
+// permute visits every distinct ordering of the blocks exactly once; visit
+// returns false to stop the walk (walk budget exhausted). The nest passed to
+// visit is a shared buffer, only valid for the duration of the call.
+//
+// Equal blocks are always adjacent in the mapper's multisets — each
+// dimension contributes the parts of ONE split alternative, so equal loops
+// can only be same-dim neighbours — which makes the duplicate-position skip
+// below sufficient for exactness: the walk visits precisely the
+// loops.DistinctOrderings(blocks) distinct sequences, the identity the
+// engine's Skipped accounting rests on.
 func permute(blocks []loops.Loop, visit func(loops.Nest) bool) {
 	n := len(blocks)
 	if n == 0 {
@@ -300,15 +341,9 @@ func permute(blocks []loops.Loop, visit func(loops.Nest) bool) {
 	}
 	nest := make(loops.Nest, 0, n)
 	used := make([]bool, n)
-	seen := map[string]bool{}
 	var rec func() bool
 	rec = func() bool {
 		if len(nest) == n {
-			key := nest.String()
-			if seen[key] {
-				return true
-			}
-			seen[key] = true
 			return visit(nest)
 		}
 		for i := 0; i < n; i++ {

@@ -1,0 +1,32 @@
+package memo
+
+// Set is an insert-only set of byte-string keys with the same collision
+// discipline as the Cache: lookups go through a 64-bit FNV-1a bucket and
+// full keys are compared byte for byte inside the bucket, so two distinct
+// keys can never merge silently. It is NOT safe for concurrent use — the
+// mapper's generator (its primary client) is single-threaded by design.
+type Set struct {
+	buckets map[uint64][]string
+	n       int
+}
+
+// Insert adds key to the set, copying the bytes, and reports whether it was
+// newly inserted (false = already present). The duplicate probe allocates
+// nothing.
+func (s *Set) Insert(key []byte) bool {
+	if s.buckets == nil {
+		s.buckets = make(map[uint64][]string)
+	}
+	sum := fnv1a(fnvOffset64, key)
+	for _, k := range s.buckets[sum] {
+		if k == string(key) {
+			return false
+		}
+	}
+	s.buckets[sum] = append(s.buckets[sum], string(key))
+	s.n++
+	return true
+}
+
+// Len returns the number of distinct keys inserted so far.
+func (s *Set) Len() int { return s.n }

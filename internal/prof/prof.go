@@ -1,0 +1,81 @@
+// Package prof gives every CLI in cmd/ the standard pprof escape hatch with
+// two lines of wiring: it registers -cpuprofile and -memprofile on the
+// default FlagSet at import time, Start() arms whichever were requested, and
+// Stop() finalizes them. Profiles are what `go tool pprof` expects: a CPU
+// profile covering Start..Stop and a heap profile snapped at Stop (after a
+// GC, so live objects — not garbage — dominate).
+//
+// Usage in a main:
+//
+//	flag.Parse()
+//	if err := prof.Start(); err != nil { fatal("%v", err) }
+//	defer prof.Stop()
+//
+// Commands that exit through os.Exit (which skips defers) must also call
+// prof.Stop() on their fatal path; Stop is idempotent, so calling it on both
+// paths is safe.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+	cpuFile *os.File
+	stopped bool
+)
+
+// Start begins CPU profiling if -cpuprofile was given. Call after
+// flag.Parse. Returns an error if a profile file cannot be created.
+func Start() error {
+	if *cpuProfile == "" {
+		return nil
+	}
+	f, err := os.Create(*cpuProfile)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("prof: %w", err)
+	}
+	cpuFile = f
+	return nil
+}
+
+// Stop finalizes the profiles requested at Start: it flushes and closes the
+// CPU profile and, if -memprofile was given, writes a heap profile after a
+// forced GC. Idempotent — only the first call acts, so it can sit both in a
+// defer and on an os.Exit fatal path. Errors are reported on stderr rather
+// than returned: by the time Stop runs the command's real work is done, and
+// a lost profile should not change the exit status.
+func Stop() {
+	if stopped {
+		return
+	}
+	stopped = true
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		cpuFile = nil
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+		}
+		f.Close()
+	}
+}
