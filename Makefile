@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke clean
+.PHONY: all build test race vet bench bench-smoke serve-smoke clean
 
 all: build test
 
@@ -14,10 +14,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages under the race detector: the mapper's
-# evaluation pipeline, the memoization cache, the shared worker budget, and
-# the parallel consumers.
+# evaluation pipeline, the memoization cache, the shared worker budget, the
+# parallel consumers, and the HTTP service.
 race:
-	$(GO) test -race ./internal/mapper ./internal/memo ./internal/par ./internal/network
+	$(GO) test -race ./internal/mapper ./internal/memo ./internal/par ./internal/network ./internal/serve
 
 vet:
 	$(GO) vet ./...
@@ -25,8 +25,8 @@ vet:
 # Search & model benchmarks with allocation stats, appended to the JSON
 # history in BENCH_mapper.json keyed by git SHA + date (see cmd/benchjson).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkMapperSearch|BenchmarkModelThroughput|BenchmarkNetworkEval|BenchmarkGenerateOnly' \
-		-benchmem -benchtime=2s . ./internal/mapper | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_mapper.json
+	$(GO) test -run '^$$' -bench 'BenchmarkMapperSearch|BenchmarkModelThroughput|BenchmarkNetworkEval|BenchmarkGenerateOnly|BenchmarkServe' \
+		-benchmem -benchtime=2s . ./internal/mapper ./internal/serve | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_mapper.json
 
 # One-iteration pass over every benchmark in the repo: CI runs this so a
 # benchmark that stops compiling or starts failing is caught on the PR, and
@@ -34,6 +34,12 @@ bench:
 # machines produce meaningless numbers, so no history file is written).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./... | $(GO) run ./cmd/benchjson > /dev/null
+
+# Black-box smoke test of the HTTP daemon: build cmd/servemodel, serve on a
+# loopback port, run a search + cache-hit + malformed-request sequence over
+# curl, and verify SIGTERM shuts it down gracefully.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 clean:
 	rm -f benchjson-*.tmp

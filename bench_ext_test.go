@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -41,7 +42,7 @@ func BenchmarkNetworkEvaluate(b *testing.B) {
 	var r *network.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = network.Evaluate(benchNet(), hw, arch.CaseStudySpatial(),
+		r, err = network.Evaluate(context.Background(), benchNet(), hw, arch.CaseStudySpatial(),
 			&network.Options{MaxCandidates: 800, PlanGB: true})
 		if err != nil {
 			b.Fatal(err)
@@ -79,7 +80,7 @@ func BenchmarkNetworkEvalCold(b *testing.B) {
 	opt := &network.Options{MaxCandidates: 800}
 	for i := 0; i < b.N; i++ {
 		memo.Default.Reset()
-		if _, err := network.Evaluate(repeatNet(), hw, sp, opt); err != nil {
+		if _, err := network.Evaluate(context.Background(), repeatNet(), hw, sp, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -93,12 +94,12 @@ func BenchmarkNetworkEvalCached(b *testing.B) {
 	hw, sp := arch.CaseStudy(), arch.CaseStudySpatial()
 	opt := &network.Options{MaxCandidates: 800}
 	memo.Default.Reset()
-	if _, err := network.Evaluate(repeatNet(), hw, sp, opt); err != nil {
+	if _, err := network.Evaluate(context.Background(), repeatNet(), hw, sp, opt); err != nil {
 		b.Fatal(err) // warm the cache outside the timed region
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := network.Evaluate(repeatNet(), hw, sp, opt); err != nil {
+		if _, err := network.Evaluate(context.Background(), repeatNet(), hw, sp, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -112,7 +113,7 @@ func BenchmarkMultiCoreScaling(b *testing.B) {
 	var r *network.MultiCoreResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = network.EvaluateMultiCore(benchNet(), hw, arch.CaseStudySpatial(),
+		r, err = network.EvaluateMultiCore(context.Background(), benchNet(), hw, arch.CaseStudySpatial(),
 			&network.MultiCoreOptions{Cores: 4, Options: network.Options{MaxCandidates: 600}})
 		if err != nil {
 			b.Fatal(err)
@@ -165,7 +166,7 @@ func BenchmarkSpatialSearch(b *testing.B) {
 	l := workload.NewMatMul("s", 48, 48, 48)
 	hw := arch.CaseStudy()
 	for i := 0; i < b.N; i++ {
-		_, _, _, err := mapper.BestWithSpatial(&l, hw, &mapper.SpatialOptions{
+		_, _, _, err := mapper.BestWithSpatial(context.Background(), &l, hw, &mapper.SpatialOptions{
 			MaxSpatials: 6,
 			Temporal:    mapper.Options{BWAware: true, MaxCandidates: 400},
 		})
@@ -232,7 +233,7 @@ func BenchmarkAnnealSearch(b *testing.B) {
 	hw := arch.CaseStudy()
 	var cc float64
 	for i := 0; i < b.N; i++ {
-		cand, err := mapper.Anneal(&l, hw, &mapper.AnnealOptions{
+		cand, err := mapper.Anneal(context.Background(), &l, hw, &mapper.AnnealOptions{
 			Spatial: arch.CaseStudySpatial(), BWAware: true,
 			Iterations: 1500, Restarts: 2, Seed: 5,
 		})
@@ -257,7 +258,7 @@ func BenchmarkCalibration(b *testing.B) {
 	for i, s := range shapes {
 		l := workload.NewMatMul("c", s[0], s[1], s[2])
 		l.Precision = precs[i]
-		best, _, err := mapper.Best(&l, hw, &mapper.Options{
+		best, _, err := mapper.Best(context.Background(), &l, hw, &mapper.Options{
 			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 300,
 		})
 		if err != nil {

@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -27,7 +28,7 @@ func caseStudyProblem(b *testing.B) *core.Problem {
 	b.Helper()
 	layer := workload.NewMatMul("bench", 128, 128, 128)
 	hw := arch.CaseStudy()
-	best, _, err := mapper.Best(&layer, hw, &mapper.Options{
+	best, _, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 		Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 2000,
 	})
 	if err != nil {
@@ -53,7 +54,7 @@ func BenchmarkFig1Scenarios(b *testing.B) {
 				gb.Ports[i].BWBits = 16
 			}
 		}
-		best, _, err := mapper.Best(&layer, a, &mapper.Options{Spatial: sp, BWAware: true, MaxCandidates: 500})
+		best, _, err := mapper.Best(context.Background(), &layer, a, &mapper.Options{Spatial: sp, BWAware: true, MaxCandidates: 500})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -170,7 +171,7 @@ func BenchmarkFig4Example(b *testing.B) {
 func BenchmarkFig5Validation(b *testing.B) {
 	a := arch.InHouse()
 	l := workload.Im2Col(workload.HandTrackingSuite()[4]) // conv4_pw
-	best, _, err := mapper.Best(&l, a, &mapper.Options{
+	best, _, err := mapper.Best(context.Background(), &l, a, &mapper.Options{
 		Spatial: arch.InHouseSpatial(), BWAware: true, MaxCandidates: 4000,
 	})
 	if err != nil {
@@ -252,7 +253,7 @@ func ablationAccuracy(b *testing.B, opts *core.ModelOptions) float64 {
 	b.Helper()
 	layer := workload.NewMatMul("abl", 128, 128, 8)
 	hw := arch.CaseStudy()
-	best, _, err := mapper.Best(&layer, hw, &mapper.Options{
+	best, _, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 		Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 2000,
 	})
 	if err != nil {
@@ -303,13 +304,13 @@ func BenchmarkAblationMapperPruning(b *testing.B) {
 	hw := arch.CaseStudy()
 	var fullLat, pow2Lat float64
 	for i := 0; i < b.N; i++ {
-		bf, _, err := mapper.Best(&layer, hw, &mapper.Options{
+		bf, _, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 3000,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		bp, _, err := mapper.Best(&layer, hw, &mapper.Options{
+		bp, _, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 3000, Pow2Splits: true,
 		})
 		if err != nil {
@@ -365,7 +366,7 @@ func BenchmarkMapperSearch(b *testing.B) {
 	hw := arch.CaseStudy()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := mapper.Best(&layer, hw, &mapper.Options{
+		if _, _, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 1000,
 		}); err != nil {
 			b.Fatal(err)
@@ -380,7 +381,7 @@ func BenchmarkMapperSearchSerial(b *testing.B) {
 	hw := arch.CaseStudy()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := mapper.Best(&layer, hw, &mapper.Options{
+		if _, _, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 1000,
 			Workers: 1, NoPrune: true,
 		}); err != nil {
@@ -397,7 +398,7 @@ func BenchmarkMapperSearchNoSym(b *testing.B) {
 	hw := arch.CaseStudy()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := mapper.Best(&layer, hw, &mapper.Options{
+		if _, _, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 1000,
 			NoReduce: true,
 		}); err != nil {
@@ -414,7 +415,7 @@ func BenchmarkMapperSearchParallel(b *testing.B) {
 	hw := arch.CaseStudy()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := mapper.Best(&layer, hw, &mapper.Options{
+		if _, _, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 1000,
 			Workers: 4,
 		}); err != nil {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,13 +25,13 @@ import (
 
 func main() {
 	var (
-		b      = flag.Int64("b", 1, "conv batch")
-		k      = flag.Int64("k", 64, "output channels")
-		c      = flag.Int64("c", 64, "input channels")
-		oy     = flag.Int64("oy", 28, "output rows")
-		ox     = flag.Int64("ox", 28, "output cols")
-		fy     = flag.Int64("fy", 3, "filter rows")
-		fx     = flag.Int64("fx", 3, "filter cols")
+		b        = flag.Int64("b", 1, "conv batch")
+		k        = flag.Int64("k", 64, "output channels")
+		c        = flag.Int64("c", 64, "input channels")
+		oy       = flag.Int64("oy", 28, "output rows")
+		ox       = flag.Int64("ox", 28, "output cols")
+		fy       = flag.Int64("fy", 3, "filter rows")
+		fx       = flag.Int64("fx", 3, "filter cols")
 		budget   = flag.Int("budget", 8000, "mapping search budget per architecture")
 		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
 		nosym    = flag.Bool("nosym", false, "disable the symmetry-reduced enumeration (walk every ordering)")
@@ -74,7 +75,7 @@ func main() {
 		if !p.direct {
 			layer = workload.Im2Col(conv)
 		}
-		best, _, err := mapper.BestCached(&layer, p.hw, &mapper.Options{
+		best, _, err := mapper.BestCached(context.Background(), &layer, p.hw, &mapper.Options{
 			Spatial: p.spatial, BWAware: true, MaxCandidates: *budget, NoReduce: *nosym,
 		})
 		if err != nil {

@@ -21,8 +21,8 @@ import (
 
 func main() {
 	var (
-		samples = flag.Int("samples", 50, "mappable samples to collect")
-		seed    = flag.Int64("seed", 20220318, "generator seed")
+		samples  = flag.Int("samples", 50, "mappable samples to collect")
+		seed     = flag.Int64("seed", 20220318, "generator seed")
 		budget   = flag.Int("budget", 1000, "mapping search budget per sample")
 		verbose  = flag.Bool("v", false, "print every sample")
 		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -158,7 +159,7 @@ func main() {
 			hw.Name, hw.MACs, layer.String())
 	} else if *anneal {
 		var err error
-		best, err = mapper.AnnealCached(&layer, hw, &mapper.AnnealOptions{
+		best, err = mapper.AnnealCached(context.Background(), &layer, hw, &mapper.AnnealOptions{
 			Spatial: sp, BWAware: !*unaware, Iterations: *budget / 4, NoReduce: *nosym,
 		})
 		if err != nil {
@@ -169,7 +170,7 @@ func main() {
 	} else {
 		var stats *mapper.Stats
 		var err error
-		best, stats, err = mapper.BestCached(&layer, hw, &mapper.Options{
+		best, stats, err = mapper.BestCached(context.Background(), &layer, hw, &mapper.Options{
 			Spatial: sp, BWAware: !*unaware, MaxCandidates: *budget, NoReduce: *nosym,
 		})
 		if err != nil {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -131,7 +132,7 @@ func main() {
 		NoReduce:      *nosym,
 	}
 	if *scaling {
-		curve, err := network.ScalingCurve(net, hw, sp, *cores, &network.MultiCoreOptions{
+		curve, err := network.ScalingCurve(context.Background(), net, hw, sp, *cores, &network.MultiCoreOptions{
 			Pipeline: *pipeline, ShareGBBandwidth: *shareBW, Options: opts,
 		})
 		if err != nil {
@@ -144,7 +145,7 @@ func main() {
 		return
 	}
 	if *cores > 1 {
-		mc, err := network.EvaluateMultiCore(net, hw, sp, &network.MultiCoreOptions{
+		mc, err := network.EvaluateMultiCore(context.Background(), net, hw, sp, &network.MultiCoreOptions{
 			Cores: *cores, Pipeline: *pipeline, ShareGBBandwidth: *shareBW, Options: opts,
 		})
 		if err != nil {
@@ -161,7 +162,7 @@ func main() {
 		}
 		return
 	}
-	r, err := network.Evaluate(net, hw, sp, &opts)
+	r, err := network.Evaluate(context.Background(), net, hw, sp, &opts)
 	if err != nil {
 		fatal("%v", err)
 	}

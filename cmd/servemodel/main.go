@@ -1,0 +1,113 @@
+// Command servemodel runs the uniform latency model as a long-lived HTTP
+// service (package serve): single-layer evaluation, full mapping searches
+// and whole-network evaluation over the bundled workloads, backed by the
+// process-wide memo cache (and the on-disk store with -cachedir) so
+// identical requests coalesce and repeats answer from cache.
+//
+// Usage:
+//
+//	servemodel [-addr :8080] [-cachedir auto] [-maxconcurrent N]
+//	           [-maxqueue N] [-timeout 30s] [-maxtimeout 5m]
+//	           [-draintimeout 10s] [-debugaddr localhost:6060]
+//
+// Endpoints: POST /v1/eval, /v1/search, /v1/network; GET /healthz,
+// /metrics (Prometheus text format). SIGINT/SIGTERM trigger a graceful
+// shutdown that drains in-flight searches for -draintimeout before
+// force-canceling them. -debugaddr exposes net/http/pprof on a separate,
+// opt-in listener; the file-based -cpuprofile/-memprofile flags from
+// package prof work too.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/mapper"
+	"repro/internal/prof"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address for the API")
+		debugAddr = flag.String("debugaddr", "", "optional listen address for net/http/pprof (e.g. localhost:6060)")
+		cacheDir  = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
+		maxConc   = flag.Int("maxconcurrent", 0, "max concurrently running searches (default: the worker budget)")
+		maxQueue  = flag.Int("maxqueue", 0, "max requests queued for a search slot before shedding 429 (default: 4x maxconcurrent)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "default per-request deadline when the request carries no timeout_ms")
+		maxTo     = flag.Duration("maxtimeout", 5*time.Minute, "cap on client-requested timeouts")
+		drainTo   = flag.Duration("draintimeout", 10*time.Second, "graceful-shutdown drain window for in-flight searches")
+	)
+	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal("%v", err)
+	}
+	defer prof.Stop()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *cacheDir != "" {
+		dir, err := mapper.EnableDiskCache(*cacheDir)
+		if err != nil {
+			fatal("cachedir: %v", err)
+		}
+		log.Info("disk cache enabled", "dir", dir)
+	}
+
+	s := serve.New(serve.Config{
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTo,
+		Logger:         log,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: prof.DebugMux()}
+		go func() {
+			log.Info("pprof listener", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("pprof listener failed", "err", err)
+			}
+		}()
+		defer dbg.Close()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Info("serving", "addr", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		prof.Stop()
+		fatal("serve: %v", err)
+	case <-ctx.Done():
+		log.Info("shutdown signal; draining", "window", *drainTo)
+		if err := s.Shutdown(srv, *drainTo); err != nil {
+			log.Warn("shutdown incomplete", "err", err)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servemodel: "+format+"\n", args...)
+	prof.Stop()
+	os.Exit(1)
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -90,7 +91,7 @@ func main() {
 	})
 
 	for _, hw := range []*arch.Arch{narrow, onePort, twoPorts} {
-		best, _, err := mapper.Best(&layer, hw, &mapper.Options{
+		best, _, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 			Spatial: spatial, BWAware: true, MaxCandidates: 10000,
 		})
 		if err != nil {
@@ -111,15 +112,15 @@ func main() {
 
 	// Quantify what each port upgrade buys, with the mapping re-optimized
 	// for every architecture (the co-design loop the paper advocates).
-	bNarrow, _, err := mapper.Best(&layer, narrow, &mapper.Options{Spatial: spatial, BWAware: true, MaxCandidates: 10000})
+	bNarrow, _, err := mapper.Best(context.Background(), &layer, narrow, &mapper.Options{Spatial: spatial, BWAware: true, MaxCandidates: 10000})
 	if err != nil {
 		log.Fatal(err)
 	}
-	bOne, _, err := mapper.Best(&layer, onePort, &mapper.Options{Spatial: spatial, BWAware: true, MaxCandidates: 10000})
+	bOne, _, err := mapper.Best(context.Background(), &layer, onePort, &mapper.Options{Spatial: spatial, BWAware: true, MaxCandidates: 10000})
 	if err != nil {
 		log.Fatal(err)
 	}
-	bTwo, _, err := mapper.Best(&layer, twoPorts, &mapper.Options{Spatial: spatial, BWAware: true, MaxCandidates: 10000})
+	bTwo, _, err := mapper.Best(context.Background(), &layer, twoPorts, &mapper.Options{Spatial: spatial, BWAware: true, MaxCandidates: 10000})
 	if err != nil {
 		log.Fatal(err)
 	}

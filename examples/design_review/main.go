@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	layer := workload.Im2Col(workload.NewPointwise("pw", 1, 128, 64, 28, 28))
 	fmt.Printf("=== layer %s on %s ===\n\n", layer.String(), hw.Name)
 
-	best, stats, err := mapper.Best(&layer, hw, &mapper.Options{
+	best, stats, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 		Spatial: sp, BWAware: true, MaxCandidates: 8000,
 	})
 	if err != nil {
@@ -72,7 +73,7 @@ func main() {
 	// --- 3. The whole network with GB planning and scaling. ---
 	fmt.Println("\n=== hand-tracking network, GB plan, 1 vs 4 cores ===")
 	net := network.HandTracking()
-	res, err := network.Evaluate(net, arch.InHouse(), arch.InHouseSpatial(), &network.Options{
+	res, err := network.Evaluate(context.Background(), net, arch.InHouse(), arch.InHouseSpatial(), &network.Options{
 		MaxCandidates: 1500, PlanGB: true,
 	})
 	if err != nil {
@@ -81,7 +82,7 @@ func main() {
 	fmt.Printf("single core: %.2f Mcc at %.1f%% utilization; GB peak %d KiB, spills %d\n",
 		res.TotalCC/1e6, 100*res.Utilization, res.GBPlan.PeakBits/8192, len(res.GBPlan.Spilled()))
 
-	mc, err := network.EvaluateMultiCore(net, arch.InHouse(), arch.InHouseSpatial(),
+	mc, err := network.EvaluateMultiCore(context.Background(), net, arch.InHouse(), arch.InHouseSpatial(),
 		&network.MultiCoreOptions{Cores: 4, Options: network.Options{MaxCandidates: 1500}})
 	if err != nil {
 		log.Fatal(err)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	fmt.Printf("layer: %s -> %s\n\n", conv.String(), layer.String())
 
 	// Enumerate the bounded space once with energy annotated.
-	all, stats, err := mapper.Enumerate(&layer, hw, &mapper.Options{
+	all, stats, err := mapper.Enumerate(context.Background(), &layer, hw, &mapper.Options{
 		Spatial:       arch.CaseStudySpatial(),
 		BWAware:       true,
 		Objective:     mapper.MinEDP, // annotates energy on every candidate

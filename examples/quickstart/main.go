@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 
 	// Search the temporal-mapping space for the lowest-latency valid
 	// mapping under the canonical spatial unrolling K16|B8|C2.
-	best, stats, err := mapper.Best(&mm, hw, &mapper.Options{
+	best, stats, err := mapper.Best(context.Background(), &mm, hw, &mapper.Options{
 		Spatial: arch.CaseStudySpatial(),
 		BWAware: true,
 	})

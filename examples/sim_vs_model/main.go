@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,7 +33,7 @@ func main() {
 		hw.MemoryByName("GB").Ports[i].BWBits = *gbBW
 	}
 
-	best, _, err := mapper.Best(&layer, hw, &mapper.Options{
+	best, _, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 		Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 10000,
 	})
 	if err != nil {

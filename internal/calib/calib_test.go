@@ -1,6 +1,7 @@
 package calib
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -30,7 +31,7 @@ func problems(t *testing.T) []*core.Problem {
 	for i, s := range shapes {
 		l := workload.NewMatMul("c", s[0], s[1], s[2])
 		l.Precision = precs[i%len(precs)]
-		best, _, err := mapper.Best(&l, hw, &mapper.Options{
+		best, _, err := mapper.Best(context.Background(), &l, hw, &mapper.Options{
 			Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 400,
 		})
 		if err != nil {
@@ -124,7 +125,7 @@ func TestFitErrors(t *testing.T) {
 	// Degenerate: identical samples -> singular normal equations.
 	hw := arch.CaseStudy()
 	l := workload.NewMatMul("d", 32, 32, 32)
-	best, _, err := mapper.Best(&l, hw, &mapper.Options{
+	best, _, err := mapper.Best(context.Background(), &l, hw, &mapper.Options{
 		Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 200,
 	})
 	if err != nil {

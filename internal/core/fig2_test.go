@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -141,7 +142,7 @@ func TestFig2DTLCensus(t *testing.T) {
 func TestFourLevelChainModelVsSim(t *testing.T) {
 	a := fig2Arch()
 	l := workload.NewMatMul("deep", 64, 64, 64)
-	best, _, err := mapper.Best(&l, a, &mapper.Options{
+	best, _, err := mapper.Best(context.Background(), &l, a, &mapper.Options{
 		Spatial:       loops.Nest{{Dim: loops.K, Size: 16}, {Dim: loops.B, Size: 2}, {Dim: loops.C, Size: 2}},
 		BWAware:       true,
 		MaxCandidates: 4000,

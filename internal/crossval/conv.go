@@ -1,6 +1,7 @@
 package crossval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -81,7 +82,7 @@ func (g *Generator) RandomConvArch() (*arch.Arch, loops.Nest) {
 func (g *Generator) NextConv(budget int, simulate func(*core.Problem) (int64, error)) (*Sample, error) {
 	layer := g.RandomConvLayer()
 	hw, sp := g.RandomConvArch()
-	best, _, err := mapper.BestCached(&layer, hw, &mapper.Options{
+	best, _, err := mapper.BestCached(context.Background(), &layer, hw, &mapper.Options{
 		Spatial: sp, BWAware: true, MaxCandidates: budget,
 	})
 	if err != nil {

@@ -6,6 +6,7 @@
 package crossval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -128,7 +129,7 @@ func (g *Generator) RandomArch() (*arch.Arch, loops.Nest) {
 func (g *Generator) Next(budget int, simulate func(*core.Problem) (int64, error)) (*Sample, error) {
 	layer := g.RandomLayer()
 	hw, sp := g.RandomArch()
-	best, _, err := mapper.BestCached(&layer, hw, &mapper.Options{
+	best, _, err := mapper.BestCached(context.Background(), &layer, hw, &mapper.Options{
 		Spatial: sp, BWAware: true, MaxCandidates: budget,
 	})
 	if err != nil {

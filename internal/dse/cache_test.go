@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/memo"
@@ -24,12 +25,12 @@ func TestSweepCachedMatchesUncached(t *testing.T) {
 	memo.Default.Reset()
 	cfg := smallConfig(true)
 
-	cached, err := Sweep(cfg)
+	cached, err := Sweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h0 := memo.Default.Counters().Hits()
-	repeat, err := Sweep(cfg) // rebuilds every Arch; content-keyed -> all hits
+	repeat, err := Sweep(context.Background(), cfg) // rebuilds every Arch; content-keyed -> all hits
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestSweepCachedMatchesUncached(t *testing.T) {
 
 	memo.Default.SetEnabled(false)
 	defer memo.Default.SetEnabled(true)
-	plain, err := Sweep(cfg)
+	plain, err := Sweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -179,8 +180,13 @@ func BuildArch(ac ArrayChoice, regMult, wlbKiB, ilbKiB, gbBW int64) *arch.Arch {
 }
 
 // Sweep evaluates every design in the config's pool. Points whose mapping
-// search fails are returned with Valid=false.
-func Sweep(cfg *Config) ([]Point, error) {
+// search fails are returned with Valid=false. Cancellation propagates into
+// every per-point mapping search; a canceled sweep returns ctx.Err() and no
+// points.
+func Sweep(ctx context.Context, cfg *Config) ([]Point, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(cfg.Arrays) == 0 {
 		return nil, fmt.Errorf("dse: no array choices")
 	}
@@ -208,6 +214,9 @@ func Sweep(cfg *Config) ([]Point, error) {
 	// searches they invoke: when the sweep saturates the budget, the inner
 	// searches run serially, and vice versa — never oversubscribed.
 	par.ForEachLimit(len(tasks), cfg.Workers, func(i int) {
+		if ctx.Err() != nil {
+			return // canceled: skip the remaining points promptly
+		}
 		tk := tasks[i]
 		a := BuildArch(tk.ac, tk.rm, tk.wlb, tk.ilb, cfg.GBBWBits)
 		pt := Point{
@@ -220,7 +229,7 @@ func Sweep(cfg *Config) ([]Point, error) {
 		// Cached search: sweep grids re-visit (arch, layer) points across
 		// panels and CLI invocations; the fingerprint is content-addressed,
 		// so each freshly built (but structurally identical) Arch hits.
-		best, _, err := mapper.BestCached(&layer, a, &mapper.Options{
+		best, _, err := mapper.BestCached(ctx, &layer, a, &mapper.Options{
 			Spatial:       tk.ac.Spatial,
 			BWAware:       cfg.BWAware,
 			Pow2Splits:    true,
@@ -234,6 +243,9 @@ func Sweep(cfg *Config) ([]Point, error) {
 		}
 		points[tk.idx] = pt
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return points, nil
 }
 

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/loops"
@@ -52,7 +53,7 @@ func TestBuildArchValid(t *testing.T) {
 }
 
 func TestSweepShape(t *testing.T) {
-	pts, err := Sweep(quickConfig(128, true))
+	pts, err := Sweep(context.Background(), quickConfig(128, true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +78,11 @@ func TestSweepShape(t *testing.T) {
 }
 
 func TestSweepDeterministic(t *testing.T) {
-	a, err := Sweep(quickConfig(128, true))
+	a, err := Sweep(context.Background(), quickConfig(128, true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Sweep(quickConfig(128, true))
+	b, err := Sweep(context.Background(), quickConfig(128, true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,17 +118,17 @@ func TestParetoAndBestPerArray(t *testing.T) {
 }
 
 func TestSweepEmptyConfig(t *testing.T) {
-	if _, err := Sweep(&Config{}); err == nil {
+	if _, err := Sweep(context.Background(), &Config{}); err == nil {
 		t.Error("empty config swept")
 	}
 }
 
 func TestBWAwareNeverFaster(t *testing.T) {
-	aware, err := Sweep(quickConfig(128, true))
+	aware, err := Sweep(context.Background(), quickConfig(128, true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	unaware, err := Sweep(quickConfig(128, false))
+	unaware, err := Sweep(context.Background(), quickConfig(128, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,11 +143,11 @@ func TestBWAwareNeverFaster(t *testing.T) {
 }
 
 func TestGBBandwidthMonotone(t *testing.T) {
-	low, err := Sweep(quickConfig(128, true))
+	low, err := Sweep(context.Background(), quickConfig(128, true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	high, err := Sweep(quickConfig(1024, true))
+	high, err := Sweep(context.Background(), quickConfig(1024, true))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dse"
@@ -34,7 +35,7 @@ func BWSweep(bws []int64, maxCandidates int) ([]BWPoint, error) {
 		cfg.WLBKiB = []int64{32}
 		cfg.ILBKiB = []int64{16}
 		cfg.MaxCandidates = maxCandidates
-		pts, err := dse.Sweep(cfg)
+		pts, err := dse.Sweep(context.Background(), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("bwsweep at %d: %w", bw, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -120,7 +121,7 @@ func Case1(census bool) (*Case1Result, error) {
 	}
 
 	if census {
-		_, stats, err := mapper.Enumerate(&l, hw, &mapper.Options{
+		_, stats, err := mapper.Enumerate(context.Background(), &l, hw, &mapper.Options{
 			Spatial:       arch.CaseStudySpatial(),
 			BWAware:       true,
 			MaxCandidates: 40000,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -57,7 +58,7 @@ func Case2(opt *Case2Options) ([]Case2Row, error) {
 	var rows []Case2Row
 	for _, l := range workload.Case2Sweep() {
 		layer := l
-		best, _, err := mapper.BestCached(&layer, hw, &mapper.Options{
+		best, _, err := mapper.BestCached(context.Background(), &layer, hw, &mapper.Options{
 			Spatial: sp, BWAware: true, MaxCandidates: maxCand, NoReduce: opt.NoReduce,
 		})
 		if err != nil {

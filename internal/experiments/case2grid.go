@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -53,7 +54,7 @@ func Case2Grid(extents []int64, opt *Case2Options) ([]GridCell, error) {
 		l := workload.NewMatMul(
 			fmt.Sprintf("(%d,%d,%d)", cell.B, cell.K, cell.C),
 			cell.B, cell.K, cell.C)
-		best, _, err := mapper.BestCached(&l, hw, &mapper.Options{
+		best, _, err := mapper.BestCached(context.Background(), &l, hw, &mapper.Options{
 			Spatial: sp, BWAware: true, Pow2Splits: true,
 			MaxCandidates: maxCandidates, NoReduce: opt.NoReduce,
 		})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dse"
@@ -60,7 +61,7 @@ func Case3(opt *Case3Options) (*Case3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		pts, err := dse.Sweep(cfg)
+		pts, err := dse.Sweep(context.Background(), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("case3: sweep gbBW=%d aware=%v: %w", panel.gbBW, panel.aware, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestDirectConvRowStationary(t *testing.T) {
 	}
 	for _, l := range layers {
 		layer := l
-		best, _, err := mapper.Best(&layer, hw, &mapper.Options{
+		best, _, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 			Spatial: sp, BWAware: true, MaxCandidates: 4000,
 		})
 		if err != nil {
@@ -63,7 +64,7 @@ func TestDirectVsIm2ColMACs(t *testing.T) {
 	}
 	// Direct conv on row-stationary.
 	rs := arch.RowStationary()
-	dBest, _, err := mapper.Best(&conv, rs, &mapper.Options{
+	dBest, _, err := mapper.Best(context.Background(), &conv, rs, &mapper.Options{
 		Spatial: arch.RowStationarySpatial(), BWAware: true, MaxCandidates: 2000,
 	})
 	if err != nil {
@@ -71,7 +72,7 @@ func TestDirectVsIm2ColMACs(t *testing.T) {
 	}
 	// Im2Col on the case-study matmul engine.
 	cs := arch.CaseStudy()
-	mBest, _, err := mapper.Best(&mm, cs, &mapper.Options{
+	mBest, _, err := mapper.Best(context.Background(), &mm, cs, &mapper.Options{
 		Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 2000,
 	})
 	if err != nil {

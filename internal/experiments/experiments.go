@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -59,7 +60,7 @@ func Validation(opt *ValidationOptions) ([]ValidationRow, float64, error) {
 	var sum float64
 	for _, l := range suite {
 		mm := workload.Im2Col(l)
-		best, _, err := mapper.BestCached(&mm, a, &mapper.Options{
+		best, _, err := mapper.BestCached(context.Background(), &mm, a, &mapper.Options{
 			Spatial: sp, BWAware: true, MaxCandidates: maxCand,
 		})
 		if err != nil {

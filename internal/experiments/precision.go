@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -40,7 +41,7 @@ func PrecisionSweep(maxCandidates int) ([]PrecisionRow, error) {
 	for _, prec := range configs {
 		l := workload.NewMatMul(fmt.Sprintf("w%d i%d o%d", prec.W, prec.I, prec.O), 128, 128, 8)
 		l.Precision = prec
-		best, _, err := mapper.BestCached(&l, hw, &mapper.Options{
+		best, _, err := mapper.BestCached(context.Background(), &l, hw, &mapper.Options{
 			Spatial: sp, BWAware: true, MaxCandidates: maxCandidates,
 		})
 		if err != nil {

@@ -9,6 +9,7 @@
 package fusion
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -87,7 +88,7 @@ func Optimize(n *network.Network, hw *arch.Arch, spatial loops.Nest, opt *Option
 	infos := make([]layerInfo, len(n.Layers))
 	for i := range n.Layers {
 		lowered := workload.Im2Col(n.Layers[i])
-		best, _, err := mapper.Best(&lowered, hw, &mapper.Options{
+		best, _, err := mapper.Best(context.Background(), &lowered, hw, &mapper.Options{
 			Spatial: spatial, BWAware: true, MaxCandidates: budget,
 		})
 		if err != nil {

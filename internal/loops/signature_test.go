@@ -66,7 +66,7 @@ func TestDistinctOrderings(t *testing.T) {
 		{[]Loop{{Dim: K, Size: 2}}, 1},
 		{[]Loop{{Dim: K, Size: 2}, {Dim: K, Size: 2}}, 1},
 		{[]Loop{{Dim: K, Size: 2}, {Dim: K, Size: 3}}, 2},
-		{[]Loop{{Dim: K, Size: 2}, {Dim: K, Size: 2}, {Dim: C, Size: 2}}, 3},     // 3!/2!
+		{[]Loop{{Dim: K, Size: 2}, {Dim: K, Size: 2}, {Dim: C, Size: 2}}, 3},                    // 3!/2!
 		{[]Loop{{Dim: K, Size: 2}, {Dim: K, Size: 2}, {Dim: C, Size: 2}, {Dim: C, Size: 2}}, 6}, // 4!/(2!2!)
 		{[]Loop{{Dim: B, Size: 2}, {Dim: K, Size: 3}, {Dim: C, Size: 5}, {Dim: OY, Size: 7}}, 24},
 	}

@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -10,11 +11,11 @@ import (
 func TestAnnealMatchesExhaustiveOnSmallSpace(t *testing.T) {
 	l := workload.NewMatMul("a", 32, 64, 64)
 	hw := arch.CaseStudy()
-	exh, _, err := Best(&l, hw, opts())
+	exh, _, err := Best(context.Background(), &l, hw, opts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ann, err := Anneal(&l, hw, &AnnealOptions{
+	ann, err := Anneal(context.Background(), &l, hw, &AnnealOptions{
 		Spatial: arch.CaseStudySpatial(), BWAware: true,
 		Iterations: 3000, Restarts: 3, Seed: 7,
 	})
@@ -34,11 +35,11 @@ func TestAnnealDeterministic(t *testing.T) {
 	l := workload.NewMatMul("d", 32, 32, 32)
 	hw := arch.CaseStudy()
 	o := &AnnealOptions{Spatial: arch.CaseStudySpatial(), BWAware: true, Iterations: 800, Seed: 42}
-	a1, err := Anneal(&l, hw, o)
+	a1, err := Anneal(context.Background(), &l, hw, o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := Anneal(&l, hw, o)
+	a2, err := Anneal(context.Background(), &l, hw, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestAnnealDirectConv(t *testing.T) {
 	// must still return a valid competitive mapping.
 	l := workload.NewConv2D("c", 1, 32, 16, 28, 28, 3, 3)
 	hw := arch.RowStationary()
-	ann, err := Anneal(&l, hw, &AnnealOptions{
+	ann, err := Anneal(context.Background(), &l, hw, &AnnealOptions{
 		Spatial: arch.RowStationarySpatial(), BWAware: true,
 		Iterations: 2500, Restarts: 2, Seed: 3,
 	})
@@ -70,12 +71,12 @@ func TestAnnealDirectConv(t *testing.T) {
 func TestAnnealErrors(t *testing.T) {
 	l := workload.NewMatMul("e", 8, 8, 8)
 	hw := arch.CaseStudy()
-	if _, err := Anneal(&l, hw, nil); err == nil {
+	if _, err := Anneal(context.Background(), &l, hw, nil); err == nil {
 		t.Error("nil options accepted")
 	}
 	bad := workload.NewMatMul("b", 8, 8, 8)
 	bad.Dims[0] = -1
-	if _, err := Anneal(&bad, hw, &AnnealOptions{Spatial: arch.CaseStudySpatial()}); err == nil {
+	if _, err := Anneal(context.Background(), &bad, hw, &AnnealOptions{Spatial: arch.CaseStudySpatial()}); err == nil {
 		t.Error("invalid layer accepted")
 	}
 }
@@ -83,7 +84,7 @@ func TestAnnealErrors(t *testing.T) {
 func TestNeighbourPreservesProduct(t *testing.T) {
 	l := workload.NewMatMul("n", 32, 64, 64)
 	hw := arch.CaseStudy()
-	ann, err := Anneal(&l, hw, &AnnealOptions{
+	ann, err := Anneal(context.Background(), &l, hw, &AnnealOptions{
 		Spatial: arch.CaseStudySpatial(), BWAware: true, Iterations: 500, Seed: 9,
 	})
 	if err != nil {

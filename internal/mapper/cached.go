@@ -24,6 +24,7 @@ package mapper
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sync"
@@ -142,10 +143,20 @@ func decodeSearch(l *workload.Layer, a *arch.Arch, o *Options, blob []byte) *sea
 // from memory — or from the on-disk store when EnableDiskCache is active.
 // Results are bit-identical to Best. The returned Candidate is shared and
 // must not be mutated; the Stats are a private copy.
-func BestCached(l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Stats, error) {
+//
+// Cancellation: a search that dies with ctx.Err() is neither kept in the
+// memo cache nor written to disk (memo.Cache.Do evicts context-error
+// entries), so an abandoned request can never poison the cache with a
+// partial result. A caller whose ctx fires while COALESCED onto another
+// caller's in-flight search returns its own ctx.Err() and leaves that
+// search running for the others.
+func BestCached(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := opt.normalized()
 	k := bestKey(l, a, &o)
-	v, err := memo.Default.Do(k, func() (any, error) {
+	v, err := memo.Default.Do(ctx, k, func(ctx context.Context) (any, error) {
 		if d := getDisk(); d != nil {
 			if blob, ok := d.Get(k); ok {
 				if res := decodeSearch(l, a, &o, blob); res != nil {
@@ -154,7 +165,7 @@ func BestCached(l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Sta
 				}
 			}
 		}
-		best, _, stats, err := runSearch(l, a, &o, modeBest)
+		best, _, stats, err := runSearch(ctx, l, a, &o, modeBest)
 		if err != nil {
 			return nil, err
 		}
@@ -212,14 +223,18 @@ func annealKey(l *workload.Layer, a *arch.Arch, o *AnnealOptions) memo.Key {
 }
 
 // AnnealCached is Anneal behind the memo cache (and the disk store when
-// enabled), with the same determinism contract as BestCached.
-func AnnealCached(l *workload.Layer, a *arch.Arch, opt *AnnealOptions) (*Candidate, error) {
+// enabled), with the same determinism and cancellation contract as
+// BestCached.
+func AnnealCached(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *AnnealOptions) (*Candidate, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt == nil {
-		return Anneal(l, a, opt) // let Anneal report the error
+		return Anneal(ctx, l, a, opt) // let Anneal report the error
 	}
 	k := annealKey(l, a, opt)
 	evalOpts := &Options{Spatial: opt.Spatial, BWAware: opt.BWAware, Objective: opt.Objective}
-	v, err := memo.Default.Do(k, func() (any, error) {
+	v, err := memo.Default.Do(ctx, k, func(ctx context.Context) (any, error) {
 		if d := getDisk(); d != nil {
 			if blob, ok := d.Get(k); ok {
 				if res := decodeSearch(l, a, evalOpts, blob); res != nil {
@@ -228,7 +243,7 @@ func AnnealCached(l *workload.Layer, a *arch.Arch, opt *AnnealOptions) (*Candida
 				}
 			}
 		}
-		c, err := Anneal(l, a, opt)
+		c, err := Anneal(ctx, l, a, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -36,13 +37,13 @@ func TestBestCachedIdentity(t *testing.T) {
 	l := workload.NewMatMul("m", 16, 32, 32)
 	a := arch.CaseStudy()
 
-	want, wantStats, err := Best(&l, a, opts())
+	want, wantStats, err := Best(context.Background(), &l, a, opts())
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	h0 := memo.Default.Counters().Hits()
-	c1, s1, err := BestCached(&l, a, opts())
+	c1, s1, err := BestCached(context.Background(), &l, a, opts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestBestCachedIdentity(t *testing.T) {
 		t.Fatalf("stats differ: %+v != %+v", *s1, *wantStats)
 	}
 
-	c2, s2, err := BestCached(&l, a, opts())
+	c2, s2, err := BestCached(context.Background(), &l, a, opts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestBestCachedIdentity(t *testing.T) {
 
 	// A renamed layer of the same shape must hit the same entry.
 	renamed := workload.NewMatMul("other-name", 16, 32, 32)
-	c3, _, err := BestCached(&renamed, a, opts())
+	c3, _, err := BestCached(context.Background(), &renamed, a, opts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestBestCachedIdentity(t *testing.T) {
 	// Changed options must NOT share the entry.
 	o2 := opts()
 	o2.Pow2Splits = true
-	c4, _, err := BestCached(&l, a, o2)
+	c4, _, err := BestCached(context.Background(), &l, a, o2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,11 +100,11 @@ func TestBestCachedWorkersExcluded(t *testing.T) {
 	o2 := opts()
 	o2.Workers = 4
 	o2.NoPrune = true
-	c1, _, err := BestCached(&l, a, o1)
+	c1, _, err := BestCached(context.Background(), &l, a, o1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, _, err := BestCached(&l, a, o2)
+	c2, _, err := BestCached(context.Background(), &l, a, o2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestBestCachedConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, _, err := BestCached(&l, a, opts())
+			c, _, err := BestCached(context.Background(), &l, a, opts())
 			if err != nil {
 				t.Error(err)
 				return
@@ -154,7 +155,7 @@ func TestBestCachedNoValidMapping(t *testing.T) {
 	a.MemoryByName("W-Reg").CapacityBits = 8
 	l := workload.NewMatMul("m", 16, 32, 32)
 	for i := 0; i < 2; i++ {
-		c, st, err := BestCached(&l, a, opts())
+		c, st, err := BestCached(context.Background(), &l, a, opts())
 		if err == nil || c != nil {
 			t.Fatal("expected no-valid-mapping error")
 		}
@@ -177,14 +178,14 @@ func TestDiskCacheWarmStart(t *testing.T) {
 
 	l := workload.NewMatMul("m", 16, 32, 32)
 	a := arch.CaseStudy()
-	want, wantStats, err := BestCached(&l, a, opts()) // populates disk
+	want, wantStats, err := BestCached(context.Background(), &l, a, opts()) // populates disk
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	memo.Default.Reset() // cold memory, warm disk
 	d0 := memo.Default.Counters().DiskHits()
-	got, gotStats, err := BestCached(&l, a, opts())
+	got, gotStats, err := BestCached(context.Background(), &l, a, opts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestDiskCacheWarmStart(t *testing.T) {
 	d1 := memo.Default.Counters().DiskHits()
 	a2 := a.Clone()
 	a2.MemoryByName("GB").Ports[0].BWBits *= 2
-	if _, _, err := BestCached(&l, a2, opts()); err != nil {
+	if _, _, err := BestCached(context.Background(), &l, a2, opts()); err != nil {
 		t.Fatal(err)
 	}
 	if memo.Default.Counters().DiskHits() != d1 {
@@ -218,16 +219,16 @@ func TestAnnealCachedIdentity(t *testing.T) {
 	a := arch.CaseStudy()
 	ao := &AnnealOptions{Spatial: arch.CaseStudySpatial(), BWAware: true, Iterations: 200, Restarts: 2, Seed: 7}
 
-	want, err := Anneal(&l, a, ao)
+	want, err := Anneal(context.Background(), &l, a, ao)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c1, err := AnnealCached(&l, a, ao)
+	c1, err := AnnealCached(context.Background(), &l, a, ao)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sameCandidate(t, "anneal miss", c1, want)
-	c2, err := AnnealCached(&l, a, ao)
+	c2, err := AnnealCached(context.Background(), &l, a, ao)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestAnnealCachedIdentity(t *testing.T) {
 	// A different seed is a different key.
 	ao2 := *ao
 	ao2.Seed = 8
-	c3, err := AnnealCached(&l, a, &ao2)
+	c3, err := AnnealCached(context.Background(), &l, a, &ao2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,144 @@
+package mapper
+
+// Cancellation-correctness tests for the search engine (PR 4): a canceled
+// search returns ctx.Err() promptly, leaks no goroutines, and never plants a
+// partial result in the memo cache or the on-disk store.
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/memo"
+	"repro/internal/workload"
+)
+
+// waitGoroutines polls until the process is back to at most want goroutines,
+// dumping stacks on timeout — the leak detector for the engine's workers.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines did not drain: %d > %d\n%s", runtime.NumGoroutine(), want, buf[:n])
+}
+
+// TestBestPreCanceled: an already-canceled context never starts the search.
+func TestBestPreCanceled(t *testing.T) {
+	l := workload.NewMatMul("pre", 64, 64, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Best(ctx, &l, arch.InHouse(), &Options{Spatial: arch.InHouseSpatial()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Best returned %v, want context.Canceled", err)
+	}
+}
+
+// TestAnnealPreCanceled: same contract for the annealer.
+func TestAnnealPreCanceled(t *testing.T) {
+	l := workload.NewMatMul("pre", 64, 64, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Anneal(ctx, &l, arch.InHouse(), &AnnealOptions{Spatial: arch.InHouseSpatial()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Anneal returned %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelMidFlight: canceling a large in-flight search stops the
+// generator and the workers cooperatively — the search returns
+// context.Canceled well before its walk could have finished, and the
+// worker goroutines drain (no leak). Enumerate shares runSearch with Best
+// but never bound-prunes subtrees, so its NoReduce walk over a
+// divisor-rich layer (720 = 2^4 * 3^2 * 5) is deterministically millions
+// of orderings long — far beyond what could complete before the cancel
+// below fires.
+func TestCancelMidFlight(t *testing.T) {
+	l := workload.NewMatMul("midflight", 720, 720, 720)
+	opt := &Options{
+		Spatial:       arch.InHouseSpatial(),
+		MaxCandidates: 50_000_000,
+		NoReduce:      true,
+		NoPrune:       true,
+		Workers:       4,
+	}
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Enumerate(ctx, &l, arch.InHouse(), opt)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled Enumerate returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled search did not return within 10s")
+	}
+	waitGoroutines(t, baseline+2)
+}
+
+// TestCachedCancelNoPollution: a canceled BestCached leaves neither a memo
+// entry nor a disk blob behind; the next caller recomputes cleanly and gets
+// the bit-identical uncached answer.
+func TestCachedCancelNoPollution(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := EnableDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer DisableDiskCache()
+	memo.Default.Reset()
+
+	l := workload.NewMatMul("pollution", 64, 64, 64)
+	hw := arch.InHouse()
+	opt := &Options{Spatial: arch.InHouseSpatial(), MaxCandidates: 2000}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := BestCached(ctx, &l, hw, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled BestCached returned %v, want context.Canceled", err)
+	}
+	if n := memo.Default.Len(); n != 0 {
+		t.Fatalf("canceled search left %d memo entries", n)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.memo")); len(files) != 0 {
+		t.Fatalf("canceled search wrote disk blobs: %v", files)
+	}
+
+	cand, _, err := BestCached(context.Background(), &l, hw, opt)
+	if err != nil {
+		t.Fatalf("post-cancel BestCached failed: %v", err)
+	}
+	if n := memo.Default.Len(); n != 1 {
+		t.Fatalf("successful search cached %d entries, want 1", n)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.memo")); len(files) != 1 {
+		t.Fatalf("successful search wrote %d disk blobs, want 1", len(files))
+	}
+
+	direct, _, err := Best(context.Background(), &l, hw, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Result.CCTotal != direct.Result.CCTotal ||
+		cand.Mapping.Temporal.String() != direct.Mapping.Temporal.String() {
+		t.Fatalf("cached-after-cancel result diverged: %v/%v vs %v/%v",
+			cand.Result.CCTotal, cand.Mapping.Temporal,
+			direct.Result.CCTotal, direct.Mapping.Temporal)
+	}
+}

@@ -31,6 +31,7 @@ package mapper
 // search while the workers see a several-fold smaller stream.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -71,10 +72,17 @@ type job struct {
 const batchSize = 64
 
 type engine struct {
+	ctx  context.Context
 	l    *workload.Layer
 	a    *arch.Arch
 	o    *Options
 	mode searchMode
+
+	// aborted flips once when ctx is observed canceled: the generator stops
+	// walking and the workers drop the remaining batches without scoring
+	// them. After an abort the search returns ctx.Err() and every partial
+	// counter/candidate is discarded.
+	aborted atomic.Bool
 
 	// prune enables the workers' lower-bound branch-and-bound (modeBest,
 	// latency objective, full model only — for the baseline model the
@@ -92,15 +100,23 @@ type engine struct {
 }
 
 // runSearch drives one search. It returns the best candidate (modeBest),
-// the unsorted candidate list (modeAll), and exact statistics.
-func runSearch(l *workload.Layer, a *arch.Arch, o *Options, mode searchMode) (*Candidate, []scored, *Stats, error) {
+// the unsorted candidate list (modeAll), and exact statistics. When ctx is
+// canceled mid-search the pipeline winds down cooperatively and runSearch
+// returns ctx.Err() with no candidate and no stats.
+func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options, mode searchMode) (*Candidate, []scored, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
 	if err := l.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
 	if len(o.Spatial) == 0 {
 		return nil, nil, nil, fmt.Errorf("mapper: no spatial unrolling given")
 	}
-	e := &engine{l: l, a: a, o: o, mode: mode}
+	e := &engine{ctx: ctx, l: l, a: a, o: o, mode: mode}
 	e.prune = mode == modeBest && !o.NoPrune && o.Objective == MinLatency && o.BWAware
 	e.genPrune = mode == modeBest && o.Objective == MinLatency
 	e.bestBits.Store(math.Float64bits(math.Inf(1)))
@@ -148,7 +164,17 @@ func runSearch(l *workload.Layer, a *arch.Arch, o *Options, mode searchMode) (*C
 			var cur *jobBatch
 			flush := func() {
 				if cur != nil && len(cur.jobs) > 0 {
-					ch <- cur
+					// A slow consumer must not make the generator
+					// uncancelable: if the channel is full when the context
+					// dies, drop the batch and abort instead of parking in
+					// the send. (Background's Done() is nil, so for batch
+					// callers this is exactly the plain send.)
+					select {
+					case ch <- cur:
+					case <-e.ctx.Done():
+						e.aborted.Store(true)
+						batchPool.Put(cur)
+					}
 				}
 				cur = nil
 			}
@@ -187,6 +213,13 @@ func runSearch(l *workload.Layer, a *arch.Arch, o *Options, mode searchMode) (*C
 		}
 		all = append(all, w.all...)
 		w.release()
+	}
+	// A cancellation observed anywhere in the pipeline invalidates the
+	// partial reduction: report the context's verdict, not a half-searched
+	// space. (With ctx == Background this branch is unreachable, so batch
+	// callers and the determinism tests see the exact old behaviour.)
+	if e.aborted.Load() || ctx.Err() != nil {
+		return nil, nil, nil, ctx.Err()
 	}
 	return best, all, stats, nil
 }
@@ -272,13 +305,33 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 	capped := false
 	var rec func(d int, blocks []loops.Loop, prod float64)
 	rec = func(d int, blocks []loops.Loop, prod float64) {
+		if e.aborted.Load() {
+			return // canceled: counters are discarded, stop descending
+		}
 		if d == loops.NumDims {
 			if capped {
+				// The post-cap counting walk visits no orderings, so the
+				// visitor's probe below never runs again — probe here, or a
+				// cancellation during a long Skipped tally over a
+				// divisor-rich space would never be observed.
+				if e.ctx.Err() != nil {
+					e.aborted.Store(true)
+					return
+				}
 				st.Skipped += int(loops.DistinctOrderings(blocks))
 				return
 			}
 			visited := 0
 			permute(blocks, func(nest loops.Nest) bool {
+				// Cooperative cancellation: probe the context on every
+				// visited ordering. Err() is a nil-channel check for
+				// Background and one atomic load for a live context —
+				// noise next to canonicalizing or scoring the ordering —
+				// and it bounds the abort latency to a single candidate.
+				if e.ctx.Err() != nil {
+					e.aborted.Store(true)
+					return false
+				}
 				if walked == o.MaxCandidates {
 					capped = true
 					return false
@@ -389,7 +442,20 @@ var batchPool = sync.Pool{New: func() any { return new(jobBatch) }}
 
 func (w *worker) drain(ch <-chan *jobBatch) {
 	for bt := range ch {
+		// After an abort, keep receiving (the generator may have batches in
+		// flight and must never block on a full channel) but stop scoring —
+		// checked per job, and against the context directly, so that a
+		// cancellation arriving mid-batch (or after the generator already
+		// finished and can no longer raise the flag) skips the remaining
+		// evaluations instead of grinding out the queue.
 		for _, j := range bt.jobs {
+			if w.e.aborted.Load() {
+				break
+			}
+			if w.e.ctx.Err() != nil {
+				w.e.aborted.Store(true)
+				break
+			}
 			w.process(j.seq, j.nest)
 		}
 		batchPool.Put(bt)

@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -62,7 +63,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 			ser := tc.o
 			ser.Workers = 1
 			ser.NoPrune = true // the reference: serial, exhaustive
-			refCand, refStats, refErr := Best(&tc.l, tc.a, &ser)
+			refCand, refStats, refErr := Best(context.Background(), &tc.l, tc.a, &ser)
 
 			for _, cfg := range []struct {
 				label    string
@@ -83,7 +84,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 				o.Workers = cfg.workers
 				o.NoPrune = cfg.noPrune
 				o.NoReduce = cfg.noReduce
-				cand, stats, err := Best(&tc.l, tc.a, &o)
+				cand, stats, err := Best(context.Background(), &tc.l, tc.a, &o)
 				if (err == nil) != (refErr == nil) {
 					t.Fatalf("%s: err = %v, reference err = %v", cfg.label, err, refErr)
 				}
@@ -125,7 +126,7 @@ func TestEnumerateCanonicalOrder(t *testing.T) {
 	a := arch.CaseStudy()
 
 	ser := Options{Spatial: arch.CaseStudySpatial(), BWAware: true, Workers: 1}
-	ref, refStats, err := Enumerate(&l, a, &ser)
+	ref, refStats, err := Enumerate(context.Background(), &l, a, &ser)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestEnumerateCanonicalOrder(t *testing.T) {
 	for _, workers := range []int{1, 3, 4} {
 		o := ser
 		o.Workers = workers
-		all, stats, err := Enumerate(&l, a, &o)
+		all, stats, err := Enumerate(context.Background(), &l, a, &o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,11 +191,11 @@ func TestPruneStatsExact(t *testing.T) {
 	full := pruned
 	full.NoPrune = true
 
-	cp, sp, err := Best(&l, a, &pruned)
+	cp, sp, err := Best(context.Background(), &l, a, &pruned)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cf, sf, err := Best(&l, a, &full)
+	cf, sf, err := Best(context.Background(), &l, a, &full)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestMaxCandidatesCapParallel(t *testing.T) {
 		for _, noReduce := range []bool{false, true} {
 			o := Options{Spatial: arch.CaseStudySpatial(), BWAware: true,
 				MaxCandidates: 40, Workers: workers, NoReduce: noReduce}
-			_, stats, err := Best(&l, a, &o)
+			_, stats, err := Best(context.Background(), &l, a, &o)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -256,11 +257,11 @@ func TestLowerBoundAdmissible(t *testing.T) {
 	unaware := aware
 	unaware.BWAware = false
 
-	full, _, err := Enumerate(&l, a, &aware)
+	full, _, err := Enumerate(context.Background(), &l, a, &aware)
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, _, err := Enumerate(&l, a, &unaware)
+	base, _, err := Enumerate(context.Background(), &l, a, &unaware)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,11 +299,11 @@ func TestAnnealParallelRestartsMatchSerial(t *testing.T) {
 		Restarts:   4,
 		Seed:       7,
 	}
-	c1, err := Anneal(&l, a, opt)
+	c1, err := Anneal(context.Background(), &l, a, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := Anneal(&l, a, opt)
+	c2, err := Anneal(context.Background(), &l, a, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +320,7 @@ func TestBestWorkersValidation(t *testing.T) {
 	var want string
 	for i, workers := range []int{0, 1, 2, 16} {
 		o := Options{Spatial: arch.CaseStudySpatial(), BWAware: true, Workers: workers}
-		cand, _, err := Best(&l, a, &o)
+		cand, _, err := Best(context.Background(), &l, a, &o)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

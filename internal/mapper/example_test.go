@@ -1,6 +1,7 @@
 package mapper_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -13,7 +14,7 @@ import (
 func ExampleBest() {
 	layer := workload.NewMatMul("fc", 64, 64, 64)
 	hw := arch.CaseStudy()
-	best, stats, err := mapper.Best(&layer, hw, &mapper.Options{
+	best, stats, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 		Spatial: arch.CaseStudySpatial(),
 		BWAware: true,
 	})
@@ -35,7 +36,7 @@ func ExampleBest() {
 func ExampleBestWithSpatial() {
 	layer := workload.NewMatMul("fc", 48, 48, 48)
 	hw := arch.CaseStudy()
-	best, spatial, _, err := mapper.BestWithSpatial(&layer, hw, &mapper.SpatialOptions{
+	best, spatial, _, err := mapper.BestWithSpatial(context.Background(), &layer, hw, &mapper.SpatialOptions{
 		MaxSpatials: 6,
 		Temporal:    mapper.Options{BWAware: true, MaxCandidates: 600},
 	})

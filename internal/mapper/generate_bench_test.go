@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -35,7 +36,7 @@ func BenchmarkGenerateOnly(b *testing.B) {
 			b.ResetTimer()
 			var emitted int
 			for i := 0; i < b.N; i++ {
-				e := &engine{l: &layer, a: hw, o: &on, mode: modeBest}
+				e := &engine{ctx: context.Background(), l: &layer, a: hw, o: &on, mode: modeBest}
 				e.genPrune = true
 				e.bestBits.Store(math.Float64bits(math.Inf(1)))
 				var st Stats

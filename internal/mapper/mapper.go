@@ -15,6 +15,7 @@
 package mapper
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -144,9 +145,14 @@ type Stats struct {
 // together with search statistics. Ties on the objective are broken by
 // generation order (the first nest in the canonical enumeration wins),
 // which makes the result independent of the worker count.
-func Best(l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Stats, error) {
+//
+// The search honors ctx: cancellation (or an expired deadline) stops the
+// generator and the workers cooperatively, and Best returns ctx.Err()
+// without a candidate — a canceled search never yields a partial result.
+// Pass context.Background() for the batch behaviour.
+func Best(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Stats, error) {
 	o := opt.normalized()
-	best, _, stats, err := runSearch(l, a, &o, modeBest)
+	best, _, stats, err := runSearch(ctx, l, a, &o, modeBest)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -165,9 +171,9 @@ func Best(l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Stats, er
 // equal-score candidates land in a deterministic order regardless of the
 // worker count. Unlike Best, Enumerate never bound-prunes subtrees (every
 // valid candidate is wanted, not just the winner).
-func Enumerate(l *workload.Layer, a *arch.Arch, opt *Options) ([]*Candidate, *Stats, error) {
+func Enumerate(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Options) ([]*Candidate, *Stats, error) {
 	o := opt.normalized()
-	_, scoredAll, stats, err := runSearch(l, a, &o, modeAll)
+	_, scoredAll, stats, err := runSearch(ctx, l, a, &o, modeAll)
 	if err != nil {
 		return nil, nil, err
 	}

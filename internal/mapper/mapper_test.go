@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -16,7 +17,7 @@ func opts() *Options {
 func TestBestFindsValidMapping(t *testing.T) {
 	l := workload.NewMatMul("m", 32, 64, 64)
 	a := arch.CaseStudy()
-	best, stats, err := Best(&l, a, opts())
+	best, stats, err := Best(context.Background(), &l, a, opts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,11 +39,11 @@ func TestBestFindsValidMapping(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	l := workload.NewMatMul("m", 16, 32, 32)
 	a := arch.CaseStudy()
-	b1, _, err := Best(&l, a, opts())
+	b1, _, err := Best(context.Background(), &l, a, opts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b2, _, err := Best(&l, a, opts())
+	b2, _, err := Best(context.Background(), &l, a, opts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestDeterminism(t *testing.T) {
 func TestEnumerateSortedAndValid(t *testing.T) {
 	l := workload.NewMatMul("m", 16, 32, 32)
 	a := arch.CaseStudy()
-	all, stats, err := Enumerate(&l, a, opts())
+	all, stats, err := Enumerate(context.Background(), &l, a, opts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestObjectives(t *testing.T) {
 
 	oe := opts()
 	oe.Objective = MinEnergy
-	be, _, err := Best(&l, a, oe)
+	be, _, err := Best(context.Background(), &l, a, oe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestObjectives(t *testing.T) {
 	}
 
 	ol := opts()
-	bl, _, err := Best(&l, a, ol)
+	bl, _, err := Best(context.Background(), &l, a, ol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestObjectives(t *testing.T) {
 
 	op := opts()
 	op.Objective = MinEDP
-	bp, _, err := Best(&l, a, op)
+	bp, _, err := Best(context.Background(), &l, a, op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestBWUnawareRanking(t *testing.T) {
 	a := arch.CaseStudy()
 	ou := opts()
 	ou.BWAware = false
-	bu, _, err := Best(&l, a, ou)
+	bu, _, err := Best(context.Background(), &l, a, ou)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestBWUnawareRanking(t *testing.T) {
 	}
 	// Re-scoring the unaware winner with the aware model can only be
 	// slower or equal to the aware winner.
-	ba, _, err := Best(&l, a, opts())
+	ba, _, err := Best(context.Background(), &l, a, opts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestMaxCandidatesCap(t *testing.T) {
 	a := arch.CaseStudy()
 	o := opts()
 	o.MaxCandidates = 50
-	_, stats, err := Best(&l, a, o)
+	_, stats, err := Best(context.Background(), &l, a, o)
 	if err != nil && stats == nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestNoValidMapping(t *testing.T) {
 	a := arch.CaseStudy()
 	a.MemoryByName("W-Reg").CapacityBits = 8
 	l := workload.NewMatMul("m", 16, 32, 32)
-	if _, _, err := Best(&l, a, opts()); err == nil {
+	if _, _, err := Best(context.Background(), &l, a, opts()); err == nil {
 		t.Error("expected no-valid-mapping error")
 	}
 }
@@ -204,12 +205,12 @@ func TestNoValidMapping(t *testing.T) {
 func TestBadInputs(t *testing.T) {
 	l := workload.NewMatMul("m", 16, 32, 32)
 	a := arch.CaseStudy()
-	if _, _, err := Best(&l, a, &Options{}); err == nil {
+	if _, _, err := Best(context.Background(), &l, a, &Options{}); err == nil {
 		t.Error("missing spatial accepted")
 	}
 	bad := workload.NewMatMul("m", 16, 32, 32)
 	bad.Dims[loops.C] = -3
-	if _, _, err := Best(&bad, a, opts()); err == nil {
+	if _, _, err := Best(context.Background(), &bad, a, opts()); err == nil {
 		t.Error("invalid layer accepted")
 	}
 }
@@ -220,7 +221,7 @@ func TestBadInputs(t *testing.T) {
 func TestGreedyNormalizesReuseLoops(t *testing.T) {
 	l := workload.NewMatMul("m", 16, 32, 32)
 	a := arch.CaseStudy()
-	best, _, err := Best(&l, a, opts())
+	best, _, err := Best(context.Background(), &l, a, opts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -14,7 +15,7 @@ import (
 func TestPaddedExtentsEnableStationarity(t *testing.T) {
 	l := workload.NewMatMul("prime", 104, 64, 64) // B extent 13 (prime)
 	a := arch.CaseStudy()
-	best, _, err := Best(&l, a, opts())
+	best, _, err := Best(context.Background(), &l, a, opts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestDedupSplits(t *testing.T) {
 func TestPaddingBounded(t *testing.T) {
 	l := workload.NewMatMul("p", 24, 32, 32) // B extent 3
 	a := arch.CaseStudy()
-	all, _, err := Enumerate(&l, a, opts())
+	all, _, err := Enumerate(context.Background(), &l, a, opts())
 	if err != nil {
 		t.Fatal(err)
 	}

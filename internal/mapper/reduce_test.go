@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -38,7 +39,7 @@ func TestClassMembersScoreIdentical(t *testing.T) {
 			o := tc.o
 			o.NoReduce = true
 			o.Workers = 1
-			all, _, err := Enumerate(&tc.l, tc.a, &o)
+			all, _, err := Enumerate(context.Background(), &tc.l, tc.a, &o)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -87,12 +88,12 @@ func TestReductionBitIdentical(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			full := tc.o
 			full.NoReduce = true
-			fc, fs, ferr := Best(&tc.l, tc.a, &full)
+			fc, fs, ferr := Best(context.Background(), &tc.l, tc.a, &full)
 
 			for _, workers := range []int{1, 4} {
 				red := tc.o
 				red.Workers = workers
-				rc, rs, rerr := Best(&tc.l, tc.a, &red)
+				rc, rs, rerr := Best(context.Background(), &tc.l, tc.a, &red)
 				if (rerr == nil) != (ferr == nil) {
 					t.Fatalf("workers=%d: err %v, NoReduce err %v", workers, rerr, ferr)
 				}
@@ -134,11 +135,11 @@ func TestGeneratorBoundSound(t *testing.T) {
 		l := workload.NewMatMul("m", 24, 48, 96)
 		a := arch.CaseStudy()
 		o := Options{Spatial: arch.CaseStudySpatial(), BWAware: bwAware, MaxCandidates: 1 << 30}
-		all, _, err := Enumerate(&l, a, &o)
+		all, _, err := Enumerate(context.Background(), &l, a, &o)
 		if err != nil {
 			t.Fatal(err)
 		}
-		best, stats, err := Best(&l, a, &o)
+		best, stats, err := Best(context.Background(), &l, a, &o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -162,7 +163,7 @@ func TestSkippedExactAccounting(t *testing.T) {
 	a := arch.CaseStudy()
 	base := Options{Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 1 << 30, Workers: 1}
 
-	_, fullStats, err := Enumerate(&l, a, &base)
+	_, fullStats, err := Enumerate(context.Background(), &l, a, &base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestSkippedExactAccounting(t *testing.T) {
 			o := base
 			o.MaxCandidates = budget
 			o.NoReduce = noReduce
-			_, st, err := Enumerate(&l, a, &o)
+			_, st, err := Enumerate(context.Background(), &l, a, &o)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -141,7 +142,10 @@ func SpatialCandidates(l *workload.Layer, a *arch.Arch, o *SpatialOptions) []loo
 // BestWithSpatial searches jointly over spatial unrollings and temporal
 // mappings, returning the overall best candidate, the winning spatial nest
 // and aggregate statistics.
-func BestWithSpatial(l *workload.Layer, a *arch.Arch, o *SpatialOptions) (*Candidate, loops.Nest, *Stats, error) {
+func BestWithSpatial(ctx context.Context, l *workload.Layer, a *arch.Arch, o *SpatialOptions) (*Candidate, loops.Nest, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt := o.normalized()
 	spatials := SpatialCandidates(l, a, &opt)
 	if len(spatials) == 0 {
@@ -152,9 +156,12 @@ func BestWithSpatial(l *workload.Layer, a *arch.Arch, o *SpatialOptions) (*Candi
 	var best *Candidate
 	var bestSp loops.Nest
 	for _, sp := range spatials {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
 		topt := opt.Temporal
 		topt.Spatial = sp
-		cand, stats, err := Best(l, a, &topt)
+		cand, stats, err := Best(ctx, l, a, &topt)
 		if stats != nil {
 			total.NestsGenerated += stats.NestsGenerated
 			total.Valid += stats.Valid

@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -82,7 +83,7 @@ func TestSpatialCandidatesConvDims(t *testing.T) {
 func TestBestWithSpatial(t *testing.T) {
 	l := workload.NewMatMul("m", 48, 48, 48)
 	a := arch.CaseStudy()
-	best, sp, stats, err := BestWithSpatial(&l, a, &SpatialOptions{
+	best, sp, stats, err := BestWithSpatial(context.Background(), &l, a, &SpatialOptions{
 		MaxSpatials: 6,
 		Temporal:    Options{BWAware: true, MaxCandidates: 600},
 	})
@@ -100,7 +101,7 @@ func TestBestWithSpatial(t *testing.T) {
 	}
 	// Joint search must beat-or-match the fixed canonical unrolling,
 	// since the canonical K16|B8|C2 is in the candidate set.
-	fixed, _, err := Best(&l, a, &Options{
+	fixed, _, err := Best(context.Background(), &l, a, &Options{
 		Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 600,
 	})
 	if err == nil && best.Result.CCTotal > fixed.Result.CCTotal+1e-9 {
@@ -111,7 +112,7 @@ func TestBestWithSpatial(t *testing.T) {
 func TestBestWithSpatialNoCandidates(t *testing.T) {
 	l := workload.NewMatMul("m", 2, 2, 2) // cannot fill half of 256 MACs
 	a := arch.CaseStudy()
-	if _, _, _, err := BestWithSpatial(&l, a, &SpatialOptions{}); err == nil {
+	if _, _, _, err := BestWithSpatial(context.Background(), &l, a, &SpatialOptions{}); err == nil {
 		t.Error("expected no-candidate error")
 	}
 }

@@ -25,6 +25,8 @@
 package memo
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -37,11 +39,13 @@ const numShards = 64
 // Counters aggregates a cache's traffic. All fields are monotonically
 // increasing and safe to read concurrently.
 type Counters struct {
-	hits     atomic.Int64
-	misses   atomic.Int64
-	waits    atomic.Int64 // singleflight: joined an in-flight computation
-	diskHits atomic.Int64 // misses served from the on-disk store (subset of misses)
-	bypass   atomic.Int64 // calls while the cache was disabled
+	hits      atomic.Int64
+	misses    atomic.Int64
+	waits     atomic.Int64 // singleflight: joined an in-flight computation
+	diskHits  atomic.Int64 // misses served from the on-disk store (subset of misses)
+	bypass    atomic.Int64 // calls while the cache was disabled
+	canceled  atomic.Int64 // lookups abandoned because the caller's context fired
+	transient atomic.Int64 // computations evicted instead of cached (context errors)
 }
 
 // Hits returns completed lookups served from memory.
@@ -61,6 +65,15 @@ func (c *Counters) DiskHits() int64 { return c.diskHits.Load() }
 // Disk store under Do's compute function (mapper.BestCached).
 func (c *Counters) NoteDiskHit() { c.diskHits.Add(1) }
 
+// Canceled returns lookups abandoned because the caller's context was
+// canceled (or hit its deadline) while waiting on an in-flight computation.
+func (c *Counters) Canceled() int64 { return c.canceled.Load() }
+
+// Transient returns computations whose result was NOT cached because they
+// died with a context error (canceled search, expired deadline) — evicted
+// so a later caller recomputes instead of inheriting the failure.
+func (c *Counters) Transient() int64 { return c.transient.Load() }
+
 // String renders the counters for driver output, e.g.
 // "memo: 38 hits, 9 misses (2 from disk), 3 in-flight waits".
 func (c *Counters) String() string {
@@ -75,12 +88,16 @@ func (c *Counters) String() string {
 	return s
 }
 
-// entry is one cache slot. done is closed exactly once, after val/err are
-// final; waiters block on it (singleflight).
+// entry is one cache slot. done is closed exactly once, after val/err (and
+// transient) are final; waiters block on it (singleflight). A transient
+// entry is one whose computation died with a context error: it is removed
+// from the shard before done is closed, so waiters can retry under their own
+// (still-live) context.
 type entry struct {
-	done chan struct{}
-	val  any
-	err  error
+	done      chan struct{}
+	val       any
+	err       error
+	transient bool
 }
 
 type shard struct {
@@ -155,45 +172,81 @@ func (c *Cache) Len() int {
 // Do returns the cached value for k, computing it with compute on a miss.
 // Concurrent calls with the same key run compute once: the first caller
 // computes, the rest block until it finishes (singleflight) and share the
-// result. Errors are cached too — the computations memoized here are
-// deterministic, so a failed search would fail identically on retry.
+// result. Deterministic errors are cached too — a failed search would fail
+// identically on retry.
+//
+// Context errors are the exception: a computation that returns the leader's
+// context.Canceled or DeadlineExceeded says nothing about the key, only
+// about that caller's patience, so the entry is evicted instead of cached
+// and the partial outcome never becomes visible. Waiters whose own context
+// is still live transparently retry (one of them becomes the new leader);
+// a waiter whose context fires while blocked abandons the wait with its own
+// ctx.Err() and leaves the in-flight computation undisturbed — the leader
+// still completes and caches for everyone else.
 //
 // The returned value is shared by every caller with the same key and must
-// not be mutated.
-func (c *Cache) Do(k Key, compute func() (any, error)) (any, error) {
+// not be mutated. compute receives the leader's context and should honor it.
+func (c *Cache) Do(ctx context.Context, k Key, compute func(ctx context.Context) (any, error)) (any, error) {
 	if c.disabled.Load() {
 		c.counters.bypass.Add(1)
-		return compute()
+		return compute(ctx)
 	}
 	s := &c.shards[k.Hash%numShards]
 
-	s.mu.Lock()
-	if e, ok := s.m[k.Enc]; ok {
-		s.mu.Unlock()
-		select {
-		case <-e.done:
-			c.counters.hits.Add(1)
-		default:
-			c.counters.waits.Add(1)
-			<-e.done
+	for {
+		s.mu.Lock()
+		if e, ok := s.m[k.Enc]; ok {
+			s.mu.Unlock()
+			select {
+			case <-e.done:
+				c.counters.hits.Add(1)
+			default:
+				c.counters.waits.Add(1)
+				select {
+				case <-e.done:
+				case <-ctx.Done():
+					c.counters.canceled.Add(1)
+					return nil, ctx.Err()
+				}
+			}
+			if e.transient {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				continue // the dead entry was evicted; retry as leader
+			}
+			return e.val, e.err
 		}
-		return e.val, e.err
-	}
-	if len(s.m) >= c.maxPerShard {
-		s.m = make(map[string]*entry)
-	}
-	e := &entry{done: make(chan struct{})}
-	s.m[k.Enc] = e
-	s.mu.Unlock()
+		if len(s.m) >= c.maxPerShard {
+			s.m = make(map[string]*entry)
+		}
+		e := &entry{done: make(chan struct{})}
+		s.m[k.Enc] = e
+		s.mu.Unlock()
 
-	c.counters.misses.Add(1)
-	defer close(e.done)
-	e.val, e.err = compute()
-	if e.err != nil {
-		// Keep the (deterministic) failure cached; nothing else to do.
+		c.counters.misses.Add(1)
+		func() {
+			defer close(e.done) // even on a compute panic, never strand waiters
+			e.val, e.err = compute(ctx)
+			if isContextErr(e.err) {
+				e.transient = true
+				e.val = nil
+				c.counters.transient.Add(1)
+				s.mu.Lock()
+				if s.m[k.Enc] == e {
+					delete(s.m, k.Enc)
+				}
+				s.mu.Unlock()
+			}
+		}()
 		return e.val, e.err
 	}
-	return e.val, nil
+}
+
+// isContextErr reports whether err is a cancellation/deadline outcome that
+// must not be cached.
+func isContextErr(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 // Get returns the cached value for k if a COMPLETED entry exists. It never

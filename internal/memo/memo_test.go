@@ -1,6 +1,7 @@
 package memo
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -127,7 +128,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := c.Do(k, func() (any, error) {
+			v, err := c.Do(context.Background(), k, func(context.Context) (any, error) {
 				<-release // hold the computation open so others pile up
 				computed.Add(1)
 				return "value", nil
@@ -168,7 +169,7 @@ func TestCacheDistinctKeys(t *testing.T) {
 	}
 	for round := 0; round < 2; round++ {
 		for i := 0; i < 10; i++ {
-			v, err := c.Do(mk(i), func() (any, error) { return i * i, nil })
+			v, err := c.Do(context.Background(), mk(i), func(context.Context) (any, error) { return i * i, nil })
 			if err != nil || v.(int) != i*i {
 				t.Fatalf("round %d key %d: got %v, %v", round, i, v, err)
 			}
@@ -193,7 +194,7 @@ func TestCacheErrorsCached(t *testing.T) {
 	k := b.Key()
 	calls := 0
 	for i := 0; i < 3; i++ {
-		_, err := c.Do(k, func() (any, error) {
+		_, err := c.Do(context.Background(), k, func(context.Context) (any, error) {
 			calls++
 			return nil, fmt.Errorf("no valid mapping")
 		})
@@ -206,6 +207,102 @@ func TestCacheErrorsCached(t *testing.T) {
 	}
 }
 
+// TestDoTransientNotCached: a computation that dies with a context error is
+// evicted instead of cached — the next caller recomputes and can succeed.
+func TestDoTransientNotCached(t *testing.T) {
+	c := New(0)
+	var b Builder
+	b.Str("transient")
+	k := b.Key()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	_, err := c.Do(ctx, k, func(ctx context.Context) (any, error) {
+		calls++
+		return nil, ctx.Err() // a cooperative computation observing the cancel
+	})
+	if err != context.Canceled {
+		t.Fatalf("canceled Do returned %v, want context.Canceled", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("canceled result stayed in the cache (len=%d)", c.Len())
+	}
+	if c.Counters().Transient() != 1 {
+		t.Errorf("transient = %d, want 1", c.Counters().Transient())
+	}
+
+	// A later caller with a live context recomputes and is cached normally.
+	v, err := c.Do(context.Background(), k, func(context.Context) (any, error) {
+		calls++
+		return "fresh", nil
+	})
+	if err != nil || v != "fresh" {
+		t.Fatalf("retry after transient: got %v, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("computation ran %d times, want 2 (no caching of the canceled run)", calls)
+	}
+	if _, err := c.Do(context.Background(), k, func(context.Context) (any, error) {
+		t.Error("successful result was not cached")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoWaiterRetries: a live waiter coalesced onto a leader that dies with
+// a context error retries as the new leader instead of inheriting the
+// leader's cancellation.
+func TestDoWaiterRetries(t *testing.T) {
+	c := New(0)
+	var b Builder
+	b.Str("retry")
+	k := b.Key()
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := c.Do(leaderCtx, k, func(ctx context.Context) (any, error) {
+			close(leaderIn)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+		if err != context.Canceled {
+			t.Errorf("leader returned %v, want context.Canceled", err)
+		}
+	}()
+	<-leaderIn // the leader's computation is in flight
+
+	// The waiter joins, the leader dies, the waiter must recompute under
+	// its own live context and succeed.
+	waiterDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(waiterDone)
+		v, err := c.Do(context.Background(), k, func(context.Context) (any, error) {
+			return "second wind", nil
+		})
+		if err != nil || v != "second wind" {
+			t.Errorf("waiter got %v, %v; want recomputed value", v, err)
+		}
+	}()
+	// The waiter may still be en route to the entry; canceling the leader is
+	// correct in either interleaving (waiter coalesces then retries, or
+	// finds the entry already evicted and leads immediately).
+	cancelLeader()
+	wg.Wait()
+	<-waiterDone
+
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1 (the waiter's successful recompute)", c.Len())
+	}
+}
+
 // TestCacheDisabled: a disabled cache runs every computation.
 func TestCacheDisabled(t *testing.T) {
 	c := New(0)
@@ -215,7 +312,7 @@ func TestCacheDisabled(t *testing.T) {
 	k := b.Key()
 	calls := 0
 	for i := 0; i < 3; i++ {
-		if _, err := c.Do(k, func() (any, error) { calls++; return 1, nil }); err != nil {
+		if _, err := c.Do(context.Background(), k, func(context.Context) (any, error) { calls++; return 1, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -271,7 +368,7 @@ func TestCacheBound(t *testing.T) {
 	for i := 0; i < 10*numShards; i++ {
 		var b Builder
 		b.Int(int64(i))
-		if _, err := c.Do(b.Key(), func() (any, error) { return i, nil }); err != nil {
+		if _, err := c.Do(context.Background(), b.Key(), func(context.Context) (any, error) { return i, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -26,12 +27,12 @@ func TestEvaluateCachedMatchesUncached(t *testing.T) {
 	opt := &Options{MaxCandidates: 400}
 
 	h0 := memo.Default.Counters().Hits()
-	cached, err := Evaluate(net, hw, sp, opt)
+	cached, err := Evaluate(context.Background(), net, hw, sp, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Second cached run: everything hits.
-	cached2, err := Evaluate(net, hw, sp, opt)
+	cached2, err := Evaluate(context.Background(), net, hw, sp, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestEvaluateCachedMatchesUncached(t *testing.T) {
 
 	memo.Default.SetEnabled(false)
 	defer memo.Default.SetEnabled(true)
-	plain, err := Evaluate(net, hw, sp, opt)
+	plain, err := Evaluate(context.Background(), net, hw, sp, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

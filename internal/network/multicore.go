@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -48,11 +49,11 @@ type MultiCoreResult struct {
 // shard) and optionally divides the GB bandwidth. Pipeline mode assigns
 // layers to cores round-robin; the reported latency is the bottleneck
 // core's total, i.e. the steady-state initiation interval of the pipeline.
-func EvaluateMultiCore(n *Network, hw *arch.Arch, spatial loops.Nest, opt *MultiCoreOptions) (*MultiCoreResult, error) {
+func EvaluateMultiCore(ctx context.Context, n *Network, hw *arch.Arch, spatial loops.Nest, opt *MultiCoreOptions) (*MultiCoreResult, error) {
 	if opt == nil || opt.Cores < 1 {
 		return nil, fmt.Errorf("network: need at least 1 core")
 	}
-	base, err := Evaluate(n, hw, spatial, &opt.Options)
+	base, err := Evaluate(ctx, n, hw, spatial, &opt.Options)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +114,7 @@ func EvaluateMultiCore(n *Network, hw *arch.Arch, spatial loops.Nest, opt *Multi
 		l.Name = fmt.Sprintf("%s/c%d", l.Name, opt.Cores)
 		shard.Layers = append(shard.Layers, l)
 	}
-	shardRes, err := Evaluate(shard, coreHW, spatial, &opt.Options)
+	shardRes, err := Evaluate(ctx, shard, coreHW, spatial, &opt.Options)
 	if err != nil {
 		return nil, fmt.Errorf("network: shard evaluation: %w", err)
 	}
@@ -125,7 +126,7 @@ func EvaluateMultiCore(n *Network, hw *arch.Arch, spatial loops.Nest, opt *Multi
 
 // ScalingCurve evaluates 1..maxCores and returns the speedups, a compact
 // strong-scaling study for the future-work scenario.
-func ScalingCurve(n *Network, hw *arch.Arch, spatial loops.Nest, maxCores int, opt *MultiCoreOptions) ([]MultiCoreResult, error) {
+func ScalingCurve(ctx context.Context, n *Network, hw *arch.Arch, spatial loops.Nest, maxCores int, opt *MultiCoreOptions) ([]MultiCoreResult, error) {
 	if opt == nil {
 		opt = &MultiCoreOptions{Options: Options{MaxCandidates: 1000}}
 	}
@@ -133,7 +134,7 @@ func ScalingCurve(n *Network, hw *arch.Arch, spatial loops.Nest, maxCores int, o
 	for c := 1; c <= maxCores; c *= 2 {
 		o := *opt
 		o.Cores = c
-		r, err := EvaluateMultiCore(n, hw, spatial, &o)
+		r, err := EvaluateMultiCore(ctx, n, hw, spatial, &o)
 		if err != nil {
 			return nil, err
 		}

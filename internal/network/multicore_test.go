@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -18,7 +19,7 @@ func mcOpts(cores int, pipeline, share bool) *MultiCoreOptions {
 func TestMultiCoreSingle(t *testing.T) {
 	n := smallNet()
 	hw := arch.CaseStudy()
-	r, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), mcOpts(1, false, false))
+	r, err := EvaluateMultiCore(context.Background(), n, hw, arch.CaseStudySpatial(), mcOpts(1, false, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestMultiCoreSingle(t *testing.T) {
 func TestMultiCoreDataParallel(t *testing.T) {
 	n := smallNet()
 	hw := arch.CaseStudy()
-	r, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), mcOpts(4, false, false))
+	r, err := EvaluateMultiCore(context.Background(), n, hw, arch.CaseStudySpatial(), mcOpts(4, false, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,11 +49,11 @@ func TestMultiCoreDataParallel(t *testing.T) {
 func TestMultiCoreSharedBandwidthHurts(t *testing.T) {
 	n := smallNet()
 	hw := arch.CaseStudy()
-	private, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), mcOpts(4, false, false))
+	private, err := EvaluateMultiCore(context.Background(), n, hw, arch.CaseStudySpatial(), mcOpts(4, false, false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	shared, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), mcOpts(4, false, true))
+	shared, err := EvaluateMultiCore(context.Background(), n, hw, arch.CaseStudySpatial(), mcOpts(4, false, true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestMultiCoreSharedBandwidthHurts(t *testing.T) {
 func TestMultiCorePipeline(t *testing.T) {
 	n := smallNet()
 	hw := arch.CaseStudy()
-	r, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), mcOpts(3, true, false))
+	r, err := EvaluateMultiCore(context.Background(), n, hw, arch.CaseStudySpatial(), mcOpts(3, true, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestMultiCorePipeline(t *testing.T) {
 func TestScalingCurve(t *testing.T) {
 	n := smallNet()
 	hw := arch.CaseStudy()
-	curve, err := ScalingCurve(n, hw, arch.CaseStudySpatial(), 4,
+	curve, err := ScalingCurve(context.Background(), n, hw, arch.CaseStudySpatial(), 4,
 		mcOpts(0, false, false))
 	if err != nil {
 		t.Fatal(err)
@@ -112,10 +113,10 @@ func TestScalingCurve(t *testing.T) {
 func TestMultiCoreErrors(t *testing.T) {
 	n := smallNet()
 	hw := arch.CaseStudy()
-	if _, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), nil); err == nil {
+	if _, err := EvaluateMultiCore(context.Background(), n, hw, arch.CaseStudySpatial(), nil); err == nil {
 		t.Error("nil options accepted")
 	}
-	if _, err := EvaluateMultiCore(n, hw, arch.CaseStudySpatial(), mcOpts(0, false, false)); err == nil {
+	if _, err := EvaluateMultiCore(context.Background(), n, hw, arch.CaseStudySpatial(), mcOpts(0, false, false)); err == nil {
 		t.Error("0 cores accepted")
 	}
 }

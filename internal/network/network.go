@@ -16,6 +16,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -113,7 +114,12 @@ type Result struct {
 
 // Evaluate runs every layer of the network through the mapper and the
 // intra-layer model on one architecture, applying the cross-layer effects.
-func Evaluate(n *Network, hw *arch.Arch, spatial loops.Nest, opt *Options) (*Result, error) {
+// Cancellation propagates into every per-layer mapping search; a canceled
+// evaluation returns ctx.Err() and no partial result.
+func Evaluate(ctx context.Context, n *Network, hw *arch.Arch, spatial loops.Nest, opt *Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -146,12 +152,15 @@ func Evaluate(n *Network, hw *arch.Arch, spatial loops.Nest, opt *Options) (*Res
 	layerRes := make([]LayerResult, len(n.Layers))
 	layerErr := make([]error, len(n.Layers))
 	par.ForEach(len(n.Layers), func(i int) {
+		if ctx.Err() != nil {
+			return // canceled: skip the remaining layers promptly
+		}
 		orig := n.Layers[i]
 		lowered := workload.Im2Col(orig)
 		// Cached search: a network repeats layer shapes (residual stages,
 		// repeated blocks), and the memo key ignores layer names — repeats
 		// are served from memory, concurrent duplicates singleflight.
-		cand, _, err := mapper.BestCached(&lowered, hw, &mapper.Options{
+		cand, _, err := mapper.BestCached(ctx, &lowered, hw, &mapper.Options{
 			Spatial:       spatial,
 			BWAware:       true,
 			Objective:     obj,
@@ -175,6 +184,11 @@ func Evaluate(n *Network, hw *arch.Arch, spatial loops.Nest, opt *Options) (*Res
 		}
 		layerRes[i] = lr
 	})
+	// A cancellation outranks whatever per-layer error it surfaced as (a
+	// skipped layer has a nil Candidate, not a specific failure).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range layerErr {
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestTotalMACs(t *testing.T) {
 func TestEvaluateBasics(t *testing.T) {
 	n := smallNet()
 	hw := arch.CaseStudy()
-	r, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1500})
+	r, err := Evaluate(context.Background(), n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +83,11 @@ func TestEvaluateBasics(t *testing.T) {
 func TestPrefetchOverlap(t *testing.T) {
 	n := smallNet()
 	hw := arch.CaseStudy() // W-LB double-buffered -> prefetch active
-	with, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1000})
+	with, err := Evaluate(context.Background(), n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1000, NoPrefetch: true})
+	without, err := Evaluate(context.Background(), n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1000, NoPrefetch: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestPrefetchNeedsDoubleBuffering(t *testing.T) {
 	for _, m := range hw.Memories {
 		m.DoubleBuffered = false
 	}
-	r, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1000})
+	r, err := Evaluate(context.Background(), n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestSpillCharged(t *testing.T) {
 	n := smallNet()
 	hw := arch.CaseStudy()
 	hw.MemoryByName("GB").CapacityBits = 80 * 1024 // 10 KB
-	r, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1000})
+	r, err := Evaluate(context.Background(), n, hw, arch.CaseStudySpatial(), &Options{MaxCandidates: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestHandTrackingNetwork(t *testing.T) {
 	}
 	n := HandTracking()
 	hw := arch.InHouse()
-	r, err := Evaluate(n, hw, arch.InHouseSpatial(), &Options{MaxCandidates: 2000})
+	r, err := Evaluate(context.Background(), n, hw, arch.InHouseSpatial(), &Options{MaxCandidates: 2000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,14 +159,14 @@ func TestHandTrackingNetwork(t *testing.T) {
 
 func TestEvaluateErrors(t *testing.T) {
 	hw := arch.CaseStudy()
-	if _, err := Evaluate(&Network{Name: "e"}, hw, arch.CaseStudySpatial(), nil); err == nil {
+	if _, err := Evaluate(context.Background(), &Network{Name: "e"}, hw, arch.CaseStudySpatial(), nil); err == nil {
 		t.Error("empty network evaluated")
 	}
 	// Unmappable: spatial bigger than the array.
 	n := smallNet()
 	big := arch.CaseStudySpatial().Clone()
 	big[0].Size = 1 << 20
-	if _, err := Evaluate(n, hw, big, &Options{MaxCandidates: 100}); err == nil {
+	if _, err := Evaluate(context.Background(), n, hw, big, &Options{MaxCandidates: 100}); err == nil {
 		t.Error("unmappable network evaluated")
 	}
 }

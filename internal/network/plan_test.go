@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 func TestPlanGBProducesPlan(t *testing.T) {
 	n := smallNet()
 	hw := arch.CaseStudy()
-	r, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{
+	r, err := Evaluate(context.Background(), n, hw, arch.CaseStudySpatial(), &Options{
 		MaxCandidates: 800, PlanGB: true,
 	})
 	if err != nil {
@@ -35,7 +36,7 @@ func TestPlanGBSpillsUnderTinyBuffer(t *testing.T) {
 	n := smallNet()
 	hw := arch.CaseStudy()
 	hw.MemoryByName("GB").CapacityBits = 40 * 1024 // 5 KB
-	withPlan, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{
+	withPlan, err := Evaluate(context.Background(), n, hw, arch.CaseStudySpatial(), &Options{
 		MaxCandidates: 800, PlanGB: true,
 	})
 	if err != nil {
@@ -62,7 +63,7 @@ func TestPlanGBNoSpillsWithBigBuffer(t *testing.T) {
 	n := smallNet()
 	hw := arch.CaseStudy()
 	hw.MemoryByName("GB").CapacityBits = 1 << 28
-	r, err := Evaluate(n, hw, arch.CaseStudySpatial(), &Options{
+	r, err := Evaluate(context.Background(), n, hw, arch.CaseStudySpatial(), &Options{
 		MaxCandidates: 800, PlanGB: true,
 	})
 	if err != nil {
@@ -83,7 +84,7 @@ func TestPlanGBNoSpillsWithBigBuffer(t *testing.T) {
 func TestPlanGBPrefetchWidensLiveness(t *testing.T) {
 	n := smallNet()
 	hwPre := arch.CaseStudy() // W-LB double-buffered -> prefetch
-	rPre, err := Evaluate(n, hwPre, arch.CaseStudySpatial(), &Options{MaxCandidates: 800, PlanGB: true})
+	rPre, err := Evaluate(context.Background(), n, hwPre, arch.CaseStudySpatial(), &Options{MaxCandidates: 800, PlanGB: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestPlanGBPrefetchWidensLiveness(t *testing.T) {
 	for _, m := range hwNo.Memories {
 		m.DoubleBuffered = false
 	}
-	rNo, err := Evaluate(n, hwNo, arch.CaseStudySpatial(), &Options{MaxCandidates: 800, PlanGB: true})
+	rNo, err := Evaluate(context.Background(), n, hwNo, arch.CaseStudySpatial(), &Options{MaxCandidates: 800, PlanGB: true})
 	if err != nil {
 		t.Fatal(err)
 	}

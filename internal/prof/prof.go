@@ -19,6 +19,8 @@ package prof
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -31,6 +33,20 @@ var (
 	cpuFile *os.File
 	stopped bool
 )
+
+// DebugMux returns a mux serving the net/http/pprof handlers under
+// /debug/pprof/ — the live-profiling counterpart to the file-based
+// -cpuprofile/-memprofile flags, for daemons (cmd/servemodel) that expose
+// them on an opt-in side listener rather than the public API port.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	return mux
+}
 
 // Start begins CPU profiling if -cpuprofile was given. Call after
 // flag.Parse. Returns an error if a profile file cannot be created.

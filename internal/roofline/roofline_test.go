@@ -1,6 +1,7 @@
 package roofline
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func searched(b, k, c int64, gbBW int64) (*core.Problem, *core.Result) {
 	for i := range gb.Ports {
 		gb.Ports[i].BWBits = gbBW
 	}
-	best, _, err := mapper.Best(&l, hw, &mapper.Options{
+	best, _, err := mapper.Best(context.Background(), &l, hw, &mapper.Options{
 		Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 2000,
 	})
 	if err != nil {

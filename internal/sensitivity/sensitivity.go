@@ -8,6 +8,7 @@
 package sensitivity
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -65,7 +66,7 @@ func Analyze(l *workload.Layer, hw *arch.Arch, spatial loops.Nest, opt *Options)
 	}
 	eval := func(a *arch.Arch) (float64, error) {
 		layer := *l
-		best, _, err := mapper.Best(&layer, a, &mapper.Options{
+		best, _, err := mapper.Best(context.Background(), &layer, a, &mapper.Options{
 			Spatial: spatial, BWAware: true, Pow2Splits: true, MaxCandidates: budget,
 		})
 		if err != nil {

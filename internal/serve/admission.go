@@ -1,0 +1,73 @@
+package serve
+
+// Admission control for the search endpoints. The expensive part of every
+// request is a mapping search that fans out over the shared worker budget
+// (package par); running an unbounded number of them concurrently would not
+// make anything faster — they would time-slice the same GOMAXPROCS tokens —
+// it would only multiply peak memory and stretch every caller's latency past
+// its deadline. The controller therefore holds concurrent searches at a
+// configured slot count (default: the par budget) and lets a bounded
+// overflow queue absorb bursts; beyond that the server sheds load with
+// 429 + Retry-After, which is the honest answer once queueing time alone
+// would eat the client's deadline.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errAdmissionFull reports that both the slots and the wait queue are full.
+var errAdmissionFull = errors.New("serve: admission queue full")
+
+type admission struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+func newAdmission(slots, maxQueue int) *admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{slots: make(chan struct{}, slots), maxQueue: int64(maxQueue)}
+}
+
+// acquire obtains a search slot, queueing if all slots are busy. It returns
+// a release func on success; errAdmissionFull when the queue is at capacity
+// (shed immediately, do not wait); or ctx.Err() when the caller's context
+// fires while queued.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	default:
+	}
+	// Slots busy: join the bounded queue or shed. The counter admits a
+	// transient overshoot under racing arrivals — the bound is approximate
+	// by design; what matters is that it is a bound.
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, errAdmissionFull
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// inUse returns how many slots are currently held.
+func (a *admission) inUse() int64 { return int64(len(a.slots)) }
+
+// queueDepth returns how many requests are waiting for a slot.
+func (a *admission) queueDepth() int64 { return a.queued.Load() }
+
+// capacity returns the configured slot count.
+func (a *admission) capacity() int64 { return int64(cap(a.slots)) }

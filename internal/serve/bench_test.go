@@ -1,0 +1,56 @@
+package serve
+
+// Service-level benchmarks for the BENCH history (cmd/benchjson):
+// BenchmarkServeWarm measures the full HTTP round trip when the memo cache
+// answers (transport + JSON dominate), BenchmarkServeCold resets the cache
+// every iteration so each request pays for a real mapping search. The gap
+// between the two is the served cost of the memoization layer.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/memo"
+)
+
+func benchServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	s := New(Config{Logger: discardLogger()})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func benchPost(b *testing.B, ts *httptest.Server, body string) {
+	b.Helper()
+	resp, err := http.Post(ts.URL+"/v1/search", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("search = %d", resp.StatusCode)
+	}
+}
+
+func BenchmarkServeWarm(b *testing.B) {
+	ts := benchServer(b)
+	memo.Default.Reset()
+	benchPost(b, ts, smallSearch) // populate the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts, smallSearch)
+	}
+}
+
+func BenchmarkServeCold(b *testing.B) {
+	ts := benchServer(b)
+	for i := 0; i < b.N; i++ {
+		memo.Default.Reset()
+		benchPost(b, ts, smallSearch)
+	}
+}

@@ -1,0 +1,240 @@
+package serve
+
+// Hand-rolled Prometheus text-format metrics (exposition format 0.0.4).
+// The repository takes no dependencies beyond the standard library, so
+// instead of client_golang this file implements the three instrument kinds
+// the service needs — counters, gauges and fixed-bucket histograms — on
+// plain atomics, plus a renderer that writes them in a deterministic order
+// (sorted families, sorted label values) so /metrics output is diffable and
+// testable byte for byte.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counter is a monotonically increasing int64.
+type counter struct{ v atomic.Int64 }
+
+func (c *counter) Add(n int64) { c.v.Add(n) }
+func (c *counter) Load() int64 { return c.v.Load() }
+
+// gauge is a settable int64 level.
+type gauge struct{ v atomic.Int64 }
+
+func (g *gauge) Add(n int64) { g.v.Add(n) }
+func (g *gauge) Load() int64 { return g.v.Load() }
+
+// histogram observes float64 samples into cumulative buckets. The sum is
+// kept as float64 bits behind a CAS loop so Observe stays lock-free.
+type histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf is implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds))}
+}
+
+func (h *histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// latencyBuckets spans sub-millisecond cache hits to minute-scale searches.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// endpointMetrics instruments one API endpoint.
+type endpointMetrics struct {
+	name     string
+	inflight gauge
+	latency  *histogram
+
+	mu    sync.Mutex
+	codes map[int]*counter // HTTP status -> request count
+}
+
+func newEndpointMetrics(name string) *endpointMetrics {
+	return &endpointMetrics{
+		name:    name,
+		latency: newHistogram(latencyBuckets),
+		codes:   map[int]*counter{},
+	}
+}
+
+// done records one finished request.
+func (em *endpointMetrics) done(code int, seconds float64) {
+	em.mu.Lock()
+	c, ok := em.codes[code]
+	if !ok {
+		c = &counter{}
+		em.codes[code] = c
+	}
+	em.mu.Unlock()
+	c.Add(1)
+	em.latency.Observe(seconds)
+}
+
+// searchCounters accumulates mapper.Stats across all served searches.
+type searchCounters struct {
+	searches counter
+	nests    counter
+	merged   counter
+	subtrees counter
+	valid    counter
+	skipped  counter
+	bbPruned counter
+}
+
+// metrics is the service-wide registry. Endpoints are registered once at
+// server construction, so the map is read-only afterwards and needs no lock.
+type metrics struct {
+	start     time.Time
+	endpoints map[string]*endpointMetrics
+	shed      counter
+	search    searchCounters
+}
+
+func newMetrics(start time.Time, endpointNames ...string) *metrics {
+	m := &metrics{start: start, endpoints: map[string]*endpointMetrics{}}
+	for _, n := range endpointNames {
+		m.endpoints[n] = newEndpointMetrics(n)
+	}
+	return m
+}
+
+func (m *metrics) endpoint(name string) *endpointMetrics { return m.endpoints[name] }
+
+// memoSnapshot carries the memo-cache counters into the renderer without
+// importing package memo here (keeps the metrics file dependency-free).
+type memoSnapshot struct {
+	Hits, Misses, Waits, DiskHits, Canceled, Transient int64
+}
+
+// admissionSnapshot carries the admission controller's live levels.
+type admissionSnapshot struct {
+	InUse, Queued int64
+	Slots, Queue  int64
+}
+
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// write renders every metric in the Prometheus text exposition format,
+// families sorted by name, label sets sorted within a family.
+func (m *metrics) write(w io.Writer, memo memoSnapshot, adm admissionSnapshot) {
+	names := make([]string, 0, len(m.endpoints))
+	for n := range m.endpoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP servemodel_admission_inflight Searches currently holding an admission slot.\n")
+	fmt.Fprintf(w, "# TYPE servemodel_admission_inflight gauge\n")
+	fmt.Fprintf(w, "servemodel_admission_inflight %d\n", adm.InUse)
+	fmt.Fprintf(w, "# HELP servemodel_admission_queue_depth Requests waiting for an admission slot.\n")
+	fmt.Fprintf(w, "# TYPE servemodel_admission_queue_depth gauge\n")
+	fmt.Fprintf(w, "servemodel_admission_queue_depth %d\n", adm.Queued)
+	fmt.Fprintf(w, "# HELP servemodel_admission_shed_total Requests rejected with 429 because the admission queue was full.\n")
+	fmt.Fprintf(w, "# TYPE servemodel_admission_shed_total counter\n")
+	fmt.Fprintf(w, "servemodel_admission_shed_total %d\n", m.shed.Load())
+	fmt.Fprintf(w, "# HELP servemodel_admission_slots Configured concurrent-search slots.\n")
+	fmt.Fprintf(w, "# TYPE servemodel_admission_slots gauge\n")
+	fmt.Fprintf(w, "servemodel_admission_slots %d\n", adm.Slots)
+
+	fmt.Fprintf(w, "# HELP servemodel_inflight Requests currently being served, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE servemodel_inflight gauge\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "servemodel_inflight{endpoint=%q} %d\n", n, m.endpoints[n].inflight.Load())
+	}
+
+	for _, mc := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"servemodel_mapper_classes_merged_total", "Orderings absorbed into an earlier representative's equivalence class.", m.search.merged.Load()},
+		{"servemodel_mapper_nests_total", "Ordered nests handed to evaluation across all served searches.", m.search.nests.Load()},
+		{"servemodel_mapper_pruned_total", "Full evaluations skipped by the branch-and-bound lower bound.", m.search.bbPruned.Load()},
+		{"servemodel_mapper_searches_total", "Mapping searches completed successfully by this server.", m.search.searches.Load()},
+		{"servemodel_mapper_skipped_total", "Orderings beyond the walk budget (counted, not walked).", m.search.skipped.Load()},
+		{"servemodel_mapper_subtrees_pruned_total", "Factorization subtrees dropped by the generator's probe bound.", m.search.subtrees.Load()},
+		{"servemodel_mapper_valid_total", "Evaluated mappings passing validation.", m.search.valid.Load()},
+		{"servemodel_memo_canceled_total", "Memo waits abandoned because the caller's context fired.", memo.Canceled},
+		{"servemodel_memo_disk_hits_total", "Searches served from the on-disk store.", memo.DiskHits},
+		{"servemodel_memo_hits_total", "Searches served from the in-memory cache.", memo.Hits},
+		{"servemodel_memo_misses_total", "Searches that ran because no cache entry existed.", memo.Misses},
+		{"servemodel_memo_transient_total", "Context-error results evicted instead of cached.", memo.Transient},
+		{"servemodel_memo_waits_total", "Callers coalesced onto another caller's in-flight search.", memo.Waits},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", mc.name, mc.help, mc.name, mc.name, mc.v)
+	}
+
+	fmt.Fprintf(w, "# HELP servemodel_request_seconds Request latency, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE servemodel_request_seconds histogram\n")
+	for _, n := range names {
+		h := m.endpoints[n].latency
+		for i, b := range h.bounds {
+			fmt.Fprintf(w, "servemodel_request_seconds_bucket{endpoint=%q,le=%q} %d\n", n, fmtFloat(b), h.buckets[i].Load())
+		}
+		fmt.Fprintf(w, "servemodel_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", n, h.count.Load())
+		fmt.Fprintf(w, "servemodel_request_seconds_sum{endpoint=%q} %s\n", n, fmtFloat(math.Float64frombits(h.sumBits.Load())))
+		fmt.Fprintf(w, "servemodel_request_seconds_count{endpoint=%q} %d\n", n, h.count.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP servemodel_requests_total Finished requests, by endpoint and HTTP status.\n")
+	fmt.Fprintf(w, "# TYPE servemodel_requests_total counter\n")
+	for _, n := range names {
+		em := m.endpoints[n]
+		em.mu.Lock()
+		codes := make([]int, 0, len(em.codes))
+		for c := range em.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		vals := make([]int64, len(codes))
+		for i, c := range codes {
+			vals[i] = em.codes[c].Load()
+		}
+		em.mu.Unlock()
+		for i, c := range codes {
+			fmt.Fprintf(w, "servemodel_requests_total{endpoint=%q,code=\"%d\"} %d\n", n, c, vals[i])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP servemodel_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE servemodel_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "servemodel_uptime_seconds %s\n", fmtFloat(time.Since(m.start).Seconds()))
+}
+
+// noteStats folds one finished search's statistics into the totals.
+func (m *metrics) noteStats(nests, merged, subtrees, valid, skipped, pruned int) {
+	m.search.searches.Add(1)
+	m.search.nests.Add(int64(nests))
+	m.search.merged.Add(int64(merged))
+	m.search.subtrees.Add(int64(subtrees))
+	m.search.valid.Add(int64(valid))
+	m.search.skipped.Add(int64(skipped))
+	m.search.bbPruned.Add(int64(pruned))
+}

@@ -1,0 +1,262 @@
+// Package serve exposes the latency model as a long-running HTTP service:
+// single-layer evaluation of a fixed mapping, full mapping searches
+// (exhaustive or annealed) and whole-network evaluation, all backed by the
+// process-wide memo cache so identical requests coalesce onto one in-flight
+// search and repeats are served from memory (or disk, when the store is
+// enabled).
+//
+// The server is built for the concurrency semantics PR 4 threaded through
+// the model: every request gets a context bounded by its own deadline, the
+// client connection and the server's drain state; a canceled search stops
+// the mapper cooperatively, returns promptly and never poisons the cache
+// with a partial result. An admission controller bounds concurrent searches
+// against the shared worker budget and sheds overload with 429 +
+// Retry-After. Observability is built in: /metrics (Prometheus text
+// format, hand-rolled — this repository takes no dependencies), /healthz,
+// structured request logs (log/slog) and graceful shutdown that drains
+// in-flight searches under a deadline before force-canceling the rest.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/memo"
+	"repro/internal/par"
+)
+
+// statusClientGone is logged for requests whose client disconnected before a
+// response could be written (nginx's convention; never actually sent).
+const statusClientGone = 499
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// MaxConcurrent bounds concurrently running searches (default: the
+	// shared worker budget, par.Limit()).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a search slot before the server
+	// sheds with 429 (default: 4 x MaxConcurrent; negative: no queue, shed
+	// as soon as the slots are busy).
+	MaxQueue int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (default 5m).
+	MaxTimeout time.Duration
+	// Logger receives structured request logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = par.Limit()
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 4 * c.MaxConcurrent
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the HTTP service. Create with New, expose via Handler, stop
+// with Shutdown.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+	mux *http.ServeMux
+	adm *admission
+	met *metrics
+
+	// base is alive for the server's whole lifetime and canceled only when
+	// a graceful shutdown exhausts its drain deadline; every request context
+	// is joined to it, so force-cancel reaches all in-flight searches.
+	base       context.Context
+	baseCancel context.CancelFunc
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		log: cfg.Logger,
+		mux: http.NewServeMux(),
+		adm: newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		met: newMetrics(time.Now(), "eval", "search", "network", "metrics", "healthz"),
+	}
+	s.base, s.baseCancel = context.WithCancel(context.Background())
+	s.mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
+	s.mux.Handle("POST /v1/eval", s.instrument("eval", true, s.handleEval))
+	s.mux.Handle("POST /v1/search", s.instrument("search", true, s.handleSearch))
+	s.mux.Handle("POST /v1/network", s.instrument("network", true, s.handleNetwork))
+	return s
+}
+
+// Handler returns the root handler (mount on an http.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the middleware stack: in-flight gauge,
+// admission control (when admit), latency/status metrics and the request
+// log line.
+func (s *Server) instrument(name string, admit bool, h http.HandlerFunc) http.Handler {
+	em := s.met.endpoint(name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		em.inflight.Add(1)
+		defer em.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		switch {
+		case !admit:
+			h(sw, r)
+		default:
+			release, err := s.adm.acquire(r.Context())
+			switch {
+			case errors.Is(err, errAdmissionFull):
+				s.met.shed.Add(1)
+				sw.Header().Set("Retry-After", "1")
+				writeError(sw, http.StatusTooManyRequests, "server saturated: all search slots and the wait queue are full")
+			case err != nil:
+				sw.code = statusClientGone // client gave up while queued
+			default:
+				h(sw, r)
+				release()
+			}
+		}
+		d := time.Since(t0)
+		em.done(sw.code, d.Seconds())
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("endpoint", name),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("code", sw.code),
+			slog.Duration("dur", d),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.base.Err() != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cnt := memo.Default.Counters()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, memoSnapshot{
+		Hits:      cnt.Hits(),
+		Misses:    cnt.Misses(),
+		Waits:     cnt.InflightWaits(),
+		DiskHits:  cnt.DiskHits(),
+		Canceled:  cnt.Canceled(),
+		Transient: cnt.Transient(),
+	}, admissionSnapshot{
+		InUse:  s.adm.inUse(),
+		Queued: s.adm.queueDepth(),
+		Slots:  s.adm.capacity(),
+		Queue:  s.adm.maxQueue,
+	})
+}
+
+// requestContext derives the context a search runs under: bounded by the
+// request's timeout (timeout_ms capped at MaxTimeout; DefaultTimeout when
+// absent), canceled when the client disconnects (via r.Context()), and
+// force-canceled when a graceful shutdown exhausts its drain deadline (via
+// the server's base context). The returned stop func releases both.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	stop := context.AfterFunc(s.base, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// errorStatus maps a failed search to an HTTP status: the request deadline
+// expiring is 504, a shutdown force-cancel is 503, a vanished client is the
+// unsendable 499 (metrics/logs only), and anything else — a well-formed
+// request whose search legitimately found nothing — is 422.
+func (s *Server) errorStatus(r *http.Request, err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case s.base.Err() != nil:
+		return http.StatusServiceUnavailable
+	case r.Context().Err() != nil:
+		return statusClientGone
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// Shutdown stops srv gracefully: new connections are refused, in-flight
+// requests get the drain window to finish, and if any are still running
+// when it expires their contexts are force-canceled (they answer 503) and
+// a short grace period lets those responses flush before the remaining
+// connections are closed.
+func (s *Server) Shutdown(srv *http.Server, drain time.Duration) error {
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err == nil {
+		return nil
+	}
+	s.log.Warn("drain deadline expired; force-canceling in-flight searches")
+	s.baseCancel()
+	gctx, gcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer gcancel()
+	return srv.Shutdown(gctx)
+}
+
+// writeJSON writes v as the response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the JSON shape of every error response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestStridedConvModelVsSim(t *testing.T) {
 	}
 	for _, l := range cases {
 		layer := l
-		best, _, err := mapper.Best(&layer, hw, &mapper.Options{
+		best, _, err := mapper.Best(context.Background(), &layer, hw, &mapper.Options{
 			Spatial: sp, BWAware: true, MaxCandidates: 2500,
 		})
 		if err != nil {
