@@ -6,20 +6,23 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/loops"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 // run evaluates a 2-level machine with the given register port width,
 // buffering and W boundary, and returns the W fill endpoint at the
-// register level.
-func run(regBW int64, regDB bool, wBound []int) *core.Endpoint {
+// register level plus the full problem and result (for trace export).
+func run(regBW int64, regDB bool, wBound []int) (*core.Endpoint, *core.Problem, *core.Result) {
 	l := workload.NewMatMul("fig3", 2, 4, 8)
 	a := &arch.Arch{
 		Name: "fig3",
@@ -49,39 +52,54 @@ func run(regBW int64, regDB bool, wBound []int) *core.Endpoint {
 	m.Bound[loops.W] = wBound
 	m.Bound[loops.I] = []int{1, 2}
 	m.Bound[loops.O] = []int{1, 2}
-	r, err := core.Evaluate(&core.Problem{Layer: &l, Arch: a, Mapping: m})
+	p := &core.Problem{Layer: &l, Arch: a, Mapping: m}
+	r, err := core.Evaluate(p)
 	if err != nil {
 		panic(err)
 	}
 	for _, e := range r.Endpoints {
 		if e.Operand == loops.W && e.Kind == core.Fill && e.MemName == "Reg" {
-			return e
+			return e, p, r
 		}
 	}
 	panic("no W endpoint")
 }
 
 func main() {
+	tracePrefix := flag.String("tracejson", "", "also write each case as a Perfetto trace-event file: <prefix>-a.json ... <prefix>-f.json")
+	flag.Parse()
+
 	fmt.Println("Fig. 3 — six timeline cases of computation (C) and memory update")
 	fmt.Println("legend: # transfer in window, = idle window, . keep-out, ! overrun")
 	fmt.Println()
 
+	show := func(tag, title string, regBW int64, regDB bool, bound []int, periods int) {
+		e, p, r := run(regBW, regDB, bound)
+		fmt.Printf("(%s) %s:\n", tag, title)
+		fmt.Println(trace.Timeline(e, periods, 72))
+		if *tracePrefix != "" {
+			raw, err := obs.TraceJSON(p, r, obs.TraceOptions{})
+			if err != nil {
+				panic(err)
+			}
+			name := fmt.Sprintf("%s-%s.json", *tracePrefix, tag)
+			if err := os.WriteFile(name, raw, 0o644); err != nil {
+				panic(err)
+			}
+			fmt.Printf("wrote %s\n\n", name)
+		}
+	}
+
 	// (a)-(c): double-buffered — the full period is an allowed window.
 	rTop := []int{1, 2} // W's reg level = [C 8]: X_REQ = Mem_CC = 8
-	fmt.Println("(a) DB, X_REAL = X_REQ (no stall, no slack):")
-	fmt.Println(trace.Timeline(run(32, true, rTop), 3, 72))
-	fmt.Println("(b) DB, X_REAL < X_REQ (slack, SS_u < 0):")
-	fmt.Println(trace.Timeline(run(64, true, rTop), 3, 72))
-	fmt.Println("(c) DB, X_REAL > X_REQ (stall, SS_u > 0):")
-	fmt.Println(trace.Timeline(run(16, true, rTop), 3, 72))
+	show("a", "DB, X_REAL = X_REQ (no stall, no slack)", 32, true, rTop, 3)
+	show("b", "DB, X_REAL < X_REQ (slack, SS_u < 0)", 64, true, rTop, 3)
+	show("c", "DB, X_REAL > X_REQ (stall, SS_u > 0)", 16, true, rTop, 3)
 
 	// (d)-(f): single-buffered with the ir loop B on top of the reg level
 	// ([C 8 | B 2]): keep-out zone, X_REQ = Mem_CC / 2.
 	irTop := []int{2, 2}
-	fmt.Println("(d) non-DB ir-top, X_REAL = X_REQ:")
-	fmt.Println(trace.Timeline(run(32, false, irTop), 2, 72))
-	fmt.Println("(e) non-DB ir-top, X_REAL < X_REQ (slack):")
-	fmt.Println(trace.Timeline(run(64, false, irTop), 2, 72))
-	fmt.Println("(f) non-DB ir-top, X_REAL > X_REQ (stall):")
-	fmt.Println(trace.Timeline(run(16, false, irTop), 2, 72))
+	show("d", "non-DB ir-top, X_REAL = X_REQ", 32, false, irTop, 2)
+	show("e", "non-DB ir-top, X_REAL < X_REQ (slack)", 64, false, irTop, 2)
+	show("f", "non-DB ir-top, X_REAL > X_REQ (stall)", 16, false, irTop, 2)
 }

@@ -6,6 +6,7 @@
 //
 //	latmodel [-arch inhouse|casestudy] [-b N -k N -c N] [-conv "B,K,C,OY,OX,FY,FX"]
 //	         [-config problem.json] [-dump preset.json] [-budget N] [-unaware] [-sim] [-csv]
+//	         [-explain] [-explainjson out.json] [-tracejson out.json] [-progress]
 //
 // With -config, the layer, architecture and (optionally) a fixed mapping
 // are read from a JSON problem file (see internal/config); -dump writes the
@@ -16,9 +17,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/config"
@@ -29,6 +32,7 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/mapping"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/roofline"
@@ -56,6 +60,10 @@ func main() {
 		spatial  = flag.String("spatial", "", "override spatial unrolling, e.g. \"K 16 | B 8 | C 2\"")
 		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
 		nosym    = flag.Bool("nosym", false, "disable the symmetry-reduced enumeration (walk every ordering)")
+		explain  = flag.Bool("explain", false, "print the stall-attribution explainer (per-DTL stalls, critical chain)")
+		explJSON = flag.String("explainjson", "", "write the full explainer report as JSON to this file")
+		traceOut = flag.String("tracejson", "", "write a Chrome/Perfetto trace-event file of the port timelines to this file")
+		progress = flag.Bool("progress", false, "stream live search telemetry to stderr")
 	)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
@@ -145,6 +153,7 @@ func main() {
 		sp = n
 	}
 
+	hooks := progressHooks(*progress)
 	var best *mapper.Candidate
 	if fixed != nil {
 		if err := fixed.Validate(&layer, hw); err != nil {
@@ -160,7 +169,7 @@ func main() {
 	} else if *anneal {
 		var err error
 		best, err = mapper.AnnealCached(context.Background(), &layer, hw, &mapper.AnnealOptions{
-			Spatial: sp, BWAware: !*unaware, Iterations: *budget / 4, NoReduce: *nosym,
+			Spatial: sp, BWAware: !*unaware, Iterations: *budget / 4, NoReduce: *nosym, Hooks: hooks,
 		})
 		if err != nil {
 			fatal("annealing: %v", err)
@@ -171,7 +180,7 @@ func main() {
 		var stats *mapper.Stats
 		var err error
 		best, stats, err = mapper.BestCached(context.Background(), &layer, hw, &mapper.Options{
-			Spatial: sp, BWAware: !*unaware, MaxCandidates: *budget, NoReduce: *nosym,
+			Spatial: sp, BWAware: !*unaware, MaxCandidates: *budget, NoReduce: *nosym, Hooks: hooks,
 		})
 		if err != nil {
 			fatal("mapping search: %v", err)
@@ -196,6 +205,36 @@ func main() {
 	}
 
 	p := &core.Problem{Layer: &layer, Arch: hw, Mapping: best.Mapping}
+	if *explain || *explJSON != "" || *traceOut != "" {
+		if *unaware {
+			fatal("-explain/-explainjson/-tracejson need the bandwidth-aware model's diagnostics (drop -unaware)")
+		}
+		rep := obs.NewReport(p, best.Result)
+		if *explain {
+			fmt.Println()
+			fmt.Print(rep.Text())
+		}
+		if *explJSON != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fatal("explainjson: %v", err)
+			}
+			if err := os.WriteFile(*explJSON, data, 0o644); err != nil {
+				fatal("explainjson: %v", err)
+			}
+			fmt.Printf("\nwrote %s\n", *explJSON)
+		}
+		if *traceOut != "" {
+			raw, err := obs.TraceJSON(p, best.Result, obs.TraceOptions{})
+			if err != nil {
+				fatal("tracejson: %v", err)
+			}
+			if err := os.WriteFile(*traceOut, raw, 0o644); err != nil {
+				fatal("tracejson: %v", err)
+			}
+			fmt.Printf("\nwrote %s (open in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+		}
+	}
 	if rf, err := roofline.Analyze(p); err == nil {
 		fmt.Println()
 		fmt.Print(rf.Report())
@@ -237,6 +276,33 @@ func main() {
 		acc := 1 - abs(best.Result.CCTotal-float64(sr.Cycles))/float64(sr.Cycles)
 		fmt.Printf("\nsimulator: %d cycles (stall %d, preload %d, tail %d) -> model accuracy %.1f%%\n",
 			sr.Cycles, sr.ComputeStall, sr.PreloadCycles, sr.DrainTail, 100*acc)
+	}
+}
+
+// progressHooks builds stderr-streaming telemetry hooks (nil when off, so
+// the mapper keeps its zero-overhead fast path).
+func progressHooks(on bool) *obs.SearchHooks {
+	if !on {
+		return nil
+	}
+	return &obs.SearchHooks{
+		Phase: func(name string, d time.Duration) {
+			fmt.Fprintf(os.Stderr, "progress: phase %-8s %v\n", name, d.Round(time.Microsecond))
+		},
+		Progress: func(p obs.SearchProgress) {
+			best := "-"
+			if !math.IsInf(p.BestCC, 1) {
+				best = fmt.Sprintf("%.0f", p.BestCC)
+			}
+			fmt.Fprintf(os.Stderr, "progress: walked %d valid %d pruned %d best %s (%.1fs)\n",
+				p.Walked, p.Valid, p.Pruned, best, p.Elapsed.Seconds())
+		},
+		ImprovedBest: func(score float64, seq int64) {
+			fmt.Fprintf(os.Stderr, "progress: new best %.0f (candidate #%d)\n", score, seq)
+		},
+		AnnealProgress: func(chain, iter int, best float64) {
+			fmt.Fprintf(os.Stderr, "progress: anneal chain %d iter %d best %.0f\n", chain, iter, best)
+		},
 	}
 }
 

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	netmodel [-arch inhouse|casestudy] [-net handtracking] [-budget N]
-//	         [-noprefetch] [-objective latency|energy|edp]
+//	         [-noprefetch] [-objective latency|energy|edp] [-explain]
 package main
 
 import (
@@ -14,13 +14,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/loops"
 	"repro/internal/mapper"
 	"repro/internal/memo"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/workload"
 )
@@ -40,6 +43,7 @@ func main() {
 		objName  = flag.String("objective", "latency", "per-layer mapping objective: latency|energy|edp")
 		cacheDir = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
 		nosym    = flag.Bool("nosym", false, "disable the symmetry-reduced enumeration (walk every ordering)")
+		explain  = flag.Bool("explain", false, "print the per-layer critical-DTL table (stall attribution)")
 	)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
@@ -170,6 +174,37 @@ func main() {
 	if r.GBPlan != nil {
 		fmt.Println()
 		fmt.Print(r.GBPlan.Report())
+	}
+	if *explain {
+		fmt.Println()
+		explainLayers(r, hw)
+	}
+}
+
+// explainLayers prints one line per layer naming the stall-dominating chain
+// (attribution mode, dominant memory/port/DTL) from the explainer.
+func explainLayers(r *network.Result, hw *arch.Arch) {
+	fmt.Println("per-layer stall attribution (critical DTL chain):")
+	fmt.Printf("  %-16s %10s %6s  %-6s %s\n", "layer", "SS_overall", "stall%", "mode", "critical chain")
+	for i := range r.Layers {
+		lr := &r.Layers[i]
+		res := lr.Candidate.Result
+		p := &core.Problem{Layer: &lr.Layer, Arch: hw, Mapping: lr.Candidate.Mapping}
+		rep := obs.NewReport(p, res)
+		chain := "-"
+		if len(rep.Critical) > 0 {
+			parts := make([]string, 0, len(rep.Critical))
+			for _, c := range rep.Critical {
+				parts = append(parts, fmt.Sprintf("%s %s (%.0f)", c.Kind, c.Name, c.Contribution))
+			}
+			chain = strings.Join(parts, " -> ")
+		}
+		stallPct := 0.0
+		if res.CCTotal > 0 {
+			stallPct = 100 * res.SSOverall / res.CCTotal
+		}
+		fmt.Printf("  %-16s %10.0f %5.1f%%  %-6s %s\n",
+			lr.Original, res.SSOverall, stallPct, rep.Mode, chain)
 	}
 }
 

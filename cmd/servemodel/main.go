@@ -9,9 +9,11 @@
 //	servemodel [-addr :8080] [-cachedir auto] [-maxconcurrent N]
 //	           [-maxqueue N] [-timeout 30s] [-maxtimeout 5m]
 //	           [-draintimeout 10s] [-debugaddr localhost:6060]
+//	           [-loglevel debug|info|warn|error]
 //
-// Endpoints: POST /v1/eval, /v1/search, /v1/network; GET /healthz,
-// /metrics (Prometheus text format). SIGINT/SIGTERM trigger a graceful
+// Endpoints: POST /v1/eval, /v1/search, /v1/explain, /v1/network; GET
+// /healthz, /metrics (Prometheus text format) and
+// /v1/search/{id}/progress (live search telemetry). SIGINT/SIGTERM trigger a graceful
 // shutdown that drains in-flight searches for -draintimeout before
 // force-canceling them. -debugaddr exposes net/http/pprof on a separate,
 // opt-in listener; the file-based -cpuprofile/-memprofile flags from
@@ -45,6 +47,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "default per-request deadline when the request carries no timeout_ms")
 		maxTo     = flag.Duration("maxtimeout", 5*time.Minute, "cap on client-requested timeouts")
 		drainTo   = flag.Duration("draintimeout", 10*time.Second, "graceful-shutdown drain window for in-flight searches")
+		logLevel  = flag.String("loglevel", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
@@ -52,7 +55,13 @@ func main() {
 	}
 	defer prof.Stop()
 
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal("bad -loglevel %q (want debug, info, warn or error)", *logLevel)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	bi := prof.Build()
+	log.Info("build", "go", bi.GoVersion, "revision", bi.Revision, "modified", bi.Modified)
 	if *cacheDir != "" {
 		dir, err := mapper.EnableDiskCache(*cacheDir)
 		if err != nil {

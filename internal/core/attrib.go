@@ -1,0 +1,218 @@
+package core
+
+// Stall attribution: re-derive WHERE SS_overall comes from. The evaluator's
+// Step 3 collapses the per-memory stalls into one number (and may replace it
+// with the rigid keep-out accumulation); this file walks the same arithmetic
+// over a finished Result's diagnostics and hands back an exact decomposition
+// — per memory module, and per rigid unit memory when the accumulation wins
+// — whose contributions sum to the reported SS_overall bit for bit. Package
+// obs turns this into the serialized explainer report; keeping the
+// arithmetic here (same package as integrateValues/rigidTotal) means there
+// is exactly one definition of the Step-3 semantics to keep in sync.
+
+import (
+	"repro/internal/arch"
+	"repro/internal/loops"
+)
+
+// AttribMode names which Step-3 path produced SS_overall.
+type AttribMode uint8
+
+// Attribution modes.
+const (
+	// AttribNone: SS_overall is zero (every memory has slack).
+	AttribNone AttribMode = iota
+	// AttribPorts: SS_overall is the port/memory integration (max across
+	// concurrent memories, sum across sequential ones).
+	AttribPorts
+	// AttribRigid: SS_overall is the rigid keep-out accumulation — unit
+	// memories whose windows are hard period-boundary freezes add up even
+	// though the plain integration would hide them behind each other.
+	AttribRigid
+)
+
+// String names the mode.
+func (m AttribMode) String() string {
+	switch m {
+	case AttribNone:
+		return "none"
+	case AttribPorts:
+		return "ports"
+	case AttribRigid:
+		return "rigid"
+	}
+	return "AttribMode(?)"
+}
+
+// MemContribution is one memory module's share of SS_overall.
+type MemContribution struct {
+	MemName string
+	// SS is the module's own combined stall (max over its ports), the
+	// value Step 3 integrated.
+	SS float64
+	// Contribution is the module's share of SS_overall under the active
+	// mode; the contributions of all modules sum to SS_overall exactly.
+	Contribution float64
+}
+
+// RigidUnit is one unit memory's entry in the rigid keep-out accumulation:
+// the worst per-kind stall of the (operand, level) unit memory, which
+// accumulates across units because their freezes occupy disjoint period
+// boundaries (DESIGN.md §5).
+type RigidUnit struct {
+	Operand loops.Operand
+	Level   int
+	MemName string // the unit memory's physical module (chain level)
+	Kind    LinkKind
+	SS      float64
+}
+
+// Attribution decomposes a Result's SS_overall into concrete causes.
+type Attribution struct {
+	Mode AttribMode
+	// Integrated is the plain Step-3 port/memory integration (pre-clamp);
+	// RigidTotal is the keep-out accumulation. SS_raw = max of the two
+	// (unless the rigid path is ablated away), SS_overall clamps at 0.
+	Integrated float64
+	RigidTotal float64
+	// Mems holds every memory module in the Result's canonical order with
+	// its contribution; Σ Contribution == SS_overall.
+	Mems []MemContribution
+	// Rigid lists the accumulated unit memories (AttribRigid mode only),
+	// worst first is NOT guaranteed — order follows the endpoint slab.
+	Rigid []RigidUnit
+}
+
+// rigidUnits mirrors Evaluator.rigidTotal over a Result's endpoint list,
+// additionally resolving each unit to its physical module and winning link
+// kind. Same filter, same per-kind max, same cross-kind max, same sum.
+func rigidUnits(a *arch.Arch, eps []*Endpoint) ([]RigidUnit, float64) {
+	type entry struct {
+		op    loops.Operand
+		level int
+		kind  [3]float64
+	}
+	var entries []entry
+	for _, e := range eps {
+		if e.XReq >= e.MemCC || e.SSu <= 0 {
+			continue
+		}
+		var ent *entry
+		for i := range entries {
+			if entries[i].op == e.Operand && entries[i].level == e.Level {
+				ent = &entries[i]
+				break
+			}
+		}
+		if ent == nil {
+			entries = append(entries, entry{op: e.Operand, level: e.Level})
+			ent = &entries[len(entries)-1]
+		}
+		if e.SSu > ent.kind[e.Kind] {
+			ent.kind[e.Kind] = e.SSu
+		}
+	}
+	var units []RigidUnit
+	var total float64
+	for i := range entries {
+		unit, kind := 0.0, Fill
+		for k, v := range entries[i].kind {
+			if v > unit {
+				unit, kind = v, LinkKind(k)
+			}
+		}
+		total += unit
+		mem := ""
+		if chain := a.ChainMems(entries[i].op); entries[i].level < len(chain) {
+			mem = chain[entries[i].level].Name
+		}
+		units = append(units, RigidUnit{
+			Operand: entries[i].op, Level: entries[i].level,
+			MemName: mem, Kind: kind, SS: unit,
+		})
+	}
+	return units, total
+}
+
+// Attribute decomposes r.SSOverall. The Problem p must be the one r was
+// evaluated from (the architecture decides the integration mode and the
+// rigid ablation). Invariant: Σ Mems[i].Contribution == r.SSOverall (and,
+// in AttribRigid mode, Σ Rigid[i].SS == r.SSOverall as well).
+func Attribute(p *Problem, r *Result) *Attribution {
+	at := &Attribution{}
+	opts := p.opts()
+
+	// Re-run the Step-3 integration over the per-memory stalls.
+	mems := make([]memEntry, len(r.Memories))
+	for i, ms := range r.Memories {
+		mems[i] = memEntry{name: ms.MemName, ss: ms.SS}
+	}
+	at.Integrated = integrateValues(mems, p.Arch.Combine)
+
+	var units []RigidUnit
+	var rigid float64
+	if !opts.NoRigidAccumulation {
+		units, rigid = rigidUnits(p.Arch, r.Endpoints)
+	}
+	at.RigidTotal = rigid
+
+	at.Mems = make([]MemContribution, len(r.Memories))
+	for i, ms := range r.Memories {
+		at.Mems[i] = MemContribution{MemName: ms.MemName, SS: ms.SS}
+	}
+
+	ssRaw := at.Integrated
+	rigidWins := !opts.NoRigidAccumulation && rigid > ssRaw
+	if rigidWins {
+		ssRaw = rigid
+	}
+	switch {
+	case ssRaw <= 0:
+		at.Mode = AttribNone
+	case rigidWins:
+		at.Mode = AttribRigid
+		at.Rigid = units
+		// Attribute each unit's stall to its physical module.
+		for i := range units {
+			for j := range at.Mems {
+				if at.Mems[j].MemName == units[i].MemName {
+					at.Mems[j].Contribution += units[i].SS
+					break
+				}
+			}
+		}
+	case p.Arch.Combine == arch.Sequential && anyPositive(mems):
+		at.Mode = AttribPorts
+		// Sequential memories accumulate: each stalled module contributes
+		// its own stall (exactly the terms integrateValues summed).
+		for i := range at.Mems {
+			if at.Mems[i].SS > 0 {
+				at.Mems[i].Contribution = at.Mems[i].SS
+			}
+		}
+	default:
+		at.Mode = AttribPorts
+		// Concurrent memories hide each other: the (first) maximum module
+		// carries the whole stall — integrateValues' strict > keeps the
+		// first argmax in the canonical memory order.
+		best := 0
+		for i := 1; i < len(at.Mems); i++ {
+			if at.Mems[i].SS > at.Mems[best].SS {
+				best = i
+			}
+		}
+		if len(at.Mems) > 0 {
+			at.Mems[best].Contribution = r.SSOverall
+		}
+	}
+	return at
+}
+
+func anyPositive(mems []memEntry) bool {
+	for i := range mems {
+		if mems[i].ss > 0 {
+			return true
+		}
+	}
+	return false
+}

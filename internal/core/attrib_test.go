@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+// attribProblems spans the attribution modes: micro problems driving the
+// port-integration path (stalled and slack variants, both combine modes,
+// rigid keep-out via a single-buffered Reg) plus searched mappings on the
+// paper's preset architectures.
+func attribProblems(t *testing.T) map[string]*Problem {
+	t.Helper()
+	ps := map[string]*Problem{
+		"micro-slack":      microProblem(64, 32, 24, false),
+		"micro-starved":    microProblem(64, 4, 4, false),
+		"micro-balanced":   microProblem(64, 32, 24, true),
+		"micro-rigid":      microProblem(8, 64, 64, false),
+		"micro-tight-regs": microProblem(6, 3, 3, false),
+	}
+	for name, a := range map[string]*arch.Arch{
+		"inhouse": arch.InHouse(), "casestudy": arch.CaseStudy(),
+	} {
+		var sp loops.Nest
+		if name == "inhouse" {
+			sp = arch.InHouseSpatial()
+		} else {
+			sp = arch.CaseStudySpatial()
+		}
+		l := workload.NewMatMul("m", 32, 64, 64)
+		spd := sp.DimProduct()
+		var temporal loops.Nest
+		for _, d := range []loops.Dim{loops.C, loops.B, loops.K} {
+			if e := loops.CeilDiv(l.Dim(d), spd[d]); e > 1 {
+				temporal = append(temporal, loops.Loop{Dim: d, Size: e})
+			}
+		}
+		m := &mapping.Mapping{Spatial: sp, Temporal: temporal}
+		if !assignBoundsTest(m, &l, a) {
+			t.Fatalf("%s: bounds do not fit", name)
+		}
+		if err := m.Validate(&l, a); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lc := l
+		ps[name] = &Problem{Layer: &lc, Arch: a, Mapping: m}
+	}
+	return ps
+}
+
+// assignBoundsTest mirrors the mapper's greedy boundary assignment (the
+// mapper package depends on core, so the helper is duplicated here in
+// miniature).
+func assignBoundsTest(m *mapping.Mapping, l *workload.Layer, a *arch.Arch) bool {
+	n := len(m.Temporal)
+	for _, op := range loops.AllOperands {
+		chain := a.ChainMems(op)
+		bounds := make([]int, len(chain))
+		prev := 0
+		for lev := range chain {
+			if lev == len(chain)-1 {
+				bounds[lev] = n
+				break
+			}
+			capBits := chain[lev].MapperCapacityBits()
+			bits := int64(l.Precision.Bits(op))
+			b := prev
+			m.Bound[op] = bounds
+			bounds[lev] = b
+			if m.MemData(op, lev, l.Strides)*bits > capBits {
+				return false
+			}
+			for b < n {
+				bounds[lev] = b + 1
+				if m.MemData(op, lev, l.Strides)*bits > capBits {
+					bounds[lev] = b
+					break
+				}
+				b++
+			}
+			prev = bounds[lev]
+		}
+		m.Bound[op] = bounds
+	}
+	return true
+}
+
+// TestAttributeSumsToSSOverall is the attribution invariant: for every mode
+// the per-memory contributions sum to the reported SS_overall exactly (no
+// epsilon — the decomposition replays the integration's own float
+// arithmetic), and in rigid mode the unit stalls do too.
+func TestAttributeSumsToSSOverall(t *testing.T) {
+	modes := map[AttribMode]bool{}
+	for name, p := range attribProblems(t) {
+		t.Run(name, func(t *testing.T) {
+			r := mustEval(t, p)
+			at := Attribute(p, r)
+			modes[at.Mode] = true
+
+			var sum float64
+			for _, mc := range at.Mems {
+				sum += mc.Contribution
+			}
+			if sum != r.SSOverall {
+				t.Errorf("mode %s: Σ contributions = %v, want SS_overall %v (exact)",
+					at.Mode, sum, r.SSOverall)
+			}
+			if at.Mode == AttribNone && r.SSOverall != 0 {
+				t.Errorf("AttribNone with SS_overall %v", r.SSOverall)
+			}
+			if at.Mode == AttribRigid {
+				var rsum float64
+				for _, u := range at.Rigid {
+					rsum += u.SS
+					if u.MemName == "" {
+						t.Errorf("rigid unit %s@L%d has no resolved module", u.Operand, u.Level)
+					}
+				}
+				if rsum != r.SSOverall {
+					t.Errorf("Σ rigid units = %v, want SS_overall %v", rsum, r.SSOverall)
+				}
+			}
+			if at.Mode != AttribRigid && len(at.Rigid) != 0 {
+				t.Errorf("mode %s carries rigid units", at.Mode)
+			}
+		})
+	}
+	// The fixture set must actually exercise the stalling paths, or the
+	// invariant checks are vacuous.
+	if !modes[AttribPorts] {
+		t.Error("no fixture hit AttribPorts")
+	}
+	if !modes[AttribNone] {
+		t.Error("no fixture hit AttribNone")
+	}
+}
+
+// TestAttributeRigidMode pins the rigid path on a mapping of the paper's
+// in-house accelerator where the keep-out accumulation is known to dominate
+// the port integration (found by enumerating the bounded mapping space and
+// checking rigidTotal > integrated): MatMul 32x64x64, temporal nest
+// [K 2 | B 2 | C 32] innermost-first.
+func TestAttributeRigidMode(t *testing.T) {
+	a := arch.InHouse()
+	l := workload.NewMatMul("m", 32, 64, 64)
+	m := &mapping.Mapping{
+		Spatial: arch.InHouseSpatial(),
+		Temporal: loops.Nest{
+			{Dim: loops.K, Size: 2}, {Dim: loops.B, Size: 2}, {Dim: loops.C, Size: 32},
+		},
+	}
+	if !assignBoundsTest(m, &l, a) {
+		t.Fatal("bounds do not fit")
+	}
+	p := &Problem{Layer: &l, Arch: a, Mapping: m}
+	r := mustEval(t, p)
+	at := Attribute(p, r)
+	if at.RigidTotal <= at.Integrated {
+		t.Fatalf("fixture not rigid-dominated (rigid %v <= integrated %v)", at.RigidTotal, at.Integrated)
+	}
+	if at.Mode != AttribRigid {
+		t.Fatalf("mode = %s, want rigid", at.Mode)
+	}
+	if r.SSOverall != at.RigidTotal {
+		t.Errorf("SS_overall %v != rigid total %v", r.SSOverall, at.RigidTotal)
+	}
+	var sumMem, sumUnit float64
+	for _, mc := range at.Mems {
+		sumMem += mc.Contribution
+	}
+	for _, u := range at.Rigid {
+		sumUnit += u.SS
+	}
+	if sumMem != r.SSOverall || sumUnit != r.SSOverall {
+		t.Errorf("Σ mems %v / Σ units %v, want SS_overall %v", sumMem, sumUnit, r.SSOverall)
+	}
+	if len(at.Rigid) < 2 {
+		t.Errorf("rigid fixture has %d units; accumulation needs >= 2 to beat the max", len(at.Rigid))
+	}
+}
+
+// TestAttributeConcurrentFirstArgmax pins the concurrent tie-break: with
+// equal per-memory stalls the FIRST memory in canonical order carries the
+// whole contribution, mirroring integrateValues' strict >.
+func TestAttributeConcurrentFirstArgmax(t *testing.T) {
+	for name, p := range attribProblems(t) {
+		r := mustEval(t, p)
+		at := Attribute(p, r)
+		if at.Mode != AttribPorts || p.Arch.Combine != arch.Concurrent {
+			continue
+		}
+		carriers := 0
+		first := -1
+		for i, mc := range at.Mems {
+			if mc.Contribution != 0 {
+				carriers++
+				if first < 0 {
+					first = i
+				}
+			}
+		}
+		if carriers != 1 {
+			t.Errorf("%s: %d memories carry contribution under Concurrent, want exactly 1", name, carriers)
+			continue
+		}
+		for i := 0; i < first; i++ {
+			if at.Mems[i].SS >= at.Mems[first].SS {
+				t.Errorf("%s: memory %d (SS %v) precedes carrier %d (SS %v) with >= stall",
+					name, i, at.Mems[i].SS, first, at.Mems[first].SS)
+			}
+		}
+	}
+}

@@ -8,14 +8,17 @@ package mapper
 // points of a DSE sweep, across annealing restarts, and (optionally, via the
 // on-disk store) across CLI invocations.
 //
-// Three option fields are deliberately EXCLUDED from the key: Workers,
-// NoPrune and NoReduce. None of them can change the selected mapping or its
-// score — Workers and NoPrune only steer scheduling, and the symmetry
-// reduction is exact (DESIGN.md §9) — so keying on them would only split
-// identical results across entries. The Stats counters DO depend on
-// NoReduce (a reduced run walks classes, a full run walks orderings): like
-// Pruned already did, a cached result reports the counters of whichever run
-// populated the cache.
+// Four option fields are deliberately EXCLUDED from the key: Workers,
+// NoPrune, NoReduce and Hooks. None of them can change the selected mapping
+// or its score — Workers and NoPrune only steer scheduling, the symmetry
+// reduction is exact (DESIGN.md §9), and telemetry hooks only observe — so
+// keying on them would only split identical results across entries. The
+// Stats counters DO depend on NoReduce (a reduced run walks classes, a full
+// run walks orderings): like Pruned already did, a cached result reports the
+// counters of whichever run populated the cache. Hook coalescing caveat:
+// when a cached search deduplicates concurrent or repeated calls, only the
+// call that actually computes sees telemetry events — followers get the
+// shared result with no event stream.
 //
 // Cached *Candidate values are shared between every caller with the same
 // key and MUST be treated as immutable; Stats are returned as per-call

@@ -36,11 +36,13 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/loops"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/workload"
 )
@@ -97,6 +99,16 @@ type engine struct {
 	// bestBits is Float64bits of the best score seen by any worker; it
 	// only decreases. Read by workers for the prune decision.
 	bestBits atomic.Uint64
+
+	// Telemetry (engine_obs.go). hooks is nil unless Options.Hooks is set;
+	// every observation site guards on that nil check, and the observation
+	// state below is never touched on the fast path. None of it feeds back
+	// into the search: the result is bit-identical with or without hooks.
+	hooks       *obs.SearchHooks
+	start       time.Time
+	obsValid    atomic.Int64
+	obsPruned   atomic.Int64
+	obsBestBits atomic.Uint64
 }
 
 // runSearch drives one search. It returns the best candidate (modeBest),
@@ -121,6 +133,12 @@ func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options,
 	e.genPrune = mode == modeBest && o.Objective == MinLatency
 	e.bestBits.Store(math.Float64bits(math.Inf(1)))
 	stats := &Stats{}
+	if o.Hooks != nil {
+		e.hooks = o.Hooks
+		e.start = time.Now()
+		e.obsBestBits.Store(math.Float64bits(math.Inf(1)))
+		defer func(t0 time.Time) { e.hooks.EmitPhase("search", time.Since(t0)) }(e.start)
+	}
 
 	// Decide the worker count. Forced counts (Workers >= 1) bypass the
 	// shared budget; the default draws from it so that nested parallelism
@@ -221,6 +239,14 @@ func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options,
 	if e.aborted.Load() || ctx.Err() != nil {
 		return nil, nil, nil, ctx.Err()
 	}
+	if e.hooks != nil {
+		// Final snapshot: every counter exact (the reduce is done).
+		p := e.obsSnapshot(stats, int64(stats.NestsGenerated+stats.ClassesMerged), true)
+		p.Valid = int64(stats.Valid)
+		p.Pruned = int64(stats.Pruned)
+		p.BestCC = bestScore
+		e.hooks.EmitProgress(p)
+	}
 	return best, all, stats, nil
 }
 
@@ -230,6 +256,9 @@ func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options,
 // emitted seq is dense and strictly increasing.
 func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 	o := e.o
+	if e.hooks != nil {
+		defer func(t0 time.Time) { e.hooks.EmitPhase("generate", time.Since(t0)) }(time.Now())
+	}
 
 	// Temporal extent per dimension after spatial unrolling (ceil).
 	sp := o.Spatial.DimProduct()
@@ -338,6 +367,9 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 				}
 				walked++
 				visited++
+				if e.hooks != nil && walked%progressInterval == 0 {
+					e.hooks.EmitProgress(e.obsSnapshot(st, int64(walked), false))
+				}
 				if reduce && canon.intern(nest) {
 					st.ClassesMerged++
 					return true
@@ -484,6 +516,9 @@ func (w *worker) process(seq int64, nest loops.Nest) {
 			return
 		}
 		w.valid++
+		if e.hooks != nil {
+			e.obsValid.Add(1)
+		}
 		s := c.Score(o.Objective)
 		if e.mode == modeAll {
 			w.all = append(w.all, scored{cand: c, score: s, key: c.Mapping.Temporal.String(), seq: seq})
@@ -491,6 +526,9 @@ func (w *worker) process(seq int64, nest loops.Nest) {
 		}
 		if w.better(s, seq) {
 			w.best, w.bestScore, w.bestSeq = c, s, seq
+			if e.hooks != nil {
+				e.obsImproved(s, seq)
+			}
 		}
 		return
 	}
@@ -498,12 +536,18 @@ func (w *worker) process(seq int64, nest loops.Nest) {
 	// Latency objective: scratch-based scoring, no allocation unless the
 	// candidate improves the worker's best.
 	w.valid++
+	if e.hooks != nil {
+		e.obsValid.Add(1)
+	}
 	var score float64
 	if o.BWAware {
 		if e.prune {
 			lb := w.s.ev.LowerBound(&w.prob)
 			if lb > e.loadBest() {
 				w.pruned++
+				if e.hooks != nil {
+					e.obsPruned.Add(1)
+				}
 				return
 			}
 		}
@@ -521,6 +565,9 @@ func (w *worker) process(seq int64, nest loops.Nest) {
 			w.best, w.bestScore, w.bestSeq = c, score, seq
 			if e.prune {
 				e.lowerBest(score)
+			}
+			if e.hooks != nil {
+				e.obsImproved(score, seq)
 			}
 		}
 	}

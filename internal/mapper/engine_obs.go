@@ -1,0 +1,52 @@
+package mapper
+
+// Telemetry observation sites for the evaluation pipeline. Everything here
+// is dead when Options.Hooks is nil: the engine fields involved are only
+// read or written behind a `hooks != nil` check, on atomics disjoint from
+// the search state (bestBits is shared with the prune; the observation copy
+// obsBestBits is separate so telemetry cannot influence prune decisions).
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// progressInterval is how many visited orderings separate two progress
+// snapshots from the generator.
+const progressInterval = 2048
+
+// obsSnapshot assembles a progress snapshot. Called from the generator
+// goroutine (st is generator-owned) or after the reduce (exact counters).
+func (e *engine) obsSnapshot(st *Stats, walked int64, done bool) obs.SearchProgress {
+	p := obs.SearchProgress{
+		Walked:         walked,
+		Generated:      int64(st.NestsGenerated),
+		ClassesMerged:  int64(st.ClassesMerged),
+		SubtreesPruned: int64(st.SubtreesPruned),
+		Valid:          e.obsValid.Load(),
+		Pruned:         e.obsPruned.Load(),
+		BestCC:         math.Float64frombits(e.obsBestBits.Load()),
+		Elapsed:        time.Since(e.start),
+		Done:           done,
+	}
+	return p
+}
+
+// obsImproved lowers the observation best and fires ImprovedBest when the
+// score actually improves it. Raced by workers; the CAS keeps the published
+// sequence of improvements monotonically decreasing.
+func (e *engine) obsImproved(score float64, seq int64) {
+	bits := math.Float64bits(score)
+	for {
+		cur := e.obsBestBits.Load()
+		if math.Float64frombits(cur) <= score {
+			return
+		}
+		if e.obsBestBits.CompareAndSwap(cur, bits) {
+			e.hooks.EmitImprovedBest(score, seq)
+			return
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/loops"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -79,6 +80,15 @@ type Options struct {
 	// for cross-checking and measurement (-nosym in the cmds). The
 	// Stats counters change meaning with it — see Stats.
 	NoReduce bool
+	// Hooks receives search telemetry (phase timings, periodic progress
+	// snapshots, best-score improvements). Nil — the default — disables
+	// telemetry at the cost of one pointer check per event site; with
+	// hooks installed the selected mapping, its score and every exact
+	// Stats counter are bit-identical to a hookless run (guarded by
+	// TestHooksDoNotPerturbSearch). Like Workers/NoPrune, Hooks is
+	// excluded from memo keys: cached searches coalesce regardless of
+	// telemetry, and only the run that actually computes sees events.
+	Hooks *obs.SearchHooks
 }
 
 func (o *Options) normalized() Options {

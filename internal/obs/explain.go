@@ -1,0 +1,450 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Report is the structured explainer for one evaluated mapping: every DTL
+// endpoint with its Step-1 attributes, every physical port with its Step-2
+// combination, every memory module with its Step-3 contribution, the rigid
+// keep-out units when their accumulation dominates, and the critical
+// (stall-dominating) chain. Contributions are exact: per-memory (and
+// per-DTL, residuals included) contributions sum to SS_overall.
+type Report struct {
+	Layer    string `json:"layer"`
+	Arch     string `json:"arch"`
+	Spatial  string `json:"spatial"`
+	Temporal string `json:"temporal"`
+	Scenario int    `json:"scenario"`
+
+	CCIdeal      float64 `json:"cc_ideal"`
+	CCSpatial    int64   `json:"cc_spatial"`
+	SpatialStall float64 `json:"spatial_stall"`
+	SSOverall    float64 `json:"ss_overall"`
+	SSRaw        float64 `json:"ss_raw"`
+	Preload      float64 `json:"preload"`
+	Offload      float64 `json:"offload"`
+	CCTotal      float64 `json:"cc_total"`
+
+	Utilization         float64 `json:"utilization"`
+	SpatialUtilization  float64 `json:"spatial_utilization"`
+	TemporalUtilization float64 `json:"temporal_utilization"`
+
+	// Combine is the Step-3 integration mode of the architecture ("max"
+	// for concurrent memories, "sum" for sequential). Mode names which
+	// attribution path produced SS_overall: "none", "ports" or "rigid".
+	Combine    string  `json:"combine"`
+	Mode       string  `json:"attribution_mode"`
+	Integrated float64 `json:"integrated_ss"`
+	RigidTotal float64 `json:"rigid_total_ss"`
+
+	DTLs     []DTLReport   `json:"dtls"`
+	Ports    []PortReport  `json:"ports"`
+	Memories []MemReport   `json:"memories"`
+	Rigid    []RigidReport `json:"rigid,omitempty"`
+
+	// Critical is the stall-dominating chain, outermost cause first:
+	// memory -> port -> DTL in ports mode, the accumulated unit memories
+	// (worst first) in rigid mode, empty when nothing stalls.
+	Critical []CriticalStep `json:"critical"`
+
+	Check AttributionCheck `json:"check"`
+}
+
+// DTLReport is one DTL endpoint's Step-1 attributes plus its attributed
+// share of SS_overall.
+type DTLReport struct {
+	Index   int    `json:"index"`
+	Label   string `json:"label"`
+	Operand string `json:"operand"`
+	Level   int    `json:"level"`
+	Kind    string `json:"kind"`
+	Mem     string `json:"mem"`
+	Port    string `json:"port"`
+	Write   bool   `json:"write"`
+
+	MemData int64 `json:"mem_data"`
+	MemCC   int64 `json:"mem_cc"`
+	Z       int64 `json:"z"`
+	TopRun  int64 `json:"top_run"`
+
+	ReqBWElems  float64 `json:"req_bw_elems"`
+	RealBWElems float64 `json:"real_bw_elems"`
+	XReq        int64   `json:"x_req"`
+	XReal       float64 `json:"x_real"`
+	MUW         float64 `json:"muw"`
+	SSu         float64 `json:"ss_u"`
+
+	Window WindowReport `json:"window"`
+
+	Contribution float64 `json:"contribution"`
+}
+
+// WindowReport is the periodic allowed-update pattern of a DTL.
+type WindowReport struct {
+	Period int64 `json:"period"`
+	Active int64 `json:"active"`
+	Start  int64 `json:"start"`
+	Count  int64 `json:"count"`
+}
+
+// PortReport is one physical port's Step-2 combination plus its attributed
+// share of SS_overall. Residual is the part of the port's contribution not
+// attributable to a single DTL's own stall (pure shared-port contention:
+// the capacity bound exceeding every individual SS_u).
+type PortReport struct {
+	Mem  string `json:"mem"`
+	Port string `json:"port"`
+
+	ReqBWReadBits  float64 `json:"req_bw_read_bits"`
+	ReqBWWriteBits float64 `json:"req_bw_write_bits"`
+	RealBWBits     int64   `json:"real_bw_bits"`
+	MUWComb        float64 `json:"muw_comb"`
+	MUWExact       bool    `json:"muw_exact"`
+	SSComb         float64 `json:"ss_comb"`
+
+	Contribution float64 `json:"contribution"`
+	Residual     float64 `json:"residual"`
+	DTLs         []int   `json:"dtls"`
+}
+
+// MemReport is one memory module's Step-3 entry.
+type MemReport struct {
+	Mem          string  `json:"mem"`
+	SS           float64 `json:"ss"`
+	Contribution float64 `json:"contribution"`
+	Ports        []int   `json:"ports"`
+}
+
+// RigidReport is one accumulated unit memory (rigid mode).
+type RigidReport struct {
+	Operand string  `json:"operand"`
+	Level   int     `json:"level"`
+	Mem     string  `json:"mem"`
+	Kind    string  `json:"kind"`
+	SS      float64 `json:"ss"`
+}
+
+// CriticalStep is one hop of the critical chain.
+type CriticalStep struct {
+	Kind         string  `json:"kind"` // memory | port | dtl | unit
+	Name         string  `json:"name"`
+	SS           float64 `json:"ss"`
+	Contribution float64 `json:"contribution"`
+}
+
+// AttributionCheck carries the invariant sums so external consumers (jq,
+// dashboards) can verify the attribution without re-deriving it.
+type AttributionCheck struct {
+	SumMemContribution float64 `json:"sum_mem_contribution"`
+	SumDTLContribution float64 `json:"sum_dtl_contribution"` // DTLs + port residuals
+	SSOverall          float64 `json:"ss_overall"`
+}
+
+// NewReport builds the explainer for one evaluated problem. The Result must
+// carry diagnostics (core.Evaluate / Evaluator.Evaluate output; the
+// allocation-free scoring path does not materialize them).
+func NewReport(p *core.Problem, r *core.Result) *Report {
+	at := core.Attribute(p, r)
+	rep := &Report{
+		Layer:    p.Layer.Name,
+		Arch:     p.Arch.Name,
+		Spatial:  p.Mapping.Spatial.String(),
+		Temporal: p.Mapping.Temporal.String(),
+		Scenario: int(r.Scenario),
+
+		CCIdeal:      r.CCIdeal,
+		CCSpatial:    r.CCSpatial,
+		SpatialStall: r.SpatialStall,
+		SSOverall:    r.SSOverall,
+		SSRaw:        r.SSRaw,
+		Preload:      r.Preload,
+		Offload:      r.Offload,
+		CCTotal:      r.CCTotal,
+
+		Utilization:         r.Utilization,
+		SpatialUtilization:  r.SpatialUtilization,
+		TemporalUtilization: r.TemporalUtilization,
+
+		Combine:    p.Arch.Combine.String(),
+		Mode:       at.Mode.String(),
+		Integrated: at.Integrated,
+		RigidTotal: at.RigidTotal,
+	}
+
+	// Per-DTL rows, in the Result's endpoint order; remember each
+	// endpoint's row index for the port cross-references (the PortStall
+	// endpoint lists alias the same structs).
+	epIdx := make(map[*core.Endpoint]int, len(r.Endpoints))
+	for i, e := range r.Endpoints {
+		epIdx[e] = i
+		portName := fmt.Sprintf("p%d", e.PortIdx)
+		if mem := p.Arch.MemoryByName(e.MemName); mem != nil && e.PortIdx < len(mem.Ports) {
+			portName = mem.Ports[e.PortIdx].Name
+		}
+		rep.DTLs = append(rep.DTLs, DTLReport{
+			Index:   i,
+			Label:   e.Label(),
+			Operand: e.Operand.String(),
+			Level:   e.Level,
+			Kind:    e.Kind.String(),
+			Mem:     e.MemName,
+			Port:    portName,
+			Write:   e.Access.Write,
+
+			MemData: e.MemData,
+			MemCC:   e.MemCC,
+			Z:       e.Z,
+			TopRun:  e.TopRun,
+
+			ReqBWElems:  e.ReqBWElems,
+			RealBWElems: e.RealBWElems,
+			XReq:        e.XReq,
+			XReal:       e.XReal,
+			MUW:         e.MUW,
+			SSu:         e.SSu,
+
+			Window: WindowReport{
+				Period: e.Window.Period, Active: e.Window.Active,
+				Start: e.Window.Start, Count: e.Window.Count,
+			},
+		})
+	}
+
+	// Ports and memories, cross-referenced by index.
+	portIdx := make(map[*core.PortStall]int, len(r.Ports))
+	for i, ps := range r.Ports {
+		portIdx[ps] = i
+		pr := PortReport{
+			Mem: ps.MemName, Port: ps.PortName,
+			ReqBWReadBits: ps.ReqBWReadBits, ReqBWWriteBits: ps.ReqBWWriteBits,
+			RealBWBits: ps.RealBWBits,
+			MUWComb:    ps.MUWComb, MUWExact: ps.MUWExact, SSComb: ps.SSComb,
+		}
+		for _, e := range ps.Endpoints {
+			if j, ok := epIdx[e]; ok {
+				pr.DTLs = append(pr.DTLs, j)
+			}
+		}
+		rep.Ports = append(rep.Ports, pr)
+	}
+	for _, ms := range r.Memories {
+		mr := MemReport{Mem: ms.MemName, SS: ms.SS}
+		for _, ps := range ms.Ports {
+			if j, ok := portIdx[ps]; ok {
+				mr.Ports = append(mr.Ports, j)
+			}
+		}
+		rep.Memories = append(rep.Memories, mr)
+	}
+
+	// Fold the attribution in: memory contributions come straight from
+	// core.Attribute; port and DTL contributions are derived below.
+	for _, mc := range at.Mems {
+		for i := range rep.Memories {
+			if rep.Memories[i].Mem == mc.MemName {
+				rep.Memories[i].Contribution = mc.Contribution
+				break
+			}
+		}
+	}
+	for _, ru := range at.Rigid {
+		rep.Rigid = append(rep.Rigid, RigidReport{
+			Operand: ru.Operand.String(), Level: ru.Level,
+			Mem: ru.MemName, Kind: ru.Kind.String(), SS: ru.SS,
+		})
+	}
+
+	switch at.Mode {
+	case core.AttribPorts:
+		rep.attributePorts(r)
+	case core.AttribRigid:
+		rep.attributeRigid(at)
+	}
+	rep.buildCritical(at)
+
+	for i := range rep.Memories {
+		rep.Check.SumMemContribution += rep.Memories[i].Contribution
+	}
+	for i := range rep.DTLs {
+		rep.Check.SumDTLContribution += rep.DTLs[i].Contribution
+	}
+	for i := range rep.Ports {
+		rep.Check.SumDTLContribution += rep.Ports[i].Residual
+	}
+	rep.Check.SSOverall = r.SSOverall
+	return rep
+}
+
+// attributePorts pushes each memory's contribution down to its dominating
+// port (ports of one module operate concurrently, so the max-stall port
+// carries the module's share — first argmax, matching the Step-3 reduction)
+// and from there onto the port's individually-stalling DTLs, proportional
+// to their own SS_u. A port whose combined stall comes purely from shared-
+// port contention (no DTL stalls alone) keeps the share as Residual.
+func (rep *Report) attributePorts(r *core.Result) {
+	for mi := range rep.Memories {
+		mr := &rep.Memories[mi]
+		if mr.Contribution == 0 || len(mr.Ports) == 0 {
+			continue
+		}
+		best := mr.Ports[0]
+		for _, pi := range mr.Ports[1:] {
+			if rep.Ports[pi].SSComb > rep.Ports[best].SSComb {
+				best = pi
+			}
+		}
+		pr := &rep.Ports[best]
+		pr.Contribution = mr.Contribution
+
+		var sumPos float64
+		for _, di := range pr.DTLs {
+			if s := rep.DTLs[di].SSu; s > 0 {
+				sumPos += s
+			}
+		}
+		if sumPos <= 0 {
+			pr.Residual = pr.Contribution
+			continue
+		}
+		for _, di := range pr.DTLs {
+			if s := rep.DTLs[di].SSu; s > 0 {
+				rep.DTLs[di].Contribution = pr.Contribution * (s / sumPos)
+			}
+		}
+		var attributed float64
+		for _, di := range pr.DTLs {
+			attributed += rep.DTLs[di].Contribution
+		}
+		pr.Residual = pr.Contribution - attributed
+	}
+}
+
+// attributeRigid assigns each accumulated unit's stall to the endpoint that
+// produced it: the first endpoint of the unit's (operand, level) with the
+// winning kind and the winning SS_u.
+func (rep *Report) attributeRigid(at *core.Attribution) {
+	for _, ru := range at.Rigid {
+		for i := range rep.DTLs {
+			d := &rep.DTLs[i]
+			if d.Operand == ru.Operand.String() && d.Level == ru.Level &&
+				d.Kind == ru.Kind.String() && d.SSu == ru.SS {
+				d.Contribution += ru.SS
+				break
+			}
+		}
+	}
+}
+
+// buildCritical assembles the stall-dominating chain.
+func (rep *Report) buildCritical(at *core.Attribution) {
+	switch at.Mode {
+	case core.AttribRigid:
+		units := append([]RigidReport(nil), rep.Rigid...)
+		sort.SliceStable(units, func(i, j int) bool { return units[i].SS > units[j].SS })
+		for _, u := range units {
+			rep.Critical = append(rep.Critical, CriticalStep{
+				Kind: "unit",
+				Name: fmt.Sprintf("%s@L%d %s (%s)", u.Operand, u.Level, u.Mem, u.Kind),
+				SS:   u.SS, Contribution: u.SS,
+			})
+		}
+	case core.AttribPorts:
+		// Dominant memory -> its dominant port -> the port's dominant DTL.
+		mi := -1
+		for i := range rep.Memories {
+			if rep.Memories[i].Contribution > 0 && (mi < 0 || rep.Memories[i].Contribution > rep.Memories[mi].Contribution) {
+				mi = i
+			}
+		}
+		if mi < 0 {
+			return
+		}
+		mr := &rep.Memories[mi]
+		rep.Critical = append(rep.Critical, CriticalStep{
+			Kind: "memory", Name: mr.Mem, SS: mr.SS, Contribution: mr.Contribution,
+		})
+		pi := -1
+		for _, j := range mr.Ports {
+			if rep.Ports[j].Contribution > 0 && (pi < 0 || rep.Ports[j].Contribution > rep.Ports[pi].Contribution) {
+				pi = j
+			}
+		}
+		if pi < 0 {
+			return
+		}
+		pr := &rep.Ports[pi]
+		rep.Critical = append(rep.Critical, CriticalStep{
+			Kind: "port", Name: pr.Mem + "." + pr.Port, SS: pr.SSComb, Contribution: pr.Contribution,
+		})
+		di := -1
+		for _, j := range pr.DTLs {
+			if rep.DTLs[j].Contribution > 0 && (di < 0 || rep.DTLs[j].Contribution > rep.DTLs[di].Contribution) {
+				di = j
+			}
+		}
+		if di >= 0 {
+			d := &rep.DTLs[di]
+			rep.Critical = append(rep.Critical, CriticalStep{
+				Kind: "dtl", Name: d.Label, SS: d.SSu, Contribution: d.Contribution,
+			})
+		}
+	}
+}
+
+// JSON serializes the report (indented, stable field order).
+func (rep *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// Text renders the report for terminals: latency breakdown, attribution
+// mode, the critical chain and the per-DTL table.
+func (rep *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explain: %s on %s — CC_total %.0f (scenario %d)\n",
+		rep.Layer, rep.Arch, rep.CCTotal, rep.Scenario)
+	fmt.Fprintf(&b, "  compute %d + temporal stall %.1f + preload %.0f + offload %.0f (spatial stall %.1f within compute)\n",
+		rep.CCSpatial, rep.SSOverall, rep.Preload, rep.Offload, rep.SpatialStall)
+	fmt.Fprintf(&b, "  utilization %.1f%% (spatial %.1f%%, temporal %.1f%%)\n",
+		100*rep.Utilization, 100*rep.SpatialUtilization, 100*rep.TemporalUtilization)
+	fmt.Fprintf(&b, "  attribution: %s (step-3 %s; integrated %+.1f, rigid %+.1f)\n",
+		rep.Mode, rep.Combine, rep.Integrated, rep.RigidTotal)
+	if len(rep.Critical) == 0 {
+		b.WriteString("  no stall: every DTL fits its allowed window\n")
+		return b.String()
+	}
+	b.WriteString("  critical chain:\n")
+	for _, c := range rep.Critical {
+		fmt.Fprintf(&b, "    %-6s %-28s SS %+10.1f  contributes %.1f (%.0f%% of SS_overall)\n",
+			c.Kind, c.Name, c.SS, c.Contribution, pct(c.Contribution, rep.SSOverall))
+	}
+	b.WriteString("  per-DTL stalls:\n")
+	fmt.Fprintf(&b, "    %-26s %10s %8s %8s %10s %10s %12s %12s\n",
+		"link", "Mem_CC", "Z", "X_REQ", "X_REAL", "ReqBW", "SS_u", "contrib")
+	for i := range rep.DTLs {
+		d := &rep.DTLs[i]
+		fmt.Fprintf(&b, "    %-26s %10d %8d %8d %10.1f %10.2f %+12.1f %12.1f\n",
+			d.Label, d.MemCC, d.Z, d.XReq, d.XReal, d.ReqBWElems, d.SSu, d.Contribution)
+	}
+	var residual float64
+	for i := range rep.Ports {
+		residual += rep.Ports[i].Residual
+	}
+	if residual != 0 {
+		fmt.Fprintf(&b, "    shared-port contention residual: %.1f\n", residual)
+	}
+	return b.String()
+}
+
+func pct(part, whole float64) float64 {
+	if whole == 0 || math.IsInf(whole, 0) {
+		return 0
+	}
+	return 100 * part / whole
+}

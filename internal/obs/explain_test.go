@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+// fixtures evaluates a handful of problems spanning the attribution modes:
+// the paper's in-house accelerator (ports mode and the rigid-dominated
+// mapping from core's attribution tests), the case-study arch, and a
+// stall-free point.
+func fixtures(t *testing.T) map[string]*core.Problem {
+	t.Helper()
+	out := map[string]*core.Problem{}
+	add := func(name string, a *arch.Arch, l workload.Layer, temporal loops.Nest, spatial loops.Nest) {
+		m := &mapping.Mapping{Spatial: spatial, Temporal: temporal}
+		if !assignBounds(m, &l, a) {
+			t.Fatalf("%s: bounds do not fit", name)
+		}
+		if err := m.Validate(&l, a); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lc := l
+		out[name] = &core.Problem{Layer: &lc, Arch: a, Mapping: m}
+	}
+	add("inhouse", arch.InHouse(), workload.NewMatMul("m", 32, 64, 64),
+		loops.Nest{{Dim: loops.C, Size: 32}, {Dim: loops.B, Size: 2}, {Dim: loops.K, Size: 2}},
+		arch.InHouseSpatial())
+	add("inhouse-rigid", arch.InHouse(), workload.NewMatMul("m", 32, 64, 64),
+		loops.Nest{{Dim: loops.K, Size: 2}, {Dim: loops.B, Size: 2}, {Dim: loops.C, Size: 32}},
+		arch.InHouseSpatial())
+	add("casestudy", arch.CaseStudy(), workload.NewMatMul("m", 16, 32, 32),
+		loops.Nest{{Dim: loops.C, Size: 16}, {Dim: loops.B, Size: 2}, {Dim: loops.K, Size: 2}},
+		arch.CaseStudySpatial())
+	return out
+}
+
+// assignBounds mirrors the mapper's greedy boundary assignment (obs must
+// not depend on mapper; the evaluator only needs valid boundaries).
+func assignBounds(m *mapping.Mapping, l *workload.Layer, a *arch.Arch) bool {
+	n := len(m.Temporal)
+	for _, op := range loops.AllOperands {
+		chain := a.ChainMems(op)
+		bounds := make([]int, len(chain))
+		prev := 0
+		for lev := range chain {
+			if lev == len(chain)-1 {
+				bounds[lev] = n
+				break
+			}
+			capBits := chain[lev].MapperCapacityBits()
+			bits := int64(l.Precision.Bits(op))
+			b := prev
+			m.Bound[op] = bounds
+			bounds[lev] = b
+			if m.MemData(op, lev, l.Strides)*bits > capBits {
+				return false
+			}
+			for b < n {
+				bounds[lev] = b + 1
+				if m.MemData(op, lev, l.Strides)*bits > capBits {
+					bounds[lev] = b
+					break
+				}
+				b++
+			}
+			prev = bounds[lev]
+		}
+		m.Bound[op] = bounds
+	}
+	return true
+}
+
+// TestReportAttributionSums is the explainer's acceptance invariant: the
+// per-memory contributions AND the per-DTL contributions (plus the port
+// contention residuals) each sum to SS_overall exactly, for every mode.
+func TestReportAttributionSums(t *testing.T) {
+	modes := map[string]bool{}
+	for name, p := range fixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			r, err := core.Evaluate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := NewReport(p, r)
+			modes[rep.Mode] = true
+
+			if rep.Check.SumMemContribution != r.SSOverall {
+				t.Errorf("Σ mem contributions = %v, want SS_overall %v (exact)",
+					rep.Check.SumMemContribution, r.SSOverall)
+			}
+			if rep.Check.SumDTLContribution != r.SSOverall {
+				t.Errorf("Σ DTL contributions + residuals = %v, want SS_overall %v (exact)",
+					rep.Check.SumDTLContribution, r.SSOverall)
+			}
+			if rep.Check.SSOverall != r.SSOverall {
+				t.Errorf("Check.SSOverall = %v, want %v", rep.Check.SSOverall, r.SSOverall)
+			}
+			if r.SSOverall > 0 && len(rep.Critical) == 0 {
+				t.Error("stalled evaluation but empty critical chain")
+			}
+			if len(rep.DTLs) != len(r.Endpoints) || len(rep.Ports) != len(r.Ports) ||
+				len(rep.Memories) != len(r.Memories) {
+				t.Errorf("report shape %d/%d/%d, result %d/%d/%d",
+					len(rep.DTLs), len(rep.Ports), len(rep.Memories),
+					len(r.Endpoints), len(r.Ports), len(r.Memories))
+			}
+			// Cross-references must be in range and consistent.
+			for _, pr := range rep.Ports {
+				for _, di := range pr.DTLs {
+					if di < 0 || di >= len(rep.DTLs) {
+						t.Fatalf("port %s.%s references DTL %d out of range", pr.Mem, pr.Port, di)
+					}
+					if rep.DTLs[di].Mem != pr.Mem {
+						t.Errorf("DTL %d mem %s cross-referenced from port of %s", di, rep.DTLs[di].Mem, pr.Mem)
+					}
+				}
+			}
+		})
+	}
+	if !modes["ports"] {
+		t.Error("no fixture exercised ports mode")
+	}
+	if !modes["rigid"] {
+		t.Error("no fixture exercised rigid mode")
+	}
+}
+
+// TestReportJSONRoundTrip: the serialized report is valid JSON carrying the
+// headline fields and re-parses to the same check sums.
+func TestReportJSONRoundTrip(t *testing.T) {
+	for name, p := range fixtures(t) {
+		r, err := core.Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := NewReport(p, r)
+		raw, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var back Report
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("%s: report JSON does not re-parse: %v", name, err)
+		}
+		if back.Check != rep.Check || back.CCTotal != rep.CCTotal || back.Mode != rep.Mode {
+			t.Errorf("%s: round-trip mismatch: %+v vs %+v", name, back.Check, rep.Check)
+		}
+	}
+}
+
+// TestReportText smoke-tests the terminal rendering: headline, attribution
+// line, and one row per DTL.
+func TestReportText(t *testing.T) {
+	p := fixtures(t)["inhouse"]
+	r, err := core.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport(p, r)
+	txt := rep.Text()
+	for _, want := range []string{"explain:", "attribution:", "per-DTL stalls:"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Text() missing %q:\n%s", want, txt)
+		}
+	}
+	for _, d := range rep.DTLs {
+		if !strings.Contains(txt, d.Label) {
+			t.Errorf("Text() missing DTL row %q", d.Label)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Chrome trace-event (JSON array format) export of a full evaluation
+// timeline, loadable in Perfetto / chrome://tracing. Layout:
+//
+//   - one process per physical port ("port GB.rd"), with two threads per
+//     DTL endpoint on that port: a "window" track holding one slice per
+//     allowed-update window, and a "xfer" track holding one slice per
+//     transfer — plus a "stall" slice whenever the transfer overruns its
+//     window into the next period (the '!' cycles of trace.Timeline).
+//   - one "timeline" process with the macro phases: preload, compute
+//     (+ temporal stall), offload.
+//
+// One model cycle maps to one trace microsecond. All events are complete
+// ("X") events with monotonically non-decreasing ts, so the file needs no
+// B/E matching and always validates.
+
+// TraceEvent is one Chrome trace-event object. Only the fields the JSON
+// array format requires are present.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceOptions bounds the export.
+type TraceOptions struct {
+	// MaxPeriods caps the rendered periods per endpoint (0 = 64). Long
+	// layers have millions of identical periods; the head is enough to
+	// see the steady-state pattern.
+	MaxPeriods int
+}
+
+// TraceJSON renders the evaluation as a Chrome trace-event JSON array.
+func TraceJSON(p *core.Problem, r *core.Result, opt TraceOptions) ([]byte, error) {
+	maxPeriods := opt.MaxPeriods
+	if maxPeriods <= 0 {
+		maxPeriods = 64
+	}
+
+	var events []TraceEvent
+	meta := func(pid, tid int, what, name string) {
+		events = append(events, TraceEvent{
+			Name: what, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	// Macro timeline: preload | compute(+stall) | offload.
+	const timelinePid = 1
+	meta(timelinePid, 0, "process_name", "timeline")
+	meta(timelinePid, 1, "thread_name", "phases")
+	cursor := 0.0
+	phase := func(name string, dur float64, args map[string]any) {
+		if dur <= 0 {
+			return
+		}
+		events = append(events, TraceEvent{
+			Name: name, Ph: "X", Ts: cursor, Dur: dur,
+			Pid: timelinePid, Tid: 1, Cat: "phase", Args: args,
+		})
+		cursor += dur
+	}
+	phase("preload", r.Preload, nil)
+	phase("compute", float64(r.CCSpatial)+r.SSOverall, map[string]any{
+		"cc_spatial": r.CCSpatial, "ss_overall": r.SSOverall,
+		"scenario": int(r.Scenario),
+	})
+	phase("offload", r.Offload, nil)
+
+	// Per-port processes. Endpoint periods start after the preload phase.
+	base := r.Preload
+	pid := timelinePid + 1
+	for _, ps := range r.Ports {
+		meta(pid, 0, "process_name", fmt.Sprintf("port %s.%s", ps.MemName, ps.PortName))
+		tid := 1
+		for _, e := range ps.Endpoints {
+			winTid, xferTid := tid, tid+1
+			tid += 2
+			meta(pid, winTid, "thread_name", e.Label()+" window")
+			meta(pid, xferTid, "thread_name", e.Label()+" xfer")
+
+			periods := int64(maxPeriods)
+			if e.Z < periods {
+				periods = e.Z
+			}
+			per := float64(e.MemCC)
+			win := float64(e.Window.Active)
+			start := float64(e.Window.Start)
+			need := e.XReal
+			overrun := need - win // per-period transfer overrun (stall)
+			args := map[string]any{
+				"mem_cc": e.MemCC, "x_req": e.XReq, "x_real": e.XReal,
+				"z": e.Z, "ss_u": e.SSu,
+			}
+			for pd := int64(0); pd < periods; pd++ {
+				t0 := base + float64(pd)*per
+				if win > 0 {
+					events = append(events, TraceEvent{
+						Name: "window", Ph: "X", Ts: t0 + start, Dur: win,
+						Pid: pid, Tid: winTid, Cat: "window", Args: args,
+					})
+				}
+				xfer := need
+				if xfer > win {
+					xfer = win
+				}
+				if xfer > 0 {
+					events = append(events, TraceEvent{
+						Name: "xfer", Ph: "X", Ts: t0 + start, Dur: xfer,
+						Pid: pid, Tid: xferTid, Cat: "xfer", Args: args,
+					})
+				}
+				if overrun > 0 {
+					// The overrun spills past the period boundary and
+					// freezes compute there — same cycles trace.Timeline
+					// marks '!' at the head of the next period.
+					events = append(events, TraceEvent{
+						Name: "stall", Ph: "X", Ts: t0 + per, Dur: overrun,
+						Pid: pid, Tid: xferTid, Cat: "stall", Args: args,
+					})
+				}
+			}
+			if periods < e.Z {
+				events = append(events, TraceEvent{
+					Name: fmt.Sprintf("… %d more periods", e.Z-periods),
+					Ph:   "X", Ts: base + float64(periods)*per, Dur: per,
+					Pid: pid, Tid: winTid, Cat: "truncated",
+				})
+			}
+		}
+		pid++
+	}
+
+	// Monotonic ts (metadata events first, then by time).
+	sort.SliceStable(events, func(i, j int) bool {
+		mi, mj := events[i].Ph == "M", events[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		return events[i].Ts < events[j].Ts
+	})
+	return json.MarshalIndent(events, "", " ")
+}

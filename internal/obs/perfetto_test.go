@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestTraceJSONValid: the exported file is a valid JSON array of complete
+// ("X") and metadata ("M") events with non-negative durations and
+// monotonically non-decreasing timestamps — the properties Perfetto's
+// legacy JSON importer requires.
+func TestTraceJSONValid(t *testing.T) {
+	for name, p := range fixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			r, err := core.Evaluate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := TraceJSON(p, r, TraceOptions{MaxPeriods: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var events []TraceEvent
+			if err := json.Unmarshal(raw, &events); err != nil {
+				t.Fatalf("trace is not a JSON event array: %v", err)
+			}
+			if len(events) == 0 {
+				t.Fatal("empty trace")
+			}
+			lastTs := -1.0
+			sawWindow, sawStall := false, false
+			for i, ev := range events {
+				switch ev.Ph {
+				case "M":
+					if ev.Args["name"] == nil {
+						t.Errorf("event %d: metadata without name arg", i)
+					}
+					continue
+				case "X":
+					// complete event: needs ts >= 0, dur > 0
+				default:
+					t.Fatalf("event %d: unexpected phase %q (only X and M are emitted)", i, ev.Ph)
+				}
+				if ev.Ts < 0 || ev.Dur <= 0 {
+					t.Errorf("event %d (%s): ts %v dur %v", i, ev.Name, ev.Ts, ev.Dur)
+				}
+				if ev.Ts < lastTs {
+					t.Errorf("event %d (%s): ts %v < previous %v (not monotonic)", i, ev.Name, ev.Ts, lastTs)
+				}
+				lastTs = ev.Ts
+				switch ev.Cat {
+				case "window":
+					sawWindow = true
+				case "stall":
+					sawStall = true
+				}
+			}
+			if !sawWindow {
+				t.Error("no window slices emitted")
+			}
+			if r.SSOverall > 0 && !sawStall {
+				t.Error("stalled evaluation but no stall slices")
+			}
+		})
+	}
+}
+
+// TestTraceJSONTruncation: MaxPeriods caps the per-endpoint slice count and
+// marks the cut with a truncation slice.
+func TestTraceJSONTruncation(t *testing.T) {
+	p := fixtures(t)["inhouse"]
+	r, err := core.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var longest int64
+	for _, e := range r.Endpoints {
+		if e.Z > longest {
+			longest = e.Z
+		}
+	}
+	if longest < 3 {
+		t.Skip("fixture has no endpoint with enough periods")
+	}
+	raw, err := TraceJSON(p, r, TraceOptions{MaxPeriods: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatal(err)
+	}
+	truncated := 0
+	for _, ev := range events {
+		if ev.Cat == "truncated" {
+			truncated++
+		}
+	}
+	if truncated == 0 {
+		t.Error("no truncation markers despite MaxPeriods=2 cut")
+	}
+}

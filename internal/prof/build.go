@@ -1,0 +1,50 @@
+package prof
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: go toolchain version and, when
+// the binary was built inside a git checkout with VCS stamping enabled, the
+// commit it was built from.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit hash, or "unknown" when the binary was
+	// built without VCS stamping (e.g. `go test`, or a source tarball).
+	Revision string `json:"revision"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build identity, resolved once from
+// runtime/debug.ReadBuildInfo.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{GoVersion: runtime.Version(), Revision: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.GoVersion != "" {
+			buildInfo.GoVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if s.Value != "" {
+					buildInfo.Revision = s.Value
+				}
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

@@ -238,6 +238,10 @@ type SearchRequest struct {
 	Restarts   int   `json:"restarts,omitempty"`
 	Seed       int64 `json:"seed,omitempty"`
 	TimeoutMS  int   `json:"timeout_ms,omitempty"`
+	// SearchID names this search for GET /v1/search/{id}/progress
+	// ([A-Za-z0-9_.-]{1,64}; server-generated when omitted). The assigned id
+	// is echoed in the response.
+	SearchID string `json:"search_id,omitempty"`
 }
 
 // SearchResponse is the answer to a SearchRequest.
@@ -250,6 +254,9 @@ type SearchResponse struct {
 	Result   resultJSON     `json:"result"`
 	EnergyPJ float64        `json:"energy_pj,omitempty"`
 	Stats    *statsJSON     `json:"stats,omitempty"`
+	// SearchID addresses this search's telemetry at
+	// GET /v1/search/{id}/progress (empty in contexts with no tracker).
+	SearchID string `json:"search_id,omitempty"`
 }
 
 // searchResponse builds the wire answer from a search outcome; the same
@@ -289,6 +296,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	tracker, err := s.progress.register(req.SearchID)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hooks := tracker.hooks(s.met)
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
@@ -303,6 +316,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Objective:  obj,
 			BWAware:    !req.BWUnaware,
 			NoReduce:   req.NoSym,
+			Hooks:      hooks,
 		})
 	} else {
 		cand, stats, err = mapper.BestCached(ctx, &l, hw, &mapper.Options{
@@ -312,19 +326,24 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Objective:     obj,
 			BWAware:       !req.BWUnaware,
 			NoReduce:      req.NoSym,
+			Hooks:         hooks,
 		})
 	}
 	if err != nil {
+		tracker.finish(0, nil, err)
 		writeError(w, s.errorStatus(r, err), err.Error())
 		return
 	}
+	tracker.finish(cand.Score(obj), fromStats(stats), nil)
 	if stats != nil {
 		s.met.noteStats(stats.NestsGenerated, stats.ClassesMerged, stats.SubtreesPruned,
 			stats.Valid, stats.Skipped, stats.Pruned)
 	} else {
 		s.met.search.searches.Add(1)
 	}
-	writeJSON(w, http.StatusOK, searchResponse(&l, hw, cand, stats))
+	resp := searchResponse(&l, hw, cand, stats)
+	resp.SearchID = tracker.id
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // NetworkRequest evaluates a whole DNN: POST /v1/network.

@@ -16,6 +16,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/prof"
 )
 
 // counter is a monotonically increasing int64.
@@ -62,6 +64,52 @@ func (h *histogram) Observe(v float64) {
 // latencyBuckets spans sub-millisecond cache hits to minute-scale searches.
 var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
 
+// phaseBuckets spans the mapper's phase durations, from microsecond
+// generator passes to minute-scale exhaustive walks.
+var phaseBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 0.5, 2.5, 10, 60}
+
+// labeledHistogram is a histogram family keyed by one label value.
+// Labels appear on first observe; reads snapshot under the same lock.
+type labeledHistogram struct {
+	bounds []float64
+
+	mu      sync.Mutex
+	byLabel map[string]*histogram
+}
+
+func newLabeledHistogram(bounds []float64) *labeledHistogram {
+	return &labeledHistogram{bounds: bounds, byLabel: map[string]*histogram{}}
+}
+
+func (lh *labeledHistogram) observe(label string, v float64) {
+	lh.mu.Lock()
+	h, ok := lh.byLabel[label]
+	if !ok {
+		h = newHistogram(lh.bounds)
+		lh.byLabel[label] = h
+	}
+	lh.mu.Unlock()
+	h.Observe(v)
+}
+
+// labels returns the observed label values, sorted.
+func (lh *labeledHistogram) labels() []string {
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	out := make([]string, 0, len(lh.byLabel))
+	for l := range lh.byLabel {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (lh *labeledHistogram) get(label string) *histogram {
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	return lh.byLabel[label]
+}
+
 // endpointMetrics instruments one API endpoint.
 type endpointMetrics struct {
 	name     string
@@ -102,6 +150,7 @@ type searchCounters struct {
 	valid    counter
 	skipped  counter
 	bbPruned counter
+	walked   counter
 }
 
 // metrics is the service-wide registry. Endpoints are registered once at
@@ -111,10 +160,21 @@ type metrics struct {
 	endpoints map[string]*endpointMetrics
 	shed      counter
 	search    searchCounters
+	// phaseSeconds times the mapper's internal phases (generate, search,
+	// anneal), fed by the telemetry hooks of searches this server computed.
+	phaseSeconds *labeledHistogram
+	// buildGo / buildRev label the build_info gauge.
+	buildGo, buildRev string
 }
 
 func newMetrics(start time.Time, endpointNames ...string) *metrics {
-	m := &metrics{start: start, endpoints: map[string]*endpointMetrics{}}
+	m := &metrics{
+		start:        start,
+		endpoints:    map[string]*endpointMetrics{},
+		phaseSeconds: newLabeledHistogram(phaseBuckets),
+	}
+	bi := prof.Build()
+	m.buildGo, m.buildRev = bi.GoVersion, bi.Revision
 	for _, n := range endpointNames {
 		m.endpoints[n] = newEndpointMetrics(n)
 	}
@@ -143,8 +203,9 @@ func fmtFloat(v float64) string {
 }
 
 // write renders every metric in the Prometheus text exposition format,
-// families sorted by name, label sets sorted within a family.
-func (m *metrics) write(w io.Writer, memo memoSnapshot, adm admissionSnapshot) {
+// families sorted by name, label sets sorted within a family. searchLive is
+// the number of searches with a running progress tracker.
+func (m *metrics) write(w io.Writer, memo memoSnapshot, adm admissionSnapshot, searchLive int64) {
 	names := make([]string, 0, len(m.endpoints))
 	for n := range m.endpoints {
 		names = append(names, n)
@@ -163,6 +224,10 @@ func (m *metrics) write(w io.Writer, memo memoSnapshot, adm admissionSnapshot) {
 	fmt.Fprintf(w, "# HELP servemodel_admission_slots Configured concurrent-search slots.\n")
 	fmt.Fprintf(w, "# TYPE servemodel_admission_slots gauge\n")
 	fmt.Fprintf(w, "servemodel_admission_slots %d\n", adm.Slots)
+
+	fmt.Fprintf(w, "# HELP servemodel_build_info Build identity of the running binary (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE servemodel_build_info gauge\n")
+	fmt.Fprintf(w, "servemodel_build_info{go_version=%q,revision=%q} 1\n", m.buildGo, m.buildRev)
 
 	fmt.Fprintf(w, "# HELP servemodel_inflight Requests currently being served, by endpoint.\n")
 	fmt.Fprintf(w, "# TYPE servemodel_inflight gauge\n")
@@ -223,6 +288,26 @@ func (m *metrics) write(w io.Writer, memo memoSnapshot, adm admissionSnapshot) {
 		}
 	}
 
+	fmt.Fprintf(w, "# HELP servemodel_search_live Searches with a currently running progress tracker.\n")
+	fmt.Fprintf(w, "# TYPE servemodel_search_live gauge\n")
+	fmt.Fprintf(w, "servemodel_search_live %d\n", searchLive)
+
+	fmt.Fprintf(w, "# HELP servemodel_search_phase_seconds Mapper phase durations (generate, search, anneal) of searches computed by this server.\n")
+	fmt.Fprintf(w, "# TYPE servemodel_search_phase_seconds histogram\n")
+	for _, ph := range m.phaseSeconds.labels() {
+		h := m.phaseSeconds.get(ph)
+		for i, b := range h.bounds {
+			fmt.Fprintf(w, "servemodel_search_phase_seconds_bucket{phase=%q,le=%q} %d\n", ph, fmtFloat(b), h.buckets[i].Load())
+		}
+		fmt.Fprintf(w, "servemodel_search_phase_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n", ph, h.count.Load())
+		fmt.Fprintf(w, "servemodel_search_phase_seconds_sum{phase=%q} %s\n", ph, fmtFloat(math.Float64frombits(h.sumBits.Load())))
+		fmt.Fprintf(w, "servemodel_search_phase_seconds_count{phase=%q} %d\n", ph, h.count.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP servemodel_search_walked_total Nest orderings walked (generated plus merged) across all served searches.\n")
+	fmt.Fprintf(w, "# TYPE servemodel_search_walked_total counter\n")
+	fmt.Fprintf(w, "servemodel_search_walked_total %d\n", m.search.walked.Load())
+
 	fmt.Fprintf(w, "# HELP servemodel_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE servemodel_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "servemodel_uptime_seconds %s\n", fmtFloat(time.Since(m.start).Seconds()))
@@ -237,4 +322,5 @@ func (m *metrics) noteStats(nests, merged, subtrees, valid, skipped, pruned int)
 	m.search.valid.Add(int64(valid))
 	m.search.skipped.Add(int64(skipped))
 	m.search.bbPruned.Add(int64(pruned))
+	m.search.walked.Add(int64(nests + merged))
 }

@@ -1,0 +1,183 @@
+package serve
+
+// Tests for the observability surface: search progress tracking and the
+// stall-attribution explainer endpoint.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/memo"
+)
+
+func getJSON(t *testing.T, ts string, path string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+// TestSearchProgress: a completed search's tracker reports done status with
+// the search's exact final counters and best score.
+func TestSearchProgress(t *testing.T) {
+	memo.Default.Reset()
+	_, ts := newTestServer(t, Config{})
+
+	body := `{"layer":{"name":"l0","kind":"matmul","dims":{"B":32,"K":32,"C":32}},"budget":500,"search_id":"mysearch"}`
+	resp, data := post(t, ts, "/v1/search", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search = %d: %s", resp.StatusCode, data)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.SearchID != "mysearch" {
+		t.Fatalf("search_id = %q, want the requested id", sr.SearchID)
+	}
+
+	var prog ProgressResponse
+	if resp := getJSON(t, ts.URL, "/v1/search/mysearch/progress", &prog); resp.StatusCode != http.StatusOK {
+		t.Fatalf("progress = %d", resp.StatusCode)
+	}
+	if prog.Status != "done" {
+		t.Fatalf("status = %q, want done", prog.Status)
+	}
+	if prog.Stats == nil || prog.Valid == 0 || prog.Walked == 0 {
+		t.Fatalf("empty final counters: %+v", prog)
+	}
+	if prog.Valid != int64(prog.Stats.Valid) || prog.Generated != int64(prog.Stats.NestsGenerated) {
+		t.Errorf("live counters diverge from final stats: %+v vs %+v", prog, *prog.Stats)
+	}
+	if prog.BestCC == nil || *prog.BestCC != sr.Result.CCTotal {
+		t.Errorf("best_cc = %v, want the search's cc_total %v", prog.BestCC, sr.Result.CCTotal)
+	}
+	if len(prog.Phases) == 0 {
+		t.Error("no phase timings recorded")
+	}
+}
+
+// TestSearchProgressErrors: unknown ids 404, malformed ids 400, and a live
+// id cannot be claimed twice... but a finished one can be reused.
+func TestSearchProgressErrors(t *testing.T) {
+	memo.Default.Reset()
+	_, ts := newTestServer(t, Config{})
+
+	if resp := getJSON(t, ts.URL, "/v1/search/nope/progress", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id = %d, want 404", resp.StatusCode)
+	}
+	bad := `{"layer":{"name":"l0","kind":"matmul","dims":{"B":32,"K":32,"C":32}},"search_id":"has spaces!"}`
+	if resp, data := post(t, ts, "/v1/search", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad search_id = %d: %s", resp.StatusCode, data)
+	}
+	ok := `{"layer":{"name":"l0","kind":"matmul","dims":{"B":32,"K":32,"C":32}},"budget":500,"search_id":"reuse"}`
+	if resp, data := post(t, ts, "/v1/search", ok); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first search = %d: %s", resp.StatusCode, data)
+	}
+	if resp, data := post(t, ts, "/v1/search", ok); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reusing a finished search_id = %d, want 200: %s", resp.StatusCode, data)
+	}
+}
+
+// explainBody mirrors ExplainResponse loosely, with the report left as raw
+// JSON so the test checks what actually went over the wire.
+type explainBody struct {
+	Layer    string          `json:"layer"`
+	Searched bool            `json:"searched"`
+	Result   resultJSON      `json:"result"`
+	Report   json.RawMessage `json:"report"`
+	Trace    json.RawMessage `json:"trace"`
+}
+
+// TestExplainEndpoint: searched and fixed-mapping explains both return a
+// report whose attribution check sums match SS_overall, and include_trace
+// embeds a parseable Perfetto event array.
+func TestExplainEndpoint(t *testing.T) {
+	memo.Default.Reset()
+	_, ts := newTestServer(t, Config{})
+
+	req := `{"layer":{"name":"l0","kind":"matmul","dims":{"B":32,"K":32,"C":32}},"budget":500,"include_trace":true}`
+	resp, data := post(t, ts, "/v1/explain", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain = %d: %s", resp.StatusCode, data)
+	}
+	var out explainBody
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Searched {
+		t.Error("searched = false for a mapping-less explain")
+	}
+	var rep struct {
+		SSOverall float64 `json:"ss_overall"`
+		Mode      string  `json:"attribution_mode"`
+		Check     struct {
+			SSOverall          float64 `json:"ss_overall"`
+			SumMemContribution float64 `json:"sum_mem_contribution"`
+			SumDTLContribution float64 `json:"sum_dtl_contribution"`
+		} `json:"check"`
+	}
+	if err := json.Unmarshal(out.Report, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Check.SumMemContribution != rep.SSOverall || rep.Check.SumDTLContribution != rep.SSOverall {
+		t.Errorf("attribution sums %v/%v != ss_overall %v",
+			rep.Check.SumMemContribution, rep.Check.SumDTLContribution, rep.SSOverall)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(out.Trace, &events); err != nil {
+		t.Fatalf("embedded trace does not parse as an event array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("empty embedded trace")
+	}
+
+	// Round-trip: explain the mapping the search found; identical result.
+	var sr SearchResponse
+	if resp, data := post(t, ts, "/v1/search", smallSearch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search = %d: %s", resp.StatusCode, data)
+	} else if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	fixedReq, err := json.Marshal(map[string]any{
+		"layer":   json.RawMessage(`{"name":"l0","kind":"matmul","dims":{"B":32,"K":32,"C":32}}`),
+		"mapping": sr.Mapping,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data = post(t, ts, "/v1/explain", string(fixedReq))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fixed-mapping explain = %d: %s", resp.StatusCode, data)
+	}
+	var fixed explainBody
+	if err := json.Unmarshal(data, &fixed); err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Searched {
+		t.Error("searched = true for a fixed-mapping explain")
+	}
+	if fixed.Result.CCTotal != out.Result.CCTotal {
+		t.Errorf("fixed-mapping cc_total %v != searched cc_total %v", fixed.Result.CCTotal, out.Result.CCTotal)
+	}
+}
+
+// TestExplainBadRequests: unknown fields, missing layer, invalid mapping.
+func TestExplainBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if resp, _ := post(t, ts, "/v1/explain", `{"bogus_field":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts, "/v1/explain", `{"layer":{"name":"x","kind":"nosuchkind"}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad layer kind = %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,266 @@
+package serve
+
+// Live search telemetry: every /v1/search request gets a progress tracker
+// fed by the mapper's telemetry hooks (internal/obs), queryable while the
+// search runs — and afterwards — via GET /v1/search/{id}/progress. The
+// registry is bounded: finished trackers are evicted FIFO beyond
+// maxTrackedSearches.
+//
+// Coalescing caveat: searches are memoized, and hooks only fire in the call
+// that actually computes (mapper.BestCached). A request coalescing onto
+// another request's in-flight search — or hitting the cache — reports its
+// final state from the returned result, with no intermediate snapshots.
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxTrackedSearches bounds the registry (FIFO eviction of the oldest).
+const maxTrackedSearches = 512
+
+// searchIDPattern validates client-chosen search IDs.
+var searchIDPattern = regexp.MustCompile(`^[A-Za-z0-9_.-]{1,64}$`)
+
+// progressTracker accumulates one search's telemetry. All fields are
+// updated through atomics (hook callbacks race across workers) except the
+// phase map, which sits behind its own mutex.
+type progressTracker struct {
+	id      string
+	created time.Time
+
+	walked, generated, merged, subtrees atomic.Int64
+	valid, pruned                       atomic.Int64
+	bestBits                            atomic.Uint64
+	elapsedMS                           atomic.Int64
+	annealEvents                        atomic.Int64
+
+	mu     sync.Mutex
+	phases map[string]float64 // phase name -> seconds
+	state  string             // running | done | error
+	errMsg string
+	stats  *statsJSON // final stats, when the search returned them
+}
+
+func newProgressTracker(id string) *progressTracker {
+	t := &progressTracker{id: id, created: time.Now(), phases: map[string]float64{}, state: "running"}
+	t.bestBits.Store(math.Float64bits(math.Inf(1)))
+	return t
+}
+
+// hooks builds the obs.SearchHooks feeding this tracker (and the server's
+// phase-latency histogram).
+func (t *progressTracker) hooks(met *metrics) *obs.SearchHooks {
+	return &obs.SearchHooks{
+		Phase: func(name string, d time.Duration) {
+			t.mu.Lock()
+			t.phases[name] += d.Seconds()
+			t.mu.Unlock()
+			met.phaseSeconds.observe(name, d.Seconds())
+		},
+		Progress: func(p obs.SearchProgress) {
+			t.walked.Store(p.Walked)
+			t.generated.Store(p.Generated)
+			t.merged.Store(p.ClassesMerged)
+			t.subtrees.Store(p.SubtreesPruned)
+			t.valid.Store(p.Valid)
+			t.pruned.Store(p.Pruned)
+			t.elapsedMS.Store(p.Elapsed.Milliseconds())
+		},
+		ImprovedBest: func(score float64, seq int64) {
+			bits := math.Float64bits(score)
+			for {
+				cur := t.bestBits.Load()
+				if math.Float64frombits(cur) <= score {
+					return
+				}
+				if t.bestBits.CompareAndSwap(cur, bits) {
+					return
+				}
+			}
+		},
+		AnnealProgress: func(chain, iter int, best float64) {
+			t.annealEvents.Add(1)
+			bits := math.Float64bits(best)
+			for {
+				cur := t.bestBits.Load()
+				if math.Float64frombits(cur) <= best {
+					return
+				}
+				if t.bestBits.CompareAndSwap(cur, bits) {
+					return
+				}
+			}
+		},
+	}
+}
+
+// finish records the search outcome. A coalesced or cached search that saw
+// no hook events still ends with its true final score and stats.
+func (t *progressTracker) finish(bestScore float64, stats *statsJSON, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		t.state = "error"
+		t.errMsg = err.Error()
+		return
+	}
+	t.state = "done"
+	t.stats = stats
+	if stats != nil {
+		t.walked.Store(int64(stats.NestsGenerated + stats.ClassesMerged))
+		t.generated.Store(int64(stats.NestsGenerated))
+		t.merged.Store(int64(stats.ClassesMerged))
+		t.subtrees.Store(int64(stats.SubtreesPruned))
+		t.valid.Store(int64(stats.Valid))
+		t.pruned.Store(int64(stats.Pruned))
+	}
+	if !math.IsInf(bestScore, 1) {
+		t.bestBits.Store(math.Float64bits(bestScore))
+	}
+	if t.elapsedMS.Load() == 0 {
+		t.elapsedMS.Store(time.Since(t.created).Milliseconds())
+	}
+}
+
+// ProgressResponse is the wire form of one search's live state.
+type ProgressResponse struct {
+	SearchID string `json:"search_id"`
+	Status   string `json:"status"` // running | done | error
+	Error    string `json:"error,omitempty"`
+
+	Walked         int64 `json:"walked"`
+	Generated      int64 `json:"generated"`
+	ClassesMerged  int64 `json:"classes_merged"`
+	SubtreesPruned int64 `json:"subtrees_pruned"`
+	Valid          int64 `json:"valid"`
+	Pruned         int64 `json:"pruned"`
+
+	// BestCC is omitted until a valid candidate has been observed.
+	BestCC    *float64           `json:"best_cc,omitempty"`
+	ElapsedMS int64              `json:"elapsed_ms"`
+	Phases    map[string]float64 `json:"phases,omitempty"`
+	// AnnealEvents counts annealer chain-progress callbacks (0 for
+	// exhaustive searches).
+	AnnealEvents int64      `json:"anneal_events,omitempty"`
+	Stats        *statsJSON `json:"stats,omitempty"`
+}
+
+// snapshot renders the tracker's current state.
+func (t *progressTracker) snapshot() ProgressResponse {
+	t.mu.Lock()
+	phases := make(map[string]float64, len(t.phases))
+	for k, v := range t.phases {
+		phases[k] = v
+	}
+	state, errMsg, stats := t.state, t.errMsg, t.stats
+	t.mu.Unlock()
+
+	resp := ProgressResponse{
+		SearchID:       t.id,
+		Status:         state,
+		Error:          errMsg,
+		Walked:         t.walked.Load(),
+		Generated:      t.generated.Load(),
+		ClassesMerged:  t.merged.Load(),
+		SubtreesPruned: t.subtrees.Load(),
+		Valid:          t.valid.Load(),
+		Pruned:         t.pruned.Load(),
+		ElapsedMS:      t.elapsedMS.Load(),
+		Phases:         phases,
+		AnnealEvents:   t.annealEvents.Load(),
+		Stats:          stats,
+	}
+	if best := math.Float64frombits(t.bestBits.Load()); !math.IsInf(best, 1) {
+		resp.BestCC = &best
+	}
+	if state == "running" {
+		resp.ElapsedMS = time.Since(t.created).Milliseconds()
+	}
+	return resp
+}
+
+// progressRegistry is the bounded id -> tracker map.
+type progressRegistry struct {
+	mu    sync.Mutex
+	seq   atomic.Int64
+	byID  map[string]*progressTracker
+	order []string // insertion order, for FIFO eviction
+}
+
+func newProgressRegistry() *progressRegistry {
+	return &progressRegistry{byID: map[string]*progressTracker{}}
+}
+
+// register creates and registers a tracker. A client-supplied id must match
+// searchIDPattern and not collide with a live tracker; an empty id draws a
+// generated one. Returns an error suitable for a 400/409 response.
+func (pr *progressRegistry) register(id string) (*progressTracker, error) {
+	if id == "" {
+		id = fmt.Sprintf("s%d", pr.seq.Add(1))
+	} else if !searchIDPattern.MatchString(id) {
+		return nil, fmt.Errorf("invalid search_id %q (want %s)", id, searchIDPattern)
+	}
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if old, ok := pr.byID[id]; ok {
+		old.mu.Lock()
+		running := old.state == "running"
+		old.mu.Unlock()
+		if running {
+			return nil, fmt.Errorf("search_id %q already in use by a running search", id)
+		}
+		// Replace the finished tracker in place (keep its order slot).
+		t := newProgressTracker(id)
+		pr.byID[id] = t
+		return t, nil
+	}
+	t := newProgressTracker(id)
+	pr.byID[id] = t
+	pr.order = append(pr.order, id)
+	for len(pr.order) > maxTrackedSearches {
+		evict := pr.order[0]
+		pr.order = pr.order[1:]
+		delete(pr.byID, evict)
+	}
+	return t, nil
+}
+
+// lookup returns the tracker for id, or nil.
+func (pr *progressRegistry) lookup(id string) *progressTracker {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.byID[id]
+}
+
+// live counts running trackers (the search_live gauge).
+func (pr *progressRegistry) live() int64 {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	var n int64
+	for _, t := range pr.byID {
+		t.mu.Lock()
+		if t.state == "running" {
+			n++
+		}
+		t.mu.Unlock()
+	}
+	return n
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t := s.progress.lookup(id)
+	if t == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown search id %q (evicted, or never registered)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, t.snapshot())
+}

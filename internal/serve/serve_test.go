@@ -309,7 +309,9 @@ func TestDeterminismGuard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := json.MarshalIndent(searchResponse(&l, hw, cand, stats), "", "  ")
+	wantResp := searchResponse(&l, hw, cand, stats)
+	wantResp.SearchID = "s1" // transport metadata: first server-assigned id
+	want, err := json.MarshalIndent(wantResp, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/memo"
 	"repro/internal/par"
+	"repro/internal/prof"
 )
 
 // statusClientGone is logged for requests whose client disconnected before a
@@ -81,6 +82,8 @@ type Server struct {
 	mux *http.ServeMux
 	adm *admission
 	met *metrics
+	// progress tracks live search telemetry, keyed by search_id.
+	progress *progressRegistry
 
 	// base is alive for the server's whole lifetime and canceled only when
 	// a graceful shutdown exhausts its drain deadline; every request context
@@ -93,17 +96,20 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg: cfg,
-		log: cfg.Logger,
-		mux: http.NewServeMux(),
-		adm: newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
-		met: newMetrics(time.Now(), "eval", "search", "network", "metrics", "healthz"),
+		cfg:      cfg,
+		log:      cfg.Logger,
+		mux:      http.NewServeMux(),
+		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		met:      newMetrics(time.Now(), "eval", "search", "network", "metrics", "healthz", "explain", "progress"),
+		progress: newProgressRegistry(),
 	}
 	s.base, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
 	s.mux.Handle("POST /v1/eval", s.instrument("eval", true, s.handleEval))
 	s.mux.Handle("POST /v1/search", s.instrument("search", true, s.handleSearch))
+	s.mux.Handle("GET /v1/search/{id}/progress", s.instrument("progress", false, s.handleProgress))
+	s.mux.Handle("POST /v1/explain", s.instrument("explain", true, s.handleExplain))
 	s.mux.Handle("POST /v1/network", s.instrument("network", true, s.handleNetwork))
 	return s
 }
@@ -162,12 +168,20 @@ func (s *Server) instrument(name string, admit bool, h http.HandlerFunc) http.Ha
 	})
 }
 
+// healthBody is the /healthz response: liveness plus build identity.
+type healthBody struct {
+	Status string `json:"status"`
+	prof.BuildInfo
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := healthBody{Status: "ok", BuildInfo: prof.Build()}
 	if s.base.Err() != nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -185,7 +199,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Queued: s.adm.queueDepth(),
 		Slots:  s.adm.capacity(),
 		Queue:  s.adm.maxQueue,
-	})
+	}, s.progress.live())
 }
 
 // requestContext derives the context a search runs under: bounded by the

@@ -1,0 +1,72 @@
+package trace
+
+// Golden tests pinning Timeline's exact byte-for-byte output for the three
+// endpoint regimes (stall, slack, exactly balanced) and the maxCycles
+// truncation. The substring tests in trace_test.go survive cosmetic
+// changes; these do not — an intentional rendering change must update the
+// goldens, which doubles as a review diff of the new output.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTimelineGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		e    func() *core.Endpoint
+		per  int
+		cyc  int
+		want string
+	}{
+		{
+			// Keep-out window of 1 cycle, transfer needs 2: every period
+			// overruns one cycle into the next ('!' at the period head).
+			name: "stalled",
+			e:    func() *core.Endpoint { return endpoint(4, 1, 2, 3) },
+			per:  3, cyc: 64,
+			want: "W@L0 fill rd M  (X_REQ=1, X_REAL=2.0, stall 1 cc/period)\n" +
+				"  compute CCCC|CCCC|CCCC\n" +
+				"  memory  ...#|!..#|!..#\n",
+		},
+		{
+			// Full window (X_REQ = Mem_CC), transfer needs half: 2 idle
+			// window cycles of slack per period.
+			name: "slack",
+			e:    func() *core.Endpoint { return endpoint(4, 4, 2, 3) },
+			per:  3, cyc: 64,
+			want: "W@L0 fill rd M  (X_REQ=4, X_REAL=2.0, slack 2 cc/period)\n" +
+				"  compute CCCC|CCCC|CCCC\n" +
+				"  memory  ##==|##==|##==\n",
+		},
+		{
+			// Exactly balanced: the transfer fills its window to the cycle —
+			// no stall, no slack, no '=' and no '!'.
+			name: "balanced",
+			e:    func() *core.Endpoint { return endpoint(4, 2, 2, 3) },
+			per:  3, cyc: 64,
+			want: "W@L0 fill rd M  (X_REQ=2, X_REAL=2.0, no stall)\n" +
+				"  compute CCCC|CCCC|CCCC\n" +
+				"  memory  ..##|..##|..##\n",
+		},
+		{
+			// maxCycles=25 cuts the 4th period mid-way (rows stop at 25
+			// cycle characters, boundaries excluded).
+			name: "truncated",
+			e:    func() *core.Endpoint { return endpoint(10, 10, 4, 4) },
+			per:  4, cyc: 25,
+			want: "W@L0 fill rd M  (X_REQ=10, X_REAL=4.0, slack 6 cc/period)\n" +
+				"  compute CCCCCCCCCC|CCCCCCCCCC|CCCCC\n" +
+				"  memory  ####======|####======|####=\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Timeline(tc.e(), tc.per, tc.cyc)
+			if got != tc.want {
+				t.Errorf("Timeline output changed:\ngot:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}

@@ -42,7 +42,33 @@ echo "$OUT" | grep -q '"cc_total"' || { echo "serve-smoke: no cc_total in: $OUT"
 curl -fsS -X POST "http://${ADDR}/v1/search" \
     -H 'Content-Type: application/json' \
     -d '{"layer":{"name":"smoke","kind":"matmul","dims":{"B":32,"K":32,"C":32}},"budget":500}' >/dev/null
+
+# The explainer: search + stall attribution for the same layer. The report
+# must be present and internally consistent (the two attribution sums both
+# equal the overall stall — the model's exactness invariant).
+EXPL=$(curl -fsS -X POST "http://${ADDR}/v1/explain" \
+    -H 'Content-Type: application/json' \
+    -d '{"layer":{"name":"smoke","kind":"matmul","dims":{"B":32,"K":32,"C":32}},"budget":500}')
+echo "$EXPL" | grep -q '"attribution_mode"' || {
+    echo "serve-smoke: no attribution report in explain response: $EXPL" >&2
+    exit 1
+}
+if command -v jq >/dev/null 2>&1; then
+    echo "$EXPL" | jq -e \
+        '.report.check | .sum_mem_contribution == .ss_overall and .sum_dtl_contribution == .ss_overall' \
+        >/dev/null || {
+        echo "serve-smoke: explain attribution sums do not match ss_overall" >&2
+        echo "$EXPL" | jq '.report.check' >&2
+        exit 1
+    }
+fi
+
 METRICS=$(curl -fsS "http://${ADDR}/metrics")
+echo "$METRICS" | grep -q '^servemodel_build_info{go_version="[^"]*",revision="[^"]*"} 1' || {
+    echo "serve-smoke: build_info metric missing" >&2
+    echo "$METRICS" | grep '^servemodel_build' >&2
+    exit 1
+}
 echo "$METRICS" | grep -q '^servemodel_memo_hits_total [1-9]' || {
     echo "serve-smoke: repeat request did not hit the cache" >&2
     echo "$METRICS" | grep '^servemodel_memo' >&2
