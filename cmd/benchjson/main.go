@@ -7,12 +7,17 @@
 // performance numbers structurally instead of scraping text.
 //
 // With -out FILE the parsed run is appended to the history array in FILE
-// ({"runs": [...]}), keyed by git SHA + date: re-running on the same commit
-// the same day replaces that entry instead of growing the file, while every
-// new commit adds one. A pre-history flat report ({"results": [...]}) found
-// in FILE is migrated as the oldest run. Without -out the single-run history
-// is printed to stdout. Used by `make bench`, which maintains
-// BENCH_mapper.json.
+// ({"runs": [...]}), keyed by git SHA: re-running on the same commit
+// replaces that commit's entry instead of growing the file, while every new
+// commit adds one. A pre-history flat report ({"results": [...]}) found in
+// FILE is migrated as the oldest run. Without -out the single-run history is
+// printed to stdout. Used by `make bench`, which maintains BENCH_mapper.json.
+//
+// With -compare FILE a per-benchmark delta report — ns/op and allocs/op
+// against the newest history entry whose SHA differs from the parsed run's —
+// is printed to stderr. The report is informational and never fails the
+// invocation, so CI's bench-smoke can surface regressions on the PR without
+// gating on the noisy timings of shared runners.
 package main
 
 import (
@@ -60,9 +65,10 @@ type History struct {
 
 func main() {
 	var (
-		out  = flag.String("out", "", "history file to update in place (empty: print the run to stdout)")
-		sha  = flag.String("sha", "", "commit id for the run key (default: git rev-parse --short HEAD)")
-		date = flag.String("date", "", "date for the run key, YYYY-MM-DD (default: today, UTC)")
+		out     = flag.String("out", "", "history file to update in place (empty: print the run to stdout)")
+		sha     = flag.String("sha", "", "commit id for the run key (default: git rev-parse --short HEAD)")
+		date    = flag.String("date", "", "date for the run key, YYYY-MM-DD (default: today, UTC)")
+		compare = flag.String("compare", "", "history file to diff against (newest run with a different SHA); report to stderr, never fatal")
 	)
 	flag.Parse()
 
@@ -77,6 +83,16 @@ func main() {
 	run.Date = *date
 	if run.Date == "" {
 		run.Date = time.Now().UTC().Format("2006-01-02")
+	}
+
+	if *compare != "" {
+		if hist, err := loadHistory(*compare); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: compare:", err)
+		} else if base := hist.baseline(run.SHA); base == nil {
+			fmt.Fprintln(os.Stderr, "benchjson: compare: no prior run with a different SHA")
+		} else {
+			printDeltas(os.Stderr, base, &run)
+		}
 	}
 
 	if *out == "" {
@@ -162,16 +178,70 @@ func loadHistory(path string) (*History, error) {
 	return &History{Runs: []Run{legacy}}, nil
 }
 
-// add appends the run, replacing an existing entry with the same SHA + date
-// so repeated `make bench` on one commit updates in place.
+// add appends the run, replacing any existing entry with the same SHA so
+// repeated `make bench` on one commit updates in place instead of growing
+// the file with duplicate-SHA entries (re-runs across days included). Runs
+// keyed by an empty SHA (no git available) fall back to date matching.
 func (h *History) add(run Run) {
 	for i := range h.Runs {
-		if h.Runs[i].SHA == run.SHA && h.Runs[i].Date == run.Date {
+		if run.SHA != "" && h.Runs[i].SHA == run.SHA {
+			h.Runs[i] = run
+			return
+		}
+		if run.SHA == "" && h.Runs[i].SHA == "" && h.Runs[i].Date == run.Date {
 			h.Runs[i] = run
 			return
 		}
 	}
 	h.Runs = append(h.Runs, run)
+}
+
+// baseline returns the newest history run whose SHA differs from sha — the
+// comparison base for a delta report — or nil when none exists.
+func (h *History) baseline(sha string) *Run {
+	for i := len(h.Runs) - 1; i >= 0; i-- {
+		if h.Runs[i].SHA != sha {
+			return &h.Runs[i]
+		}
+	}
+	return nil
+}
+
+// printDeltas writes the per-benchmark ns/op and allocs/op changes of run
+// against base, matching benchmarks by name; benchmarks present on only one
+// side are tallied instead of diffed. Purely informational.
+func printDeltas(w io.Writer, base *Run, run *Run) {
+	ref := make(map[string]*Result, len(base.Results))
+	for i := range base.Results {
+		ref[base.Results[i].Name] = &base.Results[i]
+	}
+	key := base.SHA
+	if key == "" {
+		key = "(no sha)"
+	}
+	fmt.Fprintf(w, "benchjson: deltas vs %s %s:\n", key, base.Date)
+	pct := func(old, new float64) string {
+		if old == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+	}
+	var added, seen int
+	for _, r := range run.Results {
+		b, ok := ref[r.Name]
+		if !ok {
+			added++
+			continue
+		}
+		seen++
+		delete(ref, r.Name)
+		fmt.Fprintf(w, "  %-40s %12.0f -> %-12.0f ns/op (%s)   %6d -> %-6d allocs/op (%s)\n",
+			r.Name, b.NsPerOp, r.NsPerOp, pct(b.NsPerOp, r.NsPerOp),
+			b.AllocsPerOp, r.AllocsPerOp, pct(float64(b.AllocsPerOp), float64(r.AllocsPerOp)))
+	}
+	if added > 0 || len(ref) > 0 {
+		fmt.Fprintf(w, "  (%d compared, %d new, %d no longer present)\n", seen, added, len(ref))
+	}
 }
 
 // parseRun parses `go test -bench` output into one Run.

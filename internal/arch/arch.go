@@ -12,6 +12,7 @@ package arch
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/loops"
 )
@@ -245,6 +246,14 @@ type Arch struct {
 
 	// Combine selects the Step-3 cross-memory stall integration mode.
 	Combine StallCombine
+
+	// chains memoizes ChainMems: the mapper's guided producer resolves the
+	// chains for every walked candidate, and the per-call slice allocation
+	// plus MemoryByName scans dominated its allocation profile. Resolved
+	// once, on first use — Chain must not be edited afterwards (no caller
+	// does; every Arch is fully built before the first search touches it).
+	chainOnce sync.Once
+	chains    [loops.NumOperands][]*Memory
 }
 
 // MemoryByName returns the named module or nil.
@@ -257,14 +266,21 @@ func (a *Arch) MemoryByName(name string) *Memory {
 	return nil
 }
 
-// ChainMems resolves operand op's chain into module pointers.
+// ChainMems resolves operand op's chain into module pointers. The result is
+// memoized on first use and shared between callers: treat it as read-only,
+// and do not edit Chain after the first call.
 func (a *Arch) ChainMems(op loops.Operand) []*Memory {
-	names := a.Chain[op]
-	out := make([]*Memory, len(names))
-	for i, n := range names {
-		out[i] = a.MemoryByName(n)
-	}
-	return out
+	a.chainOnce.Do(func() {
+		for _, o := range loops.AllOperands {
+			names := a.Chain[o]
+			out := make([]*Memory, len(names))
+			for i, n := range names {
+				out[i] = a.MemoryByName(n)
+			}
+			a.chains[o] = out
+		}
+	})
+	return a.chains[op]
 }
 
 // Levels returns the number of memory levels in operand op's chain.

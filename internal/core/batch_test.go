@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+// TestScoreBatchBitIdentical: ScoreBatch over a slab must equal N individual
+// ScoreLatency calls bit for bit — including the NaN marker for members that
+// do not evaluate — with both fresh and warm evaluators.
+func TestScoreBatchBitIdentical(t *testing.T) {
+	l := workload.NewConv2D("c", 1, 4, 2, 4, 4, 3, 3)
+	a := microArch(4, 37, 53, 29, false)
+
+	base := loops.Nest{
+		{Dim: loops.C, Size: 2}, {Dim: loops.OX, Size: 4},
+		{Dim: loops.OY, Size: 4}, {Dim: loops.FX, Size: 3}, {Dim: loops.FY, Size: 3},
+	}
+	var ps []*Problem
+	for _, tmp := range permute(base) {
+		for split := 0; split <= len(tmp); split += 2 {
+			m := &mapping.Mapping{
+				Spatial:  loops.Nest{{Dim: loops.K, Size: 4}},
+				Temporal: tmp,
+			}
+			for _, op := range loops.AllOperands {
+				m.Bound[op] = []int{split, len(tmp)}
+			}
+			ps = append(ps, &Problem{Layer: &l, Arch: a, Mapping: m})
+		}
+	}
+	if len(ps) < 300 {
+		t.Fatalf("only %d problems built", len(ps))
+	}
+
+	// Reference: one throwaway evaluator per problem — never any memo hit.
+	want := make([]float64, len(ps))
+	for i, p := range ps {
+		var ev Evaluator
+		s, err := ev.ScoreLatency(p)
+		if err != nil {
+			s = math.NaN()
+		}
+		want[i] = s
+	}
+
+	shared := NewEvaluator()
+	got := make([]float64, len(ps))
+	if err := shared.ScoreBatch(ps, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("problem %d: batch %v != individual %v (temporal %v)",
+				i, got[i], want[i], ps[i].Mapping.Temporal)
+		}
+	}
+
+	// Run the same slab again on the same evaluator: every memo layer is now
+	// warm, and the scores must still not move by a bit.
+	again := make([]float64, len(ps))
+	if err := shared.ScoreBatch(ps, again); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps {
+		if math.Float64bits(again[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("problem %d: warm batch %v != individual %v", i, again[i], want[i])
+		}
+	}
+
+	if err := shared.ScoreBatch(ps, make([]float64, 1)); err == nil {
+		t.Fatal("short output slab accepted")
+	}
+}
+
+// TestCombineCacheBitIdentical: the Step-2 combine cache must intern far
+// fewer port combinations than it serves while never changing a score
+// (bit-identity vs fresh evaluators is asserted by
+// TestScoreBatchBitIdentical and TestOpCacheBitIdentical; this test pins the
+// cache actually being exercised).
+func TestCombineCacheBitIdentical(t *testing.T) {
+	l := workload.NewConv2D("c", 1, 4, 2, 4, 4, 3, 3)
+	a := microArch(4, 37, 53, 29, false)
+
+	base := loops.Nest{
+		{Dim: loops.C, Size: 2}, {Dim: loops.OX, Size: 4},
+		{Dim: loops.OY, Size: 4}, {Dim: loops.FX, Size: 3}, {Dim: loops.FY, Size: 3},
+	}
+	shared := NewEvaluator()
+	evals := 0
+	for _, tmp := range permute(base) {
+		m := &mapping.Mapping{
+			Spatial:  loops.Nest{{Dim: loops.K, Size: 4}},
+			Temporal: tmp,
+		}
+		for _, op := range loops.AllOperands {
+			m.Bound[op] = []int{2, len(tmp)}
+		}
+		p := &Problem{Layer: &l, Arch: a, Mapping: m}
+		if _, err := shared.ScoreLatency(p); err == nil {
+			evals++
+		}
+	}
+	if evals < 100 {
+		t.Fatalf("only %d evaluations ran", evals)
+	}
+	if n := len(shared.cc.m); n == 0 || n >= evals*2 {
+		t.Fatalf("combine cache interned %d combinations over %d evaluations — no reuse", n, evals)
+	}
+	t.Logf("combine cache: %d interned combinations over %d evaluations", len(shared.cc.m), evals)
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/loops"
+)
+
+// Step-2 sub-result cache. The Eq. (1)/(2) combination of one physical
+// port's endpoints — including the periodic window union, the dominant cost
+// of a full evaluation — is a pure function of the ordered per-endpoint
+// tuples (Mem_CC, X_REQ, Z, X_REAL) and the combine-relevant model options:
+// every quantity combineEq reads (Window, MUW, SS_u) is derived from exactly
+// those fields (buildEndpoints constructs Window = Tail(Mem_CC, X_REQ, ·)
+// with Count = Z, MUW = X_REQ·Z and SS_u = (X_REAL − X_REQ)·Z). Sibling
+// nests in a mapping search reproduce the same port contents constantly —
+// most orderings only reshuffle one operand's levels while the other ports'
+// endpoint tuples repeat — so a cache keyed by that encoding skips the whole
+// union-and-combine for the majority of candidate evaluations.
+//
+// Because the key captures the ordered endpoint sequence bit-for-bit
+// (X_REAL enters as its IEEE-754 bits) plus the option flags, a hit returns
+// the float64 results of an identical earlier computation: cached scoring is
+// bit-identical to uncached scoring by construction (asserted in
+// TestCombineCacheBitIdentical). Unlike the Step-1 opCache the key does not
+// depend on layer or architecture identity at all — the tuples fully
+// determine the combination — so the table needs no re-scoping and survives
+// across searches for as long as its Evaluator does.
+
+// combineVal is one cached port combination.
+type combineVal struct {
+	ss    float64
+	muw   float64
+	exact bool
+}
+
+// combineCache holds the Step-2 memo table of one Evaluator. Not safe for
+// concurrent use, like the Evaluator that owns it.
+type combineCache struct {
+	m      map[string]combineVal
+	keyBuf []byte
+}
+
+// combineCacheMaxEntries bounds the table; a full table is dropped whole
+// (coarse O(1) eviction, same discipline as the opCache).
+const combineCacheMaxEntries = 1 << 14
+
+// combineCached is combineEq behind the cache: it returns the memoized
+// combination for the group's endpoint content, computing and interning it
+// on a miss.
+func (ev *Evaluator) combineCached(eps []*Endpoint, opts ModelOptions) (ssComb, muwAll float64, exact bool) {
+	key := ev.cc.keyBuf[:0]
+	var flags byte
+	if opts.NaiveCombine {
+		flags |= 1
+	}
+	if opts.NoCapacityBound {
+		flags |= 2
+	}
+	key = append(key, flags)
+	for _, e := range eps {
+		key = loops.AppendUvarint(key, uint64(e.MemCC))
+		key = loops.AppendUvarint(key, uint64(e.XReq))
+		key = loops.AppendUvarint(key, uint64(e.Z))
+		bits := math.Float64bits(e.XReal)
+		key = append(key, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+	}
+	ev.cc.keyBuf = key
+
+	if v, ok := ev.cc.m[string(key)]; ok {
+		return v.ss, v.muw, v.exact
+	}
+	ss, muw, ex := combineEq(eps, opts, &ev.sc)
+	if ev.cc.m == nil || len(ev.cc.m) >= combineCacheMaxEntries {
+		ev.cc.m = make(map[string]combineVal)
+	}
+	ev.cc.m[string(key)] = combineVal{ss: ss, muw: muw, exact: ex}
+	return ss, muw, ex
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+
 	"repro/internal/arch"
 	"repro/internal/loops"
 	"repro/internal/mapping"
@@ -48,6 +50,14 @@ type opCache struct {
 	m      [loops.NumOperands]map[string][]levelQuant
 	keyBuf []byte
 	qBuf   []levelQuant // scratch for building entries before interning
+
+	// lastKey/lastQ short-circuit the map probe when consecutive
+	// evaluations repeat an operand's per-level content byte for byte —
+	// the common case for sibling nests in a search batch, which permute
+	// one operand's levels while the others' content stays fixed (the
+	// Step-1 "shared prefix" ScoreBatch exploits).
+	lastKey [loops.NumOperands][]byte
+	lastQ   [loops.NumOperands][]levelQuant
 }
 
 // opCacheMaxEntries bounds each operand's table; a full table is dropped
@@ -64,6 +74,8 @@ func (c *opCache) ensure(p *Problem) {
 	c.layer, c.arch, c.spatial = p.Layer, p.Arch, sp
 	for op := range c.m {
 		c.m[op] = nil
+		c.lastKey[op] = c.lastKey[op][:0]
+		c.lastQ[op] = nil
 	}
 }
 
@@ -82,7 +94,12 @@ func (c *opCache) quants(p *Problem, op loops.Operand, chain []*arch.Memory) []l
 	key := appendOperandKey(c.keyBuf[:0], m, op, chain)
 	c.keyBuf = key
 
+	if q := c.lastQ[op]; q != nil && bytes.Equal(key, c.lastKey[op]) {
+		return q
+	}
 	if q, ok := c.m[op][string(key)]; ok {
+		c.lastKey[op] = append(c.lastKey[op][:0], key...)
+		c.lastQ[op] = q
 		return q
 	}
 
@@ -115,5 +132,7 @@ func (c *opCache) quants(p *Problem, op loops.Operand, chain []*arch.Memory) []l
 	stored := make([]levelQuant, len(q))
 	copy(stored, q)
 	c.m[op][string(key)] = stored
+	c.lastKey[op] = append(c.lastKey[op][:0], key...)
+	c.lastQ[op] = stored
 	return stored
 }

@@ -44,6 +44,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/surrogate"
 	"repro/internal/workload"
 )
 
@@ -63,10 +64,28 @@ type scored struct {
 	seq   int64  // generation index, the final tie-break
 }
 
-// job is one nest to evaluate, tagged with its generation index.
+// Boundary-precomputation state of a job. The guided producer already runs
+// the greedy boundary assignment on every candidate (the feature vector needs
+// the level contents), so it ships the result along: the workers reuse the
+// bounds instead of recomputing them, and the guided order pays for the
+// assignment ONCE per candidate — exactly like the canonical order.
+// assignBoundsIn is deterministic in (nest, layer, chains), so a reused
+// result is bit-identical to a recomputed one.
+const (
+	boundsUnknown uint8 = iota // not precomputed: the worker assigns bounds itself
+	boundsFailed               // precomputed and failed: the nest can never validate
+	boundsReady                // precomputed: bnd holds the per-operand boundaries
+)
+
+// job is one nest to evaluate, tagged with its generation index and — under
+// the guided order — the surrogate prediction that positioned it (NaN when
+// the guided order is inactive) plus the producer's boundary assignment.
 type job struct {
-	seq  int64
-	nest loops.Nest
+	seq    int64
+	pred   float64
+	nest   loops.Nest
+	bstate uint8
+	bnd    [loops.NumOperands][]int // boundsReady only; read-only for workers
 }
 
 // batchSize amortizes channel traffic: the generator ships nests to the
@@ -96,9 +115,21 @@ type engine struct {
 	// best, so the emitted nest stream — and every exact Stats counter —
 	// is independent of worker count and of NoPrune.
 	genPrune bool
+	// guided enables the surrogate-guided best-first order (DESIGN.md §12):
+	// the canonical walk runs unchanged — every generation-side counter is
+	// identical — but the emitted representatives are collected, sorted by
+	// surrogate prediction and only then streamed to the workers, carrying
+	// their original walk seq so the (score, seq) tie-break is untouched.
+	// Active only where the workers' prune can cash the better order in.
+	guided bool
 	// bestBits is Float64bits of the best score seen by any worker; it
 	// only decreases. Read by workers for the prune decision.
 	bestBits atomic.Uint64
+	// nworkers is the decided evaluation-lane count. The guided producer's
+	// prediction pass reuses it as its parallelism: while the producer
+	// collects, those lanes sit blocked on an empty channel, so the budget
+	// the search acquired is exactly the budget the pass may spend.
+	nworkers int
 
 	// Telemetry (engine_obs.go). hooks is nil unless Options.Hooks is set;
 	// every observation site guards on that nil check, and the observation
@@ -131,6 +162,7 @@ func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options,
 	e := &engine{ctx: ctx, l: l, a: a, o: o, mode: mode}
 	e.prune = mode == modeBest && !o.NoPrune && o.Objective == MinLatency && o.BWAware
 	e.genPrune = mode == modeBest && o.Objective == MinLatency
+	e.guided = e.prune && !o.NoSurrogate
 	e.bestBits.Store(math.Float64bits(math.Inf(1)))
 	stats := &Stats{}
 	if o.Hooks != nil {
@@ -156,17 +188,32 @@ func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options,
 			par.Release()
 		}
 	}()
+	e.nworkers = workers
 
 	ws := make([]*worker, workers)
 	for i := range ws {
 		ws[i] = newWorker(e)
 	}
 
+	// produce runs the generator and hands each candidate to consume: in the
+	// canonical walk order by default, or — under the guided order — sorted
+	// best-predicted-first with the walk seq and the producer's boundary
+	// assignment carried through (guided.go).
+	produce := func(consume func(j job)) {
+		if e.guided {
+			e.generateGuided(stats, consume)
+		} else {
+			e.generate(stats, func(seq int64, nest loops.Nest) {
+				consume(job{seq: seq, pred: math.NaN(), nest: nest, bstate: boundsUnknown})
+			})
+		}
+	}
+
 	if workers == 1 {
-		// Serial fast path: evaluate in generation order on the caller's
-		// goroutine, straight off the generator's shared nest buffer.
-		e.generate(stats, func(seq int64, nest loops.Nest) {
-			ws[0].process(seq, nest)
+		// Serial fast path: evaluate on the caller's goroutine, straight off
+		// the producer's shared nest buffer.
+		produce(func(j job) {
+			ws[0].process(j)
 		})
 	} else {
 		ch := make(chan *jobBatch, workers)
@@ -196,18 +243,25 @@ func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options,
 				}
 				cur = nil
 			}
-			e.generate(stats, func(seq int64, nest loops.Nest) {
+			produce(func(j job) {
 				if cur == nil {
 					cur = batchPool.Get().(*jobBatch)
 					cur.jobs = cur.jobs[:0]
 					cur.slab = cur.slab[:0]
 				}
-				// Copy the generator's shared buffer into the batch slab.
-				// A slab regrow leaves earlier jobs pointing into the old
-				// array, which stays valid — the slices are read-only.
-				start := len(cur.slab)
-				cur.slab = append(cur.slab, nest...)
-				cur.jobs = append(cur.jobs, job{seq: seq, nest: loops.Nest(cur.slab[start:len(cur.slab):len(cur.slab)])})
+				// The canonical generator emits nests from a shared buffer it
+				// overwrites on the next emit, so they are copied into the
+				// batch slab (a slab regrow leaves earlier jobs pointing into
+				// the old array, which stays valid — the slices are
+				// read-only). The guided producer streams from its own
+				// collection slab, immutable once streaming starts, so its
+				// nests — like its bnd slices — cross the channel as-is.
+				if !e.guided {
+					start := len(cur.slab)
+					cur.slab = append(cur.slab, j.nest...)
+					j.nest = loops.Nest(cur.slab[start:len(cur.slab):len(cur.slab)])
+				}
+				cur.jobs = append(cur.jobs, j)
 				if len(cur.jobs) == batchSize {
 					flush()
 				}
@@ -223,6 +277,7 @@ func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options,
 	var best *Candidate
 	bestScore, bestSeq := math.Inf(1), int64(math.MaxInt64)
 	var all []scored
+	var preds, exacts []float64
 	for _, w := range ws {
 		stats.Valid += w.valid
 		stats.Pruned += w.pruned
@@ -230,7 +285,16 @@ func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options,
 			best, bestScore, bestSeq = w.best, w.bestScore, w.bestSeq
 		}
 		all = append(all, w.all...)
+		preds = append(preds, w.preds...)
+		exacts = append(exacts, w.exacts...)
 		w.release()
+	}
+	if e.guided {
+		// Guided-order diagnostics: how much of the stream the reordering
+		// let the bound kill, and how faithfully the surrogate tracked the
+		// exact order over the candidates that were fully scored.
+		stats.SurrogatePruned = stats.Pruned
+		stats.SurrogateRankCorr = surrogate.Spearman(preds, exacts)
 	}
 	// A cancellation observed anywhere in the pipeline invalidates the
 	// partial reduction: report the context's verdict, not a half-searched
@@ -417,6 +481,23 @@ type workerScratch struct {
 	chains    [loops.NumOperands][]*arch.Memory
 	store     [loops.NumOperands][]int
 	ev        core.Evaluator
+
+	// Batched-scoring slabs (structure of arrays over one jobBatch): each
+	// slot owns a Mapping with its own boundary storage so the surviving
+	// nests of a batch can be validated first and then scored in one
+	// core.Evaluator.ScoreBatch pass over the shared memo layers.
+	slots  [batchSize]batchSlot
+	probs  []*core.Problem
+	seqs   []int64
+	bpreds []float64
+	outs   []float64
+}
+
+// batchSlot is one lane of the batched-scoring slab.
+type batchSlot struct {
+	m     mapping.Mapping
+	store [loops.NumOperands][]int
+	prob  core.Problem
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(workerScratch) }}
@@ -439,6 +520,12 @@ type worker struct {
 	bestSeq   int64
 
 	all []scored // modeAll only
+
+	// Guided-order diagnostics: (prediction, exact score) of every fully
+	// evaluated candidate, merged by the reducer into the Spearman rank
+	// correlation. Only populated while the guided order is active.
+	preds  []float64
+	exacts []float64
 }
 
 func newWorker(e *engine) *worker {
@@ -451,6 +538,11 @@ func newWorker(e *engine) *worker {
 	}
 	w.m.Spatial = e.o.Spatial
 	w.prob = core.Problem{Layer: e.l, Arch: e.a, Mapping: &w.m}
+	for i := range w.s.slots {
+		// The scratch is pooled across searches: force every batch slot to
+		// re-bind to THIS search's layer/arch/spatial on first use.
+		w.s.slots[i].prob.Layer = nil
+	}
 	return w
 }
 
@@ -473,6 +565,8 @@ type jobBatch struct {
 var batchPool = sync.Pool{New: func() any { return new(jobBatch) }}
 
 func (w *worker) drain(ch <-chan *jobBatch) {
+	e := w.e
+	batched := e.mode == modeBest && e.o.Objective == MinLatency && e.o.BWAware
 	for bt := range ch {
 		// After an abort, keep receiving (the generator may have batches in
 		// flight and must never block on a full channel) but stop scoring —
@@ -480,29 +574,136 @@ func (w *worker) drain(ch <-chan *jobBatch) {
 		// cancellation arriving mid-batch (or after the generator already
 		// finished and can no longer raise the flag) skips the remaining
 		// evaluations instead of grinding out the queue.
+		if batched {
+			w.processBatch(bt)
+			batchPool.Put(bt)
+			continue
+		}
 		for _, j := range bt.jobs {
-			if w.e.aborted.Load() {
+			if e.aborted.Load() {
 				break
 			}
-			if w.e.ctx.Err() != nil {
-				w.e.aborted.Store(true)
+			if e.ctx.Err() != nil {
+				e.aborted.Store(true)
 				break
 			}
-			w.process(j.seq, j.nest)
+			w.process(j)
 		}
 		batchPool.Put(bt)
+	}
+}
+
+// processBatch is the latency-objective fast path over one jobBatch: a
+// structure-of-arrays pass that assigns bounds, validates and bound-checks
+// every job first, then scores all survivors in one Evaluator.ScoreBatch
+// call — the slab form that keeps the evaluator's Step-1 and Step-2 memo
+// layers hot across sibling nests. Each score is bit-identical to the
+// per-job ScoreLatency the serial path runs (core.ScoreBatch's contract),
+// Valid counts validations exactly as process does, and the (score, seq)
+// fold is order-independent, so the reduction cannot tell the two paths
+// apart beyond the trajectory-dependent Pruned counter.
+func (w *worker) processBatch(bt *jobBatch) {
+	e := w.e
+	o := e.o
+	s := w.s
+	s.probs = s.probs[:0]
+	s.seqs = s.seqs[:0]
+	s.bpreds = s.bpreds[:0]
+	for i := range bt.jobs {
+		j := &bt.jobs[i]
+		if e.aborted.Load() {
+			return
+		}
+		if e.ctx.Err() != nil {
+			e.aborted.Store(true)
+			return
+		}
+		slot := &s.slots[i]
+		if slot.prob.Layer == nil {
+			slot.m.Spatial = o.Spatial
+			slot.prob = core.Problem{Layer: e.l, Arch: e.a, Mapping: &slot.m}
+		}
+		slot.m.Temporal = j.nest
+		switch j.bstate {
+		case boundsFailed:
+			continue
+		case boundsReady:
+			slot.m.Bound = j.bnd
+		default:
+			if !assignBoundsIn(&slot.m, e.l, &s.chains, &slot.store) {
+				continue
+			}
+		}
+		if slot.m.Validate(e.l, e.a) != nil {
+			continue
+		}
+		w.valid++
+		if e.hooks != nil {
+			e.obsValid.Add(1)
+		}
+		if e.prune {
+			if lb := s.ev.LowerBound(&slot.prob); lb > e.loadBest() {
+				w.pruned++
+				if e.hooks != nil {
+					e.obsPruned.Add(1)
+				}
+				continue
+			}
+		}
+		s.probs = append(s.probs, &slot.prob)
+		s.seqs = append(s.seqs, j.seq)
+		s.bpreds = append(s.bpreds, j.pred)
+	}
+	if len(s.probs) == 0 {
+		return
+	}
+	if cap(s.outs) < len(s.probs) {
+		s.outs = make([]float64, len(s.probs))
+	}
+	outs := s.outs[:len(s.probs)]
+	if s.ev.ScoreBatch(s.probs, outs) != nil {
+		return // unreachable: the output slab is sized above
+	}
+	for i, score := range outs {
+		if math.IsNaN(score) {
+			continue
+		}
+		if e.guided && !math.IsNaN(s.bpreds[i]) {
+			w.preds = append(w.preds, s.bpreds[i])
+			w.exacts = append(w.exacts, score)
+		}
+		seq := s.seqs[i]
+		if w.better(score, seq) {
+			if c := evaluate(e.l, e.a, o, s.probs[i].Mapping.Temporal); c != nil {
+				w.best, w.bestScore, w.bestSeq = c, score, seq
+				if e.prune {
+					e.lowerBest(score)
+				}
+				if e.hooks != nil {
+					e.obsImproved(score, seq)
+				}
+			}
+		}
 	}
 }
 
 // process scores one nest. Valid counts mappings that pass validation (and,
 // where a candidate is materialized, evaluation), never depending on the
 // prune trajectory — so Stats.Valid is identical for any worker count.
-func (w *worker) process(seq int64, nest loops.Nest) {
+func (w *worker) process(j job) {
 	e := w.e
 	o := e.o
+	seq, pred, nest := j.seq, j.pred, j.nest
 	w.m.Temporal = nest
-	if !assignBoundsIn(&w.m, e.l, &w.s.chains, &w.s.store) {
+	switch j.bstate {
+	case boundsFailed:
 		return
+	case boundsReady:
+		w.m.Bound = j.bnd
+	default:
+		if !assignBoundsIn(&w.m, e.l, &w.s.chains, &w.s.store) {
+			return
+		}
 	}
 	if w.m.Validate(e.l, e.a) != nil {
 		return
@@ -556,6 +757,10 @@ func (w *worker) process(seq int64, nest loops.Nest) {
 			return
 		}
 		score = s
+		if e.guided && !math.IsNaN(pred) {
+			w.preds = append(w.preds, pred)
+			w.exacts = append(w.exacts, score)
+		}
 	} else {
 		// The baseline model's CC_total IS the lower bound expression.
 		score = w.s.ev.LowerBound(&w.prob)

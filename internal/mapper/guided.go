@@ -1,0 +1,181 @@
+package mapper
+
+// Surrogate-guided best-first candidate ordering (DESIGN.md §12). The
+// branch-and-bound prune in the workers is only as sharp as the best score
+// found so far, and the canonical walk order has no reason to visit strong
+// candidates early. The guided producer runs the EXACT same canonical walk —
+// symmetry reduction, subtree pruning, cap accounting and every
+// generation-side counter are untouched — but instead of streaming each
+// surviving representative straight to the workers it collects them,
+// predicts each one's latency with the cheap surrogate model
+// (internal/surrogate), sorts best-predicted-first and streams the sorted
+// slab. Each candidate carries its original walk sequence number, so the
+// reducer's (score, seq) tie-break — and therefore the selected mapping —
+// is bit-identical to the canonical order for any worker count. A perfectly
+// wrong surrogate costs speed only: every streamed candidate is still
+// validated and scored by the exact model.
+//
+// Two costs of the collect-sort barrier are paid back structurally: the
+// prediction pass runs in parallel across the search's own worker budget
+// (those lanes are blocked on an empty channel until streaming starts), and
+// the boundary assignment it computes for the feature vector ships with each
+// job, so the workers never repeat it — the guided order assigns bounds once
+// per candidate, exactly like the canonical order.
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/surrogate"
+)
+
+// guidedItem is one collected candidate: a slice into the collection slab
+// plus the walk seq and the surrogate prediction that orders it. The
+// candidate's boundary assignment lives at a fixed offset in the bounds slab
+// (bok false: the greedy assignment failed and the nest can never validate).
+type guidedItem struct {
+	off, n int
+	seq    int64
+	pred   float64
+	boff   int
+	bok    bool
+}
+
+// predictChunk is how many items one grab of the prediction pass's shared
+// cursor claims: large enough to amortize the atomic, small enough to
+// balance uneven per-item costs across lanes.
+const predictChunk = 256
+
+// generateGuided wraps generate with the collect→predict→sort→stream pass.
+// The consume callback receives nests from the collection slab, valid for
+// the duration of the call, exactly like generate's emit contract.
+func (e *engine) generateGuided(st *Stats, consume func(j job)) {
+	model := surrogate.Active()
+	var chains [loops.NumOperands][]*arch.Memory
+	totalBL := 0
+	for _, op := range loops.AllOperands {
+		chains[op] = e.a.ChainMems(op)
+		totalBL += len(chains[op])
+	}
+
+	// Pass 1 — the canonical walk, collecting the surviving representatives.
+	// Nothing here depends on the surrogate; the counters in st are the same
+	// ones the unguided generator would produce.
+	var slab []loops.Loop
+	var items []guidedItem
+	e.generate(st, func(seq int64, nest loops.Nest) {
+		items = append(items, guidedItem{off: len(slab), n: len(nest), seq: seq})
+		slab = append(slab, nest...)
+	})
+	if e.aborted.Load() {
+		return
+	}
+
+	// Pass 2 — boundary assignment + feature vector + prediction per item,
+	// parallel over fixed-offset chunks. Every item's slot in the bounds slab
+	// is i*totalBL, so the lanes write disjoint ranges and no order-dependent
+	// state exists: the predictions are bit-identical for any lane count.
+	// Candidates whose greedy bounds fail can never validate; they keep a
+	// +Inf prediction and sort to the very end of the stream.
+	bslab := make([]int, len(items)*totalBL)
+	predict := func(cursor *atomic.Int64) {
+		var m mapping.Mapping
+		m.Spatial = e.o.Spatial
+		var store [loops.NumOperands][]int
+		var feats surrogate.Vec
+		for {
+			lo := int(cursor.Add(predictChunk)) - predictChunk
+			if lo >= len(items) {
+				return
+			}
+			if e.ctx.Err() != nil {
+				e.aborted.Store(true)
+				return
+			}
+			hi := lo + predictChunk
+			if hi > len(items) {
+				hi = len(items)
+			}
+			for i := lo; i < hi; i++ {
+				it := &items[i]
+				it.pred = math.Inf(1)
+				it.boff = i * totalBL
+				m.Temporal = loops.Nest(slab[it.off : it.off+it.n])
+				if assignBoundsIn(&m, e.l, &chains, &store) {
+					surrogate.Features(&feats, e.l, e.a, &m)
+					it.pred = model.Predict(&feats)
+					it.bok = true
+					off := it.boff
+					for _, op := range loops.AllOperands {
+						off += copy(bslab[off:], store[op])
+					}
+				}
+			}
+		}
+	}
+	var cursor atomic.Int64
+	if lanes := e.nworkers; lanes > 1 {
+		var wg sync.WaitGroup
+		for k := 1; k < lanes; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				predict(&cursor)
+			}()
+		}
+		predict(&cursor)
+		wg.Wait()
+	} else {
+		predict(&cursor)
+	}
+	if e.aborted.Load() {
+		return
+	}
+
+	// Best-predicted-first; prediction ties fall back to the walk order, so
+	// a constant (or disabled) model degenerates to the canonical stream.
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].pred != items[j].pred {
+			return items[i].pred < items[j].pred
+		}
+		return items[i].seq < items[j].seq
+	})
+
+	// The walk appended items in strictly increasing seq, so position i held
+	// the i-th smallest seq: any item whose sorted position no longer
+	// matches that rank was moved by the surrogate.
+	seqs := make([]int64, len(items))
+	for i := range items {
+		seqs[i] = items[i].seq
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for i := range items {
+		if items[i].seq != seqs[i] {
+			st.SurrogateReorders++
+		}
+	}
+
+	for i := range items {
+		if e.ctx.Err() != nil {
+			e.aborted.Store(true)
+			return
+		}
+		it := &items[i]
+		j := job{seq: it.seq, pred: it.pred, nest: loops.Nest(slab[it.off : it.off+it.n]), bstate: boundsFailed}
+		if it.bok {
+			j.bstate = boundsReady
+			off := it.boff
+			for _, op := range loops.AllOperands {
+				n := len(chains[op])
+				j.bnd[op] = bslab[off : off+n : off+n]
+				off += n
+			}
+		}
+		consume(j)
+	}
+}

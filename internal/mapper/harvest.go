@@ -1,0 +1,59 @@
+package mapper
+
+// Harvesting the memo cache into surrogate training data. Every memoized
+// search result is an exact (mapping features → CC_total) observation that
+// cost a full branch-and-bound search to produce; refitting the surrogate on
+// them adapts the guided ordering to whatever architectures and layer shapes
+// THIS process actually searches, for free. The loop is intentionally
+// one-way: Fit only ever changes the ORDER candidates are streamed in
+// (DESIGN.md §12), so installing a refit model mid-run cannot change any
+// result already cached or any result computed later.
+
+import (
+	"repro/internal/memo"
+	"repro/internal/surrogate"
+)
+
+// HarvestSamples walks the process-wide memo cache and returns one surrogate
+// training sample per memoized successful latency search: the winning
+// mapping's feature vector paired with its exact CC_total. Energy-objective
+// results are skipped (the surrogate predicts latency), as are "no valid
+// mapping" outcomes and anneal results cached without statistics.
+func HarvestSamples() []surrogate.Sample {
+	var samples []surrogate.Sample
+	memo.Default.Range(func(val any) bool {
+		res, ok := val.(*searchResult)
+		if !ok || res.cand == nil || res.a == nil || res.cand.Result == nil {
+			return true
+		}
+		if res.cand.Result.CCTotal <= 0 {
+			return true
+		}
+		var s surrogate.Sample
+		surrogate.Features(&s.Features, &res.layer, res.a, res.cand.Mapping)
+		s.CCTotal = res.cand.Result.CCTotal
+		samples = append(samples, s)
+		return true
+	})
+	return samples
+}
+
+// RefitSurrogate harvests the memo cache and, given enough samples to
+// over-determine the fit, installs a freshly fit model as the process-wide
+// surrogate. Returns the fit report and whether a model was installed.
+// Safe to call at any time from any goroutine; a failed or skipped refit
+// leaves the active model untouched.
+func RefitSurrogate(lambda float64) (surrogate.FitInfo, bool) {
+	samples := HarvestSamples()
+	// Below ~2 samples per coefficient the ridge fit is dominated by the
+	// regularizer and orders worse than the embedded prior.
+	if len(samples) < 2*(surrogate.NumFeatures+1) {
+		return surrogate.FitInfo{Samples: len(samples)}, false
+	}
+	m, info, err := surrogate.Fit(samples, lambda)
+	if err != nil {
+		return info, false
+	}
+	surrogate.SetActive(m)
+	return info, true
+}

@@ -89,11 +89,15 @@ func TestHooksDoNotPerturbSearch(t *testing.T) {
 				if got, want := cand.Mapping.Temporal.String(), refCand.Mapping.Temporal.String(); got != want {
 					t.Errorf("workers=%d: mapping %s, want %s", workers, got, want)
 				}
-				// Every exact counter must match; Pruned is documented as
-				// the one trajectory-dependent (scheduling-sensitive)
-				// counter, so it is excluded from the byte-identity check.
+				// Every exact counter must match; Pruned and its guided-
+				// search mirrors (SurrogatePruned, SurrogateRankCorr) are
+				// documented as trajectory-dependent (scheduling-
+				// sensitive), so they are excluded from the byte-identity
+				// check.
 				gotStats, wantStats := *stats, *refStats
 				gotStats.Pruned, wantStats.Pruned = 0, 0
+				gotStats.SurrogatePruned, wantStats.SurrogatePruned = 0, 0
+				gotStats.SurrogateRankCorr, wantStats.SurrogateRankCorr = 0, 0
 				if gotStats != wantStats {
 					t.Errorf("workers=%d: stats %+v, want %+v", workers, gotStats, wantStats)
 				}

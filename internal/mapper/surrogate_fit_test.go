@@ -1,0 +1,138 @@
+package mapper
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/surrogate"
+	"repro/internal/workload"
+)
+
+// surrogateSamples enumerates one bounded mapping space and pairs every
+// candidate's feature vector with its exact latency — the training data the
+// embedded default model is fit from.
+func surrogateSamples(t *testing.T, l workload.Layer, a *arch.Arch, o Options) []surrogate.Sample {
+	t.Helper()
+	all, _, err := Enumerate(context.Background(), &l, a, &o)
+	if err != nil {
+		t.Fatalf("Enumerate(%s on %s): %v", l.Name, a.Name, err)
+	}
+	samples := make([]surrogate.Sample, 0, len(all))
+	for _, c := range all {
+		if c.Result == nil || c.Result.CCTotal <= 0 {
+			continue
+		}
+		var s surrogate.Sample
+		surrogate.Features(&s.Features, &l, a, c.Mapping)
+		s.CCTotal = c.Result.CCTotal
+		samples = append(samples, s)
+	}
+	return samples
+}
+
+// TestFitDefaultModelWeights reproduces the offline fit behind the embedded
+// default model (surrogate/default.go): least squares over the exact scores
+// of the in-house and case-study preset mapping spaces. It asserts the fit
+// is healthy — finite residuals and a training-set rank correlation high
+// enough to be worth guiding with — and, when run with SURROGATE_REFIT=1,
+// prints the fit weights as the Go literal to paste into default.go:
+//
+//	SURROGATE_REFIT=1 go test ./internal/mapper -run TestFitDefaultModelWeights -v
+func TestFitDefaultModelWeights(t *testing.T) {
+	var samples []surrogate.Sample
+	spaces := []struct {
+		l workload.Layer
+		a *arch.Arch
+		o Options
+	}{
+		{workload.NewMatMul("m", 32, 64, 64), arch.CaseStudy(),
+			Options{Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 2000}},
+		{workload.NewMatMul("m", 24, 48, 96), arch.CaseStudy(),
+			Options{Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 2000}},
+		{workload.NewMatMul("m", 16, 64, 64), arch.InHouse(),
+			Options{Spatial: arch.InHouseSpatial(), BWAware: true, MaxCandidates: 2000}},
+		{workload.NewMatMul("m", 64, 128, 128), arch.TPULike(),
+			Options{Spatial: arch.TPULikeSpatial(), BWAware: true, MaxCandidates: 1000}},
+	}
+	for _, sp := range spaces {
+		samples = append(samples, surrogateSamples(t, sp.l, sp.a, sp.o)...)
+	}
+	if len(samples) < 2*(surrogate.NumFeatures+1) {
+		t.Fatalf("only %d samples — too few to over-determine %d coefficients",
+			len(samples), surrogate.NumFeatures+1)
+	}
+
+	m, info, err := surrogate.Fit(samples, 0)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if math.IsNaN(info.RMSE) || math.IsInf(info.RMSE, 0) {
+		t.Fatalf("non-finite RMSE %v", info.RMSE)
+	}
+	// The model only needs to ORDER well; anything above ~0.8 rank
+	// correlation makes the branch-and-bound best tighten almost
+	// immediately.
+	if info.SpearmanTrain < 0.8 {
+		t.Errorf("SpearmanTrain = %.4f over %d samples, want >= 0.8 (RMSE %.4f)",
+			info.SpearmanTrain, info.Samples, info.RMSE)
+	}
+
+	if os.Getenv("SURROGATE_REFIT") == "1" {
+		fmt.Printf("// Fit over %d samples: RMSE %.4f, Spearman %.4f\n",
+			info.Samples, info.RMSE, info.SpearmanTrain)
+		fmt.Printf("var defaultModel = Model{\n\tW: [NumFeatures]float64{\n")
+		for i, w := range m.W {
+			fmt.Printf("\t\t%v, // [%d]\n", w, i)
+		}
+		fmt.Printf("\t},\n\tB: %v,\n}\n", m.B)
+	}
+}
+
+// TestGuidedOrderFrontLoadsWinners is the point of the surrogate: walking
+// the candidates in the default model's predicted order, the best exact
+// score seen after the first tenth of the stream must already be close to
+// the true optimum — that near-tight bound is what lets the workers' prune
+// kill most of the remaining stream before Step 1 runs.
+func TestGuidedOrderFrontLoadsWinners(t *testing.T) {
+	l := workload.NewMatMul("m", 32, 64, 64)
+	a := arch.CaseStudy()
+	o := Options{Spatial: arch.CaseStudySpatial(), BWAware: true}
+	all, _, err := Enumerate(context.Background(), &l, a, &o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 20 {
+		t.Fatalf("space too small to be meaningful: %d candidates", len(all))
+	}
+	// Enumerate returns candidates score-sorted: all[0] is the winner.
+	best := all[0].Result.CCTotal
+
+	model := surrogate.Default()
+	type pc struct {
+		pred, score float64
+	}
+	stream := make([]pc, len(all))
+	for i, c := range all {
+		var f surrogate.Vec
+		surrogate.Features(&f, &l, a, c.Mapping)
+		stream[i] = pc{pred: model.Predict(&f), score: c.Result.CCTotal}
+	}
+	sort.Slice(stream, func(i, j int) bool { return stream[i].pred < stream[j].pred })
+
+	front := len(stream) / 10
+	frontBest := math.Inf(1)
+	for _, s := range stream[:front] {
+		if s.score < frontBest {
+			frontBest = s.score
+		}
+	}
+	if frontBest > 1.05*best {
+		t.Errorf("best-so-far after the first %d of %d guided candidates is %.0f, want within 5%% of the optimum %.0f",
+			front, len(stream), frontBest, best)
+	}
+}

@@ -10,7 +10,6 @@ package periodic
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Window is a finite periodic activity pattern: Count periods of length
@@ -83,9 +82,6 @@ func (w Window) String() string {
 	return fmt.Sprintf("{P=%d X=%d S=%d Z=%d}", w.Period, w.Active, w.Start, w.Count)
 }
 
-// interval is a half-open [lo, hi) cycle range.
-type interval struct{ lo, hi int64 }
-
 // maxUnionIntervals bounds the exact interval expansion; beyond it
 // UnionLength falls back to a conservative (stall-overestimating) bound.
 // See DESIGN.md ("no silent caps"): callers can detect the fallback via
@@ -128,11 +124,11 @@ func Union(ws []Window) (length int64, exact bool) {
 	return unionLength(ws, nil)
 }
 
-// UnionScratch carries the interval buffer of the union computation so that
+// UnionScratch carries the cursor buffer of the union computation so that
 // repeated UnionWith calls (one per physical port per model evaluation)
 // reuse it instead of allocating.
 type UnionScratch struct {
-	ivs []interval
+	runs []mergeRun
 }
 
 // UnionWith is Union with caller-provided scratch (nil behaves like Union).
@@ -197,27 +193,16 @@ func unionLength(ws []Window, sc *UnionScratch) (int64, bool) {
 		return best, false
 	}
 
-	ivs := sc.ivs[:0]
+	runs := sc.runs[:0]
 	for _, w := range live {
-		wspan := w.Span()
 		limit := h
-		if wspan < limit {
+		if wspan := w.Span(); wspan < limit {
 			limit = wspan
 		}
-		for base := int64(0); base < limit; base += w.Period {
-			lo := base + w.Start
-			hi := lo + w.Active
-			if lo >= limit {
-				break
-			}
-			if hi > limit {
-				hi = limit
-			}
-			ivs = append(ivs, interval{lo, hi})
-		}
+		runs = append(runs, mergeRun{period: w.Period, start: w.Start, active: w.Active, limit: limit})
 	}
-	sc.ivs = ivs
-	perH := mergeLength(ivs)
+	sc.runs = runs
+	perH := mergedLength(runs)
 
 	if h >= span {
 		return perH, true
@@ -241,14 +226,12 @@ func unionLength(ws []Window, sc *UnionScratch) (int64, bool) {
 		fullCount += w.Count + 1
 	}
 	if fullCount <= maxUnionIntervals {
-		ivs = ivs[:0]
+		runs = runs[:0]
 		for _, w := range live {
-			for base := int64(0); base < w.Span(); base += w.Period {
-				ivs = append(ivs, interval{base + w.Start, base + w.Start + w.Active})
-			}
+			runs = append(runs, mergeRun{period: w.Period, start: w.Start, active: w.Active, limit: w.Span()})
 		}
-		sc.ivs = ivs
-		return mergeLength(ivs), true
+		sc.runs = runs
+		return mergedLength(runs), true
 	}
 	best := int64(0)
 	for _, w := range live {
@@ -259,35 +242,62 @@ func unionLength(ws []Window, sc *UnionScratch) (int64, bool) {
 	return best, false
 }
 
-// mergeLength sorts and merges intervals and returns their total length.
-func mergeLength(ivs []interval) int64 {
-	if len(ivs) == 0 {
-		return 0
-	}
-	if len(ivs) <= 48 {
-		// Insertion sort: the common case has a handful of intervals, and
-		// sort.Slice's closure and interface boxing allocate on every call.
-		for i := 1; i < len(ivs); i++ {
-			for j := i; j > 0 && ivs[j].lo < ivs[j-1].lo; j-- {
-				ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+// mergeRun is one window's cursor in the k-way interval merge: it yields the
+// window's active intervals [base+start, base+start+active) for base = 0,
+// period, 2·period, … clipped to limit, in increasing order. Because every
+// window emits its intervals already sorted, the union needs no global sort —
+// a k-way merge over the cursors visits the same intervals in the same
+// left-to-right order the old sort-then-sweep produced, and the measure of a
+// union is a set property, so the result is identical.
+type mergeRun struct {
+	period, start, active int64
+	base                  int64 // next interval base offset
+	limit                 int64 // clip bound (exclusive)
+}
+
+// mergedLength sweeps the k cursors left to right and returns the total
+// length of the union of their intervals. k is the number of windows sharing
+// a physical port — a handful — so the linear min-scan per step beats any
+// heap bookkeeping.
+func mergedLength(runs []mergeRun) int64 {
+	var total int64
+	curLo, curHi := int64(0), int64(-1) // curHi < curLo ⇔ no open interval
+	for {
+		best := -1
+		var bestLo int64
+		for i := range runs {
+			r := &runs[i]
+			lo := r.base + r.start
+			if lo >= r.limit || r.active == 0 {
+				continue
+			}
+			if best < 0 || lo < bestLo {
+				best, bestLo = i, lo
 			}
 		}
-	} else {
-		sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
-	}
-	total := int64(0)
-	curLo, curHi := ivs[0].lo, ivs[0].hi
-	for _, iv := range ivs[1:] {
-		if iv.lo > curHi {
+		if best < 0 {
+			break
+		}
+		r := &runs[best]
+		lo := r.base + r.start
+		hi := lo + r.active
+		if hi > r.limit {
+			hi = r.limit
+		}
+		r.base += r.period
+		switch {
+		case curHi < curLo:
+			curLo, curHi = lo, hi
+		case lo > curHi:
 			total += curHi - curLo
-			curLo, curHi = iv.lo, iv.hi
-			continue
-		}
-		if iv.hi > curHi {
-			curHi = iv.hi
+			curLo, curHi = lo, hi
+		case hi > curHi:
+			curHi = hi
 		}
 	}
-	total += curHi - curLo
+	if curHi >= curLo {
+		total += curHi - curLo
+	}
 	return total
 }
 

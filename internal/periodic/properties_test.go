@@ -114,3 +114,54 @@ func TestActiveAtConsistent(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestUnionManyWindowsVsReference cross-checks the k-way merge union against
+// an independent sort-then-sweep reference for window sets larger than the
+// fuzzer's pairs (the merge's cursor interplay only shows up at k > 2).
+func TestUnionManyWindowsVsReference(t *testing.T) {
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n int64) int64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		v := int64(rng % uint64(n))
+		return v
+	}
+	for trial := 0; trial < 2000; trial++ {
+		k := 2 + int(next(6))
+		ws := make([]Window, 0, k)
+		for i := 0; i < k; i++ {
+			p := 1 + next(24)
+			a := next(p + 1)
+			s := int64(0)
+			if a < p {
+				s = next(p - a + 1)
+			}
+			z := next(9)
+			ws = append(ws, Window{Period: p, Active: a, Start: s, Count: z})
+		}
+		got, exact := Union(ws)
+		if !exact {
+			continue
+		}
+		// Reference: mark a bitmap over the max span.
+		span := int64(0)
+		for _, w := range ws {
+			if w.Span() > span {
+				span = w.Span()
+			}
+		}
+		var want int64
+		for tm := int64(0); tm < span; tm++ {
+			for _, w := range ws {
+				if w.ActiveAt(tm) {
+					want++
+					break
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: union %d != brute %d for %v", trial, got, want, ws)
+		}
+	}
+}

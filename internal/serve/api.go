@@ -232,6 +232,9 @@ type SearchRequest struct {
 	BWUnaware  bool   `json:"bw_unaware,omitempty"`
 	Pow2Splits bool   `json:"pow2_splits,omitempty"`
 	NoSym      bool   `json:"nosym,omitempty"`
+	// NoSurrogate disables the surrogate-guided candidate ordering
+	// (results identical either way).
+	NoSurrogate bool `json:"nosurrogate,omitempty"`
 	// Anneal switches from the exhaustive engine to simulated annealing.
 	Anneal     bool  `json:"anneal,omitempty"`
 	Iterations int   `json:"iterations,omitempty"`
@@ -309,14 +312,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var stats *mapper.Stats
 	if req.Anneal {
 		cand, err = mapper.AnnealCached(ctx, &l, hw, &mapper.AnnealOptions{
-			Spatial:    sp,
-			Iterations: req.Iterations,
-			Restarts:   req.Restarts,
-			Seed:       req.Seed,
-			Objective:  obj,
-			BWAware:    !req.BWUnaware,
-			NoReduce:   req.NoSym,
-			Hooks:      hooks,
+			Spatial:     sp,
+			Iterations:  req.Iterations,
+			Restarts:    req.Restarts,
+			Seed:        req.Seed,
+			Objective:   obj,
+			BWAware:     !req.BWUnaware,
+			NoReduce:    req.NoSym,
+			NoSurrogate: req.NoSurrogate,
+			Hooks:       hooks,
 		})
 	} else {
 		cand, stats, err = mapper.BestCached(ctx, &l, hw, &mapper.Options{
@@ -326,6 +330,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Objective:     obj,
 			BWAware:       !req.BWUnaware,
 			NoReduce:      req.NoSym,
+			NoSurrogate:   req.NoSurrogate,
 			Hooks:         hooks,
 		})
 	}
@@ -336,8 +341,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	tracker.finish(cand.Score(obj), fromStats(stats), nil)
 	if stats != nil {
-		s.met.noteStats(stats.NestsGenerated, stats.ClassesMerged, stats.SubtreesPruned,
-			stats.Valid, stats.Skipped, stats.Pruned)
+		s.met.noteStats(stats)
 	} else {
 		s.met.search.searches.Add(1)
 	}
@@ -352,12 +356,13 @@ type NetworkRequest struct {
 	// Net names a bundled workload: handtracking|resnet18|vgg16|mobilenetv2.
 	Net string `json:"net"`
 	// Budget is the per-layer search budget (default 6000).
-	Budget     int    `json:"budget,omitempty"`
-	Objective  string `json:"objective,omitempty"`
-	NoPrefetch bool   `json:"no_prefetch,omitempty"`
-	NoSym      bool   `json:"nosym,omitempty"`
-	PlanGB     bool   `json:"plan_gb,omitempty"`
-	TimeoutMS  int    `json:"timeout_ms,omitempty"`
+	Budget      int    `json:"budget,omitempty"`
+	Objective   string `json:"objective,omitempty"`
+	NoPrefetch  bool   `json:"no_prefetch,omitempty"`
+	NoSym       bool   `json:"nosym,omitempty"`
+	NoSurrogate bool   `json:"nosurrogate,omitempty"`
+	PlanGB      bool   `json:"plan_gb,omitempty"`
+	TimeoutMS   int    `json:"timeout_ms,omitempty"`
 }
 
 // NetworkLayerJSON is one layer's line in a NetworkResponse.
@@ -428,6 +433,7 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 		Objective:     obj,
 		NoPrefetch:    req.NoPrefetch,
 		NoReduce:      req.NoSym,
+		NoSurrogate:   req.NoSurrogate,
 		PlanGB:        req.PlanGB,
 	})
 	if err != nil {

@@ -1,0 +1,334 @@
+// Package surrogate is a cheap learned latency predictor used to ORDER the
+// mapper's candidate stream, never to score it. The exact model of package
+// core costs tens of microseconds per mapping (Step 2's periodic window
+// unions dominate); the surrogate predicts a monotone proxy of the same
+// latency from a fixed vector of loop-signature statistics — per-operand
+// per-level dim products, Table-I top reuse runs and bandwidth-pressure
+// ratios against the architecture's port widths — in well under a
+// microsecond. The mapper walks its enumeration in the canonical order,
+// collects the surviving class representatives, sorts them by the surrogate
+// prediction and only then streams them to the exact-scoring workers: the
+// branch-and-bound best drops to near-optimal within the first few exact
+// evaluations, so the admissible lower bound prunes far more of the stream.
+// Because every surviving candidate is still scored by the exact model and
+// the original walk sequence number rides along as the tie-break, the
+// selected mapping is bit-identical with the surrogate on or off (DESIGN.md
+// §12) — a wrong prediction can only cost speed, never correctness.
+//
+// The predictor is linear in its features, fit by ridge-regularized least
+// squares (Fit) on (features, log exact latency) pairs — harvested from
+// memoized search results (mapper.HarvestSamples) or any other source — and
+// ships with an embedded default model fit offline from the in-house case
+// -study preset (default.go).
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+// maxLevels caps the per-operand interface levels the feature vector
+// resolves; deeper chains fold their remainder into the last slot's terms
+// staying zero (the fit then simply cannot distinguish them — acceptable for
+// an ordering heuristic).
+const maxLevels = 3
+
+// NumFeatures is the fixed feature-vector width.
+//
+// Layout (all in log1p domain for scale stability):
+//
+//	[0]                 CC_spatial — the temporal loop product
+//	[1]                 preload proxy — Σ W/I level tiles over min port width
+//	[2]                 offload proxy — Σ O level tiles over min port width
+//	[3 + op*2*L + l*2]  Mem_DATA of operand op at level l
+//	[4 + op*2*L + l*2]  stall proxy of (op, l): max(0, X_REAL−X_REQ)·Z, the
+//	                    link's raw excess bandwidth demand under Table I
+const NumFeatures = 3 + int(loops.NumOperands)*2*maxLevels
+
+// Vec is one feature vector.
+type Vec [NumFeatures]float64
+
+// Features fills dst with the feature vector of one mapped problem. The
+// mapping must have its per-operand level boundaries assigned (the mapper's
+// canonicalizer guarantees that for every candidate it emits). The
+// computation reads the same statistics the class signature is built from —
+// per-operand per-level dim products and top reuse runs — plus the
+// architecture's port widths, and allocates nothing.
+func Features(dst *Vec, l *workload.Layer, a *arch.Arch, m *mapping.Mapping) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	dst[0] = math.Log1p(float64(m.CCSpatial()))
+
+	var pre, post float64
+	for _, op := range loops.AllOperands {
+		chain := a.ChainMems(op)
+		bits := int64(l.Precision.Bits(op))
+		levels := len(chain) - 1
+		for lev := 0; lev < levels; lev++ {
+			memData := m.MemData(op, lev, l.Strides)
+			memCC := m.MemCC(op, lev)
+			z := m.Periods(op, lev)
+			topRun := int64(1)
+			if !chain[lev].DoubleBuffered {
+				topRun = m.TopReuseRun(op, lev)
+			}
+			if topRun <= 0 || memCC%topRun != 0 {
+				// Inconsistent Table-I scaling: the exact model rejects this
+				// nest; predict from the remaining terms.
+				continue
+			}
+			xReq := memCC / topRun
+
+			// The slower of the two port endpoints bounds the transfer.
+			bw := portBW(chain[lev+1], op, false)
+			if w := portBW(chain[lev], op, true); w > 0 && (bw <= 0 || w < bw) {
+				bw = w
+			}
+			var xReal, hop float64
+			if bw > 0 {
+				hop = float64(memData*bits) / float64(bw)
+				xReal = hop
+			}
+			if op == loops.O {
+				post += hop
+			} else {
+				pre += hop
+			}
+
+			if lev < maxLevels {
+				base := 3 + (int(op)*maxLevels+lev)*2
+				dst[base] = math.Log1p(float64(memData))
+				if excess := (xReal - float64(xReq)) * float64(z); excess > 0 {
+					dst[base+1] = math.Log1p(excess)
+				}
+			}
+		}
+	}
+	dst[1] = math.Log1p(pre)
+	dst[2] = math.Log1p(post)
+}
+
+// portBW returns the bandwidth of mem's port serving (op, write), or 0 when
+// the memory has no such port.
+func portBW(mem *arch.Memory, op loops.Operand, write bool) int64 {
+	p, _, err := mem.Port(arch.Access{Operand: op, Write: write})
+	if err != nil {
+		return 0
+	}
+	return p.BWBits
+}
+
+// Model is the linear predictor: Predict = W·features + B. The prediction
+// approximates log(CC_total) and is meaningful only as an ORDERING key —
+// never as a latency estimate.
+type Model struct {
+	W [NumFeatures]float64
+	B float64
+}
+
+// Predict returns the model's latency proxy for a feature vector. Lower
+// predictions are walked first by the guided mapper.
+func (m *Model) Predict(f *Vec) float64 {
+	s := m.B
+	for i, w := range m.W {
+		s += w * f[i]
+	}
+	return s
+}
+
+// active is the process-wide model consulted by guided searches; nil selects
+// the embedded default.
+var active atomic.Pointer[Model]
+
+// Active returns the model guided searches use: the last SetActive argument,
+// or the embedded default.
+func Active() *Model {
+	if m := active.Load(); m != nil {
+		return m
+	}
+	return Default()
+}
+
+// SetActive installs m as the process-wide model (nil restores the embedded
+// default). Because the surrogate only orders work, swapping models NEVER
+// changes any search result — only how fast the exact search converges.
+func SetActive(m *Model) { active.Store(m) }
+
+// Sample is one training observation: the feature vector of a mapping and
+// its exact model score (CC_total).
+type Sample struct {
+	Features Vec
+	CCTotal  float64
+}
+
+// FitInfo reports the quality of a fit.
+type FitInfo struct {
+	Samples int
+	// RMSE is the root-mean-square residual in the log domain.
+	RMSE float64
+	// SpearmanTrain is the rank correlation between predictions and targets
+	// over the training set — the number that matters for an ordering model.
+	SpearmanTrain float64
+}
+
+// Fit learns a model from samples by ridge-regularized least squares on
+// log(CC_total). The ridge term (lambda <= 0 selects a small default) keeps
+// the normal equations positive definite for ANY sample set — degenerate
+// single-mapping spaces and collinear features included — so the returned
+// weights and residuals are always finite.
+func Fit(samples []Sample, lambda float64) (*Model, FitInfo, error) {
+	if len(samples) == 0 {
+		return nil, FitInfo{}, fmt.Errorf("surrogate: no samples to fit")
+	}
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	const n = NumFeatures + 1 // + bias column
+
+	// Normal equations A·w = b with A = XᵀX + λI (bias unregularized is not
+	// worth the asymmetry here; λ is tiny).
+	var A [n][n]float64
+	var b [n]float64
+	for i := range samples {
+		s := &samples[i]
+		y := math.Log(s.CCTotal)
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return nil, FitInfo{}, fmt.Errorf("surrogate: non-finite target %v", s.CCTotal)
+		}
+		var x [n]float64
+		copy(x[:NumFeatures], s.Features[:])
+		x[NumFeatures] = 1
+		for r := 0; r < n; r++ {
+			if x[r] == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				A[r][c] += x[r] * x[c]
+			}
+			b[r] += x[r] * y
+		}
+	}
+	for d := 0; d < n; d++ {
+		A[d][d] += lambda
+	}
+
+	// Gaussian elimination with partial pivoting. A is symmetric positive
+	// definite (λ > 0), so the pivots never vanish.
+	var w [n]float64
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		A[col], A[piv] = A[piv], A[col]
+		b[col], b[piv] = b[piv], b[col]
+		if A[col][col] == 0 {
+			return nil, FitInfo{}, fmt.Errorf("surrogate: singular normal equations despite ridge")
+		}
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] / A[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		s := b[col]
+		for c := col + 1; c < n; c++ {
+			s -= A[col][c] * w[c]
+		}
+		w[col] = s / A[col][col]
+	}
+
+	m := &Model{B: w[NumFeatures]}
+	copy(m.W[:], w[:NumFeatures])
+
+	info := FitInfo{Samples: len(samples)}
+	var sse float64
+	preds := make([]float64, len(samples))
+	targets := make([]float64, len(samples))
+	for i := range samples {
+		p := m.Predict(&samples[i].Features)
+		preds[i] = p
+		targets[i] = math.Log(samples[i].CCTotal)
+		d := p - targets[i]
+		sse += d * d
+	}
+	info.RMSE = math.Sqrt(sse / float64(len(samples)))
+	info.SpearmanTrain = Spearman(preds, targets)
+	if math.IsNaN(info.RMSE) || math.IsInf(info.RMSE, 0) {
+		return nil, info, fmt.Errorf("surrogate: non-finite fit residuals")
+	}
+	return m, info, nil
+}
+
+// Spearman returns the Spearman rank correlation of two equal-length value
+// slices (1 = identical order, -1 = reversed). Ties receive fractional
+// (midrank) ranks; degenerate inputs (fewer than two points, or a constant
+// slice) return 0.
+func Spearman(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ra := midranks(a)
+	rb := midranks(b)
+	// Pearson correlation of the rank vectors.
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= n
+	mb /= n
+	var sab, saa, sbb float64
+	for i := range ra {
+		da, db := ra[i]-ma, rb[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// midranks assigns average ranks to v, resolving ties to their midrank.
+func midranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	// The reducer feeds every fully scored candidate of a guided search in
+	// here — thousands of points on the larger preset spaces — so the sort
+	// must be O(n log n), not a small-input insertion sort.
+	sort.Slice(idx, func(i, j int) bool { return v[idx[i]] < v[idx[j]] })
+	ranks := make([]float64, len(v))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	return ranks
+}
