@@ -15,9 +15,14 @@
 //
 // With -compare FILE a per-benchmark delta report — ns/op and allocs/op
 // against the newest history entry whose SHA differs from the parsed run's —
-// is printed to stderr. The report is informational and never fails the
-// invocation, so CI's bench-smoke can surface regressions on the PR without
-// gating on the noisy timings of shared runners.
+// is printed to stderr. By default the report is informational and never
+// fails the invocation, so CI's bench-smoke can surface regressions on the
+// PR without gating on the noisy timings of shared runners. With
+// -threshold PCT (> 0) the comparison becomes a gate: any benchmark whose
+// ns/op regressed by more than PCT percent fails the invocation with exit
+// status 1 after the full report has printed. Pick thresholds far above
+// runner noise (hundreds of percent) — the gate is for catastrophic
+// regressions, not jitter.
 package main
 
 import (
@@ -65,10 +70,11 @@ type History struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "", "history file to update in place (empty: print the run to stdout)")
-		sha     = flag.String("sha", "", "commit id for the run key (default: git rev-parse --short HEAD)")
-		date    = flag.String("date", "", "date for the run key, YYYY-MM-DD (default: today, UTC)")
-		compare = flag.String("compare", "", "history file to diff against (newest run with a different SHA); report to stderr, never fatal")
+		out       = flag.String("out", "", "history file to update in place (empty: print the run to stdout)")
+		sha       = flag.String("sha", "", "commit id for the run key (default: git rev-parse --short HEAD)")
+		date      = flag.String("date", "", "date for the run key, YYYY-MM-DD (default: today, UTC)")
+		compare   = flag.String("compare", "", "history file to diff against (newest run with a different SHA); report to stderr")
+		threshold = flag.Float64("threshold", 0, "with -compare: exit 1 when any benchmark's ns/op regressed by more than this percentage (0: informational only)")
 	)
 	flag.Parse()
 
@@ -85,13 +91,25 @@ func main() {
 		run.Date = time.Now().UTC().Format("2006-01-02")
 	}
 
+	var regressions []string
 	if *compare != "" {
 		if hist, err := loadHistory(*compare); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: compare:", err)
 		} else if base := hist.baseline(run.SHA); base == nil {
 			fmt.Fprintln(os.Stderr, "benchjson: compare: no prior run with a different SHA")
 		} else {
-			printDeltas(os.Stderr, base, &run)
+			regressions = printDeltas(os.Stderr, base, &run, *threshold)
+		}
+	}
+	// The threshold gate fires after the history update below, so a gated CI
+	// run still records its numbers; with no -out it fires immediately.
+	gate := func() {
+		if *threshold > 0 && len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: %d benchmark(s) regressed more than %.0f%% in ns/op:\n", len(regressions), *threshold)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
 		}
 	}
 
@@ -99,6 +117,7 @@ func main() {
 		if err := writeJSON(os.Stdout, History{Runs: []Run{run}}); err != nil {
 			fail(err)
 		}
+		gate()
 		return
 	}
 
@@ -124,6 +143,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %s now holds %d run(s); latest %s %s (%d benchmarks)\n",
 		*out, len(hist.Runs), run.SHA, run.Date, len(run.Results))
+	gate()
 }
 
 func fail(err error) {
@@ -209,8 +229,10 @@ func (h *History) baseline(sha string) *Run {
 
 // printDeltas writes the per-benchmark ns/op and allocs/op changes of run
 // against base, matching benchmarks by name; benchmarks present on only one
-// side are tallied instead of diffed. Purely informational.
-func printDeltas(w io.Writer, base *Run, run *Run) {
+// side are tallied instead of diffed. It returns a description of every
+// benchmark whose ns/op regressed by more than threshold percent (threshold
+// <= 0 reports none, keeping the output purely informational).
+func printDeltas(w io.Writer, base *Run, run *Run, threshold float64) []string {
 	ref := make(map[string]*Result, len(base.Results))
 	for i := range base.Results {
 		ref[base.Results[i].Name] = &base.Results[i]
@@ -227,6 +249,7 @@ func printDeltas(w io.Writer, base *Run, run *Run) {
 		return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
 	}
 	var added, seen int
+	var regressions []string
 	for _, r := range run.Results {
 		b, ok := ref[r.Name]
 		if !ok {
@@ -238,10 +261,15 @@ func printDeltas(w io.Writer, base *Run, run *Run) {
 		fmt.Fprintf(w, "  %-40s %12.0f -> %-12.0f ns/op (%s)   %6d -> %-6d allocs/op (%s)\n",
 			r.Name, b.NsPerOp, r.NsPerOp, pct(b.NsPerOp, r.NsPerOp),
 			b.AllocsPerOp, r.AllocsPerOp, pct(float64(b.AllocsPerOp), float64(r.AllocsPerOp)))
+		if threshold > 0 && b.NsPerOp > 0 && 100*(r.NsPerOp-b.NsPerOp)/b.NsPerOp > threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%s)", r.Name, b.NsPerOp, r.NsPerOp, pct(b.NsPerOp, r.NsPerOp)))
+		}
 	}
 	if added > 0 || len(ref) > 0 {
 		fmt.Fprintf(w, "  (%d compared, %d new, %d no longer present)\n", seen, added, len(ref))
 	}
+	return regressions
 }
 
 // parseRun parses `go test -bench` output into one Run.

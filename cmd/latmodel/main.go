@@ -7,6 +7,12 @@
 //	latmodel [-arch inhouse|casestudy] [-b N -k N -c N] [-conv "B,K,C,OY,OX,FY,FX"]
 //	         [-config problem.json] [-dump preset.json] [-budget N] [-unaware] [-sim] [-csv]
 //	         [-explain] [-explainjson out.json] [-tracejson out.json] [-progress]
+//	         [-shards K] [-nodes url1,url2,...]
+//
+// -shards fans the exhaustive search out over K deterministic subtree
+// shards — in-process goroutines, or the servemodel nodes listed in
+// -nodes — and prints a result bit-identical to the unsharded search
+// (DESIGN.md §13).
 //
 // With -config, the layer, architecture and (optionally) a fixed mapping
 // are read from a JSON problem file (see internal/config); -dump writes the
@@ -28,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/energy"
+	"repro/internal/fabric"
 	"repro/internal/loops"
 	"repro/internal/mapper"
 	"repro/internal/mapping"
@@ -65,6 +72,8 @@ func main() {
 		explJSON = flag.String("explainjson", "", "write the full explainer report as JSON to this file")
 		traceOut = flag.String("tracejson", "", "write a Chrome/Perfetto trace-event file of the port timelines to this file")
 		progress = flag.Bool("progress", false, "stream live search telemetry to stderr")
+		shards   = flag.Int("shards", 1, "fan the exhaustive search out over K deterministic subtree shards (results bit-identical to -shards 1)")
+		nodes    = flag.String("nodes", "", "comma-separated servemodel base URLs to execute shards on (default: in-process goroutines)")
 	)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
@@ -104,6 +113,12 @@ func main() {
 		return
 	}
 
+	// archWire / archCfgWire tell remote shard executors which architecture
+	// to load: the preset name when one is selected, the inline config form
+	// when -config replaced it.
+	archWire := *archName
+	var archCfgWire *config.Arch
+
 	var fixed *mapping.Mapping
 	var layer workload.Layer
 	if *cfgPath != "" {
@@ -123,6 +138,7 @@ func main() {
 		if err != nil {
 			fatal("config arch: %v", err)
 		}
+		archWire, archCfgWire = "", &prob.Arch
 		if prob.Mapping != nil {
 			fixed, err = prob.Mapping.ToMapping()
 			if err != nil {
@@ -181,9 +197,19 @@ func main() {
 	} else {
 		var stats *mapper.Stats
 		var err error
-		best, stats, err = mapper.BestCached(context.Background(), &layer, hw, &mapper.Options{
+		opt := &mapper.Options{
 			Spatial: sp, BWAware: !*unaware, MaxCandidates: *budget, NoReduce: *nosym, NoSurrogate: *nosur, Hooks: hooks,
-		})
+		}
+		var run mapper.SearchFunc
+		if *shards > 1 || *nodes != "" {
+			run = fabric.Runner(&fabric.Options{
+				Shards:     *shards,
+				Nodes:      splitList(*nodes),
+				ArchName:   archWire,
+				ArchConfig: archCfgWire,
+			})
+		}
+		best, stats, err = mapper.BestCachedVia(context.Background(), &layer, hw, opt, run)
 		if err != nil {
 			fatal("mapping search: %v", err)
 		}
@@ -340,6 +366,17 @@ func guessSpatial(hw *arch.Arch) loops.Nest {
 		}
 	}
 	return loops.Nest{{Dim: loops.K, Size: k}, {Dim: loops.B, Size: b}, {Dim: loops.C, Size: 2}}
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func parseDims(s string) ([]int64, error) {

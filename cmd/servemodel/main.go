@@ -10,14 +10,23 @@
 //	           [-maxqueue N] [-timeout 30s] [-maxtimeout 5m]
 //	           [-draintimeout 10s] [-debugaddr localhost:6060]
 //	           [-loglevel debug|info|warn|error]
+//	           [-peers http://n1:8080,http://n2:8080] [-remotememo URL]
+//	           [-tenantweights fast=3,batch=1]
 //
-// Endpoints: POST /v1/eval, /v1/search, /v1/explain, /v1/network; GET
-// /healthz, /metrics (Prometheus text format) and
+// Endpoints: POST /v1/eval, /v1/search, /v1/explain, /v1/network, /v1/shard
+// (execute one shard of a fanned-out search), /v1/memo/{get,put} (fleet-
+// shared memo tier); GET /healthz, /metrics (Prometheus text format) and
 // /v1/search/{id}/progress (live search telemetry). SIGINT/SIGTERM trigger a graceful
 // shutdown that drains in-flight searches for -draintimeout before
 // force-canceling them. -debugaddr exposes net/http/pprof on a separate,
 // opt-in listener; the file-based -cpuprofile/-memprofile flags from
 // package prof work too.
+//
+// Fleet flags: -peers lists OTHER servemodel nodes eligible to execute
+// shards of this node's sharded searches (never list the node itself);
+// -remotememo points the local memo tiers at a peer's /v1/memo endpoints so
+// the fleet shares warm search results; -tenantweights sets per-tenant
+// weighted-fair admission shares keyed by the X-Tenant request header.
 package main
 
 import (
@@ -29,25 +38,31 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/mapper"
+	"repro/internal/memo"
 	"repro/internal/prof"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address for the API")
-		debugAddr = flag.String("debugaddr", "", "optional listen address for net/http/pprof (e.g. localhost:6060)")
-		cacheDir  = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
-		maxConc   = flag.Int("maxconcurrent", 0, "max concurrently running searches (default: the worker budget)")
-		maxQueue  = flag.Int("maxqueue", 0, "max requests queued for a search slot before shedding 429 (default: 4x maxconcurrent)")
-		timeout   = flag.Duration("timeout", 30*time.Second, "default per-request deadline when the request carries no timeout_ms")
-		maxTo     = flag.Duration("maxtimeout", 5*time.Minute, "cap on client-requested timeouts")
-		drainTo   = flag.Duration("draintimeout", 10*time.Second, "graceful-shutdown drain window for in-flight searches")
-		logLevel  = flag.String("loglevel", "info", "log level: debug, info, warn or error")
+		addr       = flag.String("addr", ":8080", "listen address for the API")
+		debugAddr  = flag.String("debugaddr", "", "optional listen address for net/http/pprof (e.g. localhost:6060)")
+		cacheDir   = flag.String("cachedir", "", `on-disk search cache: directory path, or "auto" for the user cache dir (empty = memory only)`)
+		maxConc    = flag.Int("maxconcurrent", 0, "max concurrently running searches (default: the worker budget)")
+		maxQueue   = flag.Int("maxqueue", 0, "max requests queued for a search slot before shedding 429 (default: 4x maxconcurrent)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request deadline when the request carries no timeout_ms")
+		maxTo      = flag.Duration("maxtimeout", 5*time.Minute, "cap on client-requested timeouts")
+		drainTo    = flag.Duration("draintimeout", 10*time.Second, "graceful-shutdown drain window for in-flight searches")
+		logLevel   = flag.String("loglevel", "info", "log level: debug, info, warn or error")
+		peers      = flag.String("peers", "", "comma-separated base URLs of OTHER servemodel nodes that may execute search shards (do not list this node)")
+		remoteMemo = flag.String("remotememo", "", "base URL of a peer whose /v1/memo endpoints back a shared memo tier")
+		tenantWts  = flag.String("tenantweights", "", `per-tenant admission weights, e.g. "fast=3,batch=1" (unlisted tenants weigh 1)`)
 	)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
@@ -62,12 +77,36 @@ func main() {
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	bi := prof.Build()
 	log.Info("build", "go", bi.GoVersion, "revision", bi.Revision, "modified", bi.Modified)
+	// Compose the memo tiers this node's own searches use: the local tier
+	// (disk when -cachedir is set, bounded memory otherwise) first, then the
+	// optional remote fleet tier. The LOCAL tier is also what /v1/memo
+	// serves to peers — never the remote one, which would bounce fleet
+	// traffic through this node.
+	var localTier memo.Store
 	if *cacheDir != "" {
-		dir, err := mapper.EnableDiskCache(*cacheDir)
+		d, dir, err := mapper.OpenDiskStore(*cacheDir)
 		if err != nil {
 			fatal("cachedir: %v", err)
 		}
+		localTier = d
 		log.Info("disk cache enabled", "dir", dir)
+	} else {
+		localTier = memo.NewMem(0)
+	}
+	tiers := []memo.Store{localTier}
+	if *remoteMemo != "" {
+		tiers = append(tiers, memo.NewRemote(*remoteMemo, mapper.DiskVersion(), nil))
+		log.Info("remote memo tier enabled", "base", *remoteMemo, "version", mapper.DiskVersion())
+	}
+	mapper.SetBlobStore(memo.Tiered(tiers...))
+
+	weights, err := parseTenantWeights(*tenantWts)
+	if err != nil {
+		fatal("tenantweights: %v", err)
+	}
+	peerList := splitList(*peers)
+	if len(peerList) > 0 {
+		log.Info("shard peers configured", "peers", peerList)
 	}
 
 	s := serve.New(serve.Config{
@@ -76,6 +115,10 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTo,
 		Logger:         log,
+		TenantWeights:  weights,
+		Peers:          peerList,
+		MemoStore:      localTier,
+		MemoVersion:    mapper.DiskVersion(),
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -113,6 +156,37 @@ func main() {
 			log.Warn("shutdown incomplete", "err", err)
 		}
 	}
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseTenantWeights parses "name=weight,name=weight".
+func parseTenantWeights(s string) (map[string]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, p := range splitList(s) {
+		name, val, ok := strings.Cut(p, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad entry %q (want tenant=weight)", p)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad weight %q for tenant %q (want a positive number)", val, name)
+		}
+		out[strings.TrimSpace(name)] = w
+	}
+	return out, nil
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,259 @@
+// Package fabric fans one mapper.Best search out over K deterministic
+// subtree shards — local goroutines, remote servemodel nodes, or remote
+// with local failover — and merges the shard outcomes back into a result
+// that is bit-identical to the single-engine search (DESIGN.md §13).
+//
+// The determinism contract is mapper's, end to end: PlanShards partitions
+// the canonical walk into contiguous prefix ranges with exact walk-state
+// handoff, every shard re-derives the same geometry from (layer, arch,
+// options), and MergeShards re-reduces under the engine's own (score, seq)
+// order. WHERE a shard executes — this process, any node, after any number
+// of retries — cannot change a single emitted seq, so Best, the exact Stats
+// counters and the CLI rendering are byte-identical for any K, any node
+// list and any worker count. Only the trajectory-dependent diagnostics
+// (Pruned, Surrogate*) vary, exactly as they already do across worker
+// counts.
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// Options configures the fan-out. The zero value is a local single-shard
+// search (identical to mapper.Best).
+type Options struct {
+	// Shards is K, the number of subtree shards (<= 0 and 1 both mean one).
+	Shards int
+	// Nodes lists servemodel base URLs ("http://host:port") eligible to
+	// execute shards. Empty runs every shard in-process. Shard i starts at
+	// node i%len(Nodes) and retries the others in order; when all nodes fail
+	// the shard falls back to local execution (NoLocalFallback disables
+	// that). Do not list THIS server in its own node list — a node executing
+	// its own fan-out can deadlock its admission queue against itself.
+	Nodes []string
+	// ArchName / ArchConfig tell remote nodes which architecture to load:
+	// ArchName names a servemodel preset, ArchConfig inlines the config JSON
+	// form. With both empty the client inlines config.FromArch(arch) —
+	// exact for byte-granular capacities and default port assignments (all
+	// presets), best-effort otherwise. Ignored for local execution.
+	ArchName   string
+	ArchConfig *config.Arch
+	// Tenant is forwarded as the X-Tenant header for the peers' weighted-
+	// fair admission.
+	Tenant string
+	// TimeoutMS is the per-shard-request timeout_ms forwarded to remote
+	// nodes (0: the node's default timeout).
+	TimeoutMS int
+	// Client overrides the HTTP client (nil: http.DefaultClient; requests
+	// are always bounded by ctx).
+	Client *http.Client
+	// NoLocalFallback fails a shard whose every node attempt failed instead
+	// of recomputing it locally.
+	NoLocalFallback bool
+}
+
+// Search is mapper.Best executed over fo.Shards shards: same signature, same
+// results, same no-valid-mapping error. Hooks are not threaded into shard
+// execution (the fan-out is the observable unit); a custom EnergyTable
+// cannot cross the wire, so it forces local execution of every shard.
+func Search(ctx context.Context, l *workload.Layer, a *arch.Arch, mo *mapper.Options, fo *Options) (*mapper.Candidate, *mapper.Stats, error) {
+	cand, stats, err := search(ctx, l, a, mo, fo)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cand == nil {
+		return nil, stats, mapper.NoValidMappingError(l, a, stats)
+	}
+	return cand, stats, nil
+}
+
+// Runner adapts the fan-out to mapper.SearchFunc for BestCachedVia: the
+// returned function reports a completed-but-empty search as (nil, stats,
+// nil), runSearch's convention, so cache semantics match the local engine.
+func Runner(fo *Options) mapper.SearchFunc {
+	return func(ctx context.Context, l *workload.Layer, a *arch.Arch, o *mapper.Options) (*mapper.Candidate, *mapper.Stats, error) {
+		return search(ctx, l, a, o, fo)
+	}
+}
+
+func search(ctx context.Context, l *workload.Layer, a *arch.Arch, mo *mapper.Options, fo *Options) (*mapper.Candidate, *mapper.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if fo == nil {
+		fo = &Options{}
+	}
+	k := fo.Shards
+	if k < 1 {
+		k = 1
+	}
+	plan, err := mapper.PlanShards(ctx, l, a, mo, k)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	shardOpts := *mo
+	shardOpts.Hooks = nil
+	nodes := fo.Nodes
+	if mo.EnergyTable != nil {
+		nodes = nil
+	}
+	var baseReq *ShardRequest
+	if len(nodes) > 0 {
+		baseReq, err = buildRequest(l, a, &shardOpts, fo)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Fan out. The first failure cancels the siblings: a dead shard makes
+	// the exact merge impossible, so finishing the others is wasted work.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	outs := make([]*mapper.ShardOutcome, len(plan.Specs))
+	errs := make([]error, len(plan.Specs))
+	var wg sync.WaitGroup
+	for i := range plan.Specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := runShard(runCtx, l, a, &shardOpts, plan.Specs[i], i, nodes, baseReq, fo)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			outs[i] = out
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	// Prefer a root-cause error over the context.Canceled noise the sibling
+	// cancellation induced.
+	var firstErr error
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, context.Canceled) {
+			firstErr = e
+			break
+		}
+	}
+	if firstErr == nil {
+		for _, e := range errs {
+			if e != nil {
+				firstErr = e
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return mapper.MergeShards(l, a, mo, outs)
+}
+
+// runShard executes one shard: remotely with node rotation and failover, or
+// locally when no nodes are configured (or all failed).
+func runShard(ctx context.Context, l *workload.Layer, a *arch.Arch, o *mapper.Options, spec mapper.ShardSpec, i int, nodes []string, baseReq *ShardRequest, fo *Options) (*mapper.ShardOutcome, error) {
+	if len(nodes) == 0 {
+		return mapper.BestShard(ctx, l, a, o, spec)
+	}
+	req := *baseReq
+	req.Shard = spec
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: encode shard %d: %w", i, err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < len(nodes); attempt++ {
+		node := nodes[(i+attempt)%len(nodes)]
+		out, err := postShard(ctx, fo, node, body)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	if !fo.NoLocalFallback {
+		return mapper.BestShard(ctx, l, a, o, spec)
+	}
+	return nil, fmt.Errorf("fabric: shard %d failed on all %d node(s): %w", i, len(nodes), lastErr)
+}
+
+// buildRequest assembles the node-independent part of the shard requests.
+func buildRequest(l *workload.Layer, a *arch.Arch, o *mapper.Options, fo *Options) (*ShardRequest, error) {
+	obj, err := objectiveName(o.Objective)
+	if err != nil {
+		return nil, err
+	}
+	req := &ShardRequest{
+		Arch:            fo.ArchName,
+		ArchConfig:      fo.ArchConfig,
+		Spatial:         o.Spatial.String(),
+		Layer:           config.FromLayer(l),
+		Budget:          o.MaxCandidates,
+		MaxSplitsPerDim: o.MaxSplitsPerDim,
+		Objective:       obj,
+		BWUnaware:       !o.BWAware,
+		Pow2Splits:      o.Pow2Splits,
+		NoSym:           o.NoReduce,
+		NoPrune:         o.NoPrune,
+		NoSurrogate:     o.NoSurrogate,
+		TimeoutMS:       fo.TimeoutMS,
+	}
+	if req.Arch == "" && req.ArchConfig == nil {
+		cfg := config.FromArch(a)
+		req.ArchConfig = &cfg
+	}
+	return req, nil
+}
+
+// postShard sends one shard request to node and decodes the outcome.
+func postShard(ctx context.Context, fo *Options, node string, body []byte) (*mapper.ShardOutcome, error) {
+	url := strings.TrimRight(node, "/") + "/v1/shard"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if fo.Tenant != "" {
+		hreq.Header.Set("X-Tenant", fo.Tenant)
+	}
+	client := fo.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("fabric: %s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var sr ShardResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("fabric: %s: decode: %w", url, err)
+	}
+	return sr.Outcome()
+}

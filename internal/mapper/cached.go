@@ -31,7 +31,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
-	"fmt"
 	"sync"
 
 	"repro/internal/arch"
@@ -51,40 +50,69 @@ import (
 // gained SurrogateReorders/SurrogatePruned/SurrogateRankCorr).
 const diskFormatVersion = 3
 
+// DiskVersion returns the current on-disk/wire payload format version.
+// Remote blob tiers embed it in their protocol so that nodes running
+// different model arithmetic read each other's entries as misses instead of
+// mixing results.
+func DiskVersion() int { return diskFormatVersion }
+
 var (
-	diskMu    sync.Mutex
-	diskStore *memo.Disk
+	blobMu    sync.Mutex
+	blobStore memo.Store
 )
 
 // EnableDiskCache opens the on-disk search cache rooted at the resolved
 // directory ("auto" selects <user cache dir>/repro-latmodel) and routes all
 // subsequent cached searches through it. Returns the resolved directory.
 func EnableDiskCache(dirFlag string) (string, error) {
-	dir, err := memo.ResolveDir(dirFlag)
+	d, dir, err := OpenDiskStore(dirFlag)
 	if err != nil {
 		return "", err
 	}
-	d, err := memo.OpenDisk(dir, diskFormatVersion)
-	if err != nil {
-		return "", err
-	}
-	diskMu.Lock()
-	diskStore = d
-	diskMu.Unlock()
+	SetBlobStore(d)
 	return dir, nil
 }
 
-// DisableDiskCache detaches the on-disk store (tests).
-func DisableDiskCache() {
-	diskMu.Lock()
-	diskStore = nil
-	diskMu.Unlock()
+// OpenDiskStore opens the gob disk tier at the resolved directory WITHOUT
+// installing it, for callers composing tiers (memo.Tiered) before a single
+// SetBlobStore. Returns the store and the resolved directory.
+func OpenDiskStore(dirFlag string) (memo.Store, string, error) {
+	dir, err := memo.ResolveDir(dirFlag)
+	if err != nil {
+		return nil, "", err
+	}
+	d, err := memo.OpenDisk(dir, diskFormatVersion)
+	if err != nil {
+		return nil, "", err
+	}
+	return d, dir, nil
 }
 
-func getDisk() *memo.Disk {
-	diskMu.Lock()
-	defer diskMu.Unlock()
-	return diskStore
+// SetBlobStore routes all subsequent cached searches through s — any
+// memo.Store: the gob disk tier, an in-process store, a remote servemodel
+// node, or a tiered composition. nil detaches (DisableDiskCache). The store
+// only ever sees deterministically encoded winners under content-addressed
+// keys, so a store shared by a fleet hands every node bit-identical results.
+func SetBlobStore(s memo.Store) {
+	blobMu.Lock()
+	blobStore = s
+	blobMu.Unlock()
+}
+
+// BlobStore returns the currently installed blob store (nil when detached).
+func BlobStore() memo.Store {
+	blobMu.Lock()
+	defer blobMu.Unlock()
+	return blobStore
+}
+
+// DisableDiskCache detaches the blob store (tests).
+func DisableDiskCache() { SetBlobStore(nil) }
+
+func getStore() memo.Store {
+	blobMu.Lock()
+	defer blobMu.Unlock()
+	return blobStore
 }
 
 // searchResult is the cached value of one Best search. cand is nil when the
@@ -162,29 +190,54 @@ func decodeSearch(l *workload.Layer, a *arch.Arch, o *Options, blob []byte) *sea
 // caller's in-flight search returns its own ctx.Err() and leaves that
 // search running for the others.
 func BestCached(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Stats, error) {
+	return BestCachedVia(ctx, l, a, opt, nil)
+}
+
+// SearchFunc is a pluggable whole-search executor with runSearch's contract:
+// it returns (nil, stats, nil) when the search completed and found no valid
+// mapping, and an error only for infrastructure failures (cancellation,
+// unreachable shards). An implementation MUST be bit-identical to Best for
+// the same (layer, arch, options) — its results are cached under the same
+// content-addressed key Best uses, so a divergent executor would poison
+// every caller. The sharded fabric (internal/fabric) satisfies this by
+// construction (DESIGN.md §13).
+type SearchFunc func(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options) (*Candidate, *Stats, error)
+
+// BestCachedVia is BestCached with the search itself delegated to run (nil
+// falls back to the in-process engine). Memoization, coalescing, the blob
+// store and the cancellation contract are identical to BestCached — only who
+// computes a cold result changes.
+func BestCachedVia(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Options, run SearchFunc) (*Candidate, *Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	o := opt.normalized()
 	k := bestKey(l, a, &o)
 	v, err := memo.Default.Do(ctx, k, func(ctx context.Context) (any, error) {
-		if d := getDisk(); d != nil {
-			if blob, ok := d.Get(k); ok {
+		if s := getStore(); s != nil {
+			if blob, ok := s.Get(k); ok {
 				if res := decodeSearch(l, a, &o, blob); res != nil {
 					memo.Default.Counters().NoteDiskHit()
 					return res, nil
 				}
 			}
 		}
-		best, _, stats, err := runSearch(ctx, l, a, &o, modeBest)
+		var best *Candidate
+		var stats *Stats
+		var err error
+		if run != nil {
+			best, stats, err = run(ctx, l, a, &o)
+		} else {
+			best, _, stats, err = runSearch(ctx, l, a, &o, modeBest, nil)
+		}
 		if err != nil {
 			return nil, err
 		}
 		res := &searchResult{cand: best, stats: *stats, layer: *l, a: a}
 		if best != nil {
-			if d := getDisk(); d != nil {
+			if s := getStore(); s != nil {
 				if blob := encodeSearch(best, stats); blob != nil {
-					d.Put(k, blob)
+					s.Put(k, blob)
 				}
 			}
 		}
@@ -196,7 +249,7 @@ func BestCached(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Optio
 	res := v.(*searchResult)
 	st := res.stats
 	if res.cand == nil {
-		return nil, &st, fmt.Errorf("mapper: no valid mapping for layer %s on arch %s (of %d nests)", l.Name, a.Name, st.NestsGenerated)
+		return nil, &st, NoValidMappingError(l, a, &st)
 	}
 	return res.cand, &st, nil
 }
@@ -246,8 +299,8 @@ func AnnealCached(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Ann
 	k := annealKey(l, a, opt)
 	evalOpts := &Options{Spatial: opt.Spatial, BWAware: opt.BWAware, Objective: opt.Objective}
 	v, err := memo.Default.Do(ctx, k, func(ctx context.Context) (any, error) {
-		if d := getDisk(); d != nil {
-			if blob, ok := d.Get(k); ok {
+		if s := getStore(); s != nil {
+			if blob, ok := s.Get(k); ok {
 				if res := decodeSearch(l, a, evalOpts, blob); res != nil {
 					memo.Default.Counters().NoteDiskHit()
 					return res, nil
@@ -258,10 +311,10 @@ func AnnealCached(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Ann
 		if err != nil {
 			return nil, err
 		}
-		if d := getDisk(); d != nil {
+		if s := getStore(); s != nil {
 			var st Stats
 			if blob := encodeSearch(c, &st); blob != nil {
-				d.Put(k, blob)
+				s.Put(k, blob)
 			}
 		}
 		return &searchResult{cand: c, layer: *l, a: a}, nil

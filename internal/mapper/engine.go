@@ -131,6 +131,16 @@ type engine struct {
 	// the search acquired is exactly the budget the pass may spend.
 	nworkers int
 
+	// shard restricts the walk to one contiguous prefix range of the
+	// canonical enumeration (shard.go), or replays the walk arithmetically
+	// for the shard planner. nil for an ordinary whole-space search.
+	shard *shardRun
+	// collectSeqs makes the workers record the walk seq of every candidate
+	// they count as valid, so a shard outcome can tag its equivalence-class
+	// records with validity (the reducer of a sharded search needs the
+	// validity of the class REPRESENTATIVE, which may live in another shard).
+	collectSeqs bool
+
 	// Telemetry (engine_obs.go). hooks is nil unless Options.Hooks is set;
 	// every observation site guards on that nil check, and the observation
 	// state below is never touched on the fast path. None of it feeds back
@@ -146,7 +156,7 @@ type engine struct {
 // the unsorted candidate list (modeAll), and exact statistics. When ctx is
 // canceled mid-search the pipeline winds down cooperatively and runSearch
 // returns ctx.Err() with no candidate and no stats.
-func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options, mode searchMode) (*Candidate, []scored, *Stats, error) {
+func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options, mode searchMode, sh *shardRun) (*Candidate, []scored, *Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -159,10 +169,11 @@ func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options,
 	if len(o.Spatial) == 0 {
 		return nil, nil, nil, fmt.Errorf("mapper: no spatial unrolling given")
 	}
-	e := &engine{ctx: ctx, l: l, a: a, o: o, mode: mode}
+	e := &engine{ctx: ctx, l: l, a: a, o: o, mode: mode, shard: sh}
 	e.prune = mode == modeBest && !o.NoPrune && o.Objective == MinLatency && o.BWAware
 	e.genPrune = mode == modeBest && o.Objective == MinLatency
 	e.guided = e.prune && !o.NoSurrogate
+	e.collectSeqs = sh != nil && !o.NoReduce
 	e.bestBits.Store(math.Float64bits(math.Inf(1)))
 	stats := &Stats{}
 	if o.Hooks != nil {
@@ -303,6 +314,24 @@ func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options,
 	if e.aborted.Load() || ctx.Err() != nil {
 		return nil, nil, nil, ctx.Err()
 	}
+	if sh != nil {
+		// Shard epilogue: hand the winner's walk seq to the outcome and tag
+		// each class record with the validity of its representative (release
+		// above only pools the scratch — the per-worker seq lists survive).
+		sh.bestSeq = bestSeq
+		if len(sh.classes) > 0 {
+			validAt := make(map[int64]struct{}, stats.Valid)
+			for _, w := range ws {
+				for _, s := range w.vseqs {
+					validAt[s] = struct{}{}
+				}
+			}
+			for i := range sh.classes {
+				_, ok := validAt[sh.classes[i].Seq]
+				sh.classes[i].Valid = ok
+			}
+		}
+	}
 	if e.hooks != nil {
 		// Final snapshot: every counter exact (the reduce is done).
 		p := e.obsSnapshot(stats, int64(stats.NestsGenerated+stats.ClassesMerged), true)
@@ -314,28 +343,19 @@ func runSearch(ctx context.Context, l *workload.Layer, a *arch.Arch, o *Options,
 	return best, all, stats, nil
 }
 
-// generate walks the canonical enumeration and hands each emitted nest to
-// emit, keeping the exact counters. The nest passed to emit is a shared
-// buffer, valid only for the duration of the call. Single-threaded; the
-// emitted seq is dense and strictly increasing.
-func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
-	o := e.o
-	if e.hooks != nil {
-		defer func(t0 time.Time) { e.hooks.EmitPhase("generate", time.Since(t0)) }(time.Now())
-	}
-
-	// Temporal extent per dimension after spatial unrolling (ceil).
+// walkSpace computes the enumeration geometry: the temporal extent per
+// dimension after spatial unrolling (ceil), and the per-dimension split
+// alternatives including lightly padded extents — awkward (prime-rich)
+// extents are rounded up to the next multiples of 2 and 4 so that
+// stationarity-enabling inner loops exist (the padded iterations surface as
+// spatial stall in the evaluation). A pure function of (layer, options): the
+// shard planner and every shard executor derive the SAME geometry from it,
+// which is what makes the prefix indexing below globally consistent.
+func walkSpace(l *workload.Layer, o *Options) (extents [loops.NumDims]int64, dimSplits [loops.NumDims][][]int64) {
 	sp := o.Spatial.DimProduct()
-	var extents [loops.NumDims]int64
 	for _, d := range loops.AllDims {
-		extents[d] = loops.CeilDiv(e.l.Dim(d), sp[d])
+		extents[d] = loops.CeilDiv(l.Dim(d), sp[d])
 	}
-
-	// Per-dimension split alternatives, including lightly padded extents:
-	// awkward (prime-rich) extents are rounded up to the next multiples of
-	// 2 and 4 so that stationarity-enabling inner loops exist. The padded
-	// iterations surface as spatial stall in the evaluation.
-	var dimSplits [loops.NumDims][][]int64
 	for _, d := range loops.AllDims {
 		dimSplits[d] = splits(extents[d], o.MaxSplitsPerDim, o.Pow2Splits)
 		for _, pad := range []int64{2, 4} {
@@ -346,6 +366,39 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 		}
 		dimSplits[d] = dedupSplits(dimSplits[d])
 	}
+	return extents, dimSplits
+}
+
+// prefixStrides returns strides[0..depth] for the depth-`depth` prefix
+// indexing of the walk: a depth-d node of the factorization recursion covers
+// strides[d] prefixes (strides[depth] == 1), and the prefix index of a node
+// is the positional accumulation of the split-alternative indices chosen for
+// the first `depth` dimensions. The indexing spans the FULL cartesian
+// product — pruned or capped subtrees keep their index space — so every
+// shard and the planner agree on which prefix is which.
+func prefixStrides(dimSplits *[loops.NumDims][][]int64, depth int) []int64 {
+	strides := make([]int64, depth+1)
+	strides[depth] = 1
+	for d := depth - 1; d >= 0; d-- {
+		strides[d] = strides[d+1] * int64(len(dimSplits[loops.AllDims[d]]))
+	}
+	return strides
+}
+
+// generate walks the canonical enumeration and hands each emitted nest to
+// emit, keeping the exact counters. The nest passed to emit is a shared
+// buffer, valid only for the duration of the call. Single-threaded; the
+// emitted seq is the ordering's global walk index — strictly increasing
+// within a run, and equal to the seq the whole-space walk would assign even
+// when e.shard restricts the run to a prefix range (the shard starts its
+// walk counter at ShardSpec.WalkedBefore).
+func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
+	o := e.o
+	if e.hooks != nil {
+		defer func(t0 time.Time) { e.hooks.EmitPhase("generate", time.Since(t0)) }(time.Now())
+	}
+
+	extents, dimSplits := walkSpace(e.l, o)
 
 	reduce := !o.NoReduce
 	var canon *canonicalizer
@@ -388,20 +441,54 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 		minTail[d] = minTail[d+1] * float64(extents[loops.AllDims[d]])
 	}
 
+	// Shard restriction (shard.go): a shard owns the contiguous range
+	// [Lo, Hi) of depth-D split-choice prefixes and enters the walk with the
+	// exact (walked, capped) state the whole-space walk would carry into
+	// prefix Lo, so every seq it emits, every cap decision and every exact
+	// counter matches the whole-space run over that range. In simulate mode
+	// (the planner) nothing is restricted and nothing is emitted: the walk
+	// is replayed arithmetically to meter per-prefix weights.
+	sh := e.shard
+	var strides []int64
+	if sh != nil {
+		strides = prefixStrides(&dimSplits, sh.spec.Depth)
+	}
+
 	// The walk: cartesian product of dimension splits -> block multisets ->
 	// distinct orderings. MaxCandidates caps the ORDERINGS VISITED
 	// (representatives plus merged duplicates); once it trips, the exact
 	// remainder of every outstanding multiset is added to Skipped by
 	// multinomial arithmetic instead of being walked.
-	seq := int64(0)
 	walked := 0
 	capped := false
-	var rec func(d int, blocks []loops.Loop, prod float64)
-	rec = func(d int, blocks []loops.Loop, prod float64) {
-		if e.aborted.Load() {
-			return // canceled: counters are discarded, stop descending
-		}
+	if sh != nil && !sh.simulate {
+		walked = int(sh.spec.WalkedBefore)
+		capped = sh.spec.CappedBefore
+	}
+	var rec func(d int, blocks []loops.Loop, prod float64, base int64)
+	body := func(d int, blocks []loops.Loop, prod float64, base int64) {
 		if d == loops.NumDims {
+			if sh != nil && sh.simulate {
+				// Planner replay: advance (walked, capped) exactly as the
+				// visiting walk would — capped trips only when the budget
+				// runs out STRICTLY inside a multiset, matching the visitor's
+				// check-before-visit semantics — but touch no orderings.
+				if e.ctx.Err() != nil {
+					e.aborted.Store(true)
+					return
+				}
+				if capped {
+					return
+				}
+				n := loops.DistinctOrderings(blocks)
+				if room := int64(o.MaxCandidates - walked); n > room {
+					walked += int(room)
+					capped = true
+				} else {
+					walked += int(n)
+				}
+				return
+			}
 			if capped {
 				// The post-cap counting walk visits no orderings, so the
 				// visitor's probe below never runs again — probe here, or a
@@ -434,13 +521,28 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 				if e.hooks != nil && walked%progressInterval == 0 {
 					e.hooks.EmitProgress(e.obsSnapshot(st, int64(walked), false))
 				}
-				if reduce && canon.intern(nest) {
-					st.ClassesMerged++
-					return true
+				if reduce {
+					if sh == nil {
+						if canon.intern(nest) {
+							st.ClassesMerged++
+							return true
+						}
+					} else {
+						// A sharded walk records (signature, seq) for every
+						// representative it emits: the intern set is local to
+						// this shard, so a class whose first member lives in
+						// an earlier shard is re-emitted here and the merge
+						// reconciles the duplicates by signature (shard.go).
+						sig, dup := canon.internSig(nest)
+						if dup {
+							st.ClassesMerged++
+							return true
+						}
+						sh.classes = append(sh.classes, ShardClass{Sig: append([]byte(nil), sig...), Seq: int64(walked - 1)})
+					}
 				}
 				st.NestsGenerated++
-				emit(seq, nest)
-				seq++
+				emit(int64(walked-1), nest)
 				return true
 			})
 			if capped {
@@ -449,7 +551,7 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 			return
 		}
 		dim := loops.AllDims[d]
-		for _, s := range dimSplits[dim] {
+		for si, s := range dimSplits[dim] {
 			next := blocks
 			part := int64(1)
 			for _, f := range s {
@@ -458,16 +560,50 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 					next = append(next[:len(next):len(next)], loops.Loop{Dim: dim, Size: f})
 				}
 			}
+			cbase := base
+			if sh != nil && d < sh.spec.Depth {
+				cbase = base + int64(si)*strides[d+1]
+				if !sh.simulate {
+					// Skip subtrees entirely outside the owned prefix range:
+					// their walk state is already accounted for in
+					// WalkedBefore (earlier prefixes) or is some other
+					// shard's business (later ones). Partially overlapping
+					// subtrees are descended; the per-child span shrinks to 1
+					// by d == Depth-1, so every reached leaf region is owned.
+					if cbase+strides[d+1] <= sh.spec.Lo || cbase >= sh.spec.Hi {
+						continue
+					}
+				}
+			}
 			// Once capped, pruning stops too: the remainder is counted, not
-			// walked, and the count must not depend on the bound.
+			// walked, and the count must not depend on the bound. A sharded
+			// walk makes the same prune decisions as the whole-space walk
+			// (the probe bound is deterministic and capped agrees at every
+			// shared node — see DESIGN.md §13) but attributes the counter to
+			// the shard owning the subtree's first prefix, so the merge sums
+			// to the whole-space count exactly.
 			if !capped && float64(part)*prod*minTail[d+1]+boundFloor > probeBound {
-				st.SubtreesPruned++
+				if sh == nil || sh.simulate || (cbase >= sh.spec.Lo && cbase < sh.spec.Hi) {
+					st.SubtreesPruned++
+				}
 				continue
 			}
-			rec(d+1, next, float64(part)*prod)
+			rec(d+1, next, float64(part)*prod, cbase)
 		}
 	}
-	rec(0, nil, 1)
+	rec = func(d int, blocks []loops.Loop, prod float64, base int64) {
+		if e.aborted.Load() {
+			return // canceled: counters are discarded, stop descending
+		}
+		if sh != nil && sh.weightf != nil && d == sh.spec.Depth {
+			w0 := walked
+			body(d, blocks, prod, base)
+			sh.weightf(base, walked-w0, capped)
+			return
+		}
+		body(d, blocks, prod, base)
+	}
+	rec(0, nil, 1, 0)
 }
 
 // workerScratch is the heavy, search-independent part of a worker's state:
@@ -526,6 +662,10 @@ type worker struct {
 	// correlation. Only populated while the guided order is active.
 	preds  []float64
 	exacts []float64
+
+	// vseqs records the walk seq of every candidate counted in valid, for
+	// the shard epilogue's class-validity tagging (engine.collectSeqs only).
+	vseqs []int64
 }
 
 func newWorker(e *engine) *worker {
@@ -638,6 +778,9 @@ func (w *worker) processBatch(bt *jobBatch) {
 			continue
 		}
 		w.valid++
+		if e.collectSeqs {
+			w.vseqs = append(w.vseqs, j.seq)
+		}
 		if e.hooks != nil {
 			e.obsValid.Add(1)
 		}
@@ -717,6 +860,9 @@ func (w *worker) process(j job) {
 			return
 		}
 		w.valid++
+		if e.collectSeqs {
+			w.vseqs = append(w.vseqs, seq)
+		}
 		if e.hooks != nil {
 			e.obsValid.Add(1)
 		}
@@ -737,6 +883,9 @@ func (w *worker) process(j job) {
 	// Latency objective: scratch-based scoring, no allocation unless the
 	// candidate improves the worker's best.
 	w.valid++
+	if e.collectSeqs {
+		w.vseqs = append(w.vseqs, seq)
+	}
 	if e.hooks != nil {
 		e.obsValid.Add(1)
 	}

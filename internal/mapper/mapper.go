@@ -190,14 +190,21 @@ type Stats struct {
 // Pass context.Background() for the batch behaviour.
 func Best(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Options) (*Candidate, *Stats, error) {
 	o := opt.normalized()
-	best, _, stats, err := runSearch(ctx, l, a, &o, modeBest)
+	best, _, stats, err := runSearch(ctx, l, a, &o, modeBest, nil)
 	if err != nil {
 		return nil, nil, err
 	}
 	if best == nil {
-		return nil, stats, fmt.Errorf("mapper: no valid mapping for layer %s on arch %s (of %d nests)", l.Name, a.Name, stats.NestsGenerated)
+		return nil, stats, NoValidMappingError(l, a, stats)
 	}
 	return best, stats, nil
+}
+
+// NoValidMappingError is the canonical "search found nothing" error, shared
+// by every search front end (Best, the cache rebuild, the sharded fabric) so
+// that all paths fail byte-identically.
+func NoValidMappingError(l *workload.Layer, a *arch.Arch, stats *Stats) error {
+	return fmt.Errorf("mapper: no valid mapping for layer %s on arch %s (of %d nests)", l.Name, a.Name, stats.NestsGenerated)
 }
 
 // Enumerate returns every valid candidate (use bounded options; intended
@@ -211,7 +218,7 @@ func Best(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Options) (*
 // valid candidate is wanted, not just the winner).
 func Enumerate(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Options) ([]*Candidate, *Stats, error) {
 	o := opt.normalized()
-	_, scoredAll, stats, err := runSearch(ctx, l, a, &o, modeAll)
+	_, scoredAll, stats, err := runSearch(ctx, l, a, &o, modeAll, nil)
 	if err != nil {
 		return nil, nil, err
 	}

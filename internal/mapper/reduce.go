@@ -67,7 +67,17 @@ func (c *canonicalizer) signature(nest loops.Nest) []byte {
 // intern records nest's class and reports whether an earlier nest of the
 // same class was already seen (true = nest is a duplicate to merge).
 func (c *canonicalizer) intern(nest loops.Nest) bool {
-	return !c.seen.Insert(c.signature(nest))
+	_, dup := c.internSig(nest)
+	return dup
+}
+
+// internSig is intern exposing the class signature alongside the duplicate
+// verdict, for callers that record class identities (the sharded walk). The
+// returned slice is the canonicalizer's scratch, valid until the next
+// signature/intern call.
+func (c *canonicalizer) internSig(nest loops.Nest) ([]byte, bool) {
+	sig := c.signature(nest)
+	return sig, !c.seen.Insert(sig)
 }
 
 // score evaluates nest exactly the way the search workers do — greedy

@@ -1,0 +1,340 @@
+package mapper
+
+// Deterministic sharding of one Best search (DESIGN.md §13). The canonical
+// walk is a depth-first product over per-dimension split alternatives; fix a
+// split depth D and every ordering the walk visits belongs to exactly one
+// depth-D PREFIX — the choice of split alternative for the first D
+// dimensions, indexed positionally over the full cartesian product
+// (prefixStrides). A shard owns a contiguous prefix range [Lo, Hi) plus the
+// exact walk state (walked count, cap flag) the whole-space walk would carry
+// into prefix Lo, handed over by the planner's arithmetic replay of the
+// walk. Because the walk geometry, the probe bound, the class signatures and
+// the greedy boundary assignment are all pure functions of (layer, arch,
+// options), a shard re-derives everything else locally — on this machine or
+// on a servemodel node across the network — and the union of the shards'
+// emissions is EXACTLY the whole-space emission stream, seq for seq.
+//
+// The merge re-reduces the shard winners under the same (score, seq) order
+// the engine's reducer uses and reconciles the per-shard equivalence-class
+// records by signature (a class straddling shards is re-emitted by each, so
+// distinct signatures — not per-shard counts — define NestsGenerated), which
+// makes Best and every exact Stats counter bit-identical to the single-shard
+// search for any K, any shard→node placement and any worker count.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/workload"
+)
+
+// shardFanout is how many prefixes per requested shard the planner wants at
+// minimum: enough slack that the greedy contiguous partition can balance
+// uneven subtree weights.
+const shardFanout = 8
+
+// maxPrefixes bounds the planner's positional index (and so its per-prefix
+// weight arrays) while it deepens the split in search of balance: the full
+// cartesian product of split alternatives can be astronomically larger than
+// the reachable walk.
+const maxPrefixes = 1 << 20
+
+// ShardSpec pins one shard of a search: the split depth, the owned prefix
+// range and the walk state at its entry. Specs only make sense against the
+// exact (layer, arch, normalized options) they were planned for.
+type ShardSpec struct {
+	// Depth is the split depth: a prefix assigns one split alternative to
+	// each of the first Depth dimensions of the canonical walk order.
+	Depth int `json:"depth"`
+	// Lo, Hi delimit the contiguous, possibly empty prefix range [Lo, Hi).
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+	// WalkedBefore is the exact number of orderings the whole-space walk
+	// visits in prefixes [0, Lo): the shard starts its walk counter there,
+	// so every emitted seq and the MaxCandidates cap stay globally
+	// consistent.
+	WalkedBefore int64 `json:"walked_before"`
+	// CappedBefore records whether the walk budget tripped strictly before
+	// prefix Lo (pruning stops once capped, so the flag must carry over).
+	CappedBefore bool `json:"capped_before,omitempty"`
+}
+
+// ShardClass records one equivalence-class representative a shard emitted:
+// the class signature, the representative's global walk seq, and whether it
+// validated. The merge keeps the record with the smallest seq per signature
+// — the whole-space representative — so classes straddling shards collapse
+// exactly.
+type ShardClass struct {
+	Sig   []byte `json:"sig"`
+	Seq   int64  `json:"seq"`
+	Valid bool   `json:"valid,omitempty"`
+}
+
+// ShardOutcome is everything a shard reports back: its winning temporal nest
+// (found == false when the range held no valid mapping), the winner's walk
+// seq for the global tie-break, the shard-local statistics and the class
+// records. The winner crosses machine boundaries as a nest, not a score:
+// the merge re-materializes it through the deterministic evaluate path, so
+// wire encodings can never perturb the comparison.
+type ShardOutcome struct {
+	Found    bool
+	Temporal loops.Nest
+	Seq      int64
+	Stats    Stats
+	Classes  []ShardClass
+}
+
+// ShardPlan is the planner's output: K specs covering [0, Prefixes) exactly,
+// in ascending range order.
+type ShardPlan struct {
+	Depth    int
+	Prefixes int64
+	Specs    []ShardSpec
+}
+
+// shardRun is the engine-side shard state: the spec restricting the walk,
+// or — for the planner — simulate+weightf replaying the walk arithmetically.
+// The engine epilogue fills classes, bestSeq.
+type shardRun struct {
+	spec     ShardSpec
+	simulate bool
+	// weightf observes each reached depth-D prefix in walk order: its index,
+	// the orderings visited under it and the cap flag after it. Prefixes
+	// inside subtrees pruned above depth D are never reported (weight 0).
+	weightf func(prefix int64, visited int, capped bool)
+	classes []ShardClass
+	bestSeq int64
+}
+
+// PlanShards partitions the search for (l, a, opt) into k contiguous shards
+// at an automatically chosen split depth. The plan is produced by one
+// arithmetic replay of the walk — no orderings are scored — and is a pure
+// function of its inputs, so coordinator and shards never disagree about the
+// geometry. ctx cancels the replay.
+func PlanShards(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Options, k int) (*ShardPlan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if k < 1 {
+		k = 1
+	}
+	o := opt.normalized()
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if len(o.Spatial) == 0 {
+		return nil, fmt.Errorf("mapper: no spatial unrolling given")
+	}
+	_, dimSplits := walkSpace(l, &o)
+
+	// Choose the smallest depth whose full prefix count gives the partition
+	// room to balance (>= k*shardFanout), capped at the dimension count.
+	depth := 1
+	prefixes := int64(len(dimSplits[loops.AllDims[0]]))
+	for depth < loops.NumDims && prefixes < int64(k)*shardFanout {
+		prefixes *= int64(len(dimSplits[loops.AllDims[depth]]))
+		depth++
+	}
+
+	// Replay the walk, metering per-prefix visited counts and the cap flag
+	// after each prefix. Prefix count alone does not guarantee balance — one
+	// prefix can hold a large fraction of the visited orderings, and the
+	// greedy partition's worst chunk overshoots the total/k share by up to
+	// the heaviest prefix — so while that prefix exceeds a quarter share the
+	// replay is repeated one dimension deeper (imbalance then <= 25%),
+	// stopping before the positional index outgrows maxPrefixes. Each replay
+	// is arithmetic only; no orderings are scored.
+	var weights []int64
+	var capAfter []bool
+	var total int64
+	for {
+		weights = make([]int64, prefixes)
+		capAfter = make([]bool, prefixes)
+		lastPrefix := int64(-1)
+		lastCapped := false
+		sh := &shardRun{spec: ShardSpec{Depth: depth}, simulate: true}
+		sh.weightf = func(p int64, visited int, capped bool) {
+			for q := lastPrefix + 1; q < p; q++ {
+				capAfter[q] = lastCapped
+			}
+			weights[p] = int64(visited)
+			capAfter[p] = capped
+			lastPrefix, lastCapped = p, capped
+		}
+		e := &engine{ctx: ctx, l: l, a: a, o: &o, mode: modeBest, shard: sh}
+		e.genPrune = o.Objective == MinLatency
+		var st Stats
+		e.generate(&st, func(int64, loops.Nest) {})
+		if e.aborted.Load() || ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		for q := lastPrefix + 1; q < prefixes; q++ {
+			capAfter[q] = lastCapped
+		}
+
+		total = 0
+		var maxw int64
+		for _, w := range weights {
+			total += w
+			maxw = max(maxw, w)
+		}
+		next := prefixes * int64(len(dimSplits[loops.AllDims[min(depth, loops.NumDims-1)]]))
+		if depth == loops.NumDims || next > maxPrefixes || maxw*int64(4*k) <= total {
+			break
+		}
+		prefixes = next
+		depth++
+	}
+
+	// Greedy contiguous partition: advance each boundary until the running
+	// weight reaches i/k of the total (deterministic; empty ranges are fine
+	// when the weight concentrates in few prefixes).
+	bounds := make([]int64, k+1)
+	var cum int64
+	p := int64(0)
+	for i := 1; i < k; i++ {
+		tgt := (total*int64(i) + int64(k)/2) / int64(k)
+		for p < prefixes && cum < tgt {
+			cum += weights[p]
+			p++
+		}
+		bounds[i] = p
+	}
+	bounds[k] = prefixes
+
+	plan := &ShardPlan{Depth: depth, Prefixes: prefixes, Specs: make([]ShardSpec, k)}
+	var walkedBefore int64
+	next := int64(0)
+	for i := 0; i < k; i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		for next < lo {
+			walkedBefore += weights[next]
+			next++
+		}
+		spec := ShardSpec{Depth: depth, Lo: lo, Hi: hi, WalkedBefore: walkedBefore}
+		if lo > 0 {
+			spec.CappedBefore = capAfter[lo-1]
+		}
+		plan.Specs[i] = spec
+	}
+	return plan, nil
+}
+
+// BestShard runs the modeBest search restricted to spec's prefix range and
+// returns the shard's outcome. Options must match the plan's exactly
+// (normalization is applied identically); Hooks, if any, observe only this
+// shard's slice of the walk.
+func BestShard(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Options, spec ShardSpec) (*ShardOutcome, error) {
+	o := opt.normalized()
+	if spec.Depth < 1 || spec.Depth > loops.NumDims {
+		return nil, fmt.Errorf("mapper: shard depth %d out of range [1, %d]", spec.Depth, loops.NumDims)
+	}
+	if spec.Lo < 0 || spec.Hi < spec.Lo || spec.WalkedBefore < 0 {
+		return nil, fmt.Errorf("mapper: malformed shard range [%d, %d) walked %d", spec.Lo, spec.Hi, spec.WalkedBefore)
+	}
+	sh := &shardRun{spec: spec}
+	best, _, stats, err := runSearch(ctx, l, a, &o, modeBest, sh)
+	if err != nil {
+		return nil, err
+	}
+	out := &ShardOutcome{Stats: *stats, Classes: sh.classes}
+	if best != nil {
+		out.Found = true
+		out.Temporal = best.Mapping.Temporal.Clone()
+		out.Seq = sh.bestSeq
+	}
+	return out, nil
+}
+
+// MergeShards reduces the shard outcomes of one planned search back into the
+// whole-space result. The winner is chosen by re-materializing every shard
+// winner through the deterministic evaluate path and taking the (score, seq)
+// minimum — exactly the engine reducer's order — and the exact counters are
+// reconstructed from the class records: distinct signatures define
+// NestsGenerated, the smallest-seq representative per class carries Valid,
+// and the per-shard visit counts recover ClassesMerged. Skipped and
+// SubtreesPruned are exactly attributed per shard and sum directly. The
+// trajectory-dependent diagnostics (Pruned, Surrogate*) are summed (rank
+// correlation: valid-weighted mean) and may differ from a single-engine run,
+// exactly as they already differ across worker counts.
+//
+// A merge with no winner returns (nil, stats, nil), mirroring runSearch;
+// front ends turn that into the canonical no-valid-mapping error.
+func MergeShards(l *workload.Layer, a *arch.Arch, opt *Options, outs []*ShardOutcome) (*Candidate, *Stats, error) {
+	o := opt.normalized()
+	reduce := !o.NoReduce
+	stats := &Stats{}
+	type classRec struct {
+		seq   int64
+		valid bool
+	}
+	var classes map[string]classRec
+	if reduce {
+		classes = make(map[string]classRec)
+	}
+	var visited int64
+	for i, out := range outs {
+		if out == nil {
+			return nil, nil, fmt.Errorf("mapper: shard %d has no outcome", i)
+		}
+		st := &out.Stats
+		visited += int64(st.NestsGenerated) + int64(st.ClassesMerged)
+		stats.Skipped += st.Skipped
+		stats.SubtreesPruned += st.SubtreesPruned
+		stats.Pruned += st.Pruned
+		stats.SurrogatePruned += st.SurrogatePruned
+		stats.SurrogateReorders += st.SurrogateReorders
+		if !reduce {
+			stats.NestsGenerated += st.NestsGenerated
+			stats.Valid += st.Valid
+			continue
+		}
+		if len(out.Classes) != st.NestsGenerated {
+			return nil, nil, fmt.Errorf("mapper: shard %d reports %d classes for %d representatives", i, len(out.Classes), st.NestsGenerated)
+		}
+		for j := range out.Classes {
+			c := &out.Classes[j]
+			if prev, ok := classes[string(c.Sig)]; !ok || c.Seq < prev.seq {
+				classes[string(c.Sig)] = classRec{seq: c.Seq, valid: c.Valid}
+			}
+		}
+	}
+	if reduce {
+		stats.NestsGenerated = len(classes)
+		stats.ClassesMerged = int(visited) - len(classes)
+		for _, r := range classes {
+			if r.valid {
+				stats.Valid++
+			}
+		}
+	}
+	var corrW, corrAcc float64
+	for _, out := range outs {
+		if w := float64(out.Stats.Valid); w > 0 {
+			corrAcc += w * out.Stats.SurrogateRankCorr
+			corrW += w
+		}
+	}
+	if corrW > 0 {
+		stats.SurrogateRankCorr = corrAcc / corrW
+	}
+
+	var best *Candidate
+	bestScore, bestSeq := math.Inf(1), int64(math.MaxInt64)
+	for i, out := range outs {
+		if !out.Found {
+			continue
+		}
+		c := evaluate(l, a, &o, out.Temporal)
+		if c == nil {
+			return nil, nil, fmt.Errorf("mapper: shard %d winner %v failed re-evaluation (plan/options mismatch?)", i, out.Temporal)
+		}
+		if s := c.Score(o.Objective); s < bestScore || (s == bestScore && out.Seq < bestSeq) {
+			best, bestScore, bestSeq = c, s, out.Seq
+		}
+	}
+	return best, stats, nil
+}

@@ -52,6 +52,9 @@ func ResolveDir(flagVal string) (string, error) {
 // Dir returns the store's root directory.
 func (d *Disk) Dir() string { return d.dir }
 
+// Name implements Store.
+func (d *Disk) Name() string { return "disk" }
+
 // path names the blob file for k. Distinct keys with equal hashes map to
 // the same file and evict each other — harmless, Get checks Enc.
 func (d *Disk) path(k Key) string {

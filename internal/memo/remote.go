@@ -1,0 +1,115 @@
+package memo
+
+// Remote is a Store backed by another node's /v1/memo/{get,put} endpoints
+// (internal/serve): a fleet of servemodel nodes pointed at a shared memo
+// node exchanges warm search results, so one user's cold sweep warms
+// everyone else's. Strictly best-effort — a dead peer, a slow network or a
+// version-skewed node degrades to misses and dropped writes, never to an
+// error on the search path — and collision-checked end to end: the wire
+// carries the key's full canonical encoding and the peer matches it exactly
+// like the local tiers do.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Remote implements Store over a peer's memo endpoints.
+type Remote struct {
+	base    string
+	version int
+	c       *http.Client
+	errs    atomic.Int64
+}
+
+// WireGet is the POST /v1/memo/get body; Enc is the key's canonical
+// encoding (base64 on the wire via encoding/json). Exported so the serving
+// side (internal/serve) decodes the exact shapes this client sends.
+type WireGet struct {
+	Enc     []byte `json:"enc"`
+	Version int    `json:"version"`
+}
+
+// WirePut is the POST /v1/memo/put body.
+type WirePut struct {
+	Enc     []byte `json:"enc"`
+	Version int    `json:"version"`
+	Blob    []byte `json:"blob"`
+}
+
+// WireBlob is the get response payload.
+type WireBlob struct {
+	Blob []byte `json:"blob"`
+}
+
+// NewRemote returns a Store talking to the servemodel node at baseURL
+// (e.g. "http://host:8080"). version tags every exchange — use the caller's
+// payload format version so nodes with different model arithmetic read each
+// other as misses. c == nil selects a client with a short timeout: a memo
+// tier must never stall a search longer than recomputing would.
+func NewRemote(baseURL string, version int, c *http.Client) *Remote {
+	if c == nil {
+		c = &http.Client{Timeout: 2 * time.Second}
+	}
+	return &Remote{base: strings.TrimRight(baseURL, "/"), version: version, c: c}
+}
+
+// Name implements Store.
+func (s *Remote) Name() string { return "remote(" + s.base + ")" }
+
+// Errs returns the transport/protocol failures observed so far (misses are
+// not failures). Diagnostic only.
+func (s *Remote) Errs() int64 { return s.errs.Load() }
+
+// Get implements Store.
+func (s *Remote) Get(k Key) ([]byte, bool) {
+	body, err := json.Marshal(WireGet{Enc: []byte(k.Enc), Version: s.version})
+	if err != nil {
+		return nil, false
+	}
+	resp, err := s.c.Post(s.base+"/v1/memo/get", "application/json", bytes.NewReader(body))
+	if err != nil {
+		s.errs.Add(1)
+		return nil, false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		s.errs.Add(1)
+		return nil, false
+	}
+	var rb WireBlob
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&rb); err != nil || len(rb.Blob) == 0 {
+		s.errs.Add(1)
+		return nil, false
+	}
+	return rb.Blob, true
+}
+
+// Put implements Store.
+func (s *Remote) Put(k Key, blob []byte) {
+	body, err := json.Marshal(WirePut{Enc: []byte(k.Enc), Version: s.version, Blob: blob})
+	if err != nil {
+		return
+	}
+	resp, err := s.c.Post(s.base+"/v1/memo/put", "application/json", bytes.NewReader(body))
+	if err != nil {
+		s.errs.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		s.errs.Add(1)
+	}
+}

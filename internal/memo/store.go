@@ -1,0 +1,140 @@
+package memo
+
+import (
+	"strings"
+	"sync"
+)
+
+// Store is a pluggable best-effort blob tier behind the in-memory cache:
+// Get either returns exactly what some Put stored for the SAME Key (full
+// encoding, not just the hash) or reports a miss, and both calls must be
+// safe for concurrent use. Every failure mode — eviction, corruption, an
+// unreachable peer, a version skew — must degrade to a miss or a dropped
+// write, never to a wrong value; the callers treat a Store as a cache, not
+// a database. Disk, Mem, Remote and Tiered all satisfy this contract.
+type Store interface {
+	// Name identifies the tier in diagnostics ("disk", "mem", "remote(...)").
+	Name() string
+	Get(k Key) ([]byte, bool)
+	Put(k Key, blob []byte)
+}
+
+// KeyOf rebuilds a Key from a raw canonical encoding, recomputing the hash.
+// It is the wire-side inverse of Key.Enc: a remote store ships encodings,
+// not hashes, so a corrupted or adversarial hash can never address the
+// wrong entry.
+func KeyOf(enc []byte) Key {
+	return Key{Hash: fnv1a(fnvOffset64, enc), Enc: string(enc)}
+}
+
+// Mem is a bounded in-process Store — the default tier a servemodel node
+// exports to its peers when no disk store is configured. Entries are keyed
+// by the full encoding, so it is collision-proof by construction. When full
+// it evicts an arbitrary entry: the callers' determinism never depends on
+// WHAT a store retains, only on retained bytes being exact.
+type Mem struct {
+	mu  sync.Mutex
+	max int
+	m   map[string][]byte
+}
+
+// NewMem returns a Mem holding at most maxEntries blobs (<= 0 selects a
+// default of 4096).
+func NewMem(maxEntries int) *Mem {
+	if maxEntries <= 0 {
+		maxEntries = 1 << 12
+	}
+	return &Mem{max: maxEntries, m: make(map[string][]byte)}
+}
+
+// Name implements Store.
+func (s *Mem) Name() string { return "mem" }
+
+// Get implements Store. The returned blob is the caller's to keep (a copy):
+// the other tiers hand out freshly allocated slices, so callers may mutate
+// results without corrupting any store.
+func (s *Mem) Get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[k.Enc]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), b...), true
+}
+
+// Put implements Store.
+func (s *Mem) Put(k Key, blob []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[k.Enc]; !ok && len(s.m) >= s.max {
+		for victim := range s.m {
+			delete(s.m, victim)
+			break
+		}
+	}
+	s.m[k.Enc] = append([]byte(nil), blob...)
+}
+
+// Len returns the number of retained blobs.
+func (s *Mem) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// tiered composes stores fastest-first. Get returns the first hit and
+// backfills every earlier (faster) tier with it; Put writes through to all
+// tiers. A node with a disk tier and a remote fleet tier therefore serves
+// repeat queries locally while first-anywhere results propagate.
+type tiered struct {
+	stores []Store
+}
+
+// Tiered composes stores (fastest first) into one Store. nil members are
+// skipped; with zero or one live member the composition collapses to nil or
+// the member itself.
+func Tiered(stores ...Store) Store {
+	var live []Store
+	for _, s := range stores {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &tiered{stores: live}
+}
+
+// Name implements Store.
+func (t *tiered) Name() string {
+	names := make([]string, len(t.stores))
+	for i, s := range t.stores {
+		names[i] = s.Name()
+	}
+	return "tiered(" + strings.Join(names, ",") + ")"
+}
+
+// Get implements Store.
+func (t *tiered) Get(k Key) ([]byte, bool) {
+	for i, s := range t.stores {
+		if b, ok := s.Get(k); ok {
+			for j := 0; j < i; j++ {
+				t.stores[j].Put(k, b)
+			}
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// Put implements Store.
+func (t *tiered) Put(k Key, blob []byte) {
+	for _, s := range t.stores {
+		s.Put(k, blob)
+	}
+}

@@ -1,0 +1,208 @@
+package memo_test
+
+// Store conformance suite, run against every tier: the bounded in-process
+// store, the gob disk tier, the HTTP remote tier (served end-to-end by a
+// real internal/serve server) and the tiered composition. The contract under
+// test is Store's: best-effort get/put where a failure is a miss, never a
+// wrong value — in particular a key whose hash collides with a stored entry
+// but whose canonical encoding differs must read as a miss, not as the other
+// key's blob.
+//
+// This file is an external test package so it can stand up the serving side
+// (internal/serve imports memo; an in-package test would be an import cycle).
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/memo"
+	"repro/internal/serve"
+)
+
+// conformance exercises one Store implementation.
+func conformance(t *testing.T, s memo.Store) {
+	t.Helper()
+	if s.Name() == "" {
+		t.Error("store has no name")
+	}
+
+	k1 := memo.KeyOf([]byte("conformance/key/1"))
+	k2 := memo.KeyOf([]byte("conformance/key/2"))
+	if _, ok := s.Get(k1); ok {
+		t.Fatal("Get on an empty store hit")
+	}
+
+	blob1 := []byte("payload-one")
+	blob2 := []byte("payload-two-longer")
+	s.Put(k1, blob1)
+	got, ok := s.Get(k1)
+	if !ok || !bytes.Equal(got, blob1) {
+		t.Fatalf("roundtrip: got (%q, %v), want (%q, true)", got, ok, blob1)
+	}
+	if _, ok := s.Get(k2); ok {
+		t.Fatal("Get of a never-put key hit")
+	}
+
+	// Overwrite wins.
+	s.Put(k1, blob2)
+	if got, ok := s.Get(k1); !ok || !bytes.Equal(got, blob2) {
+		t.Fatalf("overwrite: got (%q, %v), want (%q, true)", got, ok, blob2)
+	}
+
+	// Collision check: same hash, different canonical encoding must never
+	// read the other key's blob. (The disk tier addresses files by hash
+	// alone and must verify the stored encoding; the remote tier re-derives
+	// the key from the encoding server-side.)
+	collider := memo.Key{Hash: k1.Hash, Enc: "conformance/colliding-enc"}
+	if got, ok := s.Get(collider); ok && bytes.Equal(got, blob2) {
+		t.Fatal("hash collision returned the other key's blob")
+	}
+
+	// Mutating a returned blob must not corrupt the store (Mem shares an
+	// internal map; it must copy on Put — callers may scribble on results).
+	if got, ok := s.Get(k1); ok && len(got) > 0 {
+		got[0] ^= 0xff
+		again, ok := s.Get(k1)
+		if !ok || !bytes.Equal(again, blob2) {
+			t.Fatal("mutating a returned blob corrupted the store")
+		}
+	}
+
+	// Concurrent distinct-key traffic (meaningful under -race).
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := memo.KeyOf([]byte(fmt.Sprintf("conformance/concurrent/%d", i)))
+			want := []byte(fmt.Sprintf("blob-%d", i))
+			s.Put(k, want)
+			if got, ok := s.Get(k); ok && !bytes.Equal(got, want) {
+				t.Errorf("concurrent key %d: wrong blob", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestStoreConformanceMem(t *testing.T) {
+	conformance(t, memo.NewMem(0))
+}
+
+func TestStoreConformanceDisk(t *testing.T) {
+	d, err := memo.OpenDisk(t.TempDir(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conformance(t, d)
+}
+
+// remotePair stands up a real serve server backed by an in-process store and
+// returns a Remote client speaking to it with the given client version.
+func remotePair(t *testing.T, serverVersion, clientVersion int) (*memo.Remote, memo.Store) {
+	t.Helper()
+	backing := memo.NewMem(0)
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := serve.New(serve.Config{MemoStore: backing, MemoVersion: serverVersion, Logger: quiet})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return memo.NewRemote(ts.URL, clientVersion, nil), backing
+}
+
+func TestStoreConformanceRemote(t *testing.T) {
+	r, _ := remotePair(t, 7, 7)
+	conformance(t, r)
+	if r.Errs() != 0 {
+		t.Errorf("conformance traffic produced %d transport errors", r.Errs())
+	}
+}
+
+func TestStoreConformanceTiered(t *testing.T) {
+	r, _ := remotePair(t, 7, 7)
+	conformance(t, memo.Tiered(memo.NewMem(0), r))
+}
+
+// TestRemoteVersionMismatch: a client on a different payload version reads
+// the server as a pure miss and its writes are dropped — never an error on
+// the search path, never a cross-version value.
+func TestRemoteVersionMismatch(t *testing.T) {
+	r, backing := remotePair(t, 7, 8)
+	k := memo.KeyOf([]byte("versioned-key"))
+	backing.Put(k, []byte("v7-blob"))
+	if _, ok := r.Get(k); ok {
+		t.Fatal("version-mismatched Get hit")
+	}
+	r.Put(k, []byte("v8-blob"))
+	if got, _ := backing.Get(k); !bytes.Equal(got, []byte("v7-blob")) {
+		t.Fatalf("version-mismatched Put overwrote the store: %q", got)
+	}
+}
+
+// TestRemoteDeadPeer: an unreachable peer degrades to misses and dropped
+// writes, with the failures visible on the Errs counter.
+func TestRemoteDeadPeer(t *testing.T) {
+	ts := httptest.NewServer(nil)
+	ts.Close() // now guaranteed-dead address
+	r := memo.NewRemote(ts.URL, 7, nil)
+	k := memo.KeyOf([]byte("dead-peer-key"))
+	if _, ok := r.Get(k); ok {
+		t.Fatal("Get against a dead peer hit")
+	}
+	r.Put(k, []byte("blob"))
+	if r.Errs() == 0 {
+		t.Error("dead-peer traffic recorded no errors")
+	}
+}
+
+// TestTieredBackfill: a hit in a later tier is written back to earlier tiers,
+// and writes go through to every tier.
+func TestTieredBackfill(t *testing.T) {
+	front, back := memo.NewMem(0), memo.NewMem(0)
+	tiered := memo.Tiered(front, back)
+
+	k := memo.KeyOf([]byte("backfill-key"))
+	back.Put(k, []byte("warm"))
+	if got, ok := tiered.Get(k); !ok || !bytes.Equal(got, []byte("warm")) {
+		t.Fatalf("tiered Get: (%q, %v)", got, ok)
+	}
+	if got, ok := front.Get(k); !ok || !bytes.Equal(got, []byte("warm")) {
+		t.Fatalf("backfill did not reach the front tier: (%q, %v)", got, ok)
+	}
+
+	k2 := memo.KeyOf([]byte("write-through-key"))
+	tiered.Put(k2, []byte("fresh"))
+	for i, tier := range []memo.Store{front, back} {
+		if got, ok := tier.Get(k2); !ok || !bytes.Equal(got, []byte("fresh")) {
+			t.Fatalf("write-through missed tier %d: (%q, %v)", i, got, ok)
+		}
+	}
+}
+
+// TestMemBounded: the in-process tier honors its entry bound by evicting,
+// and every surviving entry still maps to its own blob.
+func TestMemBounded(t *testing.T) {
+	m := memo.NewMem(4)
+	for i := 0; i < 32; i++ {
+		m.Put(memo.KeyOf([]byte(fmt.Sprintf("bounded/%d", i))), []byte(fmt.Sprintf("blob-%d", i)))
+	}
+	if n := m.Len(); n > 4 {
+		t.Fatalf("Len() = %d, want <= 4", n)
+	}
+	hits := 0
+	for i := 0; i < 32; i++ {
+		if got, ok := m.Get(memo.KeyOf([]byte(fmt.Sprintf("bounded/%d", i)))); ok {
+			hits++
+			if !bytes.Equal(got, []byte(fmt.Sprintf("blob-%d", i))) {
+				t.Fatalf("entry %d survived eviction with the wrong blob", i)
+			}
+		}
+	}
+	if hits == 0 || hits > 4 {
+		t.Fatalf("%d entries survived, want 1..4", hits)
+	}
+}

@@ -1,0 +1,65 @@
+package network
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/energy"
+)
+
+// TestEnergyErrorSurfaced: a failing energy model must not fail the latency
+// evaluation, but it must not silently report 0 pJ either — the error lands
+// on the layer, EnergyPJ stays 0 and the layer is excluded from TotalPJ.
+func TestEnergyErrorSurfaced(t *testing.T) {
+	failErr := errors.New("injected energy failure")
+	orig := energyEvaluate
+	var calls atomic.Int64
+	// Layers evaluate energy concurrently (par.ForEach), so fail exactly one
+	// call by ticket; which layer draws it is irrelevant to the contract.
+	energyEvaluate = func(p *core.Problem, tbl *energy.Table) (*energy.Breakdown, error) {
+		if calls.Add(1) == 2 {
+			return nil, failErr
+		}
+		return energy.Evaluate(p, tbl)
+	}
+	defer func() { energyEvaluate = orig }()
+
+	n := smallNet()
+	res, err := Evaluate(context.Background(), n, arch.InHouse(), arch.InHouseSpatial(), &Options{MaxCandidates: 500})
+	if err != nil {
+		t.Fatalf("Evaluate failed outright on an energy error: %v", err)
+	}
+	var failed, succeeded int
+	var sum float64
+	for i := range res.Layers {
+		lr := &res.Layers[i]
+		if lr.EnergyErr != nil {
+			failed++
+			if !errors.Is(lr.EnergyErr, failErr) {
+				t.Errorf("layer %s: EnergyErr = %v, want wrapped %v", lr.Original, lr.EnergyErr, failErr)
+			}
+			if lr.EnergyPJ != 0 {
+				t.Errorf("layer %s: failed energy still reports %v pJ", lr.Original, lr.EnergyPJ)
+			}
+		} else {
+			succeeded++
+			if lr.EnergyPJ <= 0 {
+				t.Errorf("layer %s: no error but EnergyPJ = %v", lr.Original, lr.EnergyPJ)
+			}
+		}
+		sum += lr.EnergyPJ
+	}
+	if failed != 1 {
+		t.Fatalf("%d layers failed energy, want exactly 1 (injection fails the 2nd call)", failed)
+	}
+	if succeeded != len(res.Layers)-1 {
+		t.Fatalf("%d layers succeeded, want %d", succeeded, len(res.Layers)-1)
+	}
+	if res.TotalPJ != sum {
+		t.Errorf("TotalPJ = %v, want the sum of surviving layers %v", res.TotalPJ, sum)
+	}
+}

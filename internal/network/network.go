@@ -18,6 +18,7 @@ package network
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 
 	"repro/internal/alloc"
@@ -29,6 +30,11 @@ import (
 	"repro/internal/par"
 	"repro/internal/workload"
 )
+
+// energyEvaluate is the per-layer energy model, a variable so tests can
+// inject failures (the energy model has no failing inputs reachable from a
+// valid mapping).
+var energyEvaluate = energy.Evaluate
 
 // Network is an ordered sequence of layers with tensor dependencies
 // layer[i] output -> layer[i+1] input.
@@ -92,6 +98,11 @@ type LayerResult struct {
 	Original  string         // original layer name
 	Candidate *mapper.Candidate
 	EnergyPJ  float64
+	// EnergyErr records a failed energy model evaluation for this layer.
+	// EnergyPJ is 0 (and excluded from Result.TotalPJ) when set — callers
+	// rendering energy numbers should surface the error instead of showing
+	// a silent zero.
+	EnergyErr error
 	// PrefetchSaved is the preload time hidden under the previous layer.
 	PrefetchSaved float64
 	// SpillCC is the extra time charged for off-chip intermediate
@@ -183,8 +194,15 @@ func Evaluate(ctx context.Context, n *Network, hw *arch.Arch, spatial loops.Nest
 		}
 		if needEnergy {
 			p := &core.Problem{Layer: &lr.Layer, Arch: hw, Mapping: cand.Mapping}
-			if eb, err := energy.Evaluate(p, nil); err == nil {
+			if eb, err := energyEvaluate(p, nil); err == nil {
 				lr.EnergyPJ = eb.TotalPJ
+			} else {
+				// A failed energy model must not fail the latency evaluation,
+				// but it must not silently report 0 pJ either: record it on
+				// the layer and say so.
+				lr.EnergyErr = fmt.Errorf("network %q layer %s: energy model: %w", n.Name, orig.Name, err)
+				slog.Warn("energy evaluation failed; layer reports no energy",
+					"network", n.Name, "layer", orig.Name, "err", err)
 			}
 		}
 		layerRes[i] = lr

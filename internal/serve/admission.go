@@ -10,64 +10,190 @@ package serve
 // overflow queue absorb bursts; beyond that the server sheds load with
 // 429 + Retry-After, which is the honest answer once queueing time alone
 // would eat the client's deadline.
+//
+// The queue is weighted fair across tenants (start-time fair queueing): each
+// waiter is stamped with a virtual finish time
+//
+//	finish = max(vtime, last[tenant]) + 1/weight(tenant)
+//
+// where vtime is the finish tag of the last grant and last[tenant] chains a
+// tenant's own backlog, so a tenant's waiters drain at a rate proportional
+// to its weight while a lone tenant still gets the whole server. Grants pop
+// the minimum (finish, arrival) waiter — deterministic for a deterministic
+// enqueue order — and a released slot transfers directly to the head waiter
+// without bouncing through the free pool, so the slot count is exact. When
+// the controller goes fully idle the virtual clock and per-tenant tags reset,
+// keeping tags small and runs reproducible.
 
 import (
+	"container/heap"
 	"context"
 	"errors"
-	"sync/atomic"
+	"sync"
 )
 
 // errAdmissionFull reports that both the slots and the wait queue are full.
 var errAdmissionFull = errors.New("serve: admission queue full")
 
-type admission struct {
-	slots    chan struct{}
-	queued   atomic.Int64
-	maxQueue int64
+// defaultTenant is the tenant of requests carrying no X-Tenant header.
+const defaultTenant = "default"
+
+// waiter is one queued request.
+type waiter struct {
+	finish  float64 // virtual finish tag (SFQ)
+	arrival int64   // enqueue ticket, breaks finish ties deterministically
+	ready   chan struct{}
+	granted bool // set (under the admission lock) when a slot was handed over
+	index   int  // heap position, -1 once popped
 }
 
-func newAdmission(slots, maxQueue int) *admission {
+// waiterHeap orders waiters by (finish, arrival).
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].arrival < h[j].arrival
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.index = -1
+	*h = old[:n-1]
+	return w
+}
+
+type admission struct {
+	mu       sync.Mutex
+	slots    int // configured capacity
+	inuse    int // slots currently held (granted waiters included)
+	maxQueue int64
+	waiters  waiterHeap
+	weights  map[string]float64 // tenant -> share (missing or <= 0: 1)
+	last     map[string]float64 // tenant -> finish tag of its newest waiter
+	vtime    float64            // finish tag of the last grant
+	arrivals int64              // monotone enqueue ticket
+}
+
+func newAdmission(slots, maxQueue int, weights map[string]float64) *admission {
 	if slots < 1 {
 		slots = 1
 	}
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
-	return &admission{slots: make(chan struct{}, slots), maxQueue: int64(maxQueue)}
+	return &admission{
+		slots:    slots,
+		maxQueue: int64(maxQueue),
+		weights:  weights,
+		last:     map[string]float64{},
+	}
 }
 
-// acquire obtains a search slot, queueing if all slots are busy. It returns
-// a release func on success; errAdmissionFull when the queue is at capacity
-// (shed immediately, do not wait); or ctx.Err() when the caller's context
-// fires while queued.
-func (a *admission) acquire(ctx context.Context) (func(), error) {
-	// Fast path: a free slot, no queueing.
-	select {
-	case a.slots <- struct{}{}:
-		return func() { <-a.slots }, nil
-	default:
+func (a *admission) weight(tenant string) float64 {
+	if w, ok := a.weights[tenant]; ok && w > 0 {
+		return w
 	}
-	// Slots busy: join the bounded queue or shed. The counter admits a
-	// transient overshoot under racing arrivals — the bound is approximate
-	// by design; what matters is that it is a bound.
-	if a.queued.Add(1) > a.maxQueue {
-		a.queued.Add(-1)
+	return 1
+}
+
+// acquire obtains a search slot for tenant, queueing weighted-fair if all
+// slots are busy. It returns a release func on success; errAdmissionFull when
+// the queue is at capacity (shed immediately, do not wait); or ctx.Err() when
+// the caller's context fires while queued.
+func (a *admission) acquire(ctx context.Context, tenant string) (func(), error) {
+	a.mu.Lock()
+	// Fast path: a free slot and nobody ahead in the queue.
+	if a.inuse < a.slots && len(a.waiters) == 0 {
+		a.inuse++
+		a.mu.Unlock()
+		return a.release, nil
+	}
+	if int64(len(a.waiters)) >= a.maxQueue {
+		a.mu.Unlock()
 		return nil, errAdmissionFull
 	}
-	defer a.queued.Add(-1)
+	w := &waiter{
+		finish:  max(a.vtime, a.last[tenant]) + 1/a.weight(tenant),
+		arrival: a.arrivals,
+		ready:   make(chan struct{}),
+	}
+	a.arrivals++
+	a.last[tenant] = w.finish
+	heap.Push(&a.waiters, w)
+	a.mu.Unlock()
+
 	select {
-	case a.slots <- struct{}{}:
-		return func() { <-a.slots }, nil
+	case <-w.ready:
+		return a.release, nil
 	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// Lost the race: release already handed us the slot. Pass it on.
+			a.mu.Unlock()
+			a.release()
+			return nil, ctx.Err()
+		}
+		heap.Remove(&a.waiters, w.index)
+		a.maybeReset()
+		a.mu.Unlock()
 		return nil, ctx.Err()
 	}
 }
 
+// release frees one slot: the minimum-(finish, arrival) waiter inherits it
+// directly (inuse is unchanged — the slot never becomes free); with an empty
+// queue the slot returns to the pool.
+func (a *admission) release() {
+	a.mu.Lock()
+	if len(a.waiters) > 0 {
+		w := heap.Pop(&a.waiters).(*waiter)
+		a.vtime = w.finish
+		w.granted = true
+		close(w.ready)
+		a.mu.Unlock()
+		return
+	}
+	a.inuse--
+	a.maybeReset()
+	a.mu.Unlock()
+}
+
+// maybeReset zeroes the virtual clock once the controller is fully idle, so
+// tags stay small and identical workloads replay identically. Caller holds mu.
+func (a *admission) maybeReset() {
+	if a.inuse == 0 && len(a.waiters) == 0 {
+		a.vtime = 0
+		clear(a.last)
+	}
+}
+
 // inUse returns how many slots are currently held.
-func (a *admission) inUse() int64 { return int64(len(a.slots)) }
+func (a *admission) inUse() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(a.inuse)
+}
 
 // queueDepth returns how many requests are waiting for a slot.
-func (a *admission) queueDepth() int64 { return a.queued.Load() }
+func (a *admission) queueDepth() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(len(a.waiters))
+}
 
 // capacity returns the configured slot count.
-func (a *admission) capacity() int64 { return int64(cap(a.slots)) }
+func (a *admission) capacity() int64 { return int64(a.slots) }

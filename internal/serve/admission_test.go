@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// enqueueWaiter starts an acquire for tenant and blocks until it is actually
+// queued, so test enqueue order is deterministic. The returned channel yields
+// once the waiter is granted (after it records its id in order).
+func enqueueWaiter(t *testing.T, a *admission, tenant string, id string, order chan<- string) {
+	t.Helper()
+	depth := a.queueDepth()
+	go func() {
+		release, err := a.acquire(context.Background(), tenant)
+		if err != nil {
+			t.Errorf("waiter %s: %v", id, err)
+			return
+		}
+		order <- id
+		release()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.queueDepth() == depth {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiter %s never queued", id)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWFQGrantOrder: with weights {batch: 1, fast: 3} and the queue built in
+// order b1..b4, f1..f3 behind one held slot, the SFQ finish tags are
+// b1=1, b2=2, b3=3, b4=4 and f1=1/3, f2=2/3, f3=1, so the deterministic
+// (finish, arrival) grant order is f1 f2 b1 f3 b2 b3 b4 — the fast tenant
+// drains ~3x faster without starving batch.
+func TestWFQGrantOrder(t *testing.T) {
+	a := newAdmission(1, 16, map[string]float64{"batch": 1, "fast": 3})
+	release, err := a.acquire(context.Background(), defaultTenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan string, 8)
+	for _, id := range []string{"b1", "b2", "b3", "b4"} {
+		enqueueWaiter(t, a, "batch", id, order)
+	}
+	for _, id := range []string{"f1", "f2", "f3"} {
+		enqueueWaiter(t, a, "fast", id, order)
+	}
+	release()
+	want := []string{"f1", "f2", "b1", "f3", "b2", "b3", "b4"}
+	for i, w := range want {
+		select {
+		case got := <-order:
+			if got != w {
+				t.Fatalf("grant %d: got %s, want %s (full want %v)", i, got, w, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("grant %d (%s) never arrived", i, w)
+		}
+	}
+	if a.inUse() != 0 || a.queueDepth() != 0 {
+		t.Fatalf("controller not idle after drain: inuse=%d queued=%d", a.inUse(), a.queueDepth())
+	}
+}
+
+// TestWFQUnweightedFIFO: with no weights every tenant weighs 1 and
+// same-tenant arrivals drain strictly FIFO.
+func TestWFQUnweightedFIFO(t *testing.T) {
+	a := newAdmission(1, 8, nil)
+	release, err := a.acquire(context.Background(), defaultTenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan string, 4)
+	for _, id := range []string{"w1", "w2", "w3"} {
+		enqueueWaiter(t, a, "solo", id, order)
+	}
+	release()
+	for _, w := range []string{"w1", "w2", "w3"} {
+		if got := <-order; got != w {
+			t.Fatalf("got %s, want %s", got, w)
+		}
+	}
+}
+
+// TestWFQCancelWhileQueued: a canceled waiter leaves the queue without
+// consuming a slot, and the controller stays consistent.
+func TestWFQCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 8, nil)
+	release, err := a.acquire(context.Background(), defaultTenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx, "canceler")
+		errc <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.queueDepth() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if a.queueDepth() != 0 {
+		t.Fatalf("canceled waiter still queued: depth=%d", a.queueDepth())
+	}
+	release()
+	// The controller must still grant normally.
+	r2, err := a.acquire(context.Background(), "after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2()
+	if a.inUse() != 0 {
+		t.Fatalf("inuse=%d after full drain", a.inUse())
+	}
+}
+
+// TestWFQShedsWhenFull: the bounded queue sheds with errAdmissionFull.
+func TestWFQShedsWhenFull(t *testing.T) {
+	a := newAdmission(1, 0, nil)
+	release, err := a.acquire(context.Background(), defaultTenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := a.acquire(context.Background(), defaultTenant); !errors.Is(err, errAdmissionFull) {
+		t.Fatalf("got %v, want errAdmissionFull", err)
+	}
+}

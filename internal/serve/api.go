@@ -20,6 +20,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/fabric"
 	"repro/internal/loops"
 	"repro/internal/mapper"
 	"repro/internal/network"
@@ -235,6 +236,11 @@ type SearchRequest struct {
 	// NoSurrogate disables the surrogate-guided candidate ordering
 	// (results identical either way).
 	NoSurrogate bool `json:"nosurrogate,omitempty"`
+	// Shards fans the exhaustive search out over K deterministic subtree
+	// shards, executed on the server's configured peers (or in-process
+	// without peers). Results are bit-identical to the unsharded search for
+	// any K. Ignored with anneal.
+	Shards int `json:"shards,omitempty"`
 	// Anneal switches from the exhaustive engine to simulated annealing.
 	Anneal     bool  `json:"anneal,omitempty"`
 	Iterations int   `json:"iterations,omitempty"`
@@ -323,7 +329,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Hooks:       hooks,
 		})
 	} else {
-		cand, stats, err = mapper.BestCached(ctx, &l, hw, &mapper.Options{
+		opt := &mapper.Options{
 			Spatial:       sp,
 			Pow2Splits:    req.Pow2Splits,
 			MaxCandidates: req.Budget,
@@ -332,7 +338,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			NoReduce:      req.NoSym,
 			NoSurrogate:   req.NoSurrogate,
 			Hooks:         hooks,
-		})
+		}
+		var run mapper.SearchFunc
+		if req.Shards > 1 {
+			// The original archSpec is forwarded verbatim so every shard
+			// resolves the identical architecture, preset or inline.
+			run = fabric.Runner(&fabric.Options{
+				Shards:     req.Shards,
+				Nodes:      s.cfg.Peers,
+				ArchName:   req.Arch,
+				ArchConfig: req.ArchConfig,
+				Tenant:     tenantOf(r),
+				TimeoutMS:  req.TimeoutMS,
+			})
+		}
+		cand, stats, err = mapper.BestCachedVia(ctx, &l, hw, opt, run)
 	}
 	if err != nil {
 		tracker.finish(0, nil, err)
@@ -374,7 +394,10 @@ type NetworkLayerJSON struct {
 	PrefetchSaved float64 `json:"prefetch_saved"`
 	SpillCC       float64 `json:"spill_cc"`
 	EnergyPJ      float64 `json:"energy_pj"`
-	Utilization   float64 `json:"utilization"`
+	// EnergyError reports a failed energy model evaluation for this layer
+	// (EnergyPJ is 0 and excluded from total_pj when set).
+	EnergyError string  `json:"energy_error,omitempty"`
+	Utilization float64 `json:"utilization"`
 }
 
 // NetworkResponse is the answer to a NetworkRequest.
@@ -451,7 +474,7 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	}
 	for i := range res.Layers {
 		lr := &res.Layers[i]
-		out.Layers = append(out.Layers, NetworkLayerJSON{
+		lj := NetworkLayerJSON{
 			Name:          lr.Original,
 			Temporal:      lr.Candidate.Mapping.Temporal.String(),
 			CCTotal:       lr.Candidate.Result.CCTotal,
@@ -460,7 +483,11 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 			SpillCC:       lr.SpillCC,
 			EnergyPJ:      lr.EnergyPJ,
 			Utilization:   lr.Candidate.Result.Utilization,
-		})
+		}
+		if lr.EnergyErr != nil {
+			lj.EnergyError = lr.EnergyErr.Error()
+		}
+		out.Layers = append(out.Layers, lj)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -173,6 +173,9 @@ type metrics struct {
 	endpoints map[string]*endpointMetrics
 	shed      counter
 	search    searchCounters
+	// fabricShards counts shard requests this node executed on behalf of a
+	// remote coordinator (POST /v1/shard).
+	fabricShards counter
 	// phaseSeconds times the mapper's internal phases (generate, search,
 	// anneal), fed by the telemetry hooks of searches this server computed.
 	phaseSeconds *labeledHistogram
@@ -241,6 +244,10 @@ func (m *metrics) write(w io.Writer, memo memoSnapshot, adm admissionSnapshot, s
 	fmt.Fprintf(w, "# HELP servemodel_build_info Build identity of the running binary (value is always 1).\n")
 	fmt.Fprintf(w, "# TYPE servemodel_build_info gauge\n")
 	fmt.Fprintf(w, "servemodel_build_info{go_version=%q,revision=%q} 1\n", m.buildGo, m.buildRev)
+
+	fmt.Fprintf(w, "# HELP servemodel_fabric_shards_total Search shards executed by this node for a remote coordinator.\n")
+	fmt.Fprintf(w, "# TYPE servemodel_fabric_shards_total counter\n")
+	fmt.Fprintf(w, "servemodel_fabric_shards_total %d\n", m.fabricShards.Load())
 
 	fmt.Fprintf(w, "# HELP servemodel_inflight Requests currently being served, by endpoint.\n")
 	fmt.Fprintf(w, "# TYPE servemodel_inflight gauge\n")

@@ -226,7 +226,7 @@ func TestDeadline504(t *testing.T) {
 // with 429 + Retry-After and the shed counter shows up in /metrics.
 func TestQueueFull429(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: -1})
-	release, err := s.adm.acquire(context.Background())
+	release, err := s.adm.acquire(context.Background(), defaultTenant)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,10 +25,24 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/mapper"
 	"repro/internal/memo"
 	"repro/internal/par"
 	"repro/internal/prof"
 )
+
+// tenantOf extracts the request's tenant for weighted-fair admission: the
+// X-Tenant header, truncated to 64 bytes, defaulting to "default".
+func tenantOf(r *http.Request) string {
+	t := r.Header.Get("X-Tenant")
+	if t == "" {
+		return defaultTenant
+	}
+	if len(t) > 64 {
+		t = t[:64]
+	}
+	return t
+}
 
 // statusClientGone is logged for requests whose client disconnected before a
 // response could be written (nginx's convention; never actually sent).
@@ -50,6 +64,27 @@ type Config struct {
 	MaxTimeout time.Duration
 	// Logger receives structured request logs (default slog.Default()).
 	Logger *slog.Logger
+	// TenantWeights gives named tenants (X-Tenant header) proportional
+	// shares of the admission queue: a weight-3 tenant's queued searches are
+	// granted slots 3x as often as a weight-1 tenant's. Unlisted tenants
+	// (including "default") weigh 1. Empty: plain FIFO (every tenant weighs
+	// the same).
+	TenantWeights map[string]float64
+	// Peers lists other servemodel base URLs eligible to execute shards of
+	// this server's sharded searches (POST /v1/search with shards > 1).
+	// Never list THIS server's own address: a node executing its own fan-out
+	// would queue shard requests behind the coordinating search's admission
+	// slot and can deadlock against itself. Empty: shards run in-process.
+	Peers []string
+	// MemoStore backs the /v1/memo/{get,put} endpoints, letting a fleet
+	// share warm search results (default: a bounded in-process store). This
+	// is the store this node SERVES; the store the node's own searches read
+	// and write is installed process-wide via mapper.SetBlobStore.
+	MemoStore memo.Store
+	// MemoVersion tags the memo wire protocol; exchanges with a different
+	// version are answered as misses / dropped so nodes running different
+	// model arithmetic never mix results (default mapper.DiskVersion()).
+	MemoVersion int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +105,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
+	}
+	if c.MemoStore == nil {
+		c.MemoStore = memo.NewMem(0)
+	}
+	if c.MemoVersion == 0 {
+		c.MemoVersion = mapper.DiskVersion()
 	}
 	return c
 }
@@ -99,8 +140,8 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		log:      cfg.Logger,
 		mux:      http.NewServeMux(),
-		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
-		met:      newMetrics(time.Now(), "eval", "search", "network", "metrics", "healthz", "explain", "progress"),
+		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.TenantWeights),
+		met:      newMetrics(time.Now(), "eval", "search", "network", "metrics", "healthz", "explain", "progress", "shard", "memo_get", "memo_put"),
 		progress: newProgressRegistry(),
 	}
 	s.base, s.baseCancel = context.WithCancel(context.Background())
@@ -111,6 +152,9 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/search/{id}/progress", s.instrument("progress", false, s.handleProgress))
 	s.mux.Handle("POST /v1/explain", s.instrument("explain", true, s.handleExplain))
 	s.mux.Handle("POST /v1/network", s.instrument("network", true, s.handleNetwork))
+	s.mux.Handle("POST /v1/shard", s.instrument("shard", true, s.handleShard))
+	s.mux.Handle("POST /v1/memo/get", s.instrument("memo_get", false, s.handleMemoGet))
+	s.mux.Handle("POST /v1/memo/put", s.instrument("memo_put", false, s.handleMemoPut))
 	return s
 }
 
@@ -142,7 +186,7 @@ func (s *Server) instrument(name string, admit bool, h http.HandlerFunc) http.Ha
 		case !admit:
 			h(sw, r)
 		default:
-			release, err := s.adm.acquire(r.Context())
+			release, err := s.adm.acquire(r.Context(), tenantOf(r))
 			switch {
 			case errors.Is(err, errAdmissionFull):
 				s.met.shed.Add(1)

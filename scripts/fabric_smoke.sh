@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# fabric_smoke.sh — end-to-end smoke test of the sharded search fabric:
+# build cmd/servemodel and cmd/latmodel, start TWO servemodel nodes on
+# loopback ports, and check that a search fanned out over shards — first
+# in-process, then across both nodes — reproduces the plain local run
+# byte-for-byte. Also checks the nodes' shard counters moved, that a
+# malformed /v1/shard body answers 400, and that SIGTERM still shuts the
+# nodes down cleanly. CI runs this via `make fabric-smoke`.
+#
+# -nosurrogate keeps the CLI output literally diffable: every printed
+# counter is then walk-exact, while the surrogate's "pruned before
+# evaluation" line depends on evaluation order and may differ between a
+# single engine and a fan-out (see DESIGN.md §13).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PORT1="${FABRIC_SMOKE_PORT1:-18374}"
+PORT2="${FABRIC_SMOKE_PORT2:-18375}"
+ADDR1="127.0.0.1:${PORT1}"
+ADDR2="127.0.0.1:${PORT2}"
+DIR="$(mktemp -d)"
+trap 'kill "${PID1:-}" "${PID2:-}" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/servemodel" ./cmd/servemodel
+go build -o "$DIR/latmodel" ./cmd/latmodel
+
+"$DIR/servemodel" -addr "$ADDR1" -draintimeout 5s >"$DIR/node1.log" 2>&1 &
+PID1=$!
+"$DIR/servemodel" -addr "$ADDR2" -draintimeout 5s >"$DIR/node2.log" 2>&1 &
+PID2=$!
+
+wait_up() { # addr pid logfile
+    for i in $(seq 1 50); do
+        if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        if ! kill -0 "$2" 2>/dev/null; then
+            echo "fabric-smoke: node on $1 exited early:" >&2
+            cat "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "fabric-smoke: node on $1 never became healthy" >&2
+    exit 1
+}
+wait_up "$ADDR1" "$PID1" "$DIR/node1.log"
+wait_up "$ADDR2" "$PID2" "$DIR/node2.log"
+
+# The reference: one plain local search. A modest budget keeps the smoke
+# fast; the workload and options must match the sharded runs exactly.
+LAYER=(-b 64 -k 96 -c 128 -budget 4000 -nosurrogate)
+"$DIR/latmodel" "${LAYER[@]}" >"$DIR/local.out"
+grep -q 'search: .* valid' "$DIR/local.out" || {
+    echo "fabric-smoke: reference run printed no search line:" >&2
+    cat "$DIR/local.out" >&2
+    exit 1
+}
+
+# In-process fan-out: -shards 4 must be byte-identical to the plain run.
+"$DIR/latmodel" "${LAYER[@]}" -shards 4 >"$DIR/sharded.out"
+diff -u "$DIR/local.out" "$DIR/sharded.out" || {
+    echo "fabric-smoke: -shards 4 diverged from the local search" >&2
+    exit 1
+}
+
+# Remote fan-out: the same shards executed by the two nodes.
+"$DIR/latmodel" "${LAYER[@]}" -shards 4 -nodes "http://${ADDR1},http://${ADDR2}" >"$DIR/remote.out"
+diff -u "$DIR/local.out" "$DIR/remote.out" || {
+    echo "fabric-smoke: remote fan-out diverged from the local search" >&2
+    exit 1
+}
+
+# Both nodes must have executed at least one shard (round-robin placement
+# lands 2 of the 4 on each).
+for ADDR in "$ADDR1" "$ADDR2"; do
+    METRICS=$(curl -fsS "http://${ADDR}/metrics")
+    echo "$METRICS" | grep -q '^servemodel_fabric_shards_total [1-9]' || {
+        echo "fabric-smoke: node $ADDR reports no executed shards" >&2
+        echo "$METRICS" | grep '^servemodel_fabric' >&2 || true
+        exit 1
+    }
+done
+
+# A malformed shard body must answer 400, not crash the node.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://${ADDR1}/v1/shard" -d '{"nope":1}')
+[ "$CODE" = "400" ] || { echo "fabric-smoke: malformed shard request got $CODE, want 400" >&2; exit 1; }
+
+# Graceful shutdown of both nodes.
+kill -TERM "$PID1" "$PID2"
+for PID in "$PID1" "$PID2"; do
+    if ! wait "$PID"; then
+        echo "fabric-smoke: node $PID exited non-zero on SIGTERM:" >&2
+        cat "$DIR"/node*.log >&2
+        exit 1
+    fi
+done
+PID1="" PID2=""
+echo "fabric-smoke: OK"
