@@ -27,6 +27,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arch"
@@ -74,6 +75,8 @@ func main() {
 		progress = flag.Bool("progress", false, "stream live search telemetry to stderr")
 		shards   = flag.Int("shards", 1, "fan the exhaustive search out over K deterministic subtree shards (results bit-identical to -shards 1)")
 		nodes    = flag.String("nodes", "", "comma-separated servemodel base URLs to execute shards on (default: in-process goroutines)")
+		execs    = flag.Int("executors", 0, "bound on concurrently executing shards (default: -shards); idle executors steal from running ones")
+		nosteal  = flag.Bool("nosteal", false, "disable work stealing between shard executors (results bit-identical either way)")
 	)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
@@ -201,17 +204,24 @@ func main() {
 			Spatial: sp, BWAware: !*unaware, MaxCandidates: *budget, NoReduce: *nosym, NoSurrogate: *nosur, Hooks: hooks,
 		}
 		var run mapper.SearchFunc
+		var steals atomic.Int64
 		if *shards > 1 || *nodes != "" {
 			run = fabric.Runner(&fabric.Options{
 				Shards:     *shards,
 				Nodes:      splitList(*nodes),
 				ArchName:   archWire,
 				ArchConfig: archCfgWire,
+				Executors:  *execs,
+				NoSteal:    *nosteal,
+				Steals:     &steals,
 			})
 		}
 		best, stats, err = mapper.BestCachedVia(context.Background(), &layer, hw, opt, run)
 		if err != nil {
 			fatal("mapping search: %v", err)
+		}
+		if n := steals.Load(); n > 0 {
+			fmt.Fprintf(os.Stderr, "fabric: %d shard steal(s) re-balanced the search\n", n)
 		}
 		fmt.Printf("arch: %s (%d MACs)\nlayer: %s\nsearch: %d nests, %d valid\n\n",
 			hw.Name, hw.MACs, layer.String(), stats.NestsGenerated, stats.Valid)

@@ -66,6 +66,26 @@ func BenchmarkFabricSearch(b *testing.B) {
 
 func BenchmarkFabricShardWork(b *testing.B) {
 	layer, mo := fabricBenchProblem()
+	benchShardWork(b, layer, mo)
+}
+
+// BenchmarkFabricShardWorkCapped is the cap-concentrated case the prefix
+// partition cannot balance: a 3x3 conv whose full-depth walk holds a single
+// block multiset of 20160 distinct orderings, with the candidate budget capped
+// at 50k so that one multiset is ~40% of all visited work. Any plan that can
+// only cut between prefixes must hand some shard that whole multiset
+// (critpath >= 40% of total at every K >= 3); sub-multiset ranges cut through
+// it, so critpath-ns/op should keep falling ~linearly in K.
+func BenchmarkFabricShardWorkCapped(b *testing.B) {
+	layer := workload.NewConv2D("capped", 1, 128, 128, 14, 14, 3, 3)
+	mo := &mapper.Options{
+		Spatial: arch.CaseStudySpatial(), BWAware: true, MaxCandidates: 50_000,
+		NoReduce: true, NoSurrogate: true,
+	}
+	benchShardWork(b, layer, mo)
+}
+
+func benchShardWork(b *testing.B, layer workload.Layer, mo *mapper.Options) {
 	hw := arch.CaseStudy()
 	for _, k := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {

@@ -19,12 +19,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/config"
@@ -63,6 +63,17 @@ type Options struct {
 	// NoLocalFallback fails a shard whose every node attempt failed instead
 	// of recomputing it locally.
 	NoLocalFallback bool
+	// Executors bounds concurrently executing shards (default: Shards).
+	// Fewer executors than shards turns the plan into a work queue; more
+	// lets the pool split running shards onto the surplus via stealing.
+	Executors int
+	// NoSteal disables work stealing: an executor that runs out of queued
+	// shards just waits. The result is bit-identical either way (stealing
+	// re-plans exact position ranges); only wall-clock changes.
+	NoSteal bool
+	// Steals, when non-nil, is incremented once per landed steal (a shard
+	// stopped early and its remainder re-queued) — observability only.
+	Steals *atomic.Int64
 }
 
 // Search is mapper.Best executed over fo.Shards shards: same signature, same
@@ -119,81 +130,35 @@ func search(ctx context.Context, l *workload.Layer, a *arch.Arch, mo *mapper.Opt
 		}
 	}
 
-	// Fan out. The first failure cancels the siblings: a dead shard makes
-	// the exact merge impossible, so finishing the others is wasted work.
+	// Fan out through the executor pool. The first failure cancels the
+	// siblings: a dead shard makes the exact merge impossible, so finishing
+	// the others is wasted work.
+	e := fo.Executors
+	if e <= 0 {
+		e = len(plan.Specs)
+	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	outs := make([]*mapper.ShardOutcome, len(plan.Specs))
-	errs := make([]error, len(plan.Specs))
+	p := newPool(runCtx, cancel, l, a, &shardOpts, fo, nodes, baseReq, plan)
 	var wg sync.WaitGroup
-	for i := range plan.Specs {
+	for i := 0; i < e; i++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			out, err := runShard(runCtx, l, a, &shardOpts, plan.Specs[i], i, nodes, baseReq, fo)
-			if err != nil {
-				errs[i] = err
-				cancel()
-				return
-			}
-			outs[i] = out
-		}(i)
+			p.executor()
+		}()
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	// Prefer a root-cause error over the context.Canceled noise the sibling
-	// cancellation induced.
-	var firstErr error
-	for _, e := range errs {
-		if e != nil && !errors.Is(e, context.Canceled) {
-			firstErr = e
-			break
-		}
+	if p.err != nil {
+		return nil, nil, p.err
 	}
-	if firstErr == nil {
-		for _, e := range errs {
-			if e != nil {
-				firstErr = e
-				break
-			}
-		}
+	if fo.Steals != nil {
+		fo.Steals.Add(p.steals)
 	}
-	if firstErr != nil {
-		return nil, nil, firstErr
-	}
-	return mapper.MergeShards(l, a, mo, outs)
-}
-
-// runShard executes one shard: remotely with node rotation and failover, or
-// locally when no nodes are configured (or all failed).
-func runShard(ctx context.Context, l *workload.Layer, a *arch.Arch, o *mapper.Options, spec mapper.ShardSpec, i int, nodes []string, baseReq *ShardRequest, fo *Options) (*mapper.ShardOutcome, error) {
-	if len(nodes) == 0 {
-		return mapper.BestShard(ctx, l, a, o, spec)
-	}
-	req := *baseReq
-	req.Shard = spec
-	body, err := json.Marshal(&req)
-	if err != nil {
-		return nil, fmt.Errorf("fabric: encode shard %d: %w", i, err)
-	}
-	var lastErr error
-	for attempt := 0; attempt < len(nodes); attempt++ {
-		node := nodes[(i+attempt)%len(nodes)]
-		out, err := postShard(ctx, fo, node, body)
-		if err == nil {
-			return out, nil
-		}
-		lastErr = err
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-	}
-	if !fo.NoLocalFallback {
-		return mapper.BestShard(ctx, l, a, o, spec)
-	}
-	return nil, fmt.Errorf("fabric: shard %d failed on all %d node(s): %w", i, len(nodes), lastErr)
+	return mapper.MergeShards(l, a, mo, p.outs)
 }
 
 // buildRequest assembles the node-independent part of the shard requests.

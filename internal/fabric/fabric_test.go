@@ -14,6 +14,7 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -118,6 +119,107 @@ func TestSearchRemoteIdentity(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "failed on all") {
 		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestSearchStealIdentity: every executor-pool shape — fewer executors than
+// shards (queue + tail stealing), surplus executors (immediate splitting),
+// stealing disabled — reproduces mapper.Best bit for bit, capped and
+// uncapped, with and without the symmetry reduction. The steal schedule is
+// timing-dependent by nature; the merged result must not be.
+func TestSearchStealIdentity(t *testing.T) {
+	l := workload.ResNet18Suite()[3]
+	hw, sp := arch.CaseStudy(), arch.CaseStudySpatial()
+	for _, mc := range []struct {
+		name string
+		mo   mapper.Options
+	}{
+		{"capped", mapper.Options{Spatial: sp, MaxCandidates: 4000}},
+		{"noreduce-capped", mapper.Options{Spatial: sp, MaxCandidates: 4000, NoReduce: true}},
+	} {
+		t.Run(mc.name, func(t *testing.T) {
+			ref, refStats, err := mapper.Best(context.Background(), &l, hw, &mc.mo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 2, 7, 16} {
+				execs := k / 2
+				if execs < 1 {
+					execs = 1
+				}
+				for _, tc := range []struct {
+					tag string
+					fo  fabric.Options
+				}{
+					{"queue", fabric.Options{Shards: k, Executors: execs}},
+					{"surplus", fabric.Options{Shards: k, Executors: k + 2}},
+					{"nosteal", fabric.Options{Shards: k, Executors: execs, NoSteal: true}},
+				} {
+					var steals atomic.Int64
+					tc.fo.Steals = &steals
+					cand, stats, err := fabric.Search(context.Background(), &l, hw, &mc.mo, &tc.fo)
+					if err != nil {
+						t.Fatalf("k=%d %s: %v", k, tc.tag, err)
+					}
+					assertSameSearch(t, tc.tag, ref, refStats, cand, stats)
+					if tc.fo.NoSteal && steals.Load() != 0 {
+						t.Errorf("k=%d: %d steals with NoSteal set", k, steals.Load())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSearchRemoteSteal: a forced steal against a real servemodel node. The
+// node holds every shard walk open (ShardDelay), so when one executor runs
+// dry the victim is still inside its delay window and the steal POST lands
+// deterministically: the search must report at least one steal, the node's
+// steals counter must move, and the result must still match mapper.Best
+// exactly.
+func TestSearchRemoteSteal(t *testing.T) {
+	s := serve.New(serve.Config{
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+		ShardDelay: 200 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	l := workload.ResNet18Suite()[3]
+	hw, sp := arch.CaseStudy(), arch.CaseStudySpatial()
+	mo := &mapper.Options{Spatial: sp, MaxCandidates: 4000}
+	ref, refStats, err := mapper.Best(context.Background(), &l, hw, mo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steals atomic.Int64
+	cand, stats, err := fabric.Search(context.Background(), &l, hw, mo, &fabric.Options{
+		Shards: 3, Executors: 2, Nodes: []string{ts.URL}, ArchName: "casestudy", Steals: &steals,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSearch(t, "remote-steal", ref, refStats, cand, stats)
+	if steals.Load() == 0 {
+		t.Fatal("forced-steal schedule landed no steal")
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	found := false
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "servemodel_fabric_steals_total ") {
+			found = true
+			if strings.TrimPrefix(line, "servemodel_fabric_steals_total ") == "0" {
+				t.Errorf("node reports zero steals after a landed steal")
+			}
+		}
+	}
+	if !found {
+		t.Error("servemodel_fabric_steals_total missing from /metrics")
 	}
 }
 

@@ -1,0 +1,298 @@
+package fabric
+
+// The executor pool and its deterministic work stealing. The plan's specs
+// are a work queue; E executors drain it, and an executor that runs dry
+// while siblings are still walking STEALS: it stops the running shard with
+// the most estimated remaining work at its exact frontier (ShardControl
+// locally, POST /v1/shard/steal remotely), and the victim's truncated
+// outcome hands back a Resume spec that SplitShard re-plans into pieces for
+// the idle executors. Every steal replaces one owned position range with
+// ranges that tile it exactly, so the union of all outcomes stays disjoint
+// and exhaustive and the merge is bit-identical for ANY steal schedule —
+// including none. Only wall-clock changes.
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// minStealVisits is the smallest estimated remainder worth stealing:
+// below it the re-plan replay costs more than the imbalance, and a victim
+// about to finish would just hand back empty pieces.
+const minStealVisits = 256
+
+// workItem is one queued shard execution: the spec plus the exclusive
+// global visited position where its range ends (the next spec's
+// WalkedBefore, or the plan total), which prices the steal heuristic.
+type workItem struct {
+	spec mapper.ShardSpec
+	end  int64
+	idx  int // originating plan shard, for node rotation and error text
+}
+
+// runningShard is one in-flight execution the pool can steal from.
+type runningShard struct {
+	item workItem
+	ctl  *mapper.ShardControl // local execution: the live truncation handle
+	node string               // remote execution: node currently walking it
+	sid  string               // remote execution: steal handle on that node
+	// stolen marks a victim already asked to stop; it is never picked twice.
+	stolen bool
+}
+
+// remaining estimates the victim's unwalked visits: against the live
+// frontier locally, pessimistically against the range start remotely (the
+// wire has no frontier feed, and an overestimate only biases WHICH victim
+// is stopped — never the merged result).
+func (r *runningShard) remaining() int64 {
+	if r.ctl != nil {
+		return r.item.end - r.ctl.Frontier()
+	}
+	return r.item.end - r.item.spec.WalkedBefore
+}
+
+// pool runs one sharded search over a bounded executor set.
+type pool struct {
+	l       *workload.Layer
+	a       *arch.Arch
+	o       *mapper.Options
+	fo      *Options
+	nodes   []string
+	baseReq *ShardRequest
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []workItem
+	running []*runningShard
+	outs    []*mapper.ShardOutcome
+	pending int // queued + running; 0 means the search is drained
+	idle    int // executors blocked waiting for work
+	err     error
+	steals  int64
+	sidSeq  int64
+	sidBase string
+}
+
+func newPool(ctx context.Context, cancel context.CancelFunc, l *workload.Layer, a *arch.Arch, o *mapper.Options, fo *Options, nodes []string, baseReq *ShardRequest, plan *mapper.ShardPlan) *pool {
+	p := &pool{l: l, a: a, o: o, fo: fo, nodes: nodes, baseReq: baseReq, ctx: ctx, cancel: cancel}
+	p.cond = sync.NewCond(&p.mu)
+	var buf [6]byte
+	if _, err := rand.Read(buf[:]); err == nil {
+		p.sidBase = hex.EncodeToString(buf[:])
+	} else {
+		p.sidBase = "shard"
+	}
+	for i, sp := range plan.Specs {
+		end := plan.Total
+		if i+1 < len(plan.Specs) {
+			end = plan.Specs[i+1].WalkedBefore
+		}
+		p.queue = append(p.queue, workItem{spec: sp, end: end, idx: i})
+	}
+	p.pending = len(p.queue)
+	return p
+}
+
+// executor is one worker loop: drain the queue; when it runs dry with work
+// still in flight, nominate a steal victim and sleep until a completion
+// refills the queue or ends the search.
+func (p *pool) executor() {
+	for {
+		p.mu.Lock()
+		for {
+			if p.err != nil || p.pending == 0 || p.ctx.Err() != nil {
+				p.mu.Unlock()
+				return
+			}
+			if len(p.queue) > 0 {
+				break
+			}
+			p.maybeStealLocked()
+			p.idle++
+			p.cond.Wait()
+			p.idle--
+		}
+		it := p.queue[0]
+		p.queue = p.queue[1:]
+		r := &runningShard{item: it}
+		if len(p.nodes) == 0 {
+			r.ctl = mapper.NewShardControl(it.spec)
+		} else {
+			p.sidSeq++
+			r.sid = fmt.Sprintf("%s-%d", p.sidBase, p.sidSeq)
+		}
+		p.running = append(p.running, r)
+		p.mu.Unlock()
+		out, err := p.exec(r)
+		p.finish(r, out, err)
+	}
+}
+
+// maybeStealLocked (mu held) nominates the running shard with the largest
+// estimated remainder and asks it to stop. Local victims truncate at their
+// published frontier; remote victims get a best-effort steal POST — if it
+// is lost or late the victim simply completes whole and the stealer wakes
+// on that completion instead, so no failure mode can stall the pool.
+func (p *pool) maybeStealLocked() {
+	if p.fo.NoSteal {
+		return
+	}
+	var best *runningShard
+	var bestRem int64
+	for _, r := range p.running {
+		if r.stolen || (r.ctl == nil && r.node == "") {
+			continue
+		}
+		rem := r.remaining()
+		if rem < minStealVisits {
+			continue
+		}
+		if best == nil || rem > bestRem {
+			best, bestRem = r, rem
+		}
+	}
+	if best == nil {
+		return
+	}
+	best.stolen = true
+	if best.ctl != nil {
+		best.ctl.Truncate(best.ctl.Frontier())
+		return
+	}
+	go p.postSteal(best.node, best.sid)
+}
+
+// postSteal fires the remote stop request. Best effort by design: any
+// error just means the victim finishes its whole range.
+func (p *pool) postSteal(node, sid string) {
+	body, err := json.Marshal(&StealRequest{Sid: sid})
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(p.ctx, 10*time.Second)
+	defer cancel()
+	url := strings.TrimRight(node, "/") + "/v1/shard/steal"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if p.fo.Tenant != "" {
+		hreq.Header.Set("X-Tenant", p.fo.Tenant)
+	}
+	client := p.fo.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// exec runs one work item: locally under its ShardControl, or remotely with
+// node rotation and failover exactly like the pre-steal fabric. The local
+// fallback after total remote failure gets a fresh control so the pool can
+// still steal from it.
+func (p *pool) exec(r *runningShard) (*mapper.ShardOutcome, error) {
+	if r.ctl != nil {
+		return mapper.BestShardControlled(p.ctx, p.l, p.a, p.o, r.item.spec, r.ctl)
+	}
+	req := *p.baseReq
+	req.Shard = r.item.spec
+	req.Sid = r.sid
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: encode shard %d: %w", r.item.idx, err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < len(p.nodes); attempt++ {
+		node := p.nodes[(r.item.idx+attempt)%len(p.nodes)]
+		p.mu.Lock()
+		r.node = node
+		p.mu.Unlock()
+		out, err := postShard(p.ctx, p.fo, node, body)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if p.ctx.Err() != nil {
+			return nil, p.ctx.Err()
+		}
+	}
+	if !p.fo.NoLocalFallback {
+		ctl := mapper.NewShardControl(r.item.spec)
+		p.mu.Lock()
+		r.node = ""
+		r.ctl = ctl
+		p.mu.Unlock()
+		return mapper.BestShardControlled(p.ctx, p.l, p.a, p.o, r.item.spec, ctl)
+	}
+	return nil, fmt.Errorf("fabric: shard %d failed on all %d node(s): %w", r.item.idx, len(p.nodes), lastErr)
+}
+
+// finish books one completed execution. A truncated outcome is a landed
+// steal: the Resume remainder is re-planned into one piece per waiting
+// executor (plus one for this, now free, executor) and re-queued; the
+// pieces tile the remainder exactly, so ownership stays disjoint and
+// exhaustive.
+func (p *pool) finish(r *runningShard, out *mapper.ShardOutcome, err error) {
+	var pieces []mapper.ShardSpec
+	if err == nil && out.Truncated {
+		p.mu.Lock()
+		parts := p.idle + 1
+		p.mu.Unlock()
+		if parts < 2 {
+			parts = 2
+		}
+		pieces, err = mapper.SplitShard(p.ctx, p.l, p.a, p.o, out.Resume, parts)
+	}
+	p.mu.Lock()
+	defer func() {
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}()
+	for i, rr := range p.running {
+		if rr == r {
+			p.running = append(p.running[:i], p.running[i+1:]...)
+			break
+		}
+	}
+	if err != nil {
+		if p.err == nil {
+			p.err = err
+		}
+		p.cancel()
+		return
+	}
+	p.outs = append(p.outs, out)
+	if out.Truncated {
+		p.steals++
+		for i, sp := range pieces {
+			end := r.item.end
+			if i+1 < len(pieces) {
+				end = pieces[i+1].WalkedBefore
+			}
+			p.queue = append(p.queue, workItem{spec: sp, end: end, idx: r.item.idx})
+			p.pending++
+		}
+	}
+	p.pending--
+}

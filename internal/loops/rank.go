@@ -1,0 +1,145 @@
+package loops
+
+import "fmt"
+
+// Lexicographic rank/unrank over a block multiset's distinct orderings.
+//
+// The mapper's canonical walk visits the distinct orderings of each block
+// multiset in a fixed order: at every nest position it tries the distinct
+// blocks in the order their runs appear in the blocks slice (equal blocks
+// are always adjacent there, so "first unused index" picks runs in slice
+// order). RankOrdering/UnrankOrdering are the exact inverse pair for that
+// order, which makes a walk position addressable as (prefix, permIndex) and
+// lets a shard boundary cut through the middle of a multiset with pure
+// arithmetic: rank r splits the multiset into r orderings before and
+// DistinctOrderings(blocks)-r at or after, no walking required.
+//
+// Counts are exact in int64: every partial count is a multinomial of at
+// most len(blocks) items, and the factorial table stops at 20! (the largest
+// factorial below 2^63). The engine's worst case is 7 dims x 2 split parts
+// = 14 blocks, 14! ~ 8.7e10, far inside the guard.
+
+// MaxRankBlocks is the largest multiset size RankOrdering and
+// UnrankOrdering accept: 20! is the last factorial representable in int64,
+// so larger multisets could overflow intermediate counts.
+const MaxRankBlocks = 20
+
+// factorials[i] = i! for i in [0, MaxRankBlocks].
+var factorials = func() [MaxRankBlocks + 1]int64 {
+	var f [MaxRankBlocks + 1]int64
+	f[0] = 1
+	for i := 1; i <= MaxRankBlocks; i++ {
+		f[i] = f[i-1] * int64(i)
+	}
+	return f
+}()
+
+// orderingRuns collapses the blocks slice (equal blocks adjacent) into its
+// distinct symbols in run order plus their multiplicities.
+func orderingRuns(blocks []Loop) ([]Loop, []int) {
+	syms := make([]Loop, 0, len(blocks))
+	mult := make([]int, 0, len(blocks))
+	for _, b := range blocks {
+		if k := len(syms); k > 0 && syms[k-1] == b {
+			mult[k-1]++
+			continue
+		}
+		syms = append(syms, b)
+		mult = append(mult, 1)
+	}
+	return syms, mult
+}
+
+// restMultinomial returns the number of distinct orderings of the remaining
+// multiset described by mult with n items total: n! / prod(mult[i]!). The
+// running quotient stays exact at every step — n!/m_0! is an integer, and
+// each further division by m_i! leaves the multinomial over the elements
+// seen so far, also an integer.
+func restMultinomial(n int, mult []int) int64 {
+	r := factorials[n]
+	for _, m := range mult {
+		if m > 1 {
+			r /= factorials[m]
+		}
+	}
+	return r
+}
+
+func checkRankSize(n int) {
+	if n > MaxRankBlocks {
+		panic(fmt.Sprintf("loops: rank/unrank over %d blocks would overflow int64 (max %d)", n, MaxRankBlocks))
+	}
+}
+
+// RankOrdering returns the zero-based position of perm within the walk
+// order of the distinct orderings of blocks: UnrankOrdering(blocks,
+// RankOrdering(blocks, perm)) reproduces perm, and ranks run 0 ..
+// DistinctOrderings(blocks)-1 in exactly the order the mapper's walk
+// visits. Equal blocks must be adjacent in blocks (the mapper's invariant);
+// perm must be a rearrangement of blocks. Panics on a malformed perm or a
+// multiset larger than MaxRankBlocks.
+func RankOrdering(blocks []Loop, perm Nest) int64 {
+	n := len(blocks)
+	checkRankSize(n)
+	if len(perm) != n {
+		panic(fmt.Sprintf("loops: RankOrdering perm has %d blocks, multiset has %d", len(perm), n))
+	}
+	syms, mult := orderingRuns(blocks)
+	var rank int64
+	for p, rem := 0, n; p < n; p, rem = p+1, rem-1 {
+		si := -1
+		for j, s := range syms {
+			if s == perm[p] && mult[j] > 0 {
+				si = j
+				break
+			}
+		}
+		if si < 0 {
+			panic(fmt.Sprintf("loops: RankOrdering perm[%d]=%v is not in the remaining multiset", p, perm[p]))
+		}
+		for j := 0; j < si; j++ {
+			if mult[j] == 0 {
+				continue
+			}
+			mult[j]--
+			rank += restMultinomial(rem-1, mult)
+			mult[j]++
+		}
+		mult[si]--
+	}
+	return rank
+}
+
+// UnrankOrdering returns the distinct ordering of blocks at zero-based walk
+// position rank, the inverse of RankOrdering. Panics if rank is outside
+// [0, DistinctOrderings(blocks)) or the multiset exceeds MaxRankBlocks.
+func UnrankOrdering(blocks []Loop, rank int64) Nest {
+	n := len(blocks)
+	checkRankSize(n)
+	if rank < 0 {
+		panic(fmt.Sprintf("loops: UnrankOrdering rank %d < 0", rank))
+	}
+	syms, mult := orderingRuns(blocks)
+	out := make(Nest, 0, n)
+	for p, rem := 0, n; p < n; p, rem = p+1, rem-1 {
+		placed := false
+		for j := range syms {
+			if mult[j] == 0 {
+				continue
+			}
+			mult[j]--
+			c := restMultinomial(rem-1, mult)
+			if rank < c {
+				out = append(out, syms[j])
+				placed = true
+				break
+			}
+			rank -= c
+			mult[j]++
+		}
+		if !placed {
+			panic(fmt.Sprintf("loops: UnrankOrdering rank out of range by %d for %d-block multiset", rank, n))
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package loops
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// walkOrderings visits every distinct ordering of blocks in the mapper's
+// walk order (same recursion and duplicate-position skip as the engine's
+// permute) and returns them as copies.
+func walkOrderings(blocks []Loop) []Nest {
+	n := len(blocks)
+	var out []Nest
+	nest := make(Nest, 0, n)
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(nest) == n {
+			out = append(out, append(Nest(nil), nest...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if i > 0 && !used[i-1] && blocks[i] == blocks[i-1] {
+				continue
+			}
+			used[i] = true
+			nest = append(nest, blocks[i])
+			rec()
+			nest = nest[:len(nest)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// randomMultiset builds a mapper-shaped multiset: runs of equal blocks,
+// equal blocks adjacent, distinct (Dim, Size) across runs.
+func randomMultiset(rng *rand.Rand, maxRuns, maxMult int) []Loop {
+	runs := 1 + rng.Intn(maxRuns)
+	var blocks []Loop
+	for r := 0; r < runs; r++ {
+		b := Loop{Dim: Dim(r % NumDims), Size: int64(2 + r)}
+		m := 1 + rng.Intn(maxMult)
+		for i := 0; i < m && len(blocks) < MaxRankBlocks; i++ {
+			blocks = append(blocks, b)
+		}
+	}
+	return blocks
+}
+
+func nestsEqual(a, b Nest) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRankAgreesWithWalkOrder pins the core identity the shard index rests
+// on: the i-th ordering the walk visits has rank i, and unrank(i)
+// reproduces it.
+func TestRankAgreesWithWalkOrder(t *testing.T) {
+	cases := [][]Loop{
+		nil,
+		{{Dim: K, Size: 4}},
+		{{Dim: K, Size: 4}, {Dim: K, Size: 4}},
+		{{Dim: K, Size: 2}, {Dim: C, Size: 3}, {Dim: C, Size: 3}, {Dim: OX, Size: 5}},
+		{{Dim: K, Size: 2}, {Dim: K, Size: 2}, {Dim: C, Size: 3}, {Dim: C, Size: 3}, {Dim: OY, Size: 7}},
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20; i++ {
+		cases = append(cases, randomMultiset(rng, 4, 3))
+	}
+	for _, blocks := range cases {
+		all := walkOrderings(blocks)
+		if got, want := int64(len(all)), DistinctOrderings(blocks); got != want {
+			t.Fatalf("multiset %v: walk visited %d orderings, DistinctOrderings says %d", blocks, got, want)
+		}
+		for i, p := range all {
+			if r := RankOrdering(blocks, p); r != int64(i) {
+				t.Fatalf("multiset %v: ordering %d %v ranked %d", blocks, i, p, r)
+			}
+			if u := UnrankOrdering(blocks, int64(i)); !nestsEqual(u, p) {
+				t.Fatalf("multiset %v: unrank(%d) = %v, walk visited %v", blocks, i, u, p)
+			}
+		}
+	}
+}
+
+// TestRankUnrankRoundTrip property-tests the inverse pair on random
+// multisets too large to enumerate, sampling random ranks.
+func TestRankUnrankRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		blocks := randomMultiset(rng, 7, 3)
+		total := DistinctOrderings(blocks)
+		for s := 0; s < 10; s++ {
+			r := rng.Int63n(total)
+			p := UnrankOrdering(blocks, r)
+			if got := RankOrdering(blocks, p); got != r {
+				t.Fatalf("multiset %v: rank(unrank(%d)) = %d", blocks, r, got)
+			}
+		}
+	}
+}
+
+// TestRankWorstCase14Blocks pins int64 exactness at the engine's worst
+// case: 7 dims x 2 distinct split parts = 14 distinct blocks, 14! distinct
+// orderings. The last ordering must rank 14!-1 exactly and round-trip.
+func TestRankWorstCase14Blocks(t *testing.T) {
+	blocks := make([]Loop, 0, 14)
+	for d := 0; d < NumDims; d++ {
+		blocks = append(blocks, Loop{Dim: Dim(d), Size: 2}, Loop{Dim: Dim(d), Size: 3})
+	}
+	total := DistinctOrderings(blocks)
+	const fact14 = 87178291200 // 14!
+	if total != fact14 {
+		t.Fatalf("DistinctOrderings = %d, want 14! = %d", total, fact14)
+	}
+	// The last ordering in walk order is the blocks reversed (every position
+	// picks the last remaining run).
+	last := make(Nest, 0, 14)
+	for i := len(blocks) - 1; i >= 0; i-- {
+		last = append(last, blocks[i])
+	}
+	if r := RankOrdering(blocks, last); r != total-1 {
+		t.Fatalf("rank(reversed) = %d, want %d", r, total-1)
+	}
+	if u := UnrankOrdering(blocks, total-1); !nestsEqual(u, last) {
+		t.Fatalf("unrank(%d) = %v, want reversed blocks", total-1, u)
+	}
+	if u := UnrankOrdering(blocks, 0); !nestsEqual(u, Nest(blocks)) {
+		t.Fatalf("unrank(0) = %v, want blocks order", u)
+	}
+	// A few random interior ranks round-trip exactly.
+	rng := rand.New(rand.NewSource(14))
+	for s := 0; s < 50; s++ {
+		r := rng.Int63n(total)
+		if got := RankOrdering(blocks, UnrankOrdering(blocks, r)); got != r {
+			t.Fatalf("round trip at rank %d gave %d", r, got)
+		}
+	}
+}
+
+// TestRankOverflowGuard pins the hard size limit: 21 blocks would need 21!
+// which overflows int64, so both directions must refuse.
+func TestRankOverflowGuard(t *testing.T) {
+	blocks := make([]Loop, MaxRankBlocks+1)
+	for i := range blocks {
+		blocks[i] = Loop{Dim: Dim(i % NumDims), Size: int64(i + 2)}
+	}
+	for name, f := range map[string]func(){
+		"rank":   func() { RankOrdering(blocks, Nest(blocks)) },
+		"unrank": func() { UnrankOrdering(blocks, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s over %d blocks did not panic", name, len(blocks))
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -461,9 +461,26 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 	// multinomial arithmetic instead of being walked.
 	walked := 0
 	capped := false
-	if sh != nil && !sh.simulate {
-		walked = int(sh.spec.WalkedBefore)
+	if sh != nil {
+		// WalkedBefore counts visits before position (Lo, PermLo); the
+		// counter starts at the beginning of prefix Lo, PermLo visits
+		// earlier, and advances back to WalkedBefore arithmetically while
+		// the jump below consumes the previous shard's share of the prefix.
+		walked = int(sh.spec.WalkedBefore - sh.spec.PermLo)
 		capped = sh.spec.CappedBefore
+	}
+	// Sub-multiset windows (DESIGN.md §14): prefixPos counts the orderings
+	// the whole-space walk visits inside the current depth-D prefix, and
+	// [winLo, winHi) is the slice of those positions this shard owns — set
+	// as each prefix is entered, unbounded for interior prefixes and
+	// unsharded runs. shardDone trips when the walk crosses the shard's
+	// upper boundary (or a ShardControl truncation) and aborts the descent.
+	prefixPos := int64(0)
+	winLo, winHi := int64(0), int64(math.MaxInt64)
+	shardDone := false
+	var ctl *ShardControl
+	if sh != nil {
+		ctl = sh.ctl
 	}
 	var rec func(d int, blocks []loops.Loop, prod float64, base int64)
 	body := func(d int, blocks []loops.Loop, prod float64, base int64) {
@@ -489,20 +506,63 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 				}
 				return
 			}
-			if capped {
-				// The post-cap counting walk visits no orderings, so the
-				// visitor's probe below never runs again — probe here, or a
-				// cancellation during a long Skipped tally over a
-				// divisor-rich space would never be observed.
-				if e.ctx.Err() != nil {
-					e.aborted.Store(true)
-					return
-				}
-				st.Skipped += int(loops.DistinctOrderings(blocks))
+			// Visitor leaf. The shard's window may cover only a slice of
+			// this multiset's orderings: positions before winLo are consumed
+			// arithmetically (the owning shard visits them), the boundary at
+			// winHi ends the shard, and the budget-cap remainder n-v is
+			// accounted by whichever shard owns the leaf's FIRST position —
+			// pure position arithmetic, so the per-shard counters sum to the
+			// whole-space count for any boundary placement. The ctx probe
+			// here also bounds abort latency during long post-cap tallies.
+			if e.ctx.Err() != nil {
+				e.aborted.Store(true)
 				return
 			}
-			visited := 0
-			permute(blocks, func(nest loops.Nest) bool {
+			n := loops.DistinctOrderings(blocks)
+			// v is how many of this leaf's orderings the whole-space walk
+			// visits (check-before-visit: the cap trips on the first attempt
+			// past the budget).
+			v := n
+			if capped {
+				v = 0
+			} else if room := int64(o.MaxCandidates - walked); v > room {
+				v = room
+			}
+			leafStart := prefixPos
+			ownsStart := leafStart >= winLo && leafStart < winHi
+			if leafStart >= winHi {
+				// The shard's upper boundary: every position from here on
+				// belongs to the next shard.
+				shardDone = true
+				return
+			}
+			if v == 0 {
+				capped = true
+				if ownsStart {
+					st.Skipped += int(n)
+				}
+				return
+			}
+			if !ownsStart && leafStart+v <= winLo {
+				// Every visited ordering of this leaf precedes the shard's
+				// window.
+				walked += int(v)
+				prefixPos += v
+				if v < n {
+					capped = true
+				}
+				return
+			}
+			skip := int64(0)
+			if winLo > leafStart {
+				// The window opens mid-leaf: jump straight to the ordering
+				// at rank winLo-leafStart within this multiset; the ranks
+				// before it are the previous shard's.
+				skip = winLo - leafStart
+				walked += int(skip)
+				prefixPos += skip
+			}
+			visit := func(nest loops.Nest) bool {
 				// Cooperative cancellation: probe the context on every
 				// visited ordering. Err() is a nil-channel check for
 				// Background and one atomic load for a live context —
@@ -512,14 +572,34 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 					e.aborted.Store(true)
 					return false
 				}
+				if prefixPos >= winHi {
+					shardDone = true
+					return false
+				}
 				if walked == o.MaxCandidates {
 					capped = true
 					return false
 				}
+				if ctl != nil && int64(walked) >= ctl.limit.Load() {
+					// Truncation stop, BEFORE this visit: (base, prefixPos)
+					// is the exact handoff position for the remainder.
+					sh.truncated = true
+					sh.resume = ShardSpec{
+						Depth: sh.spec.Depth,
+						Lo:    base, PermLo: prefixPos,
+						Hi: sh.spec.Hi, PermHi: sh.spec.PermHi,
+						WalkedBefore: int64(walked),
+					}
+					shardDone = true
+					return false
+				}
 				walked++
-				visited++
+				prefixPos++
 				if e.hooks != nil && walked%progressInterval == 0 {
 					e.hooks.EmitProgress(e.obsSnapshot(st, int64(walked), false))
+				}
+				if ctl != nil && walked%frontierInterval == 0 {
+					ctl.frontier.Store(int64(walked))
 				}
 				if reduce {
 					if sh == nil {
@@ -544,14 +624,26 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 				st.NestsGenerated++
 				emit(int64(walked-1), nest)
 				return true
-			})
-			if capped {
-				st.Skipped += int(loops.DistinctOrderings(blocks)) - visited
+			}
+			if skip > 0 {
+				permuteFrom(blocks, skip, visit)
+			} else {
+				permute(blocks, visit)
+			}
+			if ownsStart && v < n {
+				// Exact cap remainder of a leaf whose first position this
+				// shard owns — added even when a boundary or truncation
+				// stopped the visits early, because the remainder is fixed
+				// by the budget, not by who visited what.
+				st.Skipped += int(n - v)
 			}
 			return
 		}
 		dim := loops.AllDims[d]
 		for si, s := range dimSplits[dim] {
+			if shardDone {
+				return
+			}
 			next := blocks
 			part := int64(1)
 			for _, f := range s {
@@ -563,16 +655,17 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 			cbase := base
 			if sh != nil && d < sh.spec.Depth {
 				cbase = base + int64(si)*strides[d+1]
-				if !sh.simulate {
-					// Skip subtrees entirely outside the owned prefix range:
-					// their walk state is already accounted for in
-					// WalkedBefore (earlier prefixes) or is some other
-					// shard's business (later ones). Partially overlapping
-					// subtrees are descended; the per-child span shrinks to 1
-					// by d == Depth-1, so every reached leaf region is owned.
-					if cbase+strides[d+1] <= sh.spec.Lo || cbase >= sh.spec.Hi {
-						continue
-					}
+				// Skip subtrees entirely outside the owned range: their walk
+				// state is already accounted for in WalkedBefore (earlier
+				// positions) or is some other shard's business (later ones).
+				// Prefix Hi is descended only when the shard owns its first
+				// PermHi positions; partially overlapping subtrees narrow to
+				// a single prefix by d == Depth-1. The planner's restricted
+				// replays (simulate) apply the same rule, which is what lets
+				// it re-meter one prefix's children in isolation.
+				if cbase+strides[d+1] <= sh.spec.Lo || cbase > sh.spec.Hi ||
+					(cbase == sh.spec.Hi && sh.spec.PermHi == 0) {
+					continue
 				}
 			}
 			// Once capped, pruning stops too: the remainder is counted, not
@@ -580,10 +673,21 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 			// walk makes the same prune decisions as the whole-space walk
 			// (the probe bound is deterministic and capped agrees at every
 			// shared node — see DESIGN.md §13) but attributes the counter to
-			// the shard owning the subtree's first prefix, so the merge sums
-			// to the whole-space count exactly.
+			// the shard owning the subtree's first walk position — above the
+			// split depth that is the first prefix, below it the next visit
+			// position against the window — so the merge sums to the
+			// whole-space count exactly even when shards share a prefix.
 			if !capped && float64(part)*prod*minTail[d+1]+boundFloor > probeBound {
-				if sh == nil || sh.simulate || (cbase >= sh.spec.Lo && cbase < sh.spec.Hi) {
+				owns := true
+				if sh != nil && !sh.simulate {
+					if d < sh.spec.Depth {
+						owns = (cbase > sh.spec.Lo || (cbase == sh.spec.Lo && sh.spec.PermLo == 0)) &&
+							(cbase < sh.spec.Hi || (cbase == sh.spec.Hi && sh.spec.PermHi > 0))
+					} else {
+						owns = prefixPos >= winLo && prefixPos < winHi
+					}
+				}
+				if owns {
 					st.SubtreesPruned++
 				}
 				continue
@@ -592,14 +696,28 @@ func (e *engine) generate(st *Stats, emit func(seq int64, nest loops.Nest)) {
 		}
 	}
 	rec = func(d int, blocks []loops.Loop, prod float64, base int64) {
-		if e.aborted.Load() {
-			return // canceled: counters are discarded, stop descending
+		if e.aborted.Load() || shardDone {
+			return // canceled or past the shard boundary: stop descending
 		}
-		if sh != nil && sh.weightf != nil && d == sh.spec.Depth {
-			w0 := walked
-			body(d, blocks, prod, base)
-			sh.weightf(base, walked-w0, capped)
-			return
+		if sh != nil && d == sh.spec.Depth {
+			// Entering a depth-D prefix: reset the position counter and
+			// derive this shard's window inside it.
+			prefixPos = 0
+			winLo, winHi = 0, math.MaxInt64
+			if !sh.simulate {
+				if base == sh.spec.Lo {
+					winLo = sh.spec.PermLo
+				}
+				if base == sh.spec.Hi && sh.spec.PermHi > 0 {
+					winHi = sh.spec.PermHi
+				}
+			}
+			if sh.weightf != nil {
+				w0 := walked
+				body(d, blocks, prod, base)
+				sh.weightf(base, walked-w0, capped)
+				return
+			}
 		}
 		body(d, blocks, prod, base)
 	}

@@ -418,3 +418,72 @@ func permute(blocks []loops.Loop, visit func(loops.Nest) bool) {
 	}
 	rec()
 }
+
+// permuteFrom visits the distinct orderings of blocks in the same walk order
+// as permute, starting at the zero-based rank `skip` (loops.RankOrdering's
+// index): permuteFrom(blocks, 0, visit) == permute(blocks, visit), and for
+// any skip the orderings visited are exactly permute's from position skip
+// on. The jump is arithmetic — loops.UnrankOrdering materializes the target
+// ordering and the recursion re-enters along that path — so resuming a walk
+// mid-multiset costs O(n^2), not O(skip). Nothing is visited when skip is at
+// or past the multiset's last ordering.
+func permuteFrom(blocks []loops.Loop, skip int64, visit func(loops.Nest) bool) {
+	if skip <= 0 {
+		permute(blocks, visit)
+		return
+	}
+	if skip >= loops.DistinctOrderings(blocks) {
+		return
+	}
+	target := loops.UnrankOrdering(blocks, skip)
+	n := len(blocks)
+	nest := make(loops.Nest, 0, n)
+	used := make([]bool, n)
+	var rec func(onPath bool) bool
+	rec = func(onPath bool) bool {
+		if len(nest) == n {
+			return visit(nest)
+		}
+		start := 0
+		if onPath {
+			// Re-enter along the target ordering: take the target's block at
+			// this position first (its first unused index — equal blocks are
+			// interchangeable), staying on-path one level deeper, then fall
+			// through to the choices after it as complete subtrees.
+			ti := -1
+			for i := 0; i < n; i++ {
+				if !used[i] && blocks[i] == target[len(nest)] {
+					ti = i
+					break
+				}
+			}
+			used[ti] = true
+			nest = append(nest, blocks[ti])
+			ok := rec(true)
+			nest = nest[:len(nest)-1]
+			used[ti] = false
+			if !ok {
+				return false
+			}
+			start = ti + 1
+		}
+		for i := start; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if i > 0 && !used[i-1] && blocks[i] == blocks[i-1] {
+				continue
+			}
+			used[i] = true
+			nest = append(nest, blocks[i])
+			ok := rec(false)
+			nest = nest[:len(nest)-1]
+			used[i] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(true)
+}

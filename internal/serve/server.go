@@ -85,6 +85,11 @@ type Config struct {
 	// version are answered as misses / dropped so nodes running different
 	// model arithmetic never mix results (default mapper.DiskVersion()).
 	MemoVersion int
+	// ShardDelay holds every POST /v1/shard walk open for this long after
+	// its steal handle is registered, before the walk starts. Test hook
+	// only (-shardslowdown): it gives an integration or smoke test a
+	// deterministic window to land a /v1/shard/steal against this node.
+	ShardDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +130,8 @@ type Server struct {
 	met *metrics
 	// progress tracks live search telemetry, keyed by search_id.
 	progress *progressRegistry
+	// steals tracks in-flight shard walks by sid for /v1/shard/steal.
+	steals *stealRegistry
 
 	// base is alive for the server's whole lifetime and canceled only when
 	// a graceful shutdown exhausts its drain deadline; every request context
@@ -141,8 +148,9 @@ func New(cfg Config) *Server {
 		log:      cfg.Logger,
 		mux:      http.NewServeMux(),
 		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.TenantWeights),
-		met:      newMetrics(time.Now(), "eval", "search", "network", "metrics", "healthz", "explain", "progress", "shard", "memo_get", "memo_put"),
+		met:      newMetrics(time.Now(), "eval", "search", "network", "metrics", "healthz", "explain", "progress", "shard", "shard_steal", "memo_get", "memo_put"),
 		progress: newProgressRegistry(),
+		steals:   newStealRegistry(),
 	}
 	s.base, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
@@ -153,6 +161,9 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/explain", s.instrument("explain", true, s.handleExplain))
 	s.mux.Handle("POST /v1/network", s.instrument("network", true, s.handleNetwork))
 	s.mux.Handle("POST /v1/shard", s.instrument("shard", true, s.handleShard))
+	// The steal endpoint bypasses admission: it must reach a node whose
+	// slots are all busy walking — that is exactly when stealing matters.
+	s.mux.Handle("POST /v1/shard/steal", s.instrument("shard_steal", false, s.handleShardSteal))
 	s.mux.Handle("POST /v1/memo/get", s.instrument("memo_get", false, s.handleMemoGet))
 	s.mux.Handle("POST /v1/memo/put", s.instrument("memo_put", false, s.handleMemoPut))
 	return s

@@ -3,9 +3,12 @@
 # build cmd/servemodel and cmd/latmodel, start TWO servemodel nodes on
 # loopback ports, and check that a search fanned out over shards — first
 # in-process, then across both nodes — reproduces the plain local run
-# byte-for-byte. Also checks the nodes' shard counters moved, that a
-# malformed /v1/shard body answers 400, and that SIGTERM still shuts the
-# nodes down cleanly. CI runs this via `make fabric-smoke`.
+# byte-for-byte. A third node started with the -shardslowdown test hook
+# forces the coordinator's work stealing to land, and the output must STILL
+# be byte-identical with the node's steal counter moved. Also checks the
+# nodes' shard counters moved, that a malformed /v1/shard body answers 400,
+# and that SIGTERM still shuts the nodes down cleanly. CI runs this via
+# `make fabric-smoke`.
 #
 # -nosurrogate keeps the CLI output literally diffable: every printed
 # counter is then walk-exact, while the surrogate's "pruned before
@@ -16,10 +19,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 PORT1="${FABRIC_SMOKE_PORT1:-18374}"
 PORT2="${FABRIC_SMOKE_PORT2:-18375}"
+PORT3="${FABRIC_SMOKE_PORT3:-18376}"
 ADDR1="127.0.0.1:${PORT1}"
 ADDR2="127.0.0.1:${PORT2}"
+ADDR3="127.0.0.1:${PORT3}"
 DIR="$(mktemp -d)"
-trap 'kill "${PID1:-}" "${PID2:-}" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+trap 'kill "${PID1:-}" "${PID2:-}" "${PID3:-}" 2>/dev/null || true; rm -rf "$DIR"' EXIT
 
 go build -o "$DIR/servemodel" ./cmd/servemodel
 go build -o "$DIR/latmodel" ./cmd/latmodel
@@ -81,6 +86,32 @@ for ADDR in "$ADDR1" "$ADDR2"; do
         exit 1
     }
 done
+
+# Forced work stealing: a node that holds every shard walk open for 300ms
+# (-shardslowdown test hook) with 3 shards on 2 executors guarantees the
+# third shard is still inside its delay window when an executor runs dry —
+# the steal POST lands deterministically. The output must STILL be
+# byte-identical to the plain local run (stdout only: the coordinator notes
+# landed steals on stderr).
+"$DIR/servemodel" -addr "$ADDR3" -draintimeout 5s -shardslowdown 300ms >"$DIR/node3.log" 2>&1 &
+PID3=$!
+wait_up "$ADDR3" "$PID3" "$DIR/node3.log"
+"$DIR/latmodel" "${LAYER[@]}" -shards 3 -executors 2 -nodes "http://${ADDR3}" >"$DIR/stolen.out" 2>"$DIR/stolen.err"
+diff -u "$DIR/local.out" "$DIR/stolen.out" || {
+    echo "fabric-smoke: forced-steal run diverged from the local search" >&2
+    cat "$DIR/stolen.err" >&2
+    exit 1
+}
+METRICS=$(curl -fsS "http://${ADDR3}/metrics")
+echo "$METRICS" | grep -q '^servemodel_fabric_steals_total [1-9]' || {
+    echo "fabric-smoke: slowed node reports no landed steals" >&2
+    echo "$METRICS" | grep '^servemodel_fabric' >&2 || true
+    cat "$DIR/stolen.err" >&2
+    exit 1
+}
+kill -TERM "$PID3"
+wait "$PID3" || { echo "fabric-smoke: slowed node exited non-zero on SIGTERM" >&2; exit 1; }
+PID3=""
 
 # A malformed shard body must answer 400, not crash the node.
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://${ADDR1}/v1/shard" -d '{"nope":1}')
