@@ -17,6 +17,7 @@ import (
 	"repro/internal/roofline"
 	"repro/internal/sensitivity"
 	"repro/internal/sim"
+	"repro/internal/transformer"
 	"repro/internal/workload"
 )
 
@@ -100,6 +101,63 @@ func BenchmarkNetworkEvalCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := network.Evaluate(context.Background(), repeatNet(), hw, sp, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	memo.Default.Reset()
+}
+
+// benchBlockNet builds the tiny transformer block in prefill mode: 14 ops
+// (QKV/output projections, head-batched attention matmuls, FFN, and the
+// bandwidth-bound elementwise passes), 10 unique shapes after dedup.
+func benchBlockNet(b *testing.B) *network.Network {
+	b.Helper()
+	_, net, err := (&transformer.Spec{Preset: "tiny", Mode: "prefill"}).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// BenchmarkTransformerBlock prices one transformer block with the memo cache
+// emptied before every iteration: every unique matmul shape pays a full
+// mapping search each time (the per-head attention matmuls search once and
+// scale by head count). Baseline for BenchmarkTransformerBlockWarm.
+func BenchmarkTransformerBlock(b *testing.B) {
+	hw, sp := arch.CaseStudy(), arch.CaseStudySpatial()
+	net := benchBlockNet(b)
+	opt := &network.Options{MaxCandidates: 800}
+	var r *network.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		memo.Default.Reset()
+		var err error
+		r, err = network.Evaluate(context.Background(), net, hw, sp, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	memo.Default.Reset()
+	b.ReportMetric(r.TotalCC, "total-cc")
+}
+
+// BenchmarkTransformerBlockWarm is the same block against a warm cache:
+// every matmul search is a fingerprint hit, so the remaining cost is the
+// elementwise pricing and cross-layer composition. The gap to the cold
+// benchmark is the search work the memo removes.
+func BenchmarkTransformerBlockWarm(b *testing.B) {
+	hw, sp := arch.CaseStudy(), arch.CaseStudySpatial()
+	net := benchBlockNet(b)
+	opt := &network.Options{MaxCandidates: 800}
+	memo.Default.Reset()
+	if _, err := network.Evaluate(context.Background(), net, hw, sp, opt); err != nil {
+		b.Fatal(err) // warm the cache outside the timed region
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := network.Evaluate(context.Background(), net, hw, sp, opt); err != nil {
 			b.Fatal(err)
 		}
 	}

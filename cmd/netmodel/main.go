@@ -190,6 +190,13 @@ func explainLayers(r *network.Result, hw *arch.Arch) {
 	fmt.Printf("  %-16s %10s %6s  %-6s %s\n", "layer", "SS_overall", "stall%", "mode", "critical chain")
 	for i := range r.Layers {
 		lr := &r.Layers[i]
+		if lr.Candidate == nil {
+			// Elementwise layers carry no mapping; their "stall" is the
+			// bandwidth-bound pass itself.
+			fmt.Printf("  %-16s %10.0f %5.1f%%  %-6s %s\n",
+				lr.Original, 0.0, 0.0, "bw", "bandwidth-bound elementwise pass")
+			continue
+		}
 		res := lr.Candidate.Result
 		p := &core.Problem{Layer: &lr.Layer, Arch: hw, Mapping: lr.Candidate.Mapping}
 		rep := obs.NewReport(p, res)

@@ -1,0 +1,301 @@
+// Command xformer characterizes transformer blocks on the modeled
+// accelerators: per-op latency+energy tables (MoEwithPIM style) for one
+// block configuration, sweep curves over seq_len/d_model/heads, prefill vs
+// decode shape modes with explicit KV-cache traffic, and a -json form that
+// is byte-identical to serve's POST /v1/network answer for the same spec.
+//
+// Usage:
+//
+//	xformer -preset llama7b -mode prefill -sweep seq=128..4096
+//	xformer -preset gpt2 -mode decode -kvlen 1024 -arch casestudy
+//	xformer -dmodel 1024 -heads 16 -seq 256 -blocks 4 -json
+//
+// Per-op cycle numbers are the layers' EffectiveCC contributions from
+// network.Evaluate — the table column sums reconcile bit-exactly with the
+// whole-network evaluation (the program verifies this on every run).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/loops"
+	"repro/internal/mapper"
+	"repro/internal/memo"
+	"repro/internal/network"
+	"repro/internal/serve"
+	"repro/internal/transformer"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "", "block preset: tiny|gpt2|llama7b (empty: custom via -dmodel/-heads)")
+		mode     = flag.String("mode", "prefill", "shape mode: prefill|decode")
+		seq      = flag.Int64("seq", 0, "sequence length (prefill prompt / decode context default)")
+		kvlen    = flag.Int64("kvlen", 0, "decode KV-cache length (default: -seq)")
+		dmodel   = flag.Int64("dmodel", 0, "model width override")
+		heads    = flag.Int64("heads", 0, "attention head count override")
+		dhead    = flag.Int64("dhead", 0, "head dimension override (default dmodel/heads)")
+		dff      = flag.Int64("dff", 0, "FFN width override (default 4*dmodel)")
+		batch    = flag.Int64("batch", 0, "concurrent sequences")
+		blocks   = flag.Int("blocks", 1, "stacked block copies")
+		act      = flag.String("act", "", "FFN activation: gelu|swiglu (presets set their own)")
+		archName = flag.String("arch", "inhouse", "accelerator preset: inhouse|casestudy|rowstationary|tpulike")
+		budget   = flag.Int("budget", 6000, "per-layer mapping search budget")
+		objName  = flag.String("objective", "latency", "per-layer mapping objective: latency|energy|edp")
+		sweep    = flag.String("sweep", "", `sweep spec "param=lo..hi" (param: seq|dmodel|heads), geometric x2 steps`)
+		jsonOut  = flag.Bool("json", false, "emit the serve /v1/network wire form (byte-identical to the server)")
+	)
+	flag.Parse()
+
+	hw, sp, err := resolveArch(*archName)
+	if err != nil {
+		fatal("%v", err)
+	}
+	obj, err := resolveObjective(*objName)
+	if err != nil {
+		fatal("%v", err)
+	}
+	base := transformer.Spec{
+		Preset: *preset, Mode: *mode, SeqLen: *seq, KVLen: *kvlen,
+		DModel: *dmodel, Heads: *heads, DHead: *dhead, DFF: *dff,
+		Batch: *batch, Blocks: *blocks, Act: *act,
+	}
+	opts := &network.Options{MaxCandidates: *budget, Objective: obj}
+
+	if *sweep != "" {
+		if err := runSweep(base, *sweep, hw, sp, opts, *jsonOut); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	if err := runOne(base, hw, sp, opts, *jsonOut, true); err != nil {
+		fatal("%v", err)
+	}
+	if !*jsonOut {
+		fmt.Println(memo.Default.Counters())
+	}
+}
+
+func resolveArch(name string) (*arch.Arch, loops.Nest, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "inhouse":
+		return arch.InHouse(), arch.InHouseSpatial(), nil
+	case "casestudy":
+		return arch.CaseStudy(), arch.CaseStudySpatial(), nil
+	case "rowstationary":
+		return arch.RowStationary(), arch.RowStationarySpatial(), nil
+	case "tpulike":
+		return arch.TPULike(), arch.TPULikeSpatial(), nil
+	}
+	return nil, nil, fmt.Errorf("unknown arch %q (want inhouse|casestudy|rowstationary|tpulike)", name)
+}
+
+func resolveObjective(name string) (mapper.Objective, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "latency":
+		return mapper.MinLatency, nil
+	case "energy":
+		return mapper.MinEnergy, nil
+	case "edp":
+		return mapper.MinEDP, nil
+	}
+	return 0, fmt.Errorf("unknown objective %q (want latency|energy|edp)", name)
+}
+
+// evaluate builds and prices one spec, verifying the per-op/total
+// reconciliation that the table output relies on.
+func evaluate(spec transformer.Spec, hw *arch.Arch, sp loops.Nest, opts *network.Options) (*transformer.Block, *network.Network, *network.Result, error) {
+	blk, net, err := spec.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := network.Evaluate(context.Background(), net, hw, sp, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var sum float64
+	for i := range res.Layers {
+		sum += res.Layers[i].EffectiveCC
+	}
+	if sum != res.TotalCC {
+		return nil, nil, nil, fmt.Errorf("internal: per-op cycle sum %v does not reconcile with network total %v", sum, res.TotalCC)
+	}
+	return blk, net, res, nil
+}
+
+func runOne(spec transformer.Spec, hw *arch.Arch, sp loops.Nest, opts *network.Options, jsonOut, table bool) error {
+	blk, net, res, err := evaluate(spec, hw, sp, opts)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(serve.BuildNetworkResponse(net, hw, res))
+	}
+	if table {
+		printHeader(blk, net, hw)
+		printOpTable(blk, res)
+	}
+	return nil
+}
+
+func printHeader(blk *transformer.Block, net *network.Network, hw *arch.Arch) {
+	c := blk.Cfg
+	unique, _, _ := workload.DedupLayers(net.Layers)
+	fmt.Printf("%s on %s: d_model %d, %d heads x d_head %d, d_ff %d (%s), %s",
+		net.Name, hw.Name, c.DModel, c.Heads, c.DHead, c.DFF, c.Act, c.Mode)
+	if c.Mode == transformer.Decode {
+		fmt.Printf(" over kv %d", c.KeyLen())
+	} else {
+		fmt.Printf(" over seq %d", c.SeqLen)
+	}
+	fmt.Printf("\n%d layers, %d unique shapes (dedup searches once per shape), %.3f GMAC/block\n\n",
+		len(net.Layers), len(unique), float64(blk.WorkMACs())/1e9)
+}
+
+// printOpTable renders the per-op latency+energy table for the first block
+// of the evaluated network (stacked copies repeat it exactly; the totals
+// line covers the whole stack).
+func printOpTable(blk *transformer.Block, res *network.Result) {
+	decode := blk.Cfg.Mode == transformer.Decode
+	kvCol := ""
+	if decode {
+		kvCol = fmt.Sprintf(" %10s", "KV KiB")
+	}
+	fmt.Printf("%-12s %-12s %6s %12s %11s %9s %9s %9s%s\n",
+		"op", "kind", "heads", "latency cc", "energy nJ", "W KiB", "I KiB", "O KiB", kvCol)
+	for i := range blk.Ops {
+		lr := &res.Layers[i]
+		l := &lr.Layer
+		kv := ""
+		if decode {
+			var kvBits int64
+			switch l.Kind {
+			case workload.AttnScore, workload.AttnCtx:
+				kvBits = l.OperandBits(loops.W) // the K-/V-cache read
+			}
+			kv = fmt.Sprintf(" %10.1f", float64(kvBits)/8/1024)
+		}
+		fmt.Printf("%-12s %-12s %6d %12.0f %11.1f %9.1f %9.1f %9.1f%s\n",
+			blk.Ops[i].Name, l.Kind.String(), l.HeadCount(),
+			lr.EffectiveCC, lr.EnergyPJ/1e3,
+			float64(l.OperandBits(loops.W))/8/1024,
+			float64(l.OperandBits(loops.I))/8/1024,
+			float64(l.OperandBits(loops.O))/8/1024, kv)
+	}
+	fmt.Printf("\nnetwork total: %.0f cc (ideal %.0f, utilization %.1f%%), %.2f uJ",
+		res.TotalCC, res.IdealCC, 100*res.Utilization, res.TotalPJ/1e6)
+	if decode {
+		fmt.Printf(", KV-cache reads %.1f KiB/block/token", float64(blk.KVCacheReadBits())/8/1024)
+	}
+	fmt.Println()
+	fmt.Printf("per-op cycle sum reconciles bit-exactly with network.Evaluate (%.0f cc)\n\n", res.TotalCC)
+}
+
+// runSweep evaluates the spec across a geometric parameter sweep, printing
+// each point's per-op table followed by the sweep curve.
+func runSweep(base transformer.Spec, sweepSpec string, hw *arch.Arch, sp loops.Nest, opts *network.Options, jsonOut bool) error {
+	param, points, err := parseSweep(sweepSpec)
+	if err != nil {
+		return err
+	}
+	type row struct {
+		val            int64
+		cc, pj, gmacs  float64
+		kvKiB          float64
+		ccPerTokenRows float64
+	}
+	var rows []row
+	for _, v := range points {
+		spec := base
+		switch param {
+		case "seq":
+			spec.SeqLen = v
+			if base.Mode == "decode" && base.KVLen == 0 {
+				spec.KVLen = v
+			}
+		case "dmodel":
+			spec.DModel = v
+		case "heads":
+			spec.Heads = v
+		}
+		blk, net, res, err := evaluate(spec, hw, sp, opts)
+		if err != nil {
+			return fmt.Errorf("%s=%d: %w", param, v, err)
+		}
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(serve.BuildNetworkResponse(net, hw, res)); err != nil {
+				return err
+			}
+		} else {
+			printHeader(blk, net, hw)
+			printOpTable(blk, res)
+		}
+		tokens := blk.Cfg.Batch * blk.Cfg.QueryLen()
+		rows = append(rows, row{
+			val: v, cc: res.TotalCC, pj: res.TotalPJ,
+			gmacs:          float64(blk.WorkMACs()) / 1e9,
+			kvKiB:          float64(blk.KVCacheReadBits()) / 8 / 1024,
+			ccPerTokenRows: res.TotalCC / float64(tokens),
+		})
+	}
+	if jsonOut {
+		return nil
+	}
+	fmt.Printf("sweep %s: %s from %d to %d\n", sweepSpec, param, points[0], points[len(points)-1])
+	fmt.Printf("%8s %14s %12s %12s %12s %12s\n", param, "latency cc", "cc/token", "energy uJ", "GMAC", "KV KiB")
+	for _, r := range rows {
+		fmt.Printf("%8d %14.0f %12.0f %12.2f %12.3f %12.1f\n",
+			r.val, r.cc, r.ccPerTokenRows, r.pj/1e6, r.gmacs, r.kvKiB)
+	}
+	fmt.Println(memo.Default.Counters())
+	return nil
+}
+
+// parseSweep parses "seq=128..4096" into geometric x2 points (the upper
+// bound is included even off the power-of-two grid).
+func parseSweep(s string) (string, []int64, error) {
+	name, rng, ok := strings.Cut(s, "=")
+	if !ok {
+		return "", nil, fmt.Errorf("sweep %q: want param=lo..hi", s)
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	switch name {
+	case "seq", "dmodel", "heads":
+	default:
+		return "", nil, fmt.Errorf("sweep %q: unknown param (want seq|dmodel|heads)", s)
+	}
+	loS, hiS, ok := strings.Cut(rng, "..")
+	if !ok {
+		return "", nil, fmt.Errorf("sweep %q: want param=lo..hi", s)
+	}
+	lo, err1 := strconv.ParseInt(strings.TrimSpace(loS), 10, 64)
+	hi, err2 := strconv.ParseInt(strings.TrimSpace(hiS), 10, 64)
+	if err1 != nil || err2 != nil || lo < 1 || hi < lo {
+		return "", nil, fmt.Errorf("sweep %q: bad range", s)
+	}
+	var points []int64
+	for v := lo; v <= hi; v *= 2 {
+		points = append(points, v)
+	}
+	if last := points[len(points)-1]; last != hi {
+		points = append(points, hi)
+	}
+	return name, points, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xformer: "+format+"\n", args...)
+	os.Exit(1)
+}

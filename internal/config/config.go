@@ -22,7 +22,7 @@ import (
 // Layer is the JSON form of workload.Layer.
 type Layer struct {
 	Name string `json:"name"`
-	Kind string `json:"kind"` // Conv2D | Dense | Depthwise | Pointwise | MatMul
+	Kind string `json:"kind"` // Conv2D|Dense|Depthwise|Pointwise|MatMul|AttnScore|AttnCtx|LayerNorm|Softmax|GeLU|ResidualAdd
 	// Dims maps dimension names to extents; missing dims default to 1.
 	Dims map[string]int64 `json:"dims"`
 	// Stride/dilation (optional, conv only).
@@ -34,14 +34,23 @@ type Layer struct {
 	PrecW int `json:"precW,omitempty"`
 	PrecI int `json:"precI,omitempty"`
 	PrecO int `json:"precO,omitempty"`
+	// Heads is the head-batch multiplicity of the transformer kinds
+	// (optional; 0 means unbatched).
+	Heads int64 `json:"heads,omitempty"`
 }
 
 var kindNames = map[string]workload.Kind{
-	"conv2d":    workload.Conv2D,
-	"dense":     workload.Dense,
-	"depthwise": workload.Depthwise,
-	"pointwise": workload.Pointwise,
-	"matmul":    workload.MatMul,
+	"conv2d":      workload.Conv2D,
+	"dense":       workload.Dense,
+	"depthwise":   workload.Depthwise,
+	"pointwise":   workload.Pointwise,
+	"matmul":      workload.MatMul,
+	"attnscore":   workload.AttnScore,
+	"attnctx":     workload.AttnCtx,
+	"layernorm":   workload.LayerNorm,
+	"softmax":     workload.Softmax,
+	"gelu":        workload.GeLU,
+	"residualadd": workload.ResidualAdd,
 }
 
 // ToLayer converts the JSON form to a validated workload.Layer.
@@ -50,7 +59,7 @@ func (l *Layer) ToLayer() (workload.Layer, error) {
 	if !ok {
 		return workload.Layer{}, fmt.Errorf("config: unknown layer kind %q", l.Kind)
 	}
-	out := workload.Layer{Name: l.Name, Kind: kind}
+	out := workload.Layer{Name: l.Name, Kind: kind, Heads: l.Heads}
 	for i := range out.Dims {
 		out.Dims[i] = 1
 	}
@@ -115,6 +124,9 @@ func FromLayer(l *workload.Layer) Layer {
 		out.DilationY = l.Strides.DY
 	}
 	out.PrecW, out.PrecI, out.PrecO = l.Precision.W, l.Precision.I, l.Precision.O
+	if l.HeadCount() > 1 {
+		out.Heads = l.HeadCount()
+	}
 	return out
 }
 

@@ -40,6 +40,48 @@ func TestLayerRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTransformerKindRoundTrip(t *testing.T) {
+	layers := []workload.Layer{
+		workload.NewAttnScore("s", 32, 48, 64, 8),
+		workload.NewAttnCtx("c", 32, 64, 48, 8),
+		workload.NewElemwise(workload.LayerNorm, "ln", 16, 64, 1),
+		workload.NewElemwise(workload.Softmax, "sm", 16, 48, 8),
+		workload.NewElemwise(workload.GeLU, "g", 16, 64, 1),
+		workload.NewElemwise(workload.ResidualAdd, "r", 16, 64, 1),
+	}
+	for _, orig := range layers {
+		j := FromLayer(&orig)
+		data, err := Marshal(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Layer
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.ToLayer()
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if got.String() != orig.String() {
+			t.Errorf("round trip: %s != %s", got.String(), orig.String())
+		}
+		if got.HeadCount() != orig.HeadCount() {
+			t.Errorf("%s: heads lost: %d != %d", orig.Name, got.HeadCount(), orig.HeadCount())
+		}
+		// The shape key must survive the wire form: a serve round trip may
+		// not split or merge memoized searches.
+		if got.ShapeKey() != orig.ShapeKey() {
+			t.Errorf("%s: shape key changed across the wire", orig.Name)
+		}
+	}
+	// Heads on a classic kind must fail validation.
+	bad := Layer{Kind: "matmul", Dims: map[string]int64{"B": 2, "K": 2, "C": 2}, Heads: 4}
+	if _, err := bad.ToLayer(); err == nil {
+		t.Error("matmul with heads accepted")
+	}
+}
+
 func TestLayerErrors(t *testing.T) {
 	bad := Layer{Kind: "wat", Dims: map[string]int64{"B": 2}}
 	if _, err := bad.ToLayer(); err == nil {

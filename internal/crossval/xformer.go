@@ -1,0 +1,97 @@
+package crossval
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// Transformer-shaped cross-validation: the attention and FFN matmul shapes
+// of internal/transformer, scaled down so the cycle-level simulator stays
+// tractable (its cost is proportional to MACs). Head batching is exact
+// multiplication in the model (network.Evaluate scales a per-head result),
+// so the per-head problem is what gets simulated.
+
+// RandomAttnLayer draws a per-head attention matmul — score (Q·K^T, wide
+// reduction-free K) or context (scores·V, long reduction) — with
+// transformer-like aspect ratios: small head dims against longer contexts,
+// including the degenerate single-query decode row.
+func (g *Generator) RandomAttnLayer() workload.Layer {
+	r := g.rng
+	rows := pick(r, []int64{1, 8, 16, 32}) // 1 = decode
+	ctx := pick(r, []int64{16, 32, 48, 64})
+	dh := pick(r, []int64{8, 16, 32, 64})
+	if r.Intn(2) == 0 {
+		return workload.NewAttnScore(fmt.Sprintf("attn-s-%d", r.Int31()), rows, ctx, dh, 1)
+	}
+	return workload.NewAttnCtx(fmt.Sprintf("attn-c-%d", r.Int31()), rows, dh, ctx, 1)
+}
+
+// RandomFFNLayer draws an FFN projection shape: the 4x expansion (up) or
+// contraction (down) matmul, plus the square QKV-projection aspect.
+func (g *Generator) RandomFFNLayer() workload.Layer {
+	r := g.rng
+	rows := pick(r, []int64{1, 8, 16, 32})
+	d := pick(r, []int64{16, 32, 64})
+	switch r.Intn(3) {
+	case 0:
+		return workload.NewMatMul(fmt.Sprintf("ffn-up-%d", r.Int31()), rows, 4*d, d)
+	case 1:
+		return workload.NewMatMul(fmt.Sprintf("ffn-dn-%d", r.Int31()), rows, d, 4*d)
+	}
+	return workload.NewMatMul(fmt.Sprintf("proj-%d", r.Int31()), rows, d, d)
+}
+
+// NextXformer draws a transformer-shaped problem (attention or FFN matmul
+// on a random architecture) and cross-validates model vs simulator. Returns
+// nil for unmappable draws, like Next.
+func (g *Generator) NextXformer(budget int, simulate func(*core.Problem) (int64, error)) (*Sample, error) {
+	var layer workload.Layer
+	if g.rng.Intn(2) == 0 {
+		layer = g.RandomAttnLayer()
+	} else {
+		layer = g.RandomFFNLayer()
+	}
+	return g.ValidateFixture(layer, budget, simulate)
+}
+
+// TransformerFixtures returns the fixed regression shapes pinning every
+// matmul-shaped transformer op against the simulator: QKV/output
+// projections, prefill and decode attention score/context, and the FFN
+// up/down projections. Dims are scaled-down block shapes (dh = 16..32,
+// short sequences) so a sim run stays cheap; aspect ratios match the ops
+// they stand in for.
+func TransformerFixtures() []workload.Layer {
+	return []workload.Layer{
+		workload.NewMatMul("fx-qkv-proj", 16, 32, 32),    // seq x D x D
+		workload.NewAttnScore("fx-score", 16, 16, 32, 1), // prefill Q·K^T
+		workload.NewAttnCtx("fx-ctx", 16, 32, 16, 1),     // prefill scores·V
+		workload.NewAttnScore("fx-score-dec", 1, 48, 32, 1),
+		workload.NewAttnCtx("fx-ctx-dec", 1, 32, 48, 1),
+		workload.NewMatMul("fx-ffn-up", 16, 128, 32), // seq x 4D x D
+		workload.NewMatMul("fx-ffn-dn", 16, 32, 128), // seq x D x 4D
+		workload.NewMatMul("fx-dec-proj", 1, 64, 64), // decode projection row
+	}
+}
+
+// ValidateFixture maps one fixture on (hw, sp) and cross-validates it.
+// Returns nil when the fixture is unmappable on that architecture draw.
+func (g *Generator) ValidateFixture(layer workload.Layer, budget int, simulate func(*core.Problem) (int64, error)) (*Sample, error) {
+	hw, sp := g.RandomArch()
+	best, _, err := mapper.BestCached(context.Background(), &layer, hw, &mapper.Options{
+		Spatial: sp, BWAware: true, MaxCandidates: budget,
+	})
+	if err != nil {
+		return nil, nil
+	}
+	p := &core.Problem{Layer: &layer, Arch: hw, Mapping: best.Mapping}
+	simCC, err := simulate(p)
+	if err != nil {
+		return nil, fmt.Errorf("crossval: xformer sim on %s/%s: %w", layer.Name, hw.Name, err)
+	}
+	acc := 1 - abs(best.Result.CCTotal-float64(simCC))/float64(simCC)
+	return &Sample{Problem: p, ModelCC: best.Result.CCTotal, SimCC: simCC, Accuracy: acc}, nil
+}

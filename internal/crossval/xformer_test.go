@@ -1,0 +1,99 @@
+package crossval
+
+import (
+	"testing"
+)
+
+// TestRandomizedXformerCrossValidation: the transformer matmul family
+// (attention score/context, FFN and projection aspects, decode rows) tracks
+// the simulator within the conv-suite tolerances.
+func TestRandomizedXformerCrossValidation(t *testing.T) {
+	const want = 25
+	g := NewGenerator(20260807)
+	var samples []*Sample
+	draws := 0
+	for len(samples) < want && draws < want*8 {
+		draws++
+		s, err := g.NextXformer(800, simulate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == nil {
+			continue
+		}
+		samples = append(samples, s)
+	}
+	if len(samples) < want {
+		t.Fatalf("only %d mappable transformer samples in %d draws", len(samples), draws)
+	}
+	var sum float64
+	worst := 1.0
+	var worstSample *Sample
+	for _, s := range samples {
+		sum += s.Accuracy
+		if s.Accuracy < worst {
+			worst = s.Accuracy
+			worstSample = s
+		}
+		if s.ModelCC <= 0 || s.SimCC <= 0 {
+			t.Fatalf("degenerate sample: %+v", s)
+		}
+	}
+	avg := sum / float64(len(samples))
+	if avg < 0.85 {
+		t.Errorf("transformer cross-validation average %.3f < 0.85", avg)
+	}
+	if worst < 0.5 {
+		t.Errorf("worst transformer sample %.3f < 0.5 (model %.0f vs sim %d on %s, layer %s)",
+			worst, worstSample.ModelCC, worstSample.SimCC,
+			worstSample.Problem.Arch.Name, worstSample.Problem.Layer.Name)
+	}
+	t.Logf("transformer cross-validation over %d problems: avg %.1f%%, worst %.1f%%",
+		len(samples), 100*avg, 100*worst)
+}
+
+// TestTransformerFixtures pins every fixed transformer op shape against the
+// simulator on several deterministic architecture draws each: any future
+// model-vs-sim drift on an attention/FFN shape fails here with the layer
+// named.
+func TestTransformerFixtures(t *testing.T) {
+	fixtures := TransformerFixtures()
+	if len(fixtures) < 8 {
+		t.Fatalf("fixture suite shrank to %d shapes", len(fixtures))
+	}
+	g := NewGenerator(9)
+	var sum float64
+	n := 0
+	for _, fx := range fixtures {
+		if err := fx.Validate(); err != nil {
+			t.Fatalf("%s: %v", fx.Name, err)
+		}
+		got := 0
+		for tries := 0; tries < 6 && got < 2; tries++ {
+			s, err := g.ValidateFixture(fx, 800, simulate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s == nil {
+				continue
+			}
+			got++
+			n++
+			sum += s.Accuracy
+			if s.Accuracy < 0.5 {
+				t.Errorf("fixture %s on %s: accuracy %.3f < 0.5 (model %.0f vs sim %d)",
+					fx.Name, s.Problem.Arch.Name, s.Accuracy, s.ModelCC, s.SimCC)
+			}
+		}
+		if got == 0 {
+			t.Errorf("fixture %s: no mappable arch draw", fx.Name)
+		}
+	}
+	if n == 0 {
+		t.Fatal("no fixture samples")
+	}
+	if avg := sum / float64(n); avg < 0.85 {
+		t.Errorf("fixture-suite average accuracy %.3f < 0.85", avg)
+	}
+	t.Logf("transformer fixtures: %d samples, avg %.1f%%", n, 100*sum/float64(n))
+}

@@ -46,9 +46,11 @@ func Default7nm() *Table {
 	}
 }
 
-// perBit returns the per-bit read energy of a memory with the given
-// capacity.
-func (t *Table) perBit(capacityBits int64) float64 {
+// PerBit returns the per-bit read energy of a memory with the given
+// capacity. Writes additionally scale by WritePenalty. Exported for
+// consumers that price raw byte traffic outside a mapping (the
+// bandwidth-bound elementwise passes of package network).
+func (t *Table) PerBit(capacityBits int64) float64 {
 	return t.BasePJPerBit + t.SlopePJPerBit*math.Sqrt(float64(capacityBits)/(8*1024*8))
 }
 
@@ -101,7 +103,7 @@ func Evaluate(p *core.Problem, tbl *Table) (*Breakdown, error) {
 			return nil, fmt.Errorf("energy: unknown memory %q", e.MemName)
 		}
 		bits := float64(e.Z) * float64(e.MemData) * float64(prec.Bits(e.Operand))
-		unit := tbl.perBit(mem.CapacityBits)
+		unit := tbl.PerBit(mem.CapacityBits)
 		if e.Access.Write {
 			unit *= tbl.WritePenalty
 		}

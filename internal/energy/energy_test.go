@@ -86,7 +86,7 @@ func TestEnergyRewardssOutputStationarity(t *testing.T) {
 // Unit energy must grow with memory capacity.
 func TestCapacityMonotone(t *testing.T) {
 	tbl := Default7nm()
-	if tbl.perBit(1<<10) >= tbl.perBit(1<<24) {
+	if tbl.PerBit(1<<10) >= tbl.PerBit(1<<24) {
 		t.Error("per-bit energy not monotone in capacity")
 	}
 }

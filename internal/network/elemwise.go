@@ -1,0 +1,81 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/energy"
+	"repro/internal/loops"
+	"repro/internal/workload"
+)
+
+// ElemwiseCost prices a bandwidth-bound elementwise layer (DESIGN.md §15).
+// These layers perform no MACs and never enter the mapper: their latency is
+// the time to stream the kind's read/write passes through the outermost
+// memory's ports, and their energy is that byte traffic priced at the
+// memory's per-bit access energy.
+type ElemwiseCost struct {
+	CC        float64 // pass time in cycles
+	ReadBits  int64   // total bits streamed in (all read passes + params)
+	WriteBits int64   // total bits streamed out
+	EnergyPJ  float64
+}
+
+// elemwiseCost computes the cost of one elementwise layer on hw. Traffic is
+// exact: readPasses full passes over the input tensor (whole operator, all
+// heads) plus one read of the resident parameters, and writePasses passes
+// over the output. The pass streams at the outermost memory's port speeds —
+// with distinct best read and write ports the directions overlap
+// (CC = max of the two port times); a single shared port serializes them.
+func elemwiseCost(l *workload.Layer, hw *arch.Arch, tbl *energy.Table) (ElemwiseCost, error) {
+	if !l.Kind.Elementwise() {
+		return ElemwiseCost{}, fmt.Errorf("network: elemwiseCost on %s layer %q", l.Kind, l.Name)
+	}
+	gb := outermost(hw)
+	if gb == nil {
+		return ElemwiseCost{}, fmt.Errorf("network: layer %q: no outermost memory to stream through", l.Name)
+	}
+	rdBW, rdIdx, wrBW, wrIdx := portBandwidths(gb)
+	if rdBW <= 0 || wrBW <= 0 {
+		return ElemwiseCost{}, fmt.Errorf("network: layer %q: memory %q has no read+write port pair", l.Name, gb.Name)
+	}
+
+	readPasses, writePasses := l.Kind.ElemwisePasses()
+	read := int64(readPasses)*l.OperandBits(loops.I) + l.OperandBits(loops.W)
+	write := int64(writePasses) * l.OperandBits(loops.O)
+
+	var cc int64
+	if rdIdx == wrIdx {
+		cc = loops.CeilDiv(read+write, rdBW)
+	} else {
+		cc = loops.CeilDiv(read, rdBW)
+		if w := loops.CeilDiv(write, wrBW); w > cc {
+			cc = w
+		}
+	}
+
+	if tbl == nil {
+		tbl = energy.Default7nm()
+	}
+	unit := tbl.PerBit(gb.CapacityBits)
+	pj := unit * (float64(read) + tbl.WritePenalty*float64(write))
+
+	return ElemwiseCost{CC: float64(cc), ReadBits: read, WriteBits: write, EnergyPJ: pj}, nil
+}
+
+// portBandwidths returns the best read-capable and write-capable port
+// bandwidths of m with their indices (first-best wins, so the choice is
+// deterministic). Equal indices mean one shared port serves both directions.
+func portBandwidths(m *arch.Memory) (rdBW int64, rdIdx int, wrBW int64, wrIdx int) {
+	rdIdx, wrIdx = -1, -1
+	for i := range m.Ports {
+		p := &m.Ports[i]
+		if p.Dir.Allows(false) && p.BWBits > rdBW {
+			rdBW, rdIdx = p.BWBits, i
+		}
+		if p.Dir.Allows(true) && p.BWBits > wrBW {
+			wrBW, wrIdx = p.BWBits, i
+		}
+	}
+	return rdBW, rdIdx, wrBW, wrIdx
+}

@@ -56,11 +56,12 @@ func (n *Network) Validate() error {
 	return nil
 }
 
-// TotalMACs sums the MAC work of all layers.
+// TotalMACs sums the whole-operator MAC work of all layers (head-batched
+// attention matmuls count every head; elementwise passes contribute none).
 func (n *Network) TotalMACs() int64 {
 	var t int64
 	for i := range n.Layers {
-		t += n.Layers[i].TotalMACs()
+		t += n.Layers[i].WorkMACs()
 	}
 	return t
 }
@@ -90,13 +91,29 @@ type Options struct {
 	// only tensors the planner actually spills are charged, replacing
 	// the coarse per-boundary heuristic.
 	PlanGB bool
+	// Run overrides the executor of each per-layer mapping search (nil:
+	// the in-process engine via mapper.BestCached). A fabric.Runner here
+	// distributes every cold search across shards/nodes; the SearchFunc
+	// bit-identity contract keeps the result independent of the executor.
+	Run mapper.SearchFunc
 }
 
 // LayerResult is one layer's evaluation within the network.
 type LayerResult struct {
-	Layer     workload.Layer // the lowered (post-Im2Col) layer
-	Original  string         // original layer name
+	Layer    workload.Layer // the lowered (post-Im2Col) layer
+	Original string         // original layer name
+	// Candidate is the per-head mapping the search found. It is nil for
+	// elementwise layers, which are bandwidth-bound and never enter the
+	// mapper; their cost lives in BWBoundCC/ReadBits/WriteBits. For
+	// head-batched layers (Layer.HeadCount() > 1) the candidate prices ONE
+	// head; EffectiveCC/EnergyPJ scale it by the head count.
 	Candidate *mapper.Candidate
+	// BWBoundCC is an elementwise layer's streaming pass time; zero for
+	// matmul-shaped layers.
+	BWBoundCC float64
+	// ReadBits/WriteBits are an elementwise layer's exact streamed traffic.
+	ReadBits  int64
+	WriteBits int64
 	EnergyPJ  float64
 	// EnergyErr records a failed energy model evaluation for this layer.
 	// EnergyPJ is 0 (and excluded from Result.TotalPJ) when set — callers
@@ -171,18 +188,41 @@ func Evaluate(ctx context.Context, n *Network, hw *arch.Arch, spatial loops.Nest
 			return // canceled: skip the remaining layers promptly
 		}
 		orig := n.Layers[i]
+		if orig.Kind.Elementwise() {
+			// Bandwidth-bound pass: priced directly from byte traffic, no
+			// mapping search (Candidate stays nil).
+			cost, err := elemwiseCost(&orig, hw, nil)
+			if err != nil {
+				layerErr[i] = fmt.Errorf("network %q layer %s: %w", n.Name, orig.Name, err)
+				return
+			}
+			layerRes[i] = LayerResult{
+				Layer:     orig,
+				Original:  orig.Name,
+				BWBoundCC: cost.CC,
+				ReadBits:  cost.ReadBits,
+				WriteBits: cost.WriteBits,
+				EnergyPJ:  cost.EnergyPJ,
+			}
+			return
+		}
 		lowered := workload.Im2Col(orig)
+		// The mapper prices the PER-HEAD problem: strip the head multiplicity
+		// so attention layers that differ only in head count share one
+		// memoized search (the shape key encodes HeadCount).
+		search := lowered
+		search.Heads = 0
 		// Cached search: a network repeats layer shapes (residual stages,
 		// repeated blocks), and the memo key ignores layer names — repeats
 		// are served from memory, concurrent duplicates singleflight.
-		cand, _, err := mapper.BestCached(ctx, &lowered, hw, &mapper.Options{
+		cand, _, err := mapper.BestCachedVia(ctx, &search, hw, &mapper.Options{
 			Spatial:       spatial,
 			BWAware:       true,
 			Objective:     obj,
 			MaxCandidates: maxCand,
 			NoReduce:      opt.NoReduce,
 			NoSurrogate:   opt.NoSurrogate,
-		})
+		}, opt.Run)
 		if err != nil {
 			layerErr[i] = fmt.Errorf("network %q layer %s: %w", n.Name, orig.Name, err)
 			return
@@ -193,9 +233,9 @@ func Evaluate(ctx context.Context, n *Network, hw *arch.Arch, spatial loops.Nest
 			Candidate: cand,
 		}
 		if needEnergy {
-			p := &core.Problem{Layer: &lr.Layer, Arch: hw, Mapping: cand.Mapping}
+			p := &core.Problem{Layer: &search, Arch: hw, Mapping: cand.Mapping}
 			if eb, err := energyEvaluate(p, nil); err == nil {
-				lr.EnergyPJ = eb.TotalPJ
+				lr.EnergyPJ = eb.TotalPJ * float64(lowered.HeadCount())
 			} else {
 				// A failed energy model must not fail the latency evaluation,
 				// but it must not silently report 0 pJ either: record it on
@@ -233,21 +273,35 @@ func Evaluate(ctx context.Context, n *Network, hw *arch.Arch, spatial loops.Nest
 	// Cross-layer effects.
 	for i := range res.Layers {
 		lr := &res.Layers[i]
-		r := lr.Candidate.Result
-		lr.EffectiveCC = r.CCTotal
+		heads := float64(lr.Layer.HeadCount())
+		if lr.Candidate == nil {
+			// Elementwise: the streaming pass IS the layer; it is already
+			// bandwidth-bound, so it is its own lower bound.
+			lr.EffectiveCC = lr.BWBoundCC
+			res.IdealCC += lr.BWBoundCC
+		} else {
+			r := lr.Candidate.Result
+			lr.EffectiveCC = r.CCTotal * heads
+			res.IdealCC += r.CCIdeal * heads
 
-		// Weight prefetch: layer i's preload hides under layer i-1's
-		// computation when the weight path is double-buffered.
-		if !opt.NoPrefetch && i > 0 && weightPathBuffered(hw) {
-			prev := res.Layers[i-1].Candidate.Result
-			busy := float64(prev.CCSpatial) + prev.SSOverall
-			saved := r.Preload
-			if saved > busy {
-				saved = busy
+			// Weight prefetch: layer i's preload hides under layer i-1's
+			// computation when the weight path is double-buffered. Head-
+			// batched layers and elementwise predecessors opt out: the per-
+			// head W is re-loaded every head, and an elementwise pass
+			// saturates the very ports the preload would use.
+			if !opt.NoPrefetch && i > 0 && heads == 1 && weightPathBuffered(hw) {
+				if pc := res.Layers[i-1].Candidate; pc != nil && res.Layers[i-1].Layer.HeadCount() == 1 {
+					prev := pc.Result
+					busy := float64(prev.CCSpatial) + prev.SSOverall
+					saved := r.Preload
+					if saved > busy {
+						saved = busy
+					}
+					lr.PrefetchSaved = saved
+					lr.EffectiveCC -= saved
+					res.PrefetchSavedCC += saved
+				}
 			}
-			lr.PrefetchSaved = saved
-			lr.EffectiveCC -= saved
-			res.PrefetchSavedCC += saved
 		}
 
 		// Spill: the boundary tensor between layer i and i+1 must fit in
@@ -267,7 +321,6 @@ func Evaluate(ctx context.Context, n *Network, hw *arch.Arch, spatial loops.Nest
 
 		res.TotalCC += lr.EffectiveCC
 		res.TotalPJ += lr.EnergyPJ
-		res.IdealCC += r.CCIdeal
 	}
 	if res.TotalCC > 0 {
 		res.Utilization = res.IdealCC / res.TotalCC
@@ -374,9 +427,13 @@ func (r *Result) Report() string {
 		"layer", "latency cc", "prefetch", "spill cc", "energy nJ", "util %")
 	for i := range r.Layers {
 		lr := &r.Layers[i]
+		util := 100.0 // elementwise passes stream at full port speed
+		if lr.Candidate != nil {
+			util = 100 * lr.Candidate.Result.Utilization
+		}
 		fmt.Fprintf(&b, "%-14s %12.0f %10.0f %10.0f %10.1f %8.1f\n",
 			lr.Original, lr.EffectiveCC, lr.PrefetchSaved, lr.SpillCC,
-			lr.EnergyPJ/1e3, 100*lr.Candidate.Result.Utilization)
+			lr.EnergyPJ/1e3, util)
 	}
 	fmt.Fprintf(&b, "network total: %.0f cc (ideal %.0f, utilization %.1f%%), %.1f uJ, %.0f cc hidden by prefetch\n",
 		r.TotalCC, r.IdealCC, 100*r.Utilization, r.TotalPJ/1e6, r.PrefetchSavedCC)

@@ -1,0 +1,125 @@
+package network_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/mapper"
+	"repro/internal/network"
+	"repro/internal/transformer"
+	"repro/internal/workload"
+)
+
+// A transformer block evaluates end to end: matmul-shaped ops go through
+// the mapper (head-batched ones priced per head and scaled exactly),
+// elementwise ops are bandwidth-priced with no candidate, and the network
+// total reconciles bit-exactly with the per-layer contributions.
+func TestEvaluateTransformerBlock(t *testing.T) {
+	cfg := transformer.Tiny()
+	blk, err := transformer.NewBlock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := blk.Network(1)
+	hw := arch.CaseStudy()
+	opts := &network.Options{MaxCandidates: 1200}
+	r, err := network.Evaluate(context.Background(), n, hw, arch.CaseStudySpatial(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Layers) != len(blk.Ops) {
+		t.Fatalf("layers = %d, want %d", len(r.Layers), len(blk.Ops))
+	}
+
+	var sumCC, sumPJ float64
+	for i := range r.Layers {
+		lr := &r.Layers[i]
+		sumCC += lr.EffectiveCC
+		sumPJ += lr.EnergyPJ
+		if lr.Layer.Kind.Elementwise() {
+			if lr.Candidate != nil {
+				t.Errorf("%s: elementwise layer got a mapping candidate", lr.Original)
+			}
+			if lr.BWBoundCC <= 0 || lr.ReadBits <= 0 || lr.WriteBits <= 0 {
+				t.Errorf("%s: elementwise cost empty (cc=%v rd=%d wr=%d)",
+					lr.Original, lr.BWBoundCC, lr.ReadBits, lr.WriteBits)
+			}
+			if lr.EnergyPJ <= 0 {
+				t.Errorf("%s: elementwise energy empty", lr.Original)
+			}
+		} else {
+			if lr.Candidate == nil {
+				t.Errorf("%s: matmul-shaped layer has no candidate", lr.Original)
+				continue
+			}
+			if lr.EnergyPJ <= 0 && lr.EnergyErr == nil {
+				t.Errorf("%s: no energy and no error", lr.Original)
+			}
+		}
+	}
+	// Per-op contributions must reconcile bit-exactly with the total: the
+	// CLI table is derived from exactly these fields.
+	if sumCC != r.TotalCC {
+		t.Errorf("sum of layer EffectiveCC %v != TotalCC %v", sumCC, r.TotalCC)
+	}
+	if sumPJ != r.TotalPJ {
+		t.Errorf("sum of layer EnergyPJ %v != TotalPJ %v", sumPJ, r.TotalPJ)
+	}
+	if n.TotalMACs() != blk.WorkMACs() {
+		t.Errorf("network MACs %d != block WorkMACs %d", n.TotalMACs(), blk.WorkMACs())
+	}
+}
+
+// A head-batched attention layer must cost exactly HeadCount times the
+// per-head search result — same candidate the mapper returns for the
+// stripped layer.
+func TestEvaluateHeadScalingExact(t *testing.T) {
+	score := workload.NewAttnScore("s", 16, 16, 16, 4)
+	n := &network.Network{Name: "attn", Layers: []workload.Layer{score}}
+	hw := arch.CaseStudy()
+	r, err := network.Evaluate(context.Background(), n, hw, arch.CaseStudySpatial(),
+		&network.Options{MaxCandidates: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHead := score
+	perHead.Heads = 0
+	cand, _, err := mapper.BestCached(context.Background(), &perHead, hw, &mapper.Options{
+		Spatial:       arch.CaseStudySpatial(),
+		BWAware:       true,
+		MaxCandidates: 1200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := &r.Layers[0]
+	got := lr.EffectiveCC - lr.SpillCC + lr.PrefetchSaved
+	want := 4 * cand.Result.CCTotal
+	if got != want {
+		t.Errorf("head-batched CC = %v, want exactly 4 x %v", got, cand.Result.CCTotal)
+	}
+	if lr.Candidate.Result.CCTotal != cand.Result.CCTotal {
+		t.Errorf("stored candidate differs from per-head search")
+	}
+}
+
+// Head counts share one memoized search: evaluating the same per-head shape
+// under different Heads must not change the per-head candidate.
+func TestHeadCountsShareSearch(t *testing.T) {
+	hw := arch.CaseStudy()
+	var cc [2]float64
+	for i, h := range []int64{2, 8} {
+		l := workload.NewAttnCtx("c", 16, 16, 16, h)
+		n := &network.Network{Name: "attn", Layers: []workload.Layer{l}}
+		r, err := network.Evaluate(context.Background(), n, hw, arch.CaseStudySpatial(),
+			&network.Options{MaxCandidates: 1200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc[i] = r.Layers[0].Candidate.Result.CCTotal
+	}
+	if cc[0] != cc[1] {
+		t.Errorf("per-head CC differs across head counts: %v vs %v", cc[0], cc[1])
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/loops"
 	"repro/internal/mapper"
 	"repro/internal/network"
+	"repro/internal/transformer"
 	"repro/internal/workload"
 )
 
@@ -374,7 +375,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 type NetworkRequest struct {
 	archSpec
 	// Net names a bundled workload: handtracking|resnet18|vgg16|mobilenetv2.
-	Net string `json:"net"`
+	// Exactly one of net / transformer_block must be given.
+	Net string `json:"net,omitempty"`
+	// Transformer builds a transformer-block network (internal/transformer)
+	// from a preset plus overrides instead of a bundled suite.
+	Transformer *transformer.Spec `json:"transformer_block,omitempty"`
 	// Budget is the per-layer search budget (default 6000).
 	Budget      int    `json:"budget,omitempty"`
 	Objective   string `json:"objective,omitempty"`
@@ -382,18 +387,35 @@ type NetworkRequest struct {
 	NoSym       bool   `json:"nosym,omitempty"`
 	NoSurrogate bool   `json:"nosurrogate,omitempty"`
 	PlanGB      bool   `json:"plan_gb,omitempty"`
-	TimeoutMS   int    `json:"timeout_ms,omitempty"`
+	// Shards fans every cold per-layer mapping search out over K
+	// deterministic subtree shards on the server's configured peers (the
+	// same fabric /v1/shard uses). Results are bit-identical for any K.
+	Shards    int `json:"shards,omitempty"`
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // NetworkLayerJSON is one layer's line in a NetworkResponse.
 type NetworkLayerJSON struct {
-	Name          string  `json:"name"`
-	Temporal      string  `json:"temporal"`
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Heads is the head-batch multiplicity of attention ops (present when
+	// > 1). For mapped layers cc_total prices ONE head and effective_cc
+	// covers all of them; head-batched elementwise passes stream every
+	// head in one pass, so their cc_total is already whole-operator.
+	Heads    int64  `json:"heads,omitempty"`
+	Temporal string `json:"temporal,omitempty"`
+	// CCTotal is the per-head mapped latency for matmul-shaped layers and
+	// the streaming pass time for elementwise layers (which carry no
+	// mapping; see read_bits/write_bits).
 	CCTotal       float64 `json:"cc_total"`
 	EffectiveCC   float64 `json:"effective_cc"`
 	PrefetchSaved float64 `json:"prefetch_saved"`
 	SpillCC       float64 `json:"spill_cc"`
-	EnergyPJ      float64 `json:"energy_pj"`
+	// ReadBits/WriteBits are the exact streamed traffic of elementwise
+	// (bandwidth-bound) layers.
+	ReadBits  int64   `json:"read_bits,omitempty"`
+	WriteBits int64   `json:"write_bits,omitempty"`
+	EnergyPJ  float64 `json:"energy_pj"`
 	// EnergyError reports a failed energy model evaluation for this layer
 	// (EnergyPJ is 0 and excluded from total_pj when set).
 	EnergyError string  `json:"energy_error,omitempty"`
@@ -427,13 +449,73 @@ func bundledNetwork(name string) (*network.Network, error) {
 	return nil, fmt.Errorf("unknown net %q (want handtracking|resnet18|vgg16|mobilenetv2)", name)
 }
 
+// requestedNetwork resolves a NetworkRequest's workload: a bundled suite or
+// a transformer-block spec (exactly one).
+func requestedNetwork(req *NetworkRequest) (*network.Network, error) {
+	switch {
+	case req.Transformer != nil && strings.TrimSpace(req.Net) != "":
+		return nil, errors.New("give either net or transformer_block, not both")
+	case req.Transformer != nil:
+		_, net, err := req.Transformer.Build()
+		return net, err
+	default:
+		return bundledNetwork(req.Net)
+	}
+}
+
+// BuildNetworkResponse renders an evaluated network in the /v1/network wire
+// form. Exported so cmd/xformer's -json output goes through the very same
+// constructor as the server: the byte-identity guarantee between the HTTP
+// path and the local CLI path is structural, not coincidental.
+func BuildNetworkResponse(net *network.Network, hw *arch.Arch, res *network.Result) NetworkResponse {
+	out := NetworkResponse{
+		Net:             net.Name,
+		Arch:            hw.Name,
+		TotalCC:         res.TotalCC,
+		TotalPJ:         res.TotalPJ,
+		IdealCC:         res.IdealCC,
+		PrefetchSavedCC: res.PrefetchSavedCC,
+		Utilization:     res.Utilization,
+	}
+	for i := range res.Layers {
+		lr := &res.Layers[i]
+		lj := NetworkLayerJSON{
+			Name:          lr.Original,
+			Kind:          lr.Layer.Kind.String(),
+			EffectiveCC:   lr.EffectiveCC,
+			PrefetchSaved: lr.PrefetchSaved,
+			SpillCC:       lr.SpillCC,
+			EnergyPJ:      lr.EnergyPJ,
+		}
+		if h := lr.Layer.HeadCount(); h > 1 {
+			lj.Heads = h
+		}
+		if lr.Candidate != nil {
+			lj.Temporal = lr.Candidate.Mapping.Temporal.String()
+			lj.CCTotal = lr.Candidate.Result.CCTotal
+			lj.Utilization = lr.Candidate.Result.Utilization
+		} else {
+			// Elementwise: bandwidth-bound pass, no mapping.
+			lj.CCTotal = lr.BWBoundCC
+			lj.ReadBits = lr.ReadBits
+			lj.WriteBits = lr.WriteBits
+			lj.Utilization = 1
+		}
+		if lr.EnergyErr != nil {
+			lj.EnergyError = lr.EnergyErr.Error()
+		}
+		out.Layers = append(out.Layers, lj)
+	}
+	return out
+}
+
 func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	var req NetworkRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	net, err := bundledNetwork(req.Net)
+	net, err := requestedNetwork(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -451,6 +533,17 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
+	var run mapper.SearchFunc
+	if req.Shards > 1 {
+		run = fabric.Runner(&fabric.Options{
+			Shards:     req.Shards,
+			Nodes:      s.cfg.Peers,
+			ArchName:   req.Arch,
+			ArchConfig: req.ArchConfig,
+			Tenant:     tenantOf(r),
+			TimeoutMS:  req.TimeoutMS,
+		})
+	}
 	res, err := network.Evaluate(ctx, net, hw, sp, &network.Options{
 		MaxCandidates: req.Budget,
 		Objective:     obj,
@@ -458,36 +551,11 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 		NoReduce:      req.NoSym,
 		NoSurrogate:   req.NoSurrogate,
 		PlanGB:        req.PlanGB,
+		Run:           run,
 	})
 	if err != nil {
 		writeError(w, s.errorStatus(r, err), err.Error())
 		return
 	}
-	out := NetworkResponse{
-		Net:             net.Name,
-		Arch:            hw.Name,
-		TotalCC:         res.TotalCC,
-		TotalPJ:         res.TotalPJ,
-		IdealCC:         res.IdealCC,
-		PrefetchSavedCC: res.PrefetchSavedCC,
-		Utilization:     res.Utilization,
-	}
-	for i := range res.Layers {
-		lr := &res.Layers[i]
-		lj := NetworkLayerJSON{
-			Name:          lr.Original,
-			Temporal:      lr.Candidate.Mapping.Temporal.String(),
-			CCTotal:       lr.Candidate.Result.CCTotal,
-			EffectiveCC:   lr.EffectiveCC,
-			PrefetchSaved: lr.PrefetchSaved,
-			SpillCC:       lr.SpillCC,
-			EnergyPJ:      lr.EnergyPJ,
-			Utilization:   lr.Candidate.Result.Utilization,
-		}
-		if lr.EnergyErr != nil {
-			lj.EnergyError = lr.EnergyErr.Error()
-		}
-		out.Layers = append(out.Layers, lj)
-	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, BuildNetworkResponse(net, hw, res))
 }

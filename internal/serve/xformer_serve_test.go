@@ -1,0 +1,127 @@
+package serve
+
+// Transformer blocks through /v1/network: the served bytes must equal the
+// library path run locally through the same response constructor, with and
+// without sharded per-layer searches.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/memo"
+	"repro/internal/network"
+	"repro/internal/transformer"
+	"repro/internal/workload"
+)
+
+const tinyBlockReq = `{"transformer_block":{"preset":"tiny","mode":"prefill","blocks":2},"budget":400}`
+
+func TestNetworkTransformerBlock(t *testing.T) {
+	memo.Default.Reset()
+	_, ts := newTestServer(t, Config{})
+	resp, data := post(t, ts, "/v1/network", tinyBlockReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("network = %d: %s", resp.StatusCode, data)
+	}
+	var out NetworkResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	blk, _, err := (&transformer.Spec{Preset: "tiny", Blocks: 2}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Layers) != 2*len(blk.Ops) {
+		t.Fatalf("layers = %d, want %d", len(out.Layers), 2*len(blk.Ops))
+	}
+	var sawElemwise, sawHeads bool
+	var sumCC float64
+	for _, lj := range out.Layers {
+		sumCC += lj.EffectiveCC
+		switch lj.Kind {
+		case workload.LayerNorm.String(), workload.Softmax.String(),
+			workload.GeLU.String(), workload.ResidualAdd.String():
+			sawElemwise = true
+			if lj.Temporal != "" || lj.ReadBits <= 0 || lj.WriteBits <= 0 {
+				t.Errorf("%s: elementwise wire form wrong: %+v", lj.Name, lj)
+			}
+		}
+		// For mapped (matmul-shaped) layers cc_total prices one head;
+		// elementwise layers stream all heads in one pass.
+		if lj.Heads > 1 && lj.Temporal != "" {
+			sawHeads = true
+			if lj.EffectiveCC != float64(lj.Heads)*lj.CCTotal {
+				t.Errorf("%s: effective_cc %v != heads %d x cc_total %v",
+					lj.Name, lj.EffectiveCC, lj.Heads, lj.CCTotal)
+			}
+		}
+	}
+	if !sawElemwise || !sawHeads {
+		t.Errorf("response misses elementwise (%v) or head-batched (%v) layers", sawElemwise, sawHeads)
+	}
+	if sumCC != out.TotalCC {
+		t.Errorf("per-op sum %v != total_cc %v", sumCC, out.TotalCC)
+	}
+}
+
+// The served bytes must be EXACTLY what the library path produces — same
+// evaluation, same response constructor, same encoder — and a sharded
+// request (K = 2, in-process fabric) must not change a single byte.
+func TestNetworkTransformerByteIdentity(t *testing.T) {
+	memo.Default.Reset()
+	_, ts := newTestServer(t, Config{})
+	resp, served := post(t, ts, "/v1/network", tinyBlockReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("network = %d: %s", resp.StatusCode, served)
+	}
+
+	_, net, err := (&transformer.Spec{Preset: "tiny", Blocks: 2}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, sp := arch.InHouse(), arch.InHouseSpatial()
+	res, err := network.Evaluate(context.Background(), net, hw, sp,
+		&network.Options{MaxCandidates: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var local bytes.Buffer
+	enc := json.NewEncoder(&local)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(BuildNetworkResponse(net, hw, res)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, local.Bytes()) {
+		t.Fatalf("served bytes differ from library path:\nserved: %s\nlocal:  %s", served, local.Bytes())
+	}
+
+	memo.Default.Reset() // force the sharded path to recompute cold
+	resp, sharded := post(t, ts, "/v1/network",
+		`{"transformer_block":{"preset":"tiny","mode":"prefill","blocks":2},"budget":400,"shards":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded network = %d: %s", resp.StatusCode, sharded)
+	}
+	if !bytes.Equal(served, sharded) {
+		t.Fatalf("sharded response differs from unsharded:\nunsharded: %s\nsharded:   %s", served, sharded)
+	}
+}
+
+func TestNetworkTransformerBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct{ name, body string }{
+		{"both workloads", `{"net":"handtracking","transformer_block":{"preset":"tiny"}}`},
+		{"bad preset", `{"transformer_block":{"preset":"gpt9"}}`},
+		{"bad mode", `{"transformer_block":{"preset":"tiny","mode":"sideways"}}`},
+		{"indivisible dims", `{"transformer_block":{"d_model":65,"heads":8,"seq_len":4}}`},
+	}
+	for _, tc := range cases {
+		resp, data := post(t, ts, "/v1/network", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", tc.name, resp.StatusCode, data)
+		}
+	}
+}

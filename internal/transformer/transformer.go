@@ -1,0 +1,428 @@
+// Package transformer lowers transformer/LLM blocks into the
+// seven-dimensional loop form of package loops, opening the workload family
+// that dominates 2026 traffic to the uniform latency model. A Block is the
+// standard pre-norm decoder layer — QKV/output projections, head-batched
+// attention score and context matmuls, the FFN projections, and the
+// LayerNorm/softmax/activation/residual passes modeled as bandwidth-bound
+// elementwise ops with exact byte-traffic accounting (DESIGN.md §15).
+//
+// Two shape modes mirror LLM serving: Prefill processes SeqLen prompt
+// tokens (seq×seq attention score matmuls, modeled dense — an upper bound
+// over the causal triangle), Decode processes one new token against a
+// KV-cache of KVLen past tokens, whose reads surface as the W operand of
+// the attention matmuls.
+package transformer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/loops"
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+// Mode selects the block's shape mode.
+type Mode uint8
+
+// The two serving phases.
+const (
+	Prefill Mode = iota // SeqLen query tokens attend to SeqLen keys
+	Decode              // 1 query token attends to a KVLen-entry KV-cache
+)
+
+// String returns "prefill" or "decode".
+func (m Mode) String() string {
+	if m == Decode {
+		return "decode"
+	}
+	return "prefill"
+}
+
+// ParseMode converts a mode name (case-insensitive) to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "prefill":
+		return Prefill, nil
+	case "decode":
+		return Decode, nil
+	}
+	return 0, fmt.Errorf("transformer: unknown mode %q (want prefill|decode)", s)
+}
+
+// Activation selects the FFN nonlinearity, which fixes the FFN matmul count:
+// GeLU uses up/down projections, SwiGLU adds the gate projection and an
+// elementwise multiply (Llama-family blocks).
+type Activation uint8
+
+// Supported FFN activations.
+const (
+	ActGeLU Activation = iota
+	ActSwiGLU
+)
+
+// String returns "gelu" or "swiglu".
+func (a Activation) String() string {
+	if a == ActSwiGLU {
+		return "swiglu"
+	}
+	return "gelu"
+}
+
+// ParseActivation converts an activation name to an Activation.
+func ParseActivation(s string) (Activation, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "gelu":
+		return ActGeLU, nil
+	case "swiglu":
+		return ActSwiGLU, nil
+	}
+	return 0, fmt.Errorf("transformer: unknown activation %q (want gelu|swiglu)", s)
+}
+
+// Config describes one transformer block's dimensions and shape mode.
+type Config struct {
+	Name   string // preset or user label
+	DModel int64  // model width
+	Heads  int64  // attention heads
+	DHead  int64  // head dimension (0: DModel/Heads)
+	DFF    int64  // FFN hidden width (0: 4*DModel)
+	SeqLen int64  // prompt length (prefill) / context length default (decode)
+	KVLen  int64  // decode only: KV-cache length incl. the new token (0: SeqLen)
+	Batch  int64  // concurrent sequences (0: 1)
+	Mode   Mode
+	Act    Activation
+	// Precision gives the per-operand element widths (zero: the default
+	// 8/8/24-bit inference configuration).
+	Precision workload.Precision
+}
+
+// normalized fills defaulted fields.
+func (c Config) normalized() Config {
+	if c.DHead == 0 && c.Heads > 0 {
+		c.DHead = c.DModel / c.Heads
+	}
+	if c.DFF == 0 {
+		c.DFF = 4 * c.DModel
+	}
+	if c.Batch < 1 {
+		c.Batch = 1
+	}
+	if c.KVLen == 0 {
+		c.KVLen = c.SeqLen
+	}
+	if c.Precision == (workload.Precision{}) {
+		c.Precision = workload.DefaultPrecision
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	n := c.normalized()
+	switch {
+	case n.DModel < 1:
+		return fmt.Errorf("transformer: %s: d_model %d < 1", c.Name, n.DModel)
+	case n.Heads < 1:
+		return fmt.Errorf("transformer: %s: heads %d < 1", c.Name, n.Heads)
+	case n.DHead < 1:
+		return fmt.Errorf("transformer: %s: d_head %d < 1", c.Name, n.DHead)
+	case c.DHead == 0 && n.DModel%n.Heads != 0:
+		return fmt.Errorf("transformer: %s: d_model %d not divisible by %d heads", c.Name, n.DModel, n.Heads)
+	case n.DFF < 1:
+		return fmt.Errorf("transformer: %s: d_ff %d < 1", c.Name, n.DFF)
+	case n.SeqLen < 1:
+		return fmt.Errorf("transformer: %s: seq_len %d < 1", c.Name, n.SeqLen)
+	case n.KVLen < 1:
+		return fmt.Errorf("transformer: %s: kv_len %d < 1", c.Name, n.KVLen)
+	}
+	return n.Precision.Validate()
+}
+
+// QueryLen returns the number of query tokens per sequence: SeqLen in
+// prefill, 1 in decode.
+func (c *Config) QueryLen() int64 {
+	if c.Mode == Decode {
+		return 1
+	}
+	return c.SeqLen
+}
+
+// KeyLen returns the attended context length: SeqLen in prefill, the
+// KV-cache length in decode.
+func (c *Config) KeyLen() int64 {
+	n := c.normalized()
+	if c.Mode == Decode {
+		return n.KVLen
+	}
+	return n.SeqLen
+}
+
+// Presets. Dimensions follow the published configurations; sequence lengths
+// are defaults the caller overrides per experiment.
+
+// Tiny returns a toy block for tests and smoke runs.
+func Tiny() Config {
+	return Config{Name: "tiny", DModel: 64, Heads: 4, DFF: 128, SeqLen: 16}
+}
+
+// GPT2 returns a GPT-2-small-class block (d_model 768, 12 heads, 4x FFN).
+func GPT2() Config {
+	return Config{Name: "gpt2", DModel: 768, Heads: 12, DFF: 3072, SeqLen: 128}
+}
+
+// Llama7B returns a Llama-7B-class block (d_model 4096, 32 heads, SwiGLU
+// FFN with hidden width 11008).
+func Llama7B() Config {
+	return Config{Name: "llama7b", DModel: 4096, Heads: 32, DFF: 11008, SeqLen: 128, Act: ActSwiGLU}
+}
+
+// Preset resolves a preset name.
+func Preset(name string) (Config, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "tiny":
+		return Tiny(), nil
+	case "gpt2":
+		return GPT2(), nil
+	case "llama7b":
+		return Llama7B(), nil
+	}
+	return Config{}, fmt.Errorf("transformer: unknown preset %q (want tiny|gpt2|llama7b)", name)
+}
+
+// Op is one operator of the block graph, in execution order.
+type Op struct {
+	Name  string
+	Layer workload.Layer
+}
+
+// Block is a transformer block lowered to workload layers.
+type Block struct {
+	Cfg Config // normalized
+	Ops []Op
+}
+
+// NewBlock lowers the configured block into its operator sequence. Every
+// produced layer validates; per-head matmuls carry their head multiplicity
+// on the layer (workload.Layer.Heads) so one mapping search prices all
+// heads.
+func NewBlock(cfg Config) (*Block, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.normalized()
+	b := &Block{Cfg: c}
+	rows := c.Batch * c.QueryLen() // token rows through the projections
+	q := c.QueryLen()
+	kv := c.KeyLen()
+	hb := c.Heads * c.Batch // per-head instances across the batch
+	prec := c.Precision
+
+	add := func(name string, l workload.Layer) {
+		l.Precision = prec
+		b.Ops = append(b.Ops, Op{Name: name, Layer: l})
+	}
+	matmul := func(name string, m, n, depth int64) {
+		add(name, workload.NewMatMul(name, m, n, depth))
+	}
+	elem := func(kind workload.Kind, name string, r, cols, heads int64) {
+		add(name, workload.NewElemwise(kind, name, r, cols, heads))
+	}
+
+	elem(workload.LayerNorm, "ln1", rows, c.DModel, 1)
+	matmul("q_proj", rows, c.DModel, c.DModel)
+	matmul("k_proj", rows, c.DModel, c.DModel)
+	matmul("v_proj", rows, c.DModel, c.DModel)
+	add("attn_score", workload.NewAttnScore("attn_score", q, kv, c.DHead, hb))
+	elem(workload.Softmax, "softmax", q, kv, hb)
+	add("attn_ctx", workload.NewAttnCtx("attn_ctx", q, c.DHead, kv, hb))
+	matmul("out_proj", rows, c.DModel, c.Heads*c.DHead)
+	elem(workload.ResidualAdd, "resid1", rows, c.DModel, 1)
+	elem(workload.LayerNorm, "ln2", rows, c.DModel, 1)
+	if c.Act == ActSwiGLU {
+		matmul("ffn_gate", rows, c.DFF, c.DModel)
+		matmul("ffn_up", rows, c.DFF, c.DModel)
+		// SiLU has GeLU's traffic shape (one read pass, one write pass);
+		// the elementwise gate multiply streams both halves like a
+		// residual add.
+		elem(workload.GeLU, "silu", rows, c.DFF, 1)
+		elem(workload.ResidualAdd, "ffn_mul", rows, c.DFF, 1)
+	} else {
+		matmul("ffn_up", rows, c.DFF, c.DModel)
+		elem(workload.GeLU, "gelu", rows, c.DFF, 1)
+	}
+	matmul("ffn_down", rows, c.DModel, c.DFF)
+	elem(workload.ResidualAdd, "resid2", rows, c.DModel, 1)
+
+	for i := range b.Ops {
+		if err := b.Ops[i].Layer.Validate(); err != nil {
+			return nil, fmt.Errorf("transformer: lowering %s: %w", b.Ops[i].Name, err)
+		}
+	}
+	return b, nil
+}
+
+// Layers returns the block's layers in execution order.
+func (b *Block) Layers() []workload.Layer {
+	out := make([]workload.Layer, len(b.Ops))
+	for i := range b.Ops {
+		out[i] = b.Ops[i].Layer
+	}
+	return out
+}
+
+// WorkMACs sums the whole-block arithmetic work (all heads; elementwise
+// passes contribute none).
+func (b *Block) WorkMACs() int64 {
+	var t int64
+	for i := range b.Ops {
+		t += b.Ops[i].Layer.WorkMACs()
+	}
+	return t
+}
+
+// KVCacheReadBits returns the KV-cache traffic the block reads in decode
+// mode: the W operands of the attention matmuls (the K-cache feeding the
+// score matmul and the V-cache feeding the context matmul, all heads).
+// Zero in prefill mode, where K and V are produced in-place.
+func (b *Block) KVCacheReadBits() int64 {
+	if b.Cfg.Mode != Decode {
+		return 0
+	}
+	var t int64
+	for i := range b.Ops {
+		switch b.Ops[i].Layer.Kind {
+		case workload.AttnScore, workload.AttnCtx:
+			t += b.Ops[i].Layer.OperandBits(loops.W)
+		}
+	}
+	return t
+}
+
+// NetName returns the canonical network name for the block ("gpt2-prefill-
+// seq128", "llama7b-decode-kv2048x1").
+func (b *Block) NetName(stack int) string {
+	c := b.Cfg
+	name := c.Name
+	if name == "" {
+		name = fmt.Sprintf("xf-d%d-h%d", c.DModel, c.Heads)
+	}
+	switch c.Mode {
+	case Decode:
+		name += fmt.Sprintf("-decode-kv%d", c.KeyLen())
+	default:
+		name += fmt.Sprintf("-prefill-seq%d", c.SeqLen)
+	}
+	if c.Batch > 1 {
+		name += fmt.Sprintf("-b%d", c.Batch)
+	}
+	if stack > 1 {
+		name += fmt.Sprintf("-x%d", stack)
+	}
+	return name
+}
+
+// Network stacks the block `stack` times (min 1) into an evaluable network.
+// Stacked copies repeat the exact layer shapes under distinct names, so
+// workload.DedupLayers collapses them and the memoized per-layer searches
+// run once per unique shape.
+func (b *Block) Network(stack int) *network.Network {
+	if stack < 1 {
+		stack = 1
+	}
+	n := &network.Network{Name: b.NetName(stack)}
+	for s := 0; s < stack; s++ {
+		for i := range b.Ops {
+			l := b.Ops[i].Layer
+			if stack > 1 {
+				l.Name = fmt.Sprintf("b%d.%s", s, l.Name)
+			}
+			n.Layers = append(n.Layers, l)
+		}
+	}
+	return n
+}
+
+// Spec is the wire/CLI form of a transformer-block request: a preset plus
+// overrides. It is embedded verbatim in serve's /v1/network schema, and
+// cmd/xformer builds the identical structure from flags, so both paths
+// resolve through the same code and produce byte-identical evaluations.
+type Spec struct {
+	Preset string `json:"preset,omitempty"`     // tiny|gpt2|llama7b (empty: fully custom)
+	Mode   string `json:"mode,omitempty"`       // prefill|decode
+	SeqLen int64  `json:"seq_len,omitempty"`    // prompt / context length override
+	KVLen  int64  `json:"kv_len,omitempty"`     // decode KV-cache length override
+	DModel int64  `json:"d_model,omitempty"`    // model width override
+	Heads  int64  `json:"heads,omitempty"`      // head count override
+	DHead  int64  `json:"d_head,omitempty"`     // head dim override
+	DFF    int64  `json:"d_ff,omitempty"`       // FFN width override
+	Batch  int64  `json:"batch,omitempty"`      // concurrent sequences
+	Blocks int    `json:"blocks,omitempty"`     // stacked block copies (default 1)
+	Act    string `json:"activation,omitempty"` // gelu|swiglu
+}
+
+// Config resolves the spec into a validated block configuration.
+func (s *Spec) Config() (Config, error) {
+	cfg := Config{Name: "custom"}
+	if s.Preset != "" {
+		var err error
+		cfg, err = Preset(s.Preset)
+		if err != nil {
+			return Config{}, err
+		}
+	}
+	mode, err := ParseMode(s.Mode)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Mode = mode
+	if s.Act != "" {
+		act, err := ParseActivation(s.Act)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Act = act
+	}
+	if s.SeqLen > 0 {
+		cfg.SeqLen = s.SeqLen
+	}
+	if s.KVLen > 0 {
+		cfg.KVLen = s.KVLen
+	}
+	if s.DModel > 0 {
+		cfg.DModel = s.DModel
+		if s.Preset == "" && s.DFF == 0 {
+			cfg.DFF = 0 // re-derive 4x
+		}
+	}
+	if s.Heads > 0 {
+		cfg.Heads = s.Heads
+		cfg.DHead = 0 // re-derive unless overridden below
+	}
+	if s.DHead > 0 {
+		cfg.DHead = s.DHead
+	}
+	if s.DFF > 0 {
+		cfg.DFF = s.DFF
+	}
+	if s.Batch > 0 {
+		cfg.Batch = s.Batch
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Build resolves the spec into its block and stacked network.
+func (s *Spec) Build() (*Block, *network.Network, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, nil, err
+	}
+	blk, err := NewBlock(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return blk, blk.Network(s.Blocks), nil
+}

@@ -1,0 +1,295 @@
+package transformer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loops"
+	"repro/internal/workload"
+)
+
+func cfgFor(t *testing.T, c Config) *Block {
+	t.Helper()
+	b, err := NewBlock(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestPresetsBuild(t *testing.T) {
+	for _, name := range []string{"tiny", "gpt2", "llama7b"} {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Mode{Prefill, Decode} {
+			cfg.Mode = mode
+			b := cfgFor(t, cfg)
+			for i := range b.Ops {
+				if err := b.Ops[i].Layer.Validate(); err != nil {
+					t.Errorf("%s/%s op %s: %v", name, mode, b.Ops[i].Name, err)
+				}
+			}
+			if b.WorkMACs() <= 0 {
+				t.Errorf("%s/%s: no MAC work", name, mode)
+			}
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset resolved")
+	}
+}
+
+// Closed-form MAC accounting: the lowered block's total MAC work must match
+// the textbook transformer FLOP count (as MACs) exactly, in both modes.
+func TestBlockMACsClosedForm(t *testing.T) {
+	f := func(dm, h, s, kvl, ffn uint8, swiglu, decode bool) bool {
+		heads := int64(h%4 + 1)
+		dHead := int64(dm%4+1) * 2
+		dModel := heads * dHead
+		seq := int64(s%8 + 1)
+		kv := int64(kvl%8 + 1)
+		dff := int64(ffn%8+1) * 4
+		cfg := Config{
+			Name: "p", DModel: dModel, Heads: heads, DFF: dff,
+			SeqLen: seq, KVLen: kv,
+		}
+		if swiglu {
+			cfg.Act = ActSwiGLU
+		}
+		if decode {
+			cfg.Mode = Decode
+		}
+		b, err := NewBlock(cfg)
+		if err != nil {
+			return false
+		}
+		q, L := seq, seq
+		if decode {
+			q, L = 1, kv
+		}
+		want := 3*q*dModel*dModel + // q/k/v projections
+			heads*q*L*dHead + // attention scores
+			heads*q*dHead*L + // attention context
+			q*dModel*dModel + // out projection
+			2*q*dff*dModel // ffn up+down
+		if swiglu {
+			want += q * dff * dModel // gate projection
+		}
+		return b.WorkMACs() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The head-batched attention ops must sum to the unbatched equivalents:
+// an H-head score matmul carries exactly H single-head problems in MACs and
+// every operand's byte count.
+func TestHeadBatchedOpsSumToUnbatched(t *testing.T) {
+	cfg := Tiny()
+	cfg.Batch = 2
+	b := cfgFor(t, cfg)
+	for _, op := range b.Ops {
+		l := op.Layer
+		if l.HeadCount() <= 1 {
+			continue
+		}
+		single := l
+		single.Heads = 1
+		h := l.HeadCount()
+		if l.WorkMACs() != h*single.WorkMACs() {
+			t.Errorf("%s: WorkMACs %d != %d heads x %d", op.Name, l.WorkMACs(), h, single.WorkMACs())
+		}
+		for _, o := range loops.AllOperands {
+			if l.OperandBits(o) != h*single.OperandBits(o) {
+				t.Errorf("%s: operand %s bits not head-linear", op.Name, o)
+			}
+		}
+	}
+}
+
+// Byte-traffic accounting of the lowered ops against first principles.
+func TestBlockOperandBytes(t *testing.T) {
+	cfg := Config{Name: "t", DModel: 32, Heads: 4, DFF: 64, SeqLen: 8}
+	b := cfgFor(t, cfg)
+	ops := map[string]workload.Layer{}
+	for _, op := range b.Ops {
+		ops[op.Name] = op.Layer
+	}
+	prec := workload.DefaultPrecision
+
+	// q_proj: W = DModel*DModel weights, I = seq*DModel, O = seq*DModel.
+	q := ops["q_proj"]
+	if got, want := q.OperandBits(loops.W), int64(32*32*prec.W); got != want {
+		t.Errorf("q_proj W bits = %d, want %d", got, want)
+	}
+	if got, want := q.OperandBits(loops.I), int64(8*32*prec.I); got != want {
+		t.Errorf("q_proj I bits = %d, want %d", got, want)
+	}
+	// attn_score over 4 heads: per head W = seq*dHead (keys), I = seq*dHead
+	// (queries), O = seq*seq (scores).
+	s := ops["attn_score"]
+	if got, want := s.OperandBits(loops.W), int64(4*8*8*prec.W); got != want {
+		t.Errorf("attn_score W bits = %d, want %d", got, want)
+	}
+	if got, want := s.OperandBits(loops.O), int64(4*8*8*prec.O); got != want {
+		t.Errorf("attn_score O bits = %d, want %d", got, want)
+	}
+	// softmax streams the 4-head score tensor.
+	sm := ops["softmax"]
+	if got, want := sm.OperandBits(loops.I), int64(4*8*8*prec.I); got != want {
+		t.Errorf("softmax I bits = %d, want %d", got, want)
+	}
+	// ln1 carries gamma/beta params.
+	ln := ops["ln1"]
+	if got, want := ln.OperandBits(loops.W), int64(2*32*prec.W); got != want {
+		t.Errorf("ln1 param bits = %d, want %d", got, want)
+	}
+}
+
+func TestDecodeShapesAndKVTraffic(t *testing.T) {
+	cfg := GPT2()
+	cfg.Mode = Decode
+	cfg.KVLen = 512
+	b := cfgFor(t, cfg)
+	ops := map[string]workload.Layer{}
+	for _, op := range b.Ops {
+		ops[op.Name] = op.Layer
+	}
+	// Decode projections run one token.
+	qp, as := ops["q_proj"], ops["attn_score"]
+	if got := qp.Dim(loops.B); got != 1 {
+		t.Errorf("decode q_proj rows = %d, want 1", got)
+	}
+	// The score matmul attends to the whole cache.
+	if got := as.Dim(loops.K); got != 512 {
+		t.Errorf("decode attn_score keyLen = %d, want 512", got)
+	}
+	// KV-cache reads = K-cache + V-cache across all heads:
+	// 2 * heads * kvLen * dHead elements at W precision.
+	want := int64(2) * 12 * 512 * 64 * int64(workload.DefaultPrecision.W)
+	if got := b.KVCacheReadBits(); got != want {
+		t.Errorf("KVCacheReadBits = %d, want %d", got, want)
+	}
+	// Prefill reads no cache.
+	cfg.Mode = Prefill
+	if got := cfgFor(t, cfg).KVCacheReadBits(); got != 0 {
+		t.Errorf("prefill KVCacheReadBits = %d, want 0", got)
+	}
+}
+
+func TestSwiGLUAddsGate(t *testing.T) {
+	g := cfgFor(t, Tiny())
+	l := cfgFor(t, Llama7B())
+	names := func(b *Block) map[string]bool {
+		m := map[string]bool{}
+		for _, op := range b.Ops {
+			m[op.Name] = true
+		}
+		return m
+	}
+	gn, ln := names(g), names(l)
+	if gn["ffn_gate"] || !ln["ffn_gate"] || !ln["ffn_mul"] {
+		t.Error("SwiGLU gate ops wrong")
+	}
+	if !gn["gelu"] || ln["gelu"] {
+		t.Error("GeLU activation placement wrong")
+	}
+}
+
+// Stacked blocks repeat shapes exactly: DedupLayers must collapse an
+// N-block network to one block's worth of unique shapes.
+func TestStackedNetworkDedups(t *testing.T) {
+	b := cfgFor(t, Tiny())
+	n := b.Network(4)
+	if len(n.Layers) != 4*len(b.Ops) {
+		t.Fatalf("stacked layers = %d, want %d", len(n.Layers), 4*len(b.Ops))
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	unique, mult, _ := workload.DedupLayers(n.Layers)
+	// Within one tiny block, ln1/ln2/resid1/resid2 already coalesce
+	// (LayerNorm x2, ResidualAdd x2) and q/k/v share one matmul shape, so
+	// unique < ops; stacking must add nothing new.
+	u1, _, _ := workload.DedupLayers(b.Layers())
+	if len(unique) != len(u1) {
+		t.Errorf("stacking added shapes: %d vs %d", len(unique), len(u1))
+	}
+	for i, m := range mult {
+		if m%4 != 0 {
+			t.Errorf("unique[%d] multiplicity %d not a multiple of the stack", i, m)
+		}
+	}
+}
+
+func TestSpecResolution(t *testing.T) {
+	spec := &Spec{Preset: "gpt2", Mode: "decode", KVLen: 256, Blocks: 2}
+	blk, net, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.Cfg.DModel != 768 || blk.Cfg.KeyLen() != 256 {
+		t.Errorf("spec config = %+v", blk.Cfg)
+	}
+	if len(net.Layers) != 2*len(blk.Ops) {
+		t.Errorf("blocks=2 built %d layers", len(net.Layers))
+	}
+
+	custom := &Spec{DModel: 64, Heads: 8, SeqLen: 16}
+	cblk, _, err := custom.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cblk.Cfg.DHead != 8 || cblk.Cfg.DFF != 256 {
+		t.Errorf("custom derived dims = %+v", cblk.Cfg)
+	}
+
+	if _, _, err := (&Spec{Preset: "bogus"}).Build(); err == nil {
+		t.Error("bogus preset built")
+	}
+	if _, _, err := (&Spec{Preset: "tiny", Mode: "sideways"}).Build(); err == nil {
+		t.Error("bogus mode built")
+	}
+	if _, _, err := (&Spec{DModel: 65, Heads: 8, SeqLen: 4}).Build(); err == nil {
+		t.Error("indivisible d_model built")
+	}
+}
+
+// Building the same spec twice must produce identical networks (the serve
+// path and the CLI path both rely on this for byte-identical output).
+func TestBuildDeterministic(t *testing.T) {
+	spec := &Spec{Preset: "llama7b", Mode: "prefill", SeqLen: 64, Blocks: 3}
+	_, n1, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, n2, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.Name != n2.Name || len(n1.Layers) != len(n2.Layers) {
+		t.Fatal("non-deterministic build")
+	}
+	for i := range n1.Layers {
+		if n1.Layers[i].String() != n2.Layers[i].String() {
+			t.Fatalf("layer %d differs", i)
+		}
+	}
+}
+
+func TestNetName(t *testing.T) {
+	b := cfgFor(t, Tiny())
+	if got := b.NetName(1); got != "tiny-prefill-seq16" {
+		t.Errorf("NetName = %q", got)
+	}
+	cfg := Tiny()
+	cfg.Mode = Decode
+	cfg.KVLen = 128
+	cfg.Batch = 2
+	if got := cfgFor(t, cfg).NetName(4); got != "tiny-decode-kv128-b2-x4" {
+		t.Errorf("decode NetName = %q", got)
+	}
+}

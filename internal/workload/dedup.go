@@ -46,6 +46,11 @@ func (l *Layer) AppendShapeKey(dst []byte) []byte {
 	put(int64(p.W))
 	put(int64(p.I))
 	put(int64(p.O))
+	// Head-batch multiplicity (transformer attention kinds): two operators
+	// with identical per-head dims but different head counts do different
+	// total work and must not coalesce. Encoded as HeadCount so the zero
+	// value keys identically to an explicit Heads=1.
+	put(l.HeadCount())
 	return dst
 }
 

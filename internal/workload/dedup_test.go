@@ -93,3 +93,48 @@ func TestShapeKeyDistinguishes(t *testing.T) {
 		t.Error("zero-value strides/precision key differently from the defaults")
 	}
 }
+
+// TestShapeKeyHeadsCollision: two attention ops that differ ONLY in the head
+// multiplicity do different total work and must not coalesce, while the zero
+// value and an explicit Heads=1 describe the same operator and must. The
+// same rule holds per kind: AttnScore and AttnCtx with numerically equal
+// dims are distinct shapes.
+func TestShapeKeyHeadsCollision(t *testing.T) {
+	h8 := NewAttnScore("s", 32, 48, 64, 8)
+	h12 := NewAttnScore("s", 32, 48, 64, 12)
+	if h8.ShapeKey() == h12.ShapeKey() {
+		t.Error("AttnScore Heads=8 and Heads=12 share a shape key")
+	}
+	unique, _, _ := DedupLayers([]Layer{h8, h12})
+	if len(unique) != 2 {
+		t.Fatalf("DedupLayers coalesced layers differing only in Heads: %d unique", len(unique))
+	}
+
+	h0 := NewAttnScore("a", 32, 48, 64, 0)
+	h1 := NewAttnScore("b", 32, 48, 64, 1)
+	if h0.ShapeKey() != h1.ShapeKey() {
+		t.Error("Heads=0 and Heads=1 key differently")
+	}
+	unique, mult, _ := DedupLayers([]Layer{h0, h1})
+	if len(unique) != 1 || mult[0] != 2 {
+		t.Errorf("Heads=0/Heads=1 did not coalesce: unique=%d", len(unique))
+	}
+
+	// Same dim vector, different kind: Q·K^T vs scores·V must stay apart.
+	score := NewAttnScore("s", 16, 64, 64, 4)
+	ctx := NewAttnCtx("c", 16, 64, 64, 4)
+	if score.ShapeKey() == ctx.ShapeKey() {
+		t.Error("AttnScore and AttnCtx with equal dims share a shape key")
+	}
+
+	// Elementwise kinds with equal row/col dims are distinct per kind.
+	ln := NewElemwise(LayerNorm, "ln", 16, 64, 1)
+	sm := NewElemwise(Softmax, "sm", 16, 64, 1)
+	if ln.ShapeKey() == sm.ShapeKey() {
+		t.Error("LayerNorm and Softmax with equal dims share a shape key")
+	}
+	smh := NewElemwise(Softmax, "smh", 16, 64, 4)
+	if sm.ShapeKey() == smh.ShapeKey() {
+		t.Error("Softmax Heads=1 and Heads=4 share a shape key")
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"repro/internal/loops"
 )
 
-// Kind enumerates the supported layer types (paper Section II-A-1).
+// Kind enumerates the supported layer types (paper Section II-A-1), plus
+// the transformer-block operators of internal/transformer: two head-batched
+// attention matmul kinds and four bandwidth-bound elementwise kinds.
 type Kind uint8
 
 // Supported layer kinds.
@@ -21,14 +23,39 @@ const (
 	Depthwise
 	Pointwise
 	MatMul // already-lowered matrix multiply (the post-Im2Col form)
+
+	// AttnScore is the per-head attention score matmul Q·K^T: B = query
+	// rows, K = key/context length, C = head dimension. The seven dims
+	// describe ONE head; Heads repeats it (all three operands are
+	// head-indexed, which the seven-dimensional form cannot express in a
+	// single nest — see DESIGN.md §15).
+	AttnScore
+	// AttnCtx is the per-head attention context matmul scores·V: B = query
+	// rows, K = head dimension, C = key/context length. In decode mode the
+	// W operand (K*C elements) is exactly the per-head V-cache read.
+	AttnCtx
+
+	// Elementwise kinds: bandwidth-bound tensor passes priced by byte
+	// traffic instead of a mapping search. B = rows, C = columns; all
+	// other dims must be 1; Heads repeats the pass per attention head.
+	LayerNorm   // 2 read passes (statistics + normalize) + γ/β params, 1 write pass
+	Softmax     // 3 read passes (max, exp-sum, normalize), 1 write pass
+	GeLU        // 1 read pass, 1 write pass (any pointwise activation)
+	ResidualAdd // 2 read passes (both addends), 1 write pass
 )
 
 var kindNames = map[Kind]string{
-	Conv2D:    "Conv2D",
-	Dense:     "Dense",
-	Depthwise: "Depthwise",
-	Pointwise: "Pointwise",
-	MatMul:    "MatMul",
+	Conv2D:      "Conv2D",
+	Dense:       "Dense",
+	Depthwise:   "Depthwise",
+	Pointwise:   "Pointwise",
+	MatMul:      "MatMul",
+	AttnScore:   "AttnScore",
+	AttnCtx:     "AttnCtx",
+	LayerNorm:   "LayerNorm",
+	Softmax:     "Softmax",
+	GeLU:        "GeLU",
+	ResidualAdd: "ResidualAdd",
 }
 
 // String returns the layer kind name.
@@ -37,6 +64,45 @@ func (k Kind) String() string {
 		return s
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// MatmulShaped reports whether layers of this kind run on the MAC array
+// through the mapper and the intra-layer latency model (possibly after
+// Im2Col lowering).
+func (k Kind) MatmulShaped() bool {
+	switch k {
+	case Conv2D, Dense, Depthwise, Pointwise, MatMul, AttnScore, AttnCtx:
+		return true
+	}
+	return false
+}
+
+// Elementwise reports whether layers of this kind are bandwidth-bound
+// elementwise passes (no MACs, no mapping search).
+func (k Kind) Elementwise() bool {
+	switch k {
+	case LayerNorm, Softmax, GeLU, ResidualAdd:
+		return true
+	}
+	return false
+}
+
+// ElemwisePasses returns how many full passes over the input tensor an
+// elementwise kind reads and how many passes over the output it writes —
+// the exact byte-traffic accounting of DESIGN.md §15 (no operator fusion
+// is assumed; every pass streams through the outermost memory).
+func (k Kind) ElemwisePasses() (readPasses, writePasses int) {
+	switch k {
+	case LayerNorm:
+		return 2, 1 // mean/var pass, then normalize
+	case Softmax:
+		return 3, 1 // running max, exp-sum, normalize
+	case GeLU:
+		return 1, 1
+	case ResidualAdd:
+		return 2, 1 // both addends stream in
+	}
+	return 0, 0
 }
 
 // Precision holds the bit width of each operand's data elements.
@@ -83,6 +149,24 @@ type Layer struct {
 
 	// Precision gives per-operand element widths in bits.
 	Precision Precision
+
+	// Heads is the head-batch multiplicity of the attention kinds
+	// (AttnScore/AttnCtx) and of per-head elementwise passes (Softmax over
+	// attention scores): the seven dims describe ONE head and the full
+	// operator repeats them Heads times with all operands head-indexed.
+	// The intra-layer model prices one head (TotalMACs, the mapper and the
+	// simulator all see the per-head problem); whole-operator totals
+	// (WorkMACs, OperandElems, network evaluation) scale by HeadCount.
+	// Zero means 1 (unbatched). Must be 1 (or 0) for the classic kinds.
+	Heads int64
+}
+
+// HeadCount returns the head-batch multiplicity (>= 1).
+func (l *Layer) HeadCount() int64 {
+	if l.Heads < 1 {
+		return 1
+	}
+	return l.Heads
 }
 
 // Dim returns the extent of dimension d (>= 1).
@@ -133,11 +217,28 @@ func (l *Layer) Validate() error {
 	if err := l.Precision.Validate(); err != nil {
 		return fmt.Errorf("workload: layer %q: %w", l.Name, err)
 	}
+	if l.Heads < 0 {
+		return fmt.Errorf("workload: layer %q: negative head count %d", l.Name, l.Heads)
+	}
+	if l.Heads > 1 {
+		switch l.Kind {
+		case AttnScore, AttnCtx, LayerNorm, Softmax, GeLU, ResidualAdd:
+			// head batching applies
+		default:
+			return fmt.Errorf("workload: layer %q: kind %s does not support Heads=%d", l.Name, l.Kind, l.Heads)
+		}
+	}
 	switch l.Kind {
-	case Dense, MatMul:
+	case Dense, MatMul, AttnScore, AttnCtx:
 		for _, d := range []loops.Dim{loops.OY, loops.OX, loops.FY, loops.FX} {
 			if l.Dims[d] != 1 {
 				return fmt.Errorf("workload: layer %q: %s layer must have %s=1, got %d", l.Name, l.Kind, d, l.Dims[d])
+			}
+		}
+	case LayerNorm, Softmax, GeLU, ResidualAdd:
+		for _, d := range []loops.Dim{loops.K, loops.OY, loops.OX, loops.FY, loops.FX} {
+			if l.Dims[d] != 1 {
+				return fmt.Errorf("workload: layer %q: elementwise %s layer must have %s=1, got %d", l.Name, l.Kind, d, l.Dims[d])
 			}
 		}
 	case Pointwise:
@@ -156,8 +257,11 @@ func (l *Layer) Validate() error {
 	return nil
 }
 
-// TotalMACs returns the total number of multiply-accumulate operations of
-// the layer: the product of all seven dimension extents.
+// TotalMACs returns the number of multiply-accumulate operations of the
+// PER-HEAD problem the intra-layer model prices: the product of all seven
+// dimension extents. The mapper, the core model and the simulator all
+// consume this per-head view; use WorkMACs for whole-operator arithmetic
+// totals (head-scaled, zero for elementwise kinds).
 func (l *Layer) TotalMACs() int64 {
 	p := int64(1)
 	for _, d := range loops.AllDims {
@@ -166,13 +270,44 @@ func (l *Layer) TotalMACs() int64 {
 	return p
 }
 
-// OperandElems returns the total number of data elements of operand op.
+// WorkMACs returns the whole-operator multiply-accumulate count: the
+// per-head MACs times the head multiplicity, and 0 for elementwise kinds
+// (which perform no MACs — their dim product counts tensor elements).
+func (l *Layer) WorkMACs() int64 {
+	if l.Kind.Elementwise() {
+		return 0
+	}
+	return l.TotalMACs() * l.HeadCount()
+}
+
+// ElemwiseParamElems returns the number of resident parameter elements an
+// elementwise kind reads once per pass set (LayerNorm's γ/β vectors); zero
+// for parameter-free kinds and for non-elementwise layers.
+func (l *Layer) ElemwiseParamElems() int64 {
+	if l.Kind == LayerNorm {
+		return 2 * l.Dim(loops.C)
+	}
+	return 0
+}
+
+// OperandElems returns the total number of data elements of operand op for
+// the WHOLE operator (all heads). For matmul-shaped kinds this is the
+// per-head tile size times HeadCount; for elementwise kinds I and O are the
+// full B×C tensor per head and W holds the resident parameters.
 func (l *Layer) OperandElems(op loops.Operand) int64 {
+	if l.Kind.Elementwise() {
+		switch op {
+		case loops.W:
+			return l.ElemwiseParamElems()
+		case loops.I, loops.O:
+			return l.Dim(loops.B) * l.Dim(loops.C) * l.HeadCount()
+		}
+	}
 	var dims [loops.NumDims]int64
 	for _, d := range loops.AllDims {
 		dims[d] = l.Dim(d)
 	}
-	return loops.TileElems(op, dims, l.Strides)
+	return loops.TileElems(op, dims, l.Strides) * l.HeadCount()
 }
 
 // OperandBits returns the total data size of operand op in bits.
@@ -190,7 +325,8 @@ func (l *Layer) TotalDataBits() int64 {
 }
 
 // String renders the layer compactly, e.g.
-// "conv3 Conv2D[B1 K64 C32 OY28 OX28 FY3 FX3]".
+// "conv3 Conv2D[B1 K64 C32 OY28 OX28 FY3 FX3]"; head-batched layers gain an
+// "xH" multiplicity suffix.
 func (l *Layer) String() string {
 	s := l.Name + " " + l.Kind.String() + "["
 	for i, d := range loops.AllDims {
@@ -199,7 +335,11 @@ func (l *Layer) String() string {
 		}
 		s += fmt.Sprintf("%s%d", d, l.Dim(d))
 	}
-	return s + "]"
+	s += "]"
+	if l.HeadCount() > 1 {
+		s += fmt.Sprintf("x%d", l.HeadCount())
+	}
+	return s
 }
 
 // NewConv2D constructs a convolution layer. Zero-valued dims become 1.
@@ -263,6 +403,41 @@ func NewDepthwise(name string, b, c, oy, ox, fy, fx int64) Layer {
 	return l
 }
 
+// NewAttnScore constructs the per-head attention score matmul Q·K^T over
+// heads heads: rows = query positions, keyLen = key/context length, dHead =
+// head dimension.
+func NewAttnScore(name string, rows, keyLen, dHead, heads int64) Layer {
+	l := Layer{Name: name, Kind: AttnScore, Heads: heads}
+	l.Dims[loops.B] = rows
+	l.Dims[loops.K] = keyLen
+	l.Dims[loops.C] = dHead
+	l.setDefaults()
+	return l
+}
+
+// NewAttnCtx constructs the per-head attention context matmul scores·V over
+// heads heads: rows = query positions, dHead = head dimension, keyLen =
+// key/context length (the reduction depth).
+func NewAttnCtx(name string, rows, dHead, keyLen, heads int64) Layer {
+	l := Layer{Name: name, Kind: AttnCtx, Heads: heads}
+	l.Dims[loops.B] = rows
+	l.Dims[loops.K] = dHead
+	l.Dims[loops.C] = keyLen
+	l.setDefaults()
+	return l
+}
+
+// NewElemwise constructs a bandwidth-bound elementwise pass of the given
+// kind over a rows×cols tensor, repeated heads times (heads <= 1 for the
+// unbatched token-stream ops).
+func NewElemwise(kind Kind, name string, rows, cols, heads int64) Layer {
+	l := Layer{Name: name, Kind: kind, Heads: heads}
+	l.Dims[loops.B] = rows
+	l.Dims[loops.C] = cols
+	l.setDefaults()
+	return l
+}
+
 // Im2Col lowers a convolution-family layer to the matrix-multiply form that
 // the in-house accelerator executes (paper Section IV: "Im2Col operation —
 // unrolling convolution into matrix-matrix multiplication — is performed by
@@ -278,8 +453,15 @@ func NewDepthwise(name string, b, c, oy, ox, fy, fx int64) Layer {
 // operand relevance relations of the matmul hold exactly (input duplication
 // introduced by Im2Col is accounted by the enlarged I size). Layers that are
 // already Dense/MatMul are returned unchanged apart from the kind.
+// Attention and elementwise kinds pass through untouched: the attention
+// matmuls are already in B/K/C form (per head) and elementwise passes never
+// run on the MAC array.
 func Im2Col(l Layer) Layer {
 	l.setDefaults()
+	switch l.Kind {
+	case AttnScore, AttnCtx, LayerNorm, Softmax, GeLU, ResidualAdd:
+		return l
+	}
 	out := Layer{
 		Name:      l.Name,
 		Kind:      MatMul,

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loops"
+)
+
+func TestKindPredicates(t *testing.T) {
+	for _, k := range []Kind{Conv2D, Dense, Depthwise, Pointwise, MatMul, AttnScore, AttnCtx} {
+		if !k.MatmulShaped() {
+			t.Errorf("%s not matmul-shaped", k)
+		}
+		if k.Elementwise() {
+			t.Errorf("%s reported elementwise", k)
+		}
+	}
+	for _, k := range []Kind{LayerNorm, Softmax, GeLU, ResidualAdd} {
+		if k.MatmulShaped() {
+			t.Errorf("%s reported matmul-shaped", k)
+		}
+		if !k.Elementwise() {
+			t.Errorf("%s not elementwise", k)
+		}
+		r, w := k.ElemwisePasses()
+		if r < 1 || w < 1 {
+			t.Errorf("%s passes = %d/%d", k, r, w)
+		}
+	}
+	if r, w := MatMul.ElemwisePasses(); r != 0 || w != 0 {
+		t.Errorf("MatMul passes = %d/%d, want 0/0", r, w)
+	}
+}
+
+func TestAttnLayerValidate(t *testing.T) {
+	score := NewAttnScore("s", 32, 48, 64, 8)
+	if err := score.Validate(); err != nil {
+		t.Error(err)
+	}
+	if score.Dim(loops.B) != 32 || score.Dim(loops.K) != 48 || score.Dim(loops.C) != 64 {
+		t.Errorf("AttnScore dims = %v", score.Dims)
+	}
+	ctx := NewAttnCtx("c", 32, 64, 48, 8)
+	if err := ctx.Validate(); err != nil {
+		t.Error(err)
+	}
+	if ctx.Dim(loops.B) != 32 || ctx.Dim(loops.K) != 64 || ctx.Dim(loops.C) != 48 {
+		t.Errorf("AttnCtx dims = %v", ctx.Dims)
+	}
+
+	bad := score
+	bad.Dims[loops.OY] = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("AttnScore with OY=2 validated")
+	}
+
+	neg := score
+	neg.Heads = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative Heads validated")
+	}
+
+	// Head batching is reserved for the transformer kinds.
+	conv := NewConv2D("c", 1, 4, 4, 4, 4, 3, 3)
+	conv.Heads = 2
+	if err := conv.Validate(); err == nil {
+		t.Error("Conv2D with Heads=2 validated")
+	}
+	mm := NewMatMul("m", 4, 4, 4)
+	mm.Heads = 2
+	if err := mm.Validate(); err == nil {
+		t.Error("MatMul with Heads=2 validated")
+	}
+}
+
+func TestElemwiseLayerValidate(t *testing.T) {
+	for _, k := range []Kind{LayerNorm, Softmax, GeLU, ResidualAdd} {
+		l := NewElemwise(k, "e", 16, 64, 1)
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", k, err)
+		}
+	}
+	bad := NewElemwise(GeLU, "g", 16, 64, 1)
+	bad.Dims[loops.K] = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("elementwise layer with K=2 validated")
+	}
+}
+
+// Head batching is a pure multiplicity: whole-operator MACs and operand
+// sizes of an H-head attention matmul equal H independent per-head matmuls.
+func TestHeadBatchSumsToUnbatched(t *testing.T) {
+	f := func(rows, keyLen, dHead, heads uint8) bool {
+		r, kl, dh := int64(rows%16+1), int64(keyLen%16+1), int64(dHead%16+1)
+		h := int64(heads%8 + 1)
+		batched := NewAttnScore("b", r, kl, dh, h)
+		single := NewAttnScore("s", r, kl, dh, 1)
+		if batched.WorkMACs() != h*single.WorkMACs() {
+			return false
+		}
+		for _, op := range loops.AllOperands {
+			if batched.OperandBits(op) != h*single.OperandBits(op) {
+				return false
+			}
+		}
+		// The per-head problem the mapper prices is head-count independent.
+		return batched.TotalMACs() == single.TotalMACs()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttnOperandSizes(t *testing.T) {
+	// AttnScore per head: W = K*C = keyLen*dHead (the K-cache in decode),
+	// I = B*C = rows*dHead (Q), O = B*K = rows*keyLen (scores).
+	s := NewAttnScore("s", 4, 6, 8, 2)
+	if got := s.OperandElems(loops.W); got != 2*6*8 {
+		t.Errorf("AttnScore W elems = %d, want %d", got, 2*6*8)
+	}
+	if got := s.OperandElems(loops.I); got != 2*4*8 {
+		t.Errorf("AttnScore I elems = %d, want %d", got, 2*4*8)
+	}
+	if got := s.OperandElems(loops.O); got != 2*4*6 {
+		t.Errorf("AttnScore O elems = %d, want %d", got, 2*4*6)
+	}
+	// AttnCtx per head: W = K*C = dHead*keyLen (the V-cache), I = B*C =
+	// rows*keyLen (scores), O = B*K = rows*dHead (context).
+	c := NewAttnCtx("c", 4, 8, 6, 2)
+	if got := c.OperandElems(loops.W); got != 2*8*6 {
+		t.Errorf("AttnCtx W elems = %d, want %d", got, 2*8*6)
+	}
+	if got := c.OperandElems(loops.I); got != 2*4*6 {
+		t.Errorf("AttnCtx I elems = %d, want %d", got, 2*4*6)
+	}
+	if got := c.OperandElems(loops.O); got != 2*4*8 {
+		t.Errorf("AttnCtx O elems = %d, want %d", got, 2*4*8)
+	}
+}
+
+func TestElemwiseOperandSizes(t *testing.T) {
+	ln := NewElemwise(LayerNorm, "ln", 16, 64, 1)
+	if got := ln.OperandElems(loops.I); got != 16*64 {
+		t.Errorf("LayerNorm I elems = %d", got)
+	}
+	if got := ln.OperandElems(loops.O); got != 16*64 {
+		t.Errorf("LayerNorm O elems = %d", got)
+	}
+	if got := ln.OperandElems(loops.W); got != 2*64 {
+		t.Errorf("LayerNorm params = %d, want %d (γ+β)", got, 2*64)
+	}
+	if ln.WorkMACs() != 0 {
+		t.Error("elementwise layer reports MACs")
+	}
+
+	sm := NewElemwise(Softmax, "sm", 16, 48, 4)
+	if got := sm.OperandElems(loops.I); got != 4*16*48 {
+		t.Errorf("head-batched Softmax I elems = %d", got)
+	}
+	if got := sm.OperandElems(loops.W); got != 0 {
+		t.Errorf("Softmax params = %d, want 0", got)
+	}
+}
+
+func TestIm2ColPassesThroughNewKinds(t *testing.T) {
+	layers := []Layer{
+		NewAttnScore("s", 8, 8, 8, 4),
+		NewAttnCtx("c", 8, 8, 8, 4),
+		NewElemwise(LayerNorm, "ln", 8, 8, 1),
+		NewElemwise(Softmax, "sm", 8, 8, 4),
+		NewElemwise(GeLU, "g", 8, 8, 1),
+		NewElemwise(ResidualAdd, "r", 8, 8, 1),
+	}
+	for _, l := range layers {
+		m := Im2Col(l)
+		if m.Kind != l.Kind {
+			t.Errorf("%s: Im2Col changed kind %s -> %s", l.Name, l.Kind, m.Kind)
+		}
+		if m.Dims != l.Dims || m.Heads != l.Heads {
+			t.Errorf("%s: Im2Col changed shape", l.Name)
+		}
+	}
+}
+
+func TestHeadBatchedString(t *testing.T) {
+	l := NewAttnScore("s", 2, 3, 4, 8)
+	want := "s AttnScore[B2 K3 C4 OY1 OX1 FY1 FX1]x8"
+	if got := l.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -63,6 +63,24 @@ if command -v jq >/dev/null 2>&1; then
     }
 fi
 
+# Transformer-block leg: POST /v1/network with a transformer_block spec must
+# answer the same bytes as cmd/xformer's -json form for the identical spec —
+# the CLI and the service share serve.BuildNetworkResponse and the encoder,
+# so any drift between the two paths is a bug.
+XJSON=$(go run ./cmd/xformer -preset tiny -mode prefill -budget 400 -json)
+SJSON=$(curl -fsS -X POST "http://${ADDR}/v1/network" \
+    -H 'Content-Type: application/json' \
+    -d '{"transformer_block":{"preset":"tiny","mode":"prefill"},"budget":400}')
+echo "$SJSON" | grep -q '"kind": "Softmax"' || {
+    echo "serve-smoke: transformer block answer lacks elementwise ops: $SJSON" >&2
+    exit 1
+}
+if [ "$SJSON" != "$XJSON" ]; then
+    echo "serve-smoke: /v1/network transformer answer differs from cmd/xformer -json" >&2
+    diff <(printf '%s\n' "$XJSON") <(printf '%s\n' "$SJSON") >&2 || true
+    exit 1
+fi
+
 METRICS=$(curl -fsS "http://${ADDR}/metrics")
 echo "$METRICS" | grep -q '^servemodel_build_info{go_version="[^"]*",revision="[^"]*"} 1' || {
     echo "serve-smoke: build_info metric missing" >&2
