@@ -21,9 +21,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -41,6 +44,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/memo"
 	"repro/internal/obs"
+	"repro/internal/otrace"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/roofline"
@@ -77,6 +81,7 @@ func main() {
 		nodes    = flag.String("nodes", "", "comma-separated servemodel base URLs to execute shards on (default: in-process goroutines)")
 		execs    = flag.Int("executors", 0, "bound on concurrently executing shards (default: -shards); idle executors steal from running ones")
 		nosteal  = flag.Bool("nosteal", false, "disable work stealing between shard executors (results bit-identical either way)")
+		ftrace   = flag.String("fabrictrace", "", "trace the sharded search: write the assembled fleet Perfetto trace to this file and the critical-path report to stderr (requires -shards > 1 or -nodes; results bit-identical with tracing off)")
 	)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
@@ -216,9 +221,28 @@ func main() {
 				Steals:     &steals,
 			})
 		}
-		best, stats, err = mapper.BestCachedVia(context.Background(), &layer, hw, opt, run)
+		// -fabrictrace roots a trace around the fan-out. Spans are pure
+		// observation — the printed result is byte-identical either way —
+		// and every trace artifact goes to stderr or the trace file, never
+		// stdout.
+		ctx := context.Background()
+		var rec *otrace.Recorder
+		var root *otrace.Span
+		if *ftrace != "" {
+			if run == nil {
+				fatal("-fabrictrace requires a sharded search (add -shards K or -nodes)")
+			}
+			rec = otrace.NewRecorder("latmodel", 0, 0)
+			ctx, root = rec.StartTrace(ctx, "fabric.search", "fabric")
+			root.SetTid(1)
+		}
+		best, stats, err = mapper.BestCachedVia(ctx, &layer, hw, opt, run)
 		if err != nil {
 			fatal("mapping search: %v", err)
+		}
+		if rec != nil {
+			root.End()
+			writeFabricTrace(rec, root.TraceID(), splitList(*nodes), *ftrace)
 		}
 		if n := steals.Load(); n > 0 {
 			fmt.Fprintf(os.Stderr, "fabric: %d shard steal(s) re-balanced the search\n", n)
@@ -376,6 +400,60 @@ func guessSpatial(hw *arch.Arch) loops.Nest {
 		}
 	}
 	return loops.Nest{{Dim: loops.K, Size: k}, {Dim: loops.B, Size: b}, {Dim: loops.C, Size: 2}}
+}
+
+// writeFabricTrace assembles the coordinator's recorded spans with every
+// remote node's export of the same trace (GET /v1/trace/{id}) into one
+// Perfetto file plus the critical-path report. All output goes to stderr /
+// the trace file so stdout stays byte-identical to an untraced run.
+func writeFabricTrace(rec *otrace.Recorder, tid otrace.TraceID, nodes []string, path string) {
+	var traces []otrace.WireTrace
+	if w, ok := rec.Export(tid); ok {
+		traces = append(traces, w)
+	}
+	for _, n := range nodes {
+		w, err := fetchTrace(n, tid)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fabrictrace: %s: %v (node omitted from the assembly)\n", n, err)
+			continue
+		}
+		traces = append(traces, w)
+	}
+	a, err := otrace.Assemble(rec.Node(), traces)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fabrictrace: assemble: %v\n", err)
+		return
+	}
+	data, err := a.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fabrictrace: encode: %v\n", err)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "fabrictrace: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "fabrictrace: trace %s (%d node(s), %d spans)\n", tid, len(traces), len(a.Events))
+	fmt.Fprint(os.Stderr, a.Report.Format())
+	fmt.Fprintf(os.Stderr, "fabrictrace: wrote %s (open in ui.perfetto.dev)\n", path)
+}
+
+// fetchTrace pulls one node's recorded spans for the trace.
+func fetchTrace(node string, tid otrace.TraceID) (otrace.WireTrace, error) {
+	url := strings.TrimRight(node, "/") + "/v1/trace/" + tid.String()
+	resp, err := http.Get(url)
+	if err != nil {
+		return otrace.WireTrace{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return otrace.WireTrace{}, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var w otrace.WireTrace
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 32<<20)).Decode(&w); err != nil {
+		return otrace.WireTrace{}, err
+	}
+	return w, nil
 }
 
 // splitList splits a comma-separated flag value, trimming blanks.

@@ -64,6 +64,7 @@ func main() {
 		remoteMemo = flag.String("remotememo", "", "base URL of a peer whose /v1/memo endpoints back a shared memo tier")
 		tenantWts  = flag.String("tenantweights", "", `per-tenant admission weights, e.g. "fast=3,batch=1" (unlisted tenants weigh 1)`)
 		shardSlow  = flag.Duration("shardslowdown", 0, "TEST HOOK: hold every shard walk open this long before starting, so a steal can land deterministically")
+		nodeName   = flag.String("nodename", "", `node label on spans in assembled fleet traces (default "servemodel"; give each node a distinct name)`)
 	)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
@@ -94,9 +95,13 @@ func main() {
 	} else {
 		localTier = memo.NewMem(0)
 	}
+	// Each tier is traced individually (not the tiered composite), so span
+	// and metric tier labels come out as mem/disk/remote rather than one
+	// opaque "tiered".
+	localTier = memo.WithTrace(localTier)
 	tiers := []memo.Store{localTier}
 	if *remoteMemo != "" {
-		tiers = append(tiers, memo.NewRemote(*remoteMemo, mapper.DiskVersion(), nil))
+		tiers = append(tiers, memo.WithTrace(memo.NewRemote(*remoteMemo, mapper.DiskVersion(), nil)))
 		log.Info("remote memo tier enabled", "base", *remoteMemo, "version", mapper.DiskVersion())
 	}
 	mapper.SetBlobStore(memo.Tiered(tiers...))
@@ -121,6 +126,7 @@ func main() {
 		MemoStore:      localTier,
 		MemoVersion:    mapper.DiskVersion(),
 		ShardDelay:     *shardSlow,
+		NodeName:       *nodeName,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -29,8 +29,13 @@ import (
 	"repro/internal/arch"
 	"repro/internal/config"
 	"repro/internal/mapper"
+	"repro/internal/otrace"
 	"repro/internal/workload"
 )
+
+// coordTid is the Perfetto lane for the coordinator's own phases (plan,
+// merge); executors take lanes coordTid+1..coordTid+E.
+const coordTid = 1
 
 // Options configures the fan-out. The zero value is a local single-shard
 // search (identical to mapper.Best).
@@ -111,10 +116,16 @@ func search(ctx context.Context, l *workload.Layer, a *arch.Arch, mo *mapper.Opt
 	if k < 1 {
 		k = 1
 	}
+	_, planSp := otrace.StartSpan(ctx, "fabric.plan", otrace.CatPlan)
+	planSp.SetTid(coordTid)
 	plan, err := mapper.PlanShards(ctx, l, a, mo, k)
 	if err != nil {
+		planSp.End()
 		return nil, nil, err
 	}
+	planSp.SetAttr("shards", fmt.Sprintf("%d", len(plan.Specs)))
+	planSp.SetAttr("total", fmt.Sprintf("%d", plan.Total))
+	planSp.End()
 
 	shardOpts := *mo
 	shardOpts.Hooks = nil
@@ -143,10 +154,10 @@ func search(ctx context.Context, l *workload.Layer, a *arch.Arch, mo *mapper.Opt
 	var wg sync.WaitGroup
 	for i := 0; i < e; i++ {
 		wg.Add(1)
-		go func() {
+		go func(tid int) {
 			defer wg.Done()
-			p.executor()
-		}()
+			p.executor(tid)
+		}(coordTid + 1 + i)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -158,7 +169,12 @@ func search(ctx context.Context, l *workload.Layer, a *arch.Arch, mo *mapper.Opt
 	if fo.Steals != nil {
 		fo.Steals.Add(p.steals)
 	}
-	return mapper.MergeShards(l, a, mo, p.outs)
+	_, mergeSp := otrace.StartSpan(ctx, "fabric.merge", otrace.CatMerge)
+	mergeSp.SetTid(coordTid)
+	mergeSp.SetAttr("outcomes", fmt.Sprintf("%d", len(p.outs)))
+	cand, stats, err := mapper.MergeShards(l, a, mo, p.outs)
+	mergeSp.End()
+	return cand, stats, err
 }
 
 // buildRequest assembles the node-independent part of the shard requests.
@@ -200,6 +216,7 @@ func postShard(ctx context.Context, fo *Options, node string, body []byte) (*map
 	if fo.Tenant != "" {
 		hreq.Header.Set("X-Tenant", fo.Tenant)
 	}
+	otrace.Inject(ctx, hreq.Header)
 	client := fo.Client
 	if client == nil {
 		client = http.DefaultClient

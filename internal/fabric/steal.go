@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/mapper"
+	"repro/internal/otrace"
 	"repro/internal/workload"
 )
 
@@ -40,7 +42,14 @@ const minStealVisits = 256
 type workItem struct {
 	spec mapper.ShardSpec
 	end  int64
-	idx  int // originating plan shard, for node rotation and error text
+	idx  int       // originating plan shard, for node rotation and error text
+	enq  time.Time // when the item entered the queue (admission-wait span)
+}
+
+// posKey names the item's owned position range — the deterministic span key
+// that keeps a shard's spans identical across executor interleavings.
+func (it workItem) posKey() string {
+	return fmt.Sprintf("%d:%d", it.spec.WalkedBefore, it.end)
 }
 
 // runningShard is one in-flight execution the pool can steal from.
@@ -97,12 +106,13 @@ func newPool(ctx context.Context, cancel context.CancelFunc, l *workload.Layer, 
 	} else {
 		p.sidBase = "shard"
 	}
+	now := time.Now()
 	for i, sp := range plan.Specs {
 		end := plan.Total
 		if i+1 < len(plan.Specs) {
 			end = plan.Specs[i+1].WalkedBefore
 		}
-		p.queue = append(p.queue, workItem{spec: sp, end: end, idx: i})
+		p.queue = append(p.queue, workItem{spec: sp, end: end, idx: i, enq: now})
 	}
 	p.pending = len(p.queue)
 	return p
@@ -111,7 +121,7 @@ func newPool(ctx context.Context, cancel context.CancelFunc, l *workload.Layer, 
 // executor is one worker loop: drain the queue; when it runs dry with work
 // still in flight, nominate a steal victim and sleep until a completion
 // refills the queue or ends the search.
-func (p *pool) executor() {
+func (p *pool) executor(tid int) {
 	for {
 		p.mu.Lock()
 		for {
@@ -138,7 +148,9 @@ func (p *pool) executor() {
 		}
 		p.running = append(p.running, r)
 		p.mu.Unlock()
-		out, err := p.exec(r)
+		otrace.RecordSpan(p.ctx, "queue.wait", otrace.CatQueue, it.posKey(),
+			it.enq, time.Since(it.enq), otrace.Attr{K: "shard", V: fmt.Sprintf("%d", it.idx)})
+		out, err := p.exec(r, tid)
 		p.finish(r, out, err)
 	}
 }
@@ -171,23 +183,30 @@ func (p *pool) maybeStealLocked() {
 	}
 	best.stolen = true
 	if best.ctl != nil {
+		_, sp := otrace.StartSpanKeyed(p.ctx, "steal.truncate", otrace.CatSteal, best.item.posKey())
 		best.ctl.Truncate(best.ctl.Frontier())
+		sp.SetAttr("victim", best.item.posKey())
+		sp.End()
 		return
 	}
-	go p.postSteal(best.node, best.sid)
+	go p.postSteal(best.node, best.sid, best.item.posKey())
 }
 
 // postSteal fires the remote stop request. Best effort by design: any
 // error just means the victim finishes its whole range.
-func (p *pool) postSteal(node, sid string) {
+func (p *pool) postSteal(node, sid, victim string) {
 	body, err := json.Marshal(&StealRequest{Sid: sid})
 	if err != nil {
 		return
 	}
 	ctx, cancel := context.WithTimeout(p.ctx, 10*time.Second)
 	defer cancel()
+	sctx, sp := otrace.StartSpanKeyed(ctx, "steal.rpc", otrace.CatSteal, node+"#"+victim)
+	sp.SetAttr("node", node)
+	sp.SetAttr("victim", victim)
+	defer sp.End()
 	url := strings.TrimRight(node, "/") + "/v1/shard/steal"
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(sctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return
 	}
@@ -195,25 +214,28 @@ func (p *pool) postSteal(node, sid string) {
 	if p.fo.Tenant != "" {
 		hreq.Header.Set("X-Tenant", p.fo.Tenant)
 	}
+	otrace.Inject(sctx, hreq.Header)
 	client := p.fo.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
 	resp, err := client.Do(hreq)
 	if err != nil {
+		sp.SetAttr("outcome", "error")
 		return
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	sp.SetAttr("outcome", resp.Status)
 }
 
 // exec runs one work item: locally under its ShardControl, or remotely with
 // node rotation and failover exactly like the pre-steal fabric. The local
 // fallback after total remote failure gets a fresh control so the pool can
 // still steal from it.
-func (p *pool) exec(r *runningShard) (*mapper.ShardOutcome, error) {
+func (p *pool) exec(r *runningShard, tid int) (*mapper.ShardOutcome, error) {
 	if r.ctl != nil {
-		return mapper.BestShardControlled(p.ctx, p.l, p.a, p.o, r.item.spec, r.ctl)
+		return p.execLocal(r, tid)
 	}
 	req := *p.baseReq
 	req.Shard = r.item.spec
@@ -228,24 +250,64 @@ func (p *pool) exec(r *runningShard) (*mapper.ShardOutcome, error) {
 		p.mu.Lock()
 		r.node = node
 		p.mu.Unlock()
-		out, err := postShard(p.ctx, p.fo, node, body)
+		rctx, sp := otrace.StartSpanKeyed(p.ctx, "shard.rpc", otrace.CatRPC, node+"#"+r.item.posKey())
+		sp.SetTid(tid)
+		sp.SetAttr("node", node)
+		sp.SetAttr("pos_lo", fmt.Sprintf("%d", r.item.spec.WalkedBefore))
+		sp.SetAttr("pos_hi", fmt.Sprintf("%d", r.item.end))
+		out, err := postShard(rctx, p.fo, node, body)
 		if err == nil {
+			sp.SetAttr("outcome", "ok")
+			sp.End()
 			return out, nil
 		}
+		sp.SetAttr("outcome", "error")
+		sp.End()
 		lastErr = err
 		if p.ctx.Err() != nil {
 			return nil, p.ctx.Err()
 		}
+		slog.Warn("fabric: shard node attempt failed",
+			"shard", r.item.idx, "node", node, "err", err,
+			"trace_id", otrace.IDString(p.ctx), "tenant", p.fo.Tenant)
 	}
 	if !p.fo.NoLocalFallback {
+		slog.Warn("fabric: all nodes failed; falling back to local execution",
+			"shard", r.item.idx, "nodes", len(p.nodes), "err", lastErr,
+			"trace_id", otrace.IDString(p.ctx), "tenant", p.fo.Tenant)
 		ctl := mapper.NewShardControl(r.item.spec)
 		p.mu.Lock()
 		r.node = ""
 		r.ctl = ctl
 		p.mu.Unlock()
-		return mapper.BestShardControlled(p.ctx, p.l, p.a, p.o, r.item.spec, ctl)
+		return p.execLocal(r, tid)
 	}
 	return nil, fmt.Errorf("fabric: shard %d failed on all %d node(s): %w", r.item.idx, len(p.nodes), lastErr)
+}
+
+// execLocal walks the shard in-process under its ShardControl, recording
+// the walk window with the position-range attributes the span-invariant
+// tests tile against the plan: [pos_lo, pos_done) is exactly what this
+// execution walked (pos_done < pos_hi when a steal truncated it — the
+// re-queued pieces own the rest).
+func (p *pool) execLocal(r *runningShard, tid int) (*mapper.ShardOutcome, error) {
+	wctx, sp := otrace.StartSpanKeyed(p.ctx, "shard.walk", otrace.CatWalk, r.item.posKey())
+	sp.SetTid(tid)
+	sp.SetAttr("pos_lo", fmt.Sprintf("%d", r.item.spec.WalkedBefore))
+	sp.SetAttr("pos_hi", fmt.Sprintf("%d", r.item.end))
+	out, err := mapper.BestShardControlled(wctx, p.l, p.a, p.o, r.item.spec, r.ctl)
+	done := r.item.end
+	if err == nil && out.Truncated {
+		done = out.Resume.WalkedBefore
+		sp.SetAttr("truncated", "true")
+	}
+	if err == nil {
+		sp.SetAttr("pos_done", fmt.Sprintf("%d", done))
+	} else {
+		sp.SetAttr("outcome", "error")
+	}
+	sp.End()
+	return out, err
 }
 
 // finish books one completed execution. A truncated outcome is a landed
@@ -262,7 +324,13 @@ func (p *pool) finish(r *runningShard, out *mapper.ShardOutcome, err error) {
 		if parts < 2 {
 			parts = 2
 		}
+		_, sp := otrace.StartSpanKeyed(p.ctx, "steal.split", otrace.CatSteal, r.item.posKey())
 		pieces, err = mapper.SplitShard(p.ctx, p.l, p.a, p.o, out.Resume, parts)
+		sp.SetAttr("pieces", fmt.Sprintf("%d", len(pieces)))
+		sp.End()
+		slog.Debug("fabric: steal landed",
+			"victim", r.item.posKey(), "pieces", len(pieces),
+			"trace_id", otrace.IDString(p.ctx), "tenant", p.fo.Tenant)
 	}
 	p.mu.Lock()
 	defer func() {
@@ -285,12 +353,13 @@ func (p *pool) finish(r *runningShard, out *mapper.ShardOutcome, err error) {
 	p.outs = append(p.outs, out)
 	if out.Truncated {
 		p.steals++
+		now := time.Now()
 		for i, sp := range pieces {
 			end := r.item.end
 			if i+1 < len(pieces) {
 				end = pieces[i+1].WalkedBefore
 			}
-			p.queue = append(p.queue, workItem{spec: sp, end: end, idx: r.item.idx})
+			p.queue = append(p.queue, workItem{spec: sp, end: end, idx: r.item.idx, enq: now})
 			p.pending++
 		}
 	}

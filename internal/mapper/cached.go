@@ -215,7 +215,7 @@ func BestCachedVia(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Op
 	k := bestKey(l, a, &o)
 	v, err := memo.Default.Do(ctx, k, func(ctx context.Context) (any, error) {
 		if s := getStore(); s != nil {
-			if blob, ok := s.Get(k); ok {
+			if blob, ok := s.Get(ctx, k); ok {
 				if res := decodeSearch(l, a, &o, blob); res != nil {
 					memo.Default.Counters().NoteDiskHit()
 					return res, nil
@@ -237,7 +237,7 @@ func BestCachedVia(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Op
 		if best != nil {
 			if s := getStore(); s != nil {
 				if blob := encodeSearch(best, stats); blob != nil {
-					s.Put(k, blob)
+					s.Put(ctx, k, blob)
 				}
 			}
 		}
@@ -300,7 +300,7 @@ func AnnealCached(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Ann
 	evalOpts := &Options{Spatial: opt.Spatial, BWAware: opt.BWAware, Objective: opt.Objective}
 	v, err := memo.Default.Do(ctx, k, func(ctx context.Context) (any, error) {
 		if s := getStore(); s != nil {
-			if blob, ok := s.Get(k); ok {
+			if blob, ok := s.Get(ctx, k); ok {
 				if res := decodeSearch(l, a, evalOpts, blob); res != nil {
 					memo.Default.Counters().NoteDiskHit()
 					return res, nil
@@ -314,7 +314,7 @@ func AnnealCached(ctx context.Context, l *workload.Layer, a *arch.Arch, opt *Ann
 		if s := getStore(); s != nil {
 			var st Stats
 			if blob := encodeSearch(c, &st); blob != nil {
-				s.Put(k, blob)
+				s.Put(ctx, k, blob)
 			}
 		}
 		return &searchResult{cand: c, layer: *l, a: a}, nil

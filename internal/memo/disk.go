@@ -2,6 +2,7 @@ package memo
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"os"
@@ -62,7 +63,7 @@ func (d *Disk) path(k Key) string {
 }
 
 // Get loads the blob stored for k, or reports a miss.
-func (d *Disk) Get(k Key) ([]byte, bool) {
+func (d *Disk) Get(_ context.Context, k Key) ([]byte, bool) {
 	data, err := os.ReadFile(d.path(k))
 	if err != nil {
 		return nil, false
@@ -80,7 +81,7 @@ func (d *Disk) Get(k Key) ([]byte, bool) {
 // Put stores blob for k (best effort: errors are swallowed). The file is
 // written to a temp name and renamed so concurrent readers never observe a
 // torn write.
-func (d *Disk) Put(k Key, blob []byte) {
+func (d *Disk) Put(_ context.Context, k Key, blob []byte) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(diskBlob{Version: d.version, Enc: k.Enc, Blob: blob}); err != nil {
 		return

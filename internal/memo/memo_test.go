@@ -336,11 +336,12 @@ func TestDiskRoundtrip(t *testing.T) {
 	b.Str("disk-key")
 	k := b.Key()
 
-	if _, ok := d.Get(k); ok {
+	ctx := context.Background()
+	if _, ok := d.Get(ctx, k); ok {
 		t.Fatal("hit on empty store")
 	}
-	d.Put(k, []byte("payload"))
-	got, ok := d.Get(k)
+	d.Put(ctx, k, []byte("payload"))
+	got, ok := d.Get(ctx, k)
 	if !ok || string(got) != "payload" {
 		t.Fatalf("roundtrip: got %q, %v", got, ok)
 	}
@@ -350,13 +351,13 @@ func TestDiskRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := d2.Get(k); ok {
+	if _, ok := d2.Get(ctx, k); ok {
 		t.Fatal("stale-version blob served")
 	}
 
 	// A hash-colliding key with different Enc must read as a miss.
 	k2 := Key{Hash: k.Hash, Enc: k.Enc + "x"}
-	if _, ok := d.Get(k2); ok {
+	if _, ok := d.Get(ctx, k2); ok {
 		t.Fatal("collision served wrong value")
 	}
 }

@@ -11,12 +11,15 @@ package memo
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/otrace"
 )
 
 // Remote implements Store over a peer's memo endpoints.
@@ -66,13 +69,29 @@ func (s *Remote) Name() string { return "remote(" + s.base + ")" }
 // not failures). Diagnostic only.
 func (s *Remote) Errs() int64 { return s.errs.Load() }
 
+// post issues a traced POST: the request carries ctx (cancellation) and
+// the active span's traceparent header, so the serving node's memo spans
+// land in the same trace as the caller's.
+func (s *Remote) post(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	otrace.Inject(ctx, req.Header)
+	return s.c.Do(req)
+}
+
 // Get implements Store.
-func (s *Remote) Get(k Key) ([]byte, bool) {
+func (s *Remote) Get(ctx context.Context, k Key) ([]byte, bool) {
 	body, err := json.Marshal(WireGet{Enc: []byte(k.Enc), Version: s.version})
 	if err != nil {
 		return nil, false
 	}
-	resp, err := s.c.Post(s.base+"/v1/memo/get", "application/json", bytes.NewReader(body))
+	resp, err := s.post(ctx, s.base+"/v1/memo/get", body)
 	if err != nil {
 		s.errs.Add(1)
 		return nil, false
@@ -97,12 +116,12 @@ func (s *Remote) Get(k Key) ([]byte, bool) {
 }
 
 // Put implements Store.
-func (s *Remote) Put(k Key, blob []byte) {
+func (s *Remote) Put(ctx context.Context, k Key, blob []byte) {
 	body, err := json.Marshal(WirePut{Enc: []byte(k.Enc), Version: s.version, Blob: blob})
 	if err != nil {
 		return
 	}
-	resp, err := s.c.Post(s.base+"/v1/memo/put", "application/json", bytes.NewReader(body))
+	resp, err := s.post(ctx, s.base+"/v1/memo/put", body)
 	if err != nil {
 		s.errs.Add(1)
 		return

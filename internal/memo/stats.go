@@ -1,0 +1,133 @@
+package memo
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Per-tier store telemetry: WithTrace feeds a process-global registry of
+// get/put outcome counters and duration histograms, which internal/serve
+// renders as the servemodel_memo_store_* metric families. A registry (vs
+// per-store fields) keeps the Store interface clean and lets any
+// composition of wrapped tiers share one export path.
+
+// StatsBuckets are the histogram upper bounds in seconds. Memo tiers span
+// ~1 µs (mem hit) to seconds (dead remote peer timing out), so the ladder
+// is log-spaced across that range.
+var StatsBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10,
+}
+
+// Store operation outcomes recorded by WithTrace.
+const (
+	OutcomeHit   = "hit"
+	OutcomeMiss  = "miss"
+	OutcomeWrite = "write"
+	OutcomeError = "error"
+)
+
+// opStats accumulates one (tier, op) cell.
+type opStats struct {
+	outcomes map[string]uint64
+	buckets  []uint64 // per-bucket (non-cumulative) counts, +Inf implicit
+	sum      float64
+	count    uint64
+}
+
+type statsKey struct {
+	tier, op string
+}
+
+var (
+	statsMu  sync.Mutex
+	statsMap = map[statsKey]*opStats{}
+)
+
+// observeStore records one store operation.
+func observeStore(tier, op, outcome string, d time.Duration) {
+	sec := d.Seconds()
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	k := statsKey{tier: tier, op: op}
+	st := statsMap[k]
+	if st == nil {
+		st = &opStats{
+			outcomes: make(map[string]uint64),
+			buckets:  make([]uint64, len(StatsBuckets)),
+		}
+		statsMap[k] = st
+	}
+	st.outcomes[outcome]++
+	st.sum += sec
+	st.count++
+	for i, ub := range StatsBuckets {
+		if sec <= ub {
+			st.buckets[i]++
+			break
+		}
+	}
+}
+
+// TierSnapshot is one (tier, op) cell of the registry.
+type TierSnapshot struct {
+	Tier     string            // short tier kind: mem, disk, remote, tiered
+	Op       string            // get or put
+	Outcomes map[string]uint64 // hit/miss/write/error counts
+	Buckets  []uint64          // cumulative counts aligned with StatsBuckets
+	Sum      float64           // total seconds
+	Count    uint64
+}
+
+// TierSnapshots returns the registry sorted by (tier, op) — a stable order
+// the Prometheus renderer can emit directly. Buckets come back cumulative
+// (histogram `le` convention).
+func TierSnapshots() []TierSnapshot {
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	out := make([]TierSnapshot, 0, len(statsMap))
+	for k, st := range statsMap {
+		snap := TierSnapshot{
+			Tier:     k.tier,
+			Op:       k.op,
+			Outcomes: make(map[string]uint64, len(st.outcomes)),
+			Buckets:  make([]uint64, len(st.buckets)),
+			Sum:      st.sum,
+			Count:    st.count,
+		}
+		for o, n := range st.outcomes {
+			snap.Outcomes[o] = n
+		}
+		var cum uint64
+		for i, n := range st.buckets {
+			cum += n
+			snap.Buckets[i] = cum
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tier != out[j].Tier {
+			return out[i].Tier < out[j].Tier
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// ResetTierStats clears the registry (tests).
+func ResetTierStats() {
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	statsMap = map[statsKey]*opStats{}
+}
+
+// tierKind shortens a Store name to a bounded metric label: "remote(...)"
+// and "tiered(...)" collapse to their kind so label cardinality never
+// depends on peer URLs or composition shapes.
+func tierKind(name string) string {
+	if i := strings.IndexByte(name, '('); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

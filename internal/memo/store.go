@@ -1,6 +1,7 @@
 package memo
 
 import (
+	"context"
 	"strings"
 	"sync"
 )
@@ -12,11 +13,15 @@ import (
 // unreachable peer, a version skew — must degrade to a miss or a dropped
 // write, never to a wrong value; the callers treat a Store as a cache, not
 // a database. Disk, Mem, Remote and Tiered all satisfy this contract.
+//
+// The context carries cancellation and the active otrace span to tiers
+// that cross a network; it must never influence WHAT a store returns, only
+// whether it bothers. Local tiers ignore it.
 type Store interface {
 	// Name identifies the tier in diagnostics ("disk", "mem", "remote(...)").
 	Name() string
-	Get(k Key) ([]byte, bool)
-	Put(k Key, blob []byte)
+	Get(ctx context.Context, k Key) ([]byte, bool)
+	Put(ctx context.Context, k Key, blob []byte)
 }
 
 // KeyOf rebuilds a Key from a raw canonical encoding, recomputing the hash.
@@ -53,7 +58,7 @@ func (s *Mem) Name() string { return "mem" }
 // Get implements Store. The returned blob is the caller's to keep (a copy):
 // the other tiers hand out freshly allocated slices, so callers may mutate
 // results without corrupting any store.
-func (s *Mem) Get(k Key) ([]byte, bool) {
+func (s *Mem) Get(_ context.Context, k Key) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.m[k.Enc]
@@ -64,7 +69,7 @@ func (s *Mem) Get(k Key) ([]byte, bool) {
 }
 
 // Put implements Store.
-func (s *Mem) Put(k Key, blob []byte) {
+func (s *Mem) Put(_ context.Context, k Key, blob []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.m[k.Enc]; !ok && len(s.m) >= s.max {
@@ -120,11 +125,11 @@ func (t *tiered) Name() string {
 }
 
 // Get implements Store.
-func (t *tiered) Get(k Key) ([]byte, bool) {
+func (t *tiered) Get(ctx context.Context, k Key) ([]byte, bool) {
 	for i, s := range t.stores {
-		if b, ok := s.Get(k); ok {
+		if b, ok := s.Get(ctx, k); ok {
 			for j := 0; j < i; j++ {
-				t.stores[j].Put(k, b)
+				t.stores[j].Put(ctx, k, b)
 			}
 			return b, true
 		}
@@ -133,8 +138,8 @@ func (t *tiered) Get(k Key) ([]byte, bool) {
 }
 
 // Put implements Store.
-func (t *tiered) Put(k Key, blob []byte) {
+func (t *tiered) Put(ctx context.Context, k Key, blob []byte) {
 	for _, s := range t.stores {
-		s.Put(k, blob)
+		s.Put(ctx, k, blob)
 	}
 }

@@ -13,6 +13,7 @@ package memo_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -33,24 +34,24 @@ func conformance(t *testing.T, s memo.Store) {
 
 	k1 := memo.KeyOf([]byte("conformance/key/1"))
 	k2 := memo.KeyOf([]byte("conformance/key/2"))
-	if _, ok := s.Get(k1); ok {
+	if _, ok := s.Get(sctx, k1); ok {
 		t.Fatal("Get on an empty store hit")
 	}
 
 	blob1 := []byte("payload-one")
 	blob2 := []byte("payload-two-longer")
-	s.Put(k1, blob1)
-	got, ok := s.Get(k1)
+	s.Put(sctx, k1, blob1)
+	got, ok := s.Get(sctx, k1)
 	if !ok || !bytes.Equal(got, blob1) {
 		t.Fatalf("roundtrip: got (%q, %v), want (%q, true)", got, ok, blob1)
 	}
-	if _, ok := s.Get(k2); ok {
+	if _, ok := s.Get(sctx, k2); ok {
 		t.Fatal("Get of a never-put key hit")
 	}
 
 	// Overwrite wins.
-	s.Put(k1, blob2)
-	if got, ok := s.Get(k1); !ok || !bytes.Equal(got, blob2) {
+	s.Put(sctx, k1, blob2)
+	if got, ok := s.Get(sctx, k1); !ok || !bytes.Equal(got, blob2) {
 		t.Fatalf("overwrite: got (%q, %v), want (%q, true)", got, ok, blob2)
 	}
 
@@ -59,15 +60,15 @@ func conformance(t *testing.T, s memo.Store) {
 	// alone and must verify the stored encoding; the remote tier re-derives
 	// the key from the encoding server-side.)
 	collider := memo.Key{Hash: k1.Hash, Enc: "conformance/colliding-enc"}
-	if got, ok := s.Get(collider); ok && bytes.Equal(got, blob2) {
+	if got, ok := s.Get(sctx, collider); ok && bytes.Equal(got, blob2) {
 		t.Fatal("hash collision returned the other key's blob")
 	}
 
 	// Mutating a returned blob must not corrupt the store (Mem shares an
 	// internal map; it must copy on Put — callers may scribble on results).
-	if got, ok := s.Get(k1); ok && len(got) > 0 {
+	if got, ok := s.Get(sctx, k1); ok && len(got) > 0 {
 		got[0] ^= 0xff
-		again, ok := s.Get(k1)
+		again, ok := s.Get(sctx, k1)
 		if !ok || !bytes.Equal(again, blob2) {
 			t.Fatal("mutating a returned blob corrupted the store")
 		}
@@ -81,8 +82,8 @@ func conformance(t *testing.T, s memo.Store) {
 			defer wg.Done()
 			k := memo.KeyOf([]byte(fmt.Sprintf("conformance/concurrent/%d", i)))
 			want := []byte(fmt.Sprintf("blob-%d", i))
-			s.Put(k, want)
-			if got, ok := s.Get(k); ok && !bytes.Equal(got, want) {
+			s.Put(sctx, k, want)
+			if got, ok := s.Get(sctx, k); ok && !bytes.Equal(got, want) {
 				t.Errorf("concurrent key %d: wrong blob", i)
 			}
 		}(i)
@@ -133,12 +134,12 @@ func TestStoreConformanceTiered(t *testing.T) {
 func TestRemoteVersionMismatch(t *testing.T) {
 	r, backing := remotePair(t, 7, 8)
 	k := memo.KeyOf([]byte("versioned-key"))
-	backing.Put(k, []byte("v7-blob"))
-	if _, ok := r.Get(k); ok {
+	backing.Put(sctx, k, []byte("v7-blob"))
+	if _, ok := r.Get(sctx, k); ok {
 		t.Fatal("version-mismatched Get hit")
 	}
-	r.Put(k, []byte("v8-blob"))
-	if got, _ := backing.Get(k); !bytes.Equal(got, []byte("v7-blob")) {
+	r.Put(sctx, k, []byte("v8-blob"))
+	if got, _ := backing.Get(sctx, k); !bytes.Equal(got, []byte("v7-blob")) {
 		t.Fatalf("version-mismatched Put overwrote the store: %q", got)
 	}
 }
@@ -150,10 +151,10 @@ func TestRemoteDeadPeer(t *testing.T) {
 	ts.Close() // now guaranteed-dead address
 	r := memo.NewRemote(ts.URL, 7, nil)
 	k := memo.KeyOf([]byte("dead-peer-key"))
-	if _, ok := r.Get(k); ok {
+	if _, ok := r.Get(sctx, k); ok {
 		t.Fatal("Get against a dead peer hit")
 	}
-	r.Put(k, []byte("blob"))
+	r.Put(sctx, k, []byte("blob"))
 	if r.Errs() == 0 {
 		t.Error("dead-peer traffic recorded no errors")
 	}
@@ -166,18 +167,18 @@ func TestTieredBackfill(t *testing.T) {
 	tiered := memo.Tiered(front, back)
 
 	k := memo.KeyOf([]byte("backfill-key"))
-	back.Put(k, []byte("warm"))
-	if got, ok := tiered.Get(k); !ok || !bytes.Equal(got, []byte("warm")) {
+	back.Put(sctx, k, []byte("warm"))
+	if got, ok := tiered.Get(sctx, k); !ok || !bytes.Equal(got, []byte("warm")) {
 		t.Fatalf("tiered Get: (%q, %v)", got, ok)
 	}
-	if got, ok := front.Get(k); !ok || !bytes.Equal(got, []byte("warm")) {
+	if got, ok := front.Get(sctx, k); !ok || !bytes.Equal(got, []byte("warm")) {
 		t.Fatalf("backfill did not reach the front tier: (%q, %v)", got, ok)
 	}
 
 	k2 := memo.KeyOf([]byte("write-through-key"))
-	tiered.Put(k2, []byte("fresh"))
+	tiered.Put(sctx, k2, []byte("fresh"))
 	for i, tier := range []memo.Store{front, back} {
-		if got, ok := tier.Get(k2); !ok || !bytes.Equal(got, []byte("fresh")) {
+		if got, ok := tier.Get(sctx, k2); !ok || !bytes.Equal(got, []byte("fresh")) {
 			t.Fatalf("write-through missed tier %d: (%q, %v)", i, got, ok)
 		}
 	}
@@ -188,14 +189,14 @@ func TestTieredBackfill(t *testing.T) {
 func TestMemBounded(t *testing.T) {
 	m := memo.NewMem(4)
 	for i := 0; i < 32; i++ {
-		m.Put(memo.KeyOf([]byte(fmt.Sprintf("bounded/%d", i))), []byte(fmt.Sprintf("blob-%d", i)))
+		m.Put(sctx, memo.KeyOf([]byte(fmt.Sprintf("bounded/%d", i))), []byte(fmt.Sprintf("blob-%d", i)))
 	}
 	if n := m.Len(); n > 4 {
 		t.Fatalf("Len() = %d, want <= 4", n)
 	}
 	hits := 0
 	for i := 0; i < 32; i++ {
-		if got, ok := m.Get(memo.KeyOf([]byte(fmt.Sprintf("bounded/%d", i)))); ok {
+		if got, ok := m.Get(sctx, memo.KeyOf([]byte(fmt.Sprintf("bounded/%d", i)))); ok {
 			hits++
 			if !bytes.Equal(got, []byte(fmt.Sprintf("blob-%d", i))) {
 				t.Fatalf("entry %d survived eviction with the wrong blob", i)
@@ -206,3 +207,7 @@ func TestMemBounded(t *testing.T) {
 		t.Fatalf("%d entries survived, want 1..4", hits)
 	}
 }
+
+// sctx is the shared background context the conformance suite threads into
+// every Store call (the context must never affect results).
+var sctx = context.Background()

@@ -1,0 +1,81 @@
+package memo
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/otrace"
+)
+
+// traced decorates a Store with otrace spans and the tier-stats registry.
+// It is pure observation: results pass through untouched, so wrapping can
+// never change what a search returns.
+type traced struct {
+	inner Store
+	tier  string // short kind for spans/metrics (mem/disk/remote/tiered)
+}
+
+// WithTrace wraps s so every Get/Put records a span (when the context
+// carries a trace) and a tier-stats observation (always). Idempotent: a
+// store that is already traced comes back unchanged, so compositions like
+// WithTrace(Tiered(WithTrace(a), WithTrace(b))) never double-count a tier.
+// nil passes through.
+func WithTrace(s Store) Store {
+	if s == nil {
+		return nil
+	}
+	if _, ok := s.(*traced); ok {
+		return s
+	}
+	return &traced{inner: s, tier: tierKind(s.Name())}
+}
+
+// Name implements Store (transparent: callers see the inner tier).
+func (t *traced) Name() string { return t.inner.Name() }
+
+// errCounter lets the wrapper spot transport failures on stores that count
+// them (Remote). The delta across a call is best-effort under concurrency —
+// an error can land in a sibling call's bucket — but totals stay exact and
+// the store contract (errors read as misses) is unaffected.
+type errCounter interface{ Errs() int64 }
+
+// Get implements Store.
+func (t *traced) Get(ctx context.Context, k Key) ([]byte, bool) {
+	var errs0 int64
+	ec, hasErrs := t.inner.(errCounter)
+	if hasErrs {
+		errs0 = ec.Errs()
+	}
+	start := time.Now()
+	blob, ok := t.inner.Get(ctx, k)
+	dur := time.Since(start)
+	outcome := OutcomeMiss
+	if ok {
+		outcome = OutcomeHit
+	} else if hasErrs && ec.Errs() > errs0 {
+		outcome = OutcomeError
+	}
+	observeStore(t.tier, "get", outcome, dur)
+	otrace.RecordSpan(ctx, "memo.get", otrace.CatMemo, t.tier, start, dur,
+		otrace.Attr{K: "tier", V: t.tier}, otrace.Attr{K: "outcome", V: outcome})
+	return blob, ok
+}
+
+// Put implements Store.
+func (t *traced) Put(ctx context.Context, k Key, blob []byte) {
+	var errs0 int64
+	ec, hasErrs := t.inner.(errCounter)
+	if hasErrs {
+		errs0 = ec.Errs()
+	}
+	start := time.Now()
+	t.inner.Put(ctx, k, blob)
+	dur := time.Since(start)
+	outcome := OutcomeWrite
+	if hasErrs && ec.Errs() > errs0 {
+		outcome = OutcomeError
+	}
+	observeStore(t.tier, "put", outcome, dur)
+	otrace.RecordSpan(ctx, "memo.put", otrace.CatMemo, t.tier, start, dur,
+		otrace.Attr{K: "tier", V: t.tier}, otrace.Attr{K: "outcome", V: outcome})
+}

@@ -1,0 +1,107 @@
+package memo_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/memo"
+	"repro/internal/otrace"
+)
+
+// flaky is a Store that fails every Get and counts the failures like
+// Remote does, so the wrapper's error-outcome detection is testable
+// without a network.
+type flaky struct {
+	errs int64
+}
+
+func (f *flaky) Name() string { return "remote(http://test)" }
+func (f *flaky) Get(context.Context, memo.Key) ([]byte, bool) {
+	f.errs++
+	return nil, false
+}
+func (f *flaky) Put(context.Context, memo.Key, []byte) { f.errs++ }
+func (f *flaky) Errs() int64                           { return f.errs }
+
+func TestWithTraceStatsAndSpans(t *testing.T) {
+	memo.ResetTierStats()
+	s := memo.WithTrace(memo.NewMem(0))
+	if memo.WithTrace(s) != s {
+		t.Fatalf("WithTrace must be idempotent")
+	}
+	if memo.WithTrace(nil) != nil {
+		t.Fatalf("WithTrace(nil) must be nil")
+	}
+	if s.Name() != "mem" {
+		t.Fatalf("traced store must keep inner name, got %q", s.Name())
+	}
+
+	rec := otrace.NewRecorder("n", 0, 0)
+	ctx, root := rec.StartTrace(context.Background(), "root", "fabric")
+	k := memo.KeyOf([]byte("traced-key"))
+	if _, ok := s.Get(ctx, k); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.Put(ctx, k, []byte("blob"))
+	if got, ok := s.Get(ctx, k); !ok || string(got) != "blob" {
+		t.Fatalf("roundtrip through traced store: %q %v", got, ok)
+	}
+	// Untraced context: stats still counted, no span, no panic.
+	if _, ok := s.Get(context.Background(), k); !ok {
+		t.Fatal("untraced get missed")
+	}
+	fl := memo.WithTrace(&flaky{})
+	fl.Get(ctx, k)
+	fl.Put(ctx, k, []byte("x"))
+	root.End()
+
+	snaps := memo.TierSnapshots()
+	byKey := map[string]memo.TierSnapshot{}
+	for _, sn := range snaps {
+		byKey[sn.Tier+"/"+sn.Op] = sn
+		if len(sn.Buckets) != len(memo.StatsBuckets) {
+			t.Fatalf("bucket count %d", len(sn.Buckets))
+		}
+		if sn.Buckets[len(sn.Buckets)-1] > sn.Count {
+			t.Fatalf("cumulative buckets exceed count: %+v", sn)
+		}
+	}
+	mg := byKey["mem/get"]
+	if mg.Outcomes[memo.OutcomeHit] != 2 || mg.Outcomes[memo.OutcomeMiss] != 1 || mg.Count != 3 {
+		t.Fatalf("mem/get outcomes %v count %d", mg.Outcomes, mg.Count)
+	}
+	if byKey["mem/put"].Outcomes[memo.OutcomeWrite] != 1 {
+		t.Fatalf("mem/put outcomes %v", byKey["mem/put"].Outcomes)
+	}
+	if byKey["remote/get"].Outcomes[memo.OutcomeError] != 1 ||
+		byKey["remote/put"].Outcomes[memo.OutcomeError] != 1 {
+		t.Fatalf("remote error outcomes: %v / %v",
+			byKey["remote/get"].Outcomes, byKey["remote/put"].Outcomes)
+	}
+
+	w, ok := rec.Export(root.TraceID())
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	var gets, puts int
+	for _, sp := range w.Spans {
+		switch sp.Name {
+		case "memo.get":
+			gets++
+			if sp.Cat != otrace.CatMemo || sp.Attrs["tier"] == "" || sp.Attrs["outcome"] == "" {
+				t.Fatalf("memo.get span malformed: %+v", sp)
+			}
+			if sp.Parent != root.ID().String() {
+				t.Fatalf("memo span not parented to root")
+			}
+		case "memo.put":
+			puts++
+		}
+	}
+	// 3 traced gets (mem miss, mem hit, remote error) — the background-ctx
+	// get records stats but no span — and 2 traced puts.
+	if gets != 3 || puts != 2 {
+		t.Fatalf("spans: %d gets, %d puts", gets, puts)
+	}
+	memo.ResetTierStats()
+}

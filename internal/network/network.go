@@ -27,6 +27,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/loops"
 	"repro/internal/mapper"
+	"repro/internal/otrace"
 	"repro/internal/par"
 	"repro/internal/workload"
 )
@@ -242,7 +243,8 @@ func Evaluate(ctx context.Context, n *Network, hw *arch.Arch, spatial loops.Nest
 				// the layer and say so.
 				lr.EnergyErr = fmt.Errorf("network %q layer %s: energy model: %w", n.Name, orig.Name, err)
 				slog.Warn("energy evaluation failed; layer reports no energy",
-					"network", n.Name, "layer", orig.Name, "err", err)
+					"network", n.Name, "layer", orig.Name, "err", err,
+					"trace_id", otrace.IDString(ctx))
 			}
 		}
 		layerRes[i] = lr

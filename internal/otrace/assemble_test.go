@@ -1,0 +1,188 @@
+package otrace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// synthetic two-node trace: coordinator plans, queues, walks locally,
+// makes one RPC (with remote queue+walk inside), merges — with a gap of
+// unattributed time to exercise "other".
+func syntheticTraces() (string, []WireTrace) {
+	const trace = "0123456789abcdef0123456789abcdef"
+	coord := WireTrace{
+		TraceID: trace, Node: "coord",
+		Spans: []WireSpan{
+			{ID: "aa01", Name: "fabric.search", Cat: "fabric", Node: "coord", StartNS: 1000, DurNS: 1000},
+			{ID: "aa02", Parent: "aa01", Name: "fabric.plan", Cat: CatPlan, Node: "coord", StartNS: 1000, DurNS: 100},
+			{ID: "aa03", Parent: "aa01", Name: "queue.wait", Cat: CatQueue, Node: "coord", StartNS: 1100, DurNS: 50},
+			{ID: "aa04", Parent: "aa01", Name: "shard.walk", Cat: CatWalk, Node: "coord", StartNS: 1150, DurNS: 300, Tid: 2,
+				Attrs: map[string]string{"pos_lo": "0", "pos_hi": "10"}},
+			// RPC overlaps the tail of the local walk by 100ns; walk wins
+			// those instants, so only 300ns of pure-RPC time remains.
+			{ID: "aa05", Parent: "aa01", Name: "shard.rpc", Cat: CatRPC, Node: "coord", StartNS: 1350, DurNS: 400, Tid: 3},
+			{ID: "aa06", Parent: "aa01", Name: "fabric.merge", Cat: CatMerge, Node: "coord", StartNS: 1800, DurNS: 150},
+			// Gaps [1750,1800) and [1950,2000) -> 100ns other.
+		},
+	}
+	// Remote handler: 200ns total, 40 queue + 120 walk => of the 300ns
+	// pure-RPC time, walk share 300*120/200=180, queue share 300*40/200=60,
+	// network = 300-180-60 = 60.
+	remote := WireTrace{
+		TraceID: trace, Node: "nodeB",
+		Spans: []WireSpan{
+			{ID: "bb01", Parent: "aa05", Name: "serve.shard", Cat: "serve", Node: "nodeB", StartNS: 500000, DurNS: 200},
+			{ID: "bb02", Parent: "bb01", Name: "admission.wait", Cat: CatQueue, Node: "nodeB", StartNS: 500000, DurNS: 40},
+			{ID: "bb03", Parent: "bb01", Name: "shard.walk", Cat: CatWalk, Node: "nodeB", StartNS: 500040, DurNS: 120},
+		},
+	}
+	return trace, []WireTrace{coord, remote}
+}
+
+func TestAssembleCriticalPath(t *testing.T) {
+	trace, traces := syntheticTraces()
+	a, err := Assemble("coord", traces)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	rep := a.Report
+	if rep.TraceID != trace {
+		t.Fatalf("trace id %q", rep.TraceID)
+	}
+	if rep.WallNS != 1000 {
+		t.Fatalf("wall %d", rep.WallNS)
+	}
+	// Identity is exact by construction.
+	if rep.DiffNS != 0 || rep.SumNS != rep.WallNS {
+		t.Fatalf("accounting identity broken: sum=%d wall=%d diff=%d", rep.SumNS, rep.WallNS, rep.DiffNS)
+	}
+	want := map[string]int64{
+		"plan":    100,
+		"queue":   50 + 60,
+		"walk":    300 + 180, // local walk wins its 100ns overlap with the rpc
+		"steal":   0,
+		"memo":    0,
+		"network": 60,
+		"merge":   150,
+		"other":   100,
+	}
+	got := map[string]int64{
+		"plan": rep.PlanNS, "queue": rep.QueueNS, "walk": rep.WalkNS,
+		"steal": rep.StealNS, "memo": rep.MemoNS, "network": rep.NetworkNS,
+		"merge": rep.MergeNS, "other": rep.OtherNS,
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s = %d, want %d", k, got[k], w)
+		}
+	}
+	if len(rep.Nodes) != 2 || rep.Nodes[0] != "coord" || rep.Nodes[1] != "nodeB" {
+		t.Fatalf("nodes %v", rep.Nodes)
+	}
+	if rep.Spans != 9 {
+		t.Fatalf("spans %d", rep.Spans)
+	}
+	if !strings.Contains(rep.Format(), "critical path") {
+		t.Fatalf("Format missing header")
+	}
+}
+
+func TestAssemblePerfettoEvents(t *testing.T) {
+	_, traces := syntheticTraces()
+	a, err := Assemble("coord", traces)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	blob, err := a.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var obj struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		CriticalPath Report `json:"critical_path"`
+	}
+	if err := json.Unmarshal(blob, &obj); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if obj.CriticalPath.WallNS != 1000 {
+		t.Fatalf("critical_path not embedded: %+v", obj.CriticalPath)
+	}
+	pids := map[int]bool{}
+	var rootTs, remoteTs float64
+	var sawMetaCoord, sawMetaB bool
+	lastTs := -1.0
+	metaDone := false
+	for _, e := range obj.TraceEvents {
+		if e.Ph == "M" {
+			if metaDone {
+				t.Fatalf("metadata event after slice events")
+			}
+			if name, _ := e.Args["name"].(string); name == "node coord" {
+				sawMetaCoord = true
+			} else if name == "node nodeB" {
+				sawMetaB = true
+			}
+			continue
+		}
+		metaDone = true
+		if e.Ts < lastTs {
+			t.Fatalf("ts not monotonic: %f after %f", e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+		pids[e.Pid] = true
+		switch e.Name {
+		case "fabric.search":
+			rootTs = e.Ts
+		case "serve.shard":
+			remoteTs = e.Ts
+		case "shard.walk":
+			if e.Pid == 1 {
+				if e.Args["pos_lo"] != "0" || e.Args["pos_hi"] != "10" {
+					t.Fatalf("walk attrs lost: %v", e.Args)
+				}
+				if e.Tid != 2 {
+					t.Fatalf("executor tid lost: %d", e.Tid)
+				}
+			}
+		}
+	}
+	if !sawMetaCoord || !sawMetaB {
+		t.Fatalf("missing process_name metadata")
+	}
+	if !pids[1] || !pids[2] {
+		t.Fatalf("want pids 1 (coord) and 2 (nodeB), got %v", pids)
+	}
+	if rootTs != 0 {
+		t.Fatalf("root not at ts 0: %f", rootTs)
+	}
+	// Remote clock (500000ns) realigned: serve.shard centred in its rpc
+	// span [350,750): start = 350 + (400-200)/2 = 450ns = 0.45us.
+	if remoteTs != 0.45 {
+		t.Fatalf("remote alignment: serve.shard ts = %f, want 0.45", remoteTs)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	_, traces := syntheticTraces()
+	if _, err := Assemble("coord", nil); err == nil {
+		t.Fatalf("empty assemble must fail")
+	}
+	if _, err := Assemble("nosuch", traces); err == nil {
+		t.Fatalf("missing coordinator root must fail")
+	}
+	bad := append([]WireTrace{}, traces...)
+	bad = append(bad, WireTrace{TraceID: "ffffffffffffffffffffffffffffffff", Node: "x",
+		Spans: []WireSpan{{ID: "cc01", Name: "x", Node: "x"}}})
+	if _, err := Assemble("coord", bad); err == nil {
+		t.Fatalf("mixed traces must fail")
+	}
+}

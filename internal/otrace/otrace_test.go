@@ -1,0 +1,188 @@
+package otrace
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTraceID()
+	sp := spanID(tr, SpanID{}, "root", "", 0)
+	v := Traceparent(tr, sp)
+	gt, gs, ok := ParseTraceparent(v)
+	if !ok || gt != tr || gs != sp {
+		t.Fatalf("round trip failed: %q -> %v %v %v", v, gt, gs, ok)
+	}
+	for _, bad := range []string{
+		"", "00", "00-zzzz", v[:len(v)-4],
+		"00-00000000000000000000000000000000-0000000000000000-01",
+		"00_" + v[3:],
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDeterministicSpanIDs(t *testing.T) {
+	tr, _ := ParseTraceID("0123456789abcdef0123456789abcdef")
+	run := func() []SpanID {
+		r := NewRecorder("n", 0, 0)
+		ctx, root := r.JoinTrace(context.Background(), tr, SpanID{}, "root", "fabric")
+		var ids []SpanID
+		ids = append(ids, root.ID())
+		// Same logical spans, any creation order of distinct keys would
+		// still match because the key carries identity; ordinals only
+		// separate true repeats.
+		for i := 0; i < 3; i++ {
+			_, sp := StartSpanKeyed(ctx, "walk", CatWalk, "0:100")
+			ids = append(ids, sp.ID())
+			sp.End()
+		}
+		_, sp := StartSpanKeyed(ctx, "walk", CatWalk, "100:200")
+		ids = append(ids, sp.ID())
+		sp.End()
+		root.End()
+		return ids
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("len %d vs %d", len(a), len(b))
+	}
+	seen := map[SpanID]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("span %d differs across runs: %v vs %v", i, a[i], b[i])
+		}
+		if seen[a[i]] {
+			t.Errorf("span %d id %v not unique", i, a[i])
+		}
+		seen[a[i]] = true
+	}
+}
+
+func TestNilFastPath(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "x", CatWalk)
+	if sp != nil {
+		t.Fatalf("expected nil span on untraced ctx")
+	}
+	if ctx2 != ctx {
+		t.Fatalf("untraced StartSpan must return ctx unchanged")
+	}
+	// All methods no-op on nil.
+	sp.SetAttr("k", "v")
+	sp.SetTid(3)
+	sp.End()
+	if !sp.TraceID().IsZero() || !sp.ID().IsZero() {
+		t.Fatalf("nil span ids must be zero")
+	}
+	if got := IDString(ctx); got != "" {
+		t.Fatalf("IDString on untraced ctx = %q", got)
+	}
+	RecordSpan(ctx, "q", CatQueue, "", time.Now(), time.Millisecond) // must not panic
+}
+
+func TestRecorderBounds(t *testing.T) {
+	r := NewRecorder("n", 2, 3)
+	mk := func(seed byte) TraceID {
+		var tr TraceID
+		tr[0] = seed
+		tr[15] = 1
+		return tr
+	}
+	t1, t2, t3 := mk(1), mk(2), mk(3)
+	for _, tr := range []TraceID{t1, t2, t3} {
+		ctx, root := r.JoinTrace(context.Background(), tr, SpanID{}, "root", "fabric")
+		for i := 0; i < 5; i++ {
+			_, sp := StartSpan(ctx, "w", CatWalk)
+			sp.End()
+		}
+		root.End()
+	}
+	if _, ok := r.Export(t1); ok {
+		t.Fatalf("t1 should have been evicted (FIFO, maxTraces=2)")
+	}
+	w, ok := r.Export(t3)
+	if !ok {
+		t.Fatalf("t3 missing")
+	}
+	if len(w.Spans) != 3 {
+		t.Fatalf("span cap: got %d spans, want 3", len(w.Spans))
+	}
+	if w.Dropped != 3 { // 5 walk spans + root, cap 3 -> 3 dropped
+		t.Fatalf("dropped = %d, want 3", w.Dropped)
+	}
+}
+
+func TestExportAttrsAndParents(t *testing.T) {
+	r := NewRecorder("node-a", 0, 0)
+	ctx, root := r.StartTrace(context.Background(), "root", "fabric")
+	if IDString(ctx) != root.TraceID().String() {
+		t.Fatalf("IDString mismatch")
+	}
+	cctx, child := StartSpan(ctx, "plan", CatPlan)
+	child.SetAttr("shards", "8")
+	child.SetAttr("shards", "9") // last write wins
+	child.SetTid(2)
+	_, grand := StartSpan(cctx, "memo.get", CatMemo)
+	grand.End()
+	child.End()
+	RecordSpan(ctx, "queue.wait", CatQueue, "", time.Now().Add(-time.Millisecond), time.Millisecond,
+		Attr{K: "pos", V: "1"})
+	root.End()
+
+	w, ok := r.Export(root.TraceID())
+	if !ok {
+		t.Fatalf("export failed")
+	}
+	if w.Node != "node-a" || w.TraceID != root.TraceID().String() {
+		t.Fatalf("wire header: %+v", w)
+	}
+	byName := map[string]WireSpan{}
+	for _, s := range w.Spans {
+		byName[s.Name] = s
+	}
+	if len(byName) != 4 {
+		t.Fatalf("want 4 spans, got %v", byName)
+	}
+	if byName["plan"].Parent != byName["root"].ID {
+		t.Fatalf("plan parent mismatch")
+	}
+	if byName["memo.get"].Parent != byName["plan"].ID {
+		t.Fatalf("memo parent mismatch")
+	}
+	if byName["queue.wait"].Parent != byName["root"].ID {
+		t.Fatalf("queue parent mismatch")
+	}
+	if byName["plan"].Attrs["shards"] != "9" {
+		t.Fatalf("attr last-write-wins failed: %v", byName["plan"].Attrs)
+	}
+	if byName["plan"].Tid != 2 {
+		t.Fatalf("tid not exported")
+	}
+	if byName["queue.wait"].DurNS != int64(time.Millisecond) {
+		t.Fatalf("RecordSpan duration %d", byName["queue.wait"].DurNS)
+	}
+	if byName["root"].Parent != "" {
+		t.Fatalf("root must be parentless")
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	r := NewRecorder("n", 0, 0)
+	ctx, root := r.StartTrace(context.Background(), "root", "fabric")
+	h := make(map[string][]string)
+	Inject(ctx, h)
+	tr, sp, ok := Extract(h)
+	if !ok || tr != root.TraceID() || sp != root.ID() {
+		t.Fatalf("inject/extract mismatch")
+	}
+	var none map[string][]string = map[string][]string{}
+	if _, _, ok := Extract(none); ok {
+		t.Fatalf("empty header extracted")
+	}
+	Inject(context.Background(), h) // untraced: must not panic
+	root.End()
+}

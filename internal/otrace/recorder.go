@@ -1,0 +1,204 @@
+package otrace
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Defaults for NewRecorder's bounds (0 selects them).
+const (
+	DefaultMaxTraces        = 64
+	DefaultMaxSpansPerTrace = 4096
+)
+
+// recordedSpan is a completed span inside a trace buffer.
+type recordedSpan struct {
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	name   string
+	cat    string
+	tid    int
+	start  time.Time
+	dur    time.Duration
+	attrs  []Attr
+}
+
+// ordKey counts occurrences of (parent, name, key) for deterministic IDs.
+type ordKey struct {
+	parent SpanID
+	name   string
+	key    string
+}
+
+// traceBuf is the bounded per-trace span store.
+type traceBuf struct {
+	spans    []recordedSpan
+	ordinals map[ordKey]int
+	dropped  int
+}
+
+// Recorder keeps completed spans in bounded per-trace buffers. Each
+// servemodel node and each coordinator process owns one; GET /v1/trace/{id}
+// serves Export. Memory is bounded two ways: at most maxTraces live traces
+// (FIFO eviction — a trace storm cannot grow the map) and at most
+// maxSpansPerTrace spans per trace (overflow increments Dropped rather than
+// growing the slice).
+type Recorder struct {
+	node string
+
+	mu        sync.Mutex
+	traces    map[TraceID]*traceBuf
+	order     []TraceID // FIFO eviction order
+	maxTraces int
+	maxSpans  int
+}
+
+// NewRecorder builds a recorder for one node. node labels exported spans
+// (it becomes the Perfetto pid row); bounds of 0 take the defaults.
+func NewRecorder(node string, maxTraces, maxSpansPerTrace int) *Recorder {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	if maxSpansPerTrace <= 0 {
+		maxSpansPerTrace = DefaultMaxSpansPerTrace
+	}
+	return &Recorder{
+		node:      node,
+		traces:    make(map[TraceID]*traceBuf),
+		maxTraces: maxTraces,
+		maxSpans:  maxSpansPerTrace,
+	}
+}
+
+// Node returns the recorder's node label.
+func (r *Recorder) Node() string { return r.node }
+
+// buf returns (creating if needed) the buffer for t, evicting the oldest
+// trace when over the trace bound. Callers hold r.mu.
+func (r *Recorder) bufLocked(t TraceID) *traceBuf {
+	if b, ok := r.traces[t]; ok {
+		return b
+	}
+	for len(r.order) >= r.maxTraces {
+		old := r.order[0]
+		r.order = r.order[1:]
+		delete(r.traces, old)
+	}
+	b := &traceBuf{ordinals: make(map[ordKey]int)}
+	r.traces[t] = b
+	r.order = append(r.order, t)
+	return b
+}
+
+// newSpan allocates a live span with the deterministic ID for the next
+// (parent, name, key) occurrence in trace t.
+func (r *Recorder) newSpan(t TraceID, parent SpanID, name, cat, key string) *Span {
+	r.mu.Lock()
+	b := r.bufLocked(t)
+	k := ordKey{parent: parent, name: name, key: key}
+	ord := b.ordinals[k]
+	b.ordinals[k] = ord + 1
+	r.mu.Unlock()
+	return &Span{
+		rec:    r,
+		trace:  t,
+		id:     spanID(t, parent, name, key, ord),
+		parent: parent,
+		name:   name,
+		cat:    cat,
+		start:  time.Now(),
+	}
+}
+
+// record stores a completed span, honouring the per-trace span bound.
+func (r *Recorder) record(s recordedSpan) {
+	r.mu.Lock()
+	b := r.bufLocked(s.trace)
+	if len(b.spans) >= r.maxSpans {
+		b.dropped++
+	} else {
+		b.spans = append(b.spans, s)
+	}
+	r.mu.Unlock()
+}
+
+// StartTrace mints a new trace rooted at a span named name and returns the
+// traced context. The caller must End the returned span; on the coordinator
+// it is the root whose duration is the wall time the critical-path report
+// attributes.
+func (r *Recorder) StartTrace(ctx context.Context, name, cat string) (context.Context, *Span) {
+	return r.JoinTrace(ctx, NewTraceID(), SpanID{}, name, cat)
+}
+
+// JoinTrace opens a span in an existing trace (the HTTP-server side of
+// propagation: trace and parent come from the traceparent header). A zero
+// parent makes the span a root.
+func (r *Recorder) JoinTrace(ctx context.Context, t TraceID, parent SpanID, name, cat string) (context.Context, *Span) {
+	if t.IsZero() {
+		t = NewTraceID()
+	}
+	sp := r.newSpan(t, parent, name, cat, "")
+	return ContextWith(ctx, sp), sp
+}
+
+// WireSpan is one completed span on the wire (JSON for /v1/trace/{id}).
+type WireSpan struct {
+	ID      string            `json:"id"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	Cat     string            `json:"cat,omitempty"`
+	Node    string            `json:"node"`
+	Tid     int               `json:"tid,omitempty"`
+	StartNS int64             `json:"start_ns"`
+	DurNS   int64             `json:"dur_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// WireTrace is one node's view of a trace.
+type WireTrace struct {
+	TraceID string     `json:"trace_id"`
+	Node    string     `json:"node"`
+	Spans   []WireSpan `json:"spans"`
+	Dropped int        `json:"dropped,omitempty"`
+}
+
+// Export snapshots the recorder's spans for trace t (ok=false when the
+// trace is unknown — never recorded, or already evicted).
+func (r *Recorder) Export(t TraceID) (WireTrace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.traces[t]
+	if !ok {
+		return WireTrace{}, false
+	}
+	w := WireTrace{
+		TraceID: t.String(),
+		Node:    r.node,
+		Spans:   make([]WireSpan, 0, len(b.spans)),
+		Dropped: b.dropped,
+	}
+	for _, s := range b.spans {
+		ws := WireSpan{
+			ID:      s.id.String(),
+			Name:    s.name,
+			Cat:     s.cat,
+			Node:    r.node,
+			Tid:     s.tid,
+			StartNS: s.start.UnixNano(),
+			DurNS:   int64(s.dur),
+		}
+		if !s.parent.IsZero() {
+			ws.Parent = s.parent.String()
+		}
+		if len(s.attrs) > 0 {
+			ws.Attrs = make(map[string]string, len(s.attrs))
+			for _, a := range s.attrs { // last write wins
+				ws.Attrs[a.K] = a.V
+			}
+		}
+		w.Spans = append(w.Spans, ws)
+	}
+	return w, true
+}

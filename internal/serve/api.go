@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/config"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/loops"
 	"repro/internal/mapper"
 	"repro/internal/network"
+	"repro/internal/otrace"
 	"repro/internal/transformer"
 	"repro/internal/workload"
 )
@@ -311,12 +313,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	tracker.setTrace(otrace.IDString(r.Context()))
 	hooks := tracker.hooks(s.met)
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
 	var cand *mapper.Candidate
 	var stats *mapper.Stats
+	var steals atomic.Int64
 	if req.Anneal {
 		cand, err = mapper.AnnealCached(ctx, &l, hw, &mapper.AnnealOptions{
 			Spatial:     sp,
@@ -351,9 +355,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 				ArchConfig: req.ArchConfig,
 				Tenant:     tenantOf(r),
 				TimeoutMS:  req.TimeoutMS,
+				Steals:     &steals,
 			})
+			noteFrom(r.Context()).addShards(int64(req.Shards))
 		}
 		cand, stats, err = mapper.BestCachedVia(ctx, &l, hw, opt, run)
+		noteFrom(r.Context()).addSteals(steals.Load())
 	}
 	if err != nil {
 		tracker.finish(0, nil, err)

@@ -11,6 +11,7 @@ package serve
 // as misses instead of mixing results.
 
 import (
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/mapper"
 	"repro/internal/memo"
+	"repro/internal/otrace"
 )
 
 // stealRegistry indexes the live ShardControls of in-flight shard requests
@@ -93,14 +95,29 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 			t.Stop()
 		}
 	}
-	out, err := mapper.BestShardControlled(ctx, &l, hw, &o, req.Shard, ctl)
+	// The walk span's duration is what the coordinator's critical-path
+	// attribution charges to "walk" inside this shard's RPC window; the
+	// position attrs tie it back to the plan range it covered.
+	wctx, wsp := otrace.StartSpanKeyed(ctx, "shard.walk", otrace.CatWalk,
+		fmt.Sprintf("%d", req.Shard.WalkedBefore))
+	wsp.SetAttr("pos_lo", fmt.Sprintf("%d", req.Shard.WalkedBefore))
+	out, err := mapper.BestShardControlled(wctx, &l, hw, &o, req.Shard, ctl)
 	if err != nil {
+		wsp.SetAttr("outcome", "error")
+		wsp.End()
 		writeError(w, s.errorStatus(r, err), err.Error())
 		return
 	}
+	if out.Truncated {
+		wsp.SetAttr("truncated", "true")
+		wsp.SetAttr("pos_done", fmt.Sprintf("%d", out.Resume.WalkedBefore))
+	}
+	wsp.End()
 	s.met.fabricShards.Add(1)
+	noteFrom(r.Context()).addShards(1)
 	if out.Truncated {
 		s.met.fabricSteals.Add(1)
+		noteFrom(r.Context()).addSteals(1)
 	}
 	writeJSON(w, http.StatusOK, fabric.EncodeOutcome(out))
 }
@@ -133,7 +150,7 @@ func (s *Server) handleMemoGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "memo miss (version or key)")
 		return
 	}
-	blob, ok := s.cfg.MemoStore.Get(memo.KeyOf(req.Enc))
+	blob, ok := s.cfg.MemoStore.Get(r.Context(), memo.KeyOf(req.Enc))
 	if !ok || len(blob) == 0 {
 		writeError(w, http.StatusNotFound, "memo miss")
 		return
@@ -151,7 +168,7 @@ func (s *Server) handleMemoPut(w http.ResponseWriter, r *http.Request) {
 	// store contract is best-effort, and a mixed-version fleet is a supported
 	// (if transient) state during rollouts.
 	if req.Version == s.cfg.MemoVersion && len(req.Enc) > 0 && len(req.Blob) > 0 {
-		s.cfg.MemoStore.Put(memo.KeyOf(req.Enc), req.Blob)
+		s.cfg.MemoStore.Put(r.Context(), memo.KeyOf(req.Enc), req.Blob)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -214,6 +214,18 @@ type admissionSnapshot struct {
 	Slots, Queue  int64
 }
 
+// storeTierStat carries one memo-store (tier, op) cell into the renderer —
+// same no-memo-import convention as memoSnapshot. Buckets are cumulative and
+// aligned with Bounds; the +Inf bucket is Count.
+type storeTierStat struct {
+	Tier, Op string
+	Outcomes map[string]uint64
+	Bounds   []float64
+	Buckets  []uint64
+	Sum      float64
+	Count    uint64
+}
+
 func fmtFloat(v float64) string {
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%d", int64(v))
@@ -223,8 +235,10 @@ func fmtFloat(v float64) string {
 
 // write renders every metric in the Prometheus text exposition format,
 // families sorted by name, label sets sorted within a family. searchLive is
-// the number of searches with a running progress tracker.
-func (m *metrics) write(w io.Writer, memo memoSnapshot, adm admissionSnapshot, searchLive int64) {
+// the number of searches with a running progress tracker; tiers is the
+// per-tier memo-store registry (memo.TierSnapshots, converted by the
+// caller).
+func (m *metrics) write(w io.Writer, memo memoSnapshot, adm admissionSnapshot, searchLive int64, tiers []storeTierStat) {
 	names := make([]string, 0, len(m.endpoints))
 	for n := range m.endpoints {
 		names = append(names, n)
@@ -277,6 +291,40 @@ func (m *metrics) write(w io.Writer, memo memoSnapshot, adm admissionSnapshot, s
 		{"servemodel_memo_disk_hits_total", "Searches served from the on-disk store.", memo.DiskHits},
 		{"servemodel_memo_hits_total", "Searches served from the in-memory cache.", memo.Hits},
 		{"servemodel_memo_misses_total", "Searches that ran because no cache entry existed.", memo.Misses},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", mc.name, mc.help, mc.name, mc.name, mc.v)
+	}
+
+	// The per-tier store families sort between the memo_* scalar counters
+	// (misses < store < transient). tiers arrives sorted by (tier, op).
+	fmt.Fprintf(w, "# HELP servemodel_memo_store_ops_total Memo store operations by tier, op and outcome (hit, miss, write, error).\n")
+	fmt.Fprintf(w, "# TYPE servemodel_memo_store_ops_total counter\n")
+	for _, ts := range tiers {
+		outs := make([]string, 0, len(ts.Outcomes))
+		for o := range ts.Outcomes {
+			outs = append(outs, o)
+		}
+		sort.Strings(outs)
+		for _, o := range outs {
+			fmt.Fprintf(w, "servemodel_memo_store_ops_total{tier=%q,op=%q,outcome=%q} %d\n", ts.Tier, ts.Op, o, ts.Outcomes[o])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP servemodel_memo_store_seconds Memo store operation latency, by tier and op.\n")
+	fmt.Fprintf(w, "# TYPE servemodel_memo_store_seconds histogram\n")
+	for _, ts := range tiers {
+		for i, b := range ts.Bounds {
+			fmt.Fprintf(w, "servemodel_memo_store_seconds_bucket{tier=%q,op=%q,le=%q} %d\n", ts.Tier, ts.Op, fmtFloat(b), ts.Buckets[i])
+		}
+		fmt.Fprintf(w, "servemodel_memo_store_seconds_bucket{tier=%q,op=%q,le=\"+Inf\"} %d\n", ts.Tier, ts.Op, ts.Count)
+		fmt.Fprintf(w, "servemodel_memo_store_seconds_sum{tier=%q,op=%q} %s\n", ts.Tier, ts.Op, fmtFloat(ts.Sum))
+		fmt.Fprintf(w, "servemodel_memo_store_seconds_count{tier=%q,op=%q} %d\n", ts.Tier, ts.Op, ts.Count)
+	}
+
+	for _, mc := range []struct {
+		name, help string
+		v          int64
+	}{
 		{"servemodel_memo_transient_total", "Context-error results evicted instead of cached.", memo.Transient},
 		{"servemodel_memo_waits_total", "Callers coalesced onto another caller's in-flight search.", memo.Waits},
 	} {

@@ -42,11 +42,12 @@ type progressTracker struct {
 	elapsedMS                           atomic.Int64
 	annealEvents                        atomic.Int64
 
-	mu     sync.Mutex
-	phases map[string]float64 // phase name -> seconds
-	state  string             // running | done | error
-	errMsg string
-	stats  *statsJSON // final stats, when the search returned them
+	mu      sync.Mutex
+	phases  map[string]float64 // phase name -> seconds
+	state   string             // running | done | error
+	errMsg  string
+	stats   *statsJSON // final stats, when the search returned them
+	traceID string     // the request's trace, for GET /v1/trace/{id}
 }
 
 func newProgressTracker(id string) *progressTracker {
@@ -102,6 +103,14 @@ func (t *progressTracker) hooks(met *metrics) *obs.SearchHooks {
 	}
 }
 
+// setTrace links the tracker to its request's trace id, so a progress
+// poller can pivot straight to GET /v1/trace/{id}.
+func (t *progressTracker) setTrace(id string) {
+	t.mu.Lock()
+	t.traceID = id
+	t.mu.Unlock()
+}
+
 // finish records the search outcome. A coalesced or cached search that saw
 // no hook events still ends with its true final score and stats.
 func (t *progressTracker) finish(bestScore float64, stats *statsJSON, err error) {
@@ -135,6 +144,9 @@ type ProgressResponse struct {
 	SearchID string `json:"search_id"`
 	Status   string `json:"status"` // running | done | error
 	Error    string `json:"error,omitempty"`
+	// TraceID names the request's distributed trace (GET /v1/trace/{id} on
+	// every involved node reconstructs it).
+	TraceID string `json:"trace_id,omitempty"`
 
 	Walked         int64 `json:"walked"`
 	Generated      int64 `json:"generated"`
@@ -160,13 +172,14 @@ func (t *progressTracker) snapshot() ProgressResponse {
 	for k, v := range t.phases {
 		phases[k] = v
 	}
-	state, errMsg, stats := t.state, t.errMsg, t.stats
+	state, errMsg, stats, traceID := t.state, t.errMsg, t.stats, t.traceID
 	t.mu.Unlock()
 
 	resp := ProgressResponse{
 		SearchID:       t.id,
 		Status:         state,
 		Error:          errMsg,
+		TraceID:        traceID,
 		Walked:         t.walked.Load(),
 		Generated:      t.generated.Load(),
 		ClassesMerged:  t.merged.Load(),

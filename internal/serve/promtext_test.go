@@ -8,6 +8,7 @@ package serve
 // must be cumulative with a terminal le="+Inf" bucket that equals _count.
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/mapper"
 	"repro/internal/memo"
 )
 
@@ -304,6 +306,14 @@ func TestMetricsStrictFormat(t *testing.T) {
 	if resp, err := http.Get(ts.URL + "/v1/search/s1/progress"); err == nil {
 		resp.Body.Close()
 	}
+	// Memo traffic populates the per-tier store families (the served store
+	// is a WithTrace-wrapped Mem, tier "mem"): one write, one hit, one miss.
+	putBody, _ := json.Marshal(memo.WirePut{Enc: []byte("promtext-key"), Version: mapper.DiskVersion(), Blob: []byte("blob")})
+	post(t, ts, "/v1/memo/put", string(putBody))
+	getBody, _ := json.Marshal(memo.WireGet{Enc: []byte("promtext-key"), Version: mapper.DiskVersion()})
+	post(t, ts, "/v1/memo/get", string(getBody))
+	missBody, _ := json.Marshal(memo.WireGet{Enc: []byte("promtext-missing"), Version: mapper.DiskVersion()})
+	post(t, ts, "/v1/memo/get", string(missBody))
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -363,5 +373,32 @@ func TestMetricsStrictFormat(t *testing.T) {
 		if len(samples[fam]) == 0 {
 			t.Errorf("family %s missing from /metrics", fam)
 		}
+	}
+
+	// Per-tier store families: the memo put/hit/miss above must land as
+	// labeled counters and histogram series under tier "mem".
+	ops := map[string]float64{} // op/outcome -> count
+	for _, sm := range samples["servemodel_memo_store_ops_total"] {
+		if sm.labels["tier"] == "mem" {
+			ops[sm.labels["op"]+"/"+sm.labels["outcome"]] += sm.value
+		}
+	}
+	if ops["put/write"] < 1 || ops["get/hit"] < 1 || ops["get/miss"] < 1 {
+		t.Errorf("memo_store_ops_total mem cells = %v, want write/hit/miss >= 1", ops)
+	}
+	var sawGetSeries, sawPutSeries bool
+	for _, sm := range samples["servemodel_memo_store_seconds"] {
+		if sm.labels["tier"] != "mem" || !strings.HasSuffix(sm.name, "_count") {
+			continue
+		}
+		switch sm.labels["op"] {
+		case "get":
+			sawGetSeries = sm.value >= 2
+		case "put":
+			sawPutSeries = sm.value >= 1
+		}
+	}
+	if !sawGetSeries || !sawPutSeries {
+		t.Errorf("memo_store_seconds mem series incomplete: get=%v put=%v", sawGetSeries, sawPutSeries)
 	}
 }

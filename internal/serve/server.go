@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/mapper"
 	"repro/internal/memo"
+	"repro/internal/otrace"
 	"repro/internal/par"
 	"repro/internal/prof"
 )
@@ -90,6 +91,12 @@ type Config struct {
 	// only (-shardslowdown): it gives an integration or smoke test a
 	// deterministic window to land a /v1/shard/steal against this node.
 	ShardDelay time.Duration
+	// NodeName labels this node's spans in assembled fleet traces (one
+	// Perfetto process row per node; default "servemodel").
+	NodeName string
+	// Trace records this node's spans, exported per-trace at
+	// GET /v1/trace/{id} (default: a bounded recorder, otrace defaults).
+	Trace *otrace.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -114,8 +121,17 @@ func (c Config) withDefaults() Config {
 	if c.MemoStore == nil {
 		c.MemoStore = memo.NewMem(0)
 	}
+	// The served store always traces and counts per-tier stats; WithTrace is
+	// idempotent, so a caller passing an already-wrapped store is fine.
+	c.MemoStore = memo.WithTrace(c.MemoStore)
 	if c.MemoVersion == 0 {
 		c.MemoVersion = mapper.DiskVersion()
+	}
+	if c.NodeName == "" {
+		c.NodeName = "servemodel"
+	}
+	if c.Trace == nil {
+		c.Trace = otrace.NewRecorder(c.NodeName, 0, 0)
 	}
 	return c
 }
@@ -132,6 +148,9 @@ type Server struct {
 	progress *progressRegistry
 	// steals tracks in-flight shard walks by sid for /v1/shard/steal.
 	steals *stealRegistry
+	// flight is the bounded ring of finished-request summaries
+	// (/v1/debug/requests) and the X-Request-Id generator.
+	flight *flightRing
 
 	// base is alive for the server's whole lifetime and canceled only when
 	// a graceful shutdown exhausts its drain deadline; every request context
@@ -148,9 +167,10 @@ func New(cfg Config) *Server {
 		log:      cfg.Logger,
 		mux:      http.NewServeMux(),
 		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.TenantWeights),
-		met:      newMetrics(time.Now(), "eval", "search", "network", "metrics", "healthz", "explain", "progress", "shard", "shard_steal", "memo_get", "memo_put"),
+		met:      newMetrics(time.Now(), "eval", "search", "network", "metrics", "healthz", "explain", "progress", "shard", "shard_steal", "memo_get", "memo_put", "trace", "debug_requests"),
 		progress: newProgressRegistry(),
 		steals:   newStealRegistry(),
+		flight:   newFlightRing(flightRingSize),
 	}
 	s.base, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
@@ -166,6 +186,8 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/shard/steal", s.instrument("shard_steal", false, s.handleShardSteal))
 	s.mux.Handle("POST /v1/memo/get", s.instrument("memo_get", false, s.handleMemoGet))
 	s.mux.Handle("POST /v1/memo/put", s.instrument("memo_put", false, s.handleMemoPut))
+	s.mux.Handle("GET /v1/trace/{id}", s.instrument("trace", false, s.handleTrace))
+	s.mux.Handle("GET /v1/debug/requests", s.instrument("debug_requests", false, s.handleDebugRequests))
 	return s
 }
 
@@ -184,20 +206,45 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // instrument wraps a handler with the middleware stack: in-flight gauge,
-// admission control (when admit), latency/status metrics and the request
-// log line.
+// trace join/start, admission control (when admit), latency/status metrics,
+// the request log line and the flight-recorder entry. The request id is
+// minted here and echoed as X-Request-Id so a client can quote the exact
+// server-side log lines and flight entry for any response it holds.
 func (s *Server) instrument(name string, admit bool, h http.HandlerFunc) http.Handler {
 	em := s.met.endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		em.inflight.Add(1)
 		defer em.inflight.Add(-1)
+		tenant := tenantOf(r)
+		reqID := s.flight.nextID()
+		w.Header().Set("X-Request-Id", reqID)
+
+		// A propagated traceparent joins the caller's trace on ANY endpoint,
+		// so a coordinator's shard walks, steals and memo exchanges land in
+		// its trace; an admitted request without one roots a fresh trace of
+		// its own. Plumbing endpoints (metrics, healthz, trace export) never
+		// mint traces — they would flood the bounded recorder.
+		ctx := r.Context()
+		var span *otrace.Span
+		if tr, parent, ok := otrace.Extract(r.Header); ok {
+			ctx, span = s.cfg.Trace.JoinTrace(ctx, tr, parent, "serve."+name, "serve")
+		} else if admit {
+			ctx, span = s.cfg.Trace.StartTrace(ctx, "serve."+name, "serve")
+		}
+		span.SetAttr("endpoint", name)
+		span.SetAttr("tenant", tenant)
+		span.SetAttr("request_id", reqID)
+		note := &reqNote{}
+		r = r.WithContext(withReqNote(ctx, note))
+
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		switch {
 		case !admit:
 			h(sw, r)
 		default:
-			release, err := s.adm.acquire(r.Context(), tenantOf(r))
+			at0 := time.Now()
+			release, err := s.adm.acquire(r.Context(), tenant)
 			switch {
 			case errors.Is(err, errAdmissionFull):
 				s.met.shed.Add(1)
@@ -206,12 +253,16 @@ func (s *Server) instrument(name string, admit bool, h http.HandlerFunc) http.Ha
 			case err != nil:
 				sw.code = statusClientGone // client gave up while queued
 			default:
+				otrace.RecordSpan(r.Context(), "admission.wait", otrace.CatQueue, "",
+					at0, time.Since(at0), otrace.Attr{K: "tenant", V: tenant})
 				h(sw, r)
 				release()
 			}
 		}
+		span.End()
 		d := time.Since(t0)
 		em.done(sw.code, d.Seconds())
+		traceID := otrace.IDString(r.Context())
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("endpoint", name),
 			slog.String("method", r.Method),
@@ -219,7 +270,23 @@ func (s *Server) instrument(name string, admit bool, h http.HandlerFunc) http.Ha
 			slog.Int("code", sw.code),
 			slog.Duration("dur", d),
 			slog.String("remote", r.RemoteAddr),
+			slog.String("trace_id", traceID),
+			slog.String("tenant", tenant),
+			slog.String("request_id", reqID),
 		)
+		s.flight.add(flightEntry{
+			Time:      t0.UTC().Format(time.RFC3339Nano),
+			Endpoint:  name,
+			Method:    r.Method,
+			Path:      r.URL.Path,
+			Tenant:    tenant,
+			TraceID:   traceID,
+			RequestID: reqID,
+			Code:      sw.code,
+			DurMS:     float64(d.Microseconds()) / 1e3,
+			Shards:    note.shards.Load(),
+			Steals:    note.steals.Load(),
+		})
 	})
 }
 
@@ -254,7 +321,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Queued: s.adm.queueDepth(),
 		Slots:  s.adm.capacity(),
 		Queue:  s.adm.maxQueue,
-	}, s.progress.live())
+	}, s.progress.live(), storeTierStats())
+}
+
+// storeTierStats converts the memo package's per-tier registry into the
+// renderer's memo-free carrier type.
+func storeTierStats() []storeTierStat {
+	snaps := memo.TierSnapshots()
+	out := make([]storeTierStat, len(snaps))
+	for i, sn := range snaps {
+		out[i] = storeTierStat{
+			Tier:     sn.Tier,
+			Op:       sn.Op,
+			Outcomes: sn.Outcomes,
+			Bounds:   memo.StatsBuckets,
+			Buckets:  sn.Buckets,
+			Sum:      sn.Sum,
+			Count:    sn.Count,
+		}
+	}
+	return out
 }
 
 // requestContext derives the context a search runs under: bounded by the

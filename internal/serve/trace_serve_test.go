@@ -1,0 +1,209 @@
+package serve
+
+// Tracing and flight-recorder contract tests: every response echoes a
+// unique X-Request-Id, an admitted request roots a trace exported at
+// GET /v1/trace/{id}, the progress endpoint links search -> trace, the
+// flight recorder retains correlated request summaries, and a two-node
+// sharded search joins one trace across both nodes whose assembled
+// critical-path report attributes the coordinator's wall time exactly.
+
+import (
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"testing"
+
+	"repro/internal/memo"
+	"repro/internal/otrace"
+)
+
+var hex32 = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+func TestRequestIDEcho(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	ids := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-Id")
+		if id == "" {
+			t.Fatal("response without X-Request-Id")
+		}
+		if ids[id] {
+			t.Fatalf("request id %q repeated", id)
+		}
+		ids[id] = true
+	}
+}
+
+func TestTraceExportAndFlightRecorder(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := post(t, ts, "/v1/search", smallSearch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search = %d: %s", resp.StatusCode, data)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	var sr SearchResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The progress tracker links the search to its trace.
+	var pr ProgressResponse
+	if r := getJSON(t, ts.URL, "/v1/search/"+sr.SearchID+"/progress", &pr); r.StatusCode != http.StatusOK {
+		t.Fatalf("progress = %d", r.StatusCode)
+	}
+	if !hex32.MatchString(pr.TraceID) {
+		t.Fatalf("progress trace_id = %q, want 32 hex digits", pr.TraceID)
+	}
+
+	// The trace export holds the request's span tree: the serve.search root
+	// and the admission.wait queue span at minimum.
+	var wt otrace.WireTrace
+	if r := getJSON(t, ts.URL, "/v1/trace/"+pr.TraceID, &wt); r.StatusCode != http.StatusOK {
+		t.Fatalf("trace export = %d", r.StatusCode)
+	}
+	if wt.TraceID != pr.TraceID {
+		t.Fatalf("exported trace id %q != %q", wt.TraceID, pr.TraceID)
+	}
+	var sawRoot, sawWait bool
+	for _, sp := range wt.Spans {
+		switch sp.Name {
+		case "serve.search":
+			sawRoot = true
+			if sp.Parent != "" {
+				t.Errorf("serve.search has parent %q, want root", sp.Parent)
+			}
+			if sp.Attrs["endpoint"] != "search" || sp.Attrs["request_id"] != reqID {
+				t.Errorf("serve.search attrs = %v", sp.Attrs)
+			}
+		case "admission.wait":
+			sawWait = true
+			if sp.Cat != otrace.CatQueue {
+				t.Errorf("admission.wait cat = %q", sp.Cat)
+			}
+		}
+	}
+	if !sawRoot || !sawWait {
+		t.Fatalf("trace missing serve.search (%v) or admission.wait (%v): %d spans", sawRoot, sawWait, len(wt.Spans))
+	}
+
+	// Unknown and malformed ids answer 404 / 400.
+	if r := getJSON(t, ts.URL, "/v1/trace/ffffffffffffffffffffffffffffffff", nil); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace = %d, want 404", r.StatusCode)
+	}
+	if r := getJSON(t, ts.URL, "/v1/trace/nope", nil); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed trace id = %d, want 400", r.StatusCode)
+	}
+
+	// The flight recorder retains the search's summary, fully correlated.
+	var dbg debugRequestsBody
+	if r := getJSON(t, ts.URL, "/v1/debug/requests", &dbg); r.StatusCode != http.StatusOK {
+		t.Fatalf("debug/requests = %d", r.StatusCode)
+	}
+	if dbg.Total < int64(len(dbg.Requests)) || len(dbg.Requests) == 0 {
+		t.Fatalf("flight recorder: total=%d entries=%d", dbg.Total, len(dbg.Requests))
+	}
+	var found *flightEntry
+	for i := range dbg.Requests {
+		if dbg.Requests[i].RequestID == reqID {
+			found = &dbg.Requests[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("search request %s not in flight recorder", reqID)
+	}
+	if found.Endpoint != "search" || found.Code != http.StatusOK ||
+		found.TraceID != pr.TraceID || found.Tenant != "default" ||
+		found.DurMS <= 0 || found.Time == "" {
+		t.Errorf("flight entry malformed: %+v", *found)
+	}
+	// Entries come back newest-first: the trace/debug GETs above finished
+	// after the search did.
+	for i := 1; i < len(dbg.Requests); i++ {
+		if dbg.Requests[i].Time > dbg.Requests[i-1].Time {
+			t.Fatalf("flight entries not newest-first at %d: %s after %s", i, dbg.Requests[i].Time, dbg.Requests[i-1].Time)
+		}
+	}
+}
+
+func TestFlightRingBounded(t *testing.T) {
+	f := newFlightRing(4)
+	for i := 0; i < 10; i++ {
+		f.add(flightEntry{RequestID: f.nextID(), Code: i})
+	}
+	got, total := f.snapshot()
+	if total != 10 || len(got) != 4 {
+		t.Fatalf("ring: total=%d retained=%d, want 10/4", total, len(got))
+	}
+	for i, e := range got {
+		if e.Code != 9-i { // newest first
+			t.Fatalf("entry %d has code %d, want %d", i, e.Code, 9-i)
+		}
+	}
+}
+
+// TestCrossNodeTraceJoin: a sharded search through a coordinator node whose
+// peer executes the shards leaves one trace spanning both nodes, and the
+// assembled fleet view's critical-path report attributes every nanosecond
+// of the coordinator's wall time.
+func TestCrossNodeTraceJoin(t *testing.T) {
+	memo.Default.Reset() // a cached search would never reach the peer
+	_, peerTS := newTestServer(t, Config{NodeName: "peer"})
+	_, coordTS := newTestServer(t, Config{NodeName: "coord", Peers: []string{peerTS.URL}})
+
+	body := `{"layer":{"name":"xnode","kind":"matmul","dims":{"B":48,"K":48,"C":48}},"budget":800,"shards":3}`
+	resp, data := post(t, coordTS, "/v1/search", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded search = %d: %s", resp.StatusCode, data)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	var pr ProgressResponse
+	getJSON(t, coordTS.URL, "/v1/search/"+sr.SearchID+"/progress", &pr)
+	if pr.TraceID == "" {
+		t.Fatal("sharded search reported no trace id")
+	}
+
+	// Both nodes export spans under the ONE trace id.
+	var coordWT, peerWT otrace.WireTrace
+	if r := getJSON(t, coordTS.URL, "/v1/trace/"+pr.TraceID, &coordWT); r.StatusCode != http.StatusOK {
+		t.Fatalf("coordinator trace export = %d", r.StatusCode)
+	}
+	if r := getJSON(t, peerTS.URL, "/v1/trace/"+pr.TraceID, &peerWT); r.StatusCode != http.StatusOK {
+		t.Fatalf("peer trace export = %d (trace did not propagate)", r.StatusCode)
+	}
+	if len(coordWT.Spans) == 0 || len(peerWT.Spans) == 0 {
+		t.Fatalf("spans: coord=%d peer=%d, want both > 0", len(coordWT.Spans), len(peerWT.Spans))
+	}
+	var peerWalks int
+	for _, sp := range peerWT.Spans {
+		if sp.Name == "shard.walk" && sp.Cat == otrace.CatWalk {
+			peerWalks++
+		}
+	}
+	if peerWalks == 0 {
+		t.Fatalf("peer recorded no shard.walk spans: %+v", peerWT.Spans)
+	}
+
+	a, err := otrace.Assemble("coord", []otrace.WireTrace{coordWT, peerWT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.DiffNS != 0 || a.Report.SumNS != a.Report.WallNS {
+		t.Fatalf("fleet critical path broken: sum=%d wall=%d diff=%d",
+			a.Report.SumNS, a.Report.WallNS, a.Report.DiffNS)
+	}
+	pids := map[int]bool{}
+	for _, ev := range a.Events {
+		pids[ev.Pid] = true
+	}
+	if len(pids) < 2 {
+		t.Fatalf("assembled Perfetto trace has %d process rows, want both nodes", len(pids))
+	}
+}

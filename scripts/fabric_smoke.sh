@@ -5,9 +5,12 @@
 # in-process, then across both nodes — reproduces the plain local run
 # byte-for-byte. A third node started with the -shardslowdown test hook
 # forces the coordinator's work stealing to land, and the output must STILL
-# be byte-identical with the node's steal counter moved. Also checks the
-# nodes' shard counters moved, that a malformed /v1/shard body answers 400,
-# and that SIGTERM still shuts the nodes down cleanly. CI runs this via
+# be byte-identical with the node's steal counter moved. A traced fan-out
+# (-fabrictrace) must assemble one cross-node Perfetto trace: both nodes
+# export spans at /v1/trace/{id} and the critical-path report attributes
+# the coordinator's wall time exactly. Also checks the nodes' shard
+# counters moved, that a malformed /v1/shard body answers 400, and that
+# SIGTERM still shuts the nodes down cleanly. CI runs this via
 # `make fabric-smoke`.
 #
 # -nosurrogate keeps the CLI output literally diffable: every printed
@@ -29,9 +32,9 @@ trap 'kill "${PID1:-}" "${PID2:-}" "${PID3:-}" 2>/dev/null || true; rm -rf "$DIR
 go build -o "$DIR/servemodel" ./cmd/servemodel
 go build -o "$DIR/latmodel" ./cmd/latmodel
 
-"$DIR/servemodel" -addr "$ADDR1" -draintimeout 5s >"$DIR/node1.log" 2>&1 &
+"$DIR/servemodel" -addr "$ADDR1" -nodename node1 -draintimeout 5s >"$DIR/node1.log" 2>&1 &
 PID1=$!
-"$DIR/servemodel" -addr "$ADDR2" -draintimeout 5s >"$DIR/node2.log" 2>&1 &
+"$DIR/servemodel" -addr "$ADDR2" -nodename node2 -draintimeout 5s >"$DIR/node2.log" 2>&1 &
 PID2=$!
 
 wait_up() { # addr pid logfile
@@ -112,6 +115,40 @@ echo "$METRICS" | grep -q '^servemodel_fabric_steals_total [1-9]' || {
 kill -TERM "$PID3"
 wait "$PID3" || { echo "fabric-smoke: slowed node exited non-zero on SIGTERM" >&2; exit 1; }
 PID3=""
+
+# Fleet tracing: the same remote fan-out run with -fabrictrace must keep
+# stdout byte-identical (spans are pure observation) while assembling a
+# cross-node Perfetto trace. Both nodes must export spans under the ONE
+# trace id, and the assembled critical-path report must attribute the
+# coordinator's wall time exactly (diff_ns == 0).
+"$DIR/latmodel" "${LAYER[@]}" -shards 4 -nodes "http://${ADDR1},http://${ADDR2}" \
+    -fabrictrace "$DIR/trace.json" >"$DIR/traced.out" 2>"$DIR/traced.err"
+diff -u "$DIR/local.out" "$DIR/traced.out" || {
+    echo "fabric-smoke: traced fan-out diverged from the local search" >&2
+    cat "$DIR/traced.err" >&2
+    exit 1
+}
+TID=$(sed -n 's/^fabrictrace: trace \([0-9a-f]\{32\}\).*/\1/p' "$DIR/traced.err")
+[ -n "$TID" ] || {
+    echo "fabric-smoke: -fabrictrace printed no trace id:" >&2
+    cat "$DIR/traced.err" >&2
+    exit 1
+}
+for ADDR in "$ADDR1" "$ADDR2"; do
+    SPANS=$(curl -fsS "http://${ADDR}/v1/trace/${TID}" | jq '.spans | length')
+    [ "${SPANS:-0}" -ge 1 ] || {
+        echo "fabric-smoke: node $ADDR exported ${SPANS:-0} spans for trace $TID" >&2
+        exit 1
+    }
+done
+jq -e '(.traceEvents | length) > 0
+       and .critical_path.wall_ns > 0
+       and .critical_path.diff_ns == 0
+       and (.critical_path.nodes | length) >= 3' "$DIR/trace.json" >/dev/null || {
+    echo "fabric-smoke: assembled trace or critical path malformed:" >&2
+    jq '.critical_path' "$DIR/trace.json" >&2 || cat "$DIR/trace.json" >&2
+    exit 1
+}
 
 # A malformed shard body must answer 400, not crash the node.
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://${ADDR1}/v1/shard" -d '{"nope":1}')
